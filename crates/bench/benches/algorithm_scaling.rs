@@ -1,0 +1,95 @@
+//! Scaling benches: how the substrates behave as designs grow.
+//!
+//! The paper claims the activation-function derivation runs in
+//! `O(|V| + |E|)`; the first group checks the empirical scaling. The others
+//! measure simulation throughput and STA cost, the two per-iteration
+//! bottlenecks of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oiso_core::{derive_activation_functions, ActivationConfig};
+use oiso_core::{optimize, IsolationConfig};
+use oiso_designs::design1::{build, Design1Params};
+use oiso_designs::soc::{build as build_soc, SocParams};
+use oiso_sim::Testbench;
+use oiso_techlib::{TechLibrary, Time};
+use oiso_timing::analyze;
+
+fn lanes_params(lanes: usize) -> Design1Params {
+    Design1Params {
+        lanes,
+        ..Default::default()
+    }
+}
+
+fn bench_activation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("activation_derivation_scaling");
+    for lanes in [2usize, 4, 8, 16, 32] {
+        let design = build(&lanes_params(lanes));
+        group.bench_with_input(BenchmarkId::from_parameter(lanes), &design, |b, d| {
+            b.iter(|| {
+                let acts =
+                    derive_activation_functions(&d.netlist, &ActivationConfig::default());
+                assert!(!acts.is_empty());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_1000_cycles");
+    for lanes in [2usize, 8, 32] {
+        let design = build(&lanes_params(lanes));
+        group.bench_with_input(BenchmarkId::from_parameter(lanes), &design, |b, d| {
+            b.iter(|| {
+                let report = Testbench::from_plan(&d.netlist, &d.stimuli)
+                    .expect("plan")
+                    .run(1000)
+                    .expect("run");
+                assert_eq!(report.cycles(), 1000);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let lib = TechLibrary::generic_250nm();
+    let mut group = c.benchmark_group("static_timing_analysis");
+    for lanes in [2usize, 8, 32] {
+        let design = build(&lanes_params(lanes));
+        group.bench_with_input(BenchmarkId::from_parameter(lanes), &design, |b, d| {
+            b.iter(|| {
+                let report = analyze(&lib, &d.netlist, Time::from_ns(10.0));
+                assert!(report.worst_slack.is_finite());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_flow_on_soc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_soc");
+    for clusters in [2usize, 4, 8] {
+        let design = build_soc(&SocParams {
+            clusters,
+            ..Default::default()
+        });
+        let config = IsolationConfig::default().with_sim_cycles(200);
+        group.bench_with_input(BenchmarkId::from_parameter(clusters), &design, |b, d| {
+            b.iter(|| {
+                let outcome = optimize(&d.netlist, &d.stimuli, &config).expect("optimize");
+                assert!(outcome.num_isolated() > 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = scaling;
+    config = Criterion::default().sample_size(10);
+    targets = bench_activation_scaling, bench_simulation_throughput, bench_sta,
+              bench_full_flow_on_soc
+}
+criterion_main!(scaling);

@@ -1,0 +1,119 @@
+//! Criterion benches: one per paper table/figure/experiment.
+//!
+//! These measure the wall-clock cost of regenerating each artifact (the
+//! experiment pipelines themselves); the experiment *results* are printed
+//! by the `repro` binary and validated by the workspace integration tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oiso_bench::{ablation, baselines, styles, sweep, tables};
+use oiso_core::{
+    derive_activation_functions, optimize, ActivationConfig, IsolationConfig,
+};
+use oiso_designs::{busnet, design1, design2, figure1};
+
+/// Short simulations keep a full Criterion run in seconds while exercising
+/// the identical code paths as the published tables.
+fn quick_config() -> IsolationConfig {
+    IsolationConfig::default().with_sim_cycles(300)
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let design = figure1::build();
+    c.bench_function("exp_f1_figure1_activation_derivation", |b| {
+        b.iter(|| {
+            let acts =
+                derive_activation_functions(&design.netlist, &ActivationConfig::default());
+            assert_eq!(acts.len(), 5);
+        })
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let design = design1::build(&design1::Design1Params::default());
+    let config = quick_config();
+    c.bench_function("exp_t1_table1_design1", |b| {
+        b.iter(|| {
+            let rows = tables::paper_table(&design, &config).expect("table1");
+            assert_eq!(rows.len(), 4);
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let design = design2::build(&design2::Design2Params::default());
+    let config = quick_config();
+    c.bench_function("exp_t2_table2_design2", |b| {
+        b.iter(|| {
+            let rows = tables::paper_table(&design, &config).expect("table2");
+            assert_eq!(rows.len(), 4);
+        })
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let config = quick_config();
+    let grid = [(0.1, 0.1), (0.5, 0.4), (0.9, 0.1)];
+    c.bench_function("exp_sw_activation_sweep_3pt", |b| {
+        b.iter(|| {
+            let pts = sweep::activation_sweep(&grid, &config).expect("sweep");
+            assert_eq!(pts.len(), 3);
+        })
+    });
+}
+
+fn bench_styles(c: &mut Criterion) {
+    let config = quick_config();
+    c.bench_function("exp_style_idle_length_2pt", |b| {
+        b.iter(|| {
+            let pts = styles::idle_length_study(&[2.0, 16.0], &config).expect("styles");
+            assert_eq!(pts.len(), 2);
+        })
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let design = busnet::build(&busnet::BusParams::default());
+    let config = quick_config();
+    c.bench_function("exp_base_baselines_busnet", |b| {
+        b.iter(|| {
+            let rows = baselines::compare(&design, &config).expect("baselines");
+            assert_eq!(rows.len(), 3);
+        })
+    });
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let design = design1::build(&design1::Design1Params {
+        lanes: 2,
+        act_p_one: 0.25,
+        act_toggle_rate: 0.2,
+        ..Default::default()
+    });
+    let config = quick_config();
+    c.bench_function("exp_abl_estimator_fidelity", |b| {
+        b.iter(|| {
+            let rows = ablation::estimator_fidelity(&design, &config).expect("ablation");
+            assert_eq!(rows.len(), 3);
+        })
+    });
+}
+
+fn bench_full_optimize(c: &mut Criterion) {
+    let design = design1::build(&design1::Design1Params::default());
+    let config = quick_config();
+    c.bench_function("optimize_design1_and_style", |b| {
+        b.iter(|| {
+            let outcome =
+                optimize(&design.netlist, &design.stimuli, &config).expect("optimize");
+            assert!(outcome.num_isolated() > 0);
+        })
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figure1, bench_table1, bench_table2, bench_sweep,
+              bench_styles, bench_baselines, bench_ablation, bench_full_optimize
+}
+criterion_main!(paper);

@@ -1,0 +1,32 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each public function corresponds to one experiment of `DESIGN.md`'s
+//! per-experiment index and returns the data the paper prints:
+//!
+//! * [`tables::paper_table`] — Tables 1 and 2 (power / area / slack for
+//!   non-isolated, AND-, OR-, and LAT-isolated circuits), EXP-T1/EXP-T2;
+//! * [`sweep::activation_sweep`] — the Section 6 sweep over static
+//!   probability and toggle rate of design1's activation input, EXP-SW;
+//! * [`styles::idle_length_study`] — the gate-vs-latch idle-run-length
+//!   sensitivity behind Section 5.2's discussion, EXP-STYLE;
+//! * [`baselines::compare`] — full algorithm vs. Correale-style local
+//!   isolation vs. Kapadia-style enable gating, EXP-BASE;
+//! * [`ablation`] — estimator-fidelity, secondary-savings, and weight
+//!   ablations, EXP-ABL.
+//!
+//! The `repro` binary prints them in the paper's layout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod baselines;
+pub mod json;
+pub mod styles;
+pub mod sweep;
+pub mod tables;
+
+/// Default simulation length for table generation. The paper does not
+/// publish vector counts; 3000 cycles keeps every probability estimate
+/// within ±2 % for the designs in this workspace.
+pub const DEFAULT_CYCLES: u64 = 3000;

@@ -1,0 +1,108 @@
+//! EXP-STYLE: gate-based vs. latch-based isolation across idle-run lengths.
+//!
+//! Section 5.2: "AND(OR)-based isolation will result in power savings only
+//! if the module is idle for several consecutive clock cycles, a limitation
+//! that does not apply to latch-based isolation." Section 6 then finds
+//! that in practice "combinational operand isolation performed as well as
+//! or better than LATCH-based" because the latch overhead eats the
+//! first-cycle advantage.
+//!
+//! This experiment sweeps the *mean idle-run length* of the activation
+//! signal at a fixed duty cycle and reports the measured power reduction
+//! per style, exposing the crossover.
+
+use oiso_core::{optimize, IsolationConfig, IsolationError, IsolationStyle};
+use oiso_designs::design1::{build, Design1Params};
+use oiso_sim::StimulusSpec;
+use std::fmt::Write as _;
+
+/// Results at one idle-run-length point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StylePoint {
+    /// Mean idle-run length in cycles.
+    pub mean_idle_run: f64,
+    /// Power reduction per style, in [`IsolationStyle::ALL`] order.
+    pub reduction_pct: [f64; 3],
+}
+
+/// Sweeps mean idle-run length at 50 % duty cycle.
+///
+/// With a symmetric two-state Markov chain at `p = 0.5`, the mean run
+/// length is `1 / flip_probability = 1 / toggle_rate`; runs of length `L`
+/// need `toggle_rate = 1/L`.
+///
+/// # Errors
+///
+/// Returns an error if simulation fails.
+pub fn idle_length_study(
+    run_lengths: &[f64],
+    config: &IsolationConfig,
+) -> Result<Vec<StylePoint>, IsolationError> {
+    let mut points = Vec::new();
+    for &run in run_lengths {
+        let toggle_rate = (1.0 / run).min(1.0);
+        let design = build(&Design1Params::default());
+        let mut plan = design.stimuli.clone();
+        plan.drivers.retain(|(name, _)| name != "act");
+        let plan = plan.drive("act", StimulusSpec::MarkovBits {
+            p_one: 0.5,
+            toggle_rate,
+        });
+        let mut reduction = [0.0f64; 3];
+        for (i, style) in IsolationStyle::ALL.iter().enumerate() {
+            let c = config.clone().with_style(*style);
+            let outcome = optimize(&design.netlist, &plan, &c)?;
+            reduction[i] = outcome.power_reduction_percent();
+        }
+        points.push(StylePoint {
+            mean_idle_run: run,
+            reduction_pct: reduction,
+        });
+    }
+    Ok(points)
+}
+
+/// Renders the study as a table.
+pub fn render(points: &[StylePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "isolation-style comparison vs. idle-run length (50% duty)\n\
+         {:>10} {:>10} {:>10} {:>10}",
+        "idle run", "AND %red", "OR %red", "LAT %red"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>10.1} {:>9.2}% {:>9.2}% {:>9.2}%",
+            p.mean_idle_run, p.reduction_pct[0], p.reduction_pct[1], p.reduction_pct[2]
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_idle_runs_favor_gate_isolation() {
+        let config = IsolationConfig::default().with_sim_cycles(800);
+        let points = idle_length_study(&[2.0, 20.0], &config).unwrap();
+        // With long idle runs, AND isolation approaches (or beats) latch:
+        // the boundary transitions amortize away.
+        let long = &points[1];
+        assert!(
+            long.reduction_pct[0] > 0.6 * long.reduction_pct[2],
+            "AND {:.2}% should be within reach of LAT {:.2}% at long runs",
+            long.reduction_pct[0],
+            long.reduction_pct[2]
+        );
+        // All styles save something at both points.
+        for p in &points {
+            for r in p.reduction_pct {
+                assert!(r > 0.0, "{points:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Tables 1 and 2: power / area / slack per isolation style.
+
+use oiso_core::{optimize, IsolationConfig, IsolationError, IsolationStyle};
+use oiso_designs::Design;
+use oiso_power::{total_area, PowerEstimator};
+use oiso_sim::Testbench;
+use oiso_timing::analyze;
+use std::fmt::Write as _;
+
+/// One row of a paper-style results table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// Row label ("non-isolated", "AND-isolated", ...).
+    pub label: String,
+    /// Absolute power in mW.
+    pub power_mw: f64,
+    /// Power reduction vs. the non-isolated row, percent.
+    pub power_reduction_pct: f64,
+    /// Absolute area in µm².
+    pub area_um2: f64,
+    /// Area increase vs. the non-isolated row, percent.
+    pub area_increase_pct: f64,
+    /// Worst slack in ns.
+    pub slack_ns: f64,
+    /// Slack reduction vs. the non-isolated row, percent.
+    pub slack_reduction_pct: f64,
+    /// Number of candidates isolated (0 for the baseline row).
+    pub isolated: usize,
+}
+
+/// Generates a paper-style table for one design: the non-isolated baseline
+/// followed by one row per isolation style.
+///
+/// # Errors
+///
+/// Returns an error if simulation fails (typically an input missing from
+/// the design's stimulus plan).
+pub fn paper_table(
+    design: &Design,
+    base_config: &IsolationConfig,
+) -> Result<Vec<TableRow>, IsolationError> {
+    let lib = &base_config.library;
+    let cond = base_config.conditions;
+    let pe = PowerEstimator::new(lib, cond);
+
+    // Baseline row.
+    let report = Testbench::from_plan(&design.netlist, &design.stimuli)?
+        .run(base_config.sim_cycles)?;
+    let base_power = pe.estimate(&design.netlist, &report).total.as_mw();
+    let base_area = total_area(lib, &design.netlist).as_um2();
+    let base_slack = analyze(lib, &design.netlist, cond.clock_period())
+        .worst_slack
+        .as_ns();
+    let mut rows = vec![TableRow {
+        label: "non-isolated".to_string(),
+        power_mw: base_power,
+        power_reduction_pct: 0.0,
+        area_um2: base_area,
+        area_increase_pct: 0.0,
+        slack_ns: base_slack,
+        slack_reduction_pct: 0.0,
+        isolated: 0,
+    }];
+
+    for style in IsolationStyle::ALL {
+        let config = base_config.clone().with_style(style);
+        let outcome = optimize(&design.netlist, &design.stimuli, &config)?;
+        rows.push(TableRow {
+            label: style.label().to_string(),
+            power_mw: outcome.power_after.as_mw(),
+            power_reduction_pct: (base_power - outcome.power_after.as_mw()) / base_power
+                * 100.0,
+            area_um2: outcome.area_after.as_um2(),
+            area_increase_pct: (outcome.area_after.as_um2() - base_area) / base_area
+                * 100.0,
+            slack_ns: outcome.slack_after.as_ns(),
+            slack_reduction_pct: if base_slack.abs() > f64::EPSILON {
+                (base_slack - outcome.slack_after.as_ns()) / base_slack * 100.0
+            } else {
+                0.0
+            },
+            isolated: outcome.num_isolated(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders rows in the paper's table layout.
+pub fn render(title: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>8} | {:>12} {:>8} | {:>8} {:>8} | {:>4}",
+        "", "Power", "%red", "Area", "%incr", "Slack", "%red", "#iso"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>8} | {:>12} {:>8} | {:>8} {:>8} | {:>4}",
+        "", "[mW]", "", "[um^2]", "", "[ns]", "", ""
+    );
+    for row in rows {
+        let (red, inc, sred) = if row.label == "non-isolated" {
+            ("n/a".to_string(), "n/a".to_string(), "n/a".to_string())
+        } else {
+            (
+                format!("{:.2}%", row.power_reduction_pct),
+                format!("{:.2}%", row.area_increase_pct),
+                format!("{:.2}%", row.slack_reduction_pct),
+            )
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9.3} {:>8} | {:>12.0} {:>8} | {:>8.3} {:>8} | {:>4}",
+            row.label, row.power_mw, red, row.area_um2, inc, row.slack_ns, sred, row.isolated
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_designs::design1::{build, Design1Params};
+
+    #[test]
+    fn table_has_four_rows_and_renders() {
+        let design = build(&Design1Params {
+            lanes: 2,
+            ..Default::default()
+        });
+        let config = IsolationConfig::default().with_sim_cycles(400);
+        let rows = paper_table(&design, &config).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].label, "non-isolated");
+        assert!(rows.iter().skip(1).all(|r| r.area_increase_pct >= 0.0));
+        let text = render("Table test", &rows);
+        assert!(text.contains("non-isolated"));
+        assert!(text.contains("AND-isolated"));
+        assert!(text.contains("n/a"));
+    }
+}

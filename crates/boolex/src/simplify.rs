@@ -1,0 +1,352 @@
+//! Two-level minimization of activation functions.
+//!
+//! Section 3 of the paper implements each activation function as "a direct
+//! implementation or an optimized version thereof". This module provides
+//! the optimizer: an irredundant sum-of-products cover computed from the
+//! function's BDD with the Minato–Morreale ISOP algorithm, returned only if
+//! it actually improves on the input's factored-form literal count (the
+//! paper's area proxy).
+
+use crate::bdd::{Bdd, BddRef};
+use crate::expr::{BoolExpr, Signal};
+
+/// A cube: a conjunction of literals, `(signal, phase)` with `phase = true`
+/// for the positive literal.
+type Cube = Vec<(Signal, bool)>;
+
+/// Minimizes `expr`, returning an equivalent expression whose literal count
+/// is never larger than the input's.
+///
+/// The candidate cover is the Minato–Morreale irredundant SOP of the
+/// function; if the input's (already factored) form is smaller, the input
+/// wins unchanged — factored forms can beat any two-level cover.
+///
+/// # Examples
+///
+/// ```
+/// use oiso_boolex::{minimize, BoolExpr, Signal};
+/// use oiso_netlist::NetId;
+///
+/// let x = BoolExpr::var(Signal::bit0(NetId::from_index(0)));
+/// let y = BoolExpr::var(Signal::bit0(NetId::from_index(1)));
+/// // x&y + x&!y is just x.
+/// let redundant = BoolExpr::or2(
+///     BoolExpr::and2(x.clone(), y.clone()),
+///     BoolExpr::and2(x.clone(), y.not()),
+/// );
+/// assert_eq!(minimize(&redundant), x);
+/// ```
+pub fn minimize(expr: &BoolExpr) -> BoolExpr {
+    let mut bdd = Bdd::new();
+    let f = bdd.from_expr(expr);
+    if f == BddRef::TRUE {
+        return BoolExpr::TRUE;
+    }
+    if f == BddRef::FALSE {
+        return BoolExpr::FALSE;
+    }
+    let cover = isop(&mut bdd, f, f);
+    let candidate = cover_to_expr(&cover);
+    debug_assert!(
+        {
+            let g = bdd.from_expr(&candidate);
+            g == f
+        },
+        "ISOP must be equivalent"
+    );
+    if candidate.literal_count() < expr.literal_count() {
+        candidate
+    } else {
+        expr.clone()
+    }
+}
+
+/// Minimizes `expr` under a *care set*: assignments where `care` is 0 are
+/// don't-cares, and the result may take any value there. Returns the
+/// smaller of the input and the interval-ISOP cover of
+/// `[expr·care, expr + !care]`.
+///
+/// This is how FSM-reachability don't-cares (states that can never occur)
+/// shrink activation logic: any term distinguishing unreachable control
+/// combinations is free to collapse.
+///
+/// # Examples
+///
+/// ```
+/// use oiso_boolex::{simplify::minimize_with_care, BoolExpr, Signal};
+/// use oiso_netlist::NetId;
+///
+/// let a = BoolExpr::var(Signal::bit0(NetId::from_index(0)));
+/// let b = BoolExpr::var(Signal::bit0(NetId::from_index(1)));
+/// // f = a&!b, but a and b are mutually exclusive (care = !(a&b) with
+/// // at least one arrangement reachable): knowing b never coincides with
+/// // a, the !b literal is redundant.
+/// let f = BoolExpr::and2(a.clone(), b.clone().not());
+/// let care = BoolExpr::and2(a.clone(), b).not();
+/// assert_eq!(minimize_with_care(&f, &care), a);
+/// ```
+pub fn minimize_with_care(expr: &BoolExpr, care: &BoolExpr) -> BoolExpr {
+    let mut bdd = Bdd::new();
+    let f = bdd.from_expr(expr);
+    let c = bdd.from_expr(care);
+    if c == BddRef::FALSE {
+        // Everything is a don't-care: any constant works; pick 0.
+        return BoolExpr::FALSE;
+    }
+    let lower = bdd.and(f, c);
+    let nc = bdd.not(c);
+    let upper = bdd.or(f, nc);
+    if lower == BddRef::FALSE {
+        return BoolExpr::FALSE;
+    }
+    if upper == BddRef::TRUE && lower == BddRef::TRUE {
+        return BoolExpr::TRUE;
+    }
+    let cover = isop(&mut bdd, lower, upper);
+    let candidate = cover_to_expr(&cover);
+    debug_assert!(
+        {
+            let g = bdd.from_expr(&candidate);
+            let ng = bdd.not(g);
+            let nu = bdd.not(upper);
+            bdd.and(lower, ng) == BddRef::FALSE && bdd.and(g, nu) == BddRef::FALSE
+        },
+        "interval ISOP must stay within [lower, upper]"
+    );
+    if candidate.literal_count() < expr.literal_count() {
+        candidate
+    } else {
+        expr.clone()
+    }
+}
+
+/// The Minato–Morreale interval ISOP: an irredundant cover `g` with
+/// `lower ≤ g ≤ upper`.
+fn isop(bdd: &mut Bdd, lower: BddRef, upper: BddRef) -> Vec<Cube> {
+    if lower == BddRef::FALSE {
+        return Vec::new();
+    }
+    if upper == BddRef::TRUE {
+        return vec![Vec::new()]; // the tautology cube
+    }
+    let var = bdd
+        .top_var(lower)
+        .into_iter()
+        .chain(bdd.top_var(upper))
+        .min_by_key(|s| bdd.var_order_index(*s))
+        .expect("non-terminal interval has a top variable");
+
+    let (l0, l1) = bdd.cofactor_by(lower, var);
+    let (u0, u1) = bdd.cofactor_by(upper, var);
+
+    // Cubes that must contain !x: cover the part of L0 not coverable
+    // without the literal (i.e. outside U1).
+    let nu1 = bdd.not(u1);
+    let nu0 = bdd.not(u0);
+    let l0_only = bdd.and(l0, nu1);
+    let l1_only = bdd.and(l1, nu0);
+    let c0 = isop(bdd, l0_only, u0);
+    let c1 = isop(bdd, l1_only, u1);
+
+    // What the phase-bound cubes already cover.
+    let cov0 = cover_to_bdd(bdd, &c0);
+    let cov1 = cover_to_bdd(bdd, &c1);
+    let ncov0 = bdd.not(cov0);
+    let ncov1 = bdd.not(cov1);
+    let l0_rest = bdd.and(l0, ncov0);
+    let l1_rest = bdd.and(l1, ncov1);
+    let l_rest = bdd.or(l0_rest, l1_rest);
+    let u_both = bdd.and(u0, u1);
+    let cd = isop(bdd, l_rest, u_both);
+
+    let mut result = Vec::new();
+    for mut cube in c0 {
+        cube.push((var, false));
+        result.push(cube);
+    }
+    for mut cube in c1 {
+        cube.push((var, true));
+        result.push(cube);
+    }
+    result.extend(cd);
+    result
+}
+
+fn cover_to_bdd(bdd: &mut Bdd, cover: &[Cube]) -> BddRef {
+    let mut acc = BddRef::FALSE;
+    for cube in cover {
+        let mut c = BddRef::TRUE;
+        for &(sig, phase) in cube {
+            let lit = bdd.literal(sig);
+            let lit = if phase { lit } else { bdd.not(lit) };
+            c = bdd.and(c, lit);
+        }
+        acc = bdd.or(acc, c);
+    }
+    acc
+}
+
+fn cover_to_expr(cover: &[Cube]) -> BoolExpr {
+    let terms: Vec<BoolExpr> = cover
+        .iter()
+        .map(|cube| {
+            BoolExpr::and(
+                cube.iter()
+                    .map(|&(sig, phase)| {
+                        let v = BoolExpr::var(sig);
+                        if phase {
+                            v
+                        } else {
+                            v.not()
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    BoolExpr::or(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::NetId;
+
+    fn v(i: usize) -> BoolExpr {
+        BoolExpr::var(Signal::bit0(NetId::from_index(i)))
+    }
+
+    #[test]
+    fn consensus_terms_disappear() {
+        // x&y + !x&z + y&z: the y&z consensus term is redundant.
+        let e = BoolExpr::or(vec![
+            BoolExpr::and2(v(0), v(1)),
+            BoolExpr::and2(v(0).not(), v(2)),
+            BoolExpr::and2(v(1), v(2)),
+        ]);
+        let m = minimize(&e);
+        assert!(m.literal_count() <= 4, "{m}");
+        let mut bdd = Bdd::new();
+        assert!(bdd.equivalent(&e, &m));
+    }
+
+    #[test]
+    fn complementary_cubes_merge() {
+        let e = BoolExpr::or2(
+            BoolExpr::and2(v(0), v(1)),
+            BoolExpr::and2(v(0), v(1).not()),
+        );
+        assert_eq!(minimize(&e), v(0));
+    }
+
+    #[test]
+    fn constants_and_literals_pass_through() {
+        assert_eq!(minimize(&BoolExpr::TRUE), BoolExpr::TRUE);
+        assert_eq!(minimize(&BoolExpr::FALSE), BoolExpr::FALSE);
+        assert_eq!(minimize(&v(3)), v(3));
+        assert_eq!(minimize(&v(3).not()), v(3).not());
+    }
+
+    #[test]
+    fn never_grows_the_factored_form() {
+        // (a+b)&(c+d): factored 4 literals; SOP needs 8. Input must win.
+        let e = BoolExpr::and2(BoolExpr::or2(v(0), v(1)), BoolExpr::or2(v(2), v(3)));
+        let m = minimize(&e);
+        assert_eq!(m, e);
+        assert_eq!(m.literal_count(), 4);
+    }
+
+    #[test]
+    fn paper_style_activation_functions_stay_put() {
+        // AS_a1 = !S2&G1 + !S0&S1&G0 is already irredundant.
+        let e = BoolExpr::or2(
+            BoolExpr::and2(v(2).not(), v(4)),
+            BoolExpr::and(vec![v(0).not(), v(1), v(3)]),
+        );
+        let m = minimize(&e);
+        assert_eq!(m.literal_count(), 5);
+        let mut bdd = Bdd::new();
+        assert!(bdd.equivalent(&e, &m));
+    }
+
+    #[test]
+    fn deep_redundant_nesting_collapses() {
+        // !(!( x & (y + !y) )) = x.
+        let e = BoolExpr::and2(v(0), BoolExpr::or2(v(1), v(1).not()))
+            .not()
+            .not();
+        assert_eq!(minimize(&e), v(0));
+    }
+
+    #[test]
+    fn dont_cares_shrink_covers() {
+        // f = a&!b + b&c; care = !(a&b) (a and b mutually exclusive).
+        // Under the don't-care, a&!b collapses to a.
+        let f = BoolExpr::or2(
+            BoolExpr::and2(v(0), v(1).not()),
+            BoolExpr::and2(v(1), v(2)),
+        );
+        let care = BoolExpr::and2(v(0), v(1)).not();
+        let m = minimize_with_care(&f, &care);
+        assert!(m.literal_count() < f.literal_count(), "{m}");
+        // The result must agree with f on every care assignment.
+        for bits in 0u8..8 {
+            let assign = |s: Signal| (bits >> s.net.index()) & 1 == 1;
+            if care.eval(&assign) {
+                assert_eq!(f.eval(&assign), m.eval(&assign), "bits {bits:03b}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_care_set_degenerates_to_minimize() {
+        let f = BoolExpr::or2(
+            BoolExpr::and2(v(0), v(1)),
+            BoolExpr::and2(v(0), v(1).not()),
+        );
+        assert_eq!(minimize_with_care(&f, &BoolExpr::TRUE), minimize(&f));
+    }
+
+    #[test]
+    fn empty_care_set_is_constant() {
+        let f = BoolExpr::or2(v(0), v(1));
+        assert_eq!(minimize_with_care(&f, &BoolExpr::FALSE), BoolExpr::FALSE);
+    }
+
+    #[test]
+    fn care_preserving_constants() {
+        // f constant-true on the care set but not globally.
+        let f = BoolExpr::or2(v(0), v(0).not()); // normalizes to TRUE anyway
+        assert_eq!(minimize_with_care(&f, &v(1)), BoolExpr::TRUE);
+    }
+
+    #[test]
+    fn cover_is_irredundant() {
+        // Remove any cube from the minimized cover of a shuffled function
+        // and equivalence must break.
+        let e = BoolExpr::or(vec![
+            BoolExpr::and(vec![v(0), v(1), v(2)]),
+            BoolExpr::and(vec![v(0), v(1).not()]),
+            BoolExpr::and(vec![v(0).not(), v(2).not()]),
+        ]);
+        let m = minimize(&e);
+        let mut bdd = Bdd::new();
+        assert!(bdd.equivalent(&e, &m));
+        if let BoolExpr::Or(terms) = &m {
+            for skip in 0..terms.len() {
+                let reduced = BoolExpr::or(
+                    terms
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != skip)
+                        .map(|(_, t)| t.clone())
+                        .collect(),
+                );
+                assert!(
+                    !bdd.equivalent(&e, &reduced),
+                    "cube {skip} of `{m}` is redundant"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Synthesis of activation functions into netlist gates.
+//!
+//! The isolation transform implements each activation function as *activation
+//! logic*: a tree of 1-bit AND/OR/NOT cells inserted into the design
+//! (Section 3: "this function is implemented by the activation logic which
+//! is either a direct implementation or an optimized version thereof").
+//! Structurally identical subexpressions are shared.
+
+use crate::expr::{BoolExpr, Signal};
+use oiso_netlist::{BuildError, CellKind, NetId, Netlist};
+use std::collections::HashMap;
+
+/// Synthesizes `expr` into 1-bit gates inside `netlist`, returning the net
+/// carrying the expression's value. New nets and cells are named with
+/// `prefix`.
+///
+/// Variables must refer to existing nets; a variable addressing bit `b > 0`
+/// of a multi-bit net materializes a `Slice` cell. Common subexpressions are
+/// shared within one call.
+///
+/// # Errors
+///
+/// Returns an error if net/cell insertion fails (which only happens if the
+/// netlist already contains colliding names created outside
+/// [`Netlist::fresh_net_name`]).
+///
+/// # Examples
+///
+/// ```
+/// use oiso_boolex::{synthesize_into, BoolExpr, Signal};
+/// use oiso_netlist::{CellKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("d");
+/// let s = b.input("s", 1);
+/// let g = b.input("g", 1);
+/// let o = b.wire("o", 1);
+/// b.cell("pass", CellKind::And, &[s, g], o)?;
+/// b.mark_output(o);
+/// let mut n = b.build()?;
+///
+/// let expr = BoolExpr::and2(
+///     BoolExpr::var(Signal::bit0(s)).not(),
+///     BoolExpr::var(Signal::bit0(g)),
+/// );
+/// let as_net = synthesize_into(&mut n, &expr, "act")?;
+/// n.mark_output(as_net);
+/// n.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize_into(
+    netlist: &mut Netlist,
+    expr: &BoolExpr,
+    prefix: &str,
+) -> Result<NetId, BuildError> {
+    let mut cache = HashMap::new();
+    synthesize_into_cached(netlist, expr, prefix, &mut cache)
+}
+
+/// Like [`synthesize_into`], but shares logic across calls through `cache`
+/// (a map from already-synthesized subexpressions to their nets).
+///
+/// The isolation algorithm passes one cache for the whole run, so
+/// candidates with identical (sub-)activation functions share a single
+/// implementation — common in FSM-scheduled datapaths where many modules
+/// decode the same states.
+///
+/// The cache must only be reused on the same netlist it was filled from;
+/// nets referenced by stale caches would alias unrelated logic.
+///
+/// # Errors
+///
+/// As [`synthesize_into`].
+pub fn synthesize_into_cached(
+    netlist: &mut Netlist,
+    expr: &BoolExpr,
+    prefix: &str,
+    cache: &mut HashMap<BoolExpr, NetId>,
+) -> Result<NetId, BuildError> {
+    let mut ctx = Synth {
+        netlist,
+        prefix,
+        memo: cache,
+    };
+    ctx.emit(expr)
+}
+
+struct Synth<'a> {
+    netlist: &'a mut Netlist,
+    prefix: &'a str,
+    memo: &'a mut HashMap<BoolExpr, NetId>,
+}
+
+impl Synth<'_> {
+    fn fresh_wire(&mut self) -> Result<NetId, BuildError> {
+        let name = self.netlist.fresh_net_name(self.prefix);
+        self.netlist.add_wire(name, 1)
+    }
+
+    fn fresh_cell(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        out: NetId,
+    ) -> Result<(), BuildError> {
+        let name = self.netlist.fresh_cell_name(self.prefix);
+        self.netlist.add_cell(name, kind, inputs, out)?;
+        Ok(())
+    }
+
+    fn emit(&mut self, expr: &BoolExpr) -> Result<NetId, BuildError> {
+        if let Some(&net) = self.memo.get(expr) {
+            return Ok(net);
+        }
+        let net = match expr {
+            BoolExpr::Const(b) => {
+                let w = self.fresh_wire()?;
+                self.fresh_cell(CellKind::Const { value: *b as u64 }, &[], w)?;
+                w
+            }
+            BoolExpr::Var(sig) => self.emit_var(*sig)?,
+            BoolExpr::Not(inner) => {
+                let x = self.emit(inner)?;
+                let w = self.fresh_wire()?;
+                self.fresh_cell(CellKind::Not, &[x], w)?;
+                w
+            }
+            BoolExpr::And(es) => self.emit_nary(CellKind::And, es)?,
+            BoolExpr::Or(es) => self.emit_nary(CellKind::Or, es)?,
+        };
+        self.memo.insert(expr.clone(), net);
+        Ok(net)
+    }
+
+    fn emit_var(&mut self, sig: Signal) -> Result<NetId, BuildError> {
+        let width = self.netlist.net(sig.net).width();
+        if width == 1 {
+            debug_assert_eq!(sig.bit, 0, "bit index on 1-bit net");
+            return Ok(sig.net);
+        }
+        let w = self.fresh_wire()?;
+        self.fresh_cell(
+            CellKind::Slice {
+                lo: sig.bit,
+                hi: sig.bit,
+            },
+            &[sig.net],
+            w,
+        )?;
+        Ok(w)
+    }
+
+    fn emit_nary(&mut self, kind: CellKind, es: &[BoolExpr]) -> Result<NetId, BuildError> {
+        debug_assert!(es.len() >= 2, "normalized n-ary node has >= 2 children");
+        let inputs: Vec<NetId> = es.iter().map(|e| self.emit(e)).collect::<Result<_, _>>()?;
+        let w = self.fresh_wire()?;
+        self.fresh_cell(kind, &inputs, w)?;
+        Ok(w)
+    }
+}
+
+/// Counts the gates a direct implementation of `expr` would need: one n-ary
+/// gate per `And`/`Or` node and one inverter per `Not`. Used by the cost
+/// model as the gate-count companion to the literal-count area proxy.
+pub fn gate_count(expr: &BoolExpr) -> usize {
+    match expr {
+        BoolExpr::Const(_) | BoolExpr::Var(_) => 0,
+        BoolExpr::Not(e) => 1 + gate_count(e),
+        BoolExpr::And(es) | BoolExpr::Or(es) => {
+            1 + es.iter().map(gate_count).sum::<usize>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::NetlistBuilder;
+
+    fn base() -> (Netlist, NetId, NetId, NetId) {
+        let mut b = NetlistBuilder::new("t");
+        let s0 = b.input("s0", 1);
+        let s1 = b.input("s1", 1);
+        let g = b.input("g", 4);
+        let o = b.wire("o", 1);
+        b.cell("keep", CellKind::Or, &[s0, s1], o).unwrap();
+        b.mark_output(o);
+        (b.build().unwrap(), s0, s1, g)
+    }
+
+    #[test]
+    fn synthesized_logic_matches_expression() {
+        let (mut n, s0, s1, _) = base();
+        let expr = BoolExpr::or2(
+            BoolExpr::and2(
+                BoolExpr::var(Signal::bit0(s0)).not(),
+                BoolExpr::var(Signal::bit0(s1)),
+            ),
+            BoolExpr::var(Signal::bit0(s0)),
+        );
+        let out = synthesize_into(&mut n, &expr, "act").unwrap();
+        n.mark_output(out);
+        n.validate().unwrap();
+        // The new logic: 1 NOT + 1 AND + 1 OR.
+        let added: Vec<_> = n
+            .cells()
+            .filter(|(_, c)| c.name().starts_with("act"))
+            .collect();
+        assert_eq!(added.len(), 3);
+    }
+
+    #[test]
+    fn multibit_variable_gets_a_slice() {
+        let (mut n, _, _, g) = base();
+        let expr = BoolExpr::var(Signal::new(g, 2));
+        let out = synthesize_into(&mut n, &expr, "act").unwrap();
+        n.mark_output(out);
+        n.validate().unwrap();
+        assert_eq!(n.net(out).width(), 1);
+        let slicer = n
+            .cells()
+            .find(|(_, c)| matches!(c.kind(), CellKind::Slice { lo: 2, hi: 2 }))
+            .expect("slice cell emitted");
+        assert_eq!(slicer.1.inputs()[0], g);
+    }
+
+    #[test]
+    fn one_bit_variable_reuses_net() {
+        let (mut n, s0, _, _) = base();
+        let before = n.num_cells();
+        let out =
+            synthesize_into(&mut n, &BoolExpr::var(Signal::bit0(s0)), "act").unwrap();
+        assert_eq!(out, s0);
+        assert_eq!(n.num_cells(), before);
+    }
+
+    #[test]
+    fn common_subexpressions_are_shared() {
+        let (mut n, s0, s1, _) = base();
+        let sub = BoolExpr::and2(
+            BoolExpr::var(Signal::bit0(s0)),
+            BoolExpr::var(Signal::bit0(s1)),
+        );
+        // sub appears twice, but OR-normalization dedups identical terms, so
+        // construct an expression where it genuinely appears twice:
+        // (s0&s1) + !(s0&s1)&s0  -> the AND node appears in both branches.
+        let expr = BoolExpr::or2(
+            sub.clone(),
+            BoolExpr::and2(sub.clone().not(), BoolExpr::var(Signal::bit0(s0))),
+        );
+        let out = synthesize_into(&mut n, &expr, "act").unwrap();
+        n.mark_output(out);
+        n.validate().unwrap();
+        let ands = n
+            .cells()
+            .filter(|(_, c)| c.name().starts_with("act") && c.kind() == CellKind::And)
+            .count();
+        // Exactly two AND gates: the shared (s0&s1) and the outer product.
+        assert_eq!(ands, 2);
+    }
+
+    #[test]
+    fn cross_call_cache_shares_logic() {
+        let (mut n, s0, s1, _) = base();
+        let expr = BoolExpr::and2(
+            BoolExpr::var(Signal::bit0(s0)),
+            BoolExpr::var(Signal::bit0(s1)),
+        );
+        let mut cache = HashMap::new();
+        let first =
+            synthesize_into_cached(&mut n, &expr, "act", &mut cache).unwrap();
+        let cells_after_first = n.num_cells();
+        let second =
+            synthesize_into_cached(&mut n, &expr, "act", &mut cache).unwrap();
+        assert_eq!(first, second, "identical expressions share one net");
+        assert_eq!(n.num_cells(), cells_after_first, "no new gates");
+        n.mark_output(first);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn constant_expression_emits_const_cell() {
+        let (mut n, _, _, _) = base();
+        let out = synthesize_into(&mut n, &BoolExpr::TRUE, "act").unwrap();
+        n.mark_output(out);
+        n.validate().unwrap();
+        assert_eq!(n.constant_value(out), Some(1));
+    }
+
+    #[test]
+    fn gate_count_estimates() {
+        let (_, s0, s1, _) = base();
+        let x = BoolExpr::var(Signal::bit0(s0));
+        let y = BoolExpr::var(Signal::bit0(s1));
+        assert_eq!(gate_count(&x), 0);
+        assert_eq!(gate_count(&x.clone().not()), 1);
+        let e = BoolExpr::or2(BoolExpr::and2(x.clone(), y.clone()), x.not());
+        // OR + AND + NOT = 3.
+        assert_eq!(gate_count(&e), 3);
+    }
+}

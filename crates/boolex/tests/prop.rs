@@ -1,0 +1,146 @@
+//! Property-based tests for the Boolean expression AST and the BDD engine.
+
+use oiso_boolex::simplify::minimize_with_care;
+use oiso_boolex::{minimize, Bdd, BoolExpr, Signal};
+use oiso_netlist::NetId;
+use proptest::prelude::*;
+
+const N_VARS: usize = 6;
+
+fn sig(i: usize) -> Signal {
+    Signal::bit0(NetId::from_index(i))
+}
+
+/// Strategy for random expressions over `N_VARS` variables.
+fn expr_strategy() -> impl Strategy<Value = BoolExpr> {
+    let leaf = prop_oneof![
+        (0..N_VARS).prop_map(|i| BoolExpr::var(sig(i))),
+        Just(BoolExpr::TRUE),
+        Just(BoolExpr::FALSE),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(BoolExpr::not),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(BoolExpr::and),
+            prop::collection::vec(inner, 2..4).prop_map(BoolExpr::or),
+        ]
+    })
+}
+
+fn assignment_from_bits(bits: u8) -> impl Fn(Signal) -> bool {
+    move |s: Signal| (bits >> s.net.index()) & 1 == 1
+}
+
+proptest! {
+    /// The BDD and the expression agree on every assignment.
+    #[test]
+    fn bdd_matches_expression_semantics(e in expr_strategy()) {
+        let mut bdd = Bdd::new();
+        let f = bdd.from_expr(&e);
+        for bits in 0u8..(1 << N_VARS) {
+            let assign = assignment_from_bits(bits);
+            prop_assert_eq!(e.eval(&assign), bdd.eval(f, &assign));
+        }
+    }
+
+    /// Normalization preserves semantics: rebuilding through the smart
+    /// constructors never changes the function.
+    #[test]
+    fn normalization_is_sound(e in expr_strategy()) {
+        // Clone through a rebuild that re-runs every constructor.
+        fn rebuild(e: &BoolExpr) -> BoolExpr {
+            match e {
+                BoolExpr::Const(b) => BoolExpr::Const(*b),
+                BoolExpr::Var(s) => BoolExpr::var(*s),
+                BoolExpr::Not(x) => rebuild(x).not(),
+                BoolExpr::And(xs) => BoolExpr::and(xs.iter().map(rebuild).collect()),
+                BoolExpr::Or(xs) => BoolExpr::or(xs.iter().map(rebuild).collect()),
+            }
+        }
+        let r = rebuild(&e);
+        for bits in 0u8..(1 << N_VARS) {
+            let assign = assignment_from_bits(bits);
+            prop_assert_eq!(e.eval(&assign), r.eval(&assign));
+        }
+    }
+
+    /// De Morgan duals are semantically equal (via BDD canonicity).
+    #[test]
+    fn de_morgan(a in expr_strategy(), b in expr_strategy()) {
+        let mut bdd = Bdd::new();
+        let lhs = BoolExpr::and2(a.clone(), b.clone()).not();
+        let rhs = BoolExpr::or2(a.not(), b.not());
+        prop_assert!(bdd.equivalent(&lhs, &rhs));
+    }
+
+    /// Analytic probability equals the exhaustive weighted truth-table sum.
+    #[test]
+    fn probability_matches_enumeration(e in expr_strategy(), p in 0.05f64..0.95) {
+        let mut bdd = Bdd::new();
+        let f = bdd.from_expr(&e);
+        let analytic = bdd.probability(f, &|_| p);
+        let mut exhaustive = 0.0;
+        for bits in 0u16..(1 << N_VARS) {
+            let assign = |s: Signal| (bits >> s.net.index()) & 1 == 1;
+            if e.eval(&assign) {
+                let ones = (bits & ((1 << N_VARS) - 1)).count_ones() as f64;
+                exhaustive += p.powf(ones) * (1.0 - p).powf(N_VARS as f64 - ones);
+            }
+        }
+        prop_assert!((analytic - exhaustive).abs() < 1e-9,
+            "analytic {analytic} vs exhaustive {exhaustive}");
+    }
+
+    /// Literal count never drops below the support size.
+    #[test]
+    fn literal_count_bounds_support(e in expr_strategy()) {
+        prop_assert!(e.literal_count() >= e.support().len()
+            || e.is_const(true) || e.is_const(false));
+    }
+
+    /// Minimization is sound (equivalent) and never grows the literal
+    /// count.
+    #[test]
+    fn minimize_is_sound_and_never_larger(e in expr_strategy()) {
+        let m = minimize(&e);
+        prop_assert!(m.literal_count() <= e.literal_count(),
+            "minimized `{m}` larger than `{e}`");
+        for bits in 0u8..(1 << N_VARS) {
+            let assign = assignment_from_bits(bits);
+            prop_assert_eq!(e.eval(&assign), m.eval(&assign));
+        }
+    }
+
+    /// Minimization is idempotent up to literal count.
+    #[test]
+    fn minimize_is_stable(e in expr_strategy()) {
+        let m1 = minimize(&e);
+        let m2 = minimize(&m1);
+        prop_assert_eq!(m1.literal_count(), m2.literal_count());
+    }
+
+    /// Don't-care minimization agrees with the input on every care-set
+    /// assignment and never grows.
+    #[test]
+    fn minimize_with_care_is_sound(e in expr_strategy(), c in expr_strategy()) {
+        let m = minimize_with_care(&e, &c);
+        prop_assert!(m.literal_count() <= e.literal_count());
+        for bits in 0u8..(1 << N_VARS) {
+            let assign = assignment_from_bits(bits);
+            if c.eval(&assign) {
+                prop_assert_eq!(e.eval(&assign), m.eval(&assign),
+                    "disagreement inside the care set at {:06b}", bits);
+            }
+        }
+    }
+
+    /// `net_equals` recognizes exactly its value.
+    #[test]
+    fn net_equals_is_exact(width in 1u8..8, value in 0u64..256, probe in 0u64..256) {
+        let mask = (1u64 << width) - 1;
+        let net = NetId::from_index(0);
+        let e = BoolExpr::net_equals(net, width, value & mask);
+        let assign = |s: Signal| (probe >> s.bit) & 1 == 1;
+        prop_assert_eq!(e.eval(&assign), (probe & mask) == (value & mask));
+    }
+}

@@ -1,0 +1,835 @@
+//! Activation-function derivation (Section 3 of the paper).
+//!
+//! For every cell `c` in a combinational block, the *activation function*
+//! `f_c` evaluates 1 exactly when `c`'s output is observable at a block
+//! boundary (a register input, honoring its load enable, or a primary
+//! output) in the current clock cycle. The derivation is a breadth-first
+//! traversal from the block outputs backwards, combining the per-load
+//! [`observability conditions`](crate::observability) disjunctively:
+//!
+//! `f(net) = [net is PO] + Σ_loads obs(load, port) · f(load)`
+//!
+//! with the paper's register simplification `f⁺_r = 1`: a value stored into
+//! a register is assumed observable, which removes cross-cycle look-ahead
+//! and confines the computation to combinational blocks in `O(|V|+|E|)`.
+//!
+//! # Register look-ahead (optional extension)
+//!
+//! Section 3 discusses — and then deliberately forgoes — pre-computing
+//! control-signal values "one clock cycle in advance", either "by a
+//! structural analysis of the fanin [...] or by analyzing the
+//! corresponding FSM", noting that signals depending on primary inputs
+//! "obviously cannot be predicted". [`ActivationConfig::register_lookahead`]
+//! implements the structural variant: for a register `r`, the activation of
+//! its *stored* value is the activation of `r`'s output net with every
+//! control signal replaced by its next-cycle expression — the D input of
+//! the register that produces it (or `en·D + !en·Q` for an enabled
+//! register, or the constant itself). Registers whose downstream control
+//! involves any unpredictable signal keep the conservative `f⁺_r = 1`.
+//! One level of look-ahead is applied, exactly the case the paper's `S3`
+//! example describes.
+
+use crate::observability::observability_condition;
+use oiso_boolex::BoolExpr;
+use oiso_netlist::{comb_topo_order, CellId, CellKind, NetId, Netlist, PortRole};
+use std::collections::HashMap;
+
+/// Knobs for the derivation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivationConfig {
+    /// If an activation function's literal count exceeds this bound, it is
+    /// conservatively replaced by the constant 1 (no isolation case). The
+    /// paper observes that "with increasing depth of a module's transitive
+    /// fanout, the corresponding activation function will grow more complex
+    /// [... which] may even offset the reduction in power dissipation";
+    /// bounding the literal count is the simplest guard.
+    pub max_literals: usize,
+    /// Enables the one-cycle structural register look-ahead (see module
+    /// docs). Off by default, matching the paper's published algorithm.
+    pub register_lookahead: bool,
+}
+
+impl Default for ActivationConfig {
+    fn default() -> Self {
+        ActivationConfig {
+            max_literals: 64,
+            register_lookahead: false,
+        }
+    }
+}
+
+impl ActivationConfig {
+    /// Returns the configuration with register look-ahead enabled.
+    pub fn with_lookahead(mut self) -> Self {
+        self.register_lookahead = true;
+        self
+    }
+}
+
+/// Derives the activation function of every cell in the netlist.
+///
+/// The returned map contains an entry for every *combinational* cell
+/// (registers are boundaries with `f⁺ = 1` and have no meaningful entry).
+/// The entry for an arithmetic cell is the `f_c` the isolation transform
+/// will implement as activation logic.
+///
+/// # Examples
+///
+/// The worked example of the paper's Section 3 (Figure 1/2) is validated in
+/// `tests/` at workspace level; a minimal version:
+///
+/// ```
+/// use oiso_core::{derive_activation_functions, ActivationConfig};
+/// use oiso_boolex::{BoolExpr, Signal};
+/// use oiso_netlist::{CellKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("d");
+/// let a = b.input("a", 8);
+/// let x = b.input("x", 8);
+/// let g = b.input("g", 1);
+/// let s = b.wire("s", 8);
+/// let q = b.wire("q", 8);
+/// let add = b.cell("add", CellKind::Add, &[a, x], s)?;
+/// b.cell("r", CellKind::Reg { has_enable: true }, &[s, g], q)?;
+/// b.mark_output(q);
+/// let n = b.build()?;
+///
+/// let acts = derive_activation_functions(&n, &ActivationConfig::default());
+/// // AS_add = G: the sum is only observable when the register loads it.
+/// assert_eq!(acts[&add], BoolExpr::var(Signal::bit0(g)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn derive_activation_functions(
+    netlist: &Netlist,
+    config: &ActivationConfig,
+) -> HashMap<CellId, BoolExpr> {
+    let (cells, boundary) = sweep(netlist, config, &HashMap::new());
+    if !config.register_lookahead {
+        return cells;
+    }
+    // Look-ahead pass: compute f⁺_r for every register by expressing the
+    // activation of its output net in terms of *current-cycle* values, then
+    // re-derive with those seeds.
+    let mut reg_next: HashMap<CellId, BoolExpr> = HashMap::new();
+    for rid in netlist.registers() {
+        // Soundness restriction: look-ahead covers exactly one cycle, so it
+        // only applies to registers that reload *every* cycle (stored-value
+        // lifetime of one cycle). An enabled register may hold its value
+        // for many cycles — the paper's `S3` lifetime caveat — and keeps
+        // the conservative f⁺ = 1.
+        if netlist.cell(rid).kind() != (CellKind::Reg { has_enable: false }) {
+            continue;
+        }
+        let q = netlist.cell(rid).output();
+        let f_q = boundary.get(&q).cloned().unwrap_or(BoolExpr::FALSE);
+        if let Some(f_plus) = rewind_one_cycle(netlist, &f_q) {
+            reg_next.insert(rid, clamp(f_plus, config.max_literals));
+        }
+        // Unmappable signals: keep the implicit f⁺_r = 1.
+    }
+    let (cells, _) = sweep(netlist, config, &reg_next);
+    cells
+}
+
+/// One reverse breadth-first sweep. `reg_next` supplies `f⁺_r` per register
+/// (missing entries mean the conservative constant 1). Returns the per-cell
+/// activation functions and, for every net that is *not* a combinational
+/// cell output (register outputs, primary inputs), the disjunction of the
+/// activation terms accumulated on it — the activation of that boundary
+/// net.
+fn sweep(
+    netlist: &Netlist,
+    config: &ActivationConfig,
+    reg_next: &HashMap<CellId, BoolExpr>,
+) -> (HashMap<CellId, BoolExpr>, HashMap<NetId, BoolExpr>) {
+    // Process combinational cells in reverse topological order so that each
+    // cell's output-net activation is complete before the cell pushes
+    // conditions to its inputs. Net activations accumulate from loads.
+    let order = comb_topo_order(netlist);
+
+    // Seed: activation contributed by primary outputs and sequential loads.
+    let mut acc: HashMap<NetId, Vec<BoolExpr>> = HashMap::new();
+    for (net_id, net) in netlist.nets() {
+        let mut terms = Vec::new();
+        if net.is_primary_output() {
+            terms.push(BoolExpr::TRUE);
+        }
+        for &(load, port) in net.loads() {
+            let kind = netlist.cell(load).kind();
+            if kind.is_register() {
+                // Register boundary: contribution is obs · f⁺_r, with
+                // f⁺_r = 1 unless the look-ahead pass supplied better.
+                let obs = observability_condition(netlist, load, port);
+                let f_plus = reg_next.get(&load).cloned().unwrap_or(BoolExpr::TRUE);
+                terms.push(BoolExpr::and2(obs, f_plus));
+            } else if netlist.cell(load).port_role(port) == PortRole::Control {
+                // Driving a control input: always observable.
+                terms.push(BoolExpr::TRUE);
+            }
+        }
+        if !terms.is_empty() {
+            acc.insert(net_id, terms);
+        }
+    }
+
+    // Reverse sweep: each comb cell's output activation is known once all
+    // its comb loads have contributed, which reverse topo order guarantees.
+    let mut result: HashMap<CellId, BoolExpr> = HashMap::new();
+    for &cid in order.iter().rev() {
+        let cell = netlist.cell(cid);
+        let out = cell.output();
+        let f_out = clamp(
+            BoolExpr::or(acc.remove(&out).unwrap_or_default()),
+            config.max_literals,
+        );
+        result.insert(cid, f_out.clone());
+
+        // Push to data inputs: obs(port) & f_out. (Latch data ports combine
+        // the enable condition with the latch output's activation, exactly
+        // the `en · f(out)` term — handled uniformly here since the latch's
+        // observability condition already is its enable.)
+        for (port, &inp) in cell.inputs().iter().enumerate() {
+            if matches!(cell.kind(), CellKind::Const { .. }) {
+                continue;
+            }
+            let obs = observability_condition(netlist, cid, port);
+            let term = if cell.port_role(port) == PortRole::Control {
+                BoolExpr::TRUE
+            } else {
+                BoolExpr::and2(obs, f_out.clone())
+            };
+            acc.entry(inp).or_default().push(term);
+        }
+    }
+
+    // Whatever remains in `acc` belongs to boundary nets (register outputs
+    // and primary inputs): their activation is the accumulated disjunction.
+    let boundary = acc
+        .into_iter()
+        .map(|(net, terms)| (net, BoolExpr::or(terms)))
+        .collect();
+    (result, boundary)
+}
+
+/// Rewrites an activation expression over *next-cycle* control values into
+/// one over current-cycle values, or `None` if any signal is unpredictable.
+///
+/// A signal's next-cycle value is structurally known when it is driven by:
+///
+/// * a **constant** — time-invariant;
+/// * a **plain register** — next `Q` equals the *current* value of the `D`
+///   net (whatever drives it, even primary inputs: their current value is
+///   right here, this cycle);
+/// * an **enabled register** — `en·D + !en·Q` over current nets;
+/// * **bit-expressible combinational logic** of predictable signals —
+///   gates, muxes, slices, concatenations, reductions, and equality
+///   comparators are expanded bit-by-bit through their fanin (the paper's
+///   "structural analysis of the fanin of S3"), which covers FSM state
+///   decoders.
+///
+/// Signals fed by primary inputs *through combinational logic* or by
+/// word-level arithmetic stay unpredictable — the paper's reason for the
+/// `f⁺ = 1` default — and make the whole rewind fail (`None`).
+fn rewind_one_cycle(netlist: &Netlist, expr: &BoolExpr) -> Option<BoolExpr> {
+    use oiso_boolex::Signal;
+    let mut memo: HashMap<Signal, Option<BoolExpr>> = HashMap::new();
+    let mut map: HashMap<Signal, BoolExpr> = HashMap::new();
+    for sig in expr.support() {
+        let next = next_value(netlist, sig, 0, &mut memo)?;
+        map.insert(sig, next);
+    }
+    Some(expr.substitute(&|s| map.get(&s).cloned().unwrap_or(BoolExpr::Var(s))))
+}
+
+/// Bound on recursion depth and intermediate expression size during the
+/// fanin expansion; hitting either makes the rewind bail out (conservative
+/// `f⁺ = 1`), mirroring the paper's complexity concern about activation
+/// functions "originating deep in the transitive fanout".
+const REWIND_MAX_DEPTH: usize = 24;
+const REWIND_MAX_LITERALS: usize = 96;
+
+/// The value signal `sig` will carry in the *next* clock cycle, expressed
+/// over current-cycle signals; `None` if unpredictable.
+fn next_value(
+    netlist: &Netlist,
+    sig: oiso_boolex::Signal,
+    depth: usize,
+    memo: &mut HashMap<oiso_boolex::Signal, Option<BoolExpr>>,
+) -> Option<BoolExpr> {
+    use oiso_boolex::Signal;
+    if depth > REWIND_MAX_DEPTH {
+        return None;
+    }
+    if let Some(cached) = memo.get(&sig) {
+        return cached.clone();
+    }
+    let result = (|| -> Option<BoolExpr> {
+        let driver = netlist.net(sig.net).driver()?; // PI: unpredictable
+        let cell = netlist.cell(driver);
+        let bit = sig.bit;
+        // Recursion helper over an input net's corresponding bit.
+        let expanded = match cell.kind() {
+            CellKind::Const { value } => BoolExpr::Const((value >> bit) & 1 == 1),
+            CellKind::Reg { has_enable: false } => {
+                // Next Q = current D: a plain current-cycle signal.
+                BoolExpr::var(Signal::new(cell.inputs()[0], bit))
+            }
+            CellKind::Reg { has_enable: true } => {
+                let en = BoolExpr::var(Signal::bit0(cell.inputs()[1]));
+                let d = BoolExpr::var(Signal::new(cell.inputs()[0], bit));
+                let q = BoolExpr::var(sig);
+                BoolExpr::or2(BoolExpr::and2(en.clone(), d), BoolExpr::and2(en.not(), q))
+            }
+            CellKind::Buf => next_value(netlist, Signal::new(cell.inputs()[0], bit), depth + 1, memo)?,
+            CellKind::Not => next_value(netlist, Signal::new(cell.inputs()[0], bit), depth + 1, memo)?.not(),
+            CellKind::And | CellKind::Or | CellKind::Xor => {
+                let bits: Option<Vec<BoolExpr>> = cell
+                    .inputs()
+                    .iter()
+                    .map(|&n| next_value(netlist, Signal::new(n, bit), depth + 1, memo))
+                    .collect();
+                let bits = bits?;
+                match cell.kind() {
+                    CellKind::And => BoolExpr::and(bits),
+                    CellKind::Or => BoolExpr::or(bits),
+                    _ => bits
+                        .into_iter()
+                        .reduce(|a, b| {
+                            // a XOR b = a·!b + !a·b
+                            BoolExpr::or2(
+                                BoolExpr::and2(a.clone(), b.clone().not()),
+                                BoolExpr::and2(a.not(), b),
+                            )
+                        })
+                        .expect("gates have at least two inputs"),
+                }
+            }
+            CellKind::Eq => {
+                // Output bit 0 = AND over operand bits of XNOR.
+                let w = netlist.net(cell.inputs()[0]).width();
+                let mut factors = Vec::with_capacity(w as usize);
+                for b in 0..w {
+                    let a = next_value(netlist, Signal::new(cell.inputs()[0], b), depth + 1, memo)?;
+                    let c = next_value(netlist, Signal::new(cell.inputs()[1], b), depth + 1, memo)?;
+                    // XNOR = a·b + !a·!b.
+                    factors.push(BoolExpr::or2(
+                        BoolExpr::and2(a.clone(), c.clone()),
+                        BoolExpr::and2(a.not(), c.not()),
+                    ));
+                }
+                BoolExpr::and(factors)
+            }
+            CellKind::RedOr | CellKind::RedAnd => {
+                let w = netlist.net(cell.inputs()[0]).width();
+                let bits: Option<Vec<BoolExpr>> = (0..w)
+                    .map(|b| next_value(netlist, Signal::new(cell.inputs()[0], b), depth + 1, memo))
+                    .collect();
+                let bits = bits?;
+                if cell.kind() == CellKind::RedOr {
+                    BoolExpr::or(bits)
+                } else {
+                    BoolExpr::and(bits)
+                }
+            }
+            CellKind::Slice { lo, .. } => {
+                next_value(netlist, Signal::new(cell.inputs()[0], lo + bit), depth + 1, memo)?
+            }
+            CellKind::Zext => {
+                let iw = netlist.net(cell.inputs()[0]).width();
+                if bit < iw {
+                    next_value(netlist, Signal::new(cell.inputs()[0], bit), depth + 1, memo)?
+                } else {
+                    BoolExpr::FALSE
+                }
+            }
+            CellKind::Concat => {
+                // Inputs are msb-first; find which input holds this bit.
+                let mut offset = netlist.net(cell.output()).width();
+                let mut found = None;
+                for &inp in cell.inputs() {
+                    let w = netlist.net(inp).width();
+                    offset -= w;
+                    if bit >= offset {
+                        found = Some(Signal::new(inp, bit - offset));
+                        break;
+                    }
+                }
+                next_value(netlist, found.expect("bit within concat"), depth + 1, memo)?
+            }
+            CellKind::Mux => {
+                // out[bit] = OR_k sel-selects-k AND d_k[bit].
+                let sel_cond = |netlist: &Netlist, k: usize| {
+                    crate::observability::observability_condition(
+                        netlist,
+                        driver,
+                        k + 1,
+                    )
+                };
+                let n_data = cell.inputs().len() - 1;
+                let mut terms = Vec::with_capacity(n_data);
+                for k in 0..n_data {
+                    let cond_now = sel_cond(netlist, k);
+                    let cond_next = rewind_inner(netlist, &cond_now, depth + 1, memo)?;
+                    let data =
+                        next_value(netlist, Signal::new(cell.inputs()[k + 1], bit), depth + 1, memo)?;
+                    terms.push(BoolExpr::and2(cond_next, data));
+                }
+                BoolExpr::or(terms)
+            }
+            // Word-level arithmetic and latches: no cheap bit expression.
+            _ => return None,
+        };
+        if expanded.literal_count() > REWIND_MAX_LITERALS {
+            return None;
+        }
+        Some(expanded)
+    })();
+    memo.insert(sig, result.clone());
+    result
+}
+
+/// Rewinds a sub-expression during mux expansion (shares the memo).
+fn rewind_inner(
+    netlist: &Netlist,
+    expr: &BoolExpr,
+    depth: usize,
+    memo: &mut HashMap<oiso_boolex::Signal, Option<BoolExpr>>,
+) -> Option<BoolExpr> {
+    let mut map: HashMap<oiso_boolex::Signal, BoolExpr> = HashMap::new();
+    for sig in expr.support() {
+        map.insert(sig, next_value(netlist, sig, depth, memo)?);
+    }
+    Some(expr.substitute(&|s| map.get(&s).cloned().unwrap_or(BoolExpr::Var(s))))
+}
+
+fn clamp(expr: BoolExpr, max_literals: usize) -> BoolExpr {
+    if expr.literal_count() > max_literals {
+        BoolExpr::TRUE
+    } else {
+        expr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_boolex::{Bdd, Signal};
+    use oiso_netlist::NetlistBuilder;
+
+    /// The paper's Figure 1: two adders, three muxes, two registers.
+    ///
+    /// a0 = A+B feeds m0 (sel S0) and m1 (sel S1); m1 feeds a1's A input;
+    /// a1 = m1+C' feeds m2 (sel S2); m0 -> r0 (en G0), m2 -> r1 (en G1).
+    /// Expected (Section 3): AS_a0 = G0 + !S0·S1·AS_a1 restricted... the
+    /// paper's simplified signals are
+    ///   AS_a0 = S̄0·G0 + ...  — see the workspace-level test for the exact
+    /// published equations; here we check structural sanity on a reduced
+    /// version.
+    fn figure1_like() -> (Netlist, CellId, CellId) {
+        let mut b = NetlistBuilder::new("fig1");
+        let a = b.input("A", 8);
+        let bb = b.input("B", 8);
+        let c = b.input("C", 8);
+        let d = b.input("D", 8);
+        let s0 = b.input("S0", 1);
+        let s1 = b.input("S1", 1);
+        let s2 = b.input("S2", 1);
+        let g0 = b.input("G0", 1);
+        let g1 = b.input("G1", 1);
+        let sum0 = b.wire("sum0", 8);
+        let m0 = b.wire("m0", 8);
+        let m1 = b.wire("m1", 8);
+        let sum1 = b.wire("sum1", 8);
+        let m2 = b.wire("m2", 8);
+        let q0 = b.wire("q0", 8);
+        let q1 = b.wire("q1", 8);
+        let a0 = b.cell("a0", CellKind::Add, &[a, bb], sum0).unwrap();
+        // m0: sel S0 chooses between sum0 (0) and C (1) -> r0.
+        b.cell("m0", CellKind::Mux, &[s0, sum0, c], m0).unwrap();
+        // m1: sel S1 chooses between D (0) and sum0 (1) -> a1.
+        b.cell("m1", CellKind::Mux, &[s1, d, sum0], m1).unwrap();
+        let a1 = b.cell("a1", CellKind::Add, &[m1, c], sum1).unwrap();
+        // m2: sel S2 chooses between sum1 (0) and D (1) -> r1.
+        b.cell("m2", CellKind::Mux, &[s2, sum1, d], m2).unwrap();
+        b.cell("r0", CellKind::Reg { has_enable: true }, &[m0, g0], q0)
+            .unwrap();
+        b.cell("r1", CellKind::Reg { has_enable: true }, &[m2, g1], q1)
+            .unwrap();
+        b.mark_output(q0);
+        b.mark_output(q1);
+        (b.build().unwrap(), a0, a1)
+    }
+
+    fn sig(n: &Netlist, name: &str) -> BoolExpr {
+        BoolExpr::var(Signal::bit0(n.find_net(name).unwrap()))
+    }
+
+    #[test]
+    fn figure1_activation_functions_match_paper_structure() {
+        let (n, a0, a1) = figure1_like();
+        let acts = derive_activation_functions(&n, &ActivationConfig::default());
+        // AS_a1 = !S2 & G1 (a1 observable iff m2 routes it and r1 loads).
+        let expected_a1 = BoolExpr::and2(sig(&n, "S2").not(), sig(&n, "G1"));
+        let mut bdd = Bdd::new();
+        assert!(
+            bdd.equivalent(&acts[&a1], &expected_a1),
+            "AS_a1 = {}",
+            acts[&a1]
+        );
+        // AS_a0 = !S0·G0 + S1·AS_a1 = !S0·G0 + S1·!S2·G1.
+        let expected_a0 = BoolExpr::or2(
+            BoolExpr::and2(sig(&n, "S0").not(), sig(&n, "G0")),
+            BoolExpr::and(vec![sig(&n, "S1"), sig(&n, "S2").not(), sig(&n, "G1")]),
+        );
+        assert!(
+            bdd.equivalent(&acts[&a0], &expected_a0),
+            "AS_a0 = {}",
+            acts[&a0]
+        );
+    }
+
+    #[test]
+    fn primary_output_forces_constant_activation() {
+        let mut b = NetlistBuilder::new("po");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.wire("s", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.mark_output(s);
+        let n = b.build().unwrap();
+        let acts = derive_activation_functions(&n, &ActivationConfig::default());
+        assert!(acts[&add].is_const(true));
+    }
+
+    #[test]
+    fn plain_register_load_forces_constant_activation() {
+        let mut b = NetlistBuilder::new("pr");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.wire("s", 8);
+        let q = b.wire("q", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[s], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let acts = derive_activation_functions(&n, &ActivationConfig::default());
+        assert!(acts[&add].is_const(true), "f+ = 1 for registers");
+    }
+
+    #[test]
+    fn dead_cell_has_false_activation() {
+        // An adder whose output goes nowhere is never observable.
+        let mut b = NetlistBuilder::new("dead");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.wire("s", 8);
+        let o = b.wire("o", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("bufc", CellKind::Buf, &[x], o).unwrap();
+        b.mark_output(o);
+        // `s` dangles: no loads, not a PO.
+        let n = b.build().unwrap();
+        let acts = derive_activation_functions(&n, &ActivationConfig::default());
+        assert!(acts[&add].is_const(false));
+    }
+
+    #[test]
+    fn multi_fanout_ors_conditions() {
+        // Adder feeds two enabled registers: AS = G0 + G1.
+        let mut b = NetlistBuilder::new("mf");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let g0 = b.input("G0", 1);
+        let g1 = b.input("G1", 1);
+        let s = b.wire("s", 8);
+        let q0 = b.wire("q0", 8);
+        let q1 = b.wire("q1", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("r0", CellKind::Reg { has_enable: true }, &[s, g0], q0)
+            .unwrap();
+        b.cell("r1", CellKind::Reg { has_enable: true }, &[s, g1], q1)
+            .unwrap();
+        b.mark_output(q0);
+        b.mark_output(q1);
+        let n = b.build().unwrap();
+        let acts = derive_activation_functions(&n, &ActivationConfig::default());
+        let expected = BoolExpr::or2(sig(&n, "G0"), sig(&n, "G1"));
+        let mut bdd = Bdd::new();
+        assert!(bdd.equivalent(&acts[&add], &expected), "{}", acts[&add]);
+    }
+
+    #[test]
+    fn literal_clamp_degrades_to_constant_true() {
+        let (n, a0, _) = figure1_like();
+        let acts = derive_activation_functions(
+            &n,
+            &ActivationConfig {
+                max_literals: 1,
+                ..ActivationConfig::default()
+            },
+        );
+        assert!(acts[&a0].is_const(true), "clamped to conservative 1");
+    }
+
+    #[test]
+    fn latch_in_path_contributes_enable() {
+        // add -> latch(en) -> PO: AS_add = en & f(latch out) = en.
+        let mut b = NetlistBuilder::new("lp");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let en = b.input("en", 1);
+        let s = b.wire("s", 8);
+        let q = b.wire("q", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("l", CellKind::Latch, &[s, en], q).unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let acts = derive_activation_functions(&n, &ActivationConfig::default());
+        assert_eq!(acts[&add], sig(&n, "en"));
+    }
+
+    /// Two-stage pipeline with register-driven controls:
+    /// add -> r (plain) -> mux(sel = registered S) -> r2 (en = registered G).
+    fn pipelined(control_from_pi: bool) -> (Netlist, CellId) {
+        let mut b = NetlistBuilder::new("pipe");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let alt = b.input("alt", 8);
+        let s_in = b.input("s_in", 1);
+        let g_in = b.input("g_in", 1);
+        let s_ctl = if control_from_pi {
+            s_in
+        } else {
+            let s = b.wire("s_reg", 1);
+            b.cell("rs", CellKind::Reg { has_enable: false }, &[s_in], s)
+                .unwrap();
+            s
+        };
+        let g_ctl = if control_from_pi {
+            g_in
+        } else {
+            let g = b.wire("g_reg", 1);
+            b.cell("rg", CellKind::Reg { has_enable: false }, &[g_in], g)
+                .unwrap();
+            g
+        };
+        let sum = b.wire("sum", 8);
+        let q = b.wire("q", 8);
+        let m = b.wire("m", 8);
+        let q2 = b.wire("q2", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], sum).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[sum], q)
+            .unwrap();
+        b.cell("mx", CellKind::Mux, &[s_ctl, q, alt], m).unwrap();
+        b.cell("r2", CellKind::Reg { has_enable: true }, &[m, g_ctl], q2)
+            .unwrap();
+        b.mark_output(q2);
+        if control_from_pi {
+            // keep the unused registered-control inputs out of the netlist
+        }
+        (b.build().unwrap(), add)
+    }
+
+    #[test]
+    fn lookahead_extends_across_plain_registers() {
+        let (n, add) = pipelined(false);
+        // Without look-ahead: add feeds a plain register -> f+ = 1.
+        let plain = derive_activation_functions(&n, &ActivationConfig::default());
+        assert!(plain[&add].is_const(true));
+        // With look-ahead: the value stored in r is observable next cycle
+        // iff the mux routes it and r2 loads — whose controls next cycle
+        // equal the current D inputs of their source registers, i.e. the
+        // primary inputs s_in / g_in.
+        let look = derive_activation_functions(
+            &n,
+            &ActivationConfig::default().with_lookahead(),
+        );
+        let expected = BoolExpr::and2(sig(&n, "s_in").not(), sig(&n, "g_in"));
+        let mut bdd = Bdd::new();
+        assert!(
+            bdd.equivalent(&look[&add], &expected),
+            "lookahead AS_add = {}, expected !s_in & g_in",
+            look[&add]
+        );
+    }
+
+    #[test]
+    fn lookahead_bails_on_unpredictable_controls() {
+        // Controls straight from primary inputs: next-cycle values unknown,
+        // so look-ahead must conservatively keep f+ = 1.
+        let (n, add) = pipelined(true);
+        let look = derive_activation_functions(
+            &n,
+            &ActivationConfig::default().with_lookahead(),
+        );
+        assert!(look[&add].is_const(true), "{}", look[&add]);
+    }
+
+    #[test]
+    fn lookahead_handles_enabled_control_registers() {
+        // Control select held in an *enabled* register: next S = e·d + !e·S.
+        let mut b = NetlistBuilder::new("en_ctl");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let alt = b.input("alt", 8);
+        let d = b.input("d", 1);
+        let e = b.input("e", 1);
+        let s = b.wire("s", 1);
+        b.cell("rs", CellKind::Reg { has_enable: true }, &[d, e], s)
+            .unwrap();
+        let sum = b.wire("sum", 8);
+        let q = b.wire("q", 8);
+        let m = b.wire("m", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], sum).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[sum], q)
+            .unwrap();
+        b.cell("mx", CellKind::Mux, &[s, q, alt], m).unwrap();
+        b.mark_output(m);
+        let n = b.build().unwrap();
+        let look = derive_activation_functions(
+            &n,
+            &ActivationConfig::default().with_lookahead(),
+        );
+        // AS_add = !(next S) = !(e·d + !e·s).
+        let e_v = sig(&n, "e");
+        let d_v = sig(&n, "d");
+        let s_v = sig(&n, "s");
+        let next_s = BoolExpr::or2(
+            BoolExpr::and2(e_v.clone(), d_v),
+            BoolExpr::and2(e_v.not(), s_v),
+        );
+        let mut bdd = Bdd::new();
+        assert!(
+            bdd.equivalent(&look[&add], &next_s.not()),
+            "AS_add = {}",
+            look[&add]
+        );
+    }
+
+    #[test]
+    fn lookahead_rewinds_through_state_decode_logic() {
+        // FSM-style: a 2-bit counter state feeds an Eq decoder whose output
+        // enables the consuming register one stage downstream — the paper's
+        // exact `S3` scenario with the "structural analysis of the fanin"
+        // carried through the decode gate.
+        let mut b = NetlistBuilder::new("fsm");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        // state' = state + 1 (2-bit counter).
+        let state = b.wire("state", 2);
+        let one = b.constant("one", 2, 1).unwrap();
+        let state_inc = b.wire("state_inc", 2);
+        b.cell("inc", CellKind::Add, &[state, one], state_inc).unwrap();
+        b.cell("rs", CellKind::Reg { has_enable: false }, &[state_inc], state)
+            .unwrap();
+        // Decode: en = (state == 2).
+        let two = b.constant("two", 2, 2).unwrap();
+        let en = b.wire("en", 1);
+        b.cell("dec", CellKind::Eq, &[state, two], en).unwrap();
+        // Datapath: mul -> plain pipeline register -> enabled sink.
+        let prod = b.wire("prod", 8);
+        let q = b.wire("q", 8);
+        let q2 = b.wire("q2", 8);
+        let mul = b.cell("mul", CellKind::Mul, &[x, y], prod).unwrap();
+        b.cell("rp", CellKind::Reg { has_enable: false }, &[prod], q)
+            .unwrap();
+        b.cell("r2", CellKind::Reg { has_enable: true }, &[q, en], q2)
+            .unwrap();
+        b.mark_output(q2);
+        let n = b.build().unwrap();
+
+        let base = derive_activation_functions(&n, &ActivationConfig::default());
+        assert!(base[&mul].is_const(true), "baseline finds nothing");
+
+        let look = derive_activation_functions(
+            &n,
+            &ActivationConfig::default().with_lookahead(),
+        );
+        // AS_mul = (next state == 2) = (state_inc == 2): the rewind walks
+        // Eq(state, 2) -> state -> plain register -> current D = state_inc.
+        let state_inc_net = n.find_net("state_inc").unwrap();
+        let expected = BoolExpr::and2(
+            BoolExpr::var(Signal::new(state_inc_net, 0)).not(),
+            BoolExpr::var(Signal::new(state_inc_net, 1)),
+        );
+        let mut bdd = Bdd::new();
+        assert!(
+            bdd.equivalent(&look[&mul], &expected),
+            "AS_mul = {}, expected (state_inc == 2)",
+            look[&mul]
+        );
+    }
+
+    #[test]
+    fn lookahead_rewinds_through_muxed_controls() {
+        // Control select passes through a mux of two registered sources.
+        let mut b = NetlistBuilder::new("mx_ctl");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let alt = b.input("alt", 8);
+        let pick = b.input("pick", 1);
+        let c0 = b.input("c0", 1);
+        let c1 = b.input("c1", 1);
+        let q0 = b.wire("q0", 1);
+        let q1 = b.wire("q1", 1);
+        let pickq = b.wire("pickq", 1);
+        b.cell("r0", CellKind::Reg { has_enable: false }, &[c0], q0).unwrap();
+        b.cell("r1", CellKind::Reg { has_enable: false }, &[c1], q1).unwrap();
+        b.cell("rpick", CellKind::Reg { has_enable: false }, &[pick], pickq)
+            .unwrap();
+        let sel = b.wire("sel", 1);
+        b.cell("selmux", CellKind::Mux, &[pickq, q0, q1], sel).unwrap();
+        let prod = b.wire("prod", 8);
+        let q = b.wire("q", 8);
+        let m = b.wire("m", 8);
+        let mul = b.cell("mul", CellKind::Mul, &[x, y], prod).unwrap();
+        b.cell("rp", CellKind::Reg { has_enable: false }, &[prod], q).unwrap();
+        b.cell("outmux", CellKind::Mux, &[sel, q, alt], m).unwrap();
+        b.mark_output(m);
+        let n = b.build().unwrap();
+        let look = derive_activation_functions(
+            &n,
+            &ActivationConfig::default().with_lookahead(),
+        );
+        // AS_mul = !(next sel) where next sel = !pick·c0 + pick·c1 (all
+        // current-cycle primary inputs via the plain registers' D pins).
+        let pick_v = sig(&n, "pick");
+        let c0_v = sig(&n, "c0");
+        let c1_v = sig(&n, "c1");
+        let next_sel = BoolExpr::or2(
+            BoolExpr::and2(pick_v.clone().not(), c0_v),
+            BoolExpr::and2(pick_v, c1_v),
+        );
+        let mut bdd = Bdd::new();
+        assert!(
+            bdd.equivalent(&look[&mul], &next_sel.not()),
+            "AS_mul = {}",
+            look[&mul]
+        );
+    }
+
+    #[test]
+    fn control_producers_are_always_active() {
+        // A comparator driving a mux select can never be isolated.
+        let mut b = NetlistBuilder::new("cp");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let d0 = b.input("d0", 8);
+        let d1 = b.input("d1", 8);
+        let g = b.input("g", 1);
+        let c = b.wire("c", 1);
+        let m = b.wire("m", 8);
+        let q = b.wire("q", 8);
+        let lt = b.cell("lt", CellKind::Lt, &[x, y], c).unwrap();
+        b.cell("mx", CellKind::Mux, &[c, d0, d1], m).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[m, g], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let acts = derive_activation_functions(&n, &ActivationConfig::default());
+        assert!(acts[&lt].is_const(true));
+    }
+}

@@ -1,0 +1,485 @@
+//! Algorithm 1: iterative operand isolation on an RT structure.
+//!
+//! Per iteration the optimizer re-simulates the (partially isolated)
+//! circuit, estimates the cost function `h` of every remaining candidate,
+//! and isolates the best candidate of each combinational block whose
+//! `h ≥ h_min`; it terminates when an iteration isolates nothing. This is
+//! the paper's Algorithm 1 verbatim, with the slack pre-filter of lines
+//! 3–11 applied at candidate identification.
+
+use crate::activation::ActivationConfig;
+use crate::candidates::{identify_candidates, Candidate, CandidateFilter};
+use crate::cost::{CostModel, CostWeights};
+use crate::report::{IsolationOutcome, IterationLog};
+use crate::savings::{EstimatorKind, SavingsEstimate, SavingsEstimator};
+use crate::transform::{isolate_with_cache, IsolationStyle};
+use oiso_boolex::BoolExpr;
+use oiso_netlist::{BuildError, CellId, Netlist};
+use oiso_power::{total_area, PowerEstimator};
+use oiso_sim::{SimError, StimulusPlan, Testbench};
+use oiso_techlib::{OperatingConditions, TechLibrary, Time};
+use oiso_timing::analyze;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the isolation optimizer.
+#[derive(Debug)]
+pub enum IsolationError {
+    /// Simulation failed (undriven inputs, invalid stimuli, ...).
+    Sim(SimError),
+    /// A netlist transformation failed.
+    Build(BuildError),
+}
+
+impl fmt::Display for IsolationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsolationError::Sim(e) => write!(f, "simulation failed: {e}"),
+            IsolationError::Build(e) => write!(f, "netlist transformation failed: {e}"),
+        }
+    }
+}
+
+impl Error for IsolationError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IsolationError::Sim(e) => Some(e),
+            IsolationError::Build(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for IsolationError {
+    fn from(e: SimError) -> Self {
+        IsolationError::Sim(e)
+    }
+}
+
+impl From<BuildError> for IsolationError {
+    fn from(e: BuildError) -> Self {
+        IsolationError::Build(e)
+    }
+}
+
+/// Configuration of the isolation optimizer.
+#[derive(Debug, Clone)]
+pub struct IsolationConfig {
+    /// The isolation implementation style (Section 5.2).
+    pub style: IsolationStyle,
+    /// Savings-estimator variant (Section 4).
+    pub estimator: EstimatorKind,
+    /// Eq. 6 weights.
+    pub weights: CostWeights,
+    /// Minimum cost value for a candidate to be isolated.
+    pub h_min: f64,
+    /// Candidates whose estimated post-isolation slack drops below this are
+    /// rejected. `None` disables the slack filter (EXP-ABL ablation).
+    pub slack_threshold: Option<Time>,
+    /// Minimum operand width for candidacy.
+    pub min_width: u8,
+    /// Activation-function derivation knobs.
+    pub activation: ActivationConfig,
+    /// Whether secondary savings participate in the cost function
+    /// (EXP-ABL ablation switch).
+    pub secondary_savings: bool,
+    /// Minimize activation functions (BDD-based irredundant SOP) before
+    /// costing and synthesis — the paper's "optimized version" of the
+    /// activation logic. On by default.
+    pub optimize_activation_logic: bool,
+    /// Shrink activation functions with FSM-reachability don't-cares (the
+    /// "analyzing the corresponding FSM" extension of Section 3). Off by
+    /// default, matching the published algorithm.
+    pub fsm_dont_cares: bool,
+    /// Simulation length per iteration.
+    pub sim_cycles: u64,
+    /// Technology library.
+    pub library: TechLibrary,
+    /// Supply/clock operating point.
+    pub conditions: OperatingConditions,
+    /// Safety bound on main-loop iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for IsolationConfig {
+    fn default() -> Self {
+        IsolationConfig {
+            style: IsolationStyle::And,
+            estimator: EstimatorKind::Pairwise,
+            weights: CostWeights::default(),
+            h_min: 0.0,
+            slack_threshold: Some(Time::ZERO),
+            min_width: 4,
+            activation: ActivationConfig::default(),
+            secondary_savings: true,
+            optimize_activation_logic: true,
+            fsm_dont_cares: false,
+            sim_cycles: 2000,
+            library: TechLibrary::generic_250nm(),
+            conditions: OperatingConditions::default(),
+            max_iterations: 16,
+        }
+    }
+}
+
+impl IsolationConfig {
+    /// Sets the isolation style.
+    pub fn with_style(mut self, style: IsolationStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Sets the estimator variant.
+    pub fn with_estimator(mut self, estimator: EstimatorKind) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Sets the cost weights.
+    pub fn with_weights(mut self, weights: CostWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets `h_min`.
+    pub fn with_h_min(mut self, h_min: f64) -> Self {
+        self.h_min = h_min;
+        self
+    }
+
+    /// Sets the per-iteration simulation length.
+    pub fn with_sim_cycles(mut self, cycles: u64) -> Self {
+        self.sim_cycles = cycles;
+        self
+    }
+
+    /// Enables or disables the secondary-savings term.
+    pub fn with_secondary_savings(mut self, on: bool) -> Self {
+        self.secondary_savings = on;
+        self
+    }
+
+    /// Enables or disables activation-logic minimization.
+    pub fn with_activation_optimization(mut self, on: bool) -> Self {
+        self.optimize_activation_logic = on;
+        self
+    }
+
+    /// Enables or disables FSM-reachability don't-care refinement.
+    pub fn with_fsm_dont_cares(mut self, on: bool) -> Self {
+        self.fsm_dont_cares = on;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the slack threshold.
+    pub fn with_slack_threshold(mut self, threshold: Option<Time>) -> Self {
+        self.slack_threshold = threshold;
+        self
+    }
+}
+
+/// Runs Algorithm 1 on a copy of `netlist` under the stimulus `plan`.
+///
+/// The input netlist is not modified; the transformed circuit is returned
+/// in the outcome together with measured before/after power, area, and
+/// slack.
+///
+/// # Errors
+///
+/// Returns an error if simulation or a transformation fails — typically an
+/// input missing from the stimulus plan.
+pub fn optimize(
+    netlist: &Netlist,
+    plan: &StimulusPlan,
+    config: &IsolationConfig,
+) -> Result<IsolationOutcome, IsolationError> {
+    let lib = &config.library;
+    let cond = config.conditions;
+    let clock_period = cond.clock_period();
+    let pe = PowerEstimator::new(lib, cond);
+    let mut work = netlist.clone();
+
+    // Baseline measurement.
+    let report0 = Testbench::from_plan(&work, plan)?.run(config.sim_cycles)?;
+    let power_before = pe.estimate(&work, &report0).total;
+    let area_before = total_area(lib, &work);
+    let slack_before = analyze(lib, &work, clock_period).worst_slack;
+
+    let mut isolated_records = Vec::new();
+    let mut isolated_acts: HashMap<CellId, BoolExpr> = HashMap::new();
+    let mut iterations = Vec::new();
+    // Activation logic shared across all isolations of this run.
+    let mut synth_cache: HashMap<BoolExpr, oiso_netlist::NetId> = HashMap::new();
+
+    for iter_no in 1..=config.max_iterations {
+        let timing = analyze(lib, &work, clock_period);
+        let filter = CandidateFilter {
+            min_width: config.min_width,
+            slack_threshold: config
+                .slack_threshold
+                .unwrap_or(Time::from_ns(f64::NEG_INFINITY)),
+            bank: config.style.bank_kind(),
+        };
+        let mut candidates: Vec<Candidate> =
+            identify_candidates(&work, lib, &timing, &config.activation, &filter)
+                .into_iter()
+                .filter(|c| !isolated_acts.contains_key(&c.cell))
+                .collect();
+        if config.fsm_dont_cares {
+            let fsms = crate::fsm::find_closed_fsms(&work);
+            for cand in &mut candidates {
+                cand.activation =
+                    crate::fsm::refine_with_fsm_dont_cares(&work, &fsms, &cand.activation);
+            }
+        }
+        if config.optimize_activation_logic {
+            for cand in &mut candidates {
+                cand.activation = oiso_boolex::minimize(&cand.activation);
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+
+        // Measure probabilities and toggle rates with the estimator's
+        // monitors attached (Algorithm 1 line 16: estimate_power +
+        // signal statistics).
+        let estimator =
+            SavingsEstimator::new(&work, config.estimator, &candidates, &isolated_acts);
+        let mut tb = Testbench::from_plan(&work, plan)?;
+        estimator.register_monitors(&mut tb);
+        let report = tb.run(config.sim_cycles)?;
+        let breakdown = pe.estimate(&work, &report);
+        let area_now = total_area(lib, &work);
+        let cost_model =
+            CostModel::new(lib, cond, config.weights).with_h_min(config.h_min);
+
+        // Score every candidate, grouped by combinational block.
+        let mut by_block: HashMap<usize, Vec<(&Candidate, f64, SavingsEstimate)>> =
+            HashMap::new();
+        for cand in &candidates {
+            let mut savings = estimator.estimate(&work, &pe, &report, cand.cell);
+            if !config.secondary_savings {
+                savings.secondary = oiso_techlib::Power::ZERO;
+            }
+            let as_rate = estimator.activation_toggle_rate(&report, cand.cell);
+            let cost = cost_model.isolation_cost(
+                &work,
+                &report,
+                &pe,
+                cand.cell,
+                &cand.activation,
+                config.style,
+                as_rate,
+            );
+            let h = cost_model.h(&savings, &cost, breakdown.total, area_now);
+            by_block
+                .entry(cand.block)
+                .or_default()
+                .push((cand, h, savings));
+        }
+
+        // Isolate the best candidate per block (lines 17-29).
+        let mut log = IterationLog {
+            iteration: iter_no,
+            total_power: breakdown.total,
+            isolated: Vec::new(),
+            rejected: 0,
+        };
+        let mut winners: Vec<(CellId, BoolExpr, f64, f64)> = Vec::new();
+        let mut blocks: Vec<_> = by_block.into_iter().collect();
+        blocks.sort_by_key(|(block, _)| *block);
+        for (_, mut scored) in blocks {
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let (best, h, savings) = &scored[0];
+            if *h >= config.h_min {
+                winners.push((
+                    best.cell,
+                    best.activation.clone(),
+                    *h,
+                    savings.total().as_mw(),
+                ));
+                log.rejected += scored.len() - 1;
+            } else {
+                log.rejected += scored.len();
+            }
+        }
+        if winners.is_empty() {
+            iterations.push(log);
+            break;
+        }
+        for (cell, activation, h, saved) in winners {
+            let record =
+                isolate_with_cache(&mut work, cell, &activation, config.style, &mut synth_cache)?;
+            isolated_records.push(record);
+            isolated_acts.insert(cell, activation);
+            log.isolated.push((cell, h, saved));
+        }
+        iterations.push(log);
+    }
+
+    // Final measurement on the transformed circuit.
+    let report_final = Testbench::from_plan(&work, plan)?.run(config.sim_cycles)?;
+    let power_after = pe.estimate(&work, &report_final).total;
+    let area_after = total_area(lib, &work);
+    let slack_after = analyze(lib, &work, clock_period).worst_slack;
+
+    Ok(IsolationOutcome {
+        netlist: work,
+        style: config.style,
+        isolated: isolated_records,
+        iterations,
+        power_before,
+        power_after,
+        area_before,
+        area_after,
+        slack_before,
+        slack_after,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::{CellKind, NetlistBuilder};
+    use oiso_sim::StimulusSpec;
+
+    /// A mostly-idle gated multiplier: the canonical isolation win.
+    fn idle_mac() -> (Netlist, StimulusPlan) {
+        let mut b = NetlistBuilder::new("mac");
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let g = b.input("g", 1);
+        let p = b.wire("p", 16);
+        let q = b.wire("q", 16);
+        b.cell("mul", CellKind::Mul, &[x, y], p).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[p, g], q)
+            .unwrap();
+        b.mark_output(q);
+        let plan = StimulusPlan::new(7)
+            .drive("x", StimulusSpec::UniformRandom)
+            .drive("y", StimulusSpec::UniformRandom)
+            .drive("g", StimulusSpec::MarkovBits {
+                p_one: 0.1,
+                toggle_rate: 0.1,
+            });
+        (b.build().unwrap(), plan)
+    }
+
+    #[test]
+    fn idle_multiplier_gets_isolated_and_saves_power() {
+        let (n, plan) = idle_mac();
+        for style in IsolationStyle::ALL {
+            let config = IsolationConfig::default()
+                .with_style(style)
+                .with_sim_cycles(1500);
+            let outcome = optimize(&n, &plan, &config).unwrap();
+            assert_eq!(outcome.num_isolated(), 1, "{style}");
+            let red = outcome.power_reduction_percent();
+            assert!(red > 10.0, "{style}: measured reduction {red:.2}%");
+            assert!(outcome.area_increase_percent() > 0.0, "{style}");
+            outcome.netlist.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn busy_multiplier_is_left_alone() {
+        let (n, _) = idle_mac();
+        let plan = StimulusPlan::new(7)
+            .drive("x", StimulusSpec::UniformRandom)
+            .drive("y", StimulusSpec::UniformRandom)
+            .drive("g", StimulusSpec::MarkovBits {
+                p_one: 0.98,
+                toggle_rate: 0.02,
+            });
+        let config = IsolationConfig::default()
+            .with_sim_cycles(1500)
+            // Demand a clear win.
+            .with_h_min(0.02);
+        let outcome = optimize(&n, &plan, &config).unwrap();
+        assert_eq!(
+            outcome.num_isolated(),
+            0,
+            "busy module must not be isolated: {:?}",
+            outcome.iterations
+        );
+    }
+
+    #[test]
+    fn huge_h_min_blocks_everything() {
+        let (n, plan) = idle_mac();
+        let config = IsolationConfig::default()
+            .with_sim_cycles(800)
+            .with_h_min(10.0);
+        let outcome = optimize(&n, &plan, &config).unwrap();
+        assert_eq!(outcome.num_isolated(), 0);
+        assert_eq!(outcome.power_reduction_percent(), 0.0);
+        assert_eq!(outcome.area_increase_percent(), 0.0);
+    }
+
+    #[test]
+    fn original_netlist_is_untouched() {
+        let (n, plan) = idle_mac();
+        let cells_before = n.num_cells();
+        let config = IsolationConfig::default().with_sim_cycles(800);
+        let outcome = optimize(&n, &plan, &config).unwrap();
+        assert_eq!(n.num_cells(), cells_before);
+        assert!(outcome.netlist.num_cells() > cells_before);
+    }
+
+    #[test]
+    fn iteration_log_records_decisions() {
+        let (n, plan) = idle_mac();
+        let config = IsolationConfig::default().with_sim_cycles(800);
+        let outcome = optimize(&n, &plan, &config).unwrap();
+        assert!(!outcome.iterations.is_empty());
+        let first = &outcome.iterations[0];
+        assert_eq!(first.iteration, 1);
+        assert_eq!(first.isolated.len(), 1);
+        assert!(first.total_power.as_mw() > 0.0);
+        let (_, h, saved) = first.isolated[0];
+        assert!(h > 0.0);
+        assert!(saved > 0.0);
+    }
+
+    #[test]
+    fn missing_stimulus_is_reported() {
+        let (n, _) = idle_mac();
+        let plan = StimulusPlan::new(0).drive("x", StimulusSpec::UniformRandom);
+        let err = optimize(&n, &plan, &IsolationConfig::default()).unwrap_err();
+        assert!(matches!(err, IsolationError::Sim(_)), "{err}");
+    }
+
+    #[test]
+    fn two_blocks_isolate_independently() {
+        // Two gated multipliers separated by a register boundary: both get
+        // isolated (one per block, single iteration).
+        let mut b = NetlistBuilder::new("two");
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let g = b.input("g", 1);
+        let p1 = b.wire("p1", 16);
+        let q1 = b.wire("q1", 16);
+        let p2 = b.wire("p2", 16);
+        let q2 = b.wire("q2", 16);
+        b.cell("mul1", CellKind::Mul, &[x, y], p1).unwrap();
+        b.cell("r1", CellKind::Reg { has_enable: true }, &[p1, g], q1)
+            .unwrap();
+        b.cell("mul2", CellKind::Mul, &[q1, y], p2).unwrap();
+        b.cell("r2", CellKind::Reg { has_enable: true }, &[p2, g], q2)
+            .unwrap();
+        b.mark_output(q2);
+        let n = b.build().unwrap();
+        let plan = StimulusPlan::new(3)
+            .drive("x", StimulusSpec::UniformRandom)
+            .drive("y", StimulusSpec::UniformRandom)
+            .drive("g", StimulusSpec::MarkovBits {
+                p_one: 0.15,
+                toggle_rate: 0.15,
+            });
+        let config = IsolationConfig::default().with_sim_cycles(1500);
+        let outcome = optimize(&n, &plan, &config).unwrap();
+        assert_eq!(outcome.num_isolated(), 2);
+        assert!(outcome.power_reduction_percent() > 10.0);
+    }
+}

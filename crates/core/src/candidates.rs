@@ -1,0 +1,245 @@
+//! Isolation-candidate identification (Sections 4 and 5 of the paper).
+//!
+//! Candidates are "complex arithmetic operators for which operand isolation
+//! is expected to have a significant impact on the overall power
+//! consumption". A candidate additionally needs a non-trivial activation
+//! function (constant-1 activation means no redundancy is identifiable) and
+//! must survive the slack pre-filter of Algorithm 1 lines 3–11.
+
+use crate::activation::{derive_activation_functions, ActivationConfig};
+use oiso_boolex::BoolExpr;
+use oiso_netlist::{partition_into_blocks, CellId, Netlist};
+use oiso_techlib::{TechLibrary, Time};
+use oiso_timing::{
+    estimate_isolation_slack, incremental::BankKind, TimingReport,
+};
+use std::collections::HashMap;
+
+/// One isolation candidate with its derived context.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The arithmetic cell.
+    pub cell: CellId,
+    /// Its activation function `f_c` (Section 3).
+    pub activation: BoolExpr,
+    /// Index of the combinational block the cell belongs to.
+    pub block: usize,
+    /// Current slack at the cell before isolation.
+    pub slack: Time,
+    /// Estimated slack after isolation (the pre-filter quantity).
+    pub estimated_slack_after: Time,
+}
+
+/// Filter knobs for candidate identification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateFilter {
+    /// Minimum operand width; narrow operators rarely pay for isolation.
+    pub min_width: u8,
+    /// Candidates whose estimated post-isolation slack falls below this
+    /// threshold are rejected (Algorithm 1, lines 6–9).
+    pub slack_threshold: Time,
+    /// The bank style assumed by the slack estimate.
+    pub bank: BankKind,
+}
+
+impl Default for CandidateFilter {
+    fn default() -> Self {
+        CandidateFilter {
+            min_width: 4,
+            slack_threshold: Time::ZERO,
+            bank: BankKind::And,
+        }
+    }
+}
+
+/// Identifies the isolation candidates of a netlist.
+///
+/// Returns candidates grouped implicitly by their `block` field; Algorithm 1
+/// isolates at most one candidate per block per iteration. Cells whose
+/// activation function is constant (always or never observable) and cells
+/// failing the width or slack filters are excluded.
+pub fn identify_candidates(
+    netlist: &Netlist,
+    lib: &TechLibrary,
+    timing: &TimingReport,
+    activation_config: &ActivationConfig,
+    filter: &CandidateFilter,
+) -> Vec<Candidate> {
+    let activations = derive_activation_functions(netlist, activation_config);
+    let blocks = partition_into_blocks(netlist);
+    let mut block_of: HashMap<CellId, usize> = HashMap::new();
+    for block in &blocks {
+        for &cell in &block.cells {
+            block_of.insert(cell, block.id);
+        }
+    }
+
+    let mut result = Vec::new();
+    for cid in netlist.arithmetic_cells() {
+        let cell = netlist.cell(cid);
+        if netlist.net(cell.output()).width() < filter.min_width
+            && cell
+                .inputs()
+                .iter()
+                .all(|&n| netlist.net(n).width() < filter.min_width)
+        {
+            continue;
+        }
+        let Some(activation) = activations.get(&cid) else {
+            continue;
+        };
+        if activation.is_const(true) || activation.is_const(false) {
+            // Always observable: no isolation case. Never observable: dead
+            // logic, not worth isolating either (it should be removed).
+            continue;
+        }
+        let slack = timing.slack_of_cell(netlist, cid);
+        let impact = estimate_isolation_slack(
+            lib,
+            netlist,
+            timing,
+            cid,
+            filter.bank,
+            activation.depth().max(1),
+            activation.literal_count(),
+            Time::ZERO,
+        );
+        if impact.estimated_slack < filter.slack_threshold {
+            continue;
+        }
+        result.push(Candidate {
+            cell: cid,
+            activation: activation.clone(),
+            block: block_of.get(&cid).copied().unwrap_or(usize::MAX),
+            slack,
+            estimated_slack_after: impact.estimated_slack,
+        });
+    }
+    result.sort_by_key(|c| c.cell);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::{CellKind, NetlistBuilder};
+    use oiso_timing::analyze;
+
+    /// Two blocks: block A has a gated adder (candidate), block B an
+    /// always-used adder (not a candidate).
+    fn design() -> Netlist {
+        let mut b = NetlistBuilder::new("d");
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let g = b.input("g", 1);
+        // Block A: adder behind an enabled register.
+        let s1 = b.wire("s1", 16);
+        let q1 = b.wire("q1", 16);
+        b.cell("gated_add", CellKind::Add, &[x, y], s1).unwrap();
+        b.cell("r1", CellKind::Reg { has_enable: true }, &[s1, g], q1)
+            .unwrap();
+        // Block B: adder into a plain register.
+        let s2 = b.wire("s2", 16);
+        let q2 = b.wire("q2", 16);
+        b.cell("hot_add", CellKind::Add, &[q1, y], s2).unwrap();
+        b.cell("r2", CellKind::Reg { has_enable: false }, &[s2], q2)
+            .unwrap();
+        b.mark_output(q2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn only_gated_adder_is_a_candidate() {
+        let n = design();
+        let lib = TechLibrary::generic_250nm();
+        let t = analyze(&lib, &n, Time::from_ns(10.0));
+        let cands = identify_candidates(
+            &n,
+            &lib,
+            &t,
+            &ActivationConfig::default(),
+            &CandidateFilter::default(),
+        );
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].cell, n.find_cell("gated_add").unwrap());
+        assert!(!cands[0].activation.is_const(true));
+        assert!(cands[0].slack.as_ns() > 0.0);
+    }
+
+    #[test]
+    fn width_filter_drops_narrow_operators() {
+        let mut b = NetlistBuilder::new("w");
+        let x = b.input("x", 2);
+        let y = b.input("y", 2);
+        let g = b.input("g", 1);
+        let s = b.wire("s", 2);
+        let q = b.wire("q", 2);
+        b.cell("tiny", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[s, g], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let lib = TechLibrary::generic_250nm();
+        let t = analyze(&lib, &n, Time::from_ns(10.0));
+        let cands = identify_candidates(
+            &n,
+            &lib,
+            &t,
+            &ActivationConfig::default(),
+            &CandidateFilter::default(),
+        );
+        assert!(cands.is_empty());
+        let cands_loose = identify_candidates(
+            &n,
+            &lib,
+            &t,
+            &ActivationConfig::default(),
+            &CandidateFilter {
+                min_width: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(cands_loose.len(), 1);
+    }
+
+    #[test]
+    fn slack_threshold_rejects_tight_candidates() {
+        let n = design();
+        let lib = TechLibrary::generic_250nm();
+        // At a barely-feasible clock the design meets timing, but the
+        // estimated post-isolation slack goes negative and the candidate
+        // is rejected.
+        let t_tight = analyze(&lib, &n, Time::from_ns(2.05));
+        assert!(
+            t_tight.slack_of_cell(&n, n.find_cell("gated_add").unwrap()).as_ns() > 0.0,
+            "candidate must meet timing before isolation for this test"
+        );
+        let cands = identify_candidates(
+            &n,
+            &lib,
+            &t_tight,
+            &ActivationConfig::default(),
+            &CandidateFilter::default(),
+        );
+        assert!(
+            cands.is_empty(),
+            "tight clock must reject: {:?}",
+            cands.iter().map(|c| c.estimated_slack_after).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn blocks_are_assigned() {
+        let n = design();
+        let lib = TechLibrary::generic_250nm();
+        let t = analyze(&lib, &n, Time::from_ns(10.0));
+        let cands = identify_candidates(
+            &n,
+            &lib,
+            &t,
+            &ActivationConfig::default(),
+            &CandidateFilter::default(),
+        );
+        assert!(cands.iter().all(|c| c.block != usize::MAX));
+    }
+}

@@ -1,0 +1,392 @@
+//! Isolation cost and the selection cost function (Section 5.1, Eq. 6).
+//!
+//! Isolating a candidate costs area, power, and timing:
+//!
+//! * the **isolation banks** — one gate or latch per operand bit ("the area
+//!   cost of the isolation banks is readily given by the number of input
+//!   bits to isolate"),
+//! * the **activation logic** — approximated by the literal count of the
+//!   activation function in factored form,
+//! * a **power overhead** from both (switching of bank cells, of the
+//!   replicated activation signal, and of the activation gates).
+//!
+//! The selection cost `h(c) = ω_p·rP(c) − ω_a·rA(c)` trades relative power
+//! gain against relative area increase; Algorithm 1 isolates the best
+//! candidate per block if `h ≥ h_min`.
+
+use crate::savings::SavingsEstimate;
+use crate::transform::IsolationStyle;
+use oiso_boolex::BoolExpr;
+use oiso_netlist::{CellId, Netlist, PortRole};
+use oiso_power::PowerEstimator;
+use oiso_sim::SimReport;
+use oiso_techlib::{Area, CellClass, OperatingConditions, Power, TechLibrary};
+
+/// The ω weights of Eq. 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight of the relative power change `rP` (`ω_p ∈ [0, 1]`).
+    pub power: f64,
+    /// Weight of the relative area change `rA` (`ω_a ∈ [0, 1]`).
+    pub area: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        // Power-dominated objective with a mild area brake: "the quotient
+        // ω_p/ω_a determines the decrease in power consumption that must
+        // come with a certain increase in area".
+        CostWeights {
+            power: 1.0,
+            area: 0.1,
+        }
+    }
+}
+
+/// The absolute overheads of isolating one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsolationCost {
+    /// Area of the isolation banks.
+    pub bank_area: Area,
+    /// Area of the activation logic (literal-count proxy).
+    pub activation_area: Area,
+    /// Power overhead `P_i(c)` of banks + activation logic.
+    pub power_overhead: Power,
+}
+
+impl IsolationCost {
+    /// Total added area.
+    pub fn total_area(&self) -> Area {
+        self.bank_area + self.activation_area
+    }
+}
+
+/// The cost model: computes [`IsolationCost`], the relative terms, and
+/// `h(c)`.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    lib: &'a TechLibrary,
+    cond: OperatingConditions,
+    weights: CostWeights,
+    /// Minimum acceptable cost value (`h_min` in Algorithm 1 line 24).
+    pub h_min: f64,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates a cost model.
+    pub fn new(lib: &'a TechLibrary, cond: OperatingConditions, weights: CostWeights) -> Self {
+        CostModel {
+            lib,
+            cond,
+            weights,
+            h_min: 0.0,
+        }
+    }
+
+    /// Sets `h_min`.
+    pub fn with_h_min(mut self, h_min: f64) -> Self {
+        self.h_min = h_min;
+        self
+    }
+
+    /// The active weights.
+    pub fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    /// Computes the absolute overheads of isolating `candidate` with
+    /// `style`, before the transform is applied.
+    ///
+    /// `as_toggle_rate` is the measured toggle rate of the activation
+    /// signal (from [`SavingsEstimator::activation_toggle_rate`]); when
+    /// `None`, a conservative structural proxy is used. For AND/OR styles
+    /// the cost includes the *forcing overhead*: every activation edge
+    /// forces roughly half the operand bits through the bank and into the
+    /// module — the transitions behind the paper's remark that gate-based
+    /// isolation "will result in power savings only if the module is idle
+    /// for several consecutive clock cycles".
+    ///
+    /// [`SavingsEstimator::activation_toggle_rate`]:
+    ///     crate::SavingsEstimator::activation_toggle_rate
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
+    pub fn isolation_cost(
+        &self,
+        netlist: &Netlist,
+        report: &SimReport,
+        estimator: &PowerEstimator<'_>,
+        candidate: CellId,
+        activation: &BoolExpr,
+        style: IsolationStyle,
+        as_toggle_rate: Option<f64>,
+    ) -> IsolationCost {
+        let cell = netlist.cell(candidate);
+        let bank_class = match style {
+            IsolationStyle::And => CellClass::And2,
+            IsolationStyle::Or => CellClass::Or2,
+            IsolationStyle::Latch => CellClass::LatchBit,
+        };
+        let bank_params = self.lib.cell(bank_class);
+        let gate = self.lib.cell(CellClass::And2);
+        let vdd = self.cond.vdd;
+        let clock = self.cond.clock;
+
+        let mut bank_area = Area::ZERO;
+        let mut power_overhead = Power::ZERO;
+        let mut bits = 0usize;
+        for (port, &net) in cell.inputs().iter().enumerate() {
+            if cell.port_role(port) != PortRole::Data {
+                continue;
+            }
+            let width = netlist.net(net).width() as usize;
+            bits += width;
+            bank_area += bank_params.area * width as f64;
+            // Bank switching: operand toggles now also charge the bank's
+            // self capacitance (the operand still toggles during active
+            // cycles — we charge the full measured rate, a slight
+            // overestimate that keeps the cost conservative).
+            power_overhead += bank_params
+                .self_cap
+                .toggle_energy(vdd)
+                .at_rate(report.toggle_rate(net), clock);
+            power_overhead += bank_params.leakage * width as f64;
+        }
+
+        // Activation logic: literal count × one gate each (paper's proxy).
+        let literals = activation.literal_count();
+        let activation_area = gate.area * literals as f64;
+        // Activation-signal toggle rate: measured when available, otherwise
+        // bounded by the summed rates of the support signals (it cannot
+        // toggle more often than its inputs combined), capped at once per
+        // cycle.
+        let as_rate: f64 = as_toggle_rate.unwrap_or_else(|| {
+            activation
+                .support()
+                .iter()
+                .map(|s| report.toggle_rate(s.net))
+                .sum::<f64>()
+                .min(1.0)
+        });
+        // Activation gates switch at most at the AS rate...
+        power_overhead += (gate.self_cap * literals as f64)
+            .toggle_energy(vdd)
+            .at_rate(as_rate, clock);
+        power_overhead += gate.leakage * literals as f64;
+        // ...and the AS net drives one control pin per isolated bit.
+        power_overhead += (bank_params.input_cap * bits as f64)
+            .toggle_energy(vdd)
+            .at_rate(as_rate, clock);
+
+        // Forcing overhead of combinational banks: each activation edge
+        // drives ~half the operand bits through the bank into the module
+        // (force on idle entry, release on exit), charged at the module's
+        // macro energy-per-toggle since those transitions excite its
+        // internals exactly like real operand activity.
+        if matches!(style, IsolationStyle::And | IsolationStyle::Or) {
+            if let Some(model) = estimator.macro_model(netlist, candidate) {
+                let mut data_index = 0usize;
+                for (port, &net) in cell.inputs().iter().enumerate() {
+                    if cell.port_role(port) != PortRole::Data {
+                        continue;
+                    }
+                    let width = netlist.net(net).width() as f64;
+                    let e = model.input_energy
+                        [data_index.min(model.input_energy.len() - 1)];
+                    power_overhead += e.at_rate(as_rate * width / 2.0, clock);
+                    data_index += 1;
+                }
+            }
+        }
+
+        IsolationCost {
+            bank_area,
+            activation_area,
+            power_overhead,
+        }
+    }
+
+    /// Relative area increase `rA(c) = A(c) / A_t`.
+    pub fn relative_area(&self, cost: &IsolationCost, total_area: Area) -> f64 {
+        if total_area.as_um2() <= 0.0 {
+            return 0.0;
+        }
+        cost.total_area() / total_area
+    }
+
+    /// Relative power change `rP(c) = (ΔP_p + ΔP_s − P_i) / P_t`.
+    pub fn relative_power(
+        &self,
+        savings: &SavingsEstimate,
+        cost: &IsolationCost,
+        total_power: Power,
+    ) -> f64 {
+        if total_power.as_mw() <= 0.0 {
+            return 0.0;
+        }
+        (savings.total() - cost.power_overhead) / total_power
+    }
+
+    /// The selection cost `h(c) = ω_p·rP − ω_a·rA` (Eq. 6).
+    pub fn h(
+        &self,
+        savings: &SavingsEstimate,
+        cost: &IsolationCost,
+        total_power: Power,
+        total_area: Area,
+    ) -> f64 {
+        self.weights.power * self.relative_power(savings, cost, total_power)
+            - self.weights.area * self.relative_area(cost, total_area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_boolex::Signal;
+    use oiso_netlist::{CellKind, NetlistBuilder};
+    use oiso_sim::{StimulusPlan, StimulusSpec, Testbench};
+
+    fn design() -> (Netlist, CellId, BoolExpr) {
+        let mut b = NetlistBuilder::new("c");
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let g = b.input("g", 1);
+        let s = b.wire("s", 16);
+        let q = b.wire("q", 16);
+        let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[s, g], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let act = BoolExpr::var(Signal::bit0(g));
+        (n, add, act)
+    }
+
+    fn pe() -> PowerEstimator<'static> {
+        use std::sync::OnceLock;
+        static LIB: OnceLock<TechLibrary> = OnceLock::new();
+        let lib = LIB.get_or_init(TechLibrary::generic_250nm);
+        PowerEstimator::new(lib, OperatingConditions::default())
+    }
+
+    fn sim(n: &Netlist) -> SimReport {
+        let plan = StimulusPlan::new(3)
+            .drive("x", StimulusSpec::UniformRandom)
+            .drive("y", StimulusSpec::UniformRandom)
+            .drive("g", StimulusSpec::MarkovBits { p_one: 0.3, toggle_rate: 0.3 });
+        Testbench::from_plan(n, &plan).unwrap().run(2000).unwrap()
+    }
+
+    #[test]
+    fn latch_banks_cost_more_than_gates() {
+        let (n, add, act) = design();
+        let report = sim(&n);
+        let lib = TechLibrary::generic_250nm();
+        let model = CostModel::new(&lib, OperatingConditions::default(), CostWeights::default());
+        // At a quiet activation signal the forcing overhead vanishes and
+        // the latch's heavier cells dominate — the paper's static claim.
+        let and = model.isolation_cost(&n, &report, &pe(), add, &act, IsolationStyle::And, Some(0.0));
+        let or = model.isolation_cost(&n, &report, &pe(), add, &act, IsolationStyle::Or, Some(0.0));
+        let lat = model.isolation_cost(&n, &report, &pe(), add, &act, IsolationStyle::Latch, Some(0.0));
+        assert!(lat.bank_area > and.bank_area);
+        assert!(lat.power_overhead > and.power_overhead);
+        assert!((and.bank_area.as_um2() - or.bank_area.as_um2()).abs() < 1e-9);
+        // 32 isolated bits × And2 area.
+        let expected = lib.cell(CellClass::And2).area * 32.0;
+        assert!((and.bank_area.as_um2() - expected.as_um2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forcing_overhead_scales_with_activation_rate() {
+        // A frequently-toggling activation signal makes AND banks pay the
+        // force/release transitions; latch banks do not force anything.
+        let (n, add, act) = design();
+        let report = sim(&n);
+        let lib = TechLibrary::generic_250nm();
+        let model = CostModel::new(&lib, OperatingConditions::default(), CostWeights::default());
+        let quiet = model.isolation_cost(&n, &report, &pe(), add, &act, IsolationStyle::And, Some(0.0));
+        let busy = model.isolation_cost(&n, &report, &pe(), add, &act, IsolationStyle::And, Some(0.8));
+        assert!(busy.power_overhead > 2.0 * quiet.power_overhead.as_mw() * Power::from_mw(1.0));
+        let lat_quiet = model.isolation_cost(&n, &report, &pe(), add, &act, IsolationStyle::Latch, Some(0.0));
+        let lat_busy = model.isolation_cost(&n, &report, &pe(), add, &act, IsolationStyle::Latch, Some(0.8));
+        // The latch pays only the enable-pin switching, a smaller term than
+        // forcing whole operands through the module.
+        assert!(
+            (lat_busy.power_overhead - lat_quiet.power_overhead).as_mw()
+                < (busy.power_overhead - quiet.power_overhead).as_mw() / 2.0
+        );
+    }
+
+    #[test]
+    fn activation_area_scales_with_literals() {
+        let (n, add, act) = design();
+        let report = sim(&n);
+        let lib = TechLibrary::generic_250nm();
+        let model = CostModel::new(&lib, OperatingConditions::default(), CostWeights::default());
+        let one_lit = model.isolation_cost(&n, &report, &pe(), add, &act, IsolationStyle::And, Some(0.3));
+        let g = n.find_net("g").unwrap();
+        let x = n.find_net("x").unwrap();
+        let big = BoolExpr::or2(
+            BoolExpr::and2(
+                BoolExpr::var(Signal::bit0(g)),
+                BoolExpr::var(Signal::new(x, 0)),
+            ),
+            BoolExpr::and2(
+                BoolExpr::var(Signal::new(x, 1)),
+                BoolExpr::var(Signal::new(x, 2)).not(),
+            ),
+        );
+        let four_lit = model.isolation_cost(&n, &report, &pe(), add, &big, IsolationStyle::And, Some(0.3));
+        assert!(four_lit.activation_area > one_lit.activation_area);
+        assert!(four_lit.total_area() > one_lit.total_area());
+    }
+
+    #[test]
+    fn h_trades_power_against_area() {
+        let (n, add, act) = design();
+        let report = sim(&n);
+        let lib = TechLibrary::generic_250nm();
+        let model = CostModel::new(&lib, OperatingConditions::default(), CostWeights::default());
+        let cost = model.isolation_cost(&n, &report, &pe(), add, &act, IsolationStyle::And, Some(0.3));
+        let savings = SavingsEstimate {
+            primary: Power::from_mw(1.0),
+            secondary: Power::from_mw(0.2),
+        };
+        let total_p = Power::from_mw(10.0);
+        let total_a = Area::from_um2(100_000.0);
+        let h = model.h(&savings, &cost, total_p, total_a);
+        assert!(h > 0.0, "clear win: {h}");
+        // With huge area weight, the same candidate loses.
+        let area_heavy = CostModel::new(
+            &lib,
+            OperatingConditions::default(),
+            CostWeights { power: 0.01, area: 1.0 },
+        );
+        let h2 = area_heavy.h(&savings, &cost, total_p, total_a);
+        assert!(h2 < h);
+        // Negative savings (overhead exceeds gain) must go negative.
+        let lossy = SavingsEstimate {
+            primary: Power::ZERO,
+            secondary: Power::ZERO,
+        };
+        assert!(model.h(&lossy, &cost, total_p, total_a) < 0.0);
+    }
+
+    #[test]
+    fn relative_terms_are_percent_scale() {
+        let (n, add, act) = design();
+        let report = sim(&n);
+        let lib = TechLibrary::generic_250nm();
+        let model = CostModel::new(&lib, OperatingConditions::default(), CostWeights::default());
+        let cost = model.isolation_cost(&n, &report, &pe(), add, &act, IsolationStyle::And, Some(0.3));
+        let ra = model.relative_area(&cost, Area::from_um2(10_000.0));
+        assert!(ra > 0.0 && ra < 1.0, "{ra}");
+        assert_eq!(model.relative_area(&cost, Area::ZERO), 0.0);
+        let sv = SavingsEstimate {
+            primary: Power::from_mw(0.5),
+            secondary: Power::ZERO,
+        };
+        let rp = model.relative_power(&sv, &cost, Power::from_mw(5.0));
+        assert!(rp < 0.1 + 1e-9, "{rp}");
+        assert_eq!(model.relative_power(&sv, &cost, Power::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Multiplexing functions `g^k_{i,A}` (Section 4.1 of the paper).
+//!
+//! For an isolation candidate `c_i` and one of its inputs `A`, the fanin
+//! logic network `L_A(c_i)` connects different *fanin candidates* to `A`
+//! depending on its configuration. For each fanin candidate `c_k`, the
+//! Boolean multiplexing function `g^k_{i,A}(x)` evaluates 1 iff `L_A` is
+//! configured such that `c_k`'s output reaches `A`. In the paper's Figure 1
+//! example, `g^{a0}_{a1,A} = S̄0·S1`.
+
+use crate::observability::observability_condition;
+use oiso_boolex::BoolExpr;
+use oiso_netlist::{CellId, CellKind, NetId, Netlist, PortRole};
+
+/// One fanin-candidate connection into a candidate input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MuxPath {
+    /// The fanin candidate `c_k`.
+    pub fanin: CellId,
+    /// The multiplexing function `g^k_{i,A}`.
+    pub condition: BoolExpr,
+}
+
+/// Computes the multiplexing functions for input port `port` of `candidate`:
+/// one [`MuxPath`] per fanin candidate reachable through the combinational
+/// interconnect network, with the select-configuration condition along the
+/// way. Reconvergent paths to the same fanin candidate are OR-combined.
+///
+/// Traversal stops at registers, latches, primary inputs, and other
+/// arithmetic candidates (their outputs *are* the sources).
+pub fn multiplexing_functions(
+    netlist: &Netlist,
+    candidate: CellId,
+    port: usize,
+) -> Vec<MuxPath> {
+    let start = netlist.cell(candidate).inputs()[port];
+    let mut paths: Vec<MuxPath> = Vec::new();
+    walk(netlist, start, BoolExpr::TRUE, &mut paths, 0);
+    // Merge duplicate fanins (reconvergence) disjunctively.
+    let mut merged: Vec<MuxPath> = Vec::new();
+    for p in paths {
+        if let Some(existing) = merged.iter_mut().find(|m| m.fanin == p.fanin) {
+            existing.condition =
+                BoolExpr::or2(existing.condition.clone(), p.condition);
+        } else {
+            merged.push(p);
+        }
+    }
+    merged.sort_by_key(|p| p.fanin);
+    merged
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn walk(
+    netlist: &Netlist,
+    net: NetId,
+    condition: BoolExpr,
+    out: &mut Vec<MuxPath>,
+    depth: usize,
+) {
+    if depth > MAX_DEPTH || condition.is_const(false) {
+        return;
+    }
+    let Some(driver) = netlist.net(net).driver() else {
+        return; // primary input: not a candidate source
+    };
+    let cell = netlist.cell(driver);
+    let kind = cell.kind();
+    if kind.is_arithmetic() {
+        out.push(MuxPath {
+            fanin: driver,
+            condition,
+        });
+        return;
+    }
+    if kind.is_stateful() {
+        return; // registers and latches are boundaries
+    }
+    match kind {
+        CellKind::Mux => {
+            for (p, &inp) in cell.inputs().iter().enumerate() {
+                if cell.port_role(p) == PortRole::Control {
+                    continue;
+                }
+                let sel_cond = observability_condition(netlist, driver, p);
+                walk(
+                    netlist,
+                    inp,
+                    BoolExpr::and2(condition.clone(), sel_cond),
+                    out,
+                    depth + 1,
+                );
+            }
+        }
+        CellKind::Const { .. } => {}
+        _ => {
+            // Generic combinational logic: conservatively connected through
+            // every data input (the paper assumes L_A is made of muxes and
+            // generic gates; gates keep the connection condition).
+            for (p, &inp) in cell.inputs().iter().enumerate() {
+                if cell.port_role(p) == PortRole::Control {
+                    continue;
+                }
+                let obs = observability_condition(netlist, driver, p);
+                walk(
+                    netlist,
+                    inp,
+                    BoolExpr::and2(condition.clone(), obs),
+                    out,
+                    depth + 1,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_boolex::{Bdd, Signal};
+    use oiso_netlist::NetlistBuilder;
+
+    fn sig(n: &Netlist, name: &str) -> BoolExpr {
+        BoolExpr::var(Signal::bit0(n.find_net(name).unwrap()))
+    }
+
+    #[test]
+    fn figure1_g_function() {
+        // a1 -> m1(S1, data1) -> m0(S0, data0) -> a0.A: g = !S0 & S1.
+        let mut b = NetlistBuilder::new("g");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let c = b.input("c", 8);
+        let d = b.input("d", 8);
+        let s0 = b.input("S0", 1);
+        let s1 = b.input("S1", 1);
+        let sum1 = b.wire("sum1", 8);
+        let m1o = b.wire("m1o", 8);
+        let m0o = b.wire("m0o", 8);
+        let sum0 = b.wire("sum0", 8);
+        let a1 = b.cell("a1", CellKind::Add, &[x, y], sum1).unwrap();
+        b.cell("m1", CellKind::Mux, &[s1, d, sum1], m1o).unwrap();
+        b.cell("m0", CellKind::Mux, &[s0, m1o, c], m0o).unwrap();
+        let a0 = b.cell("a0", CellKind::Add, &[m0o, y], sum0).unwrap();
+        b.mark_output(sum0);
+        let n = b.build().unwrap();
+
+        let paths = multiplexing_functions(&n, a0, 0);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].fanin, a1);
+        let expected = BoolExpr::and2(sig(&n, "S0").not(), sig(&n, "S1"));
+        let mut bdd = Bdd::new();
+        assert!(
+            bdd.equivalent(&paths[0].condition, &expected),
+            "g = {}",
+            paths[0].condition
+        );
+    }
+
+    #[test]
+    fn direct_connection_has_true_condition() {
+        let mut b = NetlistBuilder::new("d");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.wire("s", 8);
+        let p = b.wire("p", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        let mul = b.cell("mul", CellKind::Mul, &[s, y], p).unwrap();
+        b.mark_output(p);
+        let n = b.build().unwrap();
+        let paths = multiplexing_functions(&n, mul, 0);
+        assert_eq!(paths, vec![MuxPath { fanin: add, condition: BoolExpr::TRUE }]);
+        // Input B comes from a PI: no fanin candidates.
+        assert!(multiplexing_functions(&n, mul, 1).is_empty());
+    }
+
+    #[test]
+    fn registers_block_paths() {
+        let mut b = NetlistBuilder::new("r");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.wire("s", 8);
+        let q = b.wire("q", 8);
+        let p = b.wire("p", 8);
+        b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[s], q)
+            .unwrap();
+        let mul = b.cell("mul", CellKind::Mul, &[q, y], p).unwrap();
+        b.mark_output(p);
+        let n = b.build().unwrap();
+        assert!(multiplexing_functions(&n, mul, 0).is_empty());
+    }
+
+    #[test]
+    fn candidates_are_boundaries_not_traversed_through() {
+        // add1 -> add2 -> mul: mul's fanin candidate is add2 only.
+        let mut b = NetlistBuilder::new("c");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s1 = b.wire("s1", 8);
+        let s2 = b.wire("s2", 8);
+        let p = b.wire("p", 8);
+        b.cell("add1", CellKind::Add, &[x, y], s1).unwrap();
+        let add2 = b.cell("add2", CellKind::Add, &[s1, y], s2).unwrap();
+        let mul = b.cell("mul", CellKind::Mul, &[s2, y], p).unwrap();
+        b.mark_output(p);
+        let n = b.build().unwrap();
+        let paths = multiplexing_functions(&n, mul, 0);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].fanin, add2);
+    }
+
+    #[test]
+    fn reconvergent_paths_merge_disjunctively() {
+        // add reaches mul.A through both mux data inputs: g = !S + S = 1.
+        let mut b = NetlistBuilder::new("rc");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.input("S", 1);
+        let sum = b.wire("sum", 8);
+        let m = b.wire("m", 8);
+        let p = b.wire("p", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], sum).unwrap();
+        b.cell("mx", CellKind::Mux, &[s, sum, sum], m).unwrap();
+        let mul = b.cell("mul", CellKind::Mul, &[m, y], p).unwrap();
+        b.mark_output(p);
+        let n = b.build().unwrap();
+        let paths = multiplexing_functions(&n, mul, 0);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].fanin, add);
+        assert!(paths[0].condition.is_const(true), "{}", paths[0].condition);
+    }
+}

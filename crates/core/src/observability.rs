@@ -1,0 +1,330 @@
+//! Per-cell observability conditions.
+//!
+//! For a cell load `(cell, port)` on a net, [`observability_condition`]
+//! returns the Boolean condition (over control-signal bits) under which a
+//! change at that input port is observable at the cell's output. The paper
+//! (Section 3) derives these from multiplexor select signals and register
+//! load enables, and notes that "any gate can be interpreted as a
+//! degenerated multiplexor, where the Boolean function which specifies when
+//! a change at an input to the gate is observable at its output can be
+//! derived based upon its controlling value".
+//!
+//! Exactness policy (documented in DESIGN.md):
+//!
+//! * multiplexors — exact select decoding, including the clamp semantics of
+//!   partially decoded selects;
+//! * 1-bit AND/OR gates — exact controlling-value conditions;
+//! * word-level gates — conservative: observable (condition 1), except when
+//!   another operand is a constant at its controlling value for *all* bits,
+//!   which makes the port provably unobservable (condition 0);
+//! * registers/latches — the data port is observable iff the load enable is
+//!   asserted; control ports (selects, enables) are always observable
+//!   (a module computing a control signal can never be isolated by it).
+
+use oiso_boolex::{BoolExpr, Signal};
+use oiso_netlist::{CellId, CellKind, Netlist, PortRole};
+
+/// The observability condition of input `port` of `cell`: when does a
+/// change there propagate to (or get stored at) the cell's output?
+///
+/// # Panics
+///
+/// Panics if `port` is out of range for the cell.
+pub fn observability_condition(netlist: &Netlist, cell: CellId, port: usize) -> BoolExpr {
+    let c = netlist.cell(cell);
+    assert!(port < c.inputs().len(), "port index out of range");
+
+    // Control ports steer the circuit; their drivers are always observable.
+    if c.port_role(port) == PortRole::Control {
+        return BoolExpr::TRUE;
+    }
+
+    match c.kind() {
+        CellKind::Mux => mux_data_condition(netlist, cell, port),
+        CellKind::Reg { has_enable } => {
+            if has_enable {
+                BoolExpr::var(Signal::bit0(c.inputs()[1]))
+            } else {
+                BoolExpr::TRUE
+            }
+        }
+        CellKind::Latch => BoolExpr::var(Signal::bit0(c.inputs()[1])),
+        CellKind::And => gate_condition(netlist, cell, port, /*controlling_zero=*/ true),
+        CellKind::Or => gate_condition(netlist, cell, port, /*controlling_zero=*/ false),
+        // XOR has no controlling value: always observable. Arithmetic,
+        // comparisons, shifts, reductions, and wiring are conservatively
+        // always observable at the word level.
+        _ => BoolExpr::TRUE,
+    }
+}
+
+/// Select condition for data input `port` (>= 1) of a mux, honoring the
+/// clamp-to-last semantics of out-of-range select values.
+fn mux_data_condition(netlist: &Netlist, cell: CellId, port: usize) -> BoolExpr {
+    let c = netlist.cell(cell);
+    let sel = c.inputs()[0];
+    let sel_width = netlist.net(sel).width();
+    let n_data = c.inputs().len() - 1;
+    let data_index = (port - 1) as u64;
+    // If the select is driven by a constant, decide statically.
+    if let Some(value) = netlist.constant_value(sel) {
+        let effective = value.min(n_data as u64 - 1);
+        return BoolExpr::Const(effective == data_index);
+    }
+    if data_index as usize == n_data - 1 {
+        // Last data input: selected by value n_data-1 and by every larger
+        // (clamped) select value — i.e. by anything that does not select one
+        // of the earlier inputs. Expressing it as the complement keeps the
+        // factored form small (n_data-1 negated minterms instead of
+        // 2^sel_width - n_data + 1 positive ones).
+        let others: Vec<BoolExpr> = (0..data_index)
+            .map(|v| BoolExpr::net_equals(sel, sel_width, v).not())
+            .collect();
+        BoolExpr::and(others)
+    } else {
+        BoolExpr::net_equals(sel, sel_width, data_index)
+    }
+}
+
+/// Controlling-value condition for AND (controlling 0) / OR (controlling 1)
+/// gates.
+fn gate_condition(
+    netlist: &Netlist,
+    cell: CellId,
+    port: usize,
+    controlling_zero: bool,
+) -> BoolExpr {
+    let c = netlist.cell(cell);
+    let width = netlist.net(c.output()).width();
+    let mask = netlist.net(c.output()).mask();
+    let mut factors = Vec::new();
+    for (i, &other) in c.inputs().iter().enumerate() {
+        if i == port {
+            continue;
+        }
+        if let Some(value) = netlist.constant_value(other) {
+            let blocked = if controlling_zero {
+                value == 0 // AND with constant 0 on any path: fully blocked
+            } else {
+                value == mask // OR with constant all-ones: fully blocked
+            };
+            let transparent = if controlling_zero {
+                value == mask
+            } else {
+                value == 0
+            };
+            if blocked {
+                return BoolExpr::FALSE;
+            }
+            if transparent {
+                continue; // identity operand: no constraint
+            }
+            // Partially blocking constant: conservative TRUE (some bits
+            // observable).
+            continue;
+        }
+        if width == 1 {
+            let lit = BoolExpr::var(Signal::bit0(other));
+            factors.push(if controlling_zero { lit } else { lit.not() });
+        }
+        // Word-level non-constant operand: conservative (no constraint).
+    }
+    BoolExpr::and(factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::NetlistBuilder;
+
+    #[test]
+    fn mux_data_ports_decode_select() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.input("s", 1);
+        let d0 = b.input("d0", 8);
+        let d1 = b.input("d1", 8);
+        let o = b.wire("o", 8);
+        let mx = b.cell("mx", CellKind::Mux, &[s, d0, d1], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+
+        let c0 = observability_condition(&n, mx, 1);
+        let c1 = observability_condition(&n, mx, 2);
+        assert_eq!(c0, BoolExpr::var(Signal::bit0(s)).not());
+        assert_eq!(c1, BoolExpr::var(Signal::bit0(s)));
+        // Select port itself is control: always observable.
+        assert_eq!(observability_condition(&n, mx, 0), BoolExpr::TRUE);
+    }
+
+    #[test]
+    fn wide_mux_last_input_absorbs_clamped_codes() {
+        // 3 data inputs, 2-bit select: d2 selected by sel==2 OR sel==3.
+        let mut b = NetlistBuilder::new("m3");
+        let s = b.input("s", 2);
+        let d: Vec<_> = (0..3).map(|i| b.input(format!("d{i}"), 4)).collect();
+        let o = b.wire("o", 4);
+        let mx = b
+            .cell("mx", CellKind::Mux, &[s, d[0], d[1], d[2]], o)
+            .unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let c2 = observability_condition(&n, mx, 3);
+        // Evaluate on all 4 select codes.
+        for code in 0u64..4 {
+            let selected = c2.eval(&|sig: Signal| (code >> sig.bit) & 1 == 1);
+            assert_eq!(selected, code >= 2, "code {code}");
+        }
+        let c1 = observability_condition(&n, mx, 2);
+        for code in 0u64..4 {
+            let selected = c1.eval(&|sig: Signal| (code >> sig.bit) & 1 == 1);
+            assert_eq!(selected, code == 1, "code {code}");
+        }
+    }
+
+    #[test]
+    fn constant_select_resolves_statically() {
+        let mut b = NetlistBuilder::new("mc");
+        let k = b.constant("k", 1, 1).unwrap();
+        let d0 = b.input("d0", 8);
+        let d1 = b.input("d1", 8);
+        let o = b.wire("o", 8);
+        let mx = b.cell("mx", CellKind::Mux, &[k, d0, d1], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        assert_eq!(observability_condition(&n, mx, 1), BoolExpr::FALSE);
+        assert_eq!(observability_condition(&n, mx, 2), BoolExpr::TRUE);
+    }
+
+    #[test]
+    fn register_enable_gates_data_port() {
+        let mut b = NetlistBuilder::new("r");
+        let d = b.input("d", 8);
+        let g = b.input("g", 1);
+        let q = b.wire("q", 8);
+        let r = b
+            .cell("r", CellKind::Reg { has_enable: true }, &[d, g], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        assert_eq!(
+            observability_condition(&n, r, 0),
+            BoolExpr::var(Signal::bit0(g))
+        );
+        assert_eq!(observability_condition(&n, r, 1), BoolExpr::TRUE);
+    }
+
+    #[test]
+    fn plain_register_is_always_observable() {
+        let mut b = NetlistBuilder::new("r0");
+        let d = b.input("d", 8);
+        let q = b.wire("q", 8);
+        let r = b
+            .cell("r", CellKind::Reg { has_enable: false }, &[d], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        assert_eq!(observability_condition(&n, r, 0), BoolExpr::TRUE);
+    }
+
+    #[test]
+    fn one_bit_and_gate_controlling_values() {
+        let mut b = NetlistBuilder::new("g");
+        let x = b.input("x", 1);
+        let y = b.input("y", 1);
+        let z = b.input("z", 1);
+        let o = b.wire("o", 1);
+        let g = b.cell("g", CellKind::And, &[x, y, z], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        // x observable iff y=1 and z=1.
+        let cx = observability_condition(&n, g, 0);
+        assert_eq!(
+            cx,
+            BoolExpr::and(vec![
+                BoolExpr::var(Signal::bit0(y)),
+                BoolExpr::var(Signal::bit0(z))
+            ])
+        );
+    }
+
+    #[test]
+    fn one_bit_or_gate_controlling_values() {
+        let mut b = NetlistBuilder::new("g");
+        let x = b.input("x", 1);
+        let y = b.input("y", 1);
+        let o = b.wire("o", 1);
+        let g = b.cell("g", CellKind::Or, &[x, y], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        // x observable iff y=0.
+        assert_eq!(
+            observability_condition(&n, g, 0),
+            BoolExpr::var(Signal::bit0(y)).not()
+        );
+    }
+
+    #[test]
+    fn word_gate_with_blocking_constant() {
+        let mut b = NetlistBuilder::new("wg");
+        let x = b.input("x", 8);
+        let zero = b.constant("zero", 8, 0).unwrap();
+        let ones = b.constant("ones", 8, 0xFF).unwrap();
+        let o1 = b.wire("o1", 8);
+        let o2 = b.wire("o2", 8);
+        let o3 = b.wire("o3", 8);
+        let g1 = b.cell("g1", CellKind::And, &[x, zero], o1).unwrap();
+        let g2 = b.cell("g2", CellKind::And, &[x, ones], o2).unwrap();
+        let g3 = b.cell("g3", CellKind::Or, &[x, ones], o3).unwrap();
+        b.mark_output(o1);
+        b.mark_output(o2);
+        b.mark_output(o3);
+        let n = b.build().unwrap();
+        assert_eq!(observability_condition(&n, g1, 0), BoolExpr::FALSE);
+        assert_eq!(observability_condition(&n, g2, 0), BoolExpr::TRUE);
+        assert_eq!(observability_condition(&n, g3, 0), BoolExpr::FALSE);
+    }
+
+    #[test]
+    fn word_gate_with_variable_operand_is_conservative() {
+        let mut b = NetlistBuilder::new("wv");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let o = b.wire("o", 8);
+        let g = b.cell("g", CellKind::And, &[x, y], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        assert_eq!(observability_condition(&n, g, 0), BoolExpr::TRUE);
+    }
+
+    #[test]
+    fn arithmetic_and_xor_are_transparent() {
+        let mut b = NetlistBuilder::new("ar");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.wire("s", 8);
+        let xo = b.wire("xo", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        let xr = b.cell("xr", CellKind::Xor, &[x, y], xo).unwrap();
+        b.mark_output(s);
+        b.mark_output(xo);
+        let n = b.build().unwrap();
+        assert_eq!(observability_condition(&n, add, 0), BoolExpr::TRUE);
+        assert_eq!(observability_condition(&n, add, 1), BoolExpr::TRUE);
+        assert_eq!(observability_condition(&n, xr, 0), BoolExpr::TRUE);
+    }
+
+    #[test]
+    fn latch_data_gated_by_enable() {
+        let mut b = NetlistBuilder::new("l");
+        let d = b.input("d", 8);
+        let en = b.input("en", 1);
+        let q = b.wire("q", 8);
+        let l = b.cell("l", CellKind::Latch, &[d, en], q).unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        assert_eq!(
+            observability_condition(&n, l, 0),
+            BoolExpr::var(Signal::bit0(en))
+        );
+    }
+}

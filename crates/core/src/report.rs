@@ -1,0 +1,169 @@
+//! Outcome reporting for the isolation algorithm.
+
+use crate::transform::{IsolationRecord, IsolationStyle};
+use oiso_netlist::{CellId, Netlist};
+use oiso_techlib::{Area, Power, Time};
+use std::fmt;
+
+/// One iteration of Algorithm 1's main loop.
+#[derive(Debug, Clone)]
+pub struct IterationLog {
+    /// Iteration number (starting at 1).
+    pub iteration: usize,
+    /// Estimated total power at the start of the iteration.
+    pub total_power: Power,
+    /// Candidates isolated this iteration: `(cell, h value, estimated
+    /// savings in mW)`.
+    pub isolated: Vec<(CellId, f64, f64)>,
+    /// Candidates evaluated but not isolated (best-of-block losers and
+    /// `h < h_min` rejections).
+    pub rejected: usize,
+}
+
+/// The result of running [`optimize`](crate::optimize).
+#[derive(Debug, Clone)]
+pub struct IsolationOutcome {
+    /// The transformed netlist.
+    pub netlist: Netlist,
+    /// The isolation style used.
+    pub style: IsolationStyle,
+    /// Per-candidate transformation records, in isolation order.
+    pub isolated: Vec<IsolationRecord>,
+    /// Iteration-by-iteration log.
+    pub iterations: Vec<IterationLog>,
+    /// Measured power before any isolation.
+    pub power_before: Power,
+    /// Measured power after the final iteration.
+    pub power_after: Power,
+    /// Area before.
+    pub area_before: Area,
+    /// Area after.
+    pub area_after: Area,
+    /// Worst slack before.
+    pub slack_before: Time,
+    /// Worst slack after.
+    pub slack_after: Time,
+}
+
+impl IsolationOutcome {
+    /// Power reduction in percent (positive = saved power), the paper's
+    /// "%reduction" column.
+    pub fn power_reduction_percent(&self) -> f64 {
+        if self.power_before.as_mw() <= 0.0 {
+            return 0.0;
+        }
+        (self.power_before - self.power_after) / self.power_before * 100.0
+    }
+
+    /// Area increase in percent, the paper's "%increase" column.
+    pub fn area_increase_percent(&self) -> f64 {
+        if self.area_before.as_um2() <= 0.0 {
+            return 0.0;
+        }
+        (self.area_after - self.area_before) / self.area_before * 100.0
+    }
+
+    /// Slack reduction in percent, the paper's "%reduction" slack column.
+    /// Negative values mean the slack *improved*.
+    pub fn slack_reduction_percent(&self) -> f64 {
+        if self.slack_before.as_ns().abs() <= f64::EPSILON {
+            return 0.0;
+        }
+        (self.slack_before - self.slack_after) / self.slack_before * 100.0
+    }
+
+    /// Number of candidates isolated in total.
+    pub fn num_isolated(&self) -> usize {
+        self.isolated.len()
+    }
+}
+
+impl fmt::Display for IsolationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} candidate(s) isolated in {} iteration(s)",
+            self.style.label(),
+            self.isolated.len(),
+            self.iterations.len()
+        )?;
+        writeln!(
+            f,
+            "  power {} -> {} ({:+.2}% reduction)",
+            self.power_before,
+            self.power_after,
+            self.power_reduction_percent()
+        )?;
+        writeln!(
+            f,
+            "  area  {} -> {} ({:+.2}% increase)",
+            self.area_before,
+            self.area_after,
+            self.area_increase_percent()
+        )?;
+        writeln!(
+            f,
+            "  slack {} -> {} ({:+.2}% reduction)",
+            self.slack_before,
+            self.slack_after,
+            self.slack_reduction_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::NetlistBuilder;
+
+    fn outcome(pb: f64, pa: f64, ab: f64, aa: f64, sb: f64, sa: f64) -> IsolationOutcome {
+        let mut b = NetlistBuilder::new("x");
+        let i = b.input("i", 1);
+        b.mark_output(i);
+        IsolationOutcome {
+            netlist: b.build().unwrap(),
+            style: IsolationStyle::And,
+            isolated: Vec::new(),
+            iterations: Vec::new(),
+            power_before: Power::from_mw(pb),
+            power_after: Power::from_mw(pa),
+            area_before: Area::from_um2(ab),
+            area_after: Area::from_um2(aa),
+            slack_before: Time::from_ns(sb),
+            slack_after: Time::from_ns(sa),
+        }
+    }
+
+    #[test]
+    fn percent_columns_match_paper_conventions() {
+        let o = outcome(24.6, 20.6, 594_342.0, 604_866.0, 3.4, 3.36);
+        // design1 AND row of Table 1: 16.3% power reduction, 1.62% area
+        // increase, 1.27% slack reduction (approximately).
+        assert!((o.power_reduction_percent() - 16.26).abs() < 0.1);
+        assert!((o.area_increase_percent() - 1.77).abs() < 0.1);
+        assert!((o.slack_reduction_percent() - 1.18).abs() < 0.1);
+    }
+
+    #[test]
+    fn improved_slack_reports_negative_reduction() {
+        let o = outcome(10.0, 9.0, 100.0, 101.0, 3.0, 3.1);
+        assert!(o.slack_reduction_percent() < 0.0);
+    }
+
+    #[test]
+    fn degenerate_baselines_are_safe() {
+        let o = outcome(0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(o.power_reduction_percent(), 0.0);
+        assert_eq!(o.area_increase_percent(), 0.0);
+        assert_eq!(o.slack_reduction_percent(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let o = outcome(10.0, 8.0, 100.0, 110.0, 3.0, 2.9);
+        let text = o.to_string();
+        assert!(text.contains("AND-isolated"));
+        assert!(text.contains("power"));
+        assert!(text.contains("%"));
+    }
+}

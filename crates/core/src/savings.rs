@@ -1,0 +1,565 @@
+//! Power-savings estimation (Section 4 of the paper, Eqs. 1–5).
+//!
+//! Three estimator variants, compared against each other and against
+//! re-simulated ground truth by the EXP-ABL ablation benchmark:
+//!
+//! * [`EstimatorKind::Simple`] — Eq. 1: `ΔP_p = Pr(!f_c) · p(Tr_A, Tr_B)`,
+//!   assuming input toggles are evenly distributed over the simulation
+//!   interval. Secondary savings per Eq. 4.
+//! * [`EstimatorKind::Pairwise`] — Section 4.2's refinement: input toggles
+//!   are decomposed over fanin candidates using the multiplexing functions
+//!   `g^k` and the joint probabilities `Pr(!f_i · g_k · f_k)` measured in
+//!   simulation; already-isolated fanins contribute the Eq.-2-scaled
+//!   "actual" rate `Tr' = Tr / Pr(AS_k)`. Secondary savings per Eq. 5 with
+//!   the `z_j` decision variables.
+//! * [`EstimatorKind::MeasuredConditional`] — measures the conditional
+//!   toggle rates (toggles during redundant cycles) directly with
+//!   simulation monitors, removing the even-distribution assumption
+//!   entirely. This is the fixed point the pairwise model approximates.
+//!
+//! All joint probabilities are *measured*, never derived by independence —
+//! the paper is explicit that "the probabilities cannot further be
+//! simplified, since we cannot assume statistical independence of the
+//! various activation and multiplexing signals".
+
+use crate::candidates::Candidate;
+use crate::muxfunc::{multiplexing_functions, MuxPath};
+use oiso_boolex::BoolExpr;
+use oiso_netlist::{CellId, Netlist, PortRole};
+use oiso_power::PowerEstimator;
+use oiso_sim::{SimReport, Testbench};
+use oiso_techlib::Power;
+use std::collections::HashMap;
+
+/// Which savings model to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EstimatorKind {
+    /// Eq. 1 with even-toggle-distribution assumption.
+    Simple,
+    /// The paper's pairwise refinement over fanin candidates (Eqs. 2–3).
+    #[default]
+    Pairwise,
+    /// Directly measured conditional toggle rates.
+    MeasuredConditional,
+}
+
+/// Estimated savings for one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SavingsEstimate {
+    /// Primary savings `ΔP_p`: power no longer burned inside the candidate.
+    pub primary: Power,
+    /// Secondary savings `ΔP_s`: power no longer burned in fanout
+    /// candidates because the isolated module's output is quiet while idle.
+    pub secondary: Power,
+}
+
+impl SavingsEstimate {
+    /// Total estimated savings.
+    pub fn total(&self) -> Power {
+        self.primary + self.secondary
+    }
+}
+
+/// Pre-computed structural context plus the monitor registry for one
+/// estimation round.
+///
+/// Usage protocol (two-phase, because probabilities must be *measured*):
+///
+/// 1. build with [`SavingsEstimator::new`],
+/// 2. register its monitors on a testbench via
+///    [`SavingsEstimator::register_monitors`],
+/// 3. run the simulation,
+/// 4. query [`SavingsEstimator::estimate`] per candidate.
+#[derive(Debug)]
+pub struct SavingsEstimator {
+    kind: EstimatorKind,
+    /// Candidate contexts, keyed by cell.
+    ctx: HashMap<CellId, CandidateCtx>,
+    /// Cells currently isolated (the paper's `z_j = 1` set) and their
+    /// activation functions.
+    isolated: HashMap<CellId, BoolExpr>,
+}
+
+#[derive(Debug)]
+struct CandidateCtx {
+    activation: BoolExpr,
+    /// Data ports: (port index, input net).
+    data_ports: Vec<(usize, oiso_netlist::NetId)>,
+    /// Fanin candidate paths per data port.
+    fanin: Vec<Vec<MuxPath>>,
+    /// Fanout candidate connections: (fanout cell, its data port index,
+    /// its input net, multiplexing condition from this candidate).
+    fanout: Vec<(CellId, usize, oiso_netlist::NetId, BoolExpr)>,
+}
+
+impl SavingsEstimator {
+    /// Builds the estimation context for the given candidates.
+    ///
+    /// `candidates` must include every candidate still under consideration;
+    /// `isolated` maps the already-isolated cells to their activation
+    /// functions (the `z_j = 1` set).
+    pub fn new(
+        netlist: &Netlist,
+        kind: EstimatorKind,
+        candidates: &[Candidate],
+        isolated: &HashMap<CellId, BoolExpr>,
+    ) -> Self {
+        // Activation functions of *all* candidate-like cells (live and
+        // isolated) for joint conditions.
+        let mut all_acts: HashMap<CellId, BoolExpr> = isolated.clone();
+        for cand in candidates {
+            all_acts.insert(cand.cell, cand.activation.clone());
+        }
+
+        let mut ctx = HashMap::new();
+        for cand in candidates {
+            let cell = netlist.cell(cand.cell);
+            let data_ports: Vec<(usize, oiso_netlist::NetId)> = cell
+                .inputs()
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| cell.port_role(p) == PortRole::Data)
+                .map(|(p, &n)| (p, n))
+                .collect();
+            let fanin: Vec<Vec<MuxPath>> = data_ports
+                .iter()
+                .map(|&(p, _)| multiplexing_functions(netlist, cand.cell, p))
+                .collect();
+            ctx.insert(
+                cand.cell,
+                CandidateCtx {
+                    activation: cand.activation.clone(),
+                    data_ports,
+                    fanin,
+                    fanout: Vec::new(),
+                },
+            );
+        }
+        // Fanout relations are the transpose of the fanin relations, but
+        // they must also cover *isolated* consumers (for the z_j term) and
+        // consumers that are still candidates. Compute by scanning every
+        // arithmetic cell's fanin paths.
+        let mut fanout_edges: Vec<(CellId, CellId, usize, oiso_netlist::NetId, BoolExpr)> =
+            Vec::new();
+        for consumer in netlist.arithmetic_cells() {
+            let cell = netlist.cell(consumer);
+            for (port, &net) in cell.inputs().iter().enumerate() {
+                if cell.port_role(port) != PortRole::Data {
+                    continue;
+                }
+                for path in multiplexing_functions(netlist, consumer, port) {
+                    fanout_edges.push((path.fanin, consumer, port, net, path.condition));
+                }
+            }
+        }
+        for (producer, consumer, port, net, cond) in fanout_edges {
+            if let Some(c) = ctx.get_mut(&producer) {
+                c.fanout.push((consumer, port, net, cond));
+            }
+        }
+
+        SavingsEstimator {
+            kind,
+            ctx,
+            isolated: isolated.clone(),
+        }
+    }
+
+    /// Monitor name helpers (deterministic, collision-free).
+    fn m_idle(cell: CellId) -> String {
+        format!("sv_idle_{}", cell.index())
+    }
+    fn m_active(cell: CellId) -> String {
+        format!("sv_act_{}", cell.index())
+    }
+    fn m_pw(cell: CellId, port: usize, k: CellId, tag: &str) -> String {
+        format!("sv_pw_{}_{port}_{}_{tag}", cell.index(), k.index())
+    }
+    fn m_res(cell: CellId, port: usize) -> String {
+        format!("sv_res_{}_{port}", cell.index())
+    }
+    fn m_sec(cell: CellId, j: CellId, port: usize, tag: &str) -> String {
+        format!("sv_sec_{}_{}_{port}_{tag}", cell.index(), j.index())
+    }
+    fn m_ct(cell: CellId, port: usize) -> String {
+        format!("sv_ct_{}_{port}", cell.index())
+    }
+    fn m_ct_sec(cell: CellId, j: CellId, port: usize) -> String {
+        format!("sv_ctsec_{}_{}_{port}", cell.index(), j.index())
+    }
+
+    /// Registers every probability / conditional-toggle monitor this
+    /// estimator will need on the given testbench.
+    pub fn register_monitors(&self, tb: &mut Testbench<'_>) {
+        for (&cell, ctx) in &self.ctx {
+            let f = &ctx.activation;
+            let idle = f.clone().not();
+            tb.monitor(Self::m_idle(cell), idle.clone());
+            tb.monitor(Self::m_active(cell), f.clone());
+
+            match self.kind {
+                EstimatorKind::Simple => {}
+                EstimatorKind::Pairwise => {
+                    for (pi, &(port, _net)) in ctx.data_ports.iter().enumerate() {
+                        let mut none_of = vec![idle.clone()];
+                        for path in &ctx.fanin[pi] {
+                            let g = path.condition.clone();
+                            tb.monitor(
+                                Self::m_pw(cell, port, path.fanin, "g"),
+                                BoolExpr::and2(idle.clone(), g.clone()),
+                            );
+                            if let Some(fk) = self.activation_of(path.fanin) {
+                                tb.monitor(
+                                    Self::m_pw(cell, port, path.fanin, "gf"),
+                                    BoolExpr::and(vec![idle.clone(), g.clone(), fk]),
+                                );
+                            }
+                            none_of.push(g.not());
+                        }
+                        if !ctx.fanin[pi].is_empty() {
+                            tb.monitor(Self::m_res(cell, port), BoolExpr::and(none_of));
+                        }
+                    }
+                }
+                EstimatorKind::MeasuredConditional => {
+                    for &(port, net) in &ctx.data_ports {
+                        tb.cond_toggle_monitor(Self::m_ct(cell, port), net, idle.clone());
+                    }
+                }
+            }
+
+            // Secondary-savings monitors (needed by all kinds; Simple uses
+            // only the direct Pr(!f_i ∧ g) form).
+            for (j, port, net, g) in &ctx.fanout {
+                let zj = self.isolated.contains_key(j);
+                tb.monitor(
+                    Self::m_sec(cell, *j, *port, "g"),
+                    BoolExpr::and2(idle.clone(), g.clone()),
+                );
+                if zj {
+                    if let Some(fj) = self.activation_of(*j) {
+                        tb.monitor(
+                            Self::m_sec(cell, *j, *port, "gf"),
+                            BoolExpr::and(vec![idle.clone(), g.clone(), fj.clone()]),
+                        );
+                        tb.monitor(Self::m_active(*j), fj);
+                    }
+                }
+                if self.kind == EstimatorKind::MeasuredConditional {
+                    let cond = if zj {
+                        match self.activation_of(*j) {
+                            Some(fj) => BoolExpr::and2(idle.clone(), fj),
+                            None => idle.clone(),
+                        }
+                    } else {
+                        BoolExpr::and2(idle.clone(), g.clone())
+                    };
+                    tb.cond_toggle_monitor(Self::m_ct_sec(cell, *j, *port), *net, cond);
+                }
+            }
+        }
+    }
+
+    /// The measured toggle rate of a candidate's activation signal — how
+    /// often the module crosses between active and idle. This is what the
+    /// AND/OR forcing-overhead term of the cost model needs.
+    ///
+    /// Returns `None` for unknown candidates or reports without the
+    /// estimator's monitors.
+    pub fn activation_toggle_rate(&self, report: &SimReport, cell: CellId) -> Option<f64> {
+        report.monitor_transition_rate(&Self::m_idle(cell))
+    }
+
+    fn activation_of(&self, cell: CellId) -> Option<BoolExpr> {
+        self.ctx
+            .get(&cell)
+            .map(|c| c.activation.clone())
+            .or_else(|| self.isolated.get(&cell).cloned())
+    }
+
+    /// Estimates the savings of isolating `candidate`, given the simulation
+    /// report produced with this estimator's monitors registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidate` was not part of the candidate set at
+    /// construction.
+    pub fn estimate(
+        &self,
+        netlist: &Netlist,
+        estimator: &PowerEstimator<'_>,
+        report: &SimReport,
+        candidate: CellId,
+    ) -> SavingsEstimate {
+        let ctx = self
+            .ctx
+            .get(&candidate)
+            .expect("estimate() on unknown candidate");
+        let clock = estimator.conditions().clock;
+        let model = estimator
+            .macro_model(netlist, candidate)
+            .expect("candidates are arithmetic");
+        let pr_idle = report.monitor_prob(&Self::m_idle(candidate)).unwrap_or(0.0);
+
+        // --- Primary savings -------------------------------------------
+        // With the linear macro model, savings = Σ_port E_port × (toggle
+        // rate at that port attributable to idle cycles) × f_clk.
+        let mut primary = Power::ZERO;
+        for (pi, &(port, net)) in ctx.data_ports.iter().enumerate() {
+            let e = model.input_energy[pi.min(model.input_energy.len() - 1)];
+            let idle_rate = match self.kind {
+                EstimatorKind::Simple => pr_idle * report.toggle_rate(net),
+                EstimatorKind::Pairwise => {
+                    if ctx.fanin[pi].is_empty() {
+                        pr_idle * report.toggle_rate(net)
+                    } else {
+                        let mut rate = 0.0;
+                        for path in &ctx.fanin[pi] {
+                            let k = path.fanin;
+                            let tr_k =
+                                report.toggle_rate(netlist.cell(k).output());
+                            if self.isolated.contains_key(&k) {
+                                // Eq. 2: actual rate during k's active
+                                // cycles; contributes only when k is active.
+                                let pr_k_active = report
+                                    .monitor_prob(&Self::m_active(k))
+                                    .unwrap_or(1.0)
+                                    .max(1e-9);
+                                let pr_joint = report
+                                    .monitor_prob(&Self::m_pw(candidate, port, k, "gf"))
+                                    .unwrap_or(0.0);
+                                rate += pr_joint * tr_k / pr_k_active;
+                            } else {
+                                let pr_joint = report
+                                    .monitor_prob(&Self::m_pw(candidate, port, k, "g"))
+                                    .unwrap_or(0.0);
+                                rate += pr_joint * tr_k;
+                            }
+                        }
+                        // Residual: toggles arriving from non-candidate
+                        // sources while no candidate path is selected.
+                        let pr_res = report
+                            .monitor_prob(&Self::m_res(candidate, port))
+                            .unwrap_or(0.0);
+                        rate += pr_res * report.toggle_rate(net);
+                        rate
+                    }
+                }
+                EstimatorKind::MeasuredConditional => report
+                    .cond_toggle_rate(&Self::m_ct(candidate, port))
+                    .unwrap_or(0.0),
+            };
+            primary += e.at_rate(idle_rate, clock);
+        }
+
+        // --- Secondary savings ------------------------------------------
+        let mut secondary = Power::ZERO;
+        let out_rate = report.toggle_rate(netlist.cell(candidate).output());
+        for (j, port, net, _g) in &ctx.fanout {
+            let Some(j_model) = estimator.macro_model(netlist, *j) else {
+                continue;
+            };
+            // Which port index of j's macro model does this net feed?
+            let j_cell = netlist.cell(*j);
+            let data_index = j_cell
+                .inputs()
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| j_cell.port_role(p) == PortRole::Data)
+                .position(|(p, _)| p == *port)
+                .unwrap_or(0);
+            let e = j_model.input_energy[data_index.min(j_model.input_energy.len() - 1)];
+            let zj = self.isolated.contains_key(j);
+            let rate = match self.kind {
+                EstimatorKind::MeasuredConditional => report
+                    .cond_toggle_rate(&Self::m_ct_sec(candidate, *j, *port))
+                    .unwrap_or(0.0),
+                _ => {
+                    if zj {
+                        // Eq. 5, z_j = 1: only cycles where j is active but
+                        // this candidate idle; j's input rate is Eq.-2
+                        // scaled.
+                        let pr = report
+                            .monitor_prob(&Self::m_sec(candidate, *j, *port, "gf"))
+                            .unwrap_or(0.0);
+                        let pr_j_active = report
+                            .monitor_prob(&Self::m_active(*j))
+                            .unwrap_or(1.0)
+                            .max(1e-9);
+                        pr * report.toggle_rate(*net) / pr_j_active
+                    } else {
+                        // Eq. 4 / Eq. 5 with z_j = 0.
+                        let pr = report
+                            .monitor_prob(&Self::m_sec(candidate, *j, *port, "g"))
+                            .unwrap_or(0.0);
+                        let rate_at_port = match self.kind {
+                            EstimatorKind::Simple => report.toggle_rate(*net),
+                            _ => out_rate,
+                        };
+                        pr * rate_at_port
+                    }
+                }
+            };
+            secondary += e.at_rate(rate, clock);
+        }
+
+        SavingsEstimate { primary, secondary }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ActivationConfig;
+    use crate::candidates::{identify_candidates, CandidateFilter};
+    use oiso_netlist::{CellKind, NetlistBuilder};
+    use oiso_sim::{StimulusPlan, StimulusSpec};
+    use oiso_techlib::{OperatingConditions, TechLibrary, Time};
+    use oiso_timing::analyze;
+
+    /// gated adder (candidate) feeding a multiplier (fanout candidate)
+    /// through a mux, plus an enabled register sink.
+    fn chained() -> Netlist {
+        let mut b = NetlistBuilder::new("ch");
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let c = b.input("c", 16);
+        let s0 = b.input("S0", 1);
+        let g0 = b.input("G0", 1);
+        let g1 = b.input("G1", 1);
+        let sum = b.wire("sum", 16);
+        let m = b.wire("m", 16);
+        let prod = b.wire("prod", 16);
+        let q0 = b.wire("q0", 16);
+        let q1 = b.wire("q1", 16);
+        b.cell("add", CellKind::Add, &[x, y], sum).unwrap();
+        b.cell("mx", CellKind::Mux, &[s0, sum, c], m).unwrap();
+        b.cell("mul", CellKind::Mul, &[m, y], prod).unwrap();
+        b.cell("r0", CellKind::Reg { has_enable: true }, &[sum, g0], q0)
+            .unwrap();
+        b.cell("r1", CellKind::Reg { has_enable: true }, &[prod, g1], q1)
+            .unwrap();
+        b.mark_output(q0);
+        b.mark_output(q1);
+        b.build().unwrap()
+    }
+
+    fn setup(
+        kind: EstimatorKind,
+        g0_p1: f64,
+    ) -> (Netlist, Vec<Candidate>, SavingsEstimator, SimReport) {
+        let n = chained();
+        let lib = TechLibrary::generic_250nm();
+        let t = analyze(&lib, &n, Time::from_ns(20.0));
+        let cands = identify_candidates(
+            &n,
+            &lib,
+            &t,
+            &ActivationConfig::default(),
+            &CandidateFilter::default(),
+        );
+        let est = SavingsEstimator::new(&n, kind, &cands, &HashMap::new());
+        let plan = StimulusPlan::new(21)
+            .drive("x", StimulusSpec::UniformRandom)
+            .drive("y", StimulusSpec::UniformRandom)
+            .drive("c", StimulusSpec::UniformRandom)
+            .drive("S0", StimulusSpec::MarkovBits { p_one: 0.5, toggle_rate: 0.4 })
+            .drive("G0", StimulusSpec::MarkovBits { p_one: g0_p1, toggle_rate: 0.2 })
+            .drive("G1", StimulusSpec::MarkovBits { p_one: 0.5, toggle_rate: 0.4 });
+        let mut tb = Testbench::from_plan(&n, &plan).unwrap();
+        est.register_monitors(&mut tb);
+        let report = tb.run(6000).unwrap();
+        (n, cands, est, report)
+    }
+
+    #[test]
+    fn both_modules_are_candidates() {
+        let (n, cands, _, _) = setup(EstimatorKind::Pairwise, 0.3);
+        let names: Vec<&str> = cands
+            .iter()
+            .map(|c| n.cell(c.cell).name())
+            .collect();
+        assert!(names.contains(&"add"), "{names:?}");
+        assert!(names.contains(&"mul"), "{names:?}");
+    }
+
+    #[test]
+    fn savings_positive_and_ordered_by_idleness() {
+        for kind in [
+            EstimatorKind::Simple,
+            EstimatorKind::Pairwise,
+            EstimatorKind::MeasuredConditional,
+        ] {
+            let lib = TechLibrary::generic_250nm();
+            let pe = PowerEstimator::new(&lib, OperatingConditions::default());
+            let (n, cands, est, report) = setup(kind, 0.2);
+            let add = cands.iter().find(|c| n.cell(c.cell).name() == "add").unwrap();
+            let s_mostly_idle = est.estimate(&n, &pe, &report, add.cell);
+            assert!(
+                s_mostly_idle.primary.as_mw() > 0.0,
+                "{kind:?}: primary savings must be positive"
+            );
+
+            let (n2, cands2, est2, report2) = setup(kind, 0.9);
+            let add2 = cands2.iter().find(|c| n2.cell(c.cell).name() == "add").unwrap();
+            let s_mostly_busy = est2.estimate(&n2, &pe, &report2, add2.cell);
+            assert!(
+                s_mostly_idle.primary > s_mostly_busy.primary,
+                "{kind:?}: idler module must promise more savings \
+                 ({} vs {})",
+                s_mostly_idle.primary,
+                s_mostly_busy.primary
+            );
+        }
+    }
+
+    #[test]
+    fn adder_has_secondary_savings_through_mux() {
+        // Isolating `add` quiets `mul`'s A input while S0=0 selects it.
+        let lib = TechLibrary::generic_250nm();
+        let pe = PowerEstimator::new(&lib, OperatingConditions::default());
+        for kind in [
+            EstimatorKind::Simple,
+            EstimatorKind::Pairwise,
+            EstimatorKind::MeasuredConditional,
+        ] {
+            let (n, cands, est, report) = setup(kind, 0.2);
+            let add = cands.iter().find(|c| n.cell(c.cell).name() == "add").unwrap();
+            let s = est.estimate(&n, &pe, &report, add.cell);
+            assert!(
+                s.secondary.as_mw() > 0.0,
+                "{kind:?}: secondary savings through the mux expected"
+            );
+            // The multiplier has no fanout candidates: zero secondary.
+            let mul = cands.iter().find(|c| n.cell(c.cell).name() == "mul").unwrap();
+            let sm = est.estimate(&n, &pe, &report, mul.cell);
+            assert_eq!(sm.secondary.as_mw(), 0.0, "{kind:?}");
+            assert!(sm.total() >= sm.primary);
+        }
+    }
+
+    #[test]
+    fn estimators_agree_within_tolerance_on_simple_case() {
+        // On a design where toggles *are* roughly evenly distributed
+        // (uniform random operands), all three estimators should agree on
+        // primary savings within ~25%.
+        let lib = TechLibrary::generic_250nm();
+        let pe = PowerEstimator::new(&lib, OperatingConditions::default());
+        let mut primaries = Vec::new();
+        for kind in [
+            EstimatorKind::Simple,
+            EstimatorKind::Pairwise,
+            EstimatorKind::MeasuredConditional,
+        ] {
+            let (n, cands, est, report) = setup(kind, 0.3);
+            let add = cands.iter().find(|c| n.cell(c.cell).name() == "add").unwrap();
+            primaries.push(est.estimate(&n, &pe, &report, add.cell).primary.as_mw());
+        }
+        let max = primaries.iter().cloned().fold(f64::MIN, f64::max);
+        let min = primaries.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            (max - min) / max < 0.25,
+            "estimators diverged: {primaries:?}"
+        );
+    }
+}

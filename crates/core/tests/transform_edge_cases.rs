@@ -1,0 +1,212 @@
+//! Edge cases of the isolation transform and analysis chain, exercised
+//! through the public API.
+
+use oiso_boolex::{BoolExpr, Signal};
+use oiso_core::{
+    derive_activation_functions, isolate, multiplexing_functions, ActivationConfig,
+    IsolationStyle,
+};
+use oiso_netlist::{CellKind, Netlist, NetlistBuilder};
+use oiso_sim::{StimulusPlan, StimulusSpec, Testbench};
+
+/// Shifter: both the data and the *amount* port are operand (data) ports —
+/// isolation must bank both.
+#[test]
+fn shifter_isolation_banks_both_ports() {
+    let mut b = NetlistBuilder::new("sh");
+    let x = b.input("x", 16);
+    let amt = b.input("amt", 4);
+    let g = b.input("g", 1);
+    let sh = b.wire("sh", 16);
+    let q = b.wire("q", 16);
+    let shl = b.cell("shl", CellKind::Shl, &[x, amt], sh).unwrap();
+    b.cell("r", CellKind::Reg { has_enable: true }, &[sh, g], q)
+        .unwrap();
+    b.mark_output(q);
+    let mut n = b.build().unwrap();
+
+    let acts = derive_activation_functions(&n, &ActivationConfig::default());
+    assert_eq!(acts[&shl], BoolExpr::var(Signal::bit0(g)));
+    let record = isolate(&mut n, shl, &acts[&shl], IsolationStyle::And).unwrap();
+    assert_eq!(record.bank_cells.len(), 2, "data and amount both banked");
+    assert_eq!(record.isolated_bits, 16 + 4);
+    n.validate().unwrap();
+}
+
+/// A comparator whose 1-bit result is stored conditionally: still a valid
+/// candidate (Lt is arithmetic) with banked 8-bit operands.
+#[test]
+fn comparator_isolation() {
+    let mut b = NetlistBuilder::new("cmp");
+    let x = b.input("x", 8);
+    let y = b.input("y", 8);
+    let g = b.input("g", 1);
+    let lt = b.wire("lt", 1);
+    let q = b.wire("q", 1);
+    let cmp = b.cell("cmp", CellKind::Lt, &[x, y], lt).unwrap();
+    b.cell("r", CellKind::Reg { has_enable: true }, &[lt, g], q)
+        .unwrap();
+    b.mark_output(q);
+    let mut n = b.build().unwrap();
+    let acts = derive_activation_functions(&n, &ActivationConfig::default());
+    let record = isolate(&mut n, cmp, &acts[&cmp], IsolationStyle::Latch).unwrap();
+    assert_eq!(record.isolated_bits, 16);
+    n.validate().unwrap();
+
+    // Behavior check under stimulus.
+    let plan = StimulusPlan::new(5)
+        .drive("x", StimulusSpec::UniformRandom)
+        .drive("y", StimulusSpec::UniformRandom)
+        .drive("g", StimulusSpec::MarkovBits {
+            p_one: 0.5,
+            toggle_rate: 0.4,
+        });
+    let reference = {
+        let mut b = NetlistBuilder::new("cmp_ref");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let g = b.input("g", 1);
+        let lt = b.wire("lt", 1);
+        let q = b.wire("q", 1);
+        b.cell("cmp", CellKind::Lt, &[x, y], lt).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[lt, g], q)
+            .unwrap();
+        b.mark_output(q);
+        b.build().unwrap()
+    };
+    let trace = |nl: &Netlist| {
+        let q = nl.find_net("q").unwrap();
+        let mut tb = Testbench::from_plan(nl, &plan).unwrap();
+        tb.capture(q);
+        tb.run(500).unwrap().trace(q).unwrap().to_vec()
+    };
+    assert_eq!(trace(&reference), trace(&n));
+}
+
+/// Isolating the same candidate twice stacks banks but must still preserve
+/// behavior (idempotent-ish composition; a user error the transform
+/// tolerates gracefully).
+#[test]
+fn double_isolation_is_still_sound() {
+    let mut b = NetlistBuilder::new("dbl");
+    let x = b.input("x", 8);
+    let y = b.input("y", 8);
+    let g = b.input("g", 1);
+    let s = b.wire("s", 8);
+    let q = b.wire("q", 8);
+    let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+    b.cell("r", CellKind::Reg { has_enable: true }, &[s, g], q)
+        .unwrap();
+    b.mark_output(q);
+    let reference = b.build().unwrap();
+
+    let mut n = reference.clone();
+    let act = BoolExpr::var(Signal::bit0(g));
+    isolate(&mut n, add, &act, IsolationStyle::And).unwrap();
+    isolate(&mut n, add, &act, IsolationStyle::Latch).unwrap();
+    n.validate().unwrap();
+
+    let plan = StimulusPlan::new(9)
+        .drive("x", StimulusSpec::UniformRandom)
+        .drive("y", StimulusSpec::UniformRandom)
+        .drive("g", StimulusSpec::MarkovBits {
+            p_one: 0.3,
+            toggle_rate: 0.3,
+        });
+    let trace = |nl: &Netlist| {
+        let q = nl.find_net("q").unwrap();
+        let mut tb = Testbench::from_plan(nl, &plan).unwrap();
+        tb.capture(q);
+        tb.run(400).unwrap().trace(q).unwrap().to_vec()
+    };
+    assert_eq!(trace(&reference), trace(&n));
+}
+
+/// The mux-path traversal survives deep mux chains (depth guard, no stack
+/// blowup, conditions accumulate).
+#[test]
+fn deep_mux_chains_accumulate_conditions() {
+    let depth = 12usize;
+    let mut b = NetlistBuilder::new("deep");
+    let x = b.input("x", 8);
+    let y = b.input("y", 8);
+    let alt = b.input("alt", 8);
+    let sum = b.wire("sum", 8);
+    let src = b.cell("src", CellKind::Add, &[x, y], sum).unwrap();
+    let mut cur = sum;
+    let mut sels = Vec::new();
+    for i in 0..depth {
+        let sel = b.input(format!("sel{i}"), 1);
+        let m = b.wire(format!("m{i}"), 8);
+        b.cell(format!("mx{i}"), CellKind::Mux, &[sel, cur, alt], m)
+            .unwrap();
+        sels.push(sel);
+        cur = m;
+    }
+    let sink = b.wire("sink", 8);
+    let dst = b.cell("dst", CellKind::Mul, &[cur, y], sink).unwrap();
+    b.mark_output(sink);
+    let n = b.build().unwrap();
+
+    let paths = multiplexing_functions(&n, dst, 0);
+    assert_eq!(paths.len(), 1);
+    assert_eq!(paths[0].fanin, src);
+    // The condition is the conjunction of all selects being 0.
+    assert_eq!(paths[0].condition.literal_count(), depth);
+    let all_zero = |_: Signal| false;
+    assert!(paths[0].condition.eval(&all_zero));
+    let first_one = |s: Signal| s.net == sels[0];
+    assert!(!paths[0].condition.eval(&first_one));
+}
+
+/// Activation literal clamping interacts correctly with look-ahead: an
+/// over-budget rewound expression degrades to constant 1, never panics.
+#[test]
+fn lookahead_respects_literal_budget() {
+    // Wide decoded fanout: the rewound expression would be large.
+    let mut b = NetlistBuilder::new("budget");
+    let x = b.input("x", 8);
+    let y = b.input("y", 8);
+    let sum = b.wire("sum", 8);
+    let q = b.wire("q", 8);
+    let add = b.cell("add", CellKind::Add, &[x, y], sum).unwrap();
+    b.cell("rp", CellKind::Reg { has_enable: false }, &[sum], q)
+        .unwrap();
+    // Eight enabled consumers, each with its own registered control chain.
+    for i in 0..8 {
+        let c = b.input(format!("c{i}"), 1);
+        let cq = b.wire(format!("cq{i}"), 1);
+        b.cell(format!("rc{i}"), CellKind::Reg { has_enable: false }, &[c], cq)
+            .unwrap();
+        let qi = b.wire(format!("qo{i}"), 8);
+        b.cell(
+            format!("rs{i}"),
+            CellKind::Reg { has_enable: true },
+            &[q, cq],
+            qi,
+        )
+        .unwrap();
+        b.mark_output(qi);
+    }
+    let n = b.build().unwrap();
+    let tight = ActivationConfig {
+        max_literals: 4,
+        ..ActivationConfig::default()
+    }
+    .with_lookahead();
+    let acts = derive_activation_functions(&n, &tight);
+    // Either a small expression or the conservative constant: never panic,
+    // never exceed the budget.
+    let f = &acts[&add];
+    assert!(f.is_const(true) || f.literal_count() <= 4, "{f}");
+
+    let roomy = ActivationConfig {
+        max_literals: 64,
+        ..ActivationConfig::default()
+    }
+    .with_lookahead();
+    let acts = derive_activation_functions(&n, &roomy);
+    // With room, the rewind succeeds: AS_add = OR of the 8 current control
+    // inputs.
+    assert_eq!(acts[&add].literal_count(), 8, "{}", acts[&add]);
+}

@@ -1,0 +1,159 @@
+//! Control-dominated ALU: the paper's Section 1 motivating case.
+//!
+//! "The most prominent examples are control-dominated designs with
+//! arithmetic operations that are used only in a few states, precluding
+//! their full utilization."
+//!
+//! Five functional units (add, sub, mul, shift, compare) compute in
+//! parallel every cycle, but a 3-bit opcode selects exactly *one* result
+//! into the output register — so four of the five computations are always
+//! redundant. This is the design family where operand isolation shines
+//! brightest.
+
+use crate::Design;
+use oiso_netlist::{CellKind, NetlistBuilder};
+use oiso_sim::{StimulusPlan, StimulusSpec};
+
+/// Parameters of the ALU generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AluParams {
+    /// Operand width in bits.
+    pub width: u8,
+    /// Duty cycle of the `valid` input (fraction of cycles with a real
+    /// instruction).
+    pub valid_duty: f64,
+}
+
+impl Default for AluParams {
+    fn default() -> Self {
+        AluParams {
+            width: 16,
+            valid_duty: 0.6,
+        }
+    }
+}
+
+/// Builds the control-dominated ALU.
+pub fn build(params: &AluParams) -> Design {
+    let w = params.width;
+    let mut b = NetlistBuilder::new("alu_ctrl");
+    let a = b.input("a", w);
+    let bi = b.input("b", w);
+    let op = b.input("op", 3);
+    let valid = b.input("valid", 1);
+
+    // Operand capture (loaded when a valid instruction arrives).
+    let ar = b.wire("ar", w);
+    let br = b.wire("br", w);
+    b.cell("ra", CellKind::Reg { has_enable: true }, &[a, valid], ar)
+        .expect("ra");
+    b.cell("rb", CellKind::Reg { has_enable: true }, &[bi, valid], br)
+        .expect("rb");
+
+    // Functional units.
+    let sum = b.wire("sum", w);
+    b.cell("u_add", CellKind::Add, &[ar, br], sum).expect("add");
+    let diff = b.wire("diff", w);
+    b.cell("u_sub", CellKind::Sub, &[ar, br], diff).expect("sub");
+    let prod = b.wire("prod", w);
+    b.cell("u_mul", CellKind::Mul, &[ar, br], prod).expect("mul");
+    let amt = b.wire("amt", 4);
+    b.cell("amt_slice", CellKind::Slice { lo: 0, hi: 3 }, &[br], amt)
+        .expect("amount");
+    let shl = b.wire("shl", w);
+    b.cell("u_shl", CellKind::Shl, &[ar, amt], shl).expect("shl");
+    let lt = b.wire("lt", 1);
+    b.cell("u_lt", CellKind::Lt, &[ar, br], lt).expect("lt");
+    let ltw = b.wire("ltw", w);
+    b.cell("lt_zext", CellKind::Zext, &[lt], ltw).expect("zext");
+
+    // Result select: op decodes one of the five results.
+    let result = b.wire("result", w);
+    b.cell(
+        "result_mux",
+        CellKind::Mux,
+        &[op, sum, diff, prod, shl, ltw],
+        result,
+    )
+    .expect("result mux");
+    let qo = b.wire("qo", w);
+    b.cell(
+        "rout",
+        CellKind::Reg { has_enable: true },
+        &[result, valid],
+        qo,
+    )
+    .expect("output register");
+    b.mark_output(qo);
+
+    let netlist = b.build().expect("alu netlist is well-formed");
+    let stimuli = StimulusPlan::new(0xA1)
+        .drive("a", StimulusSpec::UniformRandom)
+        .drive("b", StimulusSpec::UniformRandom)
+        .drive("op", StimulusSpec::UniformRandom)
+        .drive("valid", StimulusSpec::MarkovBits {
+            p_one: params.valid_duty,
+            toggle_rate: (2.0 * params.valid_duty.min(1.0 - params.valid_duty)) * 0.8,
+        });
+    Design { netlist, stimuli }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_boolex::{BoolExpr, Signal};
+    use oiso_sim::Testbench;
+
+    #[test]
+    fn five_functional_units() {
+        let d = build(&AluParams::default());
+        assert_eq!(d.netlist.arithmetic_cells().count(), 5);
+    }
+
+    #[test]
+    fn exactly_one_result_is_selected() {
+        // When op=2 (mul) the output register tracks the product.
+        let d = build(&AluParams::default());
+        let plan = StimulusPlan::new(1)
+            .drive("a", StimulusSpec::Constant(7))
+            .drive("b", StimulusSpec::Constant(9))
+            .drive("op", StimulusSpec::Constant(2))
+            .drive("valid", StimulusSpec::Constant(1));
+        let mut tb = Testbench::from_plan(&d.netlist, &plan).unwrap();
+        let qo = d.netlist.find_net("qo").unwrap();
+        tb.monitor(
+            "is_63",
+            BoolExpr::and(
+                (0..16)
+                    .map(|bit| {
+                        let lit = BoolExpr::var(Signal::new(qo, bit));
+                        if (63u64 >> bit) & 1 == 1 {
+                            lit
+                        } else {
+                            lit.not()
+                        }
+                    })
+                    .collect(),
+            ),
+        );
+        let report = tb.run(10).unwrap();
+        // After the 2-cycle pipeline fill, qo = 7*9 = 63.
+        assert!(report.monitor_count("is_63").unwrap() >= 7);
+    }
+
+    #[test]
+    fn mostly_one_hot_utilization() {
+        // With uniform op, each unit is selected ~1/5 of valid cycles (the
+        // last mux input absorbs codes 4..7, so u_lt gets 1/2).
+        let d = build(&AluParams { width: 16, valid_duty: 1.0 });
+        let op = d.netlist.find_net("op").unwrap();
+        let mut tb = Testbench::from_plan(&d.netlist, &d.stimuli).unwrap();
+        tb.monitor(
+            "op_is_mul",
+            BoolExpr::net_equals(op, 3, 2),
+        );
+        let report = tb.run(4000).unwrap();
+        let p = report.monitor_prob("op_is_mul").unwrap();
+        assert!((p - 0.125).abs() < 0.03, "{p}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Kapadia-style shared-bus structure \[4\], used by the baseline experiment.
+//!
+//! Three producer units with *dedicated* operand-capture registers drive a
+//! shared bus through a select mux; an optional fourth unit reads a
+//! *multi-fanout* operand register — the exact configuration Fig. 7 of \[4\]
+//! cannot isolate with enable gating, while full RT-level operand isolation
+//! covers it.
+
+use crate::Design;
+use oiso_netlist::{CellKind, NetlistBuilder};
+use oiso_sim::{StimulusPlan, StimulusSpec};
+
+/// Parameters of the bus-structure generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusParams {
+    /// Operand width in bits.
+    pub width: u8,
+    /// Include the multi-fanout-register unit (the \[4\]-uncoverable case).
+    pub with_shared_operand: bool,
+}
+
+impl Default for BusParams {
+    fn default() -> Self {
+        BusParams {
+            width: 16,
+            with_shared_operand: true,
+        }
+    }
+}
+
+/// Builds the bus structure.
+pub fn build(params: &BusParams) -> Design {
+    let w = params.width;
+    let mut b = NetlistBuilder::new("busnet");
+    let sel = b.input("sel", 2);
+    let bus_en = b.input("bus_en", 1);
+    let ld = b.input("ld", 1);
+
+    // Three producers with dedicated operand registers.
+    let kinds = [
+        ("p0", CellKind::Mul),
+        ("p1", CellKind::Add),
+        ("p2", CellKind::Sub),
+    ];
+    let mut results = Vec::new();
+    let mut p0_qb = None;
+    for (name, kind) in kinds {
+        let xa = b.input(format!("{name}_a"), w);
+        let xb = b.input(format!("{name}_b"), w);
+        let qa = b.wire(format!("{name}_qa"), w);
+        let qb = b.wire(format!("{name}_qb"), w);
+        b.cell(
+            format!("{name}_ra"),
+            CellKind::Reg { has_enable: true },
+            &[xa, ld],
+            qa,
+        )
+        .expect("operand register a");
+        b.cell(
+            format!("{name}_rb"),
+            CellKind::Reg { has_enable: true },
+            &[xb, ld],
+            qb,
+        )
+        .expect("operand register b");
+        let r = b.wire(format!("{name}_r"), w);
+        b.cell(format!("{name}_u"), kind, &[qa, qb], r)
+            .expect("producer unit");
+        results.push(r);
+        if name == "p0" {
+            p0_qb = Some(qb);
+        }
+    }
+
+    // Optional unit whose operand register is shared with another consumer.
+    if params.with_shared_operand {
+        let x = b.input("p3_a", w);
+        let q = b.wire("p3_qa", w);
+        b.cell("p3_ra", CellKind::Reg { has_enable: true }, &[x, ld], q)
+            .expect("shared operand register");
+        let r = b.wire("p3_r", w);
+        // Shares p0's second operand register (multi-fanout).
+        let shared = p0_qb.expect("p0 built first");
+        b.cell("p3_u", CellKind::Mul, &[q, shared], r)
+            .expect("shared-operand unit");
+        results.push(r);
+        // q also observed directly (second fanout of the shared register
+        // chain): export it.
+        let tap = b.wire("p3_tap", w);
+        b.cell("p3_buf", CellKind::Buf, &[q], tap).expect("tap");
+        b.mark_output(tap);
+    }
+
+    // Shared bus: mux the producers onto one register.
+    let bus = b.wire("bus", w);
+    let mut mux_inputs = vec![sel];
+    mux_inputs.extend(&results);
+    while mux_inputs.len() - 1 < 4 {
+        // Pad to 4 data inputs so the 2-bit select is fully used.
+        let last = *mux_inputs.last().expect("non-empty");
+        mux_inputs.push(last);
+    }
+    b.cell("bus_mux", CellKind::Mux, &mux_inputs, bus)
+        .expect("bus mux");
+    let qo = b.wire("bus_q", w);
+    b.cell(
+        "bus_reg",
+        CellKind::Reg { has_enable: true },
+        &[bus, bus_en],
+        qo,
+    )
+    .expect("bus register");
+    b.mark_output(qo);
+
+    let netlist = b.build().expect("busnet netlist is well-formed");
+    let mut stimuli = StimulusPlan::new(0xB5)
+        .drive("sel", StimulusSpec::UniformRandom)
+        .drive("bus_en", StimulusSpec::MarkovBits {
+            p_one: 0.5,
+            toggle_rate: 0.4,
+        })
+        .drive("ld", StimulusSpec::MarkovBits {
+            p_one: 0.6,
+            toggle_rate: 0.4,
+        });
+    for (name, _) in kinds {
+        stimuli = stimuli
+            .drive(format!("{name}_a"), StimulusSpec::UniformRandom)
+            .drive(format!("{name}_b"), StimulusSpec::UniformRandom);
+    }
+    if params.with_shared_operand {
+        stimuli = stimuli.drive("p3_a", StimulusSpec::UniformRandom);
+    }
+    Design { netlist, stimuli }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn producer_inventory() {
+        let d = build(&BusParams::default());
+        assert_eq!(d.netlist.arithmetic_cells().count(), 4);
+        let d2 = build(&BusParams {
+            with_shared_operand: false,
+            ..Default::default()
+        });
+        assert_eq!(d2.netlist.arithmetic_cells().count(), 3);
+    }
+
+    #[test]
+    fn shared_register_has_multiple_fanout() {
+        let d = build(&BusParams::default());
+        let qb = d.netlist.find_net("p0_qb").unwrap();
+        assert!(
+            d.netlist.net(qb).loads().len() >= 2,
+            "p0_qb must feed both p0_u and p3_u"
+        );
+    }
+
+    #[test]
+    fn dedicated_registers_are_single_fanout() {
+        let d = build(&BusParams::default());
+        for name in ["p1_qa", "p1_qb", "p2_qa", "p2_qb"] {
+            let n = d.netlist.find_net(name).unwrap();
+            assert_eq!(d.netlist.net(n).loads().len(), 1, "{name}");
+        }
+    }
+}

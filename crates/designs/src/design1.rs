@@ -1,0 +1,212 @@
+//! "design1": a datapath block whose first-stage activation is controllable
+//! from a primary input.
+//!
+//! The paper: "A special characteristic of the first design (design1) was
+//! that the activation signal of the isolation candidates in the first
+//! combinational stage of the design could be controlled from a primary
+//! input. Thus, the relationship between power savings and the statistics
+//! of the activation signal could be investigated by applying stimuli with
+//! different signal statistics."
+//!
+//! Structure (per lane, default 4 lanes of 16 bits):
+//!
+//! * stage 1 — `prod_i = X_i · Y_i`, stored in a pipeline register whose
+//!   load enable is the primary input `act` → `AS(mul_i) = act`, directly
+//!   controllable from the testbench;
+//! * stage 2 — an add/sub reduction tree over the pipeline registers and a
+//!   barrel shifter, all observable only when the output register loads
+//!   (`en2`) → internal candidates with composite activation functions.
+
+use crate::Design;
+use oiso_netlist::{CellKind, NetId, NetlistBuilder};
+use oiso_sim::{StimulusPlan, StimulusSpec};
+
+/// Parameters of the design1 generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Design1Params {
+    /// Operand width in bits.
+    pub width: u8,
+    /// Number of multiply lanes (must be a power of two ≥ 2).
+    pub lanes: usize,
+    /// Statistics of the first-stage activation input `act`.
+    pub act_p_one: f64,
+    /// Toggle rate of `act`.
+    pub act_toggle_rate: f64,
+}
+
+impl Default for Design1Params {
+    fn default() -> Self {
+        Design1Params {
+            width: 16,
+            lanes: 4,
+            act_p_one: 0.5,
+            act_toggle_rate: 0.4,
+        }
+    }
+}
+
+/// Builds design1.
+///
+/// # Panics
+///
+/// Panics if `lanes` is not a power of two ≥ 2 or `width` is invalid.
+pub fn build(params: &Design1Params) -> Design {
+    assert!(
+        params.lanes >= 2 && params.lanes.is_power_of_two(),
+        "lanes must be a power of two >= 2"
+    );
+    let w = params.width;
+    let mut b = NetlistBuilder::new("design1");
+    let act = b.input("act", 1);
+    let en2 = b.input("en2", 1);
+    let mode = b.input("mode", 1);
+    let sh = b.input("sh", 4);
+
+    // Stage 1: multiply lanes behind act-enabled pipeline registers.
+    let mut regs: Vec<NetId> = Vec::new();
+    for lane in 0..params.lanes {
+        let x = b.input(format!("x{lane}"), w);
+        let y = b.input(format!("y{lane}"), w);
+        let prod = b.wire(format!("prod{lane}"), w);
+        let q = b.wire(format!("q{lane}"), w);
+        b.cell(format!("mul{lane}"), CellKind::Mul, &[x, y], prod)
+            .expect("mul lane");
+        b.cell(
+            format!("r1_{lane}"),
+            CellKind::Reg { has_enable: true },
+            &[prod, act],
+            q,
+        )
+        .expect("stage-1 register");
+        regs.push(q);
+    }
+
+    // Stage 2: alternating add/sub reduction tree.
+    let mut level = regs;
+    let mut level_no = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for (pair, chunk) in level.chunks(2).enumerate() {
+            let out = b.wire(format!("t{level_no}_{pair}"), w);
+            let kind = if pair % 2 == 0 { CellKind::Add } else { CellKind::Sub };
+            b.cell(
+                format!("tree{level_no}_{pair}"),
+                kind,
+                &[chunk[0], chunk[1]],
+                out,
+            )
+            .expect("tree node");
+            next.push(out);
+        }
+        level = next;
+        level_no += 1;
+    }
+    let total = level[0];
+
+    // Barrel shifter + output select.
+    let shifted = b.wire("shifted", w);
+    b.cell("shifter", CellKind::Shr, &[total, sh], shifted)
+        .expect("shifter");
+    let outm = b.wire("outm", w);
+    b.cell("outmux", CellKind::Mux, &[mode, total, shifted], outm)
+        .expect("output mux");
+    let qo = b.wire("qo", w);
+    b.cell("rout", CellKind::Reg { has_enable: true }, &[outm, en2], qo)
+        .expect("output register");
+    b.mark_output(qo);
+
+    let netlist = b.build().expect("design1 netlist is well-formed");
+
+    let mut stimuli = StimulusPlan::new(0xD1)
+        .drive("act", StimulusSpec::MarkovBits {
+            p_one: params.act_p_one,
+            toggle_rate: params.act_toggle_rate,
+        })
+        .drive("en2", StimulusSpec::MarkovBits {
+            p_one: 0.4,
+            toggle_rate: 0.3,
+        })
+        .drive("mode", StimulusSpec::MarkovBits {
+            p_one: 0.5,
+            toggle_rate: 0.2,
+        })
+        .drive("sh", StimulusSpec::UniformRandom);
+    for lane in 0..params.lanes {
+        stimuli = stimuli
+            .drive(format!("x{lane}"), StimulusSpec::UniformRandom)
+            .drive(format!("y{lane}"), StimulusSpec::UniformRandom);
+    }
+    Design { netlist, stimuli }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_inventory() {
+        let d = build(&Design1Params::default());
+        // 4 muls + 3 tree nodes + 1 shifter = 8 arithmetic cells.
+        assert_eq!(d.netlist.arithmetic_cells().count(), 8);
+        // 4 pipeline registers + 1 output register.
+        assert_eq!(d.netlist.registers().count(), 5);
+    }
+
+    #[test]
+    fn lanes_scale() {
+        let d8 = build(&Design1Params {
+            lanes: 8,
+            ..Default::default()
+        });
+        // 8 muls + 7 tree nodes + 1 shifter.
+        assert_eq!(d8.netlist.arithmetic_cells().count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_lane_count_rejected() {
+        let _ = build(&Design1Params {
+            lanes: 3,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn first_stage_activation_is_the_act_input() {
+        use oiso_boolex::{BoolExpr, Signal};
+        let d = build(&Design1Params::default());
+        let acts = oiso_core_free_derive(&d.netlist);
+        let act_net = d.netlist.find_net("act").unwrap();
+        for lane in 0..4 {
+            let mul = d.netlist.find_cell(&format!("mul{lane}")).unwrap();
+            assert_eq!(
+                acts[&mul],
+                BoolExpr::var(Signal::bit0(act_net)),
+                "mul{lane}"
+            );
+        }
+    }
+
+    // designs must not depend on oiso-core (dependency direction), so the
+    // activation check re-implements the tiny derivation needed here.
+    fn oiso_core_free_derive(
+        netlist: &oiso_netlist::Netlist,
+    ) -> std::collections::HashMap<oiso_netlist::CellId, oiso_boolex::BoolExpr> {
+        use oiso_boolex::{BoolExpr, Signal};
+        use oiso_netlist::CellKind;
+        // For this specific check: a mul feeding exactly one enabled
+        // register has activation = that register's enable.
+        let mut map = std::collections::HashMap::new();
+        for (cid, cell) in netlist.cells() {
+            if cell.kind() != CellKind::Mul {
+                continue;
+            }
+            let loads = netlist.net(cell.output()).loads();
+            assert_eq!(loads.len(), 1);
+            let (reg, _) = loads[0];
+            let en = netlist.cell(reg).enable().expect("enabled register");
+            map.insert(cid, BoolExpr::var(Signal::bit0(en)));
+        }
+        map
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's Figure 1 circuit, with the exact published activation
+//! functions.
+//!
+//! Topology (Section 3's worked example):
+//!
+//! * adder `a1 = A + B` — its output is evaluated *conditionally*;
+//! * `m1` (select `S1`) routes `a1` (when `S1 = 1`) or the bypass `D`;
+//! * `m0` (select `S0`) routes `m1` (when `S0 = 0`) or the constant input
+//!   `C` into input A of adder `a0`;
+//! * `a0 = m0 + E` stores into register `r0` (load enable `G0`);
+//! * `m2` (select `S2`) routes `a1` (when `S2 = 0`) or `F` into register
+//!   `r1` (load enable `G1`).
+//!
+//! With the register simplification `f⁺_r = 1`, the derived activation
+//! signals must be exactly the paper's:
+//!
+//! ```text
+//! AS_a0 = G0
+//! AS_a1 = !S2·G1 + !S0·S1·G0
+//! ```
+//!
+//! and the multiplexing function of `a1` into `a0.A` is `g = !S0·S1`.
+
+use crate::Design;
+use oiso_netlist::{CellKind, NetlistBuilder};
+use oiso_sim::{StimulusPlan, StimulusSpec};
+
+/// Operand width of the Figure 1 datapath.
+pub const WIDTH: u8 = 16;
+
+/// Builds the Figure 1 circuit with representative stimuli (random data,
+/// moderately idle control).
+pub fn build() -> Design {
+    let mut b = NetlistBuilder::new("figure1");
+    let a = b.input("A", WIDTH);
+    let bb = b.input("B", WIDTH);
+    let c = b.input("C", WIDTH);
+    let d = b.input("D", WIDTH);
+    let e = b.input("E", WIDTH);
+    let f = b.input("F", WIDTH);
+    let s0 = b.input("S0", 1);
+    let s1 = b.input("S1", 1);
+    let s2 = b.input("S2", 1);
+    let g0 = b.input("G0", 1);
+    let g1 = b.input("G1", 1);
+
+    let sum1 = b.wire("sum1", WIDTH);
+    let m1o = b.wire("m1o", WIDTH);
+    let m0o = b.wire("m0o", WIDTH);
+    let sum0 = b.wire("sum0", WIDTH);
+    let m2o = b.wire("m2o", WIDTH);
+    let q0 = b.wire("q0", WIDTH);
+    let q1 = b.wire("q1", WIDTH);
+
+    b.cell("a1", CellKind::Add, &[a, bb], sum1).expect("a1");
+    b.cell("m1", CellKind::Mux, &[s1, d, sum1], m1o).expect("m1");
+    b.cell("m0", CellKind::Mux, &[s0, m1o, c], m0o).expect("m0");
+    b.cell("a0", CellKind::Add, &[m0o, e], sum0).expect("a0");
+    b.cell("m2", CellKind::Mux, &[s2, sum1, f], m2o).expect("m2");
+    b.cell("r0", CellKind::Reg { has_enable: true }, &[sum0, g0], q0)
+        .expect("r0");
+    b.cell("r1", CellKind::Reg { has_enable: true }, &[m2o, g1], q1)
+        .expect("r1");
+    b.mark_output(q0);
+    b.mark_output(q1);
+
+    let netlist = b.build().expect("figure1 netlist is well-formed");
+    let control = StimulusSpec::MarkovBits {
+        p_one: 0.5,
+        toggle_rate: 0.4,
+    };
+    let stimuli = StimulusPlan::new(0xF161)
+        .drive("A", StimulusSpec::UniformRandom)
+        .drive("B", StimulusSpec::UniformRandom)
+        .drive("C", StimulusSpec::UniformRandom)
+        .drive("D", StimulusSpec::UniformRandom)
+        .drive("E", StimulusSpec::UniformRandom)
+        .drive("F", StimulusSpec::UniformRandom)
+        .drive("S0", control.clone())
+        .drive("S1", control.clone())
+        .drive("S2", control.clone())
+        .drive("G0", StimulusSpec::MarkovBits {
+            p_one: 0.3,
+            toggle_rate: 0.3,
+        })
+        .drive("G1", StimulusSpec::MarkovBits {
+            p_one: 0.3,
+            toggle_rate: 0.3,
+        });
+    Design { netlist, stimuli }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_figure() {
+        let d = build();
+        let n = &d.netlist;
+        assert_eq!(n.arithmetic_cells().count(), 2);
+        assert_eq!(n.registers().count(), 2);
+        // a1 fans out to both m1 and m2 (the conditional consumers).
+        let a1 = n.find_cell("a1").unwrap();
+        let loads = n.net(n.cell(a1).output()).loads();
+        assert_eq!(loads.len(), 2);
+    }
+
+    #[test]
+    fn one_combinational_block() {
+        use oiso_netlist::partition_into_blocks;
+        let d = build();
+        let blocks = partition_into_blocks(&d.netlist);
+        assert_eq!(blocks.len(), 1, "the figure is a single comb block");
+        assert_eq!(blocks[0].cells.len(), 5); // a0, a1, m0, m1, m2
+    }
+}

@@ -1,0 +1,182 @@
+//! Valid-gated FIR filter: the "re-used design" motivating case.
+//!
+//! Section 1: "Other examples include re-used designs of which only part of
+//! the functionality is being used." A transposed-form FIR datapath whose
+//! sample-valid signal has a low duty cycle spends most of its time
+//! computing products nobody stores.
+
+use crate::Design;
+use oiso_netlist::{CellKind, NetlistBuilder};
+use oiso_sim::{StimulusPlan, StimulusSpec};
+
+/// Parameters of the FIR generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FirParams {
+    /// Sample width in bits.
+    pub width: u8,
+    /// Number of taps.
+    pub taps: usize,
+    /// Duty cycle of the `valid` strobe.
+    pub valid_duty: f64,
+}
+
+impl Default for FirParams {
+    fn default() -> Self {
+        FirParams {
+            width: 12,
+            taps: 4,
+            valid_duty: 0.25,
+        }
+    }
+}
+
+/// Builds the FIR datapath.
+///
+/// # Panics
+///
+/// Panics if `taps < 2`.
+#[allow(clippy::needless_range_loop)] // tap index names the generated cells
+pub fn build(params: &FirParams) -> Design {
+    assert!(params.taps >= 2, "need at least two taps");
+    let w = params.width;
+    let mut b = NetlistBuilder::new("fir");
+    let x = b.input("x", w);
+    let valid = b.input("valid", 1);
+
+    // Delay line: x, x[-1], x[-2], ... shifted on valid samples.
+    let mut line = vec![x];
+    for t in 1..params.taps {
+        let q = b.wire(format!("d{t}"), w);
+        b.cell(
+            format!("dl{t}"),
+            CellKind::Reg { has_enable: true },
+            &[line[t - 1], valid],
+            q,
+        )
+        .expect("delay register");
+        line.push(q);
+    }
+
+    // Coefficient inputs (programmable from outside, as in a re-used IP).
+    let mut products = Vec::new();
+    for t in 0..params.taps {
+        let c = b.input(format!("c{t}"), w);
+        let p = b.wire(format!("p{t}"), w);
+        b.cell(format!("mul{t}"), CellKind::Mul, &[line[t], c], p)
+            .expect("tap multiplier");
+        products.push(p);
+    }
+
+    // Accumulation chain.
+    let mut acc = products[0];
+    for t in 1..params.taps {
+        let s = b.wire(format!("s{t}"), w);
+        b.cell(format!("acc{t}"), CellKind::Add, &[acc, products[t]], s)
+            .expect("accumulator adder");
+        acc = s;
+    }
+
+    let qo = b.wire("y", w);
+    b.cell(
+        "rout",
+        CellKind::Reg { has_enable: true },
+        &[acc, valid],
+        qo,
+    )
+    .expect("output register");
+    b.mark_output(qo);
+
+    let netlist = b.build().expect("fir netlist is well-formed");
+    let mut stimuli = StimulusPlan::new(0xF1)
+        .drive("x", StimulusSpec::UniformRandom)
+        .drive("valid", StimulusSpec::MarkovBits {
+            p_one: params.valid_duty,
+            toggle_rate: (2.0 * params.valid_duty.min(1.0 - params.valid_duty)) * 0.8,
+        });
+    for t in 0..params.taps {
+        // Coefficients are quasi-static: programmed rarely.
+        stimuli = stimuli.drive(format!("c{t}"), StimulusSpec::MarkovBits {
+            p_one: 0.5,
+            toggle_rate: 0.01,
+        });
+    }
+    Design { netlist, stimuli }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_sim::Testbench;
+
+    #[test]
+    fn tap_count_scales() {
+        for taps in [2, 4, 8] {
+            let d = build(&FirParams {
+                taps,
+                ..Default::default()
+            });
+            // taps multipliers + (taps-1) adders.
+            assert_eq!(d.netlist.arithmetic_cells().count(), 2 * taps - 1);
+        }
+    }
+
+    #[test]
+    fn computes_dot_product_when_valid() {
+        // Constant x=2, coefficients 1,2,3,4: steady-state y = 2*(1+2+3+4).
+        let d = build(&FirParams {
+            width: 12,
+            taps: 4,
+            valid_duty: 1.0,
+        });
+        let plan = StimulusPlan::new(1)
+            .drive("x", StimulusSpec::Constant(2))
+            .drive("valid", StimulusSpec::Constant(1))
+            .drive("c0", StimulusSpec::Constant(1))
+            .drive("c1", StimulusSpec::Constant(2))
+            .drive("c2", StimulusSpec::Constant(3))
+            .drive("c3", StimulusSpec::Constant(4));
+        let mut tb = Testbench::from_plan(&d.netlist, &plan).unwrap();
+        use oiso_boolex::{BoolExpr, Signal};
+        let y = d.netlist.find_net("y").unwrap();
+        tb.monitor(
+            "steady",
+            BoolExpr::and(
+                (0..12)
+                    .map(|bit| {
+                        let lit = BoolExpr::var(Signal::new(y, bit));
+                        if (20u64 >> bit) & 1 == 1 {
+                            lit
+                        } else {
+                            lit.not()
+                        }
+                    })
+                    .collect(),
+            ),
+        );
+        let report = tb.run(20).unwrap();
+        assert!(
+            report.monitor_count("steady").unwrap() >= 14,
+            "steady-state dot product expected"
+        );
+    }
+
+    #[test]
+    fn low_duty_means_quiet_output() {
+        let busy = build(&FirParams {
+            valid_duty: 0.9,
+            ..Default::default()
+        });
+        let idle = build(&FirParams {
+            valid_duty: 0.05,
+            ..Default::default()
+        });
+        let run = |d: &Design| {
+            let report = Testbench::from_plan(&d.netlist, &d.stimuli)
+                .unwrap()
+                .run(2000)
+                .unwrap();
+            report.toggle_rate(d.netlist.find_net("y").unwrap())
+        };
+        assert!(run(&busy) > 4.0 * run(&idle));
+    }
+}

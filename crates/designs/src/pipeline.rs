@@ -1,0 +1,154 @@
+//! Deeply pipelined datapath with register-driven control — the benchmark
+//! for the register look-ahead extension.
+//!
+//! Section 3 of the paper forgoes cross-register analysis because control
+//! values "one clock cycle in advance" may depend on primary inputs. In
+//! *pipelined* designs, however, the controls of stage *k+1* are themselves
+//! registered alongside the data — exactly the structure where the
+//! look-ahead extension recovers isolation cases the baseline `f⁺ = 1`
+//! rule gives up: every stage's results land in plain pipeline registers,
+//! so without look-ahead no stage-internal module has a non-trivial
+//! activation function at all.
+
+use crate::Design;
+use oiso_netlist::{CellKind, NetlistBuilder};
+use oiso_sim::{StimulusPlan, StimulusSpec};
+
+/// Parameters of the pipeline generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineParams {
+    /// Operand width in bits.
+    pub width: u8,
+    /// Number of compute stages (≥ 1); each stage is one multiply whose
+    /// result the next stage consumes conditionally.
+    pub stages: usize,
+    /// Duty cycle of the per-stage consume signal.
+    pub use_duty: f64,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            width: 16,
+            stages: 3,
+            use_duty: 0.25,
+        }
+    }
+}
+
+/// Builds the pipelined design.
+///
+/// Per stage `k`: `prod_k = data_k · coef_k` goes into a *plain* pipeline
+/// register; stage `k+1` muxes the registered product against a bypass
+/// under a control bit that traveled through its own control pipeline
+/// register. The final stage stores into an output register enabled by the
+/// registered use signal.
+///
+/// # Panics
+///
+/// Panics if `stages` is 0.
+pub fn build(params: &PipelineParams) -> Design {
+    assert!(params.stages >= 1, "need at least one stage");
+    let w = params.width;
+    let mut b = NetlistBuilder::new("pipeline");
+    let coef = b.input("coef", w);
+    let bypass = b.input("bypass", w);
+    let use_in = b.input("use_in", 1);
+
+    let mut data = b.input("data", w);
+    // The control pipeline: use_in delayed by one register per stage, so
+    // stage k's consume decision is available one cycle before it applies.
+    let mut use_sig = use_in;
+    for stage in 0..params.stages {
+        let use_q = b.wire(format!("use_q{stage}"), 1);
+        b.cell(
+            format!("ctl_r{stage}"),
+            CellKind::Reg { has_enable: false },
+            &[use_sig],
+            use_q,
+        )
+        .expect("control register");
+
+        let prod = b.wire(format!("prod{stage}"), w);
+        b.cell(format!("mul{stage}"), CellKind::Mul, &[data, coef], prod)
+            .expect("stage multiplier");
+        let q = b.wire(format!("q{stage}"), w);
+        b.cell(
+            format!("data_r{stage}"),
+            CellKind::Reg { has_enable: false },
+            &[prod],
+            q,
+        )
+        .expect("pipeline register");
+
+        // Next stage consumes the registered product only when its
+        // (registered) use bit is set; otherwise the bypass value flows.
+        let m = b.wire(format!("m{stage}"), w);
+        b.cell(
+            format!("mx{stage}"),
+            CellKind::Mux,
+            &[use_q, bypass, q],
+            m,
+        )
+        .expect("consume mux");
+        data = m;
+        use_sig = use_q;
+    }
+    let qo = b.wire("qo", w);
+    b.cell(
+        "rout",
+        CellKind::Reg { has_enable: true },
+        &[data, use_sig],
+        qo,
+    )
+    .expect("output register");
+    b.mark_output(qo);
+
+    let netlist = b.build().expect("pipeline netlist is well-formed");
+    let tr = 2.0 * params.use_duty.min(1.0 - params.use_duty) * 0.6;
+    let stimuli = StimulusPlan::new(0x919E)
+        .drive("data", StimulusSpec::UniformRandom)
+        .drive("coef", StimulusSpec::UniformRandom)
+        .drive("bypass", StimulusSpec::UniformRandom)
+        .drive("use_in", StimulusSpec::MarkovBits {
+            p_one: params.use_duty,
+            toggle_rate: tr.max(0.02),
+        });
+    Design { netlist, stimuli }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_count_scales() {
+        for stages in [1, 3, 6] {
+            let d = build(&PipelineParams {
+                stages,
+                ..Default::default()
+            });
+            assert_eq!(d.netlist.arithmetic_cells().count(), stages);
+            // Per stage: data reg + control reg; plus the output register.
+            assert_eq!(d.netlist.registers().count(), 2 * stages + 1);
+        }
+    }
+
+    #[test]
+    fn multipliers_feed_plain_registers() {
+        // The structural property that defeats the baseline derivation.
+        let d = build(&PipelineParams::default());
+        for (_, cell) in d.netlist.cells() {
+            if cell.kind() != CellKind::Mul {
+                continue;
+            }
+            let loads = d.netlist.net(cell.output()).loads();
+            assert_eq!(loads.len(), 1);
+            let (reg, _) = loads[0];
+            assert_eq!(
+                d.netlist.cell(reg).kind(),
+                CellKind::Reg { has_enable: false }
+            );
+        }
+    }
+}

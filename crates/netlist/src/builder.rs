@@ -1,0 +1,265 @@
+//! Validating netlist construction.
+
+use crate::cell::CellKind;
+use crate::id::{CellId, NetId};
+use crate::netlist::Netlist;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or mutating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A net name was declared twice.
+    DuplicateNet(String),
+    /// A cell instance name was declared twice.
+    DuplicateCell(String),
+    /// A net width outside 1..=64.
+    InvalidWidth {
+        /// Offending net name.
+        net: String,
+        /// The rejected width.
+        width: u8,
+    },
+    /// A cell's ports violate its kind's convention.
+    WidthMismatch {
+        /// Offending cell name.
+        cell: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// Wrong number of input ports for the cell kind.
+    PortCount {
+        /// Offending cell name.
+        cell: String,
+        /// Expected port-count description.
+        expected: String,
+        /// Actual number of ports supplied.
+        got: usize,
+    },
+    /// A cell attempted to drive a primary input.
+    DrivesPrimaryInput {
+        /// Offending cell name.
+        cell: String,
+        /// The primary-input net.
+        net: String,
+    },
+    /// Two drivers on one net.
+    MultipleDrivers(String),
+    /// Global validation failed at `build()`.
+    Validate(crate::ValidateError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateNet(n) => write!(f, "duplicate net name `{n}`"),
+            BuildError::DuplicateCell(c) => write!(f, "duplicate cell name `{c}`"),
+            BuildError::InvalidWidth { net, width } => {
+                write!(f, "net `{net}` has invalid width {width} (must be 1..=64)")
+            }
+            BuildError::WidthMismatch { cell, detail } => {
+                write!(f, "cell `{cell}` port width mismatch: {detail}")
+            }
+            BuildError::PortCount { cell, expected, got } => {
+                write!(f, "cell `{cell}` expects {expected} inputs, got {got}")
+            }
+            BuildError::DrivesPrimaryInput { cell, net } => {
+                write!(f, "cell `{cell}` drives primary input `{net}`")
+            }
+            BuildError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            BuildError::Validate(e) => write!(f, "validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+impl From<crate::ValidateError> for BuildError {
+    fn from(e: crate::ValidateError) -> Self {
+        BuildError::Validate(e)
+    }
+}
+
+/// A fluent, validating builder for [`Netlist`]s.
+///
+/// Width and port-convention errors are reported at the offending
+/// [`NetlistBuilder::cell`] call; global structural errors (undriven nets,
+/// combinational cycles) at [`NetlistBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use oiso_netlist::{CellKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), oiso_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("incrementer");
+/// let x = b.input("x", 8);
+/// let one = b.constant("one", 8, 1)?;
+/// let y = b.wire("y", 8);
+/// b.cell("inc", CellKind::Add, &[x, one], y)?;
+/// b.mark_output(y);
+/// let n = b.build()?;
+/// assert_eq!(n.name(), "incrementer");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    netlist: Netlist,
+}
+
+impl NetlistBuilder {
+    /// Starts building a design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            netlist: Netlist::empty(name),
+        }
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or invalid widths — inputs are design
+    /// boilerplate and a wrong declaration is a programming error.
+    pub fn input(&mut self, name: impl Into<String>, width: u8) -> NetId {
+        self.netlist
+            .add_input(name, width)
+            .expect("invalid primary input declaration")
+    }
+
+    /// Declares an internal wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or invalid widths.
+    pub fn wire(&mut self, name: impl Into<String>, width: u8) -> NetId {
+        self.netlist
+            .add_wire(name, width)
+            .expect("invalid wire declaration")
+    }
+
+    /// Declares a wire driven by a constant, in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names.
+    pub fn constant(
+        &mut self,
+        name: &str,
+        width: u8,
+        value: u64,
+    ) -> Result<NetId, BuildError> {
+        let net = self.netlist.add_wire(name, width)?;
+        self.netlist
+            .add_cell(format!("{name}__const"), CellKind::Const { value }, &[], net)?;
+        Ok(net)
+    }
+
+    /// Instantiates a cell. See [`CellKind`] for port conventions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the ports violate the kind's convention, the
+    /// output is already driven, or the instance name is taken.
+    pub fn cell(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<CellId, BuildError> {
+        self.netlist.add_cell(name, kind, inputs, output)
+    }
+
+    /// Marks a net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        self.netlist.mark_output(net);
+    }
+
+    /// Finishes construction, running global validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any non-input net is undriven, a combinational
+    /// cycle exists, or connectivity tables are inconsistent.
+    pub fn build(self) -> Result<Netlist, BuildError> {
+        self.netlist.validate()?;
+        Ok(self.netlist)
+    }
+
+    /// Access to the netlist under construction (for inspection in tests
+    /// and generators).
+    pub fn as_netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_catches_undriven_net() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a", 4);
+        let dangling = b.wire("dangling", 4);
+        let out = b.wire("out", 4);
+        b.cell("add", CellKind::Add, &[a, dangling], out).unwrap();
+        b.mark_output(out);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, BuildError::Validate(_)), "{err}");
+    }
+
+    #[test]
+    fn build_catches_comb_cycle() {
+        let mut b = NetlistBuilder::new("cyc");
+        let a = b.input("a", 4);
+        let x = b.wire("x", 4);
+        let y = b.wire("y", 4);
+        b.cell("g1", CellKind::And, &[a, y], x).unwrap();
+        b.cell("g2", CellKind::Or, &[a, x], y).unwrap();
+        b.mark_output(y);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn register_breaks_cycle() {
+        // A feedback loop through a register is legal (an accumulator).
+        let mut b = NetlistBuilder::new("acc");
+        let a = b.input("a", 8);
+        let sum = b.wire("sum", 8);
+        let q = b.wire("q", 8);
+        b.cell("add", CellKind::Add, &[a, q], sum).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[sum], q)
+            .unwrap();
+        b.mark_output(q);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn constant_helper_builds_driver() {
+        let mut b = NetlistBuilder::new("k");
+        let k = b.constant("k", 8, 42).unwrap();
+        b.mark_output(k);
+        let n = b.build().unwrap();
+        assert_eq!(n.constant_value(k), Some(42));
+    }
+
+    #[test]
+    fn port_count_errors_are_reported() {
+        let mut b = NetlistBuilder::new("p");
+        let a = b.input("a", 4);
+        let o = b.wire("o", 4);
+        let err = b.cell("add", CellKind::Add, &[a], o).unwrap_err();
+        assert!(matches!(err, BuildError::PortCount { .. }), "{err}");
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = BuildError::MultipleDrivers("x".into());
+        let msg = e.to_string();
+        assert!(msg.starts_with("net `x`"), "{msg}");
+        assert!(!msg.ends_with('.'));
+    }
+}

@@ -1,0 +1,344 @@
+//! Cell kinds and port conventions of the RT-level IR.
+
+use crate::id::NetId;
+use std::fmt;
+
+/// The kind of an RT-level cell, together with its port convention.
+///
+/// Every cell has an ordered list of input nets and exactly one output net.
+/// The port conventions below are enforced by
+/// [`NetlistBuilder::cell`](crate::NetlistBuilder::cell):
+///
+/// | Kind | Inputs (in order) | Output |
+/// |---|---|---|
+/// | `Add`, `Sub`, `Mul` | `a`, `b` (width *w*) | width *w*, wrapping |
+/// | `Shl`, `Shr` | `data` (width *w*), `amount` (any width) | width *w* |
+/// | `Lt`, `Eq` | `a`, `b` (width *w*) | width 1 |
+/// | `Mux` | `sel` (width ⌈log₂ n⌉), `d0` … `d(n−1)` (width *w*) | width *w* |
+/// | `Reg { has_enable: false }` | `d` | width of `d` |
+/// | `Reg { has_enable: true }` | `d`, `en` (width 1) | width of `d` |
+/// | `Latch` | `d`, `en` (width 1) | width of `d`; transparent when `en = 1` |
+/// | `And`, `Or`, `Xor` | 2+ operands (width *w*) | width *w*, bitwise |
+/// | `Not`, `Buf` | `a` | width of `a` |
+/// | `RedOr`, `RedAnd` | `a` | width 1 |
+/// | `Const { value }` | — | any width (value truncated) |
+/// | `Slice { lo, hi }` | `a` | width `hi − lo + 1` |
+/// | `Concat` | `hi`, …, `lo` (msb-first) | sum of widths |
+/// | `Zext` | `a` | any width ≥ width of `a` |
+///
+/// A mux selects `d(sel)`; out-of-range select values clamp to the last data
+/// input (matching how a synthesized mux tree with a partially decoded select
+/// behaves, and keeping simulation total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Logical shift left by a dynamic amount.
+    Shl,
+    /// Logical shift right by a dynamic amount.
+    Shr,
+    /// Unsigned less-than comparison (1-bit result).
+    Lt,
+    /// Equality comparison (1-bit result).
+    Eq,
+    /// n:1 word multiplexor; input 0 is the select.
+    Mux,
+    /// Edge-triggered register, optionally with a load-enable port.
+    Reg {
+        /// If `true`, the cell has a second, 1-bit `en` input; the register
+        /// holds its value in cycles where `en = 0`.
+        has_enable: bool,
+    },
+    /// Transparent latch: output follows `d` while `en = 1`, holds otherwise.
+    Latch,
+    /// Bitwise AND of two or more operands.
+    And,
+    /// Bitwise OR of two or more operands.
+    Or,
+    /// Bitwise XOR of two or more operands.
+    Xor,
+    /// Bitwise NOT.
+    Not,
+    /// Buffer (identity).
+    Buf,
+    /// OR-reduction of all bits to a single bit.
+    RedOr,
+    /// AND-reduction of all bits to a single bit.
+    RedAnd,
+    /// Constant driver.
+    Const {
+        /// The constant value; truncated to the output net's width.
+        value: u64,
+    },
+    /// Bit-slice extraction `a[hi..=lo]`.
+    Slice {
+        /// Least significant extracted bit.
+        lo: u8,
+        /// Most significant extracted bit.
+        hi: u8,
+    },
+    /// Word concatenation, inputs listed most-significant first.
+    Concat,
+    /// Zero-extension to the (wider) output width.
+    Zext,
+}
+
+impl CellKind {
+    /// `true` for cells whose output depends on stored state across clock
+    /// edges (registers). Latches are *not* included: they are level
+    /// sensitive and evaluated within the combinational phase.
+    pub fn is_register(self) -> bool {
+        matches!(self, CellKind::Reg { .. })
+    }
+
+    /// `true` for the transparent latch.
+    pub fn is_latch(self) -> bool {
+        matches!(self, CellKind::Latch)
+    }
+
+    /// `true` for state-holding cells (registers and latches).
+    pub fn is_stateful(self) -> bool {
+        self.is_register() || self.is_latch()
+    }
+
+    /// `true` for complex arithmetic operators — the *isolation candidates*
+    /// of the paper (modules for which operand isolation is expected to have
+    /// a significant power impact).
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            CellKind::Add
+                | CellKind::Sub
+                | CellKind::Mul
+                | CellKind::Shl
+                | CellKind::Shr
+                | CellKind::Lt
+        )
+    }
+
+    /// `true` for purely combinational cells (everything except registers;
+    /// latches count as combinational for ordering purposes).
+    pub fn is_combinational(self) -> bool {
+        !self.is_register()
+    }
+
+    /// A short lowercase mnemonic, used in exports and reports.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CellKind::Add => "add",
+            CellKind::Sub => "sub",
+            CellKind::Mul => "mul",
+            CellKind::Shl => "shl",
+            CellKind::Shr => "shr",
+            CellKind::Lt => "lt",
+            CellKind::Eq => "eq",
+            CellKind::Mux => "mux",
+            CellKind::Reg { .. } => "reg",
+            CellKind::Latch => "latch",
+            CellKind::And => "and",
+            CellKind::Or => "or",
+            CellKind::Xor => "xor",
+            CellKind::Not => "not",
+            CellKind::Buf => "buf",
+            CellKind::RedOr => "redor",
+            CellKind::RedAnd => "redand",
+            CellKind::Const { .. } => "const",
+            CellKind::Slice { .. } => "slice",
+            CellKind::Concat => "concat",
+            CellKind::Zext => "zext",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The role a cell input plays, as seen by observability analysis.
+///
+/// The paper's activation-function derivation distinguishes *control* inputs
+/// (mux selects, register/latch enables — these steer observability) from
+/// *data* inputs (operands whose switching is what isolation suppresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortRole {
+    /// A data operand.
+    Data,
+    /// A control input: mux select or enable.
+    Control,
+}
+
+/// One cell instance of a netlist: a kind, named, with connected ports.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub(crate) name: String,
+    pub(crate) kind: CellKind,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: NetId,
+}
+
+impl Cell {
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell kind.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The ordered input nets.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// The role of input port `idx` under this cell's port convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for this cell.
+    pub fn port_role(&self, idx: usize) -> PortRole {
+        assert!(idx < self.inputs.len(), "port index out of range");
+        match self.kind {
+            CellKind::Mux => {
+                if idx == 0 {
+                    PortRole::Control
+                } else {
+                    PortRole::Data
+                }
+            }
+            CellKind::Reg { has_enable: true } | CellKind::Latch => {
+                if idx == 1 {
+                    PortRole::Control
+                } else {
+                    PortRole::Data
+                }
+            }
+            _ => PortRole::Data,
+        }
+    }
+
+    /// Iterator over the data-input nets (skipping selects and enables).
+    pub fn data_inputs(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.port_role(*i) == PortRole::Data)
+            .map(|(_, &n)| n)
+    }
+
+    /// For a `Mux`, the select net; `None` for other kinds.
+    pub fn mux_select(&self) -> Option<NetId> {
+        match self.kind {
+            CellKind::Mux => Some(self.inputs[0]),
+            _ => None,
+        }
+    }
+
+    /// For a `Reg { has_enable: true }` or `Latch`, the enable net.
+    pub fn enable(&self) -> Option<NetId> {
+        match self.kind {
+            CellKind::Reg { has_enable: true } | CellKind::Latch => Some(self.inputs[1]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(kind: CellKind, n_inputs: usize) -> Cell {
+        Cell {
+            name: "t".into(),
+            kind,
+            inputs: (0..n_inputs).map(NetId::from_index).collect(),
+            output: NetId::from_index(99),
+        }
+    }
+
+    #[test]
+    fn arithmetic_classification_matches_paper_candidates() {
+        for k in [
+            CellKind::Add,
+            CellKind::Sub,
+            CellKind::Mul,
+            CellKind::Shl,
+            CellKind::Shr,
+            CellKind::Lt,
+        ] {
+            assert!(k.is_arithmetic(), "{k} should be a candidate kind");
+        }
+        for k in [
+            CellKind::Mux,
+            CellKind::And,
+            CellKind::Reg { has_enable: false },
+            CellKind::Latch,
+            CellKind::Buf,
+        ] {
+            assert!(!k.is_arithmetic(), "{k} should not be a candidate kind");
+        }
+    }
+
+    #[test]
+    fn register_vs_latch_classification() {
+        assert!(CellKind::Reg { has_enable: true }.is_register());
+        assert!(!CellKind::Latch.is_register());
+        assert!(CellKind::Latch.is_latch());
+        assert!(CellKind::Latch.is_combinational());
+        assert!(!CellKind::Reg { has_enable: false }.is_combinational());
+        assert!(CellKind::Latch.is_stateful());
+        assert!(CellKind::Reg { has_enable: false }.is_stateful());
+        assert!(!CellKind::Add.is_stateful());
+    }
+
+    #[test]
+    fn mux_port_roles() {
+        let m = cell(CellKind::Mux, 3);
+        assert_eq!(m.port_role(0), PortRole::Control);
+        assert_eq!(m.port_role(1), PortRole::Data);
+        assert_eq!(m.port_role(2), PortRole::Data);
+        assert_eq!(m.mux_select(), Some(NetId::from_index(0)));
+        assert_eq!(m.data_inputs().count(), 2);
+    }
+
+    #[test]
+    fn enable_port_roles() {
+        let r = cell(CellKind::Reg { has_enable: true }, 2);
+        assert_eq!(r.port_role(0), PortRole::Data);
+        assert_eq!(r.port_role(1), PortRole::Control);
+        assert_eq!(r.enable(), Some(NetId::from_index(1)));
+
+        let l = cell(CellKind::Latch, 2);
+        assert_eq!(l.enable(), Some(NetId::from_index(1)));
+
+        let plain = cell(CellKind::Reg { has_enable: false }, 1);
+        assert_eq!(plain.enable(), None);
+        assert_eq!(plain.mux_select(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "port index out of range")]
+    fn port_role_out_of_range_panics() {
+        let c = cell(CellKind::Add, 2);
+        let _ = c.port_role(2);
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(CellKind::Add.to_string(), "add");
+        assert_eq!(CellKind::Reg { has_enable: true }.to_string(), "reg");
+        assert_eq!(CellKind::Const { value: 3 }.to_string(), "const");
+    }
+}

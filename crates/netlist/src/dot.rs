@@ -1,0 +1,124 @@
+//! Graphviz DOT export for visual inspection of netlists.
+
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// Cells become boxes (arithmetic cells shaded, registers double-bordered),
+/// primary inputs/outputs become ellipses, and every net becomes a set of
+/// labelled edges.
+///
+/// # Examples
+///
+/// ```
+/// use oiso_netlist::{CellKind, NetlistBuilder, dot};
+///
+/// # fn main() -> Result<(), oiso_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("d");
+/// let a = b.input("a", 4);
+/// let c = b.input("c", 4);
+/// let s = b.wire("s", 4);
+/// b.cell("add", CellKind::Add, &[a, c], s)?;
+/// b.mark_output(s);
+/// let n = b.build()?;
+/// let text = dot::to_dot(&n);
+/// assert!(text.contains("digraph"));
+/// assert!(text.contains("add"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+
+    for &pi in netlist.primary_inputs() {
+        let net = netlist.net(pi);
+        let _ = writeln!(
+            out,
+            "  \"pi_{}\" [shape=ellipse,label=\"{} [{}]\"];",
+            net.name(),
+            net.name(),
+            net.width()
+        );
+    }
+    for &po in netlist.primary_outputs() {
+        let net = netlist.net(po);
+        let _ = writeln!(
+            out,
+            "  \"po_{}\" [shape=ellipse,style=dashed,label=\"{} [{}]\"];",
+            net.name(),
+            net.name(),
+            net.width()
+        );
+    }
+    for (_, cell) in netlist.cells() {
+        let (shape, style) = if cell.kind().is_register() {
+            ("box", ",peripheries=2")
+        } else if cell.kind().is_arithmetic() {
+            ("box", ",style=filled,fillcolor=lightgrey")
+        } else {
+            ("box", "")
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={}{},label=\"{}\\n{}\"];",
+            cell.name(),
+            shape,
+            style,
+            cell.name(),
+            cell.kind()
+        );
+    }
+    // Edges: driver -> each load, labelled with the net name.
+    for (_, net) in netlist.nets() {
+        let src = match net.driver() {
+            Some(d) => format!("\"{}\"", netlist.cell(d).name()),
+            None => format!("\"pi_{}\"", net.name()),
+        };
+        for &(load, port) in net.loads() {
+            let _ = writeln!(
+                out,
+                "  {} -> \"{}\" [label=\"{}:{}\"];",
+                src,
+                netlist.cell(load).name(),
+                net.name(),
+                port
+            );
+        }
+        if net.is_primary_output() {
+            let _ = writeln!(out, "  {} -> \"po_{}\";", src, net.name());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CellKind, NetlistBuilder};
+
+    #[test]
+    fn dot_contains_all_cells_and_io() {
+        let mut b = NetlistBuilder::new("viz");
+        let a = b.input("a", 4);
+        let c = b.input("c", 4);
+        let s = b.wire("s", 4);
+        let q = b.wire("q", 4);
+        b.cell("adder", CellKind::Add, &[a, c], s).unwrap();
+        b.cell("r0", CellKind::Reg { has_enable: false }, &[s], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let dot = super::to_dot(&n);
+        assert!(dot.contains("digraph \"viz\""));
+        assert!(dot.contains("\"adder\""));
+        assert!(dot.contains("peripheries=2")); // register styling
+        assert!(dot.contains("fillcolor=lightgrey")); // arithmetic styling
+        assert!(dot.contains("pi_a"));
+        assert!(dot.contains("po_q"));
+        assert!(dot.contains("s:0")); // edge label net:port
+    }
+}

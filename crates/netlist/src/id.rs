@@ -1,0 +1,90 @@
+//! Typed identifiers for nets and cells.
+//!
+//! Newtypes keep net and cell indices from being confused with each other or
+//! with plain `usize` arithmetic, while staying `Copy` and hashable so they
+//! can be used freely as map keys across the workspace.
+
+use std::fmt;
+
+/// Identifier of a net (a named, width-carrying wire) within a [`Netlist`].
+///
+/// [`Netlist`]: crate::Netlist
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a cell (module instance) within a [`Netlist`].
+///
+/// [`Netlist`]: crate::Netlist
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) u32);
+
+impl NetId {
+    /// Creates an id from a raw index. Only meaningful for indices handed
+    /// out by the same [`Netlist`](crate::Netlist).
+    pub fn from_index(i: usize) -> Self {
+        NetId(u32::try_from(i).expect("net index exceeds u32"))
+    }
+
+    /// The raw index, suitable for indexing dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CellId {
+    /// Creates an id from a raw index. Only meaningful for indices handed
+    /// out by the same [`Netlist`](crate::Netlist).
+    pub fn from_index(i: usize) -> Self {
+        CellId(u32::try_from(i).expect("cell index exceeds u32"))
+    }
+
+    /// The raw index, suitable for indexing dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn roundtrip_index() {
+        let n = NetId::from_index(7);
+        assert_eq!(n.index(), 7);
+        let c = CellId::from_index(42);
+        assert_eq!(c.index(), 42);
+    }
+
+    #[test]
+    fn usable_as_map_keys() {
+        let mut m = HashMap::new();
+        m.insert(NetId::from_index(1), "a");
+        assert_eq!(m[&NetId::from_index(1)], "a");
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NetId::from_index(3).to_string(), "n3");
+        assert_eq!(CellId::from_index(3).to_string(), "c3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+        assert!(CellId::from_index(0) < CellId::from_index(9));
+    }
+}

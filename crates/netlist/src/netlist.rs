@@ -1,0 +1,420 @@
+//! The netlist container: nets, cells, primary I/O, and controlled mutation.
+
+use crate::builder::BuildError;
+use crate::cell::{Cell, CellKind};
+use crate::id::{CellId, NetId};
+use crate::net::{mask, Net};
+use crate::validate;
+use std::collections::HashMap;
+
+/// An RT-level netlist: a named design with nets, cells, and primary I/O.
+///
+/// Construction goes through [`NetlistBuilder`](crate::NetlistBuilder);
+/// transformation passes (notably the isolation transform in `oiso-core`)
+/// use the checked mutators [`Netlist::add_wire`], [`Netlist::add_cell`],
+/// and [`Netlist::rewire_input`], then re-run [`Netlist::validate`].
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<NetId>,
+    pub(crate) net_names: HashMap<String, NetId>,
+    pub(crate) cell_names: HashMap<String, CellId>,
+}
+
+impl Netlist {
+    pub(crate) fn empty(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nets: Vec::new(),
+            cells: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            net_names: HashMap::new(),
+            cell_names: HashMap::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// The cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterator over `(id, net)` pairs in id order.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId::from_index(i), n))
+    }
+
+    /// Iterator over `(id, cell)` pairs in id order.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId::from_index(i), c))
+    }
+
+    /// The primary input nets, in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The primary output nets, in declaration order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names.get(name).copied()
+    }
+
+    /// Looks up a cell by instance name.
+    pub fn find_cell(&self, name: &str) -> Option<CellId> {
+        self.cell_names.get(name).copied()
+    }
+
+    /// Iterator over the ids of all register cells.
+    pub fn registers(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cells()
+            .filter(|(_, c)| c.kind().is_register())
+            .map(|(id, _)| id)
+    }
+
+    /// Iterator over the ids of all arithmetic (isolation-candidate) cells.
+    pub fn arithmetic_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cells()
+            .filter(|(_, c)| c.kind().is_arithmetic())
+            .map(|(id, _)| id)
+    }
+
+    /// Adds an internal wire and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is already taken or the width is invalid.
+    pub fn add_wire(&mut self, name: impl Into<String>, width: u8) -> Result<NetId, BuildError> {
+        let name = name.into();
+        if !(1..=64).contains(&width) {
+            return Err(BuildError::InvalidWidth { net: name, width });
+        }
+        if self.net_names.contains_key(&name) {
+            return Err(BuildError::DuplicateNet(name));
+        }
+        let id = NetId::from_index(self.nets.len());
+        self.net_names.insert(name.clone(), id);
+        self.nets.push(Net {
+            name,
+            width,
+            driver: None,
+            loads: Vec::new(),
+            is_input: false,
+            is_output: false,
+        });
+        Ok(id)
+    }
+
+    /// Adds a primary input net.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is already taken or the width is invalid.
+    pub fn add_input(&mut self, name: impl Into<String>, width: u8) -> Result<NetId, BuildError> {
+        let id = self.add_wire(name, width)?;
+        self.nets[id.index()].is_input = true;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Marks an existing net as a primary output. Idempotent.
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.nets[net.index()].is_output {
+            self.nets[net.index()].is_output = true;
+            self.outputs.push(net);
+        }
+    }
+
+    /// Adds a cell, validating its port convention (see [`CellKind`]) and
+    /// connecting it to its nets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate instance names, width mismatches, wrong
+    /// port counts, driving a primary input, or double-driving a net.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<CellId, BuildError> {
+        let name = name.into();
+        if self.cell_names.contains_key(&name) {
+            return Err(BuildError::DuplicateCell(name));
+        }
+        validate::check_cell_ports(self, &name, kind, inputs, output)?;
+        let out_net = &self.nets[output.index()];
+        if out_net.is_input {
+            return Err(BuildError::DrivesPrimaryInput {
+                cell: name,
+                net: out_net.name.clone(),
+            });
+        }
+        if out_net.driver.is_some() {
+            return Err(BuildError::MultipleDrivers(out_net.name.clone()));
+        }
+        let id = CellId::from_index(self.cells.len());
+        self.cell_names.insert(name.clone(), id);
+        for (port, &net) in inputs.iter().enumerate() {
+            self.nets[net.index()].loads.push((id, port));
+        }
+        self.nets[output.index()].driver = Some(id);
+        self.cells.push(Cell {
+            name,
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(id)
+    }
+
+    /// Reconnects input port `port` of `cell` to `new_net`, preserving the
+    /// port convention. This is the primitive the isolation transform uses to
+    /// splice isolation banks into operand paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new net's width differs from the old one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range for `cell`.
+    pub fn rewire_input(
+        &mut self,
+        cell: CellId,
+        port: usize,
+        new_net: NetId,
+    ) -> Result<(), BuildError> {
+        let old_net = self.cells[cell.index()].inputs[port];
+        if self.nets[new_net.index()].width != self.nets[old_net.index()].width {
+            return Err(BuildError::WidthMismatch {
+                cell: self.cells[cell.index()].name.clone(),
+                detail: format!(
+                    "rewire of port {port}: {} is {} bits, replacement {} is {} bits",
+                    self.nets[old_net.index()].name,
+                    self.nets[old_net.index()].width,
+                    self.nets[new_net.index()].name,
+                    self.nets[new_net.index()].width
+                ),
+            });
+        }
+        self.nets[old_net.index()]
+            .loads
+            .retain(|&(c, p)| !(c == cell && p == port));
+        self.nets[new_net.index()].loads.push((cell, port));
+        self.cells[cell.index()].inputs[port] = new_net;
+        Ok(())
+    }
+
+    /// Runs the global structural checks: every non-input net driven, no
+    /// combinational cycles, connectivity tables consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), crate::ValidateError> {
+        validate::validate(self)
+    }
+
+    /// The constant value driven onto `net`, if its driver is a `Const` cell.
+    pub fn constant_value(&self, net: NetId) -> Option<u64> {
+        let driver = self.net(net).driver()?;
+        match self.cell(driver).kind() {
+            CellKind::Const { value } => Some(value & mask(self.net(net).width())),
+            _ => None,
+        }
+    }
+
+    /// Generates a fresh net name with the given prefix that does not clash
+    /// with any existing net.
+    pub fn fresh_net_name(&self, prefix: &str) -> String {
+        let mut i = 0usize;
+        loop {
+            let candidate = format!("{prefix}_{i}");
+            if !self.net_names.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+
+    /// Generates a fresh cell name with the given prefix that does not clash
+    /// with any existing cell.
+    pub fn fresh_cell_name(&self, prefix: &str) -> String {
+        let mut i = 0usize;
+        loop {
+            let candidate = format!("{prefix}_{i}");
+            if !self.cell_names.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a", 8);
+        let c = b.input("b", 8);
+        let s = b.wire("s", 8);
+        b.cell("add0", CellKind::Add, &[a, c], s).unwrap();
+        b.mark_output(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let n = tiny();
+        assert!(n.find_net("a").is_some());
+        assert!(n.find_net("zzz").is_none());
+        assert!(n.find_cell("add0").is_some());
+        assert_eq!(n.primary_inputs().len(), 2);
+        assert_eq!(n.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn loads_and_driver_are_tracked() {
+        let n = tiny();
+        let a = n.find_net("a").unwrap();
+        let s = n.find_net("s").unwrap();
+        let add = n.find_cell("add0").unwrap();
+        assert_eq!(n.net(a).loads(), &[(add, 0)]);
+        assert_eq!(n.net(s).driver(), Some(add));
+        assert!(n.net(a).driver().is_none());
+    }
+
+    #[test]
+    fn rewire_input_moves_load() {
+        let mut n = tiny();
+        let add = n.find_cell("add0").unwrap();
+        let a = n.find_net("a").unwrap();
+        let w = n.add_wire("iso", 8).unwrap();
+        n.rewire_input(add, 0, w).unwrap();
+        assert!(n.net(a).loads().is_empty());
+        assert_eq!(n.net(w).loads(), &[(add, 0)]);
+        assert_eq!(n.cell(add).inputs()[0], w);
+    }
+
+    #[test]
+    fn rewire_width_mismatch_rejected() {
+        let mut n = tiny();
+        let add = n.find_cell("add0").unwrap();
+        let w = n.add_wire("narrow", 4).unwrap();
+        assert!(n.rewire_input(add, 0, w).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut n = tiny();
+        assert!(matches!(
+            n.add_wire("a", 8),
+            Err(BuildError::DuplicateNet(_))
+        ));
+        let w = n.add_wire("w2", 8).unwrap();
+        let a = n.find_net("a").unwrap();
+        let b2 = n.find_net("b").unwrap();
+        assert!(matches!(
+            n.add_cell("add0", CellKind::Add, &[a, b2], w),
+            Err(BuildError::DuplicateCell(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut n = tiny();
+        let a = n.find_net("a").unwrap();
+        let b2 = n.find_net("b").unwrap();
+        let s = n.find_net("s").unwrap();
+        assert!(matches!(
+            n.add_cell("add1", CellKind::Add, &[a, b2], s),
+            Err(BuildError::MultipleDrivers(_))
+        ));
+    }
+
+    #[test]
+    fn driving_primary_input_rejected() {
+        let mut n = tiny();
+        let a = n.find_net("a").unwrap();
+        let b2 = n.find_net("b").unwrap();
+        assert!(matches!(
+            n.add_cell("bad", CellKind::Add, &[a, b2], a),
+            Err(BuildError::DrivesPrimaryInput { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_value_extraction() {
+        let mut b = NetlistBuilder::new("k");
+        let w = b.wire("k", 8);
+        b.cell("c0", CellKind::Const { value: 0x1FF }, &[], w).unwrap();
+        b.mark_output(w);
+        let n = b.build().unwrap();
+        // Truncated to 8 bits.
+        assert_eq!(n.constant_value(n.find_net("k").unwrap()), Some(0xFF));
+    }
+
+    #[test]
+    fn fresh_names_do_not_clash() {
+        let n = tiny();
+        let name = n.fresh_net_name("a");
+        assert!(n.find_net(&name).is_none());
+        let cname = n.fresh_cell_name("add0");
+        assert!(n.find_cell(&cname).is_none());
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let mut n = tiny();
+        let s = n.find_net("s").unwrap();
+        n.mark_output(s);
+        n.mark_output(s);
+        assert_eq!(n.primary_outputs().len(), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Partitioning a netlist into combinational blocks.
+//!
+//! Section 3 of the paper fixes the activation function of every register to
+//! the constant 1, which "allows us to compute the activation functions
+//! locally in each combinational logic block bounded by sequential elements
+//! and primary inputs and outputs". Section 5.3's Algorithm 1 then isolates
+//! *one candidate per block per iteration*. This module computes those
+//! blocks.
+
+use crate::id::{CellId, NetId};
+use crate::netlist::Netlist;
+
+/// A combinational block: a connected region of combinational cells bounded
+/// by registers, primary inputs, and primary outputs.
+#[derive(Debug, Clone)]
+pub struct CombBlock {
+    /// Block index within the partition.
+    pub id: usize,
+    /// The combinational cells of the block (latches included), in id order.
+    pub cells: Vec<CellId>,
+    /// Nets entering the block: primary inputs and register outputs that
+    /// feed a block cell.
+    pub boundary_inputs: Vec<NetId>,
+    /// Nets leaving the block: nets driven by block cells that feed a
+    /// register input or are primary outputs.
+    pub boundary_outputs: Vec<NetId>,
+}
+
+impl CombBlock {
+    /// `true` if the given cell belongs to this block.
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.cells.binary_search(&cell).is_ok()
+    }
+}
+
+/// Partitions the netlist's combinational cells into connected blocks.
+///
+/// Two combinational cells are in the same block iff one drives the other
+/// (transitively) without crossing a register; i.e. blocks are the connected
+/// components of the comb-to-comb driver/load graph. Merely sharing a source
+/// net (a primary input or register output feeding both) does *not* connect
+/// two cells. Blocks are returned in ascending order of their smallest cell
+/// id.
+pub fn partition_into_blocks(netlist: &Netlist) -> Vec<CombBlock> {
+    let n = netlist.num_cells();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    fn union(parent: &mut [usize], a: usize, b: usize) {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+
+    // Union comb cells across every net driven by a comb cell.
+    for (cid, cell) in netlist.cells() {
+        if !cell.kind().is_combinational() {
+            continue;
+        }
+        for &(load, _) in netlist.net(cell.output()).loads() {
+            if netlist.cell(load).kind().is_combinational() {
+                union(&mut parent, cid.index(), load.index());
+            }
+        }
+    }
+    // Collect blocks.
+    let mut root_to_block: std::collections::HashMap<usize, usize> = Default::default();
+    let mut blocks: Vec<CombBlock> = Vec::new();
+    for (cid, cell) in netlist.cells() {
+        if !cell.kind().is_combinational() {
+            continue;
+        }
+        let root = find(&mut parent, cid.index());
+        let bidx = *root_to_block.entry(root).or_insert_with(|| {
+            blocks.push(CombBlock {
+                id: blocks.len(),
+                cells: Vec::new(),
+                boundary_inputs: Vec::new(),
+                boundary_outputs: Vec::new(),
+            });
+            blocks.len() - 1
+        });
+        blocks[bidx].cells.push(cid);
+    }
+
+    // Boundary nets.
+    for block in &mut blocks {
+        block.cells.sort();
+        let in_block = |c: CellId| block.cells.binary_search(&c).is_ok();
+        let mut b_in = Vec::new();
+        let mut b_out = Vec::new();
+        for &cid in &block.cells {
+            let cell = netlist.cell(cid);
+            for &inp in cell.inputs() {
+                let boundary = match netlist.net(inp).driver() {
+                    None => true, // primary input
+                    Some(d) => !netlist.cell(d).kind().is_combinational(),
+                };
+                if boundary {
+                    b_in.push(inp);
+                }
+            }
+            let out = cell.output();
+            let feeds_seq_or_po = netlist.net(out).is_primary_output()
+                || netlist
+                    .net(out)
+                    .loads()
+                    .iter()
+                    .any(|&(load, _)| !in_block(load));
+            if feeds_seq_or_po {
+                b_out.push(out);
+            }
+        }
+        b_in.sort();
+        b_in.dedup();
+        b_out.sort();
+        b_out.dedup();
+        block.boundary_inputs = b_in;
+        block.boundary_outputs = b_out;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, NetlistBuilder};
+
+    /// Two-stage pipeline: stage1 (add0) | reg | stage2 (add1).
+    fn two_stage() -> Netlist {
+        let mut b = NetlistBuilder::new("two_stage");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s1 = b.wire("s1", 8);
+        let q = b.wire("q", 8);
+        let s2 = b.wire("s2", 8);
+        b.cell("add0", CellKind::Add, &[a, c], s1).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[s1], q)
+            .unwrap();
+        b.cell("add1", CellKind::Add, &[q, c], s2).unwrap();
+        b.mark_output(s2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn registers_split_blocks() {
+        let n = two_stage();
+        let blocks = partition_into_blocks(&n);
+        assert_eq!(blocks.len(), 2);
+        let add0 = n.find_cell("add0").unwrap();
+        let add1 = n.find_cell("add1").unwrap();
+        let b0 = blocks.iter().find(|b| b.contains(add0)).unwrap();
+        let b1 = blocks.iter().find(|b| b.contains(add1)).unwrap();
+        assert_ne!(b0.id, b1.id);
+    }
+
+    #[test]
+    fn boundary_nets_identified() {
+        let n = two_stage();
+        let blocks = partition_into_blocks(&n);
+        let add0 = n.find_cell("add0").unwrap();
+        let b0 = blocks.iter().find(|b| b.contains(add0)).unwrap();
+        // Stage 1 is fed by PIs a, c and ends at the register's D net s1.
+        let a = n.find_net("a").unwrap();
+        let c = n.find_net("c").unwrap();
+        let s1 = n.find_net("s1").unwrap();
+        assert_eq!(b0.boundary_inputs, {
+            let mut v = vec![a, c];
+            v.sort();
+            v
+        });
+        assert_eq!(b0.boundary_outputs, vec![s1]);
+
+        let add1 = n.find_cell("add1").unwrap();
+        let b1 = blocks.iter().find(|b| b.contains(add1)).unwrap();
+        let q = n.find_net("q").unwrap();
+        assert!(b1.boundary_inputs.contains(&q));
+        assert!(b1.boundary_inputs.contains(&c));
+        let s2 = n.find_net("s2").unwrap();
+        assert_eq!(b1.boundary_outputs, vec![s2]);
+    }
+
+    #[test]
+    fn single_block_for_pure_comb() {
+        let mut b = NetlistBuilder::new("comb");
+        let a = b.input("a", 4);
+        let c = b.input("c", 4);
+        let x = b.wire("x", 4);
+        let y = b.wire("y", 4);
+        b.cell("g1", CellKind::And, &[a, c], x).unwrap();
+        b.cell("g2", CellKind::Or, &[x, c], y).unwrap();
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        let blocks = partition_into_blocks(&n);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].cells.len(), 2);
+    }
+
+    #[test]
+    fn shared_register_fanout_stays_split() {
+        // Two disjoint comb cones fed by the same register output are
+        // *separate* blocks: they share a boundary input but no comb path.
+        let mut b = NetlistBuilder::new("shared");
+        let a = b.input("a", 4);
+        let q = b.wire("q", 4);
+        let x = b.wire("x", 4);
+        let y = b.wire("y", 4);
+        b.cell("r", CellKind::Reg { has_enable: false }, &[a], q)
+            .unwrap();
+        b.cell("g1", CellKind::Not, &[q], x).unwrap();
+        b.cell("g2", CellKind::Buf, &[q], y).unwrap();
+        b.mark_output(x);
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        let blocks = partition_into_blocks(&n);
+        assert_eq!(blocks.len(), 2);
+        for block in &blocks {
+            assert!(block.boundary_inputs.contains(&q));
+        }
+    }
+
+    #[test]
+    fn register_only_netlist_has_no_blocks() {
+        let mut b = NetlistBuilder::new("regs");
+        let a = b.input("a", 4);
+        let q = b.wire("q", 4);
+        b.cell("r", CellKind::Reg { has_enable: false }, &[a], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        assert!(partition_into_blocks(&n).is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Summary statistics of a netlist.
+
+use crate::cell::CellKind;
+use crate::netlist::Netlist;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Cell and net counts of a design, grouped by kind.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Number of cells per kind mnemonic.
+    pub cells_by_kind: BTreeMap<&'static str, usize>,
+    /// Total cell count.
+    pub num_cells: usize,
+    /// Total net count.
+    pub num_nets: usize,
+    /// Total bits across all nets.
+    pub total_net_bits: usize,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of arithmetic (isolation-candidate) cells.
+    pub num_arithmetic: usize,
+    /// Number of registers.
+    pub num_registers: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut stats = NetlistStats {
+            num_cells: netlist.num_cells(),
+            num_nets: netlist.num_nets(),
+            num_inputs: netlist.primary_inputs().len(),
+            num_outputs: netlist.primary_outputs().len(),
+            ..Default::default()
+        };
+        for (_, cell) in netlist.cells() {
+            *stats.cells_by_kind.entry(cell.kind().mnemonic()).or_insert(0) += 1;
+            if cell.kind().is_arithmetic() {
+                stats.num_arithmetic += 1;
+            }
+            if cell.kind().is_register() {
+                stats.num_registers += 1;
+            }
+        }
+        for (_, net) in netlist.nets() {
+            stats.total_net_bits += net.width() as usize;
+        }
+        stats
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} cells ({} arithmetic, {} registers), {} nets ({} bits), {} inputs, {} outputs",
+            self.num_cells,
+            self.num_arithmetic,
+            self.num_registers,
+            self.num_nets,
+            self.total_net_bits,
+            self.num_inputs,
+            self.num_outputs
+        )?;
+        for (kind, count) in &self.cells_by_kind {
+            writeln!(f, "  {kind:>8}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Returns true if `kind` participates in datapath word arithmetic (used by
+/// reporting to group cells).
+pub fn is_datapath_kind(kind: CellKind) -> bool {
+    kind.is_arithmetic() || matches!(kind, CellKind::Mux | CellKind::Reg { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, NetlistBuilder};
+
+    #[test]
+    fn stats_count_kinds() {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s = b.wire("s", 8);
+        let q = b.wire("q", 8);
+        b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[s], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let st = NetlistStats::of(&n);
+        assert_eq!(st.num_cells, 2);
+        assert_eq!(st.num_arithmetic, 1);
+        assert_eq!(st.num_registers, 1);
+        assert_eq!(st.cells_by_kind["add"], 1);
+        assert_eq!(st.cells_by_kind["reg"], 1);
+        assert_eq!(st.num_inputs, 2);
+        assert_eq!(st.num_outputs, 1);
+        assert_eq!(st.total_net_bits, 8 * 4);
+        let text = st.to_string();
+        assert!(text.contains("2 cells"));
+    }
+
+    #[test]
+    fn datapath_kind_classification() {
+        assert!(is_datapath_kind(CellKind::Add));
+        assert!(is_datapath_kind(CellKind::Mux));
+        assert!(is_datapath_kind(CellKind::Reg { has_enable: true }));
+        assert!(!is_datapath_kind(CellKind::And));
+        assert!(!is_datapath_kind(CellKind::Buf));
+    }
+}

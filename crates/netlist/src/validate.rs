@@ -1,0 +1,445 @@
+//! Per-cell port checking and global structural validation.
+
+use crate::builder::BuildError;
+use crate::cell::CellKind;
+use crate::id::{CellId, NetId};
+use crate::netlist::Netlist;
+use std::error::Error;
+use std::fmt;
+
+/// Global structural violations detected by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A non-input net has no driver.
+    UndrivenNet(String),
+    /// A combinational cycle passes through the named cell.
+    CombinationalCycle(String),
+    /// Internal connectivity tables disagree with cell port lists.
+    InconsistentConnectivity(String),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UndrivenNet(n) => write!(f, "net `{n}` has no driver"),
+            ValidateError::CombinationalCycle(c) => {
+                write!(f, "combinational cycle through cell `{c}`")
+            }
+            ValidateError::InconsistentConnectivity(d) => {
+                write!(f, "inconsistent connectivity: {d}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+fn width_of(netlist: &Netlist, id: NetId) -> u8 {
+    netlist.net(id).width()
+}
+
+fn port_count_err(cell: &str, expected: &str, got: usize) -> BuildError {
+    BuildError::PortCount {
+        cell: cell.to_string(),
+        expected: expected.to_string(),
+        got,
+    }
+}
+
+fn width_err(cell: &str, detail: String) -> BuildError {
+    BuildError::WidthMismatch {
+        cell: cell.to_string(),
+        detail,
+    }
+}
+
+/// Checks the port convention of a prospective cell (see [`CellKind`] docs).
+pub(crate) fn check_cell_ports(
+    netlist: &Netlist,
+    name: &str,
+    kind: CellKind,
+    inputs: &[NetId],
+    output: NetId,
+) -> Result<(), BuildError> {
+    let ow = width_of(netlist, output);
+    let w = |i: usize| width_of(netlist, inputs[i]);
+    match kind {
+        CellKind::Add | CellKind::Sub | CellKind::Mul => {
+            if inputs.len() != 2 {
+                return Err(port_count_err(name, "exactly 2", inputs.len()));
+            }
+            if w(0) != w(1) || w(0) != ow {
+                return Err(width_err(
+                    name,
+                    format!("operands and result must share width; got {}/{}/{}", w(0), w(1), ow),
+                ));
+            }
+        }
+        CellKind::Shl | CellKind::Shr => {
+            if inputs.len() != 2 {
+                return Err(port_count_err(name, "exactly 2 (data, amount)", inputs.len()));
+            }
+            if w(0) != ow {
+                return Err(width_err(
+                    name,
+                    format!("data width {} must equal output width {ow}", w(0)),
+                ));
+            }
+        }
+        CellKind::Lt | CellKind::Eq => {
+            if inputs.len() != 2 {
+                return Err(port_count_err(name, "exactly 2", inputs.len()));
+            }
+            if w(0) != w(1) {
+                return Err(width_err(
+                    name,
+                    format!("operands must share width; got {}/{}", w(0), w(1)),
+                ));
+            }
+            if ow != 1 {
+                return Err(width_err(name, format!("comparison output must be 1 bit, got {ow}")));
+            }
+        }
+        CellKind::Mux => {
+            if inputs.len() < 3 {
+                return Err(port_count_err(name, "at least 3 (sel + 2 data)", inputs.len()));
+            }
+            let n_data = inputs.len() - 1;
+            let need_sel = bits_for(n_data);
+            if w(0) < need_sel {
+                return Err(width_err(
+                    name,
+                    format!(
+                        "select width {} cannot address {n_data} data inputs (need {need_sel})",
+                        w(0)
+                    ),
+                ));
+            }
+            for i in 1..inputs.len() {
+                if w(i) != ow {
+                    return Err(width_err(
+                        name,
+                        format!("data input {} width {} must equal output width {ow}", i - 1, w(i)),
+                    ));
+                }
+            }
+        }
+        CellKind::Reg { has_enable } => {
+            let expected = if has_enable { 2 } else { 1 };
+            if inputs.len() != expected {
+                return Err(port_count_err(
+                    name,
+                    if has_enable { "exactly 2 (d, en)" } else { "exactly 1 (d)" },
+                    inputs.len(),
+                ));
+            }
+            if w(0) != ow {
+                return Err(width_err(name, format!("d width {} must equal q width {ow}", w(0))));
+            }
+            if has_enable && w(1) != 1 {
+                return Err(width_err(name, format!("enable must be 1 bit, got {}", w(1))));
+            }
+        }
+        CellKind::Latch => {
+            if inputs.len() != 2 {
+                return Err(port_count_err(name, "exactly 2 (d, en)", inputs.len()));
+            }
+            if w(0) != ow {
+                return Err(width_err(name, format!("d width {} must equal q width {ow}", w(0))));
+            }
+            if w(1) != 1 {
+                return Err(width_err(name, format!("enable must be 1 bit, got {}", w(1))));
+            }
+        }
+        CellKind::And | CellKind::Or | CellKind::Xor => {
+            if inputs.len() < 2 {
+                return Err(port_count_err(name, "at least 2", inputs.len()));
+            }
+            for i in 0..inputs.len() {
+                if w(i) != ow {
+                    return Err(width_err(
+                        name,
+                        format!("operand {i} width {} must equal output width {ow}", w(i)),
+                    ));
+                }
+            }
+        }
+        CellKind::Not | CellKind::Buf => {
+            if inputs.len() != 1 {
+                return Err(port_count_err(name, "exactly 1", inputs.len()));
+            }
+            if w(0) != ow {
+                return Err(width_err(name, format!("width {} must equal output width {ow}", w(0))));
+            }
+        }
+        CellKind::RedOr | CellKind::RedAnd => {
+            if inputs.len() != 1 {
+                return Err(port_count_err(name, "exactly 1", inputs.len()));
+            }
+            if ow != 1 {
+                return Err(width_err(name, format!("reduction output must be 1 bit, got {ow}")));
+            }
+        }
+        CellKind::Const { .. } => {
+            if !inputs.is_empty() {
+                return Err(port_count_err(name, "exactly 0", inputs.len()));
+            }
+        }
+        CellKind::Slice { lo, hi } => {
+            if inputs.len() != 1 {
+                return Err(port_count_err(name, "exactly 1", inputs.len()));
+            }
+            if lo > hi || hi >= w(0) {
+                return Err(width_err(
+                    name,
+                    format!("slice [{hi}:{lo}] out of range for {}-bit input", w(0)),
+                ));
+            }
+            if ow != hi - lo + 1 {
+                return Err(width_err(
+                    name,
+                    format!("slice [{hi}:{lo}] needs {}-bit output, got {ow}", hi - lo + 1),
+                ));
+            }
+        }
+        CellKind::Concat => {
+            if inputs.len() < 2 {
+                return Err(port_count_err(name, "at least 2", inputs.len()));
+            }
+            let total: u32 = (0..inputs.len()).map(|i| w(i) as u32).sum();
+            if total != ow as u32 {
+                return Err(width_err(
+                    name,
+                    format!("concat of {total} bits must match output width {ow}"),
+                ));
+            }
+        }
+        CellKind::Zext => {
+            if inputs.len() != 1 {
+                return Err(port_count_err(name, "exactly 1", inputs.len()));
+            }
+            if w(0) > ow {
+                return Err(width_err(
+                    name,
+                    format!("zext cannot narrow: input {} bits, output {ow}", w(0)),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Smallest number of select bits that can address `n` data inputs.
+pub(crate) fn bits_for(n: usize) -> u8 {
+    debug_assert!(n >= 1);
+    (usize::BITS - (n - 1).leading_zeros()).max(1) as u8
+}
+
+/// Global structural validation (see [`Netlist::validate`]).
+pub(crate) fn validate(netlist: &Netlist) -> Result<(), ValidateError> {
+    // Every non-input net must be driven.
+    for (_, net) in netlist.nets() {
+        if !net.is_primary_input() && net.driver().is_none() {
+            return Err(ValidateError::UndrivenNet(net.name().to_string()));
+        }
+        if net.is_primary_input() && net.driver().is_some() {
+            return Err(ValidateError::InconsistentConnectivity(format!(
+                "primary input `{}` has a driver",
+                net.name()
+            )));
+        }
+    }
+    // Connectivity tables must agree with port lists.
+    for (cid, cell) in netlist.cells() {
+        for (port, &net) in cell.inputs().iter().enumerate() {
+            let ok = netlist
+                .net(net)
+                .loads()
+                .iter()
+                .any(|&(c, p)| c == cid && p == port);
+            if !ok {
+                return Err(ValidateError::InconsistentConnectivity(format!(
+                    "cell `{}` port {port} not registered as load of `{}`",
+                    cell.name(),
+                    netlist.net(net).name()
+                )));
+            }
+        }
+        if netlist.net(cell.output()).driver() != Some(cid) {
+            return Err(ValidateError::InconsistentConnectivity(format!(
+                "cell `{}` not registered as driver of `{}`",
+                cell.name(),
+                netlist.net(cell.output()).name()
+            )));
+        }
+    }
+    // No combinational cycles: DFS over comb cells (latches included —
+    // a transparent latch forms a real combinational path).
+    detect_comb_cycle(netlist)?;
+    Ok(())
+}
+
+fn detect_comb_cycle(netlist: &Netlist) -> Result<(), ValidateError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = netlist.num_cells();
+    let mut marks = vec![Mark::White; n];
+    // Iterative DFS with an explicit stack to survive deep datapaths.
+    for start in 0..n {
+        if marks[start] != Mark::White
+            || !netlist.cell(CellId::from_index(start)).kind().is_combinational()
+        {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        marks[start] = Mark::Grey;
+        while let Some(&mut (cell_idx, ref mut succ_idx)) = stack.last_mut() {
+            let cell = netlist.cell(CellId::from_index(cell_idx));
+            // Successors: comb cells loading this cell's output net.
+            let loads = netlist.net(cell.output()).loads();
+            if *succ_idx >= loads.len() {
+                marks[cell_idx] = Mark::Black;
+                stack.pop();
+                continue;
+            }
+            let (next_cell, _) = loads[*succ_idx];
+            *succ_idx += 1;
+            if !netlist.cell(next_cell).kind().is_combinational() {
+                continue;
+            }
+            match marks[next_cell.index()] {
+                Mark::White => {
+                    marks[next_cell.index()] = Mark::Grey;
+                    stack.push((next_cell.index(), 0));
+                }
+                Mark::Grey => {
+                    return Err(ValidateError::CombinationalCycle(
+                        netlist.cell(next_cell).name().to_string(),
+                    ));
+                }
+                Mark::Black => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn bits_for_muxes() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+    }
+
+    #[test]
+    fn mux_select_width_enforced() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.input("s", 1);
+        let d: Vec<_> = (0..3).map(|i| b.input(format!("d{i}"), 4)).collect();
+        let o = b.wire("o", 4);
+        // 3 data inputs need 2 select bits; 1 is too few.
+        let err = b
+            .cell("mx", CellKind::Mux, &[s, d[0], d[1], d[2]], o)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::WidthMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn wide_mux_accepted() {
+        let mut b = NetlistBuilder::new("m4");
+        let s = b.input("s", 2);
+        let d: Vec<_> = (0..4).map(|i| b.input(format!("d{i}"), 8)).collect();
+        let o = b.wire("o", 8);
+        b.cell("mx", CellKind::Mux, &[s, d[0], d[1], d[2], d[3]], o)
+            .unwrap();
+        b.mark_output(o);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.input("a", 8);
+        let o = b.wire("o", 4);
+        assert!(b
+            .cell("sl", CellKind::Slice { lo: 2, hi: 5 }, &[a], o)
+            .is_ok());
+        let o2 = b.wire("o2", 4);
+        assert!(b
+            .cell("sl2", CellKind::Slice { lo: 6, hi: 9 }, &[a], o2)
+            .is_err());
+    }
+
+    #[test]
+    fn concat_width_sum_checked() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a", 3);
+        let c = b.input("b", 5);
+        let o = b.wire("o", 8);
+        assert!(b.cell("cc", CellKind::Concat, &[a, c], o).is_ok());
+        let o2 = b.wire("o2", 7);
+        assert!(b.cell("cc2", CellKind::Concat, &[a, c], o2).is_err());
+    }
+
+    #[test]
+    fn zext_cannot_narrow() {
+        let mut b = NetlistBuilder::new("z");
+        let a = b.input("a", 8);
+        let narrow = b.wire("narrow", 4);
+        assert!(b.cell("zx", CellKind::Zext, &[a], narrow).is_err());
+        let wide = b.wire("wide", 16);
+        assert!(b.cell("zx2", CellKind::Zext, &[a], wide).is_ok());
+    }
+
+    #[test]
+    fn latch_cycle_detected() {
+        // Transparent latches form combinational paths; a loop through one
+        // must be rejected.
+        let mut b = NetlistBuilder::new("lc");
+        let en = b.input("en", 1);
+        let x = b.wire("x", 4);
+        let y = b.wire("y", 4);
+        b.cell("l", CellKind::Latch, &[y, en], x).unwrap();
+        b.cell("bufc", CellKind::Buf, &[x], y).unwrap();
+        b.mark_output(y);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn comparison_output_must_be_one_bit() {
+        let mut b = NetlistBuilder::new("cmp");
+        let a = b.input("a", 8);
+        let c = b.input("b", 8);
+        let bad = b.wire("bad", 8);
+        assert!(b.cell("lt", CellKind::Lt, &[a, c], bad).is_err());
+        let ok = b.wire("ok", 1);
+        assert!(b.cell("lt2", CellKind::Lt, &[a, c], ok).is_ok());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 20_000-cell buffer chain: iterative DFS must handle it.
+        let mut b = NetlistBuilder::new("deep");
+        let mut prev = b.input("a", 1);
+        for i in 0..20_000 {
+            let w = b.wire(format!("w{i}"), 1);
+            b.cell(format!("b{i}"), CellKind::Buf, &[prev], w).unwrap();
+            prev = w;
+        }
+        b.mark_output(prev);
+        assert!(b.build().is_ok());
+    }
+}

@@ -1,0 +1,254 @@
+//! Structural Verilog-2001 export.
+//!
+//! The emitted text is synthesizable behavioural/structural Verilog intended
+//! for eyeballing designs in external tools and for documenting the exact
+//! circuits behind each experiment. It is *not* re-imported by this
+//! workspace.
+
+use crate::cell::CellKind;
+use crate::id::NetId;
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+fn range(width: u8) -> String {
+    if width == 1 {
+        String::new()
+    } else {
+        format!("[{}:0] ", width - 1)
+    }
+}
+
+/// Renders the netlist as a structural Verilog module.
+///
+/// # Examples
+///
+/// ```
+/// use oiso_netlist::{CellKind, NetlistBuilder, verilog};
+///
+/// # fn main() -> Result<(), oiso_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("inc");
+/// let a = b.input("a", 8);
+/// let one = b.constant("one", 8, 1)?;
+/// let y = b.wire("y", 8);
+/// b.cell("add", CellKind::Add, &[a, one], y)?;
+/// b.mark_output(y);
+/// let n = b.build()?;
+/// let v = verilog::to_verilog(&n);
+/// assert!(v.contains("module inc"));
+/// assert!(v.contains("assign"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let name_of = |id: NetId| sanitize(netlist.net(id).name());
+
+    let mut ports: Vec<String> = vec!["clk".to_string()];
+    ports.extend(netlist.primary_inputs().iter().map(|&n| name_of(n)));
+    ports.extend(
+        netlist
+            .primary_outputs()
+            .iter()
+            .filter(|n| !netlist.net(**n).is_primary_input())
+            .map(|&n| name_of(n)),
+    );
+    let _ = writeln!(out, "module {} (", sanitize(netlist.name()));
+    let _ = writeln!(out, "  {}", ports.join(",\n  "));
+    let _ = writeln!(out, ");");
+    let _ = writeln!(out, "  input clk;");
+    for &pi in netlist.primary_inputs() {
+        let net = netlist.net(pi);
+        let _ = writeln!(out, "  input {}{};", range(net.width()), name_of(pi));
+    }
+    for &po in netlist.primary_outputs() {
+        if netlist.net(po).is_primary_input() {
+            continue;
+        }
+        let net = netlist.net(po);
+        let _ = writeln!(out, "  output {}{};", range(net.width()), name_of(po));
+    }
+    // Internal declarations: regs for sequential outputs, wires otherwise.
+    for (id, net) in netlist.nets() {
+        if net.is_primary_input() {
+            continue;
+        }
+        let is_reg_like = net
+            .driver()
+            .map(|d| netlist.cell(d).kind().is_stateful())
+            .unwrap_or(false);
+        let decl = if is_reg_like { "reg " } else { "wire" };
+        let _ = writeln!(out, "  {} {}{};", decl, range(net.width()), name_of(id));
+    }
+    let _ = writeln!(out);
+
+    for (_, cell) in netlist.cells() {
+        let y = name_of(cell.output());
+        let ins: Vec<String> = cell.inputs().iter().map(|&n| name_of(n)).collect();
+        let cmt = format!(" // {}", sanitize(cell.name()));
+        match cell.kind() {
+            CellKind::Add => {
+                let _ = writeln!(out, "  assign {y} = {} + {};{cmt}", ins[0], ins[1]);
+            }
+            CellKind::Sub => {
+                let _ = writeln!(out, "  assign {y} = {} - {};{cmt}", ins[0], ins[1]);
+            }
+            CellKind::Mul => {
+                let _ = writeln!(out, "  assign {y} = {} * {};{cmt}", ins[0], ins[1]);
+            }
+            CellKind::Shl => {
+                let _ = writeln!(out, "  assign {y} = {} << {};{cmt}", ins[0], ins[1]);
+            }
+            CellKind::Shr => {
+                let _ = writeln!(out, "  assign {y} = {} >> {};{cmt}", ins[0], ins[1]);
+            }
+            CellKind::Lt => {
+                let _ = writeln!(out, "  assign {y} = {} < {};{cmt}", ins[0], ins[1]);
+            }
+            CellKind::Eq => {
+                let _ = writeln!(out, "  assign {y} = {} == {};{cmt}", ins[0], ins[1]);
+            }
+            CellKind::Mux => {
+                // Nested conditional over the select value.
+                let sel = &ins[0];
+                let n_data = ins.len() - 1;
+                let mut expr = ins[n_data].clone(); // default: last input
+                for i in (0..n_data - 1).rev() {
+                    expr = format!("({sel} == {i}) ? {} : ({expr})", ins[i + 1]);
+                }
+                let _ = writeln!(out, "  assign {y} = {expr};{cmt}");
+            }
+            CellKind::Reg { has_enable } => {
+                let _ = writeln!(out, "  always @(posedge clk){cmt}");
+                if has_enable {
+                    let _ = writeln!(out, "    if ({}) {y} <= {};", ins[1], ins[0]);
+                } else {
+                    let _ = writeln!(out, "    {y} <= {};", ins[0]);
+                }
+            }
+            CellKind::Latch => {
+                let _ = writeln!(out, "  always @(*){cmt}");
+                let _ = writeln!(out, "    if ({}) {y} = {};", ins[1], ins[0]);
+            }
+            CellKind::And => {
+                let _ = writeln!(out, "  assign {y} = {};{cmt}", ins.join(" & "));
+            }
+            CellKind::Or => {
+                let _ = writeln!(out, "  assign {y} = {};{cmt}", ins.join(" | "));
+            }
+            CellKind::Xor => {
+                let _ = writeln!(out, "  assign {y} = {};{cmt}", ins.join(" ^ "));
+            }
+            CellKind::Not => {
+                let _ = writeln!(out, "  assign {y} = ~{};{cmt}", ins[0]);
+            }
+            CellKind::Buf => {
+                let _ = writeln!(out, "  assign {y} = {};{cmt}", ins[0]);
+            }
+            CellKind::RedOr => {
+                let _ = writeln!(out, "  assign {y} = |{};{cmt}", ins[0]);
+            }
+            CellKind::RedAnd => {
+                let _ = writeln!(out, "  assign {y} = &{};{cmt}", ins[0]);
+            }
+            CellKind::Const { value } => {
+                let w = netlist.net(cell.output()).width();
+                let masked = value & netlist.net(cell.output()).mask();
+                let _ = writeln!(out, "  assign {y} = {w}'h{masked:x};{cmt}");
+            }
+            CellKind::Slice { lo, hi } => {
+                let _ = writeln!(out, "  assign {y} = {}[{}:{}];{cmt}", ins[0], hi, lo);
+            }
+            CellKind::Concat => {
+                let _ = writeln!(out, "  assign {y} = {{{}}};{cmt}", ins.join(", "));
+            }
+            CellKind::Zext => {
+                let iw = netlist.net(cell.inputs()[0]).width();
+                let ow = netlist.net(cell.output()).width();
+                if iw == ow {
+                    let _ = writeln!(out, "  assign {y} = {};{cmt}", ins[0]);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  assign {y} = {{{}'b0, {}}};{cmt}",
+                        ow - iw,
+                        ins[0]
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CellKind, NetlistBuilder};
+
+    #[test]
+    fn emits_all_cell_kinds() {
+        let mut b = NetlistBuilder::new("all-kinds");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s1 = b.input("s1", 1);
+        let add = b.wire("w_add", 8);
+        let sub = b.wire("w_sub", 8);
+        let mul = b.wire("w_mul", 8);
+        let mx = b.wire("w_mux", 8);
+        let q = b.wire("q", 8);
+        let lq = b.wire("lq", 8);
+        let red = b.wire("red", 1);
+        b.cell("u_add", CellKind::Add, &[a, c], add).unwrap();
+        b.cell("u_sub", CellKind::Sub, &[a, c], sub).unwrap();
+        b.cell("u_mul", CellKind::Mul, &[a, c], mul).unwrap();
+        b.cell("u_mux", CellKind::Mux, &[s1, add, sub], mx).unwrap();
+        b.cell("u_reg", CellKind::Reg { has_enable: true }, &[mx, s1], q)
+            .unwrap();
+        b.cell("u_lat", CellKind::Latch, &[mul, s1], lq).unwrap();
+        b.cell("u_red", CellKind::RedOr, &[lq], red).unwrap();
+        b.mark_output(q);
+        b.mark_output(red);
+        let n = b.build().unwrap();
+        let v = super::to_verilog(&n);
+        assert!(v.contains("module all_kinds"));
+        assert!(v.contains("w_add = a + c"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("if (s1) q <= w_mux;"));
+        assert!(v.contains("always @(*)"));
+        assert!(v.contains("|lq"));
+        assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn wide_mux_nested_conditionals() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.input("s", 2);
+        let d: Vec<_> = (0..4).map(|i| b.input(format!("d{i}"), 4)).collect();
+        let o = b.wire("o", 4);
+        b.cell("mx", CellKind::Mux, &[s, d[0], d[1], d[2], d[3]], o)
+            .unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let v = super::to_verilog(&n);
+        assert!(v.contains("(s == 0) ? d0"));
+        assert!(v.contains("(s == 2) ? d2"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(super::sanitize("a-b.c"), "a_b_c");
+        assert_eq!(super::sanitize("1x"), "_1x");
+        assert_eq!(super::sanitize(""), "_");
+    }
+}

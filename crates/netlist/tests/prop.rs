@@ -1,0 +1,132 @@
+//! Property-based structural tests: random datapath netlists must satisfy
+//! the graph invariants every downstream pass relies on.
+
+use oiso_netlist::{
+    comb_topo_order, levelize, partition_into_blocks, CellKind, NetId, Netlist,
+    NetlistBuilder,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Small seed-driven random netlist (kept local so this crate has no
+/// dependency on `oiso-designs`).
+fn random_netlist(seed: u64, ops: usize) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(format!("rn{seed}"));
+    let mut pool: Vec<NetId> = (0..3).map(|i| b.input(format!("i{i}"), 8)).collect();
+    let ctl: Vec<NetId> = (0..3).map(|i| b.input(format!("c{i}"), 1)).collect();
+    for op in 0..ops {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let c = pool[rng.gen_range(0..pool.len())];
+        let out = b.wire(format!("w{op}"), 8);
+        let kind = [CellKind::Add, CellKind::Sub, CellKind::And, CellKind::Xor]
+            [rng.gen_range(0..4)];
+        b.cell(format!("u{op}"), kind, &[a, c], out).expect("op");
+        let fed = if rng.gen_bool(0.3) {
+            let q = b.wire(format!("q{op}"), 8);
+            let en = ctl[rng.gen_range(0..3)];
+            b.cell(format!("r{op}"), CellKind::Reg { has_enable: true }, &[out, en], q)
+                .expect("reg");
+            b.mark_output(q);
+            q
+        } else {
+            out
+        };
+        pool.push(fed);
+    }
+    let last = *pool.last().expect("non-empty");
+    b.mark_output(last);
+    b.build().expect("random netlist valid")
+}
+
+proptest! {
+    /// `comb_topo_order` lists every combinational cell exactly once, and
+    /// every cell after all of its combinational drivers.
+    #[test]
+    fn topo_order_is_valid(seed in 0u64..50_000, ops in 1usize..25) {
+        let n = random_netlist(seed, ops);
+        let order = comb_topo_order(&n);
+        let comb_count = n.cells().filter(|(_, c)| c.kind().is_combinational()).count();
+        prop_assert_eq!(order.len(), comb_count);
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        for &cid in &order {
+            for &inp in n.cell(cid).inputs() {
+                if let Some(driver) = n.net(inp).driver() {
+                    if n.cell(driver).kind().is_combinational() {
+                        prop_assert!(pos[&driver] < pos[&cid],
+                            "driver must precede consumer");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Levels are consistent with the edge relation.
+    #[test]
+    fn levels_are_monotone(seed in 0u64..50_000, ops in 1usize..25) {
+        let n = random_netlist(seed, ops);
+        let levels = levelize(&n);
+        for (cid, cell) in n.cells() {
+            if !cell.kind().is_combinational() { continue; }
+            for &inp in cell.inputs() {
+                if let Some(driver) = n.net(inp).driver() {
+                    if n.cell(driver).kind().is_combinational() {
+                        prop_assert!(levels[driver.index()] < levels[cid.index()]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks partition the combinational cells: disjoint, complete, and
+    /// closed under comb-to-comb connectivity.
+    #[test]
+    fn blocks_partition_comb_cells(seed in 0u64..50_000, ops in 1usize..25) {
+        let n = random_netlist(seed, ops);
+        let blocks = partition_into_blocks(&n);
+        let mut seen = std::collections::HashSet::new();
+        for block in &blocks {
+            for &cell in &block.cells {
+                prop_assert!(n.cell(cell).kind().is_combinational());
+                prop_assert!(seen.insert(cell), "cell in two blocks");
+            }
+        }
+        let comb_count = n.cells().filter(|(_, c)| c.kind().is_combinational()).count();
+        prop_assert_eq!(seen.len(), comb_count);
+        // Closure: a comb cell driven by a block member is in the same block.
+        for block in &blocks {
+            for &cell in &block.cells {
+                for &(load, _) in n.net(n.cell(cell).output()).loads() {
+                    if n.cell(load).kind().is_combinational() {
+                        prop_assert!(block.contains(load));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Connectivity tables stay consistent after random rewires.
+    #[test]
+    fn rewire_preserves_validity(seed in 0u64..50_000, ops in 2usize..20) {
+        let mut n = random_netlist(seed, ops);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        // Perform a few rewires of random 8-bit data ports to fresh buffers.
+        for step in 0..3 {
+            let cells: Vec<_> = n.cells()
+                .filter(|(_, c)| !c.inputs().is_empty())
+                .map(|(id, _)| id)
+                .collect();
+            let cell = cells[rng.gen_range(0..cells.len())];
+            let port = rng.gen_range(0..n.cell(cell).inputs().len());
+            let old = n.cell(cell).inputs()[port];
+            let width = n.net(old).width();
+            let w = n.add_wire(format!("rw{step}"), width).expect("wire");
+            n.add_cell(format!("rwbuf{step}"), CellKind::Buf, &[old], w)
+                .expect("buf");
+            n.rewire_input(cell, port, w).expect("rewire");
+        }
+        prop_assert!(n.validate().is_ok());
+    }
+}

@@ -1,0 +1,82 @@
+//! Area estimation from the primitive composition.
+
+use crate::compose::primitive_count;
+use oiso_netlist::{Cell, Netlist};
+use oiso_techlib::{Area, TechLibrary};
+
+/// Placed area of one cell instance.
+pub fn cell_area(lib: &TechLibrary, netlist: &Netlist, cell: &Cell) -> Area {
+    primitive_count(netlist, cell)
+        .primitives
+        .iter()
+        .map(|&(class, count)| lib.cell(class).area * count as f64)
+        .sum()
+}
+
+/// Total placed area of the design — the `A_t` of the paper's relative
+/// area-increase term `rA(c) = A(c) / A_t`.
+pub fn total_area(lib: &TechLibrary, netlist: &Netlist) -> Area {
+    netlist
+        .cells()
+        .map(|(_, cell)| cell_area(lib, netlist, cell))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::{CellKind, NetlistBuilder};
+
+    #[test]
+    fn area_sums_primitives() {
+        let lib = TechLibrary::generic_250nm();
+        let mut b = NetlistBuilder::new("a");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.wire("s", 8);
+        let q = b.wire("q", 8);
+        b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[s], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let add_area = cell_area(&lib, &n, n.cell(n.find_cell("add").unwrap()));
+        let total = total_area(&lib, &n);
+        use oiso_techlib::CellClass;
+        let expected_add = lib.cell(CellClass::FullAdder).area * 8.0;
+        let expected_reg = lib.cell(CellClass::DffBit).area * 8.0;
+        assert!((add_area.as_um2() - expected_add.as_um2()).abs() < 1e-9);
+        assert!((total.as_um2() - (expected_add + expected_reg).as_um2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wiring_has_zero_area() {
+        let lib = TechLibrary::generic_250nm();
+        let mut b = NetlistBuilder::new("w");
+        let x = b.input("x", 8);
+        let s = b.wire("s", 4);
+        b.cell("sl", CellKind::Slice { lo: 0, hi: 3 }, &[x], s)
+            .unwrap();
+        b.mark_output(s);
+        let n = b.build().unwrap();
+        assert_eq!(total_area(&lib, &n).as_um2(), 0.0);
+    }
+
+    #[test]
+    fn multiplier_area_is_quadratic() {
+        let lib = TechLibrary::generic_250nm();
+        let area_of = |w: u8| {
+            let mut b = NetlistBuilder::new("m");
+            let x = b.input("x", w);
+            let y = b.input("y", w);
+            let p = b.wire("p", w);
+            b.cell("mul", CellKind::Mul, &[x, y], p).unwrap();
+            b.mark_output(p);
+            let n = b.build().unwrap();
+            total_area(&lib, &n).as_um2()
+        };
+        let a8 = area_of(8);
+        let a16 = area_of(16);
+        assert!((a16 / a8 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,248 @@
+//! Technology mapping of RT-level cells onto library primitives.
+//!
+//! Everything downstream — area, switched-capacitance power, pin loading,
+//! and intrinsic delay — is derived from *one* composition table, so the
+//! cost model stays self-consistent: a latch-based isolation bank is
+//! heavier than an AND-based one in area, power, and delay simultaneously,
+//! which is the physical fact behind the paper's Section 5.2/6 conclusion.
+
+use oiso_netlist::{Cell, CellKind, Netlist};
+use oiso_techlib::{Capacitance, CellClass, TechLibrary};
+
+/// How one RT-level cell decomposes into library primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellComposition {
+    /// `(primitive, count)` pairs.
+    pub primitives: Vec<(CellClass, usize)>,
+}
+
+impl CellComposition {
+    /// Empty composition (pure wiring: `Const`, `Slice`, `Concat`, `Zext`).
+    pub fn wiring() -> Self {
+        CellComposition {
+            primitives: Vec::new(),
+        }
+    }
+
+    /// Total primitive count.
+    pub fn count(&self) -> usize {
+        self.primitives.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// `ceil(log2(n))`, at least 1 — the logic depth of trees over `n` leaves.
+pub fn clog2(n: usize) -> usize {
+    (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize
+}
+
+/// The primitive composition of a cell instance.
+pub fn primitive_count(netlist: &Netlist, cell: &Cell) -> CellComposition {
+    let w = netlist.net(cell.output()).width() as usize;
+    let in_w = |i: usize| netlist.net(cell.inputs()[i]).width() as usize;
+    let primitives = match cell.kind() {
+        CellKind::Add | CellKind::Sub => vec![(CellClass::FullAdder, w)],
+        CellKind::Mul => vec![(CellClass::MulBit, w * w)],
+        CellKind::Shl | CellKind::Shr => vec![(CellClass::ShiftBit, w * clog2(w))],
+        CellKind::Lt | CellKind::Eq => vec![(CellClass::CmpBit, in_w(0))],
+        CellKind::Mux => {
+            let n_data = cell.inputs().len() - 1;
+            vec![(CellClass::Mux2, (n_data - 1) * w)]
+        }
+        CellKind::Reg { has_enable } => {
+            let class = if has_enable {
+                CellClass::DffEnBit
+            } else {
+                CellClass::DffBit
+            };
+            vec![(class, w)]
+        }
+        CellKind::Latch => vec![(CellClass::LatchBit, w)],
+        CellKind::And => vec![(CellClass::And2, (cell.inputs().len() - 1) * w)],
+        CellKind::Or => vec![(CellClass::Or2, (cell.inputs().len() - 1) * w)],
+        CellKind::Xor => vec![(CellClass::Xor2, (cell.inputs().len() - 1) * w)],
+        CellKind::Not => vec![(CellClass::Inv, w)],
+        CellKind::Buf => vec![(CellClass::Buf, w)],
+        CellKind::RedOr => vec![(CellClass::Or2, in_w(0).saturating_sub(1))],
+        CellKind::RedAnd => vec![(CellClass::And2, in_w(0).saturating_sub(1))],
+        CellKind::Const { .. } | CellKind::Slice { .. } | CellKind::Concat | CellKind::Zext => {
+            Vec::new()
+        }
+    };
+    CellComposition { primitives }
+}
+
+/// The capacitance one *bit* of a net sees at input `port` of `cell`.
+///
+/// Data ports of word-level cells present one primitive pin per bit; control
+/// ports (mux selects, enables) fan out to every bit slice of the cell, so a
+/// single control bit carries the pin capacitance of the whole word — which
+/// is exactly why activation signals are not free and the paper charges
+/// them in the cost model.
+pub fn port_pin_cap_per_bit(
+    lib: &TechLibrary,
+    netlist: &Netlist,
+    cell: &Cell,
+    port: usize,
+) -> Capacitance {
+    let w = netlist.net(cell.output()).width() as usize;
+    let pin = |class: CellClass| lib.cell(class).input_cap;
+    match cell.kind() {
+        CellKind::Add | CellKind::Sub => pin(CellClass::FullAdder),
+        // Each multiplicand bit feeds a row (or column) of the array.
+        CellKind::Mul => pin(CellClass::MulBit) * w as f64,
+        CellKind::Shl | CellKind::Shr => {
+            if port == 0 {
+                pin(CellClass::ShiftBit) * clog2(w) as f64
+            } else {
+                // One amount bit steers a full w-bit stage.
+                pin(CellClass::ShiftBit) * w as f64
+            }
+        }
+        CellKind::Lt | CellKind::Eq => pin(CellClass::CmpBit),
+        CellKind::Mux => {
+            if port == 0 {
+                // Select drives every mux bit of one tree level.
+                pin(CellClass::Mux2) * w as f64
+            } else {
+                pin(CellClass::Mux2)
+            }
+        }
+        CellKind::Reg { has_enable } => {
+            let class = if has_enable {
+                CellClass::DffEnBit
+            } else {
+                CellClass::DffBit
+            };
+            if port == 1 {
+                pin(class) * w as f64 // enable fans out to all bits
+            } else {
+                pin(class)
+            }
+        }
+        CellKind::Latch => {
+            if port == 1 {
+                pin(CellClass::LatchBit) * w as f64
+            } else {
+                pin(CellClass::LatchBit)
+            }
+        }
+        CellKind::And | CellKind::RedAnd => pin(CellClass::And2),
+        CellKind::Or | CellKind::RedOr => pin(CellClass::Or2),
+        CellKind::Xor => pin(CellClass::Xor2),
+        CellKind::Not => pin(CellClass::Inv),
+        CellKind::Buf => pin(CellClass::Buf),
+        CellKind::Const { .. } | CellKind::Slice { .. } | CellKind::Concat | CellKind::Zext => {
+            Capacitance::ZERO
+        }
+    }
+}
+
+/// Total per-bit load on a net: sink pin capacitances plus the wire-load
+/// contribution per fanout.
+pub fn net_load_per_bit(
+    lib: &TechLibrary,
+    netlist: &Netlist,
+    net: oiso_netlist::NetId,
+) -> Capacitance {
+    let mut total = Capacitance::ZERO;
+    for &(cell, port) in netlist.net(net).loads() {
+        total += port_pin_cap_per_bit(lib, netlist, netlist.cell(cell), port);
+        total += lib.wire_cap_per_load();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::NetlistBuilder;
+
+    fn with_cell(kind: CellKind, in_widths: &[u8], out_width: u8) -> (Netlist, usize) {
+        let mut b = NetlistBuilder::new("c");
+        let ins: Vec<_> = in_widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| b.input(format!("i{i}"), w))
+            .collect();
+        let o = b.wire("o", out_width);
+        b.cell("dut", kind, &ins, o).unwrap();
+        b.mark_output(o);
+        (b.build().unwrap(), 0)
+    }
+
+    #[test]
+    fn clog2_values() {
+        assert_eq!(clog2(1), 1);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(16), 4);
+        assert_eq!(clog2(17), 5);
+    }
+
+    #[test]
+    fn adder_is_linear_multiplier_quadratic() {
+        let (n, _) = with_cell(CellKind::Add, &[16, 16], 16);
+        let add = primitive_count(&n, n.cell(oiso_netlist::CellId::from_index(0)));
+        assert_eq!(add.primitives, vec![(CellClass::FullAdder, 16)]);
+
+        let (n2, _) = with_cell(CellKind::Mul, &[16, 16], 16);
+        let mul = primitive_count(&n2, n2.cell(oiso_netlist::CellId::from_index(0)));
+        assert_eq!(mul.primitives, vec![(CellClass::MulBit, 256)]);
+        assert_eq!(mul.count(), 256);
+    }
+
+    #[test]
+    fn mux_tree_size() {
+        // 4:1 mux of 8 bits: 3 levels of 8 mux2 = 24.
+        let (n, _) = with_cell(CellKind::Mux, &[2, 8, 8, 8, 8], 8);
+        let c = primitive_count(&n, n.cell(oiso_netlist::CellId::from_index(0)));
+        assert_eq!(c.primitives, vec![(CellClass::Mux2, 24)]);
+    }
+
+    #[test]
+    fn wiring_cells_are_free() {
+        let (n, _) = with_cell(CellKind::Slice { lo: 0, hi: 3 }, &[8], 4);
+        let c = primitive_count(&n, n.cell(oiso_netlist::CellId::from_index(0)));
+        assert_eq!(c, CellComposition::wiring());
+    }
+
+    #[test]
+    fn control_pins_are_heavier_than_data_pins() {
+        let lib = TechLibrary::generic_250nm();
+        let (n, _) = with_cell(CellKind::Mux, &[1, 8, 8], 8);
+        let cell = n.cell(oiso_netlist::CellId::from_index(0));
+        let sel_cap = port_pin_cap_per_bit(&lib, &n, cell, 0);
+        let data_cap = port_pin_cap_per_bit(&lib, &n, cell, 1);
+        assert!(sel_cap.as_ff() > data_cap.as_ff());
+        assert!((sel_cap.as_ff() - 8.0 * data_cap.as_ff()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enable_pin_fans_out() {
+        let lib = TechLibrary::generic_250nm();
+        let (n, _) = with_cell(CellKind::Latch, &[16, 1], 16);
+        let cell = n.cell(oiso_netlist::CellId::from_index(0));
+        let d = port_pin_cap_per_bit(&lib, &n, cell, 0);
+        let en = port_pin_cap_per_bit(&lib, &n, cell, 1);
+        assert!((en.as_ff() - 16.0 * d.as_ff()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn net_load_accumulates_sinks_and_wire() {
+        let lib = TechLibrary::generic_250nm();
+        let mut b = NetlistBuilder::new("l");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let x = b.wire("x", 8);
+        let y = b.wire("y", 8);
+        b.cell("add1", CellKind::Add, &[a, c], x).unwrap();
+        b.cell("add2", CellKind::Add, &[a, c], y).unwrap();
+        b.mark_output(x);
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        let load = net_load_per_bit(&lib, &n, a);
+        let fa_pin = lib.cell(CellClass::FullAdder).input_cap.as_ff();
+        let wire = lib.wire_cap_per_load().as_ff();
+        assert!((load.as_ff() - 2.0 * (fa_pin + wire)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! RT-level power estimation — the DesignPower substitute.
+//!
+//! The paper's savings model (Section 4) assumes, for every isolation
+//! candidate `c_i`, a *macro power model* `p_i(Tr)` that maps the vector of
+//! input toggle rates to the module's power consumption, "measured during a
+//! simulation of real-life test vectors" [5, 7]. This crate provides:
+//!
+//! * [`compose`] — the mapping from RT-level cells to technology-library
+//!   primitives (how many full adders a 16-bit `Add` occupies, which pin
+//!   capacitance each port presents, ...). Shared by area, power, and the
+//!   timing crate.
+//! * [`MacroPowerModel`] — Landman-style linear-in-toggle-rate macro models
+//!   for the arithmetic operators, with width-dependent coefficients
+//!   (adders linear in width, array multipliers quadratic).
+//! * [`PowerEstimator`] — total power of a netlist given a simulation
+//!   report: macro models for arithmetic cells, switched capacitance for
+//!   everything else, clock power for sequential cells, leakage throughout.
+//! * [`total_area`] — the area estimate used for the paper's `rA` cost term.
+//!
+//! # Examples
+//!
+//! ```
+//! use oiso_netlist::{CellKind, NetlistBuilder};
+//! use oiso_power::{PowerEstimator, total_area};
+//! use oiso_sim::{StimulusSpec, Testbench};
+//! use oiso_techlib::{OperatingConditions, TechLibrary};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetlistBuilder::new("mac");
+//! let x = b.input("x", 16);
+//! let y = b.input("y", 16);
+//! let p = b.wire("p", 16);
+//! b.cell("mul", CellKind::Mul, &[x, y], p)?;
+//! b.mark_output(p);
+//! let n = b.build()?;
+//!
+//! let mut tb = Testbench::new(&n);
+//! tb.drive_spec(x, StimulusSpec::UniformRandom)?;
+//! tb.drive_spec(y, StimulusSpec::UniformRandom)?;
+//! let report = tb.run(2000)?;
+//!
+//! let lib = TechLibrary::generic_250nm();
+//! let cond = OperatingConditions::default();
+//! let estimator = PowerEstimator::new(&lib, cond);
+//! let breakdown = estimator.estimate(&n, &report);
+//! assert!(breakdown.total.as_mw() > 0.0);
+//! assert!(total_area(&lib, &n).as_um2() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod compose;
+pub mod estimate;
+pub mod macro_model;
+
+pub use area::{cell_area, total_area};
+pub use compose::{port_pin_cap_per_bit, primitive_count, CellComposition};
+pub use estimate::{PowerBreakdown, PowerEstimator};
+pub use macro_model::MacroPowerModel;

@@ -1,0 +1,258 @@
+//! Macro power models for arithmetic operators.
+//!
+//! Following Landman-style architectural power modeling [5, 7], the dynamic
+//! power of an arithmetic module is expressed as a function of its input
+//! toggle rates: every toggling input bit excites, on average, a
+//! kind-and-width-dependent amount of internal switched capacitance (the
+//! *activity amplification* of the module — carry propagation in adders,
+//! partial-product rows in array multipliers). The resulting model is
+//!
+//! `p(Tr_A, Tr_B) = P_leak + E_A·Tr_A·f + E_B·Tr_B·f`
+//!
+//! which is monotone in each toggle rate and zero-dynamic-power at zero
+//! input activity — precisely the properties the paper's savings equations
+//! (1)–(5) rely on.
+
+use crate::compose::{clog2, primitive_count};
+use oiso_netlist::{Cell, CellKind, Netlist};
+use oiso_techlib::{CellClass, Energy, Frequency, Power, TechLibrary, Voltage};
+
+/// Per-cycle activity amplification factors: how many internal node toggles
+/// one input-bit toggle excites, on average, per operator family.
+mod amplification {
+    /// Ripple/lookahead carry propagation in adders and subtractors.
+    pub const ADDER: f64 = 2.5;
+    /// Per-row excitation in an array multiplier, scaled by width elsewhere.
+    pub const MULTIPLIER_PER_WIDTH: f64 = 0.5;
+    /// Logarithmic shifter data path (per stage).
+    pub const SHIFTER_DATA: f64 = 1.0;
+    /// A toggling shift amount reconfigures whole stages.
+    pub const SHIFTER_AMOUNT_PER_WIDTH: f64 = 0.5;
+    /// Comparator chain.
+    pub const COMPARATOR: f64 = 1.5;
+}
+
+/// A macro power model `p(Tr)` for one arithmetic cell instance: leakage
+/// plus one energy-per-toggle coefficient per input port.
+///
+/// Toggle rates are *total bit toggles per clock cycle* at each port, the
+/// unit measured by [`oiso_sim::SimReport::toggle_rate`].
+///
+/// # Examples
+///
+/// ```
+/// use oiso_netlist::{CellKind, NetlistBuilder};
+/// use oiso_power::MacroPowerModel;
+/// use oiso_techlib::{OperatingConditions, TechLibrary};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("d");
+/// let x = b.input("x", 16);
+/// let y = b.input("y", 16);
+/// let s = b.wire("s", 16);
+/// let add = b.cell("add", CellKind::Add, &[x, y], s)?;
+/// b.mark_output(s);
+/// let n = b.build()?;
+///
+/// let lib = TechLibrary::generic_250nm();
+/// let cond = OperatingConditions::default();
+/// let model = MacroPowerModel::for_cell(&lib, cond.vdd, &n, n.cell(add))
+///     .expect("adders have macro models");
+/// let idle = model.power(&[0.0, 0.0], cond.clock);
+/// let busy = model.power(&[8.0, 8.0], cond.clock);
+/// assert!(busy > idle, "power grows with input activity");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroPowerModel {
+    /// Static leakage of the module.
+    pub leakage: Power,
+    /// Energy drawn per total-bit toggle at each input port.
+    pub input_energy: Vec<Energy>,
+}
+
+impl MacroPowerModel {
+    /// Builds the macro model for an arithmetic cell; `None` for cell kinds
+    /// that are not isolation candidates (their power comes from the
+    /// switched-capacitance path instead).
+    pub fn for_cell(
+        lib: &TechLibrary,
+        vdd: Voltage,
+        netlist: &Netlist,
+        cell: &Cell,
+    ) -> Option<Self> {
+        if !cell.kind().is_arithmetic() {
+            return None;
+        }
+        let w = netlist.net(cell.output()).width() as f64;
+        let energy_of = |class: CellClass, amplification: f64| {
+            (lib.cell(class).self_cap * amplification).toggle_energy(vdd)
+        };
+        let input_energy: Vec<Energy> = match cell.kind() {
+            CellKind::Add | CellKind::Sub => {
+                let e = energy_of(CellClass::FullAdder, amplification::ADDER);
+                vec![e, e]
+            }
+            CellKind::Mul => {
+                let e = energy_of(
+                    CellClass::MulBit,
+                    (amplification::MULTIPLIER_PER_WIDTH * w).max(1.0),
+                );
+                vec![e, e]
+            }
+            CellKind::Shl | CellKind::Shr => {
+                let data = energy_of(
+                    CellClass::ShiftBit,
+                    amplification::SHIFTER_DATA * clog2(w as usize) as f64,
+                );
+                let amount = energy_of(
+                    CellClass::ShiftBit,
+                    (amplification::SHIFTER_AMOUNT_PER_WIDTH * w).max(1.0),
+                );
+                vec![data, amount]
+            }
+            CellKind::Lt => {
+                let e = energy_of(CellClass::CmpBit, amplification::COMPARATOR);
+                vec![e, e]
+            }
+            _ => unreachable!("is_arithmetic covered above"),
+        };
+        let leakage: Power = primitive_count(netlist, cell)
+            .primitives
+            .iter()
+            .map(|&(class, count)| lib.cell(class).leakage * count as f64)
+            .sum();
+        Some(MacroPowerModel {
+            leakage,
+            input_energy,
+        })
+    }
+
+    /// Evaluates `p(Tr)` at the given input toggle rates (total bit toggles
+    /// per cycle, one entry per input port) and clock frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `toggle_rates.len()` differs from the number of modeled
+    /// ports.
+    pub fn power(&self, toggle_rates: &[f64], clock: Frequency) -> Power {
+        assert_eq!(
+            toggle_rates.len(),
+            self.input_energy.len(),
+            "toggle-rate vector must match port count"
+        );
+        let dynamic: Power = self
+            .input_energy
+            .iter()
+            .zip(toggle_rates)
+            .map(|(&e, &tr)| e.at_rate(tr, clock))
+            .sum();
+        self.leakage + dynamic
+    }
+
+    /// Dynamic-only part of the model (no leakage) — used when the paper's
+    /// equations subtract two evaluations and leakage cancels.
+    pub fn dynamic_power(&self, toggle_rates: &[f64], clock: Frequency) -> Power {
+        self.power(toggle_rates, clock) - self.leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::{CellId, NetlistBuilder};
+    use oiso_techlib::OperatingConditions;
+
+    fn model_for(kind: CellKind, width: u8) -> MacroPowerModel {
+        let mut b = NetlistBuilder::new("m");
+        let x = b.input("x", width);
+        let y = b.input("y", if matches!(kind, CellKind::Shl | CellKind::Shr) { 4 } else { width });
+        let out_w = if matches!(kind, CellKind::Lt | CellKind::Eq) { 1 } else { width };
+        let o = b.wire("o", out_w);
+        b.cell("dut", kind, &[x, y], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let lib = TechLibrary::generic_250nm();
+        MacroPowerModel::for_cell(&lib, OperatingConditions::default().vdd, &n, n.cell(CellId::from_index(0)))
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_activity_means_leakage_only() {
+        let m = model_for(CellKind::Add, 16);
+        let clock = Frequency::from_mhz(100.0);
+        assert_eq!(m.power(&[0.0, 0.0], clock), m.leakage);
+        assert_eq!(m.dynamic_power(&[0.0, 0.0], clock).as_mw(), 0.0);
+    }
+
+    #[test]
+    fn power_is_monotone_in_toggle_rate() {
+        let m = model_for(CellKind::Add, 16);
+        let clock = Frequency::from_mhz(100.0);
+        let p1 = m.power(&[4.0, 4.0], clock);
+        let p2 = m.power(&[8.0, 4.0], clock);
+        let p3 = m.power(&[8.0, 8.0], clock);
+        assert!(p2 > p1);
+        assert!(p3 > p2);
+    }
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        let clock = Frequency::from_mhz(100.0);
+        let add = model_for(CellKind::Add, 16);
+        let mul = model_for(CellKind::Mul, 16);
+        let tr = [8.0, 8.0];
+        assert!(mul.power(&tr, clock) > 2.0 * add.power(&tr, clock).as_mw() * Power::from_mw(1.0));
+        assert!(mul.leakage > add.leakage);
+    }
+
+    #[test]
+    fn wider_modules_burn_more() {
+        let clock = Frequency::from_mhz(100.0);
+        // Compare per-bit-normalized activity: full random data.
+        let add8 = model_for(CellKind::Add, 8).power(&[4.0, 4.0], clock);
+        let add32 = model_for(CellKind::Add, 32).power(&[16.0, 16.0], clock);
+        assert!(add32 > add8);
+        let mul8 = model_for(CellKind::Mul, 8).power(&[4.0, 4.0], clock);
+        let mul32 = model_for(CellKind::Mul, 32).power(&[16.0, 16.0], clock);
+        // Quadratic growth: 32-bit multiplier far more than 4x the 8-bit.
+        assert!(mul32.as_mw() > 6.0 * mul8.as_mw());
+    }
+
+    #[test]
+    fn shifter_amount_port_is_expensive() {
+        let m = model_for(CellKind::Shl, 16);
+        assert!(m.input_energy[1] > m.input_energy[0]);
+    }
+
+    #[test]
+    fn non_arithmetic_kinds_have_no_macro_model() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let o = b.wire("o", 8);
+        b.cell("g", CellKind::And, &[a, c], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let lib = TechLibrary::generic_250nm();
+        assert!(MacroPowerModel::for_cell(
+            &lib,
+            OperatingConditions::default().vdd,
+            &n,
+            n.cell(CellId::from_index(0))
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn realistic_magnitudes() {
+        // A busy 16-bit multiplier at 100 MHz should land in the
+        // 0.1-10 mW decade for a 0.25 um library — the paper's designs
+        // total 11-25 mW with several such modules.
+        let clock = Frequency::from_mhz(100.0);
+        let mul = model_for(CellKind::Mul, 16).power(&[8.0, 8.0], clock);
+        assert!(mul.as_mw() > 0.05, "{mul}");
+        assert!(mul.as_mw() < 20.0, "{mul}");
+    }
+}

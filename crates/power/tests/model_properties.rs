@@ -1,0 +1,174 @@
+//! Cross-cutting properties of the power model, exercised through the
+//! public estimation API.
+
+use oiso_netlist::{CellKind, Netlist, NetlistBuilder};
+use oiso_power::{total_area, PowerEstimator};
+use oiso_sim::{SimReport, StimulusPlan, StimulusSpec, Testbench};
+use oiso_techlib::{Frequency, OperatingConditions, TechLibrary, Voltage};
+
+fn mac() -> (Netlist, StimulusPlan) {
+    let mut b = NetlistBuilder::new("mac");
+    let x = b.input("x", 16);
+    let y = b.input("y", 16);
+    let g = b.input("g", 1);
+    let p = b.wire("p", 16);
+    let q = b.wire("q", 16);
+    b.cell("mul", CellKind::Mul, &[x, y], p).unwrap();
+    b.cell("r", CellKind::Reg { has_enable: true }, &[p, g], q)
+        .unwrap();
+    b.mark_output(q);
+    let plan = StimulusPlan::new(7)
+        .drive("x", StimulusSpec::UniformRandom)
+        .drive("y", StimulusSpec::UniformRandom)
+        .drive("g", StimulusSpec::MarkovBits {
+            p_one: 0.5,
+            toggle_rate: 0.4,
+        });
+    (b.build().unwrap(), plan)
+}
+
+fn simulate(n: &Netlist, plan: &StimulusPlan) -> SimReport {
+    Testbench::from_plan(n, plan).unwrap().run(1500).unwrap()
+}
+
+#[test]
+fn power_scales_quadratically_with_vdd() {
+    let (n, plan) = mac();
+    let report = simulate(&n, &plan);
+    let lib = TechLibrary::generic_250nm();
+    let clock = Frequency::from_mhz(100.0);
+    let at = |vdd: f64| {
+        let cond = OperatingConditions::new(Voltage::from_volts(vdd), clock);
+        let b = PowerEstimator::new(&lib, cond).estimate(&n, &report);
+        (b.total - b.leakage).as_mw() // dynamic part only
+    };
+    let p_18 = at(1.8);
+    let p_25 = at(2.5);
+    let expected_ratio = (2.5f64 / 1.8).powi(2);
+    assert!(
+        (p_25 / p_18 - expected_ratio).abs() < 1e-6,
+        "CV^2: {p_25} / {p_18} vs {expected_ratio}"
+    );
+}
+
+#[test]
+fn power_scales_linearly_with_frequency() {
+    let (n, plan) = mac();
+    let report = simulate(&n, &plan);
+    let lib = TechLibrary::generic_250nm();
+    let vdd = Voltage::from_volts(2.5);
+    let at = |mhz: f64| {
+        let cond = OperatingConditions::new(vdd, Frequency::from_mhz(mhz));
+        let b = PowerEstimator::new(&lib, cond).estimate(&n, &report);
+        (b.total - b.leakage).as_mw()
+    };
+    assert!((at(200.0) / at(100.0) - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn derated_library_consumes_proportionally_less() {
+    let (n, plan) = mac();
+    let report = simulate(&n, &plan);
+    let base = TechLibrary::generic_250nm();
+    let shrunk = base.derated("half-cap", 1.0, 0.5, 1.0);
+    let cond = OperatingConditions::default();
+    let p_base = PowerEstimator::new(&base, cond).estimate(&n, &report);
+    let p_shrunk = PowerEstimator::new(&shrunk, cond).estimate(&n, &report);
+    let dyn_base = (p_base.total - p_base.leakage).as_mw();
+    let dyn_shrunk = (p_shrunk.total - p_shrunk.leakage).as_mw();
+    assert!(
+        (dyn_shrunk / dyn_base - 0.5).abs() < 1e-9,
+        "halving all capacitance halves dynamic power: {dyn_shrunk} vs {dyn_base}"
+    );
+    // Area unchanged (area_factor = 1).
+    assert_eq!(
+        total_area(&base, &n).as_um2(),
+        total_area(&shrunk, &n).as_um2()
+    );
+}
+
+#[test]
+fn latch_enable_activity_costs_power() {
+    // Two identical latch-banked designs, differing only in the enable's
+    // toggle rate: the busier enable must cost more.
+    let build = || {
+        let mut b = NetlistBuilder::new("lat");
+        let d = b.input("d", 16);
+        let en = b.input("en", 1);
+        let q = b.wire("q", 16);
+        b.cell("l", CellKind::Latch, &[d, en], q).unwrap();
+        b.mark_output(q);
+        b.build().unwrap()
+    };
+    let n = build();
+    let lib = TechLibrary::generic_250nm();
+    let cond = OperatingConditions::default();
+    let run = |tr: f64| {
+        let plan = StimulusPlan::new(3)
+            .drive("d", StimulusSpec::Constant(0xAAAA)) // data quiet
+            .drive("en", StimulusSpec::MarkovBits {
+                p_one: 0.5,
+                toggle_rate: tr,
+            });
+        let report = Testbench::from_plan(&n, &plan).unwrap().run(2000).unwrap();
+        PowerEstimator::new(&lib, cond).estimate(&n, &report).total
+    };
+    let quiet = run(0.02);
+    let busy = run(0.9);
+    assert!(
+        busy.as_mw() > 1.5 * quiet.as_mw(),
+        "enable churn must show up: {busy} vs {quiet}"
+    );
+}
+
+#[test]
+fn breakdown_attribution_is_complete_on_a_larger_design() {
+    use oiso_designs_free::soc_like;
+    let (n, plan) = soc_like();
+    let report = simulate(&n, &plan);
+    let lib = TechLibrary::generic_250nm();
+    let b = PowerEstimator::new(&lib, OperatingConditions::default()).estimate(&n, &report);
+    let sum: f64 = b.per_cell.iter().map(|p| p.as_mw()).sum::<f64>()
+        + b.input_net_power.as_mw();
+    assert!((b.total.as_mw() - sum).abs() < 1e-9);
+    assert!(b.leakage.as_mw() < b.total.as_mw());
+    assert!(b.clock.as_mw() > 0.0);
+}
+
+/// Tiny local stand-in so this crate does not depend on `oiso-designs`
+/// (which would create a dev-dependency cycle).
+mod oiso_designs_free {
+    use super::*;
+
+    pub fn soc_like() -> (Netlist, StimulusPlan) {
+        let mut b = NetlistBuilder::new("mini_soc");
+        let mut plan = StimulusPlan::new(11);
+        let g = b.input("g", 1);
+        plan = plan.drive("g", StimulusSpec::MarkovBits {
+            p_one: 0.25,
+            toggle_rate: 0.25,
+        });
+        let mut prev = None;
+        for i in 0..4 {
+            let x = b.input(format!("x{i}"), 12);
+            plan = plan.drive(format!("x{i}"), StimulusSpec::UniformRandom);
+            let w = b.wire(format!("w{i}"), 12);
+            match prev {
+                None => {
+                    let y = b.input("y0", 12);
+                    plan = plan.drive("y0", StimulusSpec::UniformRandom);
+                    b.cell(format!("u{i}"), CellKind::Mul, &[x, y], w).unwrap();
+                }
+                Some(p) => {
+                    b.cell(format!("u{i}"), CellKind::Add, &[x, p], w).unwrap();
+                }
+            }
+            let q = b.wire(format!("q{i}"), 12);
+            b.cell(format!("r{i}"), CellKind::Reg { has_enable: true }, &[w, g], q)
+                .unwrap();
+            prev = Some(q);
+        }
+        b.mark_output(prev.unwrap());
+        (b.build().unwrap(), plan)
+    }
+}

@@ -1,0 +1,612 @@
+//! Analytic (simulation-free) switching-activity propagation.
+//!
+//! The paper measures toggle rates and probabilities by simulation; the
+//! architectural power literature it builds on ([5, 7]) also uses
+//! *probabilistic* propagation: model every bit as a stationary two-state
+//! Markov signal `(p, tr)` (probability of 1, toggles per cycle) and push
+//! those statistics through the netlist. This module implements that
+//! estimator as a fast cross-check and pre-screening alternative:
+//!
+//! * exact lag-one propagation for inverters, buffers, bitwise gates,
+//!   multiplexors, and wiring cells, assuming *spatial* independence of
+//!   distinct fanins (the standard approximation — reconvergent fanout
+//!   introduces error);
+//! * adders/subtractors via a full-adder carry-chain recursion over the
+//!   same pairwise-temporal model;
+//! * multipliers, shifters, and comparators via documented coarse
+//!   approximations (their outputs are near-random for random operands);
+//! * registers as statistic-preserving delays (enabled registers scale the
+//!   toggle rate by the enable's duty cycle).
+//!
+//! Accuracy against the cycle simulator is validated in this module's tests
+//! and in `tests/analytic_vs_sim.rs`.
+
+use crate::stimulus::StimulusSpec;
+use oiso_netlist::{comb_topo_order, CellKind, NetId, Netlist};
+use std::collections::HashMap;
+
+/// A boxed per-assignment Boolean evaluator used by the propagation rules.
+type BoolFn = Box<dyn Fn(&[bool]) -> bool>;
+
+/// Stationary statistics of one bit: `P(bit = 1)` and expected toggles per
+/// cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitStats {
+    /// Probability of the bit being 1.
+    pub p: f64,
+    /// Expected toggles per cycle (`0 ..= 2·min(p, 1-p)`).
+    pub tr: f64,
+}
+
+impl BitStats {
+    /// A constant bit.
+    pub fn constant(value: bool) -> Self {
+        BitStats {
+            p: if value { 1.0 } else { 0.0 },
+            tr: 0.0,
+        }
+    }
+
+    /// A uniformly random, temporally independent bit.
+    pub fn random() -> Self {
+        BitStats { p: 0.5, tr: 0.5 }
+    }
+
+    /// Probability the bit is 1 in two consecutive cycles, under the
+    /// two-state Markov model: `p11 = p − tr/2`.
+    fn p11(self) -> f64 {
+        (self.p - self.tr / 2.0).max(0.0)
+    }
+
+    /// Clamps to the feasible region (guards accumulated float error).
+    fn clamped(self) -> Self {
+        let p = self.p.clamp(0.0, 1.0);
+        let tr = self.tr.clamp(0.0, 2.0 * p.min(1.0 - p));
+        BitStats { p, tr }
+    }
+}
+
+/// Statistics of every net, per bit.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityEstimate {
+    bits: HashMap<NetId, Vec<BitStats>>,
+}
+
+impl ActivityEstimate {
+    /// Per-bit statistics of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net was not covered by the propagation.
+    pub fn bits(&self, net: NetId) -> &[BitStats] {
+        &self.bits[&net]
+    }
+
+    /// Total expected bit toggles per cycle on a net (comparable to
+    /// [`SimReport::toggle_rate`](crate::SimReport::toggle_rate)).
+    pub fn toggle_rate(&self, net: NetId) -> f64 {
+        self.bits(net).iter().map(|b| b.tr).sum()
+    }
+
+    /// Mean probability-of-1 across a net's bits.
+    pub fn mean_p(&self, net: NetId) -> f64 {
+        let bits = self.bits(net);
+        bits.iter().map(|b| b.p).sum::<f64>() / bits.len() as f64
+    }
+}
+
+/// The joint behavior of a bit across two consecutive cycles:
+/// probabilities of the four (t, t+1) value pairs.
+#[derive(Debug, Clone, Copy)]
+struct Pair {
+    p00: f64,
+    p01: f64,
+    p10: f64,
+    p11: f64,
+}
+
+impl Pair {
+    fn from_stats(s: BitStats) -> Pair {
+        let p11 = s.p11();
+        let p01 = s.tr / 2.0;
+        let p10 = s.tr / 2.0;
+        let p00 = (1.0 - s.p - s.tr / 2.0).max(0.0);
+        Pair { p00, p01, p10, p11 }
+    }
+
+    /// Probability of the pair `(a_t, a_{t+1})`.
+    fn prob(&self, now: bool, next: bool) -> f64 {
+        match (now, next) {
+            (false, false) => self.p00,
+            (false, true) => self.p01,
+            (true, false) => self.p10,
+            (true, true) => self.p11,
+        }
+    }
+}
+
+/// Exact lag-one propagation of an arbitrary Boolean function of up to
+/// `N` spatially independent inputs: enumerate all `4^n` joint transition
+/// patterns.
+fn propagate_fn(inputs: &[BitStats], f: &dyn Fn(&[bool]) -> bool) -> BitStats {
+    let n = inputs.len();
+    debug_assert!(n <= 8, "enumeration is 4^n");
+    let pairs: Vec<Pair> = inputs.iter().map(|&s| Pair::from_stats(s)).collect();
+    let mut p_out = 0.0;
+    let mut tr_out = 0.0;
+    let mut now = vec![false; n];
+    let mut next = vec![false; n];
+    // Each input contributes 2 bits of pattern: (now, next).
+    for pattern in 0u32..(1 << (2 * n)) {
+        let mut prob = 1.0;
+        for i in 0..n {
+            let a_now = (pattern >> (2 * i)) & 1 == 1;
+            let a_next = (pattern >> (2 * i + 1)) & 1 == 1;
+            now[i] = a_now;
+            next[i] = a_next;
+            prob *= pairs[i].prob(a_now, a_next);
+            if prob == 0.0 {
+                break;
+            }
+        }
+        if prob == 0.0 {
+            continue;
+        }
+        let out_now = f(&now);
+        let out_next = f(&next);
+        if out_now {
+            p_out += prob;
+        }
+        if out_now != out_next {
+            tr_out += prob;
+        }
+    }
+    BitStats {
+        p: p_out,
+        tr: tr_out,
+    }
+    .clamped()
+}
+
+/// Per-bit statistics implied by a [`StimulusSpec`] (what the corresponding
+/// stimulus process converges to).
+pub fn spec_stats(spec: &StimulusSpec, width: u8) -> Vec<BitStats> {
+    match spec {
+        StimulusSpec::Constant(v) => (0..width)
+            .map(|bit| BitStats::constant((v >> bit) & 1 == 1))
+            .collect(),
+        StimulusSpec::UniformRandom => vec![BitStats::random(); width as usize],
+        StimulusSpec::MarkovBits { p_one, toggle_rate } => vec![
+            BitStats {
+                p: *p_one,
+                tr: *toggle_rate,
+            };
+            width as usize
+        ],
+        StimulusSpec::Counter { step } => {
+            // Bit b of a counter with odd step toggles every 2^b cycles on
+            // average; even steps shift the pattern. Approximate with the
+            // step's trailing zeros folded in.
+            let tz = step.trailing_zeros().min(63) as u8;
+            (0..width)
+                .map(|bit| {
+                    if *step == 0 || bit < tz {
+                        BitStats::constant(false)
+                    } else {
+                        let period = 1u64 << (bit - tz);
+                        BitStats {
+                            p: 0.5,
+                            tr: 1.0 / period as f64,
+                        }
+                    }
+                })
+                .collect()
+        }
+        StimulusSpec::Trace(values) => {
+            // Empirical statistics of the (cyclic) trace.
+            let n = values.len().max(1);
+            (0..width)
+                .map(|bit| {
+                    let ones = values.iter().filter(|v| (*v >> bit) & 1 == 1).count();
+                    let toggles = (0..values.len())
+                        .filter(|&i| {
+                            let a = (values[i] >> bit) & 1;
+                            let b = (values[(i + 1) % n] >> bit) & 1;
+                            a != b
+                        })
+                        .count();
+                    BitStats {
+                        p: ones as f64 / n as f64,
+                        tr: toggles as f64 / n as f64,
+                    }
+                    .clamped()
+                })
+                .collect()
+        }
+    }
+}
+
+/// Propagates input statistics through the netlist.
+///
+/// `input_stats` must cover every primary input (per-bit). Register outputs
+/// are iterated to a fixed point (their statistics feed back through the
+/// combinational logic); convergence is damped and capped at a small
+/// iteration budget.
+///
+/// # Panics
+///
+/// Panics if an input is missing from `input_stats`.
+pub fn propagate(
+    netlist: &Netlist,
+    input_stats: &HashMap<NetId, Vec<BitStats>>,
+) -> ActivityEstimate {
+    let mut est = ActivityEstimate::default();
+    for &pi in netlist.primary_inputs() {
+        let stats = input_stats
+            .get(&pi)
+            .unwrap_or_else(|| panic!("missing stats for input `{}`", netlist.net(pi).name()));
+        assert_eq!(stats.len(), netlist.net(pi).width() as usize);
+        est.bits.insert(pi, stats.clone());
+    }
+    // Initialize register outputs at constant 0 (the reset state), then
+    // iterate: comb propagate, update register outputs from their D stats.
+    for (_, cell) in netlist.cells() {
+        if cell.kind().is_register() {
+            let w = netlist.net(cell.output()).width() as usize;
+            est.bits
+                .insert(cell.output(), vec![BitStats::constant(false); w]);
+        }
+    }
+    let order = comb_topo_order(netlist);
+    for _round in 0..12 {
+        for &cid in &order {
+            let out = propagate_cell(netlist, &est, cid);
+            est.bits.insert(netlist.cell(cid).output(), out);
+        }
+        // Register update: q inherits d's distribution; an enabled register
+        // passes a fraction `p_en` of d's toggles (it resamples d only on
+        // enabled cycles) — exact for temporally independent d.
+        let mut changed = 0.0f64;
+        for (_, cell) in netlist.cells() {
+            let CellKind::Reg { has_enable } = cell.kind() else {
+                continue;
+            };
+            let d = est.bits[&cell.inputs()[0]].clone();
+            let new: Vec<BitStats> = if has_enable {
+                let en = est.bits[&cell.inputs()[1]][0];
+                d.iter()
+                    .map(|&b| {
+                        BitStats {
+                            p: b.p,
+                            tr: b.tr * en.p,
+                        }
+                        .clamped()
+                    })
+                    .collect()
+            } else {
+                d
+            };
+            let old = &est.bits[&cell.output()];
+            for (o, n) in old.iter().zip(&new) {
+                changed = changed.max((o.p - n.p).abs().max((o.tr - n.tr).abs()));
+            }
+            est.bits.insert(cell.output(), new);
+        }
+        if changed < 1e-9 {
+            break;
+        }
+    }
+    est
+}
+
+fn propagate_cell(netlist: &Netlist, est: &ActivityEstimate, cid: oiso_netlist::CellId) -> Vec<BitStats> {
+    let cell = netlist.cell(cid);
+    let w = netlist.net(cell.output()).width() as usize;
+    let input = |i: usize| -> &[BitStats] { est.bits(cell.inputs()[i]) };
+    match cell.kind() {
+        CellKind::Const { value } => (0..w)
+            .map(|b| BitStats::constant((value >> b) & 1 == 1))
+            .collect(),
+        CellKind::Buf => input(0).to_vec(),
+        CellKind::Not => input(0)
+            .iter()
+            .map(|&s| BitStats { p: 1.0 - s.p, tr: s.tr })
+            .collect(),
+        CellKind::And | CellKind::Or | CellKind::Xor => {
+            let k = cell.inputs().len();
+            (0..w)
+                .map(|b| {
+                    let ins: Vec<BitStats> =
+                        (0..k).map(|i| input(i)[b]).collect();
+                    let f: BoolFn = match cell.kind() {
+                        CellKind::And => Box::new(|v: &[bool]| v.iter().all(|&x| x)),
+                        CellKind::Or => Box::new(|v: &[bool]| v.iter().any(|&x| x)),
+                        _ => Box::new(|v: &[bool]| v.iter().filter(|&&x| x).count() % 2 == 1),
+                    };
+                    propagate_fn(&ins, &f)
+                })
+                .collect()
+        }
+        CellKind::Mux => {
+            // Per output bit: function of (sel bits..., data_k bit).
+            // Restrict to the common 2:1 case exactly; wider muxes fold
+            // pairwise (sel bit per level), a standard approximation.
+            let n_data = cell.inputs().len() - 1;
+            let sel = input(0).to_vec();
+            (0..w)
+                .map(|b| {
+                    let mut level: Vec<BitStats> =
+                        (0..n_data).map(|k| input(1 + k)[b]).collect();
+                    let mut sel_bit = 0usize;
+                    while level.len() > 1 {
+                        let s = sel.get(sel_bit).copied().unwrap_or(BitStats::constant(false));
+                        let mut next_level = Vec::with_capacity(level.len().div_ceil(2));
+                        for chunk in level.chunks(2) {
+                            if chunk.len() == 1 {
+                                next_level.push(chunk[0]);
+                            } else {
+                                let (a, c) = (chunk[0], chunk[1]);
+                                next_level.push(propagate_fn(
+                                    &[s, a, c],
+                                    &|v: &[bool]| if v[0] { v[2] } else { v[1] },
+                                ));
+                            }
+                        }
+                        level = next_level;
+                        sel_bit += 1;
+                    }
+                    level[0]
+                })
+                .collect()
+        }
+        CellKind::Add | CellKind::Sub => {
+            // Full-adder recursion; subtraction is add with inverted B and
+            // carry-in 1 (which only changes p of the carry seed).
+            let a = input(0);
+            let bb = input(1);
+            let invert_b = cell.kind() == CellKind::Sub;
+            let mut carry = BitStats::constant(invert_b);
+            let mut out = Vec::with_capacity(w);
+            for bit in 0..w {
+                let b_in = if invert_b {
+                    BitStats {
+                        p: 1.0 - bb[bit].p,
+                        tr: bb[bit].tr,
+                    }
+                } else {
+                    bb[bit]
+                };
+                let sum = propagate_fn(&[a[bit], b_in, carry], &|v: &[bool]| {
+                    v.iter().filter(|&&x| x).count() % 2 == 1
+                });
+                carry = propagate_fn(&[a[bit], b_in, carry], &|v: &[bool]| {
+                    v.iter().filter(|&&x| x).count() >= 2
+                });
+                out.push(sum);
+            }
+            out
+        }
+        CellKind::Mul => {
+            // Random-product approximation: with toggling operands the
+            // product bits are near-random; scale activity by how active
+            // the operands are relative to fully random.
+            let act_a: f64 =
+                input(0).iter().map(|s| s.tr).sum::<f64>() / input(0).len() as f64;
+            let act_b: f64 =
+                input(1).iter().map(|s| s.tr).sum::<f64>() / input(1).len() as f64;
+            let drive = 1.0 - (1.0 - act_a.min(1.0)) * (1.0 - act_b.min(1.0));
+            vec![
+                BitStats {
+                    p: 0.5,
+                    tr: drive.min(1.0) * 0.5
+                }
+                .clamped();
+                w
+            ]
+        }
+        CellKind::Shl | CellKind::Shr => {
+            // Shifted-data approximation: output bits mix data bits under
+            // the amount's distribution; activity ≈ data activity plus the
+            // reshuffling driven by amount toggles.
+            let data_tr: f64 =
+                input(0).iter().map(|s| s.tr).sum::<f64>() / input(0).len() as f64;
+            let amt_tr: f64 = input(1).iter().map(|s| s.tr).sum::<f64>();
+            let tr = (data_tr + amt_tr.min(1.0) * 0.5).min(1.0);
+            vec![BitStats { p: 0.4, tr }.clamped(); w]
+        }
+        CellKind::Lt | CellKind::Eq => {
+            // Comparator outputs: approximate via operand activity.
+            let act: f64 = input(0)
+                .iter()
+                .chain(input(1))
+                .map(|s| s.tr)
+                .sum::<f64>()
+                / (input(0).len() + input(1).len()) as f64;
+            let p = if cell.kind() == CellKind::Lt { 0.5 } else { 0.05 };
+            vec![BitStats { p, tr: (2.0 * act).min(2.0 * p.min(1.0 - p)) }.clamped(); w]
+        }
+        CellKind::RedOr | CellKind::RedAnd => {
+            let ins = input(0).to_vec();
+            if ins.len() <= 8 {
+                let f: BoolFn = if cell.kind() == CellKind::RedOr {
+                    Box::new(|v: &[bool]| v.iter().any(|&x| x))
+                } else {
+                    Box::new(|v: &[bool]| v.iter().all(|&x| x))
+                };
+                vec![propagate_fn(&ins, &f)]
+            } else {
+                // Wide reduction: independence product for p, coarse tr.
+                let p: f64 = if cell.kind() == CellKind::RedOr {
+                    1.0 - ins.iter().map(|s| 1.0 - s.p).product::<f64>()
+                } else {
+                    ins.iter().map(|s| s.p).product::<f64>()
+                };
+                let tr = ins.iter().map(|s| s.tr).fold(0.0f64, f64::max);
+                vec![BitStats { p, tr }.clamped()]
+            }
+        }
+        CellKind::Slice { lo, hi } => {
+            input(0)[lo as usize..=hi as usize].to_vec()
+        }
+        CellKind::Concat => {
+            // Inputs msb-first; output bit 0 is the lsb of the last input.
+            let mut out = Vec::with_capacity(w);
+            for i in (0..cell.inputs().len()).rev() {
+                out.extend_from_slice(input(i));
+            }
+            out
+        }
+        CellKind::Zext => {
+            let mut out = input(0).to_vec();
+            out.resize(w, BitStats::constant(false));
+            out
+        }
+        CellKind::Latch => {
+            // Transparent fraction p_en passes toggles; held otherwise.
+            let d = input(0).to_vec();
+            let en = input(1)[0];
+            d.iter()
+                .map(|&b| BitStats { p: b.p, tr: b.tr * en.p }.clamped())
+                .collect()
+        }
+        CellKind::Reg { .. } => unreachable!("registers handled by the fixpoint loop"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::NetlistBuilder;
+
+    fn stats_of(spec: &StimulusSpec, width: u8) -> Vec<BitStats> {
+        spec_stats(spec, width)
+    }
+
+    #[test]
+    fn gate_propagation_matches_theory() {
+        // AND of two independent random bits: p = 0.25.
+        let r = BitStats::random();
+        let out = propagate_fn(&[r, r], &|v| v[0] && v[1]);
+        assert!((out.p - 0.25).abs() < 1e-12);
+        // tr: out toggles when the AND result changes; for iid bits each
+        // cycle, P(out_t != out_t+1) = 2 * 0.25 * 0.75 = 0.375.
+        assert!((out.tr - 0.375).abs() < 1e-12, "{}", out.tr);
+        // XOR of two random bits is random.
+        let x = propagate_fn(&[r, r], &|v| v[0] ^ v[1]);
+        assert!((x.p - 0.5).abs() < 1e-12);
+        assert!((x.tr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_kill_activity() {
+        let k = BitStats::constant(true);
+        let r = BitStats::random();
+        let out = propagate_fn(&[k, r], &|v| v[0] && v[1]);
+        assert!((out.p - 0.5).abs() < 1e-12);
+        assert!((out.tr - 0.5).abs() < 1e-12);
+        let k0 = BitStats::constant(false);
+        let out0 = propagate_fn(&[k0, r], &|v| v[0] && v[1]);
+        assert_eq!(out0.p, 0.0);
+        assert_eq!(out0.tr, 0.0);
+    }
+
+    #[test]
+    fn spec_stats_cover_all_variants() {
+        let c = stats_of(&StimulusSpec::Constant(0b10), 2);
+        assert_eq!(c[0], BitStats::constant(false));
+        assert_eq!(c[1], BitStats::constant(true));
+        let u = stats_of(&StimulusSpec::UniformRandom, 4);
+        assert!(u.iter().all(|s| s.p == 0.5 && s.tr == 0.5));
+        let m = stats_of(
+            &StimulusSpec::MarkovBits {
+                p_one: 0.2,
+                toggle_rate: 0.1,
+            },
+            1,
+        );
+        assert_eq!(m[0].p, 0.2);
+        let t = stats_of(&StimulusSpec::Trace(vec![0, 1]), 1);
+        assert!((t[0].p - 0.5).abs() < 1e-12);
+        assert!((t[0].tr - 1.0).abs() < 1e-12);
+        let cnt = stats_of(&StimulusSpec::Counter { step: 1 }, 3);
+        assert!((cnt[0].tr - 1.0).abs() < 1e-12);
+        assert!((cnt[1].tr - 0.5).abs() < 1e-12);
+        assert!((cnt[2].tr - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mux_blocks_unselected_activity() {
+        // sel = const 0 selects input a; b's activity must not leak.
+        let mut b = NetlistBuilder::new("m");
+        let sel = b.constant("sel", 1, 0).unwrap();
+        let a = b.input("a", 4);
+        let c = b.input("c", 4);
+        let o = b.wire("o", 4);
+        b.cell("mx", CellKind::Mux, &[sel, a, c], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(a, vec![BitStats::constant(false); 4]);
+        inputs.insert(c, vec![BitStats::random(); 4]);
+        let est = propagate(&n, &inputs);
+        assert_eq!(est.toggle_rate(o), 0.0, "constant-selected side is quiet");
+    }
+
+    #[test]
+    fn plain_register_preserves_statistics() {
+        let mut b = NetlistBuilder::new("r");
+        let d = b.input("d", 8);
+        let q = b.wire("q", 8);
+        b.cell("r", CellKind::Reg { has_enable: false }, &[d], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(d, vec![BitStats { p: 0.3, tr: 0.2 }; 8]);
+        let est = propagate(&n, &inputs);
+        let qb = est.bits(q);
+        assert!((qb[0].p - 0.3).abs() < 1e-9);
+        assert!((qb[0].tr - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enabled_register_scales_toggles_by_duty() {
+        let mut b = NetlistBuilder::new("re");
+        let d = b.input("d", 8);
+        let en = b.input("en", 1);
+        let q = b.wire("q", 8);
+        b.cell("r", CellKind::Reg { has_enable: true }, &[d, en], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(d, vec![BitStats::random(); 8]);
+        inputs.insert(en, vec![BitStats { p: 0.25, tr: 0.2 }]);
+        let est = propagate(&n, &inputs);
+        assert!((est.bits(q)[0].tr - 0.5 * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_fixpoint_converges() {
+        // acc' = acc + x: the feedback loop must reach a stable estimate
+        // with feasible statistics.
+        let mut b = NetlistBuilder::new("acc");
+        let x = b.input("x", 8);
+        let s = b.wire("s", 8);
+        let q = b.wire("q", 8);
+        b.cell("add", CellKind::Add, &[x, q], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[s], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(x, vec![BitStats::random(); 8]);
+        let est = propagate(&n, &inputs);
+        for bit in est.bits(q) {
+            assert!(bit.p >= 0.0 && bit.p <= 1.0);
+            assert!(bit.tr >= 0.0 && bit.tr <= 1.0);
+        }
+        // A random-fed accumulator churns: most bits near-random.
+        assert!(est.toggle_rate(q) > 2.0, "{}", est.toggle_rate(q));
+    }
+}

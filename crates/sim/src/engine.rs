@@ -1,0 +1,296 @@
+//! The cycle-based simulation engine.
+//!
+//! Per clock cycle the engine:
+//!
+//! 1. applies externally supplied primary-input values,
+//! 2. evaluates all combinational cells in topological order — transparent
+//!    latches update their stored value when enabled and always drive it,
+//! 3. lets the caller observe settled net values (statistics, monitors,
+//!    waveform dump),
+//! 4. on [`Simulator::clock_edge`], samples every register's D (respecting
+//!    load enables) and drives the new state onto the register outputs.
+//!
+//! Registers and latches initialize to 0, the usual reset state of
+//! synthesized datapath blocks.
+
+use crate::eval::eval_comb_cell;
+use oiso_netlist::{comb_topo_order, CellId, CellKind, NetId, Netlist};
+
+/// A running simulation of one netlist.
+///
+/// The [`Testbench`](crate::Testbench) wraps this with stimulus and
+/// statistics; use `Simulator` directly for fine-grained control (e.g.
+/// single-stepping a design in a test).
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    topo: Vec<CellId>,
+    values: Vec<u64>,
+    state: Vec<u64>, // per cell: register/latch stored value
+    input_scratch: Vec<u64>,
+    cycle: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all nets and state at 0.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Simulator {
+            netlist,
+            topo: comb_topo_order(netlist),
+            values: vec![0; netlist.num_nets()],
+            state: vec![0; netlist.num_cells()],
+            input_scratch: Vec::with_capacity(8),
+            cycle: 0,
+        }
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Number of completed [`Simulator::clock_edge`] calls.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Sets the value of a primary input for the current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input(&mut self, net: NetId, value: u64) {
+        assert!(
+            self.netlist.net(net).is_primary_input(),
+            "set_input on non-input net `{}`",
+            self.netlist.net(net).name()
+        );
+        self.values[net.index()] = value & self.netlist.net(net).mask();
+    }
+
+    /// The settled value of any net (meaningful after
+    /// [`Simulator::settle`]).
+    pub fn value(&self, net: NetId) -> u64 {
+        self.values[net.index()]
+    }
+
+    /// One bit of a settled net value.
+    pub fn bit(&self, net: NetId, bit: u8) -> bool {
+        (self.values[net.index()] >> bit) & 1 == 1
+    }
+
+    /// Evaluates all combinational logic for the current cycle.
+    pub fn settle(&mut self) {
+        for idx in 0..self.topo.len() {
+            let cid = self.topo[idx];
+            let cell = self.netlist.cell(cid);
+            let out = cell.output().index();
+            match cell.kind() {
+                CellKind::Latch => {
+                    // inputs: [d, en]; transparent when en = 1.
+                    let d = self.values[cell.inputs()[0].index()];
+                    let en = self.values[cell.inputs()[1].index()] & 1;
+                    if en == 1 {
+                        self.state[cid.index()] = d;
+                    }
+                    self.values[out] = self.state[cid.index()];
+                }
+                _ => {
+                    self.input_scratch.clear();
+                    for &inp in cell.inputs() {
+                        self.input_scratch.push(self.values[inp.index()]);
+                    }
+                    self.values[out] = eval_comb_cell(self.netlist, cell, &self.input_scratch);
+                }
+            }
+        }
+    }
+
+    /// Advances the clock: registers sample their D inputs (respecting load
+    /// enables) and drive the new state. Call after [`Simulator::settle`].
+    pub fn clock_edge(&mut self) {
+        // Two phases so that register-to-register paths sample consistently.
+        let mut updates: Vec<(CellId, u64)> = Vec::new();
+        for (cid, cell) in self.netlist.cells() {
+            if let CellKind::Reg { has_enable } = cell.kind() {
+                let d = self.values[cell.inputs()[0].index()];
+                let load = if has_enable {
+                    self.values[cell.inputs()[1].index()] & 1 == 1
+                } else {
+                    true
+                };
+                if load {
+                    updates.push((cid, d));
+                }
+            }
+        }
+        for (cid, d) in updates {
+            self.state[cid.index()] = d;
+            let out = self.netlist.cell(cid).output().index();
+            self.values[out] = d;
+        }
+        self.cycle += 1;
+    }
+
+    /// Forces a register's or latch's stored state (testing hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not stateful.
+    pub fn force_state(&mut self, cell: CellId, value: u64) {
+        let c = self.netlist.cell(cell);
+        assert!(c.kind().is_stateful(), "force_state on combinational cell");
+        let masked = value & self.netlist.net(c.output()).mask();
+        self.state[cell.index()] = masked;
+        self.values[c.output().index()] = masked;
+    }
+
+    /// The stored state of a register or latch.
+    pub fn stored_state(&self, cell: CellId) -> u64 {
+        self.state[cell.index()]
+    }
+
+    /// Snapshot of all net values (used by the statistics collector).
+    pub fn all_values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::NetlistBuilder;
+
+    #[test]
+    fn accumulator_integrates() {
+        let mut b = NetlistBuilder::new("acc");
+        let a = b.input("a", 8);
+        let sum = b.wire("sum", 8);
+        let q = b.wire("q", 8);
+        b.cell("add", CellKind::Add, &[a, q], sum).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[sum], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n);
+        for step in 1..=5u64 {
+            sim.set_input(a, 3);
+            sim.settle();
+            sim.clock_edge();
+            assert_eq!(sim.value(q), 3 * step);
+        }
+        assert_eq!(sim.cycle(), 5);
+    }
+
+    #[test]
+    fn register_enable_holds_value() {
+        let mut b = NetlistBuilder::new("hold");
+        let d = b.input("d", 4);
+        let en = b.input("en", 1);
+        let q = b.wire("q", 4);
+        b.cell("r", CellKind::Reg { has_enable: true }, &[d, en], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n);
+
+        sim.set_input(d, 9);
+        sim.set_input(en, 1);
+        sim.settle();
+        sim.clock_edge();
+        assert_eq!(sim.value(q), 9);
+
+        sim.set_input(d, 3);
+        sim.set_input(en, 0);
+        sim.settle();
+        sim.clock_edge();
+        assert_eq!(sim.value(q), 9, "disabled register must hold");
+    }
+
+    #[test]
+    fn latch_transparent_and_opaque() {
+        let mut b = NetlistBuilder::new("lat");
+        let d = b.input("d", 4);
+        let en = b.input("en", 1);
+        let q = b.wire("q", 4);
+        b.cell("l", CellKind::Latch, &[d, en], q).unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n);
+
+        // Transparent: q follows d within the same cycle.
+        sim.set_input(d, 7);
+        sim.set_input(en, 1);
+        sim.settle();
+        assert_eq!(sim.value(q), 7);
+        sim.clock_edge();
+
+        // Opaque: q freezes at the held value — this is precisely how a
+        // latch-based isolation bank blocks operand transitions.
+        sim.set_input(d, 2);
+        sim.set_input(en, 0);
+        sim.settle();
+        assert_eq!(sim.value(q), 7);
+        sim.clock_edge();
+        sim.set_input(d, 15);
+        sim.settle();
+        assert_eq!(sim.value(q), 7);
+    }
+
+    #[test]
+    fn shift_register_pipelines() {
+        // Two back-to-back registers: data takes two edges to traverse,
+        // proving edge sampling is consistent (no shoot-through).
+        let mut b = NetlistBuilder::new("pipe");
+        let d = b.input("d", 4);
+        let q1 = b.wire("q1", 4);
+        let q2 = b.wire("q2", 4);
+        b.cell("r1", CellKind::Reg { has_enable: false }, &[d], q1)
+            .unwrap();
+        b.cell("r2", CellKind::Reg { has_enable: false }, &[q1], q2)
+            .unwrap();
+        b.mark_output(q2);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n);
+
+        sim.set_input(d, 5);
+        sim.settle();
+        sim.clock_edge();
+        assert_eq!(sim.value(q1), 5);
+        assert_eq!(sim.value(q2), 0, "q2 must get the *old* q1");
+
+        sim.set_input(d, 0);
+        sim.settle();
+        sim.clock_edge();
+        assert_eq!(sim.value(q2), 5);
+    }
+
+    #[test]
+    fn force_state_overrides() {
+        let mut b = NetlistBuilder::new("f");
+        let d = b.input("d", 8);
+        let q = b.wire("q", 8);
+        b.cell("r", CellKind::Reg { has_enable: false }, &[d], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let r = n.find_cell("r").unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.force_state(r, 0x1AB);
+        assert_eq!(sim.value(q), 0xAB, "masked to 8 bits");
+        assert_eq!(sim.stored_state(r), 0xAB);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_input on non-input net")]
+    fn set_input_rejects_internal_nets() {
+        let mut b = NetlistBuilder::new("x");
+        let d = b.input("d", 4);
+        let q = b.wire("q", 4);
+        b.cell("bufc", CellKind::Buf, &[d], q).unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(q, 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Switching statistics collected during simulation.
+
+use oiso_netlist::{NetId, Netlist};
+use std::collections::HashMap;
+
+/// The measurements of one simulation run: per-net toggle counts, per-bit
+/// static probabilities, and Boolean monitor counts.
+///
+/// This is the "simulation of real-life test vectors" data the paper's
+/// power model consumes (Section 4.1).
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    cycles: u64,
+    /// Total bit toggles per net across the run.
+    toggles: Vec<u64>,
+    /// Per net, per bit: number of cycles the bit was 1.
+    ones: Vec<Vec<u64>>,
+    /// Monitor true-counts, by registration order.
+    monitor_counts: Vec<u64>,
+    /// Per monitor: number of value changes across consecutive cycles.
+    monitor_transitions: Vec<u64>,
+    /// Per monitor: value in the previous recorded cycle.
+    monitor_prev: Vec<Option<bool>>,
+    monitor_index: HashMap<String, usize>,
+    /// Conditional toggle counts, by registration order.
+    cond_toggle_counts: Vec<u64>,
+    cond_toggle_index: HashMap<String, usize>,
+    /// Captured per-cycle value traces for selected nets.
+    traces: HashMap<NetId, Vec<u64>>,
+}
+
+impl SimReport {
+    /// Report without conditional-toggle monitors (test helper).
+    #[cfg(test)]
+    pub(crate) fn new(netlist: &Netlist, monitor_names: &[String]) -> Self {
+        Self::with_cond_toggles(netlist, monitor_names, &[])
+    }
+
+    pub(crate) fn with_cond_toggles(
+        netlist: &Netlist,
+        monitor_names: &[String],
+        cond_toggle_names: &[String],
+    ) -> Self {
+        let mut monitor_index = HashMap::new();
+        for (i, name) in monitor_names.iter().enumerate() {
+            monitor_index.insert(name.clone(), i);
+        }
+        let mut cond_toggle_index = HashMap::new();
+        for (i, name) in cond_toggle_names.iter().enumerate() {
+            cond_toggle_index.insert(name.clone(), i);
+        }
+        SimReport {
+            cycles: 0,
+            toggles: vec![0; netlist.num_nets()],
+            ones: netlist
+                .nets()
+                .map(|(_, n)| vec![0; n.width() as usize])
+                .collect(),
+            monitor_counts: vec![0; monitor_names.len()],
+            monitor_transitions: vec![0; monitor_names.len()],
+            monitor_prev: vec![None; monitor_names.len()],
+            monitor_index,
+            cond_toggle_counts: vec![0; cond_toggle_names.len()],
+            cond_toggle_index,
+            traces: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn record_cycle(&mut self, prev: Option<&[u64]>, current: &[u64]) {
+        for (net, &value) in current.iter().enumerate() {
+            if let Some(prev_vals) = prev {
+                self.toggles[net] += (value ^ prev_vals[net]).count_ones() as u64;
+            }
+            let ones = &mut self.ones[net];
+            let mut v = value;
+            while v != 0 {
+                let bit = v.trailing_zeros() as usize;
+                if bit < ones.len() {
+                    ones[bit] += 1;
+                }
+                v &= v - 1;
+            }
+        }
+        self.cycles += 1;
+    }
+
+    pub(crate) fn record_monitor(&mut self, index: usize, fired: bool) {
+        if fired {
+            self.monitor_counts[index] += 1;
+        }
+        if let Some(prev) = self.monitor_prev[index] {
+            if prev != fired {
+                self.monitor_transitions[index] += 1;
+            }
+        }
+        self.monitor_prev[index] = Some(fired);
+    }
+
+    pub(crate) fn record_cond_toggles(&mut self, index: usize, toggles: u64) {
+        self.cond_toggle_counts[index] += toggles;
+    }
+
+    pub(crate) fn record_trace(&mut self, net: NetId, value: u64) {
+        self.traces.entry(net).or_default().push(value);
+    }
+
+    /// Number of simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Average *total* bit toggles per cycle on `net` (a 16-bit bus with
+    /// fully random data reports ≈ 8.0).
+    pub fn toggle_rate(&self, net: NetId) -> f64 {
+        if self.cycles <= 1 {
+            return 0.0;
+        }
+        self.toggles[net.index()] as f64 / (self.cycles - 1) as f64
+    }
+
+    /// Average toggles per cycle *per bit* on `net` (0.0 ..= 1.0).
+    pub fn toggle_rate_per_bit(&self, net: NetId, width: u8) -> f64 {
+        self.toggle_rate(net) / width as f64
+    }
+
+    /// Fraction of cycles in which `bit` of `net` was 1.
+    pub fn static_prob(&self, net: NetId, bit: u8) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.ones[net.index()][bit as usize] as f64 / self.cycles as f64
+    }
+
+    /// Raw toggle count of a net.
+    pub fn toggle_count(&self, net: NetId) -> u64 {
+        self.toggles[net.index()]
+    }
+
+    /// Number of cycles a named monitor evaluated true.
+    pub fn monitor_count(&self, name: &str) -> Option<u64> {
+        self.monitor_index
+            .get(name)
+            .map(|&i| self.monitor_counts[i])
+    }
+
+    /// Fraction of cycles a named monitor evaluated true.
+    pub fn monitor_prob(&self, name: &str) -> Option<f64> {
+        if self.cycles == 0 {
+            return None;
+        }
+        self.monitor_count(name)
+            .map(|c| c as f64 / self.cycles as f64)
+    }
+
+    /// Average transitions per cycle of a named monitor's value — the
+    /// toggle rate of the (1-bit) monitored condition. Used to charge the
+    /// switching cost of activation signals.
+    pub fn monitor_transition_rate(&self, name: &str) -> Option<f64> {
+        if self.cycles <= 1 {
+            return None;
+        }
+        self.monitor_index
+            .get(name)
+            .map(|&i| self.monitor_transitions[i] as f64 / (self.cycles - 1) as f64)
+    }
+
+    /// Names of all registered monitors.
+    pub fn monitor_names(&self) -> impl Iterator<Item = &str> {
+        self.monitor_index.keys().map(String::as_str)
+    }
+
+    /// Average bit toggles *per overall cycle* of a conditionally monitored
+    /// net, restricted to cycles where the monitor's condition held. (Divide
+    /// by the condition's probability to get the rate *within* those
+    /// cycles — the paper's Eq. 2 scaling.)
+    pub fn cond_toggle_rate(&self, name: &str) -> Option<f64> {
+        if self.cycles <= 1 {
+            return None;
+        }
+        self.cond_toggle_index
+            .get(name)
+            .map(|&i| self.cond_toggle_counts[i] as f64 / (self.cycles - 1) as f64)
+    }
+
+    /// Raw conditional toggle count.
+    pub fn cond_toggle_count(&self, name: &str) -> Option<u64> {
+        self.cond_toggle_index
+            .get(name)
+            .map(|&i| self.cond_toggle_counts[i])
+    }
+
+    /// The captured per-cycle value trace of a net registered with
+    /// [`Testbench::capture`](crate::Testbench::capture).
+    pub fn trace(&self, net: NetId) -> Option<&[u64]> {
+        self.traces.get(&net).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::{CellKind, NetlistBuilder};
+
+    fn one_net() -> Netlist {
+        let mut b = NetlistBuilder::new("n");
+        let a = b.input("a", 4);
+        let o = b.wire("o", 4);
+        b.cell("bufc", CellKind::Buf, &[a], o).unwrap();
+        b.mark_output(o);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn toggle_counting_across_cycles() {
+        let n = one_net();
+        let mut r = SimReport::new(&n, &[]);
+        // Net 0 = a, net 1 = o. Values per cycle for both nets.
+        r.record_cycle(None, &[0b0000, 0b0000]);
+        r.record_cycle(Some(&[0b0000, 0b0000]), &[0b0011, 0b0011]);
+        r.record_cycle(Some(&[0b0011, 0b0011]), &[0b0001, 0b0001]);
+        let a = n.find_net("a").unwrap();
+        assert_eq!(r.toggle_count(a), 3); // 2 toggles then 1
+        assert_eq!(r.cycles(), 3);
+        assert!((r.toggle_rate(a) - 1.5).abs() < 1e-12);
+        assert!((r.toggle_rate_per_bit(a, 4) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_probability_per_bit() {
+        let n = one_net();
+        let mut r = SimReport::new(&n, &[]);
+        r.record_cycle(None, &[0b0001, 0]);
+        r.record_cycle(Some(&[0b0001, 0]), &[0b0011, 0]);
+        let a = n.find_net("a").unwrap();
+        assert!((r.static_prob(a, 0) - 1.0).abs() < 1e-12);
+        assert!((r.static_prob(a, 1) - 0.5).abs() < 1e-12);
+        assert!((r.static_prob(a, 3) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monitors_count_true_cycles() {
+        let n = one_net();
+        let mut r = SimReport::new(&n, &["act".to_string()]);
+        r.record_cycle(None, &[0, 0]);
+        r.record_monitor(0, true);
+        r.record_cycle(Some(&[0, 0]), &[0, 0]);
+        r.record_monitor(0, false);
+        assert_eq!(r.monitor_count("act"), Some(1));
+        assert!((r.monitor_prob("act").unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(r.monitor_count("missing"), None);
+    }
+
+    #[test]
+    fn zero_cycle_report_is_safe() {
+        let n = one_net();
+        let r = SimReport::new(&n, &["m".to_string()]);
+        let a = n.find_net("a").unwrap();
+        assert_eq!(r.toggle_rate(a), 0.0);
+        assert_eq!(r.static_prob(a, 0), 0.0);
+        assert_eq!(r.monitor_prob("m"), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal VCD (value change dump) waveform output.
+//!
+//! Useful for debugging designs in external viewers; only nets that change
+//! are written each cycle, per the VCD format.
+
+use oiso_netlist::Netlist;
+use std::io::{self, Write};
+
+/// Streams a VCD file while a testbench runs.
+///
+/// # Examples
+///
+/// ```
+/// use oiso_netlist::{CellKind, NetlistBuilder};
+/// use oiso_sim::{StimulusSpec, Testbench};
+/// use oiso_sim::vcd::VcdWriter;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("d");
+/// let a = b.input("a", 4);
+/// let o = b.wire("o", 4);
+/// b.cell("inv", CellKind::Not, &[a], o)?;
+/// b.mark_output(o);
+/// let n = b.build()?;
+///
+/// let mut buf = Vec::new();
+/// let mut vcd = VcdWriter::new(&mut buf);
+/// let mut tb = Testbench::new(&n);
+/// tb.drive_spec(a, StimulusSpec::Counter { step: 1 })?;
+/// tb.run_with_vcd(4, &mut vcd)?;
+/// let text = String::from_utf8(buf)?;
+/// assert!(text.contains("$var"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct VcdWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> VcdWriter<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        VcdWriter { out }
+    }
+
+    /// Identifier code for net index `i` (VCD printable id characters).
+    fn id(i: usize) -> String {
+        let mut n = i;
+        let mut s = String::new();
+        loop {
+            s.push((b'!' + (n % 94) as u8) as char);
+            n /= 94;
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    }
+
+    pub(crate) fn write_header(&mut self, netlist: &Netlist) -> io::Result<()> {
+        writeln!(self.out, "$timescale 1ns $end")?;
+        writeln!(self.out, "$scope module {} $end", netlist.name())?;
+        for (id, net) in netlist.nets() {
+            writeln!(
+                self.out,
+                "$var wire {} {} {} $end",
+                net.width(),
+                Self::id(id.index()),
+                net.name()
+            )?;
+        }
+        writeln!(self.out, "$upscope $end")?;
+        writeln!(self.out, "$enddefinitions $end")?;
+        Ok(())
+    }
+
+    pub(crate) fn write_cycle(
+        &mut self,
+        netlist: &Netlist,
+        cycle: u64,
+        values: &[u64],
+        prev: Option<&[u64]>,
+    ) -> io::Result<()> {
+        writeln!(self.out, "#{cycle}")?;
+        for (id, net) in netlist.nets() {
+            let v = values[id.index()];
+            let changed = match prev {
+                None => true,
+                Some(p) => p[id.index()] != v,
+            };
+            if !changed {
+                continue;
+            }
+            if net.width() == 1 {
+                writeln!(self.out, "{}{}", v & 1, Self::id(id.index()))?;
+            } else {
+                writeln!(self.out, "b{:b} {}", v, Self::id(id.index()))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StimulusSpec, Testbench};
+    use oiso_netlist::{CellKind, NetlistBuilder};
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let id = VcdWriter::<Vec<u8>>::id(i);
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn vcd_structure_and_change_only_encoding() {
+        let mut b = NetlistBuilder::new("w");
+        let a = b.input("a", 1);
+        let k = b.constant("k", 4, 7).unwrap();
+        let o = b.wire("o", 1);
+        b.cell("bufc", CellKind::Buf, &[a], o).unwrap();
+        b.mark_output(o);
+        b.mark_output(k);
+        let n = b.build().unwrap();
+
+        let mut buf = Vec::new();
+        let mut vcd = VcdWriter::new(&mut buf);
+        let mut tb = Testbench::new(&n);
+        tb.drive_spec(a, StimulusSpec::Trace(vec![0, 1, 1, 0]))
+            .unwrap();
+        tb.run_with_vcd(4, &mut vcd).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("$enddefinitions"));
+        assert!(text.contains("#0"));
+        assert!(text.contains("#3"));
+        // The constant net appears once (cycle 0) and never again.
+        let const_id_line_count = text
+            .lines()
+            .filter(|l| l.starts_with("b111 "))
+            .count();
+        assert_eq!(const_id_line_count, 1, "{text}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the simulator: statistics consistency,
+//! determinism, and stimulus targets.
+
+use oiso_boolex::{BoolExpr, Signal};
+use oiso_netlist::{CellKind, NetlistBuilder};
+use oiso_sim::{StimulusPlan, StimulusSpec, Testbench};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Markov streams hit their target statistics for arbitrary feasible
+    /// (p, toggle-rate) pairs.
+    #[test]
+    fn markov_statistics_converge(p in 0.05f64..0.95, frac in 0.1f64..0.95) {
+        let tr = 2.0 * p.min(1.0 - p) * frac;
+        let mut b = NetlistBuilder::new("m");
+        let x = b.input("x", 16);
+        let o = b.wire("o", 16);
+        b.cell("bufc", CellKind::Buf, &[x], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let plan = StimulusPlan::new(99).drive("x", StimulusSpec::MarkovBits {
+            p_one: p,
+            toggle_rate: tr,
+        });
+        let report = Testbench::from_plan(&n, &plan).unwrap().run(30_000).unwrap();
+        let measured_tr = report.toggle_rate_per_bit(x, 16);
+        prop_assert!((measured_tr - tr).abs() < 0.03,
+            "target tr {tr}, measured {measured_tr}");
+        let mean_p: f64 = (0..16).map(|bit| report.static_prob(x, bit)).sum::<f64>() / 16.0;
+        prop_assert!((mean_p - p).abs() < 0.03, "target p {p}, measured {mean_p}");
+    }
+
+    /// A buffer's output statistics equal its input's exactly.
+    #[test]
+    fn buffer_preserves_statistics(seed in 0u64..100_000) {
+        let mut b = NetlistBuilder::new("b");
+        let x = b.input("x", 12);
+        let o = b.wire("o", 12);
+        b.cell("bufc", CellKind::Buf, &[x], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let plan = StimulusPlan::new(seed).drive("x", StimulusSpec::UniformRandom);
+        let report = Testbench::from_plan(&n, &plan).unwrap().run(500).unwrap();
+        prop_assert_eq!(report.toggle_count(x), report.toggle_count(o));
+        for bit in 0..12 {
+            prop_assert_eq!(report.static_prob(x, bit), report.static_prob(o, bit));
+        }
+    }
+
+    /// Monitor counts and their complements sum to the cycle count, and
+    /// transition counts are consistent with level counts.
+    #[test]
+    fn monitor_accounting(seed in 0u64..100_000, cycles in 50u64..500) {
+        let mut b = NetlistBuilder::new("mon");
+        let g = b.input("g", 1);
+        let o = b.wire("o", 1);
+        b.cell("inv", CellKind::Not, &[g], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let plan = StimulusPlan::new(seed).drive("g", StimulusSpec::MarkovBits {
+            p_one: 0.4,
+            toggle_rate: 0.3,
+        });
+        let mut tb = Testbench::from_plan(&n, &plan).unwrap();
+        tb.monitor("hi", BoolExpr::var(Signal::bit0(g)));
+        tb.monitor("lo", BoolExpr::var(Signal::bit0(g)).not());
+        let report = tb.run(cycles).unwrap();
+        prop_assert_eq!(
+            report.monitor_count("hi").unwrap() + report.monitor_count("lo").unwrap(),
+            cycles
+        );
+        // A 1-bit signal's monitor transitions equal its net toggle count.
+        let hi_tr = report.monitor_transition_rate("hi").unwrap();
+        let net_tr = report.toggle_rate(g);
+        prop_assert!((hi_tr - net_tr).abs() < 1e-12);
+    }
+
+    /// Conditional toggles with condition `true` equal unconditional
+    /// toggles; with condition `false`, zero; and a condition partitions
+    /// them exactly.
+    #[test]
+    fn conditional_toggles_partition(seed in 0u64..100_000) {
+        let mut b = NetlistBuilder::new("ct");
+        let x = b.input("x", 8);
+        let g = b.input("g", 1);
+        let o = b.wire("o", 8);
+        b.cell("bufc", CellKind::Buf, &[x], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let plan = StimulusPlan::new(seed)
+            .drive("x", StimulusSpec::UniformRandom)
+            .drive("g", StimulusSpec::MarkovBits { p_one: 0.5, toggle_rate: 0.4 });
+        let mut tb = Testbench::from_plan(&n, &plan).unwrap();
+        let gv = BoolExpr::var(Signal::bit0(g));
+        tb.cond_toggle_monitor("always", o, BoolExpr::TRUE);
+        tb.cond_toggle_monitor("never", o, BoolExpr::FALSE);
+        tb.cond_toggle_monitor("when_g", o, gv.clone());
+        tb.cond_toggle_monitor("when_ng", o, gv.not());
+        let report = tb.run(400).unwrap();
+        prop_assert_eq!(report.cond_toggle_count("always").unwrap(), report.toggle_count(o));
+        prop_assert_eq!(report.cond_toggle_count("never").unwrap(), 0);
+        prop_assert_eq!(
+            report.cond_toggle_count("when_g").unwrap()
+                + report.cond_toggle_count("when_ng").unwrap(),
+            report.toggle_count(o)
+        );
+    }
+
+    /// Identical plans yield identical reports; traces are reproducible.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..100_000) {
+        let mut b = NetlistBuilder::new("det");
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let s = b.wire("s", 16);
+        b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.mark_output(s);
+        let n = b.build().unwrap();
+        let plan = StimulusPlan::new(seed)
+            .drive("x", StimulusSpec::UniformRandom)
+            .drive("y", StimulusSpec::UniformRandom);
+        let run = || {
+            let mut tb = Testbench::from_plan(&n, &plan).unwrap();
+            tb.capture(s);
+            let r = tb.run(200).unwrap();
+            r.trace(s).unwrap().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,147 @@
+//! Edge-width and corner-case simulation tests: 64-bit datapaths, extreme
+//! shift amounts, concatenation layouts, and register initialization.
+
+use oiso_boolex::{BoolExpr, Signal};
+use oiso_netlist::{CellKind, Netlist, NetlistBuilder, NetId};
+use oiso_sim::{StimulusPlan, StimulusSpec, Testbench};
+
+fn run_traced(n: &Netlist, plan: &StimulusPlan, nets: &[NetId], cycles: u64) -> Vec<Vec<u64>> {
+    let mut tb = Testbench::from_plan(n, plan).expect("plan");
+    for &net in nets {
+        tb.capture(net);
+    }
+    let report = tb.run(cycles).expect("run");
+    nets.iter()
+        .map(|&net| report.trace(net).expect("captured").to_vec())
+        .collect()
+}
+
+#[test]
+fn full_width_64_bit_arithmetic_wraps() {
+    let mut b = NetlistBuilder::new("w64");
+    let a = b.input("a", 64);
+    let c = b.input("c", 64);
+    let s = b.wire("s", 64);
+    let p = b.wire("p", 64);
+    let d = b.wire("d", 64);
+    b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+    b.cell("mul", CellKind::Mul, &[a, c], p).unwrap();
+    b.cell("sub", CellKind::Sub, &[a, c], d).unwrap();
+    b.mark_output(s);
+    b.mark_output(p);
+    b.mark_output(d);
+    let n = b.build().unwrap();
+    let plan = StimulusPlan::new(0)
+        .drive("a", StimulusSpec::Constant(u64::MAX))
+        .drive("c", StimulusSpec::Constant(2));
+    let traces = run_traced(&n, &plan, &[s, p, d], 2);
+    assert_eq!(traces[0][0], 1, "MAX + 2 wraps to 1");
+    assert_eq!(traces[1][0], u64::MAX.wrapping_mul(2));
+    assert_eq!(traces[2][0], u64::MAX - 2);
+}
+
+#[test]
+fn shifts_at_and_beyond_width() {
+    let mut b = NetlistBuilder::new("sh");
+    let x = b.input("x", 64);
+    let amt = b.input("amt", 8);
+    let l = b.wire("l", 64);
+    let r = b.wire("r", 64);
+    b.cell("shl", CellKind::Shl, &[x, amt], l).unwrap();
+    b.cell("shr", CellKind::Shr, &[x, amt], r).unwrap();
+    b.mark_output(l);
+    b.mark_output(r);
+    let n = b.build().unwrap();
+    for (amount, expect_l, expect_r) in [
+        (0u64, u64::MAX, u64::MAX),
+        (63, 1u64 << 63, 1),
+        (64, 0, 0),
+        (200, 0, 0),
+    ] {
+        let plan = StimulusPlan::new(0)
+            .drive("x", StimulusSpec::Constant(u64::MAX))
+            .drive("amt", StimulusSpec::Constant(amount));
+        let traces = run_traced(&n, &plan, &[l, r], 1);
+        assert_eq!(traces[0][0], expect_l, "shl by {amount}");
+        assert_eq!(traces[1][0], expect_r, "shr by {amount}");
+    }
+}
+
+#[test]
+fn concat_layout_is_msb_first() {
+    let mut b = NetlistBuilder::new("cc");
+    let hi = b.input("hi", 4);
+    let mid = b.input("mid", 8);
+    let lo = b.input("lo", 4);
+    let out = b.wire("out", 16);
+    b.cell("cat", CellKind::Concat, &[hi, mid, lo], out).unwrap();
+    b.mark_output(out);
+    let n = b.build().unwrap();
+    let plan = StimulusPlan::new(0)
+        .drive("hi", StimulusSpec::Constant(0xA))
+        .drive("mid", StimulusSpec::Constant(0xBC))
+        .drive("lo", StimulusSpec::Constant(0xD));
+    let traces = run_traced(&n, &plan, &[out], 1);
+    assert_eq!(traces[0][0], 0xABCD);
+}
+
+#[test]
+fn registers_reset_to_zero() {
+    let mut b = NetlistBuilder::new("rst");
+    let d = b.input("d", 32);
+    let q = b.wire("q", 32);
+    b.cell("r", CellKind::Reg { has_enable: false }, &[d], q)
+        .unwrap();
+    b.mark_output(q);
+    let n = b.build().unwrap();
+    let plan = StimulusPlan::new(0).drive("d", StimulusSpec::Constant(0xDEAD_BEEF));
+    let traces = run_traced(&n, &plan, &[q], 3);
+    assert_eq!(traces[0][0], 0, "cycle 0 shows the reset value");
+    assert_eq!(traces[0][1], 0xDEAD_BEEF);
+    assert_eq!(traces[0][2], 0xDEAD_BEEF);
+}
+
+#[test]
+fn slice_of_wide_bus() {
+    let mut b = NetlistBuilder::new("sl");
+    let x = b.input("x", 64);
+    let top = b.wire("top", 8);
+    b.cell("s", CellKind::Slice { lo: 56, hi: 63 }, &[x], top)
+        .unwrap();
+    b.mark_output(top);
+    let n = b.build().unwrap();
+    let plan = StimulusPlan::new(0).drive("x", StimulusSpec::Constant(0x5A00_0000_0000_0001));
+    let traces = run_traced(&n, &plan, &[top], 1);
+    assert_eq!(traces[0][0], 0x5A);
+}
+
+#[test]
+fn monitors_on_wide_nets_address_high_bits() {
+    let mut b = NetlistBuilder::new("hb");
+    let x = b.input("x", 64);
+    let o = b.wire("o", 64);
+    b.cell("bufc", CellKind::Buf, &[x], o).unwrap();
+    b.mark_output(o);
+    let n = b.build().unwrap();
+    let plan = StimulusPlan::new(0).drive("x", StimulusSpec::Constant(1u64 << 63));
+    let mut tb = Testbench::from_plan(&n, &plan).unwrap();
+    tb.monitor("msb", BoolExpr::var(Signal::new(o, 63)));
+    tb.monitor("lsb", BoolExpr::var(Signal::new(o, 0)));
+    let report = tb.run(10).unwrap();
+    assert_eq!(report.monitor_count("msb"), Some(10));
+    assert_eq!(report.monitor_count("lsb"), Some(0));
+    assert_eq!(report.static_prob(o, 63), 1.0);
+}
+
+#[test]
+fn counter_stimulus_wraps_at_width() {
+    let mut b = NetlistBuilder::new("cnt");
+    let x = b.input("x", 3);
+    let o = b.wire("o", 3);
+    b.cell("bufc", CellKind::Buf, &[x], o).unwrap();
+    b.mark_output(o);
+    let n = b.build().unwrap();
+    let plan = StimulusPlan::new(0).drive("x", StimulusSpec::Counter { step: 3 });
+    let traces = run_traced(&n, &plan, &[o], 6);
+    assert_eq!(traces[0], vec![0, 3, 6, 1, 4, 7]);
+}

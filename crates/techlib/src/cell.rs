@@ -1,0 +1,187 @@
+//! Library cell classes and their physical parameters.
+
+use crate::units::{Area, Capacitance, Energy, Power, Resistance, Time};
+use std::fmt;
+
+/// The primitive cell classes the library characterizes.
+///
+/// RT-level cells (adders, multiplexors, registers, ...) are *composed* of
+/// these primitives by the power and timing crates; the library itself only
+/// knows about leaf cells, mirroring how a standard-cell flow works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellClass {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input AND gate.
+    And2,
+    /// 2-input OR gate.
+    Or2,
+    /// 2-input NAND gate.
+    Nand2,
+    /// 2-input NOR gate.
+    Nor2,
+    /// 2-input XOR gate.
+    Xor2,
+    /// 2:1 multiplexor (one data bit).
+    Mux2,
+    /// Full adder (one bit of a ripple-carry adder).
+    FullAdder,
+    /// Transparent latch (one bit), level-sensitive enable.
+    LatchBit,
+    /// D flip-flop (one bit), positive edge triggered.
+    DffBit,
+    /// D flip-flop with synchronous enable (one bit).
+    DffEnBit,
+    /// One bit-slice of an array-multiplier cell (AND + full adder).
+    MulBit,
+    /// One bit of a magnitude comparator stage.
+    CmpBit,
+    /// One bit-slice of a logarithmic shifter stage.
+    ShiftBit,
+}
+
+impl CellClass {
+    /// All classes, in a stable order (useful for table-driven tests).
+    pub const ALL: [CellClass; 16] = [
+        CellClass::Inv,
+        CellClass::Buf,
+        CellClass::And2,
+        CellClass::Or2,
+        CellClass::Nand2,
+        CellClass::Nor2,
+        CellClass::Xor2,
+        CellClass::Mux2,
+        CellClass::FullAdder,
+        CellClass::LatchBit,
+        CellClass::DffBit,
+        CellClass::DffEnBit,
+        CellClass::MulBit,
+        CellClass::CmpBit,
+        CellClass::ShiftBit,
+        CellClass::CmpBit,
+    ];
+
+    /// `true` for state-holding classes (latches and flip-flops).
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            CellClass::LatchBit | CellClass::DffBit | CellClass::DffEnBit
+        )
+    }
+}
+
+impl fmt::Display for CellClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellClass::Inv => "INV",
+            CellClass::Buf => "BUF",
+            CellClass::And2 => "AND2",
+            CellClass::Or2 => "OR2",
+            CellClass::Nand2 => "NAND2",
+            CellClass::Nor2 => "NOR2",
+            CellClass::Xor2 => "XOR2",
+            CellClass::Mux2 => "MUX2",
+            CellClass::FullAdder => "FA",
+            CellClass::LatchBit => "LATCH",
+            CellClass::DffBit => "DFF",
+            CellClass::DffEnBit => "DFFE",
+            CellClass::MulBit => "MULB",
+            CellClass::CmpBit => "CMPB",
+            CellClass::ShiftBit => "SHFB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Physical parameters of one library cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellParams {
+    /// Placed area of the cell.
+    pub area: Area,
+    /// Capacitance presented by one input pin.
+    pub input_cap: Capacitance,
+    /// Internal (self) capacitance switched on an output transition, in
+    /// addition to the external load.
+    pub self_cap: Capacitance,
+    /// Intrinsic (unloaded) propagation delay.
+    pub intrinsic_delay: Time,
+    /// Output drive resistance for the linear load-dependent delay model
+    /// `d = intrinsic + R · C_load`.
+    pub drive_res: Resistance,
+    /// Static leakage power.
+    pub leakage: Power,
+}
+
+impl CellParams {
+    /// Total switching energy of one output toggle driving `load`, at the
+    /// library's supply voltage `vdd`: self capacitance plus external load.
+    pub fn toggle_energy(
+        &self,
+        load: Capacitance,
+        vdd: crate::units::Voltage,
+    ) -> Energy {
+        (self.self_cap + load).toggle_energy(vdd)
+    }
+
+    /// Propagation delay driving `load` under the linear delay model.
+    pub fn delay(&self, load: Capacitance) -> Time {
+        self.intrinsic_delay + self.drive_res.rc_delay(load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Voltage;
+
+    fn params() -> CellParams {
+        CellParams {
+            area: Area::from_um2(20.0),
+            input_cap: Capacitance::from_ff(3.0),
+            self_cap: Capacitance::from_ff(4.0),
+            intrinsic_delay: Time::from_ns(0.1),
+            drive_res: Resistance::from_kohm(2.0),
+            leakage: Power::from_mw(1e-6),
+        }
+    }
+
+    #[test]
+    fn delay_grows_with_load() {
+        let p = params();
+        let d0 = p.delay(Capacitance::ZERO);
+        let d1 = p.delay(Capacitance::from_ff(10.0));
+        assert!(d1 > d0);
+        assert!((d0.as_ns() - 0.1).abs() < 1e-12);
+        // 2 kohm * 10 fF = 20 ps.
+        assert!((d1.as_ns() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toggle_energy_includes_self_cap() {
+        let p = params();
+        let vdd = Voltage::from_volts(2.0);
+        let e = p.toggle_energy(Capacitance::from_ff(6.0), vdd);
+        // 0.5 * (4+6) fF * 4 V^2 = 20 fJ = 0.02 pJ.
+        assert!((e.as_pj() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_classification() {
+        assert!(CellClass::LatchBit.is_sequential());
+        assert!(CellClass::DffBit.is_sequential());
+        assert!(CellClass::DffEnBit.is_sequential());
+        assert!(!CellClass::And2.is_sequential());
+        assert!(!CellClass::FullAdder.is_sequential());
+    }
+
+    #[test]
+    fn display_names_are_unique_for_distinct_classes() {
+        use std::collections::HashSet;
+        let names: HashSet<String> =
+            CellClass::ALL.iter().map(|c| c.to_string()).collect();
+        // ALL contains CmpBit twice; 15 distinct classes.
+        assert_eq!(names.len(), 15);
+    }
+}

@@ -1,0 +1,34 @@
+//! Generic CMOS technology library for RT-level power and timing estimation.
+//!
+//! The DATE 2000 operand-isolation paper obtained power numbers from
+//! Synopsys DesignPower and timing from a commercial synthesis engine over a
+//! proprietary standard-cell library. This crate substitutes a *generic*
+//! 0.25 µm-class library: every primitive cell class carries area, input
+//! capacitance, intrinsic delay, drive resistance, switching energy, and
+//! leakage. The absolute values are representative, not vendor-accurate —
+//! what matters for the reproduction is that power is monotone in switched
+//! capacitance and that latches cost more than simple gates, the properties
+//! the paper's cost model relies on.
+//!
+//! # Examples
+//!
+//! ```
+//! use oiso_techlib::{TechLibrary, CellClass, OperatingConditions};
+//!
+//! let lib = TechLibrary::generic_250nm();
+//! let and2 = lib.cell(CellClass::And2);
+//! assert!(and2.area.as_um2() > 0.0);
+//! let cond = OperatingConditions::default();
+//! assert!(cond.vdd.as_volts() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod library;
+pub mod units;
+
+pub use cell::{CellClass, CellParams};
+pub use library::{OperatingConditions, TechLibrary};
+pub use units::{Area, Capacitance, Energy, Frequency, Power, Resistance, Time, Voltage};

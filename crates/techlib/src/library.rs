@@ -1,0 +1,271 @@
+//! The technology library and operating conditions.
+
+use crate::cell::{CellClass, CellParams};
+use crate::units::{Area, Capacitance, Frequency, Power, Resistance, Time, Voltage};
+use std::collections::BTreeMap;
+
+/// Supply voltage and clock frequency under which power is evaluated.
+///
+/// The paper's designs ran at a fixed (unpublished) clock; we default to a
+/// 2.5 V, 100 MHz operating point typical for a 0.25 µm process of the
+/// paper's era (1999-2000).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingConditions {
+    /// Supply voltage.
+    pub vdd: Voltage,
+    /// Clock frequency.
+    pub clock: Frequency,
+}
+
+impl OperatingConditions {
+    /// Creates operating conditions from a supply voltage and clock frequency.
+    pub fn new(vdd: Voltage, clock: Frequency) -> Self {
+        Self { vdd, clock }
+    }
+
+    /// The clock period.
+    pub fn clock_period(&self) -> Time {
+        self.clock.period()
+    }
+}
+
+impl Default for OperatingConditions {
+    fn default() -> Self {
+        Self {
+            vdd: Voltage::from_volts(2.5),
+            clock: Frequency::from_mhz(100.0),
+        }
+    }
+}
+
+/// A characterized technology library: parameters for every [`CellClass`].
+///
+/// # Examples
+///
+/// ```
+/// use oiso_techlib::{TechLibrary, CellClass};
+///
+/// let lib = TechLibrary::generic_250nm();
+/// // Latches are bigger and heavier than AND gates — the physical fact
+/// // behind the paper's conclusion that gate-based isolation wins.
+/// assert!(lib.cell(CellClass::LatchBit).area > lib.cell(CellClass::And2).area);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechLibrary {
+    name: String,
+    cells: BTreeMap<CellClass, CellParams>,
+    wire_cap_per_load: Capacitance,
+}
+
+impl TechLibrary {
+    /// Builds a library from an explicit cell table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`CellClass`] is missing from `cells`; a partial library
+    /// would turn into a runtime failure deep inside estimation otherwise.
+    pub fn new(
+        name: impl Into<String>,
+        cells: BTreeMap<CellClass, CellParams>,
+        wire_cap_per_load: Capacitance,
+    ) -> Self {
+        for class in CellClass::ALL {
+            assert!(
+                cells.contains_key(&class),
+                "technology library is missing cell class {class}"
+            );
+        }
+        Self {
+            name: name.into(),
+            cells,
+            wire_cap_per_load,
+        }
+    }
+
+    /// A representative generic 0.25 µm standard-cell library.
+    ///
+    /// Values are rounded versions of public 0.25 µm characterization data:
+    /// a NAND2 around 16 µm², input pins of a few fF, intrinsic delays around
+    /// 100 ps, latch ~3× and flip-flop ~4× the area of a NAND2.
+    pub fn generic_250nm() -> Self {
+        fn p(
+            area: f64,
+            input_cap: f64,
+            self_cap: f64,
+            delay: f64,
+            res: f64,
+            leak: f64,
+        ) -> CellParams {
+            CellParams {
+                area: Area::from_um2(area),
+                input_cap: Capacitance::from_ff(input_cap),
+                self_cap: Capacitance::from_ff(self_cap),
+                intrinsic_delay: Time::from_ns(delay),
+                drive_res: Resistance::from_kohm(res),
+                leakage: Power::from_mw(leak),
+            }
+        }
+        let mut cells = BTreeMap::new();
+        cells.insert(CellClass::Inv, p(8.0, 2.0, 2.0, 0.05, 1.2, 2e-7));
+        cells.insert(CellClass::Buf, p(12.0, 2.0, 3.0, 0.09, 0.8, 3e-7));
+        cells.insert(CellClass::And2, p(16.0, 2.5, 3.5, 0.12, 1.5, 4e-7));
+        cells.insert(CellClass::Or2, p(16.0, 2.5, 3.5, 0.13, 1.5, 4e-7));
+        cells.insert(CellClass::Nand2, p(14.0, 2.5, 3.0, 0.08, 1.4, 3e-7));
+        cells.insert(CellClass::Nor2, p(14.0, 2.5, 3.2, 0.10, 1.6, 3e-7));
+        cells.insert(CellClass::Xor2, p(28.0, 3.5, 5.5, 0.18, 1.8, 6e-7));
+        cells.insert(CellClass::Mux2, p(24.0, 3.0, 5.0, 0.15, 1.6, 5e-7));
+        cells.insert(CellClass::FullAdder, p(60.0, 4.0, 9.0, 0.30, 1.8, 1e-6));
+        cells.insert(CellClass::LatchBit, p(44.0, 3.5, 7.5, 0.20, 1.6, 9e-7));
+        cells.insert(CellClass::DffBit, p(64.0, 3.5, 9.5, 0.35, 1.6, 1.2e-6));
+        cells.insert(CellClass::DffEnBit, p(80.0, 3.5, 10.5, 0.38, 1.6, 1.4e-6));
+        cells.insert(CellClass::MulBit, p(76.0, 4.0, 11.0, 0.32, 1.8, 1.2e-6));
+        cells.insert(CellClass::CmpBit, p(34.0, 3.0, 5.5, 0.16, 1.6, 6e-7));
+        cells.insert(CellClass::ShiftBit, p(24.0, 3.0, 5.0, 0.15, 1.6, 5e-7));
+        Self::new("generic-250nm", cells, Capacitance::from_ff(1.5))
+    }
+
+    /// The library's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A derated copy of the library: area scaled by `area_factor`,
+    /// capacitances by `cap_factor`, delays by `delay_factor` (leakage
+    /// follows area). Models process shrinks or slow/fast corners without
+    /// recharacterizing every cell.
+    pub fn derated(
+        &self,
+        name: impl Into<String>,
+        area_factor: f64,
+        cap_factor: f64,
+        delay_factor: f64,
+    ) -> Self {
+        let cells = self
+            .cells
+            .iter()
+            .map(|(&class, p)| {
+                (
+                    class,
+                    CellParams {
+                        area: p.area * area_factor,
+                        input_cap: p.input_cap * cap_factor,
+                        self_cap: p.self_cap * cap_factor,
+                        intrinsic_delay: p.intrinsic_delay * delay_factor,
+                        drive_res: p.drive_res * delay_factor,
+                        leakage: p.leakage * area_factor,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            name: name.into(),
+            cells,
+            wire_cap_per_load: self.wire_cap_per_load * cap_factor,
+        }
+    }
+
+    /// Parameters of a cell class.
+    pub fn cell(&self, class: CellClass) -> &CellParams {
+        &self.cells[&class]
+    }
+
+    /// Estimated interconnect capacitance contributed per fanout load
+    /// (a crude wire-load model: each extra load adds a stub of wire).
+    pub fn wire_cap_per_load(&self) -> Capacitance {
+        self.wire_cap_per_load
+    }
+
+    /// Capacitive load seen by a driver with the given sink pins, including
+    /// the wire-load contribution.
+    pub fn load_of(&self, sink_classes: impl IntoIterator<Item = CellClass>) -> Capacitance {
+        let mut total = Capacitance::ZERO;
+        let mut n = 0usize;
+        for class in sink_classes {
+            total += self.cell(class).input_cap;
+            n += 1;
+        }
+        total + self.wire_cap_per_load * n as f64
+    }
+}
+
+impl Default for TechLibrary {
+    fn default() -> Self {
+        Self::generic_250nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_library_is_complete() {
+        let lib = TechLibrary::generic_250nm();
+        for class in CellClass::ALL {
+            let c = lib.cell(class);
+            assert!(c.area.as_um2() > 0.0, "{class} area");
+            assert!(c.input_cap.as_ff() > 0.0, "{class} cap");
+            assert!(c.intrinsic_delay.as_ns() > 0.0, "{class} delay");
+        }
+    }
+
+    #[test]
+    fn latch_costs_more_than_gates() {
+        // Section 5.2 of the paper: AND/OR gates are "less expensive compared
+        // to latches in terms of area and power overhead". The library must
+        // encode that physical reality.
+        let lib = TechLibrary::generic_250nm();
+        let latch = lib.cell(CellClass::LatchBit);
+        for gate in [CellClass::And2, CellClass::Or2] {
+            let g = lib.cell(gate);
+            assert!(latch.area > g.area);
+            assert!(latch.self_cap > g.self_cap);
+            assert!(latch.leakage > g.leakage);
+        }
+    }
+
+    #[test]
+    fn flipflop_costs_more_than_latch() {
+        let lib = TechLibrary::generic_250nm();
+        assert!(lib.cell(CellClass::DffBit).area > lib.cell(CellClass::LatchBit).area);
+    }
+
+    #[test]
+    fn load_of_accumulates_pins_and_wire() {
+        let lib = TechLibrary::generic_250nm();
+        let load = lib.load_of([CellClass::And2, CellClass::And2]);
+        let expected = 2.0 * 2.5 + 2.0 * 1.5;
+        assert!((load.as_ff() - expected).abs() < 1e-12);
+        assert_eq!(lib.load_of([]), Capacitance::ZERO);
+    }
+
+    #[test]
+    fn default_conditions_are_250nm_era() {
+        let cond = OperatingConditions::default();
+        assert!((cond.vdd.as_volts() - 2.5).abs() < 1e-12);
+        assert!((cond.clock_period().as_ns() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derated_library_scales_uniformly() {
+        let base = TechLibrary::generic_250nm();
+        let shrunk = base.derated("generic-180nm", 0.5, 0.7, 0.8);
+        for class in CellClass::ALL {
+            let b = base.cell(class);
+            let d = shrunk.cell(class);
+            assert!((d.area.as_um2() - b.area.as_um2() * 0.5).abs() < 1e-9);
+            assert!((d.input_cap.as_ff() - b.input_cap.as_ff() * 0.7).abs() < 1e-9);
+            assert!(
+                (d.intrinsic_delay.as_ns() - b.intrinsic_delay.as_ns() * 0.8).abs() < 1e-9
+            );
+            assert!((d.leakage.as_mw() - b.leakage.as_mw() * 0.5).abs() < 1e-12);
+        }
+        assert_eq!(shrunk.name(), "generic-180nm");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing cell class")]
+    fn partial_library_panics() {
+        let _ = TechLibrary::new("broken", BTreeMap::new(), Capacitance::ZERO);
+    }
+}

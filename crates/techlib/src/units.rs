@@ -1,0 +1,279 @@
+//! Physical unit newtypes.
+//!
+//! All quantities are stored in a single canonical unit each (documented on
+//! the type) so that arithmetic across the power/timing crates cannot mix
+//! units silently. The types are deliberately thin `f64` wrappers with only
+//! the operations that make physical sense.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $unit:literal, $ctor:ident, $getter:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            #[doc = concat!("Creates a quantity from a value in ", $unit, ".")]
+            pub const fn $ctor(v: f64) -> Self {
+                Self(v)
+            }
+
+            #[doc = concat!("Returns the value in ", $unit, ".")]
+            pub const fn $getter(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns `true` if the stored value is finite.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Silicon area, stored in square micrometres (µm²).
+    Area, "um^2", from_um2, as_um2
+);
+unit!(
+    /// Capacitance, stored in femtofarads (fF).
+    Capacitance, "fF", from_ff, as_ff
+);
+unit!(
+    /// Time, stored in nanoseconds (ns).
+    Time, "ns", from_ns, as_ns
+);
+unit!(
+    /// Energy, stored in picojoules (pJ).
+    Energy, "pJ", from_pj, as_pj
+);
+unit!(
+    /// Power, stored in milliwatts (mW).
+    Power, "mW", from_mw, as_mw
+);
+unit!(
+    /// Voltage, stored in volts (V).
+    Voltage, "V", from_volts, as_volts
+);
+unit!(
+    /// Frequency, stored in megahertz (MHz).
+    Frequency, "MHz", from_mhz, as_mhz
+);
+unit!(
+    /// Resistance, stored in kilo-ohms (kΩ).
+    Resistance, "kohm", from_kohm, as_kohm
+);
+
+impl Energy {
+    /// Average power dissipated when this energy is spent `rate` times per
+    /// clock cycle at clock frequency `f`.
+    ///
+    /// `1 pJ × 1 MHz = 1 µW`, hence the `1e-3` factor to return milliwatts.
+    pub fn at_rate(self, rate: f64, f: Frequency) -> Power {
+        Power::from_mw(self.as_pj() * rate * f.as_mhz() * 1e-3)
+    }
+}
+
+impl Capacitance {
+    /// Switching energy of a full-swing transition on this capacitance at
+    /// supply voltage `vdd`: `E = C · Vdd²` per 0→1→0 pair; a single toggle
+    /// spends half of that on average, which is the convention used across
+    /// this workspace (`E_toggle = ½·C·Vdd²`).
+    ///
+    /// `1 fF × 1 V² = 1e-15 J = 1e-3 pJ`.
+    pub fn toggle_energy(self, vdd: Voltage) -> Energy {
+        Energy::from_pj(0.5 * self.as_ff() * vdd.as_volts() * vdd.as_volts() * 1e-3)
+    }
+}
+
+impl Resistance {
+    /// Elmore-style RC delay when driving load `c`: `1 kΩ × 1 fF = 1 ps`.
+    pub fn rc_delay(self, c: Capacitance) -> Time {
+        Time::from_ns(self.as_kohm() * c.as_ff() * 1e-3)
+    }
+}
+
+impl Frequency {
+    /// The clock period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period(self) -> Time {
+        assert!(self.as_mhz() > 0.0, "period of zero frequency");
+        Time::from_ns(1e3 / self.as_mhz())
+    }
+}
+
+impl Time {
+    /// The clock frequency corresponding to this period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn frequency(self) -> Frequency {
+        assert!(self.as_ns() > 0.0, "frequency of zero period");
+        Frequency::from_mhz(1e3 / self.as_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_arithmetic_roundtrips() {
+        let a = Area::from_um2(10.0) + Area::from_um2(5.0);
+        assert_eq!(a.as_um2(), 15.0);
+        let b = a - Area::from_um2(5.0);
+        assert_eq!(b.as_um2(), 10.0);
+        assert_eq!((b * 2.0).as_um2(), 20.0);
+        assert_eq!((2.0 * b).as_um2(), 20.0);
+        assert_eq!((b / 2.0).as_um2(), 5.0);
+        assert_eq!(b / Area::from_um2(2.0), 5.0);
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: Power = [1.0, 2.0, 3.0].iter().map(|&x| Power::from_mw(x)).sum();
+        assert_eq!(total.as_mw(), 6.0);
+        assert!(Power::from_mw(2.0) > Power::from_mw(1.0));
+        assert_eq!(
+            Power::from_mw(2.0).max(Power::from_mw(3.0)),
+            Power::from_mw(3.0)
+        );
+        assert_eq!(
+            Power::from_mw(2.0).min(Power::from_mw(3.0)),
+            Power::from_mw(2.0)
+        );
+    }
+
+    #[test]
+    fn energy_at_rate_unit_conversion() {
+        // 1 pJ per cycle at 1000 MHz = 1 mW.
+        let p = Energy::from_pj(1.0).at_rate(1.0, Frequency::from_mhz(1000.0));
+        assert!((p.as_mw() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toggle_energy_unit_conversion() {
+        // 100 fF at 2.5 V: 0.5 * 100e-15 * 6.25 = 312.5e-15 J = 0.3125 pJ.
+        let e = Capacitance::from_ff(100.0).toggle_energy(Voltage::from_volts(2.5));
+        assert!((e.as_pj() - 0.3125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_delay_unit_conversion() {
+        // 1 kohm * 100 fF = 100 ps = 0.1 ns.
+        let d = Resistance::from_kohm(1.0).rc_delay(Capacitance::from_ff(100.0));
+        assert!((d.as_ns() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_frequency_inverse() {
+        let f = Frequency::from_mhz(100.0);
+        assert!((f.period().as_ns() - 10.0).abs() < 1e-12);
+        assert!((f.period().frequency().as_mhz() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Power::from_mw(1.5)), "1.5000 mW");
+        assert_eq!(format!("{}", Time::from_ns(0.25)), "0.2500 ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "period of zero frequency")]
+    fn zero_frequency_period_panics() {
+        let _ = Frequency::from_mhz(0.0).period();
+    }
+}

@@ -1,0 +1,224 @@
+//! Pre-transform estimation of isolation's timing impact.
+//!
+//! Section 5.1 lists the three ways operand isolation degrades timing:
+//! "the isolation banks increase the delay on the respective paths into
+//! which they are inserted, the activation logic creates additional timing
+//! paths that merge with the existing paths in the isolation banks, and the
+//! activation logic provides increased capacitive loading on every signal
+//! used in it." This module estimates the candidate's post-isolation slack
+//! *before* committing the transform, so Algorithm 1 can reject candidates
+//! cheaply; the exact number is obtained by re-running [`analyze`](crate::analyze) on the
+//! transformed netlist.
+
+use crate::sta::TimingReport;
+use oiso_netlist::{CellId, Netlist};
+use oiso_techlib::{CellClass, TechLibrary, Time};
+
+/// Which isolation bank is inserted on the candidate's operand paths.
+/// (Redeclared here to avoid a dependency on `oiso-core`; the core crate
+/// converts from its own style enum.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankKind {
+    /// AND gates forcing operands to 0 while idle.
+    And,
+    /// OR gates forcing operands to 1 while idle.
+    Or,
+    /// Transparent latches freezing operands while idle.
+    Latch,
+}
+
+impl BankKind {
+    fn class(self) -> CellClass {
+        match self {
+            BankKind::And => CellClass::And2,
+            BankKind::Or => CellClass::Or2,
+            BankKind::Latch => CellClass::LatchBit,
+        }
+    }
+}
+
+/// The estimated timing impact of isolating one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsolationTimingImpact {
+    /// Delay added to the operand data paths by the isolation bank.
+    pub bank_delay: Time,
+    /// Latest arrival through the activation logic into the bank's control
+    /// pin, relative to the start of the cycle.
+    pub activation_path: Time,
+    /// Estimated slack of the candidate after isolation.
+    pub estimated_slack: Time,
+}
+
+/// Estimates the candidate's slack after inserting a `bank`-style isolation
+/// bank controlled by activation logic of the given expression depth whose
+/// inputs arrive no later than `activation_inputs_arrival`.
+///
+/// The estimate combines the paper's three effects:
+/// 1. the bank's gate delay is added to the candidate's data path,
+/// 2. the activation path (inputs arrival + one gate level per expression
+///    depth + the bank's control-pin delay) may become the new critical
+///    path into the bank,
+/// 3. extra load on tapped control signals is approximated by one wire-load
+///    RC step per activation literal.
+#[allow(clippy::too_many_arguments)] // the paper's three effects need them
+pub fn estimate_isolation_slack(
+    lib: &TechLibrary,
+    netlist: &Netlist,
+    timing: &TimingReport,
+    candidate: CellId,
+    bank: BankKind,
+    activation_depth: usize,
+    activation_literals: usize,
+    activation_inputs_arrival: Time,
+) -> IsolationTimingImpact {
+    let bank_params = lib.cell(bank.class());
+    // The bank drives the candidate's input pins; approximate its load by
+    // one full-adder pin (datapath operand pin) plus wire.
+    let bank_load = lib.cell(CellClass::FullAdder).input_cap + lib.wire_cap_per_load();
+    let bank_delay = bank_params.delay(bank_load);
+
+    // One And2/Or2 level per depth unit of the activation expression.
+    let gate = lib.cell(CellClass::And2);
+    let act_logic_delay =
+        Time::from_ns(gate.intrinsic_delay.as_ns() * activation_depth as f64);
+    // Effect 3: tapped signals see extra load; charge one wire RC per literal.
+    let tap_penalty = gate
+        .drive_res
+        .rc_delay(lib.wire_cap_per_load()) * activation_literals as f64;
+    let activation_path = activation_inputs_arrival + act_logic_delay + tap_penalty;
+
+    // Data path after isolation: old arrival at the candidate's output plus
+    // the bank delay. Activation path merges at the bank: whichever arrives
+    // later dominates the candidate's new arrival.
+    let out = netlist.cell(candidate).output();
+    let old_arrival = timing.arrival[out.index()];
+    let old_required = timing.required[out.index()];
+    let data_path = old_arrival + bank_delay;
+    // The activation path continues through the candidate itself; its depth
+    // relative to the bank equals old_arrival minus the operand arrival,
+    // conservatively approximated by old_arrival (operands arrive early in
+    // the paper's candidates — first-stage modules).
+    let merged_arrival = data_path.max(activation_path + bank_delay);
+    let estimated_slack = if old_required.is_finite() {
+        old_required - merged_arrival
+    } else {
+        timing.clock_period - merged_arrival
+    };
+    IsolationTimingImpact {
+        bank_delay,
+        activation_path,
+        estimated_slack,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::analyze;
+    use oiso_netlist::{CellKind, NetlistBuilder};
+
+    fn adder_design() -> (Netlist, CellId) {
+        let mut b = NetlistBuilder::new("d");
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let s = b.wire("s", 16);
+        let q = b.wire("q", 16);
+        let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: false }, &[s], q)
+            .unwrap();
+        b.mark_output(q);
+        (b.build().unwrap(), add)
+    }
+
+    #[test]
+    fn isolation_always_costs_slack() {
+        let lib = TechLibrary::generic_250nm();
+        let (n, add) = adder_design();
+        let t = analyze(&lib, &n, Time::from_ns(10.0));
+        let before = t.slack_of_cell(&n, add);
+        for bank in [BankKind::And, BankKind::Or, BankKind::Latch] {
+            let impact =
+                estimate_isolation_slack(&lib, &n, &t, add, bank, 2, 4, Time::ZERO);
+            assert!(impact.estimated_slack < before, "{bank:?}");
+            assert!(impact.bank_delay.as_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn latch_bank_is_slowest() {
+        let lib = TechLibrary::generic_250nm();
+        let (n, add) = adder_design();
+        let t = analyze(&lib, &n, Time::from_ns(10.0));
+        let and =
+            estimate_isolation_slack(&lib, &n, &t, add, BankKind::And, 2, 4, Time::ZERO);
+        let lat =
+            estimate_isolation_slack(&lib, &n, &t, add, BankKind::Latch, 2, 4, Time::ZERO);
+        assert!(lat.bank_delay > and.bank_delay);
+        assert!(lat.estimated_slack <= and.estimated_slack);
+    }
+
+    #[test]
+    fn deeper_activation_logic_costs_more() {
+        let lib = TechLibrary::generic_250nm();
+        let (n, add) = adder_design();
+        let t = analyze(&lib, &n, Time::from_ns(10.0));
+        let shallow =
+            estimate_isolation_slack(&lib, &n, &t, add, BankKind::And, 1, 2, Time::ZERO);
+        let deep = estimate_isolation_slack(
+            &lib,
+            &n,
+            &t,
+            add,
+            BankKind::And,
+            6,
+            12,
+            Time::from_ns(2.0),
+        );
+        assert!(deep.activation_path > shallow.activation_path);
+        assert!(deep.estimated_slack <= shallow.estimated_slack);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_rerun_direction() {
+        // The estimate must at least agree with a real re-analysis on the
+        // *sign* of the slack change when we physically insert a latch bank.
+        let lib = TechLibrary::generic_250nm();
+        let (n, add) = adder_design();
+        let before = analyze(&lib, &n, Time::from_ns(10.0));
+        let est = estimate_isolation_slack(
+            &lib,
+            &n,
+            &before,
+            add,
+            BankKind::Latch,
+            1,
+            1,
+            Time::ZERO,
+        );
+
+        // Physically insert latches on both adder operands.
+        let mut iso = n.clone();
+        let en = iso.add_wire("as_sig", 1).unwrap();
+        let k = iso.add_wire("k1", 1).unwrap();
+        iso.add_cell("kc", CellKind::Const { value: 1 }, &[], k)
+            .unwrap();
+        iso.add_cell("kb", CellKind::Buf, &[k], en).unwrap();
+        for port in 0..2 {
+            let old = iso.cell(add).inputs()[port];
+            let w = iso.add_wire(format!("iso_{port}"), 16).unwrap();
+            iso.add_cell(format!("bank_{port}"), CellKind::Latch, &[old, en], w)
+                .unwrap();
+            iso.rewire_input(add, port, w).unwrap();
+        }
+        iso.validate().unwrap();
+        let after = analyze(&lib, &iso, Time::from_ns(10.0));
+        assert!(after.worst_slack < before.worst_slack);
+        // Estimated slack is within the right ballpark of the exact value.
+        let exact = after.slack_of_cell(&iso, add).as_ns();
+        assert!(
+            (est.estimated_slack.as_ns() - exact).abs() < 1.0,
+            "estimate {} vs exact {exact}",
+            est.estimated_slack
+        );
+    }
+}

@@ -1,0 +1,419 @@
+//! Forward/backward static timing analysis.
+
+use oiso_netlist::{comb_topo_order, CellId, CellKind, NetId, Netlist};
+use oiso_power::compose::{clog2, net_load_per_bit};
+use oiso_techlib::{CellClass, TechLibrary, Time};
+
+/// Propagation delay of one cell instance driving its output net.
+///
+/// `d = intrinsic(kind, width) + R_drive · C_load(output net)`, where the
+/// intrinsic term models the logic depth of the operator (logarithmic for
+/// lookahead adders, multiplier trees, shifters, and mux trees) and the RC
+/// term models fanout loading.
+pub fn cell_delay(lib: &TechLibrary, netlist: &Netlist, cell: CellId) -> Time {
+    let c = netlist.cell(cell);
+    let w = netlist.net(c.output()).width() as usize;
+    let stage = |class: CellClass, stages: f64| {
+        let p = lib.cell(class);
+        Time::from_ns(p.intrinsic_delay.as_ns() * stages)
+    };
+    let (intrinsic, drive_class) = match c.kind() {
+        CellKind::Add | CellKind::Sub => (
+            stage(CellClass::FullAdder, 2.0 + clog2(w) as f64),
+            Some(CellClass::FullAdder),
+        ),
+        CellKind::Mul => (
+            stage(CellClass::MulBit, 4.0 + 2.0 * clog2(w) as f64),
+            Some(CellClass::MulBit),
+        ),
+        CellKind::Shl | CellKind::Shr => (
+            stage(CellClass::ShiftBit, clog2(w) as f64),
+            Some(CellClass::ShiftBit),
+        ),
+        CellKind::Lt | CellKind::Eq => {
+            let iw = netlist.net(c.inputs()[0]).width() as usize;
+            (
+                stage(CellClass::CmpBit, 1.0 + clog2(iw) as f64),
+                Some(CellClass::CmpBit),
+            )
+        }
+        CellKind::Mux => {
+            let n_data = c.inputs().len() - 1;
+            (
+                stage(CellClass::Mux2, clog2(n_data) as f64),
+                Some(CellClass::Mux2),
+            )
+        }
+        CellKind::Reg { has_enable } => {
+            let class = if has_enable {
+                CellClass::DffEnBit
+            } else {
+                CellClass::DffBit
+            };
+            (lib.cell(class).intrinsic_delay, Some(class)) // clk-to-q
+        }
+        CellKind::Latch => (lib.cell(CellClass::LatchBit).intrinsic_delay, Some(CellClass::LatchBit)),
+        CellKind::And | CellKind::RedAnd => (stage(CellClass::And2, fan_stages(c)), Some(CellClass::And2)),
+        CellKind::Or | CellKind::RedOr => (stage(CellClass::Or2, fan_stages(c)), Some(CellClass::Or2)),
+        CellKind::Xor => (stage(CellClass::Xor2, fan_stages(c)), Some(CellClass::Xor2)),
+        CellKind::Not => (lib.cell(CellClass::Inv).intrinsic_delay, Some(CellClass::Inv)),
+        CellKind::Buf => (lib.cell(CellClass::Buf).intrinsic_delay, Some(CellClass::Buf)),
+        CellKind::Const { .. } | CellKind::Slice { .. } | CellKind::Concat | CellKind::Zext => {
+            (Time::ZERO, None)
+        }
+    };
+    let rc = match drive_class {
+        Some(class) => lib
+            .cell(class)
+            .drive_res
+            .rc_delay(net_load_per_bit(lib, netlist, c.output())),
+        None => Time::ZERO,
+    };
+    intrinsic + rc
+}
+
+fn fan_stages(cell: &oiso_netlist::Cell) -> f64 {
+    match cell.kind() {
+        CellKind::RedAnd | CellKind::RedOr => 1.0, // tree depth folded into load
+        _ => clog2(cell.inputs().len()) as f64,
+    }
+}
+
+/// The result of one timing analysis.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Arrival time at every net (ns), indexed by [`NetId::index`].
+    pub arrival: Vec<Time>,
+    /// Required time at every net; `Time::from_ns(f64::INFINITY)` for nets
+    /// with no timed endpoint downstream.
+    pub required: Vec<Time>,
+    /// The clock period the analysis ran at.
+    pub clock_period: Time,
+    /// Worst slack across all endpoints.
+    pub worst_slack: Time,
+}
+
+impl TimingReport {
+    /// Slack at a net: `required − arrival`.
+    pub fn slack_of_net(&self, net: NetId) -> Time {
+        self.required[net.index()] - self.arrival[net.index()]
+    }
+
+    /// Slack of a cell, defined as the slack at its output net — the
+    /// quantity the paper thresholds when rejecting candidates.
+    pub fn slack_of_cell(&self, netlist: &Netlist, cell: CellId) -> Time {
+        self.slack_of_net(netlist.cell(cell).output())
+    }
+
+    /// Relative slack reduction versus a baseline report, in percent
+    /// (positive = this report is slower). Matches the paper's
+    /// "%reduction" slack column.
+    pub fn slack_reduction_percent(&self, baseline: &TimingReport) -> f64 {
+        let base = baseline.worst_slack.as_ns();
+        if base.abs() < f64::EPSILON {
+            return 0.0;
+        }
+        (base - self.worst_slack.as_ns()) / base * 100.0
+    }
+}
+
+impl TimingReport {
+    /// Extracts the critical path: the chain of cells from a timing source
+    /// to the worst-slack endpoint, in source-to-endpoint order. Empty if
+    /// the design has no timed endpoints.
+    pub fn critical_path(&self, netlist: &Netlist) -> Vec<CellId> {
+        // Find the worst-slack *endpoint* net: one that terminates a timing
+        // path (a primary output or a register D/EN pin). Intermediate nets
+        // share the path slack but starting the backward walk anywhere but
+        // the endpoint would truncate the path.
+        let mut worst: Option<(NetId, f64)> = None;
+        for (id, net) in netlist.nets() {
+            if !self.required[id.index()].is_finite() {
+                continue;
+            }
+            let is_endpoint = net.is_primary_output()
+                || net
+                    .loads()
+                    .iter()
+                    .any(|&(load, _)| netlist.cell(load).kind().is_register());
+            if !is_endpoint {
+                continue;
+            }
+            let slack = self.slack_of_net(id).as_ns();
+            if worst.map(|(_, w)| slack < w).unwrap_or(true) {
+                worst = Some((id, slack));
+            }
+        }
+        let Some((mut net, _)) = worst else {
+            return Vec::new();
+        };
+        // Walk backwards: at each net, the driver is on the path; continue
+        // through the input whose arrival dominates.
+        let mut path = Vec::new();
+        while let Some(driver) = netlist.net(net).driver() {
+            path.push(driver);
+            let cell = netlist.cell(driver);
+            if cell.kind().is_register() {
+                break; // timing source reached
+            }
+            let Some(&next) = cell.inputs().iter().max_by(|&&a, &&b| {
+                self.arrival[a.index()]
+                    .as_ns()
+                    .partial_cmp(&self.arrival[b.index()].as_ns())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }) else {
+                break; // constant driver
+            };
+            net = next;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Setup margin required at register D pins: a fixed fraction of the
+/// flip-flop's intrinsic delay.
+fn setup_time(lib: &TechLibrary) -> Time {
+    lib.cell(CellClass::DffBit).intrinsic_delay * 0.5
+}
+
+/// Runs static timing analysis at the given clock period.
+///
+/// Timing sources: primary inputs arrive at t=0; register outputs at
+/// clk-to-q. Timing endpoints: register inputs (D and EN, at
+/// `period − setup`) and primary outputs (at `period`).
+pub fn analyze(lib: &TechLibrary, netlist: &Netlist, clock_period: Time) -> TimingReport {
+    let n_nets = netlist.num_nets();
+    let mut arrival = vec![Time::ZERO; n_nets];
+    let order = comb_topo_order(netlist);
+
+    // Sources: register outputs arrive at clk-to-q.
+    for (cid, cell) in netlist.cells() {
+        if cell.kind().is_register() {
+            arrival[cell.output().index()] = cell_delay(lib, netlist, cid);
+        }
+    }
+    // Forward propagation through combinational cells.
+    for &cid in &order {
+        let cell = netlist.cell(cid);
+        let in_arrival = cell
+            .inputs()
+            .iter()
+            .map(|&n| arrival[n.index()])
+            .fold(Time::ZERO, Time::max);
+        let a = in_arrival + cell_delay(lib, netlist, cid);
+        let out = cell.output().index();
+        arrival[out] = arrival[out].max(a);
+    }
+
+    // Backward propagation of required times.
+    let inf = Time::from_ns(f64::INFINITY);
+    let mut required = vec![inf; n_nets];
+    let setup = setup_time(lib);
+    for (id, net) in netlist.nets() {
+        // Primary outputs must settle within the period; register D/EN pins
+        // must settle a setup margin earlier.
+        if net.is_primary_output() {
+            required[id.index()] = required[id.index()].min(clock_period);
+        }
+        for &(load, _) in net.loads() {
+            if netlist.cell(load).kind().is_register() {
+                required[id.index()] = required[id.index()].min(clock_period - setup);
+            }
+        }
+    }
+    for &cid in order.iter().rev() {
+        let cell = netlist.cell(cid);
+        let out_req = required[cell.output().index()];
+        if !out_req.is_finite() {
+            continue;
+        }
+        let d = cell_delay(lib, netlist, cid);
+        for &inp in cell.inputs() {
+            required[inp.index()] = required[inp.index()].min(out_req - d);
+        }
+    }
+
+    // Worst slack over all nets with a finite required time.
+    let mut worst = inf;
+    for i in 0..n_nets {
+        if required[i].is_finite() {
+            worst = worst.min(required[i] - arrival[i]);
+        }
+    }
+    if !worst.is_finite() {
+        worst = clock_period; // no endpoints: trivially met
+    }
+    TimingReport {
+        arrival,
+        required,
+        clock_period,
+        worst_slack: worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::NetlistBuilder;
+
+    fn lib() -> TechLibrary {
+        TechLibrary::generic_250nm()
+    }
+
+    fn reg_sandwich(mid: impl FnOnce(&mut NetlistBuilder, NetId, NetId) -> NetId) -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let qx = b.wire("qx", 16);
+        let qy = b.wire("qy", 16);
+        b.cell("rx", CellKind::Reg { has_enable: false }, &[x], qx)
+            .unwrap();
+        b.cell("ry", CellKind::Reg { has_enable: false }, &[y], qy)
+            .unwrap();
+        let out = mid(&mut b, qx, qy);
+        let q = b.wire("q", 16);
+        b.cell("rq", CellKind::Reg { has_enable: false }, &[out], q)
+            .unwrap();
+        b.mark_output(q);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adder_path_meets_10ns() {
+        let n = reg_sandwich(|b, x, y| {
+            let s = b.wire("s", 16);
+            b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+            s
+        });
+        let r = analyze(&lib(), &n, Time::from_ns(10.0));
+        assert!(r.worst_slack.as_ns() > 0.0, "slack {}", r.worst_slack);
+        assert!(r.worst_slack.as_ns() < 10.0);
+    }
+
+    #[test]
+    fn multiplier_is_slower_than_adder() {
+        let na = reg_sandwich(|b, x, y| {
+            let s = b.wire("s", 16);
+            b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+            s
+        });
+        let nm = reg_sandwich(|b, x, y| {
+            let s = b.wire("s", 16);
+            b.cell("mul", CellKind::Mul, &[x, y], s).unwrap();
+            s
+        });
+        let ra = analyze(&lib(), &na, Time::from_ns(10.0));
+        let rm = analyze(&lib(), &nm, Time::from_ns(10.0));
+        assert!(rm.worst_slack < ra.worst_slack);
+    }
+
+    #[test]
+    fn deeper_logic_reduces_slack() {
+        let one = reg_sandwich(|b, x, y| {
+            let s = b.wire("s", 16);
+            b.cell("a1", CellKind::Add, &[x, y], s).unwrap();
+            s
+        });
+        let two = reg_sandwich(|b, x, y| {
+            let s1 = b.wire("s1", 16);
+            let s2 = b.wire("s2", 16);
+            b.cell("a1", CellKind::Add, &[x, y], s1).unwrap();
+            b.cell("a2", CellKind::Add, &[s1, y], s2).unwrap();
+            s2
+        });
+        let r1 = analyze(&lib(), &one, Time::from_ns(10.0));
+        let r2 = analyze(&lib(), &two, Time::from_ns(10.0));
+        assert!(r2.worst_slack < r1.worst_slack);
+        assert!(r2.slack_reduction_percent(&r1) > 0.0);
+    }
+
+    #[test]
+    fn slack_of_cell_reads_output_net() {
+        let n = reg_sandwich(|b, x, y| {
+            let s = b.wire("s", 16);
+            b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+            s
+        });
+        let r = analyze(&lib(), &n, Time::from_ns(10.0));
+        let add = n.find_cell("add").unwrap();
+        let s = n.find_net("s").unwrap();
+        assert_eq!(r.slack_of_cell(&n, add), r.slack_of_net(s));
+        // The adder's slack is the worst path here (single path design).
+        assert!((r.slack_of_cell(&n, add).as_ns() - r.worst_slack.as_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nets_without_endpoints_have_infinite_required() {
+        // A dangling buffer output: no PO, no register load.
+        let mut b = NetlistBuilder::new("d");
+        let x = b.input("x", 4);
+        let o = b.wire("o", 4);
+        let dangle = b.wire("dangle", 4);
+        b.cell("b1", CellKind::Buf, &[x], o).unwrap();
+        b.cell("b2", CellKind::Buf, &[x], dangle).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let r = analyze(&lib(), &n, Time::from_ns(5.0));
+        assert!(!r.required[dangle.index()].is_finite());
+        assert!(r.slack_of_net(o).is_finite());
+    }
+
+    #[test]
+    fn critical_path_walks_the_slow_chain() {
+        // Two parallel paths: a multiplier (slow) and a buffer (fast) into
+        // separate registers. The critical path must run through the mul.
+        let mut b = NetlistBuilder::new("cp");
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let p = b.wire("p", 16);
+        let f = b.wire("f", 16);
+        let q1 = b.wire("q1", 16);
+        let q2 = b.wire("q2", 16);
+        b.cell("mul", CellKind::Mul, &[x, y], p).unwrap();
+        b.cell("fast", CellKind::Buf, &[x], f).unwrap();
+        b.cell("r1", CellKind::Reg { has_enable: false }, &[p], q1)
+            .unwrap();
+        b.cell("r2", CellKind::Reg { has_enable: false }, &[f], q2)
+            .unwrap();
+        b.mark_output(q1);
+        b.mark_output(q2);
+        let n = b.build().unwrap();
+        let r = analyze(&lib(), &n, Time::from_ns(10.0));
+        let path = r.critical_path(&n);
+        let names: Vec<&str> = path.iter().map(|&c| n.cell(c).name()).collect();
+        assert!(names.contains(&"mul"), "{names:?}");
+        assert!(!names.contains(&"fast"), "{names:?}");
+    }
+
+    #[test]
+    fn critical_path_starts_at_register_sources() {
+        let n = reg_sandwich(|b, x, y| {
+            let s1 = b.wire("s1", 16);
+            let s2 = b.wire("s2", 16);
+            b.cell("a1", CellKind::Add, &[x, y], s1).unwrap();
+            b.cell("a2", CellKind::Add, &[s1, y], s2).unwrap();
+            s2
+        });
+        let r = analyze(&lib(), &n, Time::from_ns(10.0));
+        let path = r.critical_path(&n);
+        let names: Vec<&str> = path.iter().map(|&c| n.cell(c).name()).collect();
+        // Source register, both adders, in order.
+        assert!(names.len() >= 3, "{names:?}");
+        let a1 = names.iter().position(|&n| n == "a1").unwrap();
+        let a2 = names.iter().position(|&n| n == "a2").unwrap();
+        assert!(a1 < a2, "{names:?}");
+        assert!(n.cell(path[0]).kind().is_register(), "{names:?}");
+    }
+
+    #[test]
+    fn impossible_clock_yields_negative_slack() {
+        let n = reg_sandwich(|b, x, y| {
+            let s = b.wire("s", 16);
+            b.cell("mul", CellKind::Mul, &[x, y], s).unwrap();
+            s
+        });
+        let r = analyze(&lib(), &n, Time::from_ns(1.0));
+        assert!(r.worst_slack.as_ns() < 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Scenario: a control-dominated ALU at varying instruction-valid duty
+//! cycles — the paper's Section 1 motivating workload.
+//!
+//! Shows how the achievable power reduction grows as the ALU idles more,
+//! and how the optimizer's decisions adapt (at high utilization, isolating
+//! stops paying and the cost function rejects candidates).
+//!
+//! ```sh
+//! cargo run --release --example alu_duty_sweep
+//! ```
+
+use operand_isolation::core::{optimize, IsolationConfig, IsolationStyle};
+use operand_isolation::designs::alu_ctrl::{build, AluParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>6} | {:>9} {:>6} | {:>9} {:>6}",
+        "duty", "AND %red", "#iso", "LAT %red", "#iso"
+    );
+    for duty in [0.05, 0.2, 0.4, 0.6, 0.8, 0.95] {
+        let design = build(&AluParams {
+            width: 16,
+            valid_duty: duty,
+        });
+        let mut row = format!("{duty:>6.2} |");
+        for style in [IsolationStyle::And, IsolationStyle::Latch] {
+            let config = IsolationConfig::default()
+                .with_style(style)
+                .with_sim_cycles(1500);
+            let outcome = optimize(&design.netlist, &design.stimuli, &config)?;
+            row.push_str(&format!(
+                " {:>8.2}% {:>6} |",
+                outcome.power_reduction_percent(),
+                outcome.num_isolated()
+            ));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nEven at full utilization the mux-selected ALU keeps redundant \
+         units busy,\nso isolation still pays; the savings grow further as \
+         the valid duty drops."
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run the full operand-isolation flow on the paper's Figure 1
+//! circuit.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use operand_isolation::core::{
+    derive_activation_functions, optimize, ActivationConfig, IsolationConfig,
+    IsolationStyle,
+};
+use operand_isolation::designs::figure1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the paper's running example (two adders, three muxes, two
+    //    enabled registers) together with representative stimuli.
+    let design = figure1::build();
+    println!(
+        "design `{}`: {} cells, {} arithmetic candidates",
+        design.netlist.name(),
+        design.netlist.num_cells(),
+        design.netlist.arithmetic_cells().count()
+    );
+
+    // 2. Derive the activation functions (Section 3 of the paper). For
+    //    Figure 1 these are exactly AS_a0 = G0 and
+    //    AS_a1 = !S2&G1 + !S0&S1&G0.
+    let acts = derive_activation_functions(&design.netlist, &ActivationConfig::default());
+    for name in ["a0", "a1"] {
+        let cell = design.netlist.find_cell(name).expect("figure1 adder");
+        println!("AS_{name} = {}", acts[&cell]);
+    }
+
+    // 3. Run Algorithm 1 with each isolation style and compare.
+    for style in IsolationStyle::ALL {
+        let config = IsolationConfig::default()
+            .with_style(style)
+            .with_sim_cycles(2000);
+        let outcome = optimize(&design.netlist, &design.stimuli, &config)?;
+        println!(
+            "{:<13} {} isolated, power {:.3} -> {:.3} mW ({:+.1}%), area {:+.1}%",
+            style.label(),
+            outcome.num_isolated(),
+            outcome.power_before.as_mw(),
+            outcome.power_after.as_mw(),
+            -outcome.power_reduction_percent(),
+            outcome.area_increase_percent()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Scenario: a designer's power/timing report for a larger block.
+//!
+//! Runs the composite SoC datapath through simulation, power estimation,
+//! and timing analysis, prints a per-unit power ranking and the critical
+//! path, then shows what the isolation flow changes.
+//!
+//! ```sh
+//! cargo run --release --example soc_report
+//! ```
+
+use operand_isolation::core::{optimize, IsolationConfig, IsolationStyle};
+use operand_isolation::designs::soc::{build, SocParams};
+use operand_isolation::power::PowerEstimator;
+use operand_isolation::sim::Testbench;
+use operand_isolation::techlib::{OperatingConditions, TechLibrary};
+use operand_isolation::timing::analyze;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = build(&SocParams {
+        width: 16,
+        clusters: 4,
+        taps: 4,
+    });
+    let lib = TechLibrary::generic_250nm();
+    let cond = OperatingConditions::default();
+
+    // Simulate and rank the consumers.
+    let report = Testbench::from_plan(&design.netlist, &design.stimuli)?.run(3000)?;
+    let breakdown = PowerEstimator::new(&lib, cond).estimate(&design.netlist, &report);
+    println!(
+        "soc: {} cells, {} total ({} leakage, {} clock)",
+        design.netlist.num_cells(),
+        breakdown.total,
+        breakdown.leakage,
+        breakdown.clock
+    );
+    let mut ranked: Vec<_> = design
+        .netlist
+        .cells()
+        .map(|(id, c)| (breakdown.cell_power(id), c.name()))
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite power"));
+    println!("top consumers:");
+    for (p, name) in ranked.iter().take(6) {
+        println!("  {name:<14} {p}");
+    }
+
+    // Timing: where is the critical path?
+    let timing = analyze(&lib, &design.netlist, cond.clock_period());
+    let path: Vec<&str> = timing
+        .critical_path(&design.netlist)
+        .into_iter()
+        .map(|c| design.netlist.cell(c).name())
+        .collect();
+    println!(
+        "worst slack {} through: {}",
+        timing.worst_slack,
+        path.join(" -> ")
+    );
+
+    // Isolate and compare.
+    let config = IsolationConfig::default()
+        .with_style(IsolationStyle::And)
+        .with_fsm_dont_cares(true)
+        .with_sim_cycles(3000);
+    let outcome = optimize(&design.netlist, &design.stimuli, &config)?;
+    println!("{outcome}");
+    println!(
+        "isolated: {}",
+        outcome
+            .isolated
+            .iter()
+            .map(|r| outcome.netlist.cell(r.candidate).name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
+}

@@ -1,0 +1,262 @@
+//! `oiso` — operand isolation from the command line.
+//!
+//! ```text
+//! oiso show       <design.oiso>                      # structure + stats
+//! oiso activation <design.oiso> [--lookahead]        # activation functions
+//! oiso simulate   <design.oiso> [--cycles N]         # power/timing report
+//! oiso isolate    <design.oiso> [--style and|or|latch]
+//!                 [--cycles N] [--lookahead] [--out isolated.oiso]
+//!                 [--verilog out.v] [--dot out.dot]
+//! oiso optimize   <design.oiso> [--out cleaned.oiso]   # const-fold + sweep
+//! ```
+//!
+//! Design files use the text format documented in
+//! [`operand_isolation::designs::textfmt`]; see `examples/cmac.oiso`.
+
+use operand_isolation::boolex::Signal;
+use operand_isolation::core::{
+    derive_activation_functions, optimize, ActivationConfig, IsolationConfig,
+    IsolationStyle,
+};
+use operand_isolation::designs::textfmt;
+use operand_isolation::designs::Design;
+use operand_isolation::netlist::{dot, verilog, NetlistStats};
+use operand_isolation::power::{total_area, PowerEstimator};
+use operand_isolation::sim::Testbench;
+use operand_isolation::techlib::{OperatingConditions, TechLibrary};
+use operand_isolation::timing::analyze;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    command: String,
+    file: String,
+    style: IsolationStyle,
+    cycles: u64,
+    lookahead: bool,
+    fsm_dc: bool,
+    out: Option<String>,
+    verilog: Option<String>,
+    dot: Option<String>,
+}
+
+const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize> <design.oiso> \
+                     [--style and|or|latch] [--cycles N] [--lookahead] [--fsm-dc] \
+                     [--out FILE] [--verilog FILE] [--dot FILE]";
+
+fn parse_options() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or(USAGE)?;
+    if command == "--help" || command == "-h" {
+        return Err(USAGE.to_string());
+    }
+    let file = args.next().ok_or(USAGE)?;
+    let mut opts = Options {
+        command,
+        file,
+        style: IsolationStyle::And,
+        cycles: 3000,
+        lookahead: false,
+        fsm_dc: false,
+        out: None,
+        verilog: None,
+        dot: None,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--style" => {
+                opts.style = match args.next().as_deref() {
+                    Some("and") => IsolationStyle::And,
+                    Some("or") => IsolationStyle::Or,
+                    Some("latch") => IsolationStyle::Latch,
+                    other => {
+                        return Err(format!(
+                            "--style needs and|or|latch, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--cycles" => {
+                opts.cycles = args
+                    .next()
+                    .ok_or("--cycles needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cycles: {e}"))?;
+            }
+            "--lookahead" => opts.lookahead = true,
+            "--fsm-dc" => opts.fsm_dc = true,
+            "--out" => opts.out = Some(args.next().ok_or("--out needs a path")?),
+            "--verilog" => {
+                opts.verilog = Some(args.next().ok_or("--verilog needs a path")?)
+            }
+            "--dot" => opts.dot = Some(args.next().ok_or("--dot needs a path")?),
+            other => return Err(format!("unknown flag `{other}` ({USAGE})")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load(path: &str) -> Result<Design, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    textfmt::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn activation_config(lookahead: bool) -> ActivationConfig {
+    if lookahead {
+        ActivationConfig::default().with_lookahead()
+    } else {
+        ActivationConfig::default()
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_options()?;
+    let design = load(&opts.file)?;
+    let netlist = &design.netlist;
+
+    match opts.command.as_str() {
+        "show" => {
+            println!("design `{}`", netlist.name());
+            print!("{}", NetlistStats::of(netlist));
+            let blocks = operand_isolation::netlist::partition_into_blocks(netlist);
+            println!("  {} combinational block(s)", blocks.len());
+            for fsm in operand_isolation::core::find_closed_fsms(netlist) {
+                println!(
+                    "  closed FSM `{}`: {} reachable state(s){}",
+                    netlist.cell(fsm.state_reg).name(),
+                    fsm.num_states(),
+                    if fsm.complete { "" } else { " (truncated)" }
+                );
+            }
+        }
+        "activation" => {
+            let acts =
+                derive_activation_functions(netlist, &activation_config(opts.lookahead));
+            let fsms = if opts.fsm_dc {
+                operand_isolation::core::find_closed_fsms(netlist)
+            } else {
+                Vec::new()
+            };
+            let name_of = |s: Signal| {
+                let net = netlist.net(s.net);
+                if net.width() == 1 {
+                    net.name().to_string()
+                } else {
+                    format!("{}[{}]", net.name(), s.bit)
+                }
+            };
+            let mut rows: Vec<_> = netlist
+                .arithmetic_cells()
+                .map(|cid| (netlist.cell(cid).name().to_string(), &acts[&cid]))
+                .collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            for (name, act) in rows {
+                // Print the form the transform will implement: minimized,
+                // with FSM don't-cares when requested.
+                let refined = operand_isolation::core::refine_with_fsm_dont_cares(
+                    netlist, &fsms, act,
+                );
+                let minimized = operand_isolation::boolex::minimize(&refined);
+                println!("AS_{name} = {}", minimized.render(&name_of));
+            }
+        }
+        "simulate" => {
+            let lib = TechLibrary::generic_250nm();
+            let cond = OperatingConditions::default();
+            let report = Testbench::from_plan(netlist, &design.stimuli)
+                .map_err(|e| e.to_string())?
+                .run(opts.cycles)
+                .map_err(|e| e.to_string())?;
+            let breakdown = PowerEstimator::new(&lib, cond).estimate(netlist, &report);
+            let timing = analyze(&lib, netlist, cond.clock_period());
+            println!(
+                "power {} (leakage {}, clock {}), area {}, worst slack {}",
+                breakdown.total,
+                breakdown.leakage,
+                breakdown.clock,
+                total_area(&lib, netlist),
+                timing.worst_slack
+            );
+            let mut cells: Vec<_> = netlist
+                .cells()
+                .map(|(id, c)| (breakdown.cell_power(id), c.name().to_string()))
+                .collect();
+            cells.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            println!("top consumers:");
+            for (p, name) in cells.into_iter().take(8) {
+                println!("  {name:<20} {p}");
+            }
+        }
+        "isolate" => {
+            let mut config = IsolationConfig::default()
+                .with_style(opts.style)
+                .with_sim_cycles(opts.cycles)
+                .with_fsm_dont_cares(opts.fsm_dc);
+            config.activation = activation_config(opts.lookahead);
+            let outcome =
+                optimize(netlist, &design.stimuli, &config).map_err(|e| e.to_string())?;
+            print!("{outcome}");
+            for record in &outcome.isolated {
+                println!(
+                    "  isolated `{}` ({} bits, {} style)",
+                    outcome.netlist.cell(record.candidate).name(),
+                    record.isolated_bits,
+                    record.style
+                );
+            }
+            if let Some(path) = &opts.out {
+                let out_design = Design {
+                    netlist: outcome.netlist.clone(),
+                    stimuli: design.stimuli.clone(),
+                };
+                std::fs::write(path, textfmt::emit(&out_design))
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                println!("wrote {path}");
+            }
+            if let Some(path) = &opts.verilog {
+                std::fs::write(path, verilog::to_verilog(&outcome.netlist))
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                println!("wrote {path}");
+            }
+            if let Some(path) = &opts.dot {
+                std::fs::write(path, dot::to_dot(&outcome.netlist))
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                println!("wrote {path}");
+            }
+        }
+        "optimize" => {
+            let (cleaned, stats) = operand_isolation::netlist::optimize_netlist(netlist)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "removed {} dead cell(s), folded {} constant(s), collapsed {} mux(es): \
+                 {} -> {} cells",
+                stats.dead_cells,
+                stats.folded_cells,
+                stats.collapsed_muxes,
+                netlist.num_cells(),
+                cleaned.num_cells()
+            );
+            if let Some(path) = &opts.out {
+                let out_design = Design {
+                    netlist: cleaned,
+                    stimuli: design.stimuli.clone(),
+                };
+                std::fs::write(path, textfmt::emit(&out_design))
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                println!("wrote {path}");
+            }
+        }
+        other => return Err(format!("unknown command `{other}` ({USAGE})")),
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Automated RT-level operand isolation for datapath power minimization.
+//!
+//! This is the facade crate of the workspace reproducing:
+//!
+//! > M. Münch, B. Wurth, R. Mehra, J. Sproch, N. Wehn,
+//! > *"Automating RT-Level Operand Isolation to Minimize Power Consumption
+//! > in Datapaths"*, DATE 2000.
+//!
+//! It re-exports every sub-crate under one roof so applications can depend
+//! on a single package. See `README.md` for the architecture overview and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction details.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use operand_isolation::designs;
+//! use operand_isolation::core::{IsolationConfig, IsolationStyle, optimize};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the paper's Figure 1 circuit and run Algorithm 1 on it.
+//! let design = designs::figure1::build();
+//! let config = IsolationConfig::default().with_style(IsolationStyle::And);
+//! let outcome = optimize(&design.netlist, &design.stimuli, &config)?;
+//! println!("saved {:.1}% power", outcome.power_reduction_percent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// RT-level netlist intermediate representation.
+pub use oiso_netlist as netlist;
+
+/// Boolean expressions and BDDs for activation functions.
+pub use oiso_boolex as boolex;
+
+/// Cycle-based RTL simulation with switching statistics.
+pub use oiso_sim as sim;
+
+/// Technology library (area / capacitance / delay / energy).
+pub use oiso_techlib as techlib;
+
+/// Power estimation (macro models + switched capacitance).
+pub use oiso_power as power;
+
+/// Static timing analysis.
+pub use oiso_timing as timing;
+
+/// The operand-isolation algorithm itself.
+pub use oiso_core as core;
+
+/// Benchmark designs (Figure 1, design1, design2, ...).
+pub use oiso_designs as designs;

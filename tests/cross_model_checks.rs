@@ -1,0 +1,110 @@
+//! Cross-model consistency checks at design level: the analytic activity
+//! estimator, the cycle simulator, and the optimizer must tell one story.
+
+use operand_isolation::core::{optimize, IsolationConfig};
+use operand_isolation::designs::random::{build, RandomParams};
+use operand_isolation::designs::{figure1, Design};
+use operand_isolation::netlist::NetId;
+use operand_isolation::sim::analytic::{propagate, spec_stats, BitStats};
+use operand_isolation::sim::Testbench;
+use std::collections::HashMap;
+
+fn analytic_inputs(design: &Design) -> HashMap<NetId, Vec<BitStats>> {
+    let mut stats = HashMap::new();
+    for (name, spec) in &design.stimuli.drivers {
+        let net = design.netlist.find_net(name).expect("input");
+        stats.insert(net, spec_stats(spec, design.netlist.net(net).width()));
+    }
+    stats
+}
+
+#[test]
+fn analytic_estimator_tracks_simulation_on_figure1() {
+    let design = figure1::build();
+    let est = propagate(&design.netlist, &analytic_inputs(&design));
+    let report = Testbench::from_plan(&design.netlist, &design.stimuli)
+        .expect("plan")
+        .run(20_000)
+        .expect("run");
+    // The adders' output activity (the quantity the power model consumes)
+    // must agree within 15% — good enough for pre-screening candidates
+    // without a simulation run.
+    for net_name in ["sum0", "sum1", "m0o", "m1o", "m2o"] {
+        let net = design.netlist.find_net(net_name).expect("net");
+        let a = est.toggle_rate(net);
+        let s = report.toggle_rate(net);
+        assert!(
+            (a - s).abs() / s.max(0.1) < 0.15,
+            "{net_name}: analytic {a:.3} vs simulated {s:.3}"
+        );
+    }
+}
+
+#[test]
+fn analytic_estimator_is_feasible_on_random_designs() {
+    // On arbitrary designs (with reconvergence, feedback, every cell kind)
+    // the estimator must stay within the physically feasible region.
+    for seed in 0..12 {
+        let design = build(&RandomParams {
+            seed,
+            ops: 8,
+            width: 8,
+        });
+        let est = propagate(&design.netlist, &analytic_inputs(&design));
+        for (net, _) in design.netlist.nets() {
+            for bit in est.bits(net) {
+                assert!(
+                    (0.0..=1.0).contains(&bit.p),
+                    "seed {seed}: p = {} out of range",
+                    bit.p
+                );
+                assert!(
+                    bit.tr >= 0.0 && bit.tr <= 2.0 * bit.p.min(1.0 - bit.p) + 1e-9,
+                    "seed {seed}: infeasible (p={}, tr={})",
+                    bit.p,
+                    bit.tr
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn large_random_designs_optimize_in_one_piece() {
+    // Stress: a 40-operator random design through the full flow, with the
+    // behavioral-equivalence check that backs every other test.
+    let design = build(&RandomParams {
+        seed: 4242,
+        ops: 40,
+        width: 12,
+    });
+    assert!(design.netlist.num_cells() > 60);
+    let config = IsolationConfig::default().with_sim_cycles(400);
+    let outcome = optimize(&design.netlist, &design.stimuli, &config).expect("optimize");
+    outcome.netlist.validate().expect("valid");
+
+    let trace = |netlist: &operand_isolation::netlist::Netlist| {
+        let mut tb = Testbench::from_plan(netlist, &design.stimuli).expect("plan");
+        let mut names: Vec<String> = netlist
+            .primary_outputs()
+            .iter()
+            .map(|&po| netlist.net(po).name().to_string())
+            .collect();
+        names.sort();
+        for n in &names {
+            tb.capture(netlist.find_net(n).expect("po"));
+        }
+        let r = tb.run(600).expect("run");
+        names
+            .iter()
+            .map(|n| r.trace(netlist.find_net(n).unwrap()).unwrap().to_vec())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(trace(&design.netlist), trace(&outcome.netlist));
+    // A random gated design of this size always has *some* candidate.
+    assert!(
+        outcome.num_isolated() >= 1,
+        "{} candidates, 0 isolated",
+        design.netlist.arithmetic_cells().count()
+    );
+}

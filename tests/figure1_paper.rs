@@ -1,0 +1,150 @@
+//! EXP-F1: the paper's Section 3 worked example, end to end.
+//!
+//! Validates that the implementation reproduces the *published* activation
+//! functions and multiplexing function of Figures 1–2, and that applying
+//! latch isolation as in Figure 2 leaves the architected behavior
+//! untouched while blocking operand activity.
+
+use operand_isolation::boolex::{Bdd, BoolExpr, Signal};
+use operand_isolation::core::{
+    derive_activation_functions, isolate, multiplexing_functions, ActivationConfig,
+    IsolationStyle,
+};
+use operand_isolation::designs::figure1;
+use operand_isolation::netlist::Netlist;
+use operand_isolation::sim::Testbench;
+
+fn var(n: &Netlist, name: &str) -> BoolExpr {
+    BoolExpr::var(Signal::bit0(n.find_net(name).expect("net")))
+}
+
+#[test]
+fn published_activation_functions() {
+    let design = figure1::build();
+    let n = &design.netlist;
+    let acts = derive_activation_functions(n, &ActivationConfig::default());
+    let mut bdd = Bdd::new();
+
+    // AS_a0 = G0.
+    let a0 = n.find_cell("a0").expect("a0");
+    assert!(
+        bdd.equivalent(&acts[&a0], &var(n, "G0")),
+        "AS_a0 = {}, expected G0",
+        acts[&a0]
+    );
+
+    // AS_a1 = !S2·G1 + !S0·S1·G0.
+    let a1 = n.find_cell("a1").expect("a1");
+    let expected = BoolExpr::or2(
+        BoolExpr::and2(var(n, "S2").not(), var(n, "G1")),
+        BoolExpr::and(vec![var(n, "S0").not(), var(n, "S1"), var(n, "G0")]),
+    );
+    assert!(
+        bdd.equivalent(&acts[&a1], &expected),
+        "AS_a1 = {}, expected !S2&G1 + !S0&S1&G0",
+        acts[&a1]
+    );
+}
+
+#[test]
+fn published_multiplexing_function() {
+    // g^{a1}_{a0,A} = !S0·S1 (the condition under which a1 reaches a0's
+    // input A through the m1/m0 network).
+    let design = figure1::build();
+    let n = &design.netlist;
+    let a0 = n.find_cell("a0").expect("a0");
+    let a1 = n.find_cell("a1").expect("a1");
+    let paths = multiplexing_functions(n, a0, 0);
+    assert_eq!(paths.len(), 1);
+    assert_eq!(paths[0].fanin, a1);
+    let expected = BoolExpr::and2(var(n, "S0").not(), var(n, "S1"));
+    let mut bdd = Bdd::new();
+    assert!(
+        bdd.equivalent(&paths[0].condition, &expected),
+        "g = {}",
+        paths[0].condition
+    );
+}
+
+#[test]
+fn figure2_latch_isolation_preserves_architected_traces() {
+    // Figure 2 of the paper: both adders isolated with transparent latches.
+    // The register outputs (the architected state) must be bit-identical
+    // for the same stimulus, while the adder operands go quiet.
+    let reference = figure1::build();
+    let ref_n = &reference.netlist;
+
+    let mut isolated = figure1::build().netlist;
+    let acts = derive_activation_functions(&isolated, &ActivationConfig::default());
+    for name in ["a0", "a1"] {
+        let cell = isolated.find_cell(name).expect("adder");
+        let act = acts[&cell].clone();
+        isolate(&mut isolated, cell, &act, IsolationStyle::Latch).expect("isolate");
+    }
+    isolated.validate().expect("still well-formed");
+
+    let cycles = 2000;
+    let run = |n: &Netlist| {
+        let mut tb = Testbench::from_plan(n, &reference.stimuli).expect("plan");
+        for po in ["q0", "q1"] {
+            tb.capture(n.find_net(po).expect("po"));
+        }
+        tb.run(cycles).expect("run")
+    };
+    let ref_report = run(ref_n);
+    let iso_report = run(&isolated);
+
+    for po in ["q0", "q1"] {
+        let a = ref_report.trace(ref_n.find_net(po).unwrap()).unwrap();
+        let b = iso_report.trace(isolated.find_net(po).unwrap()).unwrap();
+        assert_eq!(a, b, "architected trace of {po} diverged under isolation");
+    }
+
+    // Operand activity at a1's inputs must drop (Figure 2's entire point).
+    let a1_ref = ref_n.find_cell("a1").unwrap();
+    let a1_iso = isolated.find_cell("a1").unwrap();
+    let ref_toggles: u64 = ref_n
+        .cell(a1_ref)
+        .inputs()
+        .iter()
+        .map(|&net| ref_report.toggle_count(net))
+        .sum();
+    let iso_toggles: u64 = isolated
+        .cell(a1_iso)
+        .inputs()
+        .iter()
+        .map(|&net| iso_report.toggle_count(net))
+        .sum();
+    assert!(
+        iso_toggles < ref_toggles,
+        "isolation must reduce operand activity: {iso_toggles} vs {ref_toggles}"
+    );
+}
+
+#[test]
+fn activation_signal_matches_observability_ground_truth() {
+    // Dynamic validation of the derived AS_a1: in any cycle where AS_a1
+    // evaluates 0, perturbing a1's output must not change what the
+    // registers load at the next edge. We check the contrapositive
+    // statistically: whenever r1 loads a value routed from a1, AS_a1 was 1.
+    let design = figure1::build();
+    let n = &design.netlist;
+    let acts = derive_activation_functions(n, &ActivationConfig::default());
+    let a1 = n.find_cell("a1").expect("a1");
+
+    let mut tb = Testbench::from_plan(n, &design.stimuli).expect("plan");
+    // r1 loads a1's value iff G1=1 and S2=0 (m2 routes a1). That implies
+    // observability, so it must imply AS_a1.
+    let consumes = BoolExpr::and2(
+        var(n, "G1"),
+        var(n, "S2").not(),
+    );
+    let violation = BoolExpr::and2(consumes, acts[&a1].clone().not());
+    tb.monitor("violation", violation);
+    let report = tb.run(5000).expect("run");
+    assert_eq!(
+        report.monitor_count("violation"),
+        Some(0),
+        "a consumed result was marked redundant — unsound activation function"
+    );
+}

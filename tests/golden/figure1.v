@@ -1,0 +1,48 @@
+module figure1 (
+  clk,
+  A,
+  B,
+  C,
+  D,
+  E,
+  F,
+  S0,
+  S1,
+  S2,
+  G0,
+  G1,
+  q0,
+  q1
+);
+  input clk;
+  input [15:0] A;
+  input [15:0] B;
+  input [15:0] C;
+  input [15:0] D;
+  input [15:0] E;
+  input [15:0] F;
+  input S0;
+  input S1;
+  input S2;
+  input G0;
+  input G1;
+  output [15:0] q0;
+  output [15:0] q1;
+  wire [15:0] sum1;
+  wire [15:0] m1o;
+  wire [15:0] m0o;
+  wire [15:0] sum0;
+  wire [15:0] m2o;
+  reg  [15:0] q0;
+  reg  [15:0] q1;
+
+  assign sum1 = A + B; // a1
+  assign m1o = (S1 == 0) ? D : (sum1); // m1
+  assign m0o = (S0 == 0) ? m1o : (C); // m0
+  assign sum0 = m0o + E; // a0
+  assign m2o = (S2 == 0) ? sum1 : (F); // m2
+  always @(posedge clk) // r0
+    if (G0) q0 <= sum0;
+  always @(posedge clk) // r1
+    if (G1) q1 <= m2o;
+endmodule

@@ -1,0 +1,58 @@
+//! Golden-file tests for the exporters: the emitted Verilog and `.oiso`
+//! text of the paper's Figure 1 circuit are pinned, so any accidental
+//! change to export formatting (or to the Figure 1 topology itself) is
+//! caught.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_exports`.
+
+use operand_isolation::designs::{figure1, textfmt};
+use operand_isolation::netlist::verilog;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name}: {e}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected, actual,
+        "golden {name} diverged; run with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn figure1_verilog_is_stable() {
+    let design = figure1::build();
+    check_golden("figure1.v", &verilog::to_verilog(&design.netlist));
+}
+
+#[test]
+fn figure1_oiso_text_is_stable() {
+    let design = figure1::build();
+    check_golden("figure1.oiso", &textfmt::emit(&design));
+}
+
+#[test]
+fn goldens_contain_the_figure_structure() {
+    // Sanity on the pinned files themselves (defends against an empty or
+    // truncated golden slipping in through UPDATE_GOLDEN).
+    let v = std::fs::read_to_string(golden_path("figure1.v")).expect("golden verilog");
+    assert!(v.contains("module figure1"));
+    assert!(v.contains("sum1 = A + B"), "{v}");
+    assert!(v.contains("if (G0) q0 <= sum0;"), "{v}");
+    assert!(v.contains("endmodule"));
+    let t = std::fs::read_to_string(golden_path("figure1.oiso")).expect("golden oiso");
+    assert!(t.contains("design figure1"));
+    assert!(t.contains("cell a1 add A B -> sum1"), "{t}");
+    let reparsed = textfmt::parse(&t).expect("golden must reparse");
+    assert_eq!(reparsed.netlist.num_cells(), 7);
+}

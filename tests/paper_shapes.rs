@@ -1,0 +1,167 @@
+//! Shape tests for every experiment: the qualitative results the paper
+//! reports must hold in the reproduction (who wins, by roughly what factor,
+//! where crossovers fall). Absolute mW/µm² values are *not* compared — our
+//! substrate is a simulator plus a generic library, not the authors'
+//! testbed; see EXPERIMENTS.md.
+
+use oiso_bench::{ablation, baselines, styles, sweep, tables};
+use operand_isolation::core::IsolationConfig;
+use operand_isolation::designs::{busnet, design1, design2};
+
+fn config() -> IsolationConfig {
+    IsolationConfig::default().with_sim_cycles(1200)
+}
+
+#[test]
+fn exp_t1_design1_shape() {
+    let design = design1::build(&design1::Design1Params::default());
+    let rows = tables::paper_table(&design, &config()).expect("table1");
+    let (base, and, or, lat) = (&rows[0], &rows[1], &rows[2], &rows[3]);
+    assert_eq!(base.label, "non-isolated");
+
+    // Every style saves double-digit power on design1 (paper: 12-20%).
+    for row in [and, or, lat] {
+        assert!(
+            row.power_reduction_pct > 10.0,
+            "{}: {:.2}%",
+            row.label,
+            row.power_reduction_pct
+        );
+        assert!(row.power_mw < base.power_mw);
+        assert!(row.area_um2 > base.area_um2);
+    }
+    // Latch banks cost several times the gate-bank area (paper: 7.29% vs
+    // 1.62%/1.28% on design1).
+    assert!(
+        lat.area_increase_pct > 2.0 * and.area_increase_pct,
+        "LAT area {:.2}% vs AND {:.2}%",
+        lat.area_increase_pct,
+        and.area_increase_pct
+    );
+    // Gate-style area overhead stays small (paper: "as low as 1.3%").
+    assert!(and.area_increase_pct < 8.0, "{:.2}%", and.area_increase_pct);
+    // Slack degrades but the design still meets timing.
+    for row in [and, or, lat] {
+        assert!(row.slack_ns > 0.0, "{}", row.label);
+    }
+}
+
+#[test]
+fn exp_t2_design2_shape() {
+    let design = design2::build(&design2::Design2Params::default());
+    let rows = tables::paper_table(&design, &config()).expect("table2");
+    let base = &rows[0];
+    // The paper: ~32% reduction for all three styles; our FSM-gated
+    // datapath is idler, so all three land in the 30-65% band, with less
+    // spread between gate and latch styles than raw idleness would suggest.
+    for row in &rows[1..] {
+        assert!(
+            row.power_reduction_pct > 25.0 && row.power_reduction_pct < 70.0,
+            "{}: {:.2}%",
+            row.label,
+            row.power_reduction_pct
+        );
+        assert!(row.isolated >= 2, "{}", row.label);
+        assert!(row.area_um2 > base.area_um2);
+    }
+}
+
+#[test]
+fn exp_sw_sweep_shape() {
+    // Savings decrease monotonically (within noise) as the activation duty
+    // rises; the paper reports a 5-70% overall range across statistics.
+    let grid = [(0.05, 0.05), (0.35, 0.2), (0.65, 0.2), (0.95, 0.05)];
+    let points = sweep::activation_sweep(&grid, &config()).expect("sweep");
+    assert!(points.windows(2).all(|w| {
+        w[0].power_reduction_pct >= w[1].power_reduction_pct - 3.0
+    }),
+        "not monotone: {points:?}"
+    );
+    let best = points[0].power_reduction_pct;
+    let worst = points[3].power_reduction_pct;
+    assert!(best > 30.0, "nearly-idle best {best:.2}%");
+    assert!(worst < best / 2.0, "nearly-busy worst {worst:.2}%");
+    assert!(worst > -2.0, "optimizer must not lose power: {worst:.2}%");
+}
+
+#[test]
+fn exp_style_crossover_shape() {
+    // Section 5.2: gate isolation needs multi-cycle idleness. At short idle
+    // runs the latch advantage is maximal; at long runs the gate styles
+    // close most of the gap.
+    let points =
+        styles::idle_length_study(&[1.5, 24.0], &config()).expect("styles");
+    let short = &points[0];
+    let long = &points[1];
+    let gap = |p: &styles::StylePoint| p.reduction_pct[2] - p.reduction_pct[0]; // LAT - AND
+    assert!(
+        gap(long) < gap(short),
+        "gate isolation must close on latch at long idle runs: \
+         short gap {:.2}, long gap {:.2}",
+        gap(short),
+        gap(long)
+    );
+    // At long runs, AND achieves at least ~70% of the latch savings.
+    assert!(
+        long.reduction_pct[0] > 0.7 * long.reduction_pct[2],
+        "AND {:.2}% vs LAT {:.2}% at 24-cycle runs",
+        long.reduction_pct[0],
+        long.reduction_pct[2]
+    );
+}
+
+#[test]
+fn exp_base_coverage_shape() {
+    // Full RTL isolation covers strictly more than the related-work
+    // techniques on the bus design built to exercise their blind spots.
+    let design = busnet::build(&busnet::BusParams::default());
+    let rows = baselines::compare(&design, &config()).expect("baselines");
+    let full = &rows[0];
+    let correale = &rows[1];
+    let kapadia = &rows[2];
+    assert!(full.isolated > kapadia.isolated, "{rows:#?}");
+    assert!(full.isolated >= correale.isolated, "{rows:#?}");
+    assert!(
+        full.power_reduction_pct >= kapadia.power_reduction_pct - 1.0,
+        "{rows:#?}"
+    );
+    // Kapadia cannot touch the shared-operand multiplier.
+    assert!(kapadia.uncovered >= 1, "{rows:#?}");
+}
+
+#[test]
+fn exp_abl_estimators_track_ground_truth() {
+    let design = design1::build(&design1::Design1Params {
+        act_p_one: 0.25,
+        act_toggle_rate: 0.2,
+        ..Default::default()
+    });
+    let rows = ablation::estimator_fidelity(&design, &config()).expect("ablation");
+    for r in &rows {
+        assert!(
+            r.relative_error() < 0.6,
+            "{:?}: est {:.4} mW vs measured {:.4} mW",
+            r.kind,
+            r.estimated_mw,
+            r.measured_mw
+        );
+    }
+    // The measured-conditional estimator is at least as accurate as the
+    // Eq.-1 simple model on this design (that's why it exists).
+    let simple = rows
+        .iter()
+        .find(|r| r.kind == operand_isolation::core::EstimatorKind::Simple)
+        .expect("simple row");
+    let cond = rows
+        .iter()
+        .find(|r| {
+            r.kind == operand_isolation::core::EstimatorKind::MeasuredConditional
+        })
+        .expect("conditional row");
+    assert!(
+        cond.relative_error() <= simple.relative_error() + 0.05,
+        "conditional {:.3} vs simple {:.3}",
+        cond.relative_error(),
+        simple.relative_error()
+    );
+}

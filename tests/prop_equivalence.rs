@@ -1,0 +1,184 @@
+//! Property-based end-to-end tests over random gated datapaths.
+//!
+//! The core safety property of operand isolation: for *any* RT structure in
+//! the supported shape, the transformed circuit is architecturally
+//! equivalent to the original — all primary-output traces are identical for
+//! identical stimuli, under every isolation style and estimator.
+
+use operand_isolation::core::{
+    optimize, EstimatorKind, IsolationConfig, IsolationStyle,
+};
+use operand_isolation::designs::random::{build, RandomParams};
+use operand_isolation::designs::Design;
+use operand_isolation::netlist::Netlist;
+use operand_isolation::sim::Testbench;
+use proptest::prelude::*;
+
+fn po_traces(netlist: &Netlist, design: &Design, cycles: u64) -> Vec<(String, Vec<u64>)> {
+    let mut tb = Testbench::from_plan(netlist, &design.stimuli).expect("plan");
+    let mut names: Vec<String> = netlist
+        .primary_outputs()
+        .iter()
+        .map(|&po| netlist.net(po).name().to_string())
+        .collect();
+    names.sort();
+    for name in &names {
+        tb.capture(netlist.find_net(name).expect("po"));
+    }
+    let report = tb.run(cycles).expect("run");
+    names
+        .into_iter()
+        .map(|name| {
+            let t = report
+                .trace(netlist.find_net(&name).expect("po"))
+                .expect("captured")
+                .to_vec();
+            (name, t)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Isolation never changes architected behavior, on any random design,
+    /// with any style.
+    #[test]
+    fn isolation_preserves_behavior(
+        seed in 0u64..10_000,
+        ops in 2usize..10,
+        width in 4u8..20,
+        style_idx in 0usize..3,
+    ) {
+        let design = build(&RandomParams { seed, ops, width });
+        let style = IsolationStyle::ALL[style_idx];
+        let config = IsolationConfig::default()
+            .with_style(style)
+            .with_sim_cycles(300);
+        let outcome = optimize(&design.netlist, &design.stimuli, &config)
+            .expect("optimize");
+        outcome.netlist.validate().expect("valid");
+        let before = po_traces(&design.netlist, &design, 400);
+        let after = po_traces(&outcome.netlist, &design, 400);
+        prop_assert_eq!(before, after);
+    }
+
+    /// All three estimators drive the algorithm to behavior-preserving,
+    /// non-catastrophic outcomes.
+    #[test]
+    fn estimators_are_safe(
+        seed in 0u64..10_000,
+        est_idx in 0usize..3,
+    ) {
+        let design = build(&RandomParams { seed, ops: 6, width: 8 });
+        let estimator = [
+            EstimatorKind::Simple,
+            EstimatorKind::Pairwise,
+            EstimatorKind::MeasuredConditional,
+        ][est_idx];
+        let config = IsolationConfig::default()
+            .with_estimator(estimator)
+            .with_sim_cycles(300);
+        let outcome = optimize(&design.netlist, &design.stimuli, &config)
+            .expect("optimize");
+        let before = po_traces(&design.netlist, &design, 300);
+        let after = po_traces(&outcome.netlist, &design, 300);
+        prop_assert_eq!(before, after);
+        // The cost model must keep measured regressions small (sampling
+        // noise only).
+        prop_assert!(outcome.power_reduction_percent() > -5.0,
+            "estimator {estimator:?} degraded power by {:.2}%",
+            -outcome.power_reduction_percent());
+    }
+
+    /// Register look-ahead keeps architected equivalence on random designs.
+    #[test]
+    fn lookahead_preserves_behavior(
+        seed in 0u64..10_000,
+        ops in 2usize..10,
+    ) {
+        let design = build(&RandomParams { seed, ops, width: 8 });
+        let mut config = IsolationConfig::default().with_sim_cycles(300);
+        config.activation = config.activation.with_lookahead();
+        let outcome = optimize(&design.netlist, &design.stimuli, &config)
+            .expect("optimize");
+        let before = po_traces(&design.netlist, &design, 400);
+        let after = po_traces(&outcome.netlist, &design, 400);
+        prop_assert_eq!(before, after);
+    }
+
+    /// FSM don't-care refinement keeps architected equivalence.
+    #[test]
+    fn fsm_dont_cares_preserve_behavior(seed in 0u64..10_000) {
+        let design = build(&RandomParams { seed, ops: 6, width: 8 });
+        let config = IsolationConfig::default()
+            .with_sim_cycles(250)
+            .with_fsm_dont_cares(true);
+        let outcome = optimize(&design.netlist, &design.stimuli, &config)
+            .expect("optimize");
+        let before = po_traces(&design.netlist, &design, 300);
+        let after = po_traces(&outcome.netlist, &design, 300);
+        prop_assert_eq!(before, after);
+    }
+
+    /// The netlist cleanup pass (constant folding + dead-logic sweep)
+    /// preserves architected behavior on random designs.
+    #[test]
+    fn netlist_optimizer_preserves_behavior(
+        seed in 0u64..10_000,
+        ops in 2usize..12,
+    ) {
+        let design = build(&RandomParams { seed, ops, width: 8 });
+        let (cleaned, _) =
+            operand_isolation::netlist::optimize_netlist(&design.netlist)
+                .expect("optimize_netlist");
+        cleaned.validate().expect("valid");
+        prop_assert!(cleaned.num_cells() <= design.netlist.num_cells());
+        let before = po_traces(&design.netlist, &design, 300);
+        let after = po_traces(&cleaned, &design, 300);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Cleanup after isolation also preserves behavior (the two passes
+    /// compose).
+    #[test]
+    fn isolation_then_cleanup_preserves_behavior(seed in 0u64..10_000) {
+        let design = build(&RandomParams { seed, ops: 6, width: 8 });
+        let config = IsolationConfig::default().with_sim_cycles(200);
+        let outcome = optimize(&design.netlist, &design.stimuli, &config)
+            .expect("optimize");
+        let (cleaned, _) =
+            operand_isolation::netlist::optimize_netlist(&outcome.netlist)
+                .expect("optimize_netlist");
+        let before = po_traces(&design.netlist, &design, 300);
+        let after = po_traces(&cleaned, &design, 300);
+        prop_assert_eq!(before, after);
+    }
+
+    /// The transform grows the netlist monotonically and never touches
+    /// existing primary I/O.
+    #[test]
+    fn transform_is_structurally_monotone(seed in 0u64..10_000) {
+        let design = build(&RandomParams { seed, ops: 6, width: 8 });
+        let config = IsolationConfig::default().with_sim_cycles(200);
+        let outcome = optimize(&design.netlist, &design.stimuli, &config)
+            .expect("optimize");
+        prop_assert!(outcome.netlist.num_cells() >= design.netlist.num_cells());
+        prop_assert!(outcome.netlist.num_nets() >= design.netlist.num_nets());
+        prop_assert_eq!(
+            design.netlist.primary_inputs().len(),
+            outcome.netlist.primary_inputs().len()
+        );
+        prop_assert_eq!(
+            design.netlist.primary_outputs().len(),
+            outcome.netlist.primary_outputs().len()
+        );
+        // Original cells keep their ids and names.
+        for (id, cell) in design.netlist.cells() {
+            prop_assert_eq!(outcome.netlist.cell(id).name(), cell.name());
+        }
+    }
+}
