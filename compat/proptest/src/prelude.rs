@@ -1,0 +1,7 @@
+//! The usual imports: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestRng, TestRunner};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+pub use crate as prop;

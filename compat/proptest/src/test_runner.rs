@@ -1,0 +1,167 @@
+//! Deterministic case runner and its RNG.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Configuration for a [`TestRunner`] (upstream: `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; rejection sampling is not
+    /// implemented.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 0,
+        }
+    }
+}
+
+/// Deterministic per-case RNG (xoshiro256++ behind a SplitMix64 seeder).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds an RNG whose stream is a pure function of `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "u64_below(0)");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Executes a property over `config.cases` deterministic cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `body` once per case. The case seed is derived from the test
+    /// name and case index only, so a failure reproduces identically on
+    /// every run; the failing seed is printed before the panic propagates.
+    pub fn run_named<F>(&mut self, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng),
+    {
+        let name_hash = fnv1a(name.as_bytes());
+        for case in 0..self.config.cases {
+            let mut seed_state = name_hash ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+            let seed = splitmix64(&mut seed_state);
+            let mut rng = TestRng::from_seed(seed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest: property `{name}` failed at case {case}/{} \
+                     (seed {seed:#018x})",
+                    self.config.cases
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_executes_exactly_cases_times() {
+        let mut count = 0u32;
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 17,
+            ..ProptestConfig::default()
+        });
+        runner.run_named("counting", |_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn case_streams_are_stable() {
+        let collect = || {
+            let mut vals = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig {
+                cases: 5,
+                ..ProptestConfig::default()
+            });
+            runner.run_named("stable", |rng| vals.push(rng.next_u64()));
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 3,
+            ..ProptestConfig::default()
+        });
+        runner.run_named("failing", |_| panic!("boom"));
+    }
+}

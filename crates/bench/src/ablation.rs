@@ -50,13 +50,14 @@ pub fn estimator_fidelity(
     design: &Design,
     config: &IsolationConfig,
 ) -> Result<Vec<EstimatorFidelity>, IsolationError> {
-    let mut rows = Vec::new();
-    for kind in [
+    let kinds = [
         EstimatorKind::Simple,
         EstimatorKind::Pairwise,
         EstimatorKind::MeasuredConditional,
-    ] {
-        let c = config.clone().with_estimator(kind);
+    ];
+    let run_config = config.clone().with_threads(1);
+    oiso_par::try_parallel_map(config.threads, &kinds, |_, &kind| {
+        let c = run_config.clone().with_estimator(kind);
         let outcome = optimize(&design.netlist, &design.stimuli, &c)?;
         let estimated: f64 = outcome
             .iterations
@@ -64,13 +65,12 @@ pub fn estimator_fidelity(
             .flat_map(|it| it.isolated.iter().map(|&(_, _, mw)| mw))
             .sum();
         let measured = (outcome.power_before - outcome.power_after).as_mw();
-        rows.push(EstimatorFidelity {
+        Ok(EstimatorFidelity {
             kind,
             estimated_mw: estimated,
             measured_mw: measured,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// Secondary-savings ablation result.
@@ -93,16 +93,16 @@ pub fn secondary_savings(
     design: &Design,
     config: &IsolationConfig,
 ) -> Result<SecondaryAblation, IsolationError> {
-    let on = optimize(
-        &design.netlist,
-        &design.stimuli,
-        &config.clone().with_secondary_savings(true),
-    )?;
-    let off = optimize(
-        &design.netlist,
-        &design.stimuli,
-        &config.clone().with_secondary_savings(false),
-    )?;
+    let run_config = config.clone().with_threads(1);
+    let outcomes =
+        oiso_par::try_parallel_map(config.threads, &[true, false], |_, &enabled| {
+            optimize(
+                &design.netlist,
+                &design.stimuli,
+                &run_config.clone().with_secondary_savings(enabled),
+            )
+        })?;
+    let [on, off] = <[_; 2]>::try_from(outcomes).expect("two ablation arms");
     Ok(SecondaryAblation {
         with_secondary_pct: on.power_reduction_percent(),
         without_secondary_pct: off.power_reduction_percent(),
@@ -133,21 +133,20 @@ pub fn weight_sweep(
     config: &IsolationConfig,
     omegas: &[f64],
 ) -> Result<Vec<WeightPoint>, IsolationError> {
-    let mut points = Vec::new();
-    for &omega_a in omegas {
-        let c = config.clone().with_weights(oiso_core::CostWeights {
+    let run_config = config.clone().with_threads(1);
+    oiso_par::try_parallel_map(config.threads, omegas, |_, &omega_a| {
+        let c = run_config.clone().with_weights(oiso_core::CostWeights {
             power: 1.0,
             area: omega_a,
         });
         let outcome = optimize(&design.netlist, &design.stimuli, &c)?;
-        points.push(WeightPoint {
+        Ok(WeightPoint {
             omega_a,
             power_reduction_pct: outcome.power_reduction_percent(),
             area_increase_pct: outcome.area_increase_percent(),
             isolated: outcome.num_isolated(),
-        });
-    }
-    Ok(points)
+        })
+    })
 }
 
 /// Slack-guard ablation result.
@@ -173,12 +172,15 @@ pub fn slack_guard(
         Voltage::from_volts(2.5),
         Frequency::from_mhz(clock_mhz),
     );
-    let mut guarded_cfg = config.clone().with_slack_threshold(Some(Time::ZERO));
-    guarded_cfg.conditions = tight;
-    let mut unguarded_cfg = config.clone().with_slack_threshold(None);
-    unguarded_cfg.conditions = tight;
-    let g = optimize(&design.netlist, &design.stimuli, &guarded_cfg)?;
-    let u = optimize(&design.netlist, &design.stimuli, &unguarded_cfg)?;
+    let thresholds = [Some(Time::ZERO), None];
+    let run_config = config.clone().with_threads(1);
+    let outcomes =
+        oiso_par::try_parallel_map(config.threads, &thresholds, |_, &threshold| {
+            let mut c = run_config.clone().with_slack_threshold(threshold);
+            c.conditions = tight;
+            optimize(&design.netlist, &design.stimuli, &c)
+        })?;
+    let [g, u] = <[_; 2]>::try_from(outcomes).expect("two ablation arms");
     Ok(SlackAblation {
         guarded: (
             g.num_isolated(),

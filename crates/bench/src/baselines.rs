@@ -22,41 +22,62 @@ pub struct BaselineRow {
 
 /// Runs the three techniques on a design.
 ///
+/// The techniques are independent runs over the same inputs, so they fan
+/// across `config.threads` workers (each technique's own optimizer running
+/// serially); rows come back in the fixed technique order regardless of
+/// thread count.
+///
 /// # Errors
 ///
-/// Returns an error if simulation fails.
+/// Returns an error if simulation fails; with several failing techniques,
+/// the first one's error is returned (same as a serial loop).
 pub fn compare(
     design: &Design,
     config: &IsolationConfig,
 ) -> Result<Vec<BaselineRow>, IsolationError> {
     let n_arith = design.netlist.arithmetic_cells().count();
-    let mut rows = Vec::new();
+    let technique_config = config.clone().with_threads(1);
 
-    let full = optimize(&design.netlist, &design.stimuli, config)?;
-    rows.push(BaselineRow {
-        technique: "full algorithm (this paper)".to_string(),
-        power_reduction_pct: full.power_reduction_percent(),
-        isolated: full.num_isolated(),
-        uncovered: n_arith - full.num_isolated(),
-    });
-
-    let correale = correale_local_isolation(&design.netlist, &design.stimuli, config)?;
-    rows.push(BaselineRow {
-        technique: "Correale [3] local mux isolation".to_string(),
-        power_reduction_pct: correale.outcome.power_reduction_percent(),
-        isolated: correale.outcome.num_isolated(),
-        uncovered: correale.uncovered.len(),
-    });
-
-    let kapadia = kapadia_enable_gating(&design.netlist, &design.stimuli, config)?;
-    rows.push(BaselineRow {
-        technique: "Kapadia [4] enable gating".to_string(),
-        power_reduction_pct: kapadia.outcome.power_reduction_percent(),
-        isolated: kapadia.outcome.num_isolated(),
-        uncovered: kapadia.uncovered.len(),
-    });
-
-    Ok(rows)
+    enum Technique {
+        Full,
+        Correale,
+        Kapadia,
+    }
+    let techniques = [Technique::Full, Technique::Correale, Technique::Kapadia];
+    oiso_par::try_parallel_map(config.threads, &techniques, |_, technique| {
+        let c = &technique_config;
+        Ok(match technique {
+            Technique::Full => {
+                let full = optimize(&design.netlist, &design.stimuli, c)?;
+                BaselineRow {
+                    technique: "full algorithm (this paper)".to_string(),
+                    power_reduction_pct: full.power_reduction_percent(),
+                    isolated: full.num_isolated(),
+                    uncovered: n_arith - full.num_isolated(),
+                }
+            }
+            Technique::Correale => {
+                let correale =
+                    correale_local_isolation(&design.netlist, &design.stimuli, c)?;
+                BaselineRow {
+                    technique: "Correale [3] local mux isolation".to_string(),
+                    power_reduction_pct: correale.outcome.power_reduction_percent(),
+                    isolated: correale.outcome.num_isolated(),
+                    uncovered: correale.uncovered.len(),
+                }
+            }
+            Technique::Kapadia => {
+                let kapadia =
+                    kapadia_enable_gating(&design.netlist, &design.stimuli, c)?;
+                BaselineRow {
+                    technique: "Kapadia [4] enable gating".to_string(),
+                    power_reduction_pct: kapadia.outcome.power_reduction_percent(),
+                    isolated: kapadia.outcome.num_isolated(),
+                    uncovered: kapadia.uncovered.len(),
+                }
+            }
+        })
+    })
 }
 
 /// Renders comparison rows.

@@ -3,10 +3,14 @@
 //! ```text
 //! repro [--table1] [--table2] [--figure1] [--sweep] [--styles]
 //!       [--baselines] [--ablation] [--all] [--cycles N] [--quick]
+//!       [--threads N]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--quick` shrinks the
-//! simulation length for smoke runs.
+//! simulation length for smoke runs. `--threads N` fans the independent
+//! runs of each experiment (sweep grid points, table styles, ablation
+//! arms) across `N` workers — `0` means all cores — with **bit-identical
+//! output at every setting**; the default of 1 is the plain serial path.
 
 use oiso_bench::json::{self, Json};
 use oiso_bench::{ablation, baselines, styles, sweep, tables, DEFAULT_CYCLES};
@@ -24,6 +28,7 @@ struct Args {
     ablation: bool,
     extras: bool,
     cycles: u64,
+    threads: usize,
     json: Option<String>,
 }
 
@@ -38,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         ablation: false,
         extras: false,
         cycles: DEFAULT_CYCLES,
+        threads: 1,
         json: None,
     };
     let mut any = false;
@@ -67,17 +73,23 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--cycles needs a value")?;
                 args.cycles = v.parse().map_err(|e| format!("bad --cycles: {e}"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|e| format!("bad --threads: {e}"))?;
+            }
             "--json" => {
                 args.json = Some(it.next().ok_or("--json needs a path")?);
             }
             "--help" | "-h" => {
                 return Err("usage: repro [--table1|--table2|--figure1|--sweep|--styles|\
-                            --baselines|--ablation|--extras|--all] [--cycles N] [--quick]"
+                            --baselines|--ablation|--extras|--all] [--cycles N] [--quick] \
+                            [--threads N]  (N=0 means all cores; results are identical \
+                            at every thread count)"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
-        if !matches!(arg.as_str(), "--cycles" | "--quick" | "--json") {
+        if !matches!(arg.as_str(), "--cycles" | "--quick" | "--json" | "--threads") {
             any = true;
         }
     }
@@ -102,7 +114,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let config = IsolationConfig::default().with_sim_cycles(args.cycles);
+    let config = IsolationConfig::default()
+        .with_sim_cycles(args.cycles)
+        .with_threads(args.threads);
     let mut json_out: Vec<(String, Json)> = Vec::new();
 
     if args.figure1 {

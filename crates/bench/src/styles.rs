@@ -11,9 +11,9 @@
 //! signal at a fixed duty cycle and reports the measured power reduction
 //! per style, exposing the crossover.
 
-use oiso_core::{optimize, IsolationConfig, IsolationError, IsolationStyle};
+use oiso_core::{optimize_with_memo, IsolationConfig, IsolationError, IsolationStyle};
 use oiso_designs::design1::{build, Design1Params};
-use oiso_sim::StimulusSpec;
+use oiso_sim::{SimMemo, StimulusSpec};
 use std::fmt::Write as _;
 
 /// Results at one idle-run-length point.
@@ -38,8 +38,11 @@ pub fn idle_length_study(
     run_lengths: &[f64],
     config: &IsolationConfig,
 ) -> Result<Vec<StylePoint>, IsolationError> {
-    let mut points = Vec::new();
-    for &run in run_lengths {
+    // Fan across run-length points; within one point the three styles run
+    // serially and share a memo, so the point's baseline circuit is
+    // simulated once instead of once per style.
+    let point_config = config.clone().with_threads(1);
+    oiso_par::try_parallel_map(config.threads, run_lengths, |_, &run| {
         let toggle_rate = (1.0 / run).min(1.0);
         let design = build(&Design1Params::default());
         let mut plan = design.stimuli.clone();
@@ -48,18 +51,18 @@ pub fn idle_length_study(
             p_one: 0.5,
             toggle_rate,
         });
+        let memo = SimMemo::new();
         let mut reduction = [0.0f64; 3];
         for (i, style) in IsolationStyle::ALL.iter().enumerate() {
-            let c = config.clone().with_style(*style);
-            let outcome = optimize(&design.netlist, &plan, &c)?;
+            let c = point_config.clone().with_style(*style);
+            let outcome = optimize_with_memo(&design.netlist, &plan, &c, &memo)?;
             reduction[i] = outcome.power_reduction_percent();
         }
-        points.push(StylePoint {
+        Ok(StylePoint {
             mean_idle_run: run,
             reduction_pct: reduction,
-        });
-    }
-    Ok(points)
+        })
+    })
 }
 
 /// Renders the study as a table.

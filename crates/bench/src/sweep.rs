@@ -12,9 +12,9 @@
 //! points and records the measured power reduction of the optimized
 //! circuit.
 
-use oiso_core::{optimize, IsolationConfig, IsolationError};
+use oiso_core::{optimize_with_memo, IsolationConfig, IsolationError};
 use oiso_designs::design1::{build, Design1Params};
-use oiso_sim::StimulusSpec;
+use oiso_sim::{SimMemo, StimulusSpec};
 use std::fmt::Write as _;
 
 /// One sweep point.
@@ -43,39 +43,68 @@ pub fn default_grid() -> Vec<(f64, f64)> {
     grid
 }
 
+/// Derives the master stimulus seed of one grid point from the base seed
+/// and the point's coordinates (FNV-1a over the exact `f64` bit patterns).
+///
+/// Seeding from the *coordinates* rather than the grid index means a point
+/// keeps its exact vectors when the grid is reordered, subsampled, or
+/// processed by a parallel worker pool — the per-point result is a pure
+/// function of `(base_seed, p_active, toggle_rate)` and nothing else.
+pub fn point_seed(base_seed: u64, p_active: f64, toggle_rate: f64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base_seed;
+    for v in [p_active.to_bits(), toggle_rate.to_bits()] {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Runs the sweep on design1.
+///
+/// Grid points are independent `optimize()` runs and are fanned across
+/// `config.threads` workers (each running its optimizer serially); every
+/// point's stimuli are seeded by [`point_seed`] from its coordinates, so
+/// the result vector is bit-identical at every thread count.
 ///
 /// # Errors
 ///
-/// Returns an error if simulation fails at any grid point.
+/// Returns an error if simulation fails at any grid point; with several
+/// failing points, the lowest-indexed one's error is returned (same as a
+/// serial loop).
 pub fn activation_sweep(
     grid: &[(f64, f64)],
     config: &IsolationConfig,
 ) -> Result<Vec<SweepPoint>, IsolationError> {
-    let mut points = Vec::new();
-    for &(p_active, toggle_rate) in grid {
+    // The fan-out happens here at grid level; each point's optimizer runs
+    // serially so `config.threads` is consumed exactly once.
+    let point_config = config.clone().with_threads(1);
+    oiso_par::try_parallel_map(config.threads, grid, |_, &(p_active, toggle_rate)| {
         let design = build(&Design1Params {
             act_p_one: p_active,
             act_toggle_rate: toggle_rate,
             ..Default::default()
         });
-        // Rewrite the act driver with this grid point's statistics (the
-        // generator already seeds it, but be explicit).
+        // Rewrite the act driver with this grid point's statistics and
+        // re-seed the whole plan from the point coordinates.
         let mut plan = design.stimuli.clone();
         plan.drivers.retain(|(name, _)| name != "act");
-        let plan = plan.drive("act", StimulusSpec::MarkovBits {
-            p_one: p_active,
-            toggle_rate,
-        });
-        let outcome = optimize(&design.netlist, &plan, config)?;
-        points.push(SweepPoint {
+        let plan = plan
+            .drive("act", StimulusSpec::MarkovBits {
+                p_one: p_active,
+                toggle_rate,
+            })
+            .with_seed(point_seed(design.stimuli.seed, p_active, toggle_rate));
+        let outcome =
+            optimize_with_memo(&design.netlist, &plan, &point_config, &SimMemo::new())?;
+        Ok(SweepPoint {
             p_active,
             toggle_rate,
             power_reduction_pct: outcome.power_reduction_percent(),
             isolated: outcome.num_isolated(),
-        });
-    }
-    Ok(points)
+        })
+    })
 }
 
 /// Renders the sweep as a table.
@@ -124,6 +153,27 @@ mod tests {
             assert!(tr <= 2.0 * p.min(1.0 - p) + 1e-9, "({p}, {tr})");
             assert!(tr > 0.0);
         }
+    }
+
+    #[test]
+    fn point_seed_is_a_pure_function_of_coordinates() {
+        assert_eq!(point_seed(7, 0.2, 0.1), point_seed(7, 0.2, 0.1));
+        assert_ne!(point_seed(7, 0.2, 0.1), point_seed(7, 0.2, 0.15));
+        assert_ne!(point_seed(7, 0.2, 0.1), point_seed(8, 0.2, 0.1));
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let grid = [(0.2, 0.1), (0.5, 0.3), (0.8, 0.1)];
+        let serial =
+            activation_sweep(&grid, &IsolationConfig::default().with_sim_cycles(400))
+                .unwrap();
+        let parallel = activation_sweep(
+            &grid,
+            &IsolationConfig::default().with_sim_cycles(400).with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "bit-identical across thread counts");
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Tables 1 and 2: power / area / slack per isolation style.
 
-use oiso_core::{optimize, IsolationConfig, IsolationError, IsolationStyle};
+use oiso_core::{optimize_with_memo, IsolationConfig, IsolationError, IsolationStyle};
 use oiso_designs::Design;
 use oiso_power::{total_area, PowerEstimator};
-use oiso_sim::Testbench;
+use oiso_sim::SimMemo;
 use oiso_timing::analyze;
 use std::fmt::Write as _;
 
@@ -31,6 +31,12 @@ pub struct TableRow {
 /// Generates a paper-style table for one design: the non-isolated baseline
 /// followed by one row per isolation style.
 ///
+/// All rows share one [`SimMemo`], so the baseline circuit — which every
+/// style's `optimize()` run re-measures — is simulated exactly once for
+/// the whole table. The per-style runs are independent and fan across
+/// `config.threads` workers; each row is a pure function of the design and
+/// config, so the table is bit-identical at every thread count.
+///
 /// # Errors
 ///
 /// Returns an error if simulation fails (typically an input missing from
@@ -42,10 +48,10 @@ pub fn paper_table(
     let lib = &base_config.library;
     let cond = base_config.conditions;
     let pe = PowerEstimator::new(lib, cond);
+    let memo = SimMemo::new();
 
     // Baseline row.
-    let report = Testbench::from_plan(&design.netlist, &design.stimuli)?
-        .run(base_config.sim_cycles)?;
+    let report = memo.run(&design.netlist, &design.stimuli, base_config.sim_cycles)?;
     let base_power = pe.estimate(&design.netlist, &report).total.as_mw();
     let base_area = total_area(lib, &design.netlist).as_um2();
     let base_slack = analyze(lib, &design.netlist, cond.clock_period())
@@ -62,26 +68,35 @@ pub fn paper_table(
         isolated: 0,
     }];
 
-    for style in IsolationStyle::ALL {
-        let config = base_config.clone().with_style(style);
-        let outcome = optimize(&design.netlist, &design.stimuli, &config)?;
-        rows.push(TableRow {
-            label: style.label().to_string(),
-            power_mw: outcome.power_after.as_mw(),
-            power_reduction_pct: (base_power - outcome.power_after.as_mw()) / base_power
-                * 100.0,
-            area_um2: outcome.area_after.as_um2(),
-            area_increase_pct: (outcome.area_after.as_um2() - base_area) / base_area
-                * 100.0,
-            slack_ns: outcome.slack_after.as_ns(),
-            slack_reduction_pct: if base_slack.abs() > f64::EPSILON {
-                (base_slack - outcome.slack_after.as_ns()) / base_slack * 100.0
-            } else {
-                0.0
-            },
-            isolated: outcome.num_isolated(),
-        });
-    }
+    let style_config = base_config.clone().with_threads(1);
+    let style_rows =
+        oiso_par::try_parallel_map(
+            base_config.threads,
+            &IsolationStyle::ALL,
+            |_, style| -> Result<TableRow, IsolationError> {
+            let config = style_config.clone().with_style(*style);
+            let outcome =
+                optimize_with_memo(&design.netlist, &design.stimuli, &config, &memo)?;
+            Ok(TableRow {
+                label: style.label().to_string(),
+                power_mw: outcome.power_after.as_mw(),
+                power_reduction_pct: (base_power - outcome.power_after.as_mw())
+                    / base_power
+                    * 100.0,
+                area_um2: outcome.area_after.as_um2(),
+                area_increase_pct: (outcome.area_after.as_um2() - base_area) / base_area
+                    * 100.0,
+                slack_ns: outcome.slack_after.as_ns(),
+                slack_reduction_pct: if base_slack.abs() > f64::EPSILON {
+                    (base_slack - outcome.slack_after.as_ns()) / base_slack * 100.0
+                } else {
+                    0.0
+                },
+                isolated: outcome.num_isolated(),
+            })
+        },
+    )?;
+    rows.extend(style_rows);
     Ok(rows)
 }
 

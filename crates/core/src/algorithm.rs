@@ -16,7 +16,7 @@ use crate::transform::{isolate_with_cache, IsolationStyle};
 use oiso_boolex::BoolExpr;
 use oiso_netlist::{BuildError, CellId, Netlist};
 use oiso_power::{total_area, PowerEstimator};
-use oiso_sim::{SimError, StimulusPlan, Testbench};
+use oiso_sim::{SimError, SimMemo, StimulusPlan, Testbench};
 use oiso_techlib::{OperatingConditions, TechLibrary, Time};
 use oiso_timing::analyze;
 use std::collections::HashMap;
@@ -93,6 +93,13 @@ pub struct IsolationConfig {
     pub fsm_dont_cares: bool,
     /// Simulation length per iteration.
     pub sim_cycles: u64,
+    /// Worker threads for per-candidate savings evaluation inside one
+    /// iteration: `1` is the plain serial loop, `0` means all available
+    /// cores. Candidate evaluation is a pure function of the iteration's
+    /// shared state and results are reduced in candidate order, so the
+    /// outcome is **bit-identical at every thread count** (a property the
+    /// equivalence test suite enforces).
+    pub threads: usize,
     /// Technology library.
     pub library: TechLibrary,
     /// Supply/clock operating point.
@@ -115,6 +122,7 @@ impl Default for IsolationConfig {
             optimize_activation_logic: true,
             fsm_dont_cares: false,
             sim_cycles: 2000,
+            threads: 1,
             library: TechLibrary::generic_250nm(),
             conditions: OperatingConditions::default(),
             max_iterations: 16,
@@ -150,6 +158,13 @@ impl IsolationConfig {
     /// Sets the per-iteration simulation length.
     pub fn with_sim_cycles(mut self, cycles: u64) -> Self {
         self.sim_cycles = cycles;
+        self
+    }
+
+    /// Sets the worker-thread count for candidate evaluation
+    /// (`1` = serial, `0` = all cores; results are identical either way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -193,6 +208,28 @@ pub fn optimize(
     plan: &StimulusPlan,
     config: &IsolationConfig,
 ) -> Result<IsolationOutcome, IsolationError> {
+    optimize_with_memo(netlist, plan, config, &SimMemo::new())
+}
+
+/// [`optimize`] with a caller-provided simulation memo.
+///
+/// The memo caches per-netlist simulation statistics keyed by
+/// `(netlist fingerprint, stimulus fingerprint, cycles)`, so runs sharing a
+/// memo — e.g. the per-style columns of one benchmark table, which all
+/// measure the same baseline circuit — skip re-simulating stimuli any of
+/// them has already run. Because the simulator is deterministic, memoized
+/// results are bit-identical to fresh runs, and sharing (or not sharing) a
+/// memo never changes an outcome.
+///
+/// # Errors
+///
+/// As [`optimize`].
+pub fn optimize_with_memo(
+    netlist: &Netlist,
+    plan: &StimulusPlan,
+    config: &IsolationConfig,
+    memo: &SimMemo,
+) -> Result<IsolationOutcome, IsolationError> {
     let lib = &config.library;
     let cond = config.conditions;
     let clock_period = cond.clock_period();
@@ -200,7 +237,7 @@ pub fn optimize(
     let mut work = netlist.clone();
 
     // Baseline measurement.
-    let report0 = Testbench::from_plan(&work, plan)?.run(config.sim_cycles)?;
+    let report0 = memo.run(&work, plan, config.sim_cycles)?;
     let power_before = pe.estimate(&work, &report0).total;
     let area_before = total_area(lib, &work);
     let slack_before = analyze(lib, &work, clock_period).worst_slack;
@@ -248,31 +285,46 @@ pub fn optimize(
             SavingsEstimator::new(&work, config.estimator, &candidates, &isolated_acts);
         let mut tb = Testbench::from_plan(&work, plan)?;
         estimator.register_monitors(&mut tb);
-        let report = tb.run(config.sim_cycles)?;
+        // Monitored runs always execute (their monitor set is unique to this
+        // iteration), but deposit their statistics: if the loop terminates
+        // without transforming further, the final measurement below replays
+        // this report instead of re-simulating.
+        let report = std::sync::Arc::new(tb.run(config.sim_cycles)?);
+        memo.deposit(&work, plan, config.sim_cycles, &report);
         let breakdown = pe.estimate(&work, &report);
         let area_now = total_area(lib, &work);
         let cost_model =
             CostModel::new(lib, cond, config.weights).with_h_min(config.h_min);
 
-        // Score every candidate, grouped by combinational block.
+        // Score every candidate. Each candidate's (h, savings) is a pure
+        // function of this iteration's shared read-only state, so the
+        // evaluations fan out across the worker pool; `parallel_map`
+        // returns them in candidate order, making the grouping below —
+        // and everything downstream — identical at every thread count.
+        let scores: Vec<(f64, SavingsEstimate)> =
+            oiso_par::parallel_map(config.threads, &candidates, |_, cand| {
+                let mut savings = estimator.estimate(&work, &pe, &report, cand.cell);
+                if !config.secondary_savings {
+                    savings.secondary = oiso_techlib::Power::ZERO;
+                }
+                let as_rate = estimator.activation_toggle_rate(&report, cand.cell);
+                let cost = cost_model.isolation_cost(
+                    &work,
+                    &report,
+                    &pe,
+                    cand.cell,
+                    &cand.activation,
+                    config.style,
+                    as_rate,
+                );
+                let h = cost_model.h(&savings, &cost, breakdown.total, area_now);
+                (h, savings)
+            });
+
+        // Group the scored candidates by combinational block.
         let mut by_block: HashMap<usize, Vec<(&Candidate, f64, SavingsEstimate)>> =
             HashMap::new();
-        for cand in &candidates {
-            let mut savings = estimator.estimate(&work, &pe, &report, cand.cell);
-            if !config.secondary_savings {
-                savings.secondary = oiso_techlib::Power::ZERO;
-            }
-            let as_rate = estimator.activation_toggle_rate(&report, cand.cell);
-            let cost = cost_model.isolation_cost(
-                &work,
-                &report,
-                &pe,
-                cand.cell,
-                &cand.activation,
-                config.style,
-                as_rate,
-            );
-            let h = cost_model.h(&savings, &cost, breakdown.total, area_now);
+        for (cand, (h, savings)) in candidates.iter().zip(scores) {
             by_block
                 .entry(cand.block)
                 .or_default()
@@ -318,8 +370,11 @@ pub fn optimize(
         iterations.push(log);
     }
 
-    // Final measurement on the transformed circuit.
-    let report_final = Testbench::from_plan(&work, plan)?.run(config.sim_cycles)?;
+    // Final measurement on the transformed circuit. When the loop's last
+    // iteration simulated this exact netlist (it terminated without
+    // isolating), the memo serves its deposited report back and no
+    // simulation runs here.
+    let report_final = memo.run(&work, plan, config.sim_cycles)?;
     let power_after = pe.estimate(&work, &report_final).total;
     let area_after = total_area(lib, &work);
     let slack_after = analyze(lib, &work, clock_period).worst_slack;

@@ -74,7 +74,7 @@ pub mod savings;
 pub mod transform;
 
 pub use activation::{derive_activation_functions, ActivationConfig};
-pub use algorithm::{optimize, IsolationConfig, IsolationError};
+pub use algorithm::{optimize, optimize_with_memo, IsolationConfig, IsolationError};
 pub use baseline::{correale_local_isolation, kapadia_enable_gating, BaselineOutcome};
 pub use candidates::{identify_candidates, Candidate};
 pub use cost::{CostModel, CostWeights, IsolationCost};

@@ -267,6 +267,59 @@ impl Netlist {
         }
     }
 
+    /// A 64-bit content fingerprint of the netlist structure.
+    ///
+    /// Covers the design name, every net (name, width, primary-I/O flags),
+    /// every cell (instance name, kind with payload, port connections), and
+    /// the primary-I/O declaration order — everything that determines
+    /// simulation behavior. Two netlists with equal fingerprints simulate
+    /// identically under the same stimulus, which is what lets per-netlist
+    /// simulation statistics be memoized (see `oiso-sim`'s `SimMemo`).
+    ///
+    /// The hash is FNV-1a over an explicit field encoding, so it is stable
+    /// across runs, platforms, and compiler versions (unlike `std::hash`).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&self.name);
+        h.u64(self.nets.len() as u64);
+        for net in &self.nets {
+            h.str(&net.name);
+            h.u64(net.width as u64);
+            h.u64(net.is_input as u64);
+            h.u64(net.is_output as u64);
+        }
+        h.u64(self.cells.len() as u64);
+        for cell in &self.cells {
+            h.str(&cell.name);
+            h.str(cell.kind.mnemonic());
+            // Payload-carrying kinds: the mnemonic alone does not identify
+            // them (e.g. every Const is "const").
+            match cell.kind {
+                CellKind::Reg { has_enable } => h.u64(has_enable as u64),
+                CellKind::Const { value } => h.u64(value),
+                CellKind::Slice { lo, hi } => {
+                    h.u64(lo as u64);
+                    h.u64(hi as u64);
+                }
+                _ => {}
+            }
+            h.u64(cell.inputs.len() as u64);
+            for &input in &cell.inputs {
+                h.u64(input.index() as u64);
+            }
+            h.u64(cell.output.index() as u64);
+        }
+        h.u64(self.inputs.len() as u64);
+        for &pi in &self.inputs {
+            h.u64(pi.index() as u64);
+        }
+        h.u64(self.outputs.len() as u64);
+        for &po in &self.outputs {
+            h.u64(po.index() as u64);
+        }
+        h.finish()
+    }
+
     /// Generates a fresh net name with the given prefix that does not clash
     /// with any existing net.
     pub fn fresh_net_name(&self, prefix: &str) -> String {
@@ -291,6 +344,38 @@ impl Netlist {
             }
             i += 1;
         }
+    }
+}
+
+/// Minimal FNV-1a accumulator used by [`Netlist::fingerprint`]. Strings are
+/// hashed with a length prefix so field boundaries cannot alias.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -407,6 +492,40 @@ mod tests {
         assert!(n.find_net(&name).is_none());
         let cname = n.fresh_cell_name("add0");
         assert!(n.find_cell(&cname).is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same structure, same fp");
+        assert_eq!(a.fingerprint(), a.clone().fingerprint(), "clone preserves fp");
+
+        // Any structural change must move the fingerprint.
+        let mut wired = tiny();
+        wired.add_wire("extra", 8).unwrap();
+        assert_ne!(a.fingerprint(), wired.fingerprint(), "added net");
+
+        let mut marked = tiny();
+        let s = marked.find_net("a").unwrap();
+        marked.mark_output(s);
+        assert_ne!(a.fingerprint(), marked.fingerprint(), "changed output set");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_cell_kind_payloads() {
+        let build = |value: u64| {
+            let mut b = NetlistBuilder::new("k");
+            let w = b.wire("k", 8);
+            b.cell("c0", CellKind::Const { value }, &[], w).unwrap();
+            b.mark_output(w);
+            b.build().unwrap()
+        };
+        assert_ne!(
+            build(1).fingerprint(),
+            build(2).fingerprint(),
+            "Const payload must be hashed, not just the mnemonic"
+        );
     }
 
     #[test]

@@ -21,11 +21,11 @@ fn random_netlist(seed: u64, ops: usize) -> Netlist {
         let c = pool[rng.gen_range(0..pool.len())];
         let out = b.wire(format!("w{op}"), 8);
         let kind = [CellKind::Add, CellKind::Sub, CellKind::And, CellKind::Xor]
-            [rng.gen_range(0..4)];
+            [rng.gen_range(0..4usize)];
         b.cell(format!("u{op}"), kind, &[a, c], out).expect("op");
         let fed = if rng.gen_bool(0.3) {
             let q = b.wire(format!("q{op}"), 8);
-            let en = ctl[rng.gen_range(0..3)];
+            let en = ctl[rng.gen_range(0..3usize)];
             b.cell(format!("r{op}"), CellKind::Reg { has_enable: true }, &[out, en], q)
                 .expect("reg");
             b.mark_output(q);

@@ -1,0 +1,230 @@
+//! Memoized simulation: skip re-running stimuli a netlist has already seen.
+//!
+//! The iterative isolation algorithm and the benchmark sweeps repeatedly
+//! simulate the *same* netlist under the *same* stimulus plan — e.g. the
+//! final power measurement after the optimizer's loop re-runs the vectors
+//! the last iteration just ran, and `paper_table` simulates the identical
+//! baseline once per isolation style. Because the [`Simulator`] is fully
+//! deterministic (same netlist + same plan ⇒ bit-identical per-net
+//! statistics, a property the test suite asserts directly), those repeat
+//! runs can be served from a cache keyed by
+//! `(netlist fingerprint, plan fingerprint, cycles)`.
+//!
+//! The policy that keeps this transparent:
+//!
+//! * **Plain runs** (no monitors attached) go through [`SimMemo::run`] and
+//!   may reuse *any* cached report for their key — the per-net toggle
+//!   counts, static probabilities, and cycle count of a report do not
+//!   depend on which monitors were attached when it was produced.
+//! * **Monitored runs always execute** (their monitor sets differ call to
+//!   call), but they [`SimMemo::deposit`] their report so a later plain run
+//!   on the same netlist + plan becomes a cache hit.
+//!
+//! Consumers of memoized reports must therefore only read per-net
+//! statistics (and cycle count), never monitor or trace data — monitors
+//! present in a deposited report belong to whoever deposited it.
+//!
+//! [`Simulator`]: crate::Simulator
+
+use crate::stats::SimReport;
+use crate::stimulus::StimulusPlan;
+use crate::testbench::{SimError, Testbench};
+use oiso_netlist::Netlist;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: everything that determines a simulation's per-net statistics.
+type MemoKey = (u64, u64, u64);
+
+/// A thread-safe cache of simulation reports keyed by
+/// `(netlist fingerprint, plan fingerprint, cycles)`.
+///
+/// Share one memo (behind an `Arc` or a reference) across the runs that
+/// should pool their simulations: the optimizer threads one through a full
+/// `optimize()` run, and the benchmark tables share one across isolation
+/// styles so the common baseline is simulated once.
+///
+/// Cloning is cheap and shares the underlying cache.
+#[derive(Clone, Default)]
+pub struct SimMemo {
+    inner: Arc<MemoInner>,
+}
+
+#[derive(Default)]
+struct MemoInner {
+    cache: Mutex<HashMap<MemoKey, Arc<SimReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for SimMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimMemo")
+            .field("entries", &self.inner.cache.lock().unwrap().len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl SimMemo {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SimMemo::default()
+    }
+
+    /// Runs (or replays) an unmonitored simulation of `netlist` under
+    /// `plan` for `cycles` cycles.
+    ///
+    /// On a cache hit the stored report is returned without simulating;
+    /// the caller must only read per-net statistics from it (see the
+    /// module docs). On a miss the simulation runs and the report is
+    /// cached. Two threads missing the same key concurrently both
+    /// simulate (producing bit-identical reports); one insert wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from testbench assembly or the run.
+    pub fn run(
+        &self,
+        netlist: &Netlist,
+        plan: &StimulusPlan,
+        cycles: u64,
+    ) -> Result<Arc<SimReport>, SimError> {
+        let key = (netlist.fingerprint(), plan.fingerprint(), cycles);
+        if let Some(report) = self.inner.cache.lock().unwrap().get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(report));
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let report = Arc::new(Testbench::from_plan(netlist, plan)?.run(cycles)?);
+        self.inner
+            .cache
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&report));
+        Ok(report)
+    }
+
+    /// Deposits a report produced by a run the caller executed directly
+    /// (typically a monitored run, which can never be served from cache).
+    /// A later [`SimMemo::run`] with the same netlist, plan, and cycle
+    /// count then hits without simulating. First deposit for a key wins.
+    pub fn deposit(
+        &self,
+        netlist: &Netlist,
+        plan: &StimulusPlan,
+        cycles: u64,
+        report: &Arc<SimReport>,
+    ) {
+        let key = (netlist.fingerprint(), plan.fingerprint(), cycles);
+        self.inner
+            .cache
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(report));
+    }
+
+    /// Number of [`SimMemo::run`] calls served from cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of [`SimMemo::run`] calls that had to simulate.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::StimulusSpec;
+    use oiso_netlist::{CellKind, NetlistBuilder};
+
+    fn adder() -> Netlist {
+        let mut b = NetlistBuilder::new("adder");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.wire("s", 8);
+        b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.mark_output(s);
+        b.build().unwrap()
+    }
+
+    fn plan() -> StimulusPlan {
+        StimulusPlan::new(3)
+            .drive("x", StimulusSpec::UniformRandom)
+            .drive("y", StimulusSpec::UniformRandom)
+    }
+
+    #[test]
+    fn repeat_runs_hit_and_match_direct_simulation() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::new();
+        let r1 = memo.run(&n, &p, 500).unwrap();
+        let r2 = memo.run(&n, &p, 500).unwrap();
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.hits(), 1);
+        let s = n.find_net("s").unwrap();
+        assert_eq!(r1.toggle_count(s), r2.toggle_count(s));
+        // And the cached report matches an independent direct run.
+        let direct = Testbench::from_plan(&n, &p).unwrap().run(500).unwrap();
+        assert_eq!(direct.toggle_count(s), r1.toggle_count(s));
+    }
+
+    #[test]
+    fn key_includes_netlist_plan_and_cycles() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::new();
+        memo.run(&n, &p, 500).unwrap();
+        memo.run(&n, &p, 600).unwrap();
+        memo.run(&n, &p.clone().with_seed(4), 500).unwrap();
+        let mut n2 = n.clone();
+        n2.add_wire("extra", 8).unwrap();
+        memo.run(&n2, &p, 500).unwrap();
+        assert_eq!(memo.misses(), 4, "each variation is a distinct key");
+        assert_eq!(memo.hits(), 0);
+    }
+
+    #[test]
+    fn deposit_makes_later_plain_run_hit() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::new();
+        let direct = Arc::new(Testbench::from_plan(&n, &p).unwrap().run(500).unwrap());
+        memo.deposit(&n, &p, 500, &direct);
+        let replay = memo.run(&n, &p, 500).unwrap();
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 0);
+        let s = n.find_net("s").unwrap();
+        assert_eq!(replay.toggle_count(s), direct.toggle_count(s));
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::new();
+        let alias = memo.clone();
+        memo.run(&n, &p, 400).unwrap();
+        alias.run(&n, &p, 400).unwrap();
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let n = adder();
+        let missing = StimulusPlan::new(0).drive("x", StimulusSpec::UniformRandom);
+        let memo = SimMemo::new();
+        assert!(memo.run(&n, &missing, 100).is_err());
+        assert!(memo.run(&n, &missing, 100).is_err());
+        assert_eq!(memo.hits(), 0, "failed runs never populate the cache");
+    }
+}

@@ -281,6 +281,56 @@ impl StimulusPlan {
         self.seed = seed;
         self
     }
+
+    /// A 64-bit content fingerprint of the plan: the master seed plus every
+    /// `(input name, spec)` pair in order, with float parameters hashed via
+    /// `f64::to_bits`. Two plans with equal fingerprints drive identical
+    /// vector streams, which is what lets simulation reports be memoized on
+    /// (netlist fingerprint, plan fingerprint, cycles) — see `SimMemo`.
+    ///
+    /// FNV-1a over an explicit field encoding; stable across runs and
+    /// platforms.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(self.seed);
+        eat(self.drivers.len() as u64);
+        for (name, spec) in &self.drivers {
+            eat(name.len() as u64);
+            for b in name.bytes() {
+                eat(b as u64);
+            }
+            match spec {
+                StimulusSpec::Constant(v) => {
+                    eat(0);
+                    eat(*v);
+                }
+                StimulusSpec::UniformRandom => eat(1),
+                StimulusSpec::MarkovBits { p_one, toggle_rate } => {
+                    eat(2);
+                    eat(p_one.to_bits());
+                    eat(toggle_rate.to_bits());
+                }
+                StimulusSpec::Counter { step } => {
+                    eat(3);
+                    eat(*step);
+                }
+                StimulusSpec::Trace(values) => {
+                    eat(4);
+                    eat(values.len() as u64);
+                    for &v in values {
+                        eat(v);
+                    }
+                }
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +449,32 @@ mod tests {
         assert_ne!(plan.seed_for("a"), plan.seed_for("b"));
         assert_eq!(plan.seed_for("a"), plan.seed_for("a"));
         assert_ne!(plan.seed_for("a"), plan.with_seed(8).seed_for("a"));
+    }
+
+    #[test]
+    fn plan_fingerprint_tracks_content() {
+        let base = StimulusPlan::new(7)
+            .drive("a", StimulusSpec::UniformRandom)
+            .drive("g", StimulusSpec::MarkovBits {
+                p_one: 0.3,
+                toggle_rate: 0.2,
+            });
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        assert_ne!(base.fingerprint(), base.clone().with_seed(8).fingerprint());
+        let retuned = StimulusPlan::new(7)
+            .drive("a", StimulusSpec::UniformRandom)
+            .drive("g", StimulusSpec::MarkovBits {
+                p_one: 0.3,
+                toggle_rate: 0.25,
+            });
+        assert_ne!(base.fingerprint(), retuned.fingerprint(), "float params hashed");
+        let renamed = StimulusPlan::new(7)
+            .drive("a", StimulusSpec::UniformRandom)
+            .drive("h", StimulusSpec::MarkovBits {
+                p_one: 0.3,
+                toggle_rate: 0.2,
+            });
+        assert_ne!(base.fingerprint(), renamed.fingerprint(), "names hashed");
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! oiso activation <design.oiso> [--lookahead]        # activation functions
 //! oiso simulate   <design.oiso> [--cycles N]         # power/timing report
 //! oiso isolate    <design.oiso> [--style and|or|latch]
-//!                 [--cycles N] [--lookahead] [--out isolated.oiso]
-//!                 [--verilog out.v] [--dot out.dot]
+//!                 [--cycles N] [--threads N] [--lookahead]
+//!                 [--out isolated.oiso] [--verilog out.v] [--dot out.dot]
 //! oiso optimize   <design.oiso> [--out cleaned.oiso]   # const-fold + sweep
 //! ```
 //!
@@ -42,6 +42,7 @@ struct Options {
     file: String,
     style: IsolationStyle,
     cycles: u64,
+    threads: usize,
     lookahead: bool,
     fsm_dc: bool,
     out: Option<String>,
@@ -50,8 +51,10 @@ struct Options {
 }
 
 const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize> <design.oiso> \
-                     [--style and|or|latch] [--cycles N] [--lookahead] [--fsm-dc] \
-                     [--out FILE] [--verilog FILE] [--dot FILE]";
+                     [--style and|or|latch] [--cycles N] [--threads N] [--lookahead] \
+                     [--fsm-dc] [--out FILE] [--verilog FILE] [--dot FILE]\n\
+                     --threads N evaluates isolation candidates on N worker threads \
+                     (0 = all cores); the result is identical at every setting";
 
 fn parse_options() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
@@ -65,6 +68,7 @@ fn parse_options() -> Result<Options, String> {
         file,
         style: IsolationStyle::And,
         cycles: 3000,
+        threads: 1,
         lookahead: false,
         fsm_dc: false,
         out: None,
@@ -91,6 +95,13 @@ fn parse_options() -> Result<Options, String> {
                     .ok_or("--cycles needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --cycles: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
             }
             "--lookahead" => opts.lookahead = true,
             "--fsm-dc" => opts.fsm_dc = true,
@@ -201,6 +212,7 @@ fn run() -> Result<(), String> {
             let mut config = IsolationConfig::default()
                 .with_style(opts.style)
                 .with_sim_cycles(opts.cycles)
+                .with_threads(opts.threads)
                 .with_fsm_dont_cares(opts.fsm_dc);
             config.activation = activation_config(opts.lookahead);
             let outcome =

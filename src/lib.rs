@@ -46,6 +46,9 @@ pub use oiso_power as power;
 /// Static timing analysis.
 pub use oiso_timing as timing;
 
+/// Deterministic scoped-thread worker pool (index-ordered parallel map).
+pub use oiso_par as par;
+
 /// The operand-isolation algorithm itself.
 pub use oiso_core as core;
 

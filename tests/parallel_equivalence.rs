@@ -1,0 +1,189 @@
+//! Parallel-vs-serial equivalence suite.
+//!
+//! The worker pool in `oiso-par` promises that every parallel code path —
+//! candidate evaluation inside one `optimize()` run, the EXP-SW sweep fan,
+//! and the per-style table fan — is **bit-identical** to the serial path.
+//! These tests enforce that promise on the paper's benchmark designs
+//! (design1, design2) and several sweep grids by comparing complete
+//! outcomes at `threads = 1` against `threads = 4` and `threads = 0`
+//! (all cores): the isolated candidate set, the exact `f64` bit patterns
+//! of every measured number, the transformed netlist's content
+//! fingerprint, and the final paper-style tables.
+
+use oiso_bench::sweep::activation_sweep;
+use oiso_bench::tables::paper_table;
+use operand_isolation::core::{
+    optimize, IsolationConfig, IsolationOutcome, IsolationStyle,
+};
+use operand_isolation::designs::design1::{self, Design1Params};
+use operand_isolation::designs::design2::{self, Design2Params};
+use operand_isolation::designs::Design;
+use operand_isolation::netlist::CellId;
+
+/// Everything observable about an outcome, with floats captured as exact
+/// bit patterns so `==` means bit-identical, not merely approximately
+/// equal.
+#[derive(Debug, PartialEq, Eq)]
+struct OutcomeSignature {
+    netlist_fingerprint: u64,
+    isolated: Vec<(CellId, usize)>,
+    power_bits: (u64, u64),
+    area_bits: (u64, u64),
+    slack_bits: (u64, u64),
+    iterations: Vec<IterationSignature>,
+}
+
+/// One iteration's log: number, `(candidate, h bits, savings bits)` per
+/// isolation, rejected count.
+type IterationSignature = (usize, Vec<(CellId, u64, u64)>, usize);
+
+fn signature(outcome: &IsolationOutcome) -> OutcomeSignature {
+    OutcomeSignature {
+        netlist_fingerprint: outcome.netlist.fingerprint(),
+        isolated: outcome
+            .isolated
+            .iter()
+            .map(|r| (r.candidate, r.isolated_bits))
+            .collect(),
+        power_bits: (
+            outcome.power_before.as_mw().to_bits(),
+            outcome.power_after.as_mw().to_bits(),
+        ),
+        area_bits: (
+            outcome.area_before.as_um2().to_bits(),
+            outcome.area_after.as_um2().to_bits(),
+        ),
+        slack_bits: (
+            outcome.slack_before.as_ns().to_bits(),
+            outcome.slack_after.as_ns().to_bits(),
+        ),
+        iterations: outcome
+            .iterations
+            .iter()
+            .map(|it| {
+                (
+                    it.iteration,
+                    it.isolated
+                        .iter()
+                        .map(|&(c, h, s)| (c, h.to_bits(), s.to_bits()))
+                        .collect(),
+                    it.rejected,
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Runs one full `optimize()` at several thread counts and asserts the
+/// outcomes are indistinguishable.
+fn assert_optimize_thread_invariant(design: &Design, base: &IsolationConfig) {
+    let serial = optimize(&design.netlist, &design.stimuli, &base.clone().with_threads(1))
+        .expect("serial optimize");
+    for threads in [2usize, 4, 0] {
+        let parallel = optimize(
+            &design.netlist,
+            &design.stimuli,
+            &base.clone().with_threads(threads),
+        )
+        .expect("parallel optimize");
+        assert_eq!(
+            signature(&serial),
+            signature(&parallel),
+            "threads={threads} must be bit-identical to threads=1"
+        );
+    }
+}
+
+#[test]
+fn design1_optimize_is_thread_count_invariant() {
+    let design = design1::build(&Design1Params::default());
+    let config = IsolationConfig::default().with_sim_cycles(500);
+    assert_optimize_thread_invariant(&design, &config);
+}
+
+#[test]
+fn design2_optimize_is_thread_count_invariant() {
+    let design = design2::build(&Design2Params::default());
+    let config = IsolationConfig::default().with_sim_cycles(500);
+    assert_optimize_thread_invariant(&design, &config);
+}
+
+#[test]
+fn every_style_is_thread_count_invariant() {
+    // The isolated candidate *set* must match per style, not just in
+    // aggregate — a scheduling-dependent argmax would show up here.
+    let design = design1::build(&Design1Params {
+        lanes: 2,
+        ..Default::default()
+    });
+    for style in IsolationStyle::ALL {
+        let config = IsolationConfig::default()
+            .with_style(style)
+            .with_sim_cycles(400);
+        assert_optimize_thread_invariant(&design, &config);
+    }
+}
+
+#[test]
+fn sweep_grids_are_thread_count_invariant() {
+    // Three grids: the idle/busy corners, a mid-probability spread, and a
+    // fixed-probability toggle-rate ladder. Every toggle rate respects the
+    // Markov feasibility bound `tr <= 2 * min(p, 1-p)`.
+    let grids: [&[(f64, f64)]; 3] = [
+        &[(0.05, 0.03), (0.95, 0.05)],
+        &[(0.2, 0.1), (0.35, 0.2), (0.5, 0.3), (0.8, 0.1)],
+        &[(0.5, 0.05), (0.5, 0.45), (0.5, 0.9)],
+    ];
+    let serial_config = IsolationConfig::default().with_sim_cycles(300);
+    for (i, grid) in grids.iter().enumerate() {
+        let serial = activation_sweep(grid, &serial_config).expect("serial sweep");
+        for threads in [4usize, 0] {
+            let parallel =
+                activation_sweep(grid, &serial_config.clone().with_threads(threads))
+                    .expect("parallel sweep");
+            assert_eq!(serial, parallel, "grid {i}, threads={threads}");
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(
+                    s.power_reduction_pct.to_bits(),
+                    p.power_reduction_pct.to_bits(),
+                    "grid {i}, point ({}, {}): reduction must be bit-identical",
+                    s.p_active,
+                    s.toggle_rate
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_tables_are_thread_count_invariant() {
+    let designs = [
+        design1::build(&Design1Params {
+            lanes: 2,
+            ..Default::default()
+        }),
+        design2::build(&Design2Params::default()),
+    ];
+    for design in &designs {
+        let serial = paper_table(
+            design,
+            &IsolationConfig::default().with_sim_cycles(300).with_threads(1),
+        )
+        .expect("serial table");
+        let parallel = paper_table(
+            design,
+            &IsolationConfig::default().with_sim_cycles(300).with_threads(4),
+        )
+        .expect("parallel table");
+        assert_eq!(serial, parallel, "{}", design.netlist.name());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.power_reduction_pct.to_bits(),
+                p.power_reduction_pct.to_bits(),
+                "{} row `{}`",
+                design.netlist.name(),
+                s.label
+            );
+        }
+    }
+}

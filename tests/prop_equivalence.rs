@@ -5,6 +5,7 @@
 //! equivalent to the original — all primary-output traces are identical for
 //! identical stimuli, under every isolation style and estimator.
 
+use oiso_bench::sweep::{activation_sweep, point_seed};
 use operand_isolation::core::{
     optimize, EstimatorKind, IsolationConfig, IsolationStyle,
 };
@@ -180,5 +181,56 @@ proptest! {
         for (id, cell) in design.netlist.cells() {
             prop_assert_eq!(outcome.netlist.cell(id).name(), cell.name());
         }
+    }
+}
+
+// The sweep-reproducibility properties run full `optimize()` calls per
+// case, so they get a smaller case budget than the structural properties
+// above.
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// A sweep point's stimuli are seeded from its grid coordinates, so a
+    /// random Markov point reproduces the identical `SweepPoint` — exact
+    /// `f64` bit patterns included — across two independent runs and
+    /// across thread counts.
+    #[test]
+    fn sweep_points_reproduce_across_runs_and_threads(
+        p in 0.05f64..0.95,
+        frac in 0.1f64..0.9,
+        threads in 2usize..5,
+    ) {
+        let tr = (2.0 * p.min(1.0 - p) * frac).max(0.01);
+        let grid = [(p, tr)];
+        let config = IsolationConfig::default().with_sim_cycles(250);
+        let first = activation_sweep(&grid, &config).expect("sweep");
+        let second = activation_sweep(&grid, &config).expect("sweep");
+        prop_assert_eq!(&first, &second, "two serial runs must agree");
+        let fanned =
+            activation_sweep(&grid, &config.clone().with_threads(threads))
+                .expect("sweep");
+        prop_assert_eq!(&first, &fanned, "threads={} must agree", threads);
+        prop_assert_eq!(
+            first[0].power_reduction_pct.to_bits(),
+            fanned[0].power_reduction_pct.to_bits()
+        );
+    }
+
+    /// The per-point master seed is a pure function of the base seed and
+    /// the coordinates' exact bit patterns — and distinct coordinates get
+    /// distinct vector streams.
+    #[test]
+    fn point_seed_is_coordinate_pure_and_sensitive(
+        base in 0u64..1_000_000,
+        p in 0.05f64..0.95,
+        tr in 0.01f64..0.5,
+    ) {
+        prop_assert_eq!(point_seed(base, p, tr), point_seed(base, p, tr));
+        prop_assert_ne!(point_seed(base, p, tr), point_seed(base.wrapping_add(1), p, tr));
+        prop_assert_ne!(point_seed(base, p, tr), point_seed(base, p + 0.001, tr));
+        prop_assert_ne!(point_seed(base, p, tr), point_seed(base, p, tr + 0.001));
     }
 }
