@@ -293,6 +293,52 @@ impl Bdd {
         self.cofactors(f, var)
     }
 
+    /// The difference `a · !b`: `FALSE` exactly when `a` implies `b`.
+    ///
+    /// This is the workhorse of equivalence checking — a miter
+    /// `and_not(assumption, xor(f, g)) == FALSE` proves `f ≡ g` wherever
+    /// the assumption holds, and a non-`FALSE` result is itself the
+    /// characteristic function of all counterexamples.
+    pub fn and_not(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        let nb = self.not(b);
+        self.and(a, nb)
+    }
+
+    /// Whether `a → b` holds for every assignment.
+    pub fn implies(&mut self, a: BddRef, b: BddRef) -> bool {
+        self.and_not(a, b) == BddRef::FALSE
+    }
+
+    /// One satisfying assignment of `f`, or `None` if `f` is unsatisfiable.
+    ///
+    /// Returns `(signal, value)` pairs for the variables on one path from
+    /// the root to the `TRUE` terminal; variables absent from the result are
+    /// don't-cares on that path. The walk is deterministic: at every node it
+    /// prefers the low (variable = 0) branch when both lead to `TRUE`, so the
+    /// extracted counterexample is stable across runs.
+    pub fn satisfy_one(&self, f: BddRef) -> Option<Vec<(Signal, bool)>> {
+        if f == BddRef::FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let node = self.nodes[cur.0 as usize];
+            let sig = self.vars[node.var as usize];
+            // In an ROBDD every non-FALSE node has a path to TRUE, so
+            // following any non-FALSE child terminates at TRUE.
+            if node.lo != BddRef::FALSE {
+                path.push((sig, false));
+                cur = node.lo;
+            } else {
+                path.push((sig, true));
+                cur = node.hi;
+            }
+        }
+        debug_assert_eq!(cur, BddRef::TRUE);
+        Some(path)
+    }
+
     /// Evaluates `f` under a concrete assignment.
     pub fn eval(&self, f: BddRef, assignment: &impl Fn(Signal) -> bool) -> bool {
         let mut cur = f;
@@ -411,6 +457,58 @@ mod tests {
         // chain evaluates correctly at its extremes.
         assert!(bdd.eval(f, &|_| true));
         assert!(!bdd.eval(f, &|s| s != sig(7)));
+    }
+
+    #[test]
+    fn implication_and_difference() {
+        let mut bdd = Bdd::new();
+        let xy = bdd.from_expr(&BoolExpr::and2(v(0), v(1)));
+        let x = bdd.from_expr(&v(0));
+        assert!(bdd.implies(xy, x), "x&y -> x");
+        assert!(!bdd.implies(x, xy), "x -/-> x&y");
+        // The difference of x over x&y is exactly x&!y.
+        let diff = bdd.and_not(x, xy);
+        let expect = bdd.from_expr(&BoolExpr::and2(v(0), v(1).not()));
+        assert_eq!(diff, expect);
+        assert!(bdd.implies(BddRef::FALSE, x));
+        assert!(bdd.implies(x, BddRef::TRUE));
+    }
+
+    #[test]
+    fn satisfy_one_finds_models() {
+        let mut bdd = Bdd::new();
+        assert_eq!(bdd.satisfy_one(BddRef::FALSE), None);
+        assert_eq!(bdd.satisfy_one(BddRef::TRUE), Some(vec![]));
+        // x & !y: the unique model restricted to its support.
+        let f = bdd.from_expr(&BoolExpr::and2(v(0), v(1).not()));
+        let model = bdd.satisfy_one(f).expect("satisfiable");
+        assert_eq!(model, vec![(sig(0), true), (sig(1), false)]);
+        // The model actually satisfies the function.
+        let lookup: std::collections::HashMap<_, _> = model.into_iter().collect();
+        assert!(bdd.eval(f, &|s| *lookup.get(&s).unwrap_or(&false)));
+    }
+
+    #[test]
+    fn satisfy_one_is_deterministic_and_prefers_low() {
+        let mut bdd = Bdd::new();
+        // x | y: low-preferring walk gives x=0, y=1.
+        let f = bdd.from_expr(&BoolExpr::or2(v(0), v(1)));
+        let a = bdd.satisfy_one(f).unwrap();
+        let b = bdd.satisfy_one(f).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(sig(0), false), (sig(1), true)]);
+    }
+
+    #[test]
+    fn miter_of_equal_functions_is_unsatisfiable() {
+        let mut bdd = Bdd::new();
+        let lhs = bdd.from_expr(&BoolExpr::and2(v(0), BoolExpr::or2(v(1), v(2))));
+        let rhs = bdd.from_expr(&BoolExpr::or2(
+            BoolExpr::and2(v(0), v(1)),
+            BoolExpr::and2(v(0), v(2)),
+        ));
+        let miter = bdd.xor(lhs, rhs);
+        assert_eq!(bdd.satisfy_one(miter), None);
     }
 
     #[test]

@@ -186,10 +186,12 @@ fn sweep(
         );
         result.insert(cid, f_out.clone());
 
-        // Push to data inputs: obs(port) & f_out. (Latch data ports combine
-        // the enable condition with the latch output's activation, exactly
-        // the `en · f(out)` term — handled uniformly here since the latch's
-        // observability condition already is its enable.)
+        // Push to data inputs: obs(port) & f_out. Latch data ports get the
+        // enable condition *alone* — a transparent latch stores whatever
+        // passes while `en = 1`, and the held value can become observable in
+        // a LATER cycle even if the latch output is unobservable right now.
+        // Factoring in `f(out)` here would under-approximate across cycles;
+        // this is the same conservatism as the register rule `f⁺_r = 1`.
         for (port, &inp) in cell.inputs().iter().enumerate() {
             if matches!(cell.kind(), CellKind::Const { .. }) {
                 continue;
@@ -197,6 +199,8 @@ fn sweep(
             let obs = observability_condition(netlist, cid, port);
             let term = if cell.port_role(port) == PortRole::Control {
                 BoolExpr::TRUE
+            } else if cell.kind() == CellKind::Latch {
+                obs
             } else {
                 BoolExpr::and2(obs, f_out.clone())
             };
@@ -585,6 +589,31 @@ mod tests {
         let q = b.wire("q", 8);
         let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
         b.cell("l", CellKind::Latch, &[s, en], q).unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let acts = derive_activation_functions(&n, &ActivationConfig::default());
+        assert_eq!(acts[&add], sig(&n, "en"));
+    }
+
+    #[test]
+    fn latch_enable_alone_survives_downstream_gating() {
+        // add -> latch(en) -> reg(g) -> PO. The latch output is observable
+        // only when `g = 1`, but a value latched while `g = 0` is HELD and
+        // can be stored by the register in a later cycle. AS_add must
+        // therefore be `en`, not `en & g` — the latter would let isolation
+        // corrupt the held value across cycles.
+        let mut b = NetlistBuilder::new("lg");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let en = b.input("en", 1);
+        let g = b.input("g", 1);
+        let s = b.wire("s", 8);
+        let l = b.wire("l", 8);
+        let q = b.wire("q", 8);
+        let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("lat", CellKind::Latch, &[s, en], l).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[l, g], q)
+            .unwrap();
         b.mark_output(q);
         let n = b.build().unwrap();
         let acts = derive_activation_functions(&n, &ActivationConfig::default());

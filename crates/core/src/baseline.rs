@@ -220,6 +220,7 @@ pub fn kapadia_enable_gating(
             candidate: cid,
             style: config.style,
             activation_net: as_net,
+            activation: activation.clone(),
             bank_cells: gated_regs,
             isolated_bits: cell
                 .inputs()

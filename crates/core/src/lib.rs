@@ -82,4 +82,4 @@ pub use fsm::{find_closed_fsms, refine_with_fsm_dont_cares, ClosedFsm};
 pub use muxfunc::multiplexing_functions;
 pub use report::{IsolationOutcome, IterationLog};
 pub use savings::{EstimatorKind, SavingsEstimate, SavingsEstimator};
-pub use transform::{isolate, isolate_with_cache, IsolationRecord, IsolationStyle};
+pub use transform::{isolate, isolate_each, isolate_with_cache, IsolationRecord, IsolationStyle};

@@ -76,6 +76,10 @@ pub struct IsolationRecord {
     pub style: IsolationStyle,
     /// The 1-bit activation-signal net `AS`.
     pub activation_net: NetId,
+    /// The activation function the banks were built from, in terms of the
+    /// *original* netlist's signals. Equivalence checkers replay this as
+    /// the `f_c` of the paper's safety obligation `f_c → (out ≡ out')`.
+    pub activation: BoolExpr,
     /// The inserted bank cells (one per isolated operand port).
     pub bank_cells: Vec<CellId>,
     /// Number of operand bits isolated (the bank width — the paper's
@@ -188,9 +192,44 @@ pub fn isolate_with_cache(
         candidate,
         style,
         activation_net: as_net,
+        activation: activation.clone(),
         bank_cells,
         isolated_bits,
     })
+}
+
+/// Applies a sequence of isolations to a copy of `netlist`, invoking
+/// `observer(before, after, record)` after every step with the netlist as
+/// it stood *before* and *after* that candidate's banks went in.
+///
+/// This is the transform hook the verification harness builds on: each
+/// pre/post pair is a self-contained equivalence obligation, so a checker
+/// can attribute any mismatch to the exact candidate whose isolation
+/// introduced it instead of diffing the fully transformed design. All steps
+/// share one activation-synthesis cache, exactly as [`isolate_with_cache`]
+/// in the optimizer's inner loop.
+///
+/// # Errors
+///
+/// As [`isolate`]; the observer is not called for the failing step.
+pub fn isolate_each<F>(
+    netlist: &Netlist,
+    plan: &[(CellId, BoolExpr, IsolationStyle)],
+    mut observer: F,
+) -> Result<(Netlist, Vec<IsolationRecord>), BuildError>
+where
+    F: FnMut(&Netlist, &Netlist, &IsolationRecord),
+{
+    let mut work = netlist.clone();
+    let mut cache = HashMap::new();
+    let mut records = Vec::with_capacity(plan.len());
+    for (candidate, activation, style) in plan {
+        let before = work.clone();
+        let record = isolate_with_cache(&mut work, *candidate, activation, *style, &mut cache)?;
+        observer(&before, &work, &record);
+        records.push(record);
+    }
+    Ok((work, records))
 }
 
 /// Replicates a 1-bit net to `width` bits (a fanout bundle, implemented as
@@ -441,6 +480,28 @@ mod tests {
         for &bc in &rec.bank_cells {
             assert_eq!(iso.cell(bc).kind(), CellKind::Latch);
         }
+    }
+
+    #[test]
+    fn isolate_each_exposes_pre_post_pairs() {
+        let (orig, add, g) = gated_adder();
+        let act = BoolExpr::var(Signal::bit0(g));
+        let plan = vec![(add, act.clone(), IsolationStyle::And)];
+        let mut observed = 0usize;
+        let (iso, records) = isolate_each(&orig, &plan, |before, after, rec| {
+            observed += 1;
+            assert_eq!(before.fingerprint(), orig.fingerprint(), "pre = untouched");
+            assert!(after.num_cells() > before.num_cells(), "post grew");
+            assert_eq!(rec.candidate, add);
+            assert_eq!(rec.activation, act);
+        })
+        .unwrap();
+        assert_eq!(observed, 1);
+        assert_eq!(records.len(), 1);
+        assert!(iso.num_cells() > orig.num_cells());
+        // The input netlist is untouched.
+        assert_eq!(orig.fingerprint(), gated_adder().0.fingerprint());
+        iso.validate().unwrap();
     }
 
     #[test]

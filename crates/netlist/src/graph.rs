@@ -201,6 +201,40 @@ pub fn fanout_candidates(netlist: &Netlist, cell: CellId) -> Vec<CellId> {
     result
 }
 
+/// The *source nets* a net's value depends on combinationally: primary
+/// inputs and stateful-cell (register/latch) outputs reachable backwards
+/// from `net` without crossing a stateful cell.
+///
+/// This is exactly the variable support an equivalence checker must
+/// enumerate to compare `net`'s function on two netlists: everything else
+/// in the cone is an internal node whose function is determined by these
+/// sources. Returned sorted by id for deterministic iteration.
+pub fn input_support(netlist: &Netlist, net: NetId) -> Vec<NetId> {
+    let mut support = Vec::new();
+    let mut stack = vec![net];
+    let mut visited = HashSet::new();
+    while let Some(n) = stack.pop() {
+        if !visited.insert(n) {
+            continue;
+        }
+        match netlist.net(n).driver() {
+            None => support.push(n), // primary input
+            Some(driver) => {
+                let kind = netlist.cell(driver).kind();
+                if kind.is_register() || matches!(kind, CellKind::Latch) {
+                    support.push(n);
+                } else {
+                    for &inp in netlist.cell(driver).inputs() {
+                        stack.push(inp);
+                    }
+                }
+            }
+        }
+    }
+    support.sort();
+    support
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +333,32 @@ mod tests {
         let add1 = n.find_cell("add1").unwrap();
         let a_net = n.cell(add1).inputs()[0];
         assert_eq!(fanin_candidates(&n, a_net), vec![add0]);
+    }
+
+    #[test]
+    fn input_support_stops_at_state_and_inputs() {
+        let n = pipeline();
+        // m = mux(s, a+b, c): support of the register's D input is the four
+        // primary inputs; the register output q's support is q itself.
+        let m = n.find_net("m").unwrap();
+        let mut names: Vec<&str> = input_support(&n, m)
+            .into_iter()
+            .map(|id| n.net(id).name())
+            .collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "b", "c", "s"]);
+        let q = n.find_net("q").unwrap();
+        assert_eq!(input_support(&n, q), vec![q]);
+    }
+
+    #[test]
+    fn input_support_of_const_is_empty() {
+        let mut b = NetlistBuilder::new("k");
+        let k = b.wire("k", 4);
+        b.cell("c", CellKind::Const { value: 5 }, &[], k).unwrap();
+        b.mark_output(k);
+        let n = b.build().unwrap();
+        assert!(input_support(&n, n.find_net("k").unwrap()).is_empty());
     }
 
     #[test]

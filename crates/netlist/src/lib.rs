@@ -60,7 +60,7 @@ pub mod verilog;
 
 pub use builder::{BuildError, NetlistBuilder};
 pub use cell::{Cell, CellKind, PortRole};
-pub use graph::{comb_topo_order, levelize, transitive_fanin, transitive_fanout};
+pub use graph::{comb_topo_order, input_support, levelize, transitive_fanin, transitive_fanout};
 pub use id::{CellId, NetId};
 pub use net::Net;
 pub use netlist::Netlist;

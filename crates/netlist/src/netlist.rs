@@ -258,6 +258,21 @@ impl Netlist {
         validate::validate(self)
     }
 
+    /// Runs [`Netlist::validate`] plus the dangling-net check: every net
+    /// must either feed at least one cell or be a primary output.
+    ///
+    /// Generators may deliberately leave scratch nets unread (the random
+    /// design builder keeps a value pool), so this is a separate, opt-in
+    /// level of scrutiny used by hand-written designs and the fuzzer's
+    /// mutation filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate_strict(&self) -> Result<(), crate::ValidateError> {
+        validate::validate_strict(self)
+    }
+
     /// The constant value driven onto `net`, if its driver is a `Const` cell.
     pub fn constant_value(&self, net: NetId) -> Option<u64> {
         let driver = self.net(net).driver()?;

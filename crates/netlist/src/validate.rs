@@ -16,6 +16,21 @@ pub enum ValidateError {
     CombinationalCycle(String),
     /// Internal connectivity tables disagree with cell port lists.
     InconsistentConnectivity(String),
+    /// A cell's ports no longer satisfy its kind's width/count convention.
+    ///
+    /// The builder enforces the convention at construction, but transforms
+    /// and fuzzer mutations can rewire nets afterwards; re-checking every
+    /// cell turns such corruption into a structured error instead of a
+    /// downstream simulation panic.
+    PortViolation {
+        /// Name of the offending cell.
+        cell: String,
+        /// Human-readable description of the violated rule.
+        detail: String,
+    },
+    /// A net is neither read by any cell nor a primary output
+    /// (strict mode only — see [`Netlist::validate_strict`]).
+    DanglingNet(String),
 }
 
 impl fmt::Display for ValidateError {
@@ -27,6 +42,12 @@ impl fmt::Display for ValidateError {
             }
             ValidateError::InconsistentConnectivity(d) => {
                 write!(f, "inconsistent connectivity: {d}")
+            }
+            ValidateError::PortViolation { cell, detail } => {
+                write!(f, "cell `{cell}` violates its port convention: {detail}")
+            }
+            ValidateError::DanglingNet(n) => {
+                write!(f, "net `{n}` is dangling: no loads and not a primary output")
             }
         }
     }
@@ -273,9 +294,35 @@ pub(crate) fn validate(netlist: &Netlist) -> Result<(), ValidateError> {
             )));
         }
     }
+    // Every cell must still satisfy its kind's port convention. The
+    // builder checked this at construction, but post-construction rewiring
+    // (transforms, fuzzer mutations) can corrupt widths or port counts.
+    for (_, cell) in netlist.cells() {
+        if let Err(e) =
+            check_cell_ports(netlist, cell.name(), cell.kind(), cell.inputs(), cell.output())
+        {
+            return Err(ValidateError::PortViolation {
+                cell: cell.name().to_string(),
+                detail: e.to_string(),
+            });
+        }
+    }
     // No combinational cycles: DFS over comb cells (latches included —
     // a transparent latch forms a real combinational path).
     detect_comb_cycle(netlist)?;
+    Ok(())
+}
+
+/// Strict structural validation (see [`Netlist::validate_strict`]):
+/// everything [`validate`] checks, plus every net must be observable —
+/// read by at least one cell or exported as a primary output.
+pub(crate) fn validate_strict(netlist: &Netlist) -> Result<(), ValidateError> {
+    validate(netlist)?;
+    for (_, net) in netlist.nets() {
+        if net.loads().is_empty() && !net.is_primary_output() {
+            return Err(ValidateError::DanglingNet(net.name().to_string()));
+        }
+    }
     Ok(())
 }
 
@@ -427,6 +474,107 @@ mod tests {
         assert!(b.cell("lt", CellKind::Lt, &[a, c], bad).is_err());
         let ok = b.wire("ok", 1);
         assert!(b.cell("lt2", CellKind::Lt, &[a, c], ok).is_ok());
+    }
+
+    /// A well-formed two-input adder with every net observable.
+    fn clean_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("clean");
+        let a = b.input("a", 8);
+        let c = b.input("b", 8);
+        let s = b.wire("s", 8);
+        b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+        b.mark_output(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn strict_accepts_fully_connected_netlist() {
+        let n = clean_adder();
+        n.validate().unwrap();
+        n.validate_strict().unwrap();
+    }
+
+    #[test]
+    fn strict_rejects_dangling_wire() {
+        let mut b = NetlistBuilder::new("dangle");
+        let a = b.input("a", 8);
+        let c = b.input("b", 8);
+        let s = b.wire("s", 8);
+        let unused = b.wire("scratch", 8);
+        b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+        b.cell("dead", CellKind::Buf, &[a], unused).unwrap();
+        b.mark_output(s);
+        let n = b.build().unwrap();
+        // Base validation tolerates the unread `scratch` (it is driven and
+        // well-formed); strict validation names it.
+        n.validate().unwrap();
+        assert_eq!(
+            n.validate_strict(),
+            Err(ValidateError::DanglingNet("scratch".to_string()))
+        );
+    }
+
+    #[test]
+    fn strict_rejects_unread_primary_input() {
+        let mut b = NetlistBuilder::new("unread");
+        let a = b.input("a", 8);
+        let _ignored = b.input("ignored", 8);
+        let s = b.wire("s", 8);
+        b.cell("bufa", CellKind::Buf, &[a], s).unwrap();
+        b.mark_output(s);
+        let n = b.build().unwrap();
+        n.validate().unwrap();
+        assert_eq!(
+            n.validate_strict(),
+            Err(ValidateError::DanglingNet("ignored".to_string()))
+        );
+    }
+
+    #[test]
+    fn validate_catches_post_construction_width_corruption() {
+        // Simulate a buggy transform (or a fuzzer mutation) shrinking an
+        // operand net after the builder's checks already passed.
+        let mut n = clean_adder();
+        let a = n.find_net("a").unwrap();
+        n.nets[a.index()].width = 4;
+        let err = n.validate().unwrap_err();
+        match err {
+            ValidateError::PortViolation { cell, detail } => {
+                assert_eq!(cell, "add");
+                assert!(detail.contains("share width"), "{detail}");
+            }
+            other => panic!("expected PortViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_catches_post_construction_port_count_corruption() {
+        // Dropping an operand behind the builder's back must surface as a
+        // structured error, not a simulation panic.
+        let mut n = clean_adder();
+        let add = n.find_cell("add").unwrap();
+        let dropped = n.cells[add.index()].inputs.pop().unwrap();
+        n.nets[dropped.index()].loads.retain(|&(c, _)| c != add);
+        let err = n.validate().unwrap_err();
+        assert!(
+            matches!(err, ValidateError::PortViolation { ref cell, .. } if cell == "add"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn validate_error_messages_are_descriptive() {
+        let dangling = ValidateError::DanglingNet("tmp".into());
+        assert_eq!(
+            dangling.to_string(),
+            "net `tmp` is dangling: no loads and not a primary output"
+        );
+        let port = ValidateError::PortViolation {
+            cell: "mx".into(),
+            detail: "whatever".into(),
+        };
+        assert!(port.to_string().contains("mx"));
+        assert!(port.to_string().contains("port convention"));
     }
 
     #[test]

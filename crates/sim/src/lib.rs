@@ -46,6 +46,7 @@ pub mod analytic;
 pub mod engine;
 pub mod eval;
 pub mod memo;
+pub mod replay;
 pub mod stats;
 pub mod stimulus;
 pub mod testbench;
@@ -54,6 +55,7 @@ pub mod vcd;
 pub use analytic::{propagate as propagate_activity, ActivityEstimate, BitStats};
 pub use engine::Simulator;
 pub use memo::SimMemo;
+pub use replay::{replay_vector, VectorAssignment, VectorOutcome};
 pub use stats::SimReport;
 pub use stimulus::{Stimulus, StimulusError, StimulusPlan, StimulusSpec};
 pub use testbench::{SimError, Testbench};

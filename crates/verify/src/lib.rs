@@ -1,0 +1,404 @@
+//! Formal verification and fuzzing of the operand-isolation transform.
+//!
+//! The isolation transform (`oiso_core`) splices AND/OR/latch banks in
+//! front of arithmetic operands, gated by a derived activation function
+//! `AS`. The paper's correctness obligation is `f_c → (out ≡ out')`: the
+//! transformed datapath must be indistinguishable whenever its result is
+//! observable. This crate discharges that obligation three ways:
+//!
+//! 1. **BDD equivalence check** ([`check_equivalence`]) — per-observable
+//!    miters over shared input/state variables; an inductive argument (see
+//!    [`check`]) lifts the single-cycle proof to full sequential
+//!    equivalence. Refutations come with a concrete [`Counterexample`].
+//! 2. **Differential replay** ([`replay_counterexample`],
+//!    [`differential_sample`]) — every symbolic witness is replayed on the
+//!    concrete simulator of both netlists, and designs too wide for BDDs
+//!    (multipliers) fall back to seeded random sampling.
+//! 3. **Fuzzing** ([`run_fuzz`]) — seeded random netlists
+//!    (`oiso_designs::random`) plus a structural [mutation
+//!    layer](mutate_netlist) drive derive→isolate→check loops in parallel
+//!    (`oiso_par`), with optional activation *sabotage* to prove the
+//!    harness actually catches broken transforms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cex;
+pub mod check;
+pub mod differential;
+pub mod fuzz;
+pub mod mutate;
+pub mod symb;
+
+pub use cex::Counterexample;
+pub use check::{check_equivalence, CheckConfig, Verdict};
+pub use differential::{differential_sample, replay_counterexample, ReplayVerdict};
+pub use fuzz::{
+    case_seed, run_case, run_fuzz, CaseOutcome, FuzzConfig, FuzzReport, Sabotage, Violation,
+};
+pub use mutate::mutate_netlist;
+pub use symb::{build_symbolic, BudgetExceeded, SymbolicNetlist, VarEntry, VarKind, VarTable};
+
+use oiso_boolex::BoolExpr;
+use oiso_core::{isolate_with_cache, IsolationStyle};
+use oiso_netlist::{transitive_fanout, BuildError, CellId, Netlist};
+use std::collections::{HashMap, HashSet};
+
+/// Tunables for [`verify`] / [`verify_isolation_plan`].
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// The symbolic check's budget and optional assumption.
+    pub check: CheckConfig,
+    /// Random vectors for the differential fallback when the BDD budget is
+    /// exhausted.
+    pub sample_vectors: usize,
+    /// Seed of the fallback vector stream.
+    pub sample_seed: u64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            check: CheckConfig::default(),
+            sample_vectors: 64,
+            sample_seed: 0x5EED,
+        }
+    }
+}
+
+/// How a [`VerifyOutcome::Verified`] verdict was established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Proof {
+    /// Exhaustive symbolic proof over all inputs and states.
+    Bdd {
+        /// Observable bits proved equal.
+        observables: usize,
+    },
+    /// BDD budget exhausted; this many random vectors agreed. Evidence,
+    /// not proof.
+    Sampled {
+        /// Vectors replayed without divergence.
+        vectors: usize,
+    },
+}
+
+/// Result of verifying one original/transformed pair (or one plan step).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// No reachable disagreement found.
+    Verified(Proof),
+    /// A disagreement, with its witness and the concrete replay verdict.
+    Violation {
+        /// The symbolic witness.
+        counterexample: Counterexample,
+        /// Whether the witness reproduces on the concrete simulators.
+        replay: ReplayVerdict,
+    },
+    /// The plan step was not applied (vacuous or structurally unsafe);
+    /// nothing to verify.
+    Skipped {
+        /// Why the step was skipped.
+        reason: String,
+    },
+}
+
+impl VerifyOutcome {
+    /// True for [`VerifyOutcome::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, VerifyOutcome::Verified(_))
+    }
+
+    /// True for [`VerifyOutcome::Violation`].
+    pub fn is_violation(&self) -> bool {
+        matches!(self, VerifyOutcome::Violation { .. })
+    }
+}
+
+/// Verifies that `transformed` is observably equivalent to `original`:
+/// BDD check first, differential sampling as the budget fallback, concrete
+/// replay of any counterexample.
+pub fn verify(original: &Netlist, transformed: &Netlist, config: &VerifyConfig) -> VerifyOutcome {
+    match check_equivalence(original, transformed, &config.check) {
+        Verdict::Equivalent { observables } => VerifyOutcome::Verified(Proof::Bdd { observables }),
+        Verdict::NotEquivalent(counterexample) => {
+            let replay = replay_counterexample(original, transformed, &counterexample);
+            VerifyOutcome::Violation {
+                counterexample,
+                replay,
+            }
+        }
+        Verdict::BudgetExceeded { .. } => {
+            match differential_sample(
+                original,
+                transformed,
+                config.sample_seed,
+                config.sample_vectors,
+            ) {
+                Some(counterexample) => {
+                    let replay = replay_counterexample(original, transformed, &counterexample);
+                    VerifyOutcome::Violation {
+                        counterexample,
+                        replay,
+                    }
+                }
+                None => VerifyOutcome::Verified(Proof::Sampled {
+                    vectors: config.sample_vectors,
+                }),
+            }
+        }
+    }
+}
+
+/// True when isolating `candidate` under `activation` would close a
+/// combinational cycle: the activation logic reads a net that is itself
+/// combinationally downstream of the candidate's output (registers break
+/// the path; transparent latches do not). The isolation transform
+/// synthesizes `activation` into logic feeding the candidate's operand
+/// banks, so such an activation is structurally unrealizable.
+pub fn activation_closes_cycle(
+    netlist: &Netlist,
+    candidate: CellId,
+    activation: &BoolExpr,
+) -> bool {
+    let out = netlist.cell(candidate).output();
+    let cone: HashSet<_> = transitive_fanout(netlist, out, true)
+        .into_iter()
+        .filter(|&cid| !netlist.cell(cid).kind().is_register())
+        .map(|cid| netlist.cell(cid).output())
+        .collect();
+    activation
+        .support()
+        .iter()
+        .any(|sig| sig.net == out || cone.contains(&sig.net))
+}
+
+/// One verified step of an isolation plan.
+#[derive(Debug, Clone)]
+pub struct CandidateCheck {
+    /// Instance name of the isolated cell.
+    pub candidate: String,
+    /// Bank style applied.
+    pub style: IsolationStyle,
+    /// What the checker concluded for this step.
+    pub outcome: VerifyOutcome,
+}
+
+/// Applies an isolation plan step by step, verifying each pre/post netlist
+/// pair as it goes, and returns the final netlist with one
+/// [`CandidateCheck`] per plan entry.
+///
+/// Per-step checking attributes a violation to the exact candidate whose
+/// isolation introduced it, and the pairwise equivalences chain
+/// transitively into `original ≡ final`. Steps whose activation is
+/// constant `TRUE` (vacuous — the banks would be transparent wires) or
+/// would close a combinational cycle (see [`activation_closes_cycle`],
+/// judged against the *evolving* netlist) are skipped, not applied.
+///
+/// # Errors
+///
+/// Returns the transform's own [`BuildError`] if splicing a bank fails
+/// structurally — that is a harness-level failure, distinct from a
+/// [`VerifyOutcome::Violation`].
+pub fn verify_isolation_plan(
+    netlist: &Netlist,
+    plan: &[(CellId, BoolExpr, IsolationStyle)],
+    config: &VerifyConfig,
+) -> Result<(Netlist, Vec<CandidateCheck>), BuildError> {
+    let mut work = netlist.clone();
+    let mut cache = HashMap::new();
+    let mut checks = Vec::with_capacity(plan.len());
+    for (cid, activation, style) in plan {
+        let candidate = work.cell(*cid).name().to_string();
+        if activation.is_const(true) {
+            checks.push(CandidateCheck {
+                candidate,
+                style: *style,
+                outcome: VerifyOutcome::Skipped {
+                    reason: "activation is constant TRUE (isolation is vacuous)".into(),
+                },
+            });
+            continue;
+        }
+        if activation_closes_cycle(&work, *cid, activation) {
+            checks.push(CandidateCheck {
+                candidate,
+                style: *style,
+                outcome: VerifyOutcome::Skipped {
+                    reason: "activation reads the candidate's own fanout cone".into(),
+                },
+            });
+            continue;
+        }
+        let before = work.clone();
+        let record = isolate_with_cache(&mut work, *cid, activation, *style, &mut cache)?;
+        debug_assert_eq!(&record.activation, activation);
+        let outcome = verify(&before, &work, config);
+        checks.push(CandidateCheck {
+            candidate,
+            style: *style,
+            outcome,
+        });
+    }
+    Ok((work, checks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_boolex::Signal;
+    use oiso_core::{derive_activation_functions, ActivationConfig};
+    use oiso_netlist::{CellKind, NetlistBuilder};
+
+    /// x + y into a g-enabled register: the canonical isolation candidate.
+    fn gated_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("ga");
+        let x = b.input("x", 6);
+        let y = b.input("y", 6);
+        let g = b.input("g", 1);
+        let s = b.wire("s", 6);
+        let q = b.wire("q", 6);
+        b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[s, g], q)
+            .unwrap();
+        b.mark_output(q);
+        b.build().unwrap()
+    }
+
+    fn derived_plan(n: &Netlist, style: IsolationStyle) -> Vec<(CellId, BoolExpr, IsolationStyle)> {
+        let acts = derive_activation_functions(n, &ActivationConfig::default());
+        n.arithmetic_cells()
+            .filter_map(|cid| acts.get(&cid).map(|a| (cid, a.clone(), style)))
+            .collect()
+    }
+
+    #[test]
+    fn shipped_transform_verifies_in_all_styles() {
+        let n = gated_adder();
+        for style in IsolationStyle::ALL {
+            let plan = derived_plan(&n, style);
+            assert_eq!(plan.len(), 1);
+            let (_, checks) = verify_isolation_plan(&n, &plan, &VerifyConfig::default()).unwrap();
+            assert!(
+                matches!(checks[0].outcome, VerifyOutcome::Verified(Proof::Bdd { .. })),
+                "{style:?}: {:?}",
+                checks[0].outcome
+            );
+        }
+    }
+
+    #[test]
+    fn sabotaged_activation_is_caught_and_replayable() {
+        let n = gated_adder();
+        let mut plan = derived_plan(&n, IsolationStyle::And);
+        plan[0].1 = BoolExpr::FALSE; // operands forced to 0 even when g = 1
+        let (_, checks) = verify_isolation_plan(&n, &plan, &VerifyConfig::default()).unwrap();
+        let VerifyOutcome::Violation {
+            ref counterexample,
+            ref replay,
+        } = checks[0].outcome
+        else {
+            panic!("expected a violation, got {:?}", checks[0].outcome);
+        };
+        // g must be 1 in any witness: with g = 0 the register holds either way.
+        assert_eq!(counterexample.input("g"), Some(1));
+        assert!(
+            matches!(replay, ReplayVerdict::Confirmed { .. }),
+            "witness must reproduce concretely: {replay:?}"
+        );
+    }
+
+    #[test]
+    fn sabotage_is_tolerated_under_the_matching_assumption() {
+        // The paper's obligation is f_c → (out ≡ out'); restricting the
+        // check to cycles where the result is *unobservable* (assumption
+        // !f_c) makes even a FALSE-activation sabotage pass — the
+        // assumption facility isolates exactly the observable region.
+        let n = gated_adder();
+        let real = derived_plan(&n, IsolationStyle::And)[0].1.clone();
+        let mut plan = derived_plan(&n, IsolationStyle::And);
+        plan[0].1 = BoolExpr::FALSE;
+        let config = VerifyConfig {
+            check: CheckConfig {
+                assumption: Some(real.not()),
+                ..CheckConfig::default()
+            },
+            ..VerifyConfig::default()
+        };
+        let (_, checks) = verify_isolation_plan(&n, &plan, &config).unwrap();
+        assert!(
+            checks[0].outcome.is_verified(),
+            "got {:?}",
+            checks[0].outcome
+        );
+    }
+
+    #[test]
+    fn vacuous_and_cyclic_steps_are_skipped() {
+        let n = gated_adder();
+        let add = n.find_cell("add").unwrap();
+        let s = n.cell(add).output();
+        let plan = vec![
+            (add, BoolExpr::TRUE, IsolationStyle::And),
+            // Activation reading the adder's own output net.
+            (add, BoolExpr::var(Signal::bit0(s)), IsolationStyle::And),
+        ];
+        let (out, checks) = verify_isolation_plan(&n, &plan, &VerifyConfig::default()).unwrap();
+        assert!(matches!(checks[0].outcome, VerifyOutcome::Skipped { .. }));
+        assert!(matches!(checks[1].outcome, VerifyOutcome::Skipped { .. }));
+        assert_eq!(out.fingerprint(), n.fingerprint(), "nothing applied");
+    }
+
+    #[test]
+    fn cycle_detection_sees_through_gates_but_not_registers() {
+        let n = gated_adder();
+        let add = n.find_cell("add").unwrap();
+        let q = n.find_net("q").unwrap();
+        // q is behind the register: reading it is fine.
+        assert!(!activation_closes_cycle(
+            &n,
+            add,
+            &BoolExpr::var(Signal::bit0(q))
+        ));
+        // s is the adder's own output: cycle.
+        let s = n.find_net("s").unwrap();
+        assert!(activation_closes_cycle(
+            &n,
+            add,
+            &BoolExpr::var(Signal::bit0(s))
+        ));
+    }
+
+    #[test]
+    fn budget_fallback_samples_instead_of_hanging() {
+        // 16-bit multiplier into an enabled register: far past any sane
+        // node budget, so verification degrades to seeded sampling.
+        let mut b = NetlistBuilder::new("wide");
+        let x = b.input("x", 16);
+        let y = b.input("y", 16);
+        let g = b.input("g", 1);
+        let p = b.wire("p", 16);
+        let q = b.wire("q", 16);
+        b.cell("mul", CellKind::Mul, &[x, y], p).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[p, g], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let plan = derived_plan(&n, IsolationStyle::And);
+        let config = VerifyConfig {
+            check: CheckConfig {
+                node_budget: 10_000,
+                assumption: None,
+            },
+            ..VerifyConfig::default()
+        };
+        let (_, checks) = verify_isolation_plan(&n, &plan, &config).unwrap();
+        assert!(
+            matches!(
+                checks[0].outcome,
+                VerifyOutcome::Verified(Proof::Sampled { vectors: 64 })
+            ),
+            "got {:?}",
+            checks[0].outcome
+        );
+    }
+}

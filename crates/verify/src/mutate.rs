@@ -1,0 +1,209 @@
+//! Random structural mutation of netlists.
+//!
+//! The random design generator (`oiso_designs::random`) produces a useful
+//! but stylized family of netlists. The fuzzer widens the family by
+//! layering random *mutations* on top: extra arithmetic on existing nets,
+//! muxes, registers and latches hanging off arbitrary values, fanout
+//! rewiring, and width jitter (zero-extends / slices). Every mutation
+//! keeps the netlist legal — a mutation that fails to build or breaks
+//! [`Netlist::validate`] (e.g. a rewire closing a combinational cycle) is
+//! rolled back, so `mutate_netlist` always returns a valid netlist.
+//!
+//! New nets are marked as primary outputs: mutated logic must be
+//! *observable*, otherwise the equivalence checker would ignore exactly
+//! the structures the mutation added.
+
+use oiso_netlist::{CellKind, NetId, Netlist};
+use rand::Rng;
+
+/// One attempted mutation; `Err(())` means "not applicable here" (missing
+/// ingredient, builder rejection) and the caller rolls back.
+fn apply_one<R: Rng>(n: &mut Netlist, rng: &mut R, tag: usize) -> Result<(), ()> {
+    let nets: Vec<NetId> = n.nets().map(|(id, _)| id).collect();
+    if nets.is_empty() {
+        return Err(());
+    }
+    let pick = |rng: &mut R, pool: &[NetId]| -> Result<NetId, ()> {
+        if pool.is_empty() {
+            Err(())
+        } else {
+            Ok(pool[rng.gen_range(0usize..pool.len())])
+        }
+    };
+    let same_width = |n: &Netlist, w: u8| -> Vec<NetId> {
+        n.nets()
+            .filter(|(_, net)| net.width() == w)
+            .map(|(id, _)| id)
+            .collect()
+    };
+    let one_bit = same_width(n, 1);
+
+    match rng.gen_range(0usize..6) {
+        // Arithmetic cell over two existing equal-width nets.
+        0 => {
+            let a = pick(rng, &nets)?;
+            let w = n.net(a).width();
+            let b = pick(rng, &same_width(n, w))?;
+            let kind = [CellKind::Add, CellKind::Sub, CellKind::Mul][rng.gen_range(0usize..3)];
+            let out = n.add_wire(format!("mz{tag}_arith"), w).map_err(|_| ())?;
+            n.add_cell(format!("mz{tag}_op"), kind, &[a, b], out)
+                .map_err(|_| ())?;
+            n.mark_output(out);
+            Ok(())
+        }
+        // 2-way mux steered by an existing 1-bit net.
+        1 => {
+            let sel = pick(rng, &one_bit)?;
+            let a = pick(rng, &nets)?;
+            let w = n.net(a).width();
+            let b = pick(rng, &same_width(n, w))?;
+            let out = n.add_wire(format!("mz{tag}_mux"), w).map_err(|_| ())?;
+            n.add_cell(format!("mz{tag}_mx"), CellKind::Mux, &[sel, a, b], out)
+                .map_err(|_| ())?;
+            n.mark_output(out);
+            Ok(())
+        }
+        // Enabled register capturing an existing net.
+        2 => {
+            let d = pick(rng, &nets)?;
+            let en = pick(rng, &one_bit)?;
+            let w = n.net(d).width();
+            let out = n.add_wire(format!("mz{tag}_reg"), w).map_err(|_| ())?;
+            n.add_cell(
+                format!("mz{tag}_r"),
+                CellKind::Reg { has_enable: true },
+                &[d, en],
+                out,
+            )
+            .map_err(|_| ())?;
+            n.mark_output(out);
+            Ok(())
+        }
+        // Transparent latch capturing an existing net.
+        3 => {
+            let d = pick(rng, &nets)?;
+            let en = pick(rng, &one_bit)?;
+            let w = n.net(d).width();
+            let out = n.add_wire(format!("mz{tag}_lat"), w).map_err(|_| ())?;
+            n.add_cell(format!("mz{tag}_l"), CellKind::Latch, &[d, en], out)
+                .map_err(|_| ())?;
+            n.mark_output(out);
+            Ok(())
+        }
+        // Rewire one input port of a random cell to another same-width net.
+        // May close a combinational cycle — validate() catches that and the
+        // caller rolls back.
+        4 => {
+            let cells: Vec<_> = n.cells().map(|(id, _)| id).collect();
+            if cells.is_empty() {
+                return Err(());
+            }
+            let cid = cells[rng.gen_range(0usize..cells.len())];
+            let n_ports = n.cell(cid).inputs().len();
+            let port = rng.gen_range(0usize..n_ports);
+            let old = n.cell(cid).inputs()[port];
+            let w = n.net(old).width();
+            let pool: Vec<NetId> = same_width(n, w).into_iter().filter(|&x| x != old).collect();
+            let new = pick(rng, &pool)?;
+            n.rewire_input(cid, port, new).map_err(|_| ())
+        }
+        // Width jitter: zero-extend or slice an existing net.
+        _ => {
+            let a = pick(rng, &nets)?;
+            let w = n.net(a).width();
+            if rng.gen_bool(0.5) && w < 64 {
+                let nw = w + rng.gen_range(1u8..4).min(64 - w);
+                let out = n.add_wire(format!("mz{tag}_zx"), nw).map_err(|_| ())?;
+                n.add_cell(format!("mz{tag}_z"), CellKind::Zext, &[a], out)
+                    .map_err(|_| ())?;
+                n.mark_output(out);
+                Ok(())
+            } else if w > 1 {
+                let nw = rng.gen_range(1u8..w);
+                let out = n.add_wire(format!("mz{tag}_sl"), nw).map_err(|_| ())?;
+                n.add_cell(
+                    format!("mz{tag}_s"),
+                    CellKind::Slice { lo: 0, hi: nw - 1 },
+                    &[a],
+                    out,
+                )
+                .map_err(|_| ())?;
+                n.mark_output(out);
+                Ok(())
+            } else {
+                Err(())
+            }
+        }
+    }
+}
+
+/// Applies up to `mutations` random structural mutations to a copy of
+/// `base`. Mutations that don't apply (or would break validity) are
+/// skipped; the result always passes [`Netlist::validate`].
+pub fn mutate_netlist<R: Rng>(base: &Netlist, rng: &mut R, mutations: usize) -> Netlist {
+    let mut work = base.clone();
+    for tag in 0..mutations {
+        let snapshot = work.clone();
+        if apply_one(&mut work, rng, tag).is_err() || work.validate().is_err() {
+            work = snapshot;
+        }
+    }
+    debug_assert!(work.validate().is_ok());
+    work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_designs::random::{build_netlist, RandomParams};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn base(seed: u64) -> Netlist {
+        build_netlist(&RandomParams {
+            seed,
+            ops: 6,
+            width: 6,
+        })
+    }
+
+    #[test]
+    fn mutants_stay_valid() {
+        for seed in 0..20u64 {
+            let n = base(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D);
+            let m = mutate_netlist(&n, &mut rng, 8);
+            m.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_in_the_seed() {
+        let n = base(3);
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let m1 = mutate_netlist(&n, &mut r1, 6);
+        let m2 = mutate_netlist(&n, &mut r2, 6);
+        assert_eq!(m1.fingerprint(), m2.fingerprint());
+    }
+
+    #[test]
+    fn mutations_usually_grow_the_netlist() {
+        // Across many seeds at least some mutations must land; a layer that
+        // always rolls back would silently neuter the fuzzer.
+        let n = base(5);
+        let grew = (0..10u64).any(|s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let m = mutate_netlist(&n, &mut rng, 8);
+            m.cells().count() > n.cells().count()
+        });
+        assert!(grew);
+    }
+
+    #[test]
+    fn zero_mutations_is_identity() {
+        let n = base(7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = mutate_netlist(&n, &mut rng, 0);
+        assert_eq!(m.fingerprint(), n.fingerprint());
+    }
+}

@@ -1,0 +1,537 @@
+//! Symbolic interpretation of a netlist: one BDD per net bit.
+//!
+//! The checker compares two netlists that share no [`NetId`] space, so BDD
+//! variables cannot be netlist signals directly. Instead a [`VarTable`]
+//! interns *named* bits — `(net name, bit)` of every primary input and
+//! every stateful cell output — as synthetic [`Signal`]s shared by both
+//! sides: the net `"x"` of the original and the net `"x"` of the
+//! transformed design map to the *same* BDD variable, which is exactly
+//! what makes the miter `out ⊕ out'` meaningful.
+//!
+//! Variables are ordered by interleaving the source bits LSB-first across
+//! all sources. For ripple-carry arithmetic this keeps each sum bit's
+//! cone contiguous in the order (`a0 b0 a1 b1 …`), which is linear-sized,
+//! whereas an `a…a b…b` order is exponential for adders.
+//!
+//! Cell semantics mirror `oiso_sim::eval` bit-exactly — any divergence
+//! between the symbolic and the concrete interpreter would make the
+//! differential replay backend disagree with the BDD verdict.
+
+use oiso_boolex::{Bdd, BddRef, Signal};
+use oiso_netlist::{comb_topo_order, CellKind, NetId, Netlist};
+use std::collections::HashMap;
+
+/// What a BDD variable stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// A primary-input bit (free every cycle).
+    Input,
+    /// A stateful-cell state bit (free by the inductive argument: both
+    /// netlists reset to 0 and the checker proves next states equal, so an
+    /// arbitrary shared current state is the induction hypothesis).
+    State,
+}
+
+/// One interned BDD variable.
+#[derive(Debug, Clone)]
+pub struct VarEntry {
+    /// Input or state.
+    pub kind: VarKind,
+    /// The net name the bit belongs to (shared across both netlists).
+    pub name: String,
+    /// Bit index within the net.
+    pub bit: u8,
+}
+
+/// Bidirectional `(name, bit) ↔ Signal` map shared by both netlists.
+#[derive(Debug, Default)]
+pub struct VarTable {
+    entries: Vec<VarEntry>,
+    index: HashMap<(String, u8), usize>,
+}
+
+impl VarTable {
+    /// Builds the table for an original/transformed pair, interning every
+    /// source bit of both netlists in the interleaved order (see module
+    /// docs). Sources present in both (by name) share one variable.
+    pub fn for_pair(a: &Netlist, b: &Netlist) -> VarTable {
+        let mut sources: Vec<(VarKind, String, u8)> = Vec::new();
+        let mut seen: HashMap<String, ()> = HashMap::new();
+        for nl in [a, b] {
+            for &pi in nl.primary_inputs() {
+                let net = nl.net(pi);
+                if seen.insert(net.name().to_string(), ()).is_none() {
+                    sources.push((VarKind::Input, net.name().to_string(), net.width()));
+                }
+            }
+            for (_, cell) in nl.cells() {
+                if !cell.kind().is_stateful() {
+                    continue;
+                }
+                let net = nl.net(cell.output());
+                if seen.insert(net.name().to_string(), ()).is_none() {
+                    sources.push((VarKind::State, net.name().to_string(), net.width()));
+                }
+            }
+        }
+        let mut table = VarTable::default();
+        let max_width = sources.iter().map(|&(_, _, w)| w).max().unwrap_or(0);
+        for bit in 0..max_width {
+            for (kind, name, width) in &sources {
+                if bit < *width {
+                    table.intern(*kind, name, bit);
+                }
+            }
+        }
+        table
+    }
+
+    fn intern(&mut self, kind: VarKind, name: &str, bit: u8) -> Signal {
+        if let Some(&i) = self.index.get(&(name.to_string(), bit)) {
+            return Signal::bit0(NetId::from_index(i));
+        }
+        let i = self.entries.len();
+        self.entries.push(VarEntry {
+            kind,
+            name: name.to_string(),
+            bit,
+        });
+        self.index.insert((name.to_string(), bit), i);
+        Signal::bit0(NetId::from_index(i))
+    }
+
+    /// The synthetic signal of `(name, bit)`, if interned.
+    pub fn signal(&self, name: &str, bit: u8) -> Option<Signal> {
+        self.index
+            .get(&(name.to_string(), bit))
+            .map(|&i| Signal::bit0(NetId::from_index(i)))
+    }
+
+    /// Decodes a synthetic signal back to its named bit.
+    pub fn decode(&self, sig: Signal) -> &VarEntry {
+        &self.entries[sig.net.index()]
+    }
+
+    /// All variables in interleaved interning order — pass to
+    /// [`Bdd::with_order`].
+    pub fn order(&self) -> Vec<Signal> {
+        (0..self.entries.len())
+            .map(|i| Signal::bit0(NetId::from_index(i)))
+            .collect()
+    }
+}
+
+/// BDD node budget blown while building or comparing functions.
+///
+/// Word-level multipliers have exponentially-sized BDDs in every variable
+/// order; the checker aborts symbolically and falls back to differential
+/// sampling instead of hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Node count at the moment the budget check fired.
+    pub nodes: usize,
+}
+
+/// Per-net-bit BDDs of one netlist's settled (post-`settle()`) values.
+#[derive(Debug)]
+pub struct SymbolicNetlist {
+    bits: Vec<Vec<BddRef>>,
+}
+
+impl SymbolicNetlist {
+    /// The settled per-bit functions of `net` (LSB first).
+    pub fn net_bits(&self, net: NetId) -> &[BddRef] {
+        &self.bits[net.index()]
+    }
+}
+
+/// Interprets every net of `netlist` symbolically over `table`'s variables.
+///
+/// Primary inputs and register outputs become variables; latch outputs
+/// become `ite(en, d, state)` — the settled value of a transparent latch;
+/// combinational cells are evaluated in topological order with the exact
+/// semantics of the concrete simulator.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] as soon as the manager holds more than
+/// `node_budget` nodes.
+pub fn build_symbolic(
+    bdd: &mut Bdd,
+    table: &VarTable,
+    netlist: &Netlist,
+    node_budget: usize,
+) -> Result<SymbolicNetlist, BudgetExceeded> {
+    let mut bits: Vec<Vec<BddRef>> = vec![Vec::new(); netlist.num_nets()];
+    let source_bits = |bdd: &mut Bdd, name: &str, width: u8| -> Vec<BddRef> {
+        (0..width)
+            .map(|b| {
+                let sig = table
+                    .signal(name, b)
+                    .expect("source bit missing from var table");
+                bdd.literal(sig)
+            })
+            .collect()
+    };
+    for (nid, net) in netlist.nets() {
+        if net.is_primary_input() {
+            bits[nid.index()] = source_bits(bdd, net.name(), net.width());
+        }
+    }
+    for (_, cell) in netlist.cells() {
+        if cell.kind().is_register() {
+            let net = netlist.net(cell.output());
+            bits[cell.output().index()] = source_bits(bdd, net.name(), net.width());
+        }
+    }
+    for cid in comb_topo_order(netlist) {
+        let cell = netlist.cell(cid);
+        let out_net = netlist.net(cell.output());
+        let ins: Vec<Vec<BddRef>> = cell
+            .inputs()
+            .iter()
+            .map(|&n| bits[n.index()].clone())
+            .collect();
+        let out = if cell.kind() == CellKind::Latch {
+            // Settled latch value: transparent when en = 1, held otherwise.
+            let state = source_bits(bdd, out_net.name(), out_net.width());
+            let en = ins[1][0];
+            (0..out_net.width() as usize)
+                .map(|i| bdd.ite(en, ins[0][i], state[i]))
+                .collect()
+        } else {
+            eval_symbolic(bdd, cell.kind(), &ins, out_net.width(), node_budget)?
+        };
+        bits[cell.output().index()] = out;
+        if bdd.num_nodes() > node_budget {
+            return Err(BudgetExceeded {
+                nodes: bdd.num_nodes(),
+            });
+        }
+    }
+    Ok(SymbolicNetlist { bits })
+}
+
+/// `a + b + carry_in`, ripple-carry, truncated to `a.len()` bits.
+fn ripple_add(bdd: &mut Bdd, a: &[BddRef], b: &[BddRef], carry_in: BddRef) -> Vec<BddRef> {
+    let mut carry = carry_in;
+    let mut out = Vec::with_capacity(a.len());
+    for (&ai, &bi) in a.iter().zip(b) {
+        let axb = bdd.xor(ai, bi);
+        out.push(bdd.xor(axb, carry));
+        let ab = bdd.and(ai, bi);
+        let ac = bdd.and(axb, carry);
+        carry = bdd.or(ab, ac);
+    }
+    out
+}
+
+/// The condition `word == k` over `word`'s full bit vector.
+fn eq_const(bdd: &mut Bdd, word: &[BddRef], k: u64) -> BddRef {
+    if word.len() < 64 && (k >> word.len()) != 0 {
+        return BddRef::FALSE;
+    }
+    let mut acc = BddRef::TRUE;
+    for (j, &bit) in word.iter().enumerate() {
+        let lit = if (k >> j) & 1 == 1 {
+            bit
+        } else {
+            bdd.not(bit)
+        };
+        acc = bdd.and(acc, lit);
+    }
+    acc
+}
+
+/// Symbolic counterpart of `oiso_sim::eval::eval_comb_cell`.
+fn eval_symbolic(
+    bdd: &mut Bdd,
+    kind: CellKind,
+    ins: &[Vec<BddRef>],
+    out_width: u8,
+    node_budget: usize,
+) -> Result<Vec<BddRef>, BudgetExceeded> {
+    let w = out_width as usize;
+    Ok(match kind {
+        CellKind::Add => ripple_add(bdd, &ins[0], &ins[1], BddRef::FALSE),
+        CellKind::Sub => {
+            // a - b = a + !b + 1 (two's complement).
+            let nb: Vec<BddRef> = ins[1].iter().map(|&b| bdd.not(b)).collect();
+            ripple_add(bdd, &ins[0], &nb, BddRef::TRUE)
+        }
+        CellKind::Mul => {
+            // Shift-add over the multiplier bits, truncated to width. The
+            // only cell whose BDD is exponential in every variable order,
+            // so the budget is checked per partial-product row, not just
+            // per cell.
+            let mut acc = vec![BddRef::FALSE; w];
+            for i in 0..w {
+                let bi = ins[1][i];
+                let mut partial = vec![BddRef::FALSE; w];
+                for j in 0..w - i {
+                    partial[i + j] = bdd.and(ins[0][j], bi);
+                }
+                acc = ripple_add(bdd, &acc, &partial, BddRef::FALSE);
+                if bdd.num_nodes() > node_budget {
+                    return Err(BudgetExceeded {
+                        nodes: bdd.num_nodes(),
+                    });
+                }
+            }
+            acc
+        }
+        CellKind::Shl => (0..w)
+            .map(|i| {
+                let mut terms = Vec::new();
+                for k in 0..=i {
+                    let cond = eq_const(bdd, &ins[1], k as u64);
+                    terms.push(bdd.and(cond, ins[0][i - k]));
+                }
+                terms.into_iter().fold(BddRef::FALSE, |a, t| bdd.or(a, t))
+            })
+            .collect(),
+        CellKind::Shr => (0..w)
+            .map(|i| {
+                let mut terms = Vec::new();
+                for k in 0..w - i {
+                    let cond = eq_const(bdd, &ins[1], k as u64);
+                    terms.push(bdd.and(cond, ins[0][i + k]));
+                }
+                terms.into_iter().fold(BddRef::FALSE, |a, t| bdd.or(a, t))
+            })
+            .collect(),
+        CellKind::Lt => {
+            // LSB-to-MSB fold: lt = (!a·b) + (a ⊙ b)·lt_prev.
+            let mut lt = BddRef::FALSE;
+            for (&ai, &bi) in ins[0].iter().zip(&ins[1]) {
+                let na = bdd.not(ai);
+                let below = bdd.and(na, bi);
+                let x = bdd.xor(ai, bi);
+                let eq = bdd.not(x);
+                let hold = bdd.and(eq, lt);
+                lt = bdd.or(below, hold);
+            }
+            vec![lt]
+        }
+        CellKind::Eq => {
+            let mut acc = BddRef::TRUE;
+            for (&ai, &bi) in ins[0].iter().zip(&ins[1]) {
+                let x = bdd.xor(ai, bi);
+                let eq = bdd.not(x);
+                acc = bdd.and(acc, eq);
+            }
+            vec![acc]
+        }
+        CellKind::Mux => {
+            // sel clamps to the last data input, exactly like the concrete
+            // evaluator's `sel.min(n_data - 1)`.
+            let n_data = ins.len() - 1;
+            let mut conds: Vec<BddRef> = (0..n_data - 1)
+                .map(|v| eq_const(bdd, &ins[0], v as u64))
+                .collect();
+            let any = conds.iter().fold(BddRef::FALSE, |a, &c| bdd.or(a, c));
+            conds.push(bdd.not(any));
+            (0..w)
+                .map(|i| {
+                    let mut acc = BddRef::FALSE;
+                    for (v, &cond) in conds.iter().enumerate() {
+                        let t = bdd.and(cond, ins[1 + v][i]);
+                        acc = bdd.or(acc, t);
+                    }
+                    acc
+                })
+                .collect()
+        }
+        CellKind::And => (0..w)
+            .map(|i| ins.iter().fold(BddRef::TRUE, |a, inp| bdd.and(a, inp[i])))
+            .collect(),
+        CellKind::Or => (0..w)
+            .map(|i| ins.iter().fold(BddRef::FALSE, |a, inp| bdd.or(a, inp[i])))
+            .collect(),
+        CellKind::Xor => (0..w)
+            .map(|i| ins.iter().fold(BddRef::FALSE, |a, inp| bdd.xor(a, inp[i])))
+            .collect(),
+        CellKind::Not => ins[0].iter().map(|&b| bdd.not(b)).collect(),
+        CellKind::Buf => ins[0].clone(),
+        CellKind::RedOr => {
+            let any = ins[0].iter().fold(BddRef::FALSE, |a, &b| bdd.or(a, b));
+            vec![any]
+        }
+        CellKind::RedAnd => {
+            let all = ins[0].iter().fold(BddRef::TRUE, |a, &b| bdd.and(a, b));
+            vec![all]
+        }
+        CellKind::Const { value } => (0..w)
+            .map(|i| {
+                if (value >> i) & 1 == 1 {
+                    BddRef::TRUE
+                } else {
+                    BddRef::FALSE
+                }
+            })
+            .collect(),
+        CellKind::Slice { lo, .. } => (0..w).map(|i| ins[0][lo as usize + i]).collect(),
+        CellKind::Concat => {
+            // inputs[0] lands in the high bits (evaluator shifts left as it
+            // walks the list), so fill from the last input upwards.
+            let mut out = Vec::with_capacity(w);
+            for inp in ins.iter().rev() {
+                out.extend_from_slice(inp);
+            }
+            out
+        }
+        CellKind::Zext => {
+            let mut out = ins[0].clone();
+            out.resize(w, BddRef::FALSE);
+            out
+        }
+        CellKind::Reg { .. } | CellKind::Latch => {
+            unreachable!("stateful cell reached eval_symbolic")
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::NetlistBuilder;
+    use oiso_sim::replay::{replay_vector, VectorAssignment};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn mask(w: u8) -> u64 {
+        if w >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << w) - 1
+        }
+    }
+
+    /// Symbolic vs concrete evaluation of a single cell on random vectors —
+    /// the semantics contract with `oiso_sim::eval`.
+    fn check_cell(kind: CellKind, in_widths: &[u8], out_width: u8, seed: u64) {
+        let mut b = NetlistBuilder::new("dut");
+        let ins: Vec<NetId> = in_widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| b.input(format!("i{i}"), w))
+            .collect();
+        let o = b.wire("o", out_width);
+        b.cell("c", kind, &ins, o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+
+        let table = VarTable::for_pair(&n, &n);
+        let mut bdd = Bdd::with_order(table.order());
+        let sym = build_symbolic(&mut bdd, &table, &n, 1 << 24).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..40 {
+            let vals: Vec<u64> = in_widths
+                .iter()
+                .map(|&w| rng.gen::<u64>() & mask(w))
+                .collect();
+            let v = VectorAssignment {
+                inputs: ins
+                    .iter()
+                    .zip(&vals)
+                    .map(|(&net, &val)| (n.net(net).name().to_string(), val))
+                    .collect(),
+                states: vec![],
+            };
+            let concrete = replay_vector(&n, &v).output("o").unwrap();
+            let assignment = |sig: Signal| {
+                let e = table.decode(sig);
+                let idx: usize = e.name[1..].parse().unwrap();
+                (vals[idx] >> e.bit) & 1 == 1
+            };
+            let symbolic = sym
+                .net_bits(o)
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &bit)| {
+                    acc | ((bdd.eval(bit, &assignment) as u64) << i)
+                });
+            assert_eq!(symbolic, concrete, "{kind:?} on {vals:?}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_simulator() {
+        check_cell(CellKind::Add, &[6, 6], 6, 1);
+        check_cell(CellKind::Sub, &[6, 6], 6, 2);
+        check_cell(CellKind::Mul, &[5, 5], 5, 3);
+    }
+
+    #[test]
+    fn shifts_match_simulator() {
+        check_cell(CellKind::Shl, &[6, 3], 6, 4);
+        check_cell(CellKind::Shr, &[6, 3], 6, 5);
+        // Amount wider than needed: out-of-range amounts force 0.
+        check_cell(CellKind::Shl, &[4, 6], 4, 6);
+    }
+
+    #[test]
+    fn comparisons_match_simulator() {
+        check_cell(CellKind::Lt, &[6, 6], 1, 7);
+        check_cell(CellKind::Eq, &[6, 6], 1, 8);
+    }
+
+    #[test]
+    fn mux_clamp_matches_simulator() {
+        // 3 data inputs on a 2-bit select: sel = 3 clamps to input 2.
+        check_cell(CellKind::Mux, &[2, 4, 4, 4], 4, 9);
+        check_cell(CellKind::Mux, &[1, 5, 5], 5, 10);
+    }
+
+    #[test]
+    fn gates_and_wiring_match_simulator() {
+        check_cell(CellKind::And, &[4, 4, 4], 4, 11);
+        check_cell(CellKind::Or, &[4, 4], 4, 12);
+        check_cell(CellKind::Xor, &[4, 4], 4, 13);
+        check_cell(CellKind::Not, &[4], 4, 14);
+        check_cell(CellKind::RedOr, &[5], 1, 15);
+        check_cell(CellKind::RedAnd, &[5], 1, 16);
+        check_cell(CellKind::Slice { lo: 2, hi: 5 }, &[8], 4, 17);
+        check_cell(CellKind::Concat, &[3, 5], 8, 18);
+        check_cell(CellKind::Zext, &[4], 7, 19);
+    }
+
+    #[test]
+    fn budget_aborts_early() {
+        // A 12-bit multiplier exhausts a tiny node budget.
+        let mut b = NetlistBuilder::new("m");
+        let x = b.input("x", 12);
+        let y = b.input("y", 12);
+        let p = b.wire("p", 12);
+        b.cell("mul", CellKind::Mul, &[x, y], p).unwrap();
+        b.mark_output(p);
+        let n = b.build().unwrap();
+        let table = VarTable::for_pair(&n, &n);
+        let mut bdd = Bdd::with_order(table.order());
+        let err = build_symbolic(&mut bdd, &table, &n, 500).unwrap_err();
+        assert!(err.nodes > 500);
+    }
+
+    #[test]
+    fn shared_names_share_variables() {
+        let build = |name: &str| {
+            let mut b = NetlistBuilder::new(name);
+            let x = b.input("x", 4);
+            let o = b.wire("o", 4);
+            b.cell("bufc", CellKind::Buf, &[x], o).unwrap();
+            b.mark_output(o);
+            b.build().unwrap()
+        };
+        let a = build("a");
+        let c = build("c");
+        let table = VarTable::for_pair(&a, &c);
+        let mut bdd = Bdd::with_order(table.order());
+        let sa = build_symbolic(&mut bdd, &table, &a, 1 << 20).unwrap();
+        let sc = build_symbolic(&mut bdd, &table, &c, 1 << 20).unwrap();
+        // Identical functions of the shared variable → identical BddRefs.
+        assert_eq!(
+            sa.net_bits(a.find_net("o").unwrap()),
+            sc.net_bits(c.find_net("o").unwrap())
+        );
+    }
+}

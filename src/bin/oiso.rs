@@ -8,10 +8,15 @@
 //!                 [--cycles N] [--threads N] [--lookahead]
 //!                 [--out isolated.oiso] [--verilog out.v] [--dot out.dot]
 //! oiso optimize   <design.oiso> [--out cleaned.oiso]   # const-fold + sweep
+//! oiso verify     <design.oiso> [--style and|or|latch] [--lookahead]
+//!                 [--budget N]                       # prove isolate() safe
+//! oiso fuzz       [--cases N] [--seed S] [--threads N] [--budget N]
+//!                 [--sabotage force-false|negate]    # random transform fuzzing
 //! ```
 //!
 //! Design files use the text format documented in
 //! [`operand_isolation::designs::textfmt`]; see `examples/cmac.oiso`.
+//! `verify` and `fuzz` exit nonzero when an equivalence violation is found.
 
 use operand_isolation::boolex::Signal;
 use operand_isolation::core::{
@@ -25,6 +30,10 @@ use operand_isolation::power::{total_area, PowerEstimator};
 use operand_isolation::sim::Testbench;
 use operand_isolation::techlib::{OperatingConditions, TechLibrary};
 use operand_isolation::timing::analyze;
+use operand_isolation::verify::{
+    run_fuzz, verify_isolation_plan, CheckConfig, FuzzConfig, Proof, ReplayVerdict, Sabotage,
+    VerifyConfig, VerifyOutcome,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -48,13 +57,19 @@ struct Options {
     out: Option<String>,
     verilog: Option<String>,
     dot: Option<String>,
+    cases: usize,
+    seed: u64,
+    budget: usize,
+    sabotage: Sabotage,
 }
 
-const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize> <design.oiso> \
+const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize|verify> <design.oiso> \
                      [--style and|or|latch] [--cycles N] [--threads N] [--lookahead] \
-                     [--fsm-dc] [--out FILE] [--verilog FILE] [--dot FILE]\n\
-                     --threads N evaluates isolation candidates on N worker threads \
-                     (0 = all cores); the result is identical at every setting";
+                     [--fsm-dc] [--budget N] [--out FILE] [--verilog FILE] [--dot FILE]\n\
+                     \u{20}      oiso fuzz [--cases N] [--seed S] [--threads N] [--budget N] \
+                     [--sabotage force-false|negate]\n\
+                     --threads N evaluates isolation candidates (or fuzz cases) on N worker \
+                     threads (0 = all cores); the result is identical at every setting";
 
 fn parse_options() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
@@ -62,7 +77,12 @@ fn parse_options() -> Result<Options, String> {
     if command == "--help" || command == "-h" {
         return Err(USAGE.to_string());
     }
-    let file = args.next().ok_or(USAGE)?;
+    // `fuzz` generates its own designs; every other command reads one.
+    let file = if command == "fuzz" {
+        String::new()
+    } else {
+        args.next().ok_or(USAGE)?
+    };
     let mut opts = Options {
         command,
         file,
@@ -74,6 +94,10 @@ fn parse_options() -> Result<Options, String> {
         out: None,
         verilog: None,
         dot: None,
+        cases: 100,
+        seed: 1,
+        budget: 200_000,
+        sabotage: Sabotage::None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -105,6 +129,38 @@ fn parse_options() -> Result<Options, String> {
             }
             "--lookahead" => opts.lookahead = true,
             "--fsm-dc" => opts.fsm_dc = true,
+            "--cases" => {
+                opts.cases = args
+                    .next()
+                    .ok_or("--cases needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cases: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--budget" => {
+                opts.budget = args
+                    .next()
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget: {e}"))?;
+            }
+            "--sabotage" => {
+                opts.sabotage = match args.next().as_deref() {
+                    Some("force-false") => Sabotage::ForceFalse,
+                    Some("negate") => Sabotage::Negate,
+                    other => {
+                        return Err(format!(
+                            "--sabotage needs force-false|negate, got {other:?}"
+                        ))
+                    }
+                };
+            }
             "--out" => opts.out = Some(args.next().ok_or("--out needs a path")?),
             "--verilog" => {
                 opts.verilog = Some(args.next().ok_or("--verilog needs a path")?)
@@ -132,6 +188,9 @@ fn activation_config(lookahead: bool) -> ActivationConfig {
 
 fn run() -> Result<(), String> {
     let opts = parse_options()?;
+    if opts.command == "fuzz" {
+        return fuzz_command(&opts);
+    }
     let design = load(&opts.file)?;
     let netlist = &design.netlist;
 
@@ -268,7 +327,112 @@ fn run() -> Result<(), String> {
                 println!("wrote {path}");
             }
         }
+        "verify" => {
+            let acts =
+                derive_activation_functions(netlist, &activation_config(opts.lookahead));
+            let plan: Vec<_> = netlist
+                .arithmetic_cells()
+                .filter_map(|cid| acts.get(&cid).map(|a| (cid, a.clone(), opts.style)))
+                .collect();
+            println!(
+                "verifying `{}`: {} candidate(s), {} style",
+                netlist.name(),
+                plan.len(),
+                opts.style
+            );
+            let config = VerifyConfig {
+                check: CheckConfig {
+                    node_budget: opts.budget,
+                    assumption: None,
+                },
+                ..VerifyConfig::default()
+            };
+            let (_, checks) =
+                verify_isolation_plan(netlist, &plan, &config).map_err(|e| e.to_string())?;
+            let mut violations = 0usize;
+            for check in &checks {
+                match &check.outcome {
+                    VerifyOutcome::Verified(Proof::Bdd { observables }) => println!(
+                        "  {}: proved equivalent ({observables} observable bits)",
+                        check.candidate
+                    ),
+                    VerifyOutcome::Verified(Proof::Sampled { vectors }) => println!(
+                        "  {}: BDD budget exceeded; {vectors} random vectors agree",
+                        check.candidate
+                    ),
+                    VerifyOutcome::Skipped { reason } => {
+                        println!("  {}: skipped ({reason})", check.candidate)
+                    }
+                    VerifyOutcome::Violation {
+                        counterexample,
+                        replay,
+                    } => {
+                        violations += 1;
+                        let replay_note = match replay {
+                            ReplayVerdict::Confirmed { .. } => "replay confirmed",
+                            ReplayVerdict::Refuted => "replay REFUTED — checker bug?",
+                        };
+                        println!("  {}: VIOLATION ({replay_note})", check.candidate);
+                        print!("{counterexample}");
+                    }
+                }
+            }
+            if violations > 0 {
+                return Err(format!("{violations} equivalence violation(s) found"));
+            }
+            println!("all candidates verified");
+        }
         other => return Err(format!("unknown command `{other}` ({USAGE})")),
     }
+    Ok(())
+}
+
+fn fuzz_command(opts: &Options) -> Result<(), String> {
+    let config = FuzzConfig {
+        cases: opts.cases,
+        seed: opts.seed,
+        threads: opts.threads,
+        node_budget: opts.budget,
+        sabotage: opts.sabotage,
+        ..FuzzConfig::default()
+    };
+    println!(
+        "fuzzing the isolation transform: {} case(s), seed {}",
+        config.cases, config.seed
+    );
+    let report = run_fuzz(&config);
+    println!(
+        "  {} candidate(s): {} proved, {} sampled, {} skipped",
+        report.total_candidates(),
+        report.total_bdd_proved(),
+        report.total_sampled(),
+        report.total_skipped()
+    );
+    for (case, error) in report.transform_errors() {
+        println!("  case {case}: transform error: {error}");
+    }
+    let violations: Vec<_> = report.violations().collect();
+    for v in &violations {
+        println!(
+            "  case {}: VIOLATION isolating `{}` ({} style, replay {})",
+            v.case_index,
+            v.candidate,
+            v.style,
+            if v.replay_confirmed {
+                "confirmed"
+            } else {
+                "REFUTED"
+            }
+        );
+        print!("{}", v.counterexample);
+    }
+    if !report.is_clean() {
+        return Err(format!(
+            "{} equivalence violation(s), {} transform error(s)",
+            violations.len(),
+            report.transform_errors().count()
+        ));
+    }
+    println!("no violations");
     Ok(())
 }

@@ -54,3 +54,6 @@ pub use oiso_core as core;
 
 /// Benchmark designs (Figure 1, design1, design2, ...).
 pub use oiso_designs as designs;
+
+/// Formal equivalence checking and fuzzing for the isolation transform.
+pub use oiso_verify as verify;

@@ -124,6 +124,51 @@ fn optimize_subcommand_reports_cleanup() {
 }
 
 #[test]
+fn verify_proves_the_gated_alu() {
+    let file = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/gated_alu.oiso");
+    let out = oiso().arg("verify").arg(&file).output().expect("run");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("proved equivalent"), "{text}");
+    assert!(text.contains("all candidates verified"), "{text}");
+}
+
+#[test]
+fn verify_falls_back_to_sampling_over_budget() {
+    // cmac's 16-bit multiplier blows the default BDD budget.
+    let out = oiso().arg("verify").arg(example()).output().expect("run");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("BDD budget exceeded"), "{text}");
+    assert!(text.contains("vectors agree"), "{text}");
+}
+
+#[test]
+fn fuzz_smoke_is_clean() {
+    let out = oiso()
+        .args(["fuzz", "--cases", "3", "--seed", "1"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no violations"), "{text}");
+}
+
+#[test]
+fn fuzz_detects_a_sabotaged_transform() {
+    // The harness's self-test: force every activation to FALSE and the
+    // checker must object with a replayable witness.
+    let out = oiso()
+        .args(["fuzz", "--cases", "3", "--seed", "1", "--sabotage", "force-false"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success(), "sabotage must fail the run: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("VIOLATION"), "{text}");
+    assert!(text.contains("counterexample at observable"), "{text}");
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let out = oiso().arg("show").arg("/nonexistent.oiso").output().expect("run");
     assert!(!out.status.success());

@@ -1,0 +1,124 @@
+//! Golden-file tests for the verification surface: counterexample
+//! formatting and `oiso verify` CLI output are pinned so that accidental
+//! changes to either (or to the checker's deterministic witness choice)
+//! are caught.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_verify`.
+
+use operand_isolation::boolex::BoolExpr;
+use operand_isolation::core::{derive_activation_functions, ActivationConfig, IsolationStyle};
+use operand_isolation::netlist::{CellKind, Netlist, NetlistBuilder};
+use operand_isolation::verify::{verify_isolation_plan, VerifyConfig, VerifyOutcome};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name}: {e}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected, actual,
+        "golden {name} diverged; run with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+/// The gated adder whose FALSE-activation sabotage yields the pinned
+/// counterexample.
+fn gated_adder() -> Netlist {
+    let mut b = NetlistBuilder::new("ga");
+    let x = b.input("x", 6);
+    let y = b.input("y", 6);
+    let g = b.input("g", 1);
+    let s = b.wire("s", 6);
+    let q = b.wire("q", 6);
+    b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+    b.cell("r", CellKind::Reg { has_enable: true }, &[s, g], q)
+        .unwrap();
+    b.mark_output(q);
+    b.build().unwrap()
+}
+
+#[test]
+fn counterexample_format_is_stable() {
+    // Sabotage the activation to FALSE: the checker's witness choice is
+    // deterministic (lowest-variable satisfying path of the first failing
+    // miter), so the rendered counterexample is goldenable.
+    let n = gated_adder();
+    let add = n.find_cell("add").unwrap();
+    let plan = vec![(add, BoolExpr::FALSE, IsolationStyle::And)];
+    let (_, checks) = verify_isolation_plan(&n, &plan, &VerifyConfig::default()).unwrap();
+    let VerifyOutcome::Violation {
+        ref counterexample, ..
+    } = checks[0].outcome
+    else {
+        panic!("expected a violation, got {:?}", checks[0].outcome);
+    };
+    check_golden("cex_format.txt", &counterexample.to_string());
+}
+
+#[test]
+fn verify_cli_output_is_stable() {
+    // Fully BDD-provable design: every line of the report is deterministic.
+    let example = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/gated_alu.oiso");
+    let out = Command::new(env!("CARGO_BIN_EXE_oiso"))
+        .arg("verify")
+        .arg(&example)
+        .output()
+        .expect("run oiso verify");
+    assert!(out.status.success(), "{out:?}");
+    check_golden("verify_cli.txt", &String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn verify_cli_sampled_fallback_output_is_stable() {
+    // The 16-bit multiplier in cmac exceeds the BDD budget; the report
+    // must show the sampling fallback (seeded, hence deterministic).
+    let example = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/cmac.oiso");
+    let out = Command::new(env!("CARGO_BIN_EXE_oiso"))
+        .arg("verify")
+        .arg(&example)
+        .output()
+        .expect("run oiso verify");
+    assert!(out.status.success(), "{out:?}");
+    check_golden("verify_cli_cmac.txt", &String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn goldens_contain_the_expected_shape() {
+    // Defends the pinned files themselves against a truncated UPDATE_GOLDEN.
+    let cex = std::fs::read_to_string(golden_path("cex_format.txt")).expect("golden cex");
+    assert!(cex.starts_with("counterexample at observable q'"), "{cex}");
+    assert!(cex.contains("g = 1"), "sabotage witness must enable the register: {cex}");
+    let cli = std::fs::read_to_string(golden_path("verify_cli.txt")).expect("golden cli");
+    assert!(cli.contains("verifying `gated_alu`"), "{cli}");
+    assert!(cli.contains("proved equivalent"), "{cli}");
+    assert!(cli.trim_end().ends_with("all candidates verified"), "{cli}");
+    let cmac = std::fs::read_to_string(golden_path("verify_cli_cmac.txt")).expect("golden cmac");
+    assert!(cmac.contains("BDD budget exceeded"), "{cmac}");
+}
+
+#[test]
+fn activation_derivation_used_by_verify_matches_cli_activation() {
+    // `oiso verify` and `oiso activation` must agree on what the
+    // activation of the gated ALU is — both derive with the default
+    // config.
+    let example = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/gated_alu.oiso");
+    let text = std::fs::read_to_string(&example).unwrap();
+    let design = operand_isolation::designs::textfmt::parse(&text).unwrap();
+    let acts = derive_activation_functions(&design.netlist, &ActivationConfig::default());
+    let add = design.netlist.find_cell("add").unwrap();
+    let sub = design.netlist.find_cell("sub").unwrap();
+    // Both operators are gated by `en` and steered by `sel`.
+    assert!(!acts[&add].is_const(true));
+    assert!(!acts[&sub].is_const(true));
+}

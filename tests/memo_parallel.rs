@@ -1,0 +1,130 @@
+//! SimMemo correctness under reuse and concurrency.
+//!
+//! The isolation optimizer and the fuzz/sweep drivers lean on [`SimMemo`]
+//! to skip repeat simulations, so a cached report must be bit-identical to
+//! a fresh simulation — including when many `parallel_map` workers share
+//! one memo and race to populate it. The simulator is deterministic, so
+//! "bit-identical" is checkable with plain equality on the full per-net
+//! statistics.
+
+use operand_isolation::designs::random::{build, RandomParams};
+use operand_isolation::netlist::Netlist;
+use operand_isolation::par::parallel_map;
+use operand_isolation::sim::{SimMemo, SimReport, Testbench};
+
+/// Every per-net statistic of a report, in net order. Toggle counts are
+/// exact integers; rates are compared with `==` too — determinism promises
+/// bit-identical floats, not merely close ones.
+fn full_stats(netlist: &Netlist, report: &SimReport) -> Vec<(String, u64, f64)> {
+    netlist
+        .nets()
+        .map(|(id, net)| {
+            (
+                net.name().to_string(),
+                report.toggle_count(id),
+                report.toggle_rate(id),
+            )
+        })
+        .collect()
+}
+
+fn fixture() -> (operand_isolation::designs::Design, Netlist) {
+    let design = build(&RandomParams {
+        seed: 11,
+        ops: 8,
+        width: 8,
+    });
+    let netlist = design.netlist.clone();
+    (design, netlist)
+}
+
+#[test]
+fn cache_hit_is_bit_identical_to_fresh_simulation() {
+    let (design, netlist) = fixture();
+    let fresh = Testbench::from_plan(&netlist, &design.stimuli)
+        .unwrap()
+        .run(600)
+        .unwrap();
+
+    let memo = SimMemo::new();
+    let miss = memo.run(&netlist, &design.stimuli, 600).unwrap();
+    let hit = memo.run(&netlist, &design.stimuli, 600).unwrap();
+    assert_eq!(memo.misses(), 1);
+    assert_eq!(memo.hits(), 1);
+
+    let want = full_stats(&netlist, &fresh);
+    assert_eq!(full_stats(&netlist, &miss), want, "miss path must match a direct run");
+    assert_eq!(full_stats(&netlist, &hit), want, "hit path must match a direct run");
+}
+
+#[test]
+fn shared_memo_is_identical_across_thread_counts() {
+    let (design, netlist) = fixture();
+    let fresh = Testbench::from_plan(&netlist, &design.stimuli)
+        .unwrap()
+        .run(500)
+        .unwrap();
+    let want = full_stats(&netlist, &fresh);
+
+    // Same workload fanned out at several thread counts, each with a cold
+    // shared memo: every worker's report — whether it simulated or hit the
+    // cache — must equal the fresh run bit for bit.
+    let workers: Vec<usize> = (0..8).collect();
+    for threads in [1, 2, 4] {
+        let memo = SimMemo::new();
+        let stats = parallel_map(threads, &workers, |_, _| {
+            let report = memo.run(&netlist, &design.stimuli, 500).unwrap();
+            full_stats(&netlist, &report)
+        });
+        for (worker, got) in stats.into_iter().enumerate() {
+            assert_eq!(got, want, "threads={threads} worker={worker}");
+        }
+        assert_eq!(
+            memo.hits() + memo.misses(),
+            workers.len() as u64,
+            "every call is either a hit or a miss"
+        );
+        assert!(memo.misses() >= 1, "first toucher must simulate");
+    }
+}
+
+#[test]
+fn distinct_designs_never_share_entries_under_parallel_load() {
+    let (design_a, netlist_a) = fixture();
+    let design_b = build(&RandomParams {
+        seed: 12,
+        ops: 8,
+        width: 8,
+    });
+    let netlist_b = design_b.netlist.clone();
+    assert_ne!(netlist_a.fingerprint(), netlist_b.fingerprint());
+
+    let fresh_a = Testbench::from_plan(&netlist_a, &design_a.stimuli)
+        .unwrap()
+        .run(400)
+        .unwrap();
+    let fresh_b = Testbench::from_plan(&netlist_b, &design_b.stimuli)
+        .unwrap()
+        .run(400)
+        .unwrap();
+
+    // Workers interleave two distinct designs through one shared memo:
+    // neither may ever be served the other's report.
+    let memo = SimMemo::new();
+    let jobs: Vec<usize> = (0..8).collect();
+    let reports = parallel_map(4, &jobs, |_, &i| {
+        if i % 2 == 0 {
+            let report = memo.run(&netlist_a, &design_a.stimuli, 400).unwrap();
+            full_stats(&netlist_a, &report)
+        } else {
+            let report = memo.run(&netlist_b, &design_b.stimuli, 400).unwrap();
+            full_stats(&netlist_b, &report)
+        }
+    });
+    let want_a = full_stats(&netlist_a, &fresh_a);
+    let want_b = full_stats(&netlist_b, &fresh_b);
+    for (i, got) in reports.into_iter().enumerate() {
+        let want = if i % 2 == 0 { &want_a } else { &want_b };
+        assert_eq!(&got, want, "worker {i}");
+    }
+}
