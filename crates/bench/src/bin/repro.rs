@@ -124,9 +124,11 @@ fn main() -> ExitCode {
         let d = figure1::build();
         let acts = derive_activation_functions(&d.netlist, &ActivationConfig::default());
         for name in ["a0", "a1"] {
-            let cell = d.netlist.find_cell(name).expect("figure1 adder");
-            // Render with net names for readability.
-            println!("  AS_{name} = {}", pretty(&d.netlist, &acts[&cell]));
+            match d.netlist.find_cell(name).and_then(|cell| acts.get(&cell)) {
+                // Render with net names for readability.
+                Some(act) => println!("  AS_{name} = {}", pretty(&d.netlist, act)),
+                None => eprintln!("figure1 failed: no activation function for adder `{name}`"),
+            }
         }
         println!("  (paper: AS_a0 = G0; AS_a1 = !S2&G1 + !S0&S1&G0)\n");
     }

@@ -8,20 +8,31 @@
 //! 3–11 applied at candidate identification.
 
 use crate::activation::ActivationConfig;
+use crate::budget::RunBudget;
 use crate::candidates::{identify_candidates, Candidate, CandidateFilter};
+use crate::checkpoint::{
+    config_fingerprint, AcceptedStep, Checkpoint, CheckpointError, CheckpointHeader,
+    CheckpointWriter,
+};
 use crate::cost::{CostModel, CostWeights};
-use crate::report::{IsolationOutcome, IterationLog};
+use crate::report::{IsolationOutcome, IterationLog, SkippedCandidate};
 use crate::savings::{EstimatorKind, SavingsEstimate, SavingsEstimator};
 use crate::transform::{isolate_with_cache, IsolationStyle};
 use oiso_boolex::BoolExpr;
 use oiso_netlist::{BuildError, CellId, Netlist};
+use oiso_par::TaskOutcome;
 use oiso_power::{total_area, PowerEstimator};
 use oiso_sim::{SimError, SimMemo, StimulusPlan, Testbench};
-use oiso_techlib::{OperatingConditions, TechLibrary, Time};
+use oiso_techlib::{OperatingConditions, Power, TechLibrary, Time};
 use oiso_timing::analyze;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
+
+/// Fault-injection site inside per-candidate scoring; the key is the
+/// candidate's [`CellId::index`] (see [`oiso_par::faults`]).
+pub const FAULT_SITE_SCORE: &str = "optimize.score";
 
 /// Errors from the isolation optimizer.
 #[derive(Debug)]
@@ -30,6 +41,16 @@ pub enum IsolationError {
     Sim(SimError),
     /// A netlist transformation failed.
     Build(BuildError),
+    /// More candidate evaluations panicked than
+    /// [`RunBudget::max_skipped`] tolerates.
+    TooManySkipped {
+        /// Every candidate skipped up to the abort, in candidate order.
+        skipped: Vec<SkippedCandidate>,
+        /// The configured tolerance that was exceeded.
+        max: usize,
+    },
+    /// Reading or writing the checkpoint journal failed.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for IsolationError {
@@ -37,6 +58,18 @@ impl fmt::Display for IsolationError {
         match self {
             IsolationError::Sim(e) => write!(f, "simulation failed: {e}"),
             IsolationError::Build(e) => write!(f, "netlist transformation failed: {e}"),
+            IsolationError::TooManySkipped { skipped, max } => {
+                writeln!(
+                    f,
+                    "aborting: {} candidate evaluation(s) panicked, budget tolerates {max}:",
+                    skipped.len()
+                )?;
+                for s in skipped {
+                    writeln!(f, "  {s}")?;
+                }
+                Ok(())
+            }
+            IsolationError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -46,6 +79,8 @@ impl Error for IsolationError {
         match self {
             IsolationError::Sim(e) => Some(e),
             IsolationError::Build(e) => Some(e),
+            IsolationError::TooManySkipped { .. } => None,
+            IsolationError::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -59,6 +94,12 @@ impl From<SimError> for IsolationError {
 impl From<BuildError> for IsolationError {
     fn from(e: BuildError) -> Self {
         IsolationError::Build(e)
+    }
+}
+
+impl From<CheckpointError> for IsolationError {
+    fn from(e: CheckpointError) -> Self {
+        IsolationError::Checkpoint(e)
     }
 }
 
@@ -106,6 +147,18 @@ pub struct IsolationConfig {
     pub conditions: OperatingConditions,
     /// Safety bound on main-loop iterations.
     pub max_iterations: usize,
+    /// Resource bounds; the run degrades to a `truncated: true` best-so-far
+    /// outcome when exhausted. Unlimited by default. Not part of the
+    /// checkpoint fingerprint: a budget truncates the accepted-candidate
+    /// sequence, it never changes it.
+    pub budget: RunBudget,
+    /// Journal every accepted candidate to this JSONL file as it is
+    /// accepted (see [`crate::checkpoint`]).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from a previously written journal: validate its fingerprints
+    /// against this run's inputs, replay the accepted steps without
+    /// re-simulating, and continue from the first un-journaled iteration.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for IsolationConfig {
@@ -126,6 +179,9 @@ impl Default for IsolationConfig {
             library: TechLibrary::generic_250nm(),
             conditions: OperatingConditions::default(),
             max_iterations: 16,
+            budget: RunBudget::unlimited(),
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -191,6 +247,24 @@ impl IsolationConfig {
         self.slack_threshold = threshold;
         self
     }
+
+    /// Sets the run budget.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Journals accepted candidates to `path`.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Resumes from the journal at `path`.
+    pub fn with_resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
 }
 
 /// Runs Algorithm 1 on a copy of `netlist` under the stimulus `plan`.
@@ -236,19 +310,95 @@ pub fn optimize_with_memo(
     let pe = PowerEstimator::new(lib, cond);
     let mut work = netlist.clone();
 
+    // The binding header a journal of this run must carry. Deliberately
+    // computed from the *input* netlist: resume re-derives the transformed
+    // netlist by replaying steps.
+    let header = CheckpointHeader {
+        netlist_fp: netlist.fingerprint(),
+        plan_fp: plan.fingerprint(),
+        config_fp: config_fingerprint(config),
+        sim_cycles: config.sim_cycles,
+    };
+
+    // Load and validate the resume journal before any heavy work, so a
+    // mismatched checkpoint is refused instantly.
+    let resume_steps: Vec<AcceptedStep> = match &config.resume {
+        Some(path) => {
+            let ckpt = Checkpoint::load(path)?;
+            ckpt.validate(&header)?;
+            ckpt.steps
+        }
+        None => Vec::new(),
+    };
+
     // Baseline measurement.
     let report0 = memo.run(&work, plan, config.sim_cycles)?;
     let power_before = pe.estimate(&work, &report0).total;
     let area_before = total_area(lib, &work);
     let slack_before = analyze(lib, &work, clock_period).worst_slack;
 
+    // Opened after the resume journal is fully loaded, so resuming a run
+    // from its own checkpoint path works (the truncating create happens
+    // after the read).
+    let mut writer = match &config.checkpoint {
+        Some(path) => Some(CheckpointWriter::create(path, &header)?),
+        None => None,
+    };
+
     let mut isolated_records = Vec::new();
     let mut isolated_acts: HashMap<CellId, BoolExpr> = HashMap::new();
-    let mut iterations = Vec::new();
+    let mut iterations: Vec<IterationLog> = Vec::new();
     // Activation logic shared across all isolations of this run.
     let mut synth_cache: HashMap<BoolExpr, oiso_netlist::NetId> = HashMap::new();
+    let mut skipped: Vec<SkippedCandidate> = Vec::new();
+    // Candidates whose evaluation panicked: skipped once, then excluded
+    // from every later iteration (a deterministic fault would otherwise
+    // re-panic forever and inflate the skip count).
+    let mut poisoned: HashSet<CellId> = HashSet::new();
+    let mut truncated = false;
 
-    for iter_no in 1..=config.max_iterations {
+    // Replay journaled accepted steps without re-simulating: the journal
+    // stores everything the transform needs (cell, activation, style via
+    // the config fingerprint), so replay is pure netlist surgery.
+    for step in &resume_steps {
+        let cell = work
+            .find_cell(&step.cell)
+            .ok_or_else(|| CheckpointError::UnknownCell {
+                name: step.cell.clone(),
+            })?;
+        let record = isolate_with_cache(&mut work, cell, &step.activation, config.style, &mut synth_cache)?;
+        isolated_records.push(record);
+        isolated_acts.insert(cell, step.activation.clone());
+        if iterations.last().map(|l| l.iteration) != Some(step.iteration) {
+            iterations.push(IterationLog {
+                iteration: step.iteration,
+                total_power: Power::from_mw(step.power),
+                isolated: Vec::new(),
+                // Rejection counts are not journaled; replayed logs carry
+                // only the accepted entries.
+                rejected: 0,
+            });
+        }
+        iterations
+            .last_mut()
+            .expect("pushed above")
+            .isolated
+            .push((cell, step.h, step.saved));
+        if let Some(w) = &mut writer {
+            w.append(step)?;
+        }
+    }
+    // An uninterrupted run would enter the iteration after the last
+    // journaled one; resume does exactly that.
+    let start_iter = resume_steps.last().map_or(1, |s| s.iteration + 1);
+
+    for iter_no in start_iter..=config.max_iterations {
+        // Cooperative budget check between iterations: on exhaustion the
+        // accepted-so-far prefix is returned as a truncated outcome.
+        if config.budget.expired() || config.budget.iteration_exhausted(iter_no) {
+            truncated = true;
+            break;
+        }
         let timing = analyze(lib, &work, clock_period);
         let filter = CandidateFilter {
             min_width: config.min_width,
@@ -260,7 +410,7 @@ pub fn optimize_with_memo(
         let mut candidates: Vec<Candidate> =
             identify_candidates(&work, lib, &timing, &config.activation, &filter)
                 .into_iter()
-                .filter(|c| !isolated_acts.contains_key(&c.cell))
+                .filter(|c| !isolated_acts.contains_key(&c.cell) && !poisoned.contains(&c.cell))
                 .collect();
         if config.fsm_dont_cares {
             let fsms = crate::fsm::find_closed_fsms(&work);
@@ -301,8 +451,13 @@ pub fn optimize_with_memo(
         // evaluations fan out across the worker pool; `parallel_map`
         // returns them in candidate order, making the grouping below —
         // and everything downstream — identical at every thread count.
-        let scores: Vec<(f64, SavingsEstimate)> =
-            oiso_par::parallel_map(config.threads, &candidates, |_, cand| {
+        // Panic isolation: a panicking evaluation (a buggy estimator, or
+        // the FAULT_SITE_SCORE injection) poisons only its own slot; the
+        // candidate is recorded as skipped and excluded from later
+        // iterations instead of tearing down the run.
+        let scores: Vec<TaskOutcome<(f64, SavingsEstimate)>> =
+            oiso_par::parallel_map_isolated(config.threads, &candidates, |_, cand| {
+                oiso_par::faults::trip(FAULT_SITE_SCORE, cand.cell.index());
                 let mut savings = estimator.estimate(&work, &pe, &report, cand.cell);
                 if !config.secondary_savings {
                     savings.secondary = oiso_techlib::Power::ZERO;
@@ -321,14 +476,34 @@ pub fn optimize_with_memo(
                 (h, savings)
             });
 
-        // Group the scored candidates by combinational block.
+        // Group the scored candidates by combinational block, diverting
+        // panicked slots to the skip list.
         let mut by_block: HashMap<usize, Vec<(&Candidate, f64, SavingsEstimate)>> =
             HashMap::new();
-        for (cand, (h, savings)) in candidates.iter().zip(scores) {
-            by_block
-                .entry(cand.block)
-                .or_default()
-                .push((cand, h, savings));
+        for (cand, outcome) in candidates.iter().zip(scores) {
+            match outcome {
+                TaskOutcome::Ok((h, savings)) => {
+                    by_block
+                        .entry(cand.block)
+                        .or_default()
+                        .push((cand, h, savings));
+                }
+                TaskOutcome::Panicked { payload, .. } => {
+                    poisoned.insert(cand.cell);
+                    skipped.push(SkippedCandidate {
+                        cell: cand.cell,
+                        name: work.cell(cand.cell).name().to_string(),
+                        iteration: iter_no,
+                        reason: payload,
+                    });
+                }
+            }
+        }
+        if config.budget.skipped_exhausted(skipped.len()) {
+            return Err(IsolationError::TooManySkipped {
+                skipped,
+                max: config.budget.max_skipped.unwrap_or(0),
+            });
         }
 
         // Isolate the best candidate per block (lines 17-29).
@@ -364,6 +539,18 @@ pub fn optimize_with_memo(
             let record =
                 isolate_with_cache(&mut work, cell, &activation, config.style, &mut synth_cache)?;
             isolated_records.push(record);
+            // Journal the acceptance as soon as it happens (flushed per
+            // line), so a killed run loses at most a torn final record.
+            if let Some(w) = &mut writer {
+                w.append(&AcceptedStep {
+                    iteration: iter_no,
+                    cell: work.cell(cell).name().to_string(),
+                    activation: activation.clone(),
+                    h,
+                    saved,
+                    power: breakdown.total.as_mw(),
+                })?;
+            }
             isolated_acts.insert(cell, activation);
             log.isolated.push((cell, h, saved));
         }
@@ -390,6 +577,8 @@ pub fn optimize_with_memo(
         area_after,
         slack_before,
         slack_after,
+        truncated,
+        skipped,
     })
 }
 
@@ -503,6 +692,124 @@ mod tests {
         let plan = StimulusPlan::new(0).drive("x", StimulusSpec::UniformRandom);
         let err = optimize(&n, &plan, &IsolationConfig::default()).unwrap_err();
         assert!(matches!(err, IsolationError::Sim(_)), "{err}");
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "oiso-alg-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn expired_budget_truncates_before_any_iteration() {
+        let (n, plan) = idle_mac();
+        let config = IsolationConfig::default()
+            .with_sim_cycles(500)
+            .with_budget(RunBudget::unlimited().with_expiry_after_checks(0));
+        let outcome = optimize(&n, &plan, &config).unwrap();
+        assert!(outcome.truncated);
+        assert_eq!(outcome.num_isolated(), 0);
+        assert!(outcome.iterations.is_empty());
+        assert_eq!(outcome.power_reduction_percent(), 0.0);
+    }
+
+    #[test]
+    fn mid_run_budget_expiry_returns_best_so_far() {
+        // A healthy run needs a second iteration to observe convergence;
+        // capping the budget at one iteration keeps that iteration's
+        // accepted candidate but flags the outcome truncated.
+        let (n, plan) = idle_mac();
+        let config = IsolationConfig::default()
+            .with_sim_cycles(800)
+            .with_budget(RunBudget::unlimited().with_max_iterations(1));
+        let outcome = optimize(&n, &plan, &config).unwrap();
+        assert!(outcome.truncated, "stopped by budget, not convergence");
+        assert_eq!(outcome.num_isolated(), 1);
+        assert!(outcome.power_reduction_percent() > 0.0, "best-so-far kept");
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_run_bit_for_bit() {
+        let (n, plan) = idle_mac();
+        let journal = temp_journal("resume");
+        let base = IsolationConfig::default().with_sim_cycles(800);
+
+        let full = optimize(&n, &plan, &base).unwrap();
+        let written = optimize(&n, &plan, &base.clone().with_checkpoint(&journal)).unwrap();
+        assert_eq!(written.num_isolated(), full.num_isolated());
+
+        for threads in [1, 4] {
+            let resumed = optimize(
+                &n,
+                &plan,
+                &base.clone().with_threads(threads).with_resume(&journal),
+            )
+            .unwrap();
+            assert!(!resumed.truncated);
+            assert_eq!(resumed.num_isolated(), full.num_isolated(), "threads={threads}");
+            for (a, b) in full.isolated.iter().zip(&resumed.isolated) {
+                assert_eq!(a.candidate, b.candidate, "threads={threads}");
+                assert_eq!(a.activation, b.activation, "threads={threads}");
+            }
+            assert_eq!(
+                resumed.power_after.as_mw().to_bits(),
+                full.power_after.as_mw().to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(resumed.netlist.fingerprint(), full.netlist.fingerprint());
+        }
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_fingerprints() {
+        let (n, plan) = idle_mac();
+        let journal = temp_journal("mismatch");
+        let base = IsolationConfig::default().with_sim_cycles(800);
+        optimize(&n, &plan, &base.clone().with_checkpoint(&journal)).unwrap();
+
+        // Different stimulus seed → plan fingerprint differs → refused.
+        let other_plan = StimulusPlan::new(8)
+            .drive("x", StimulusSpec::UniformRandom)
+            .drive("y", StimulusSpec::UniformRandom)
+            .drive("g", StimulusSpec::MarkovBits {
+                p_one: 0.1,
+                toggle_rate: 0.1,
+            });
+        let err = optimize(&n, &other_plan, &base.clone().with_resume(&journal)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IsolationError::Checkpoint(CheckpointError::FingerprintMismatch {
+                    field: "stimulus",
+                    ..
+                })
+            ),
+            "{err}"
+        );
+
+        // Different algorithm config → config fingerprint differs.
+        let err = optimize(
+            &n,
+            &plan,
+            &base.clone().with_h_min(0.5).with_resume(&journal),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IsolationError::Checkpoint(CheckpointError::FingerprintMismatch {
+                    field: "config",
+                    ..
+                })
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&journal).ok();
     }
 
     #[test]

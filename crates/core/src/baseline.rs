@@ -70,6 +70,8 @@ fn measure(
             area_after,
             slack_before,
             slack_after,
+            truncated: false,
+            skipped: Vec::new(),
         },
         uncovered,
     })

@@ -1,0 +1,170 @@
+//! Run budgets: bounded wall clock, iterations, and skip tolerance.
+//!
+//! Real isolation runs re-simulate the whole design every iteration and
+//! can meet poisoned candidates (a panicking estimator) or exploding BDD
+//! cones, so every long-running entry point — [`optimize`](crate::optimize),
+//! `oiso verify`, `oiso fuzz` — takes a [`RunBudget`] and **degrades
+//! gracefully** when a bound is hit instead of erroring: the run stops at
+//! the next cooperative check, keeps everything accepted so far, and labels
+//! the partial result `truncated: true`. Only [`RunBudget::max_skipped`] is
+//! a hard bound (too many poisoned items means the result would be
+//! garbage, not merely partial).
+//!
+//! Budget checks are *cooperative*: the optimizer polls between
+//! iterations, the fuzzer between cases, and the BDD checker between cells
+//! and multiplier rows. [`RunBudget::expire_after_checks`] makes
+//! exhaustion deterministic for the fault-injection harness — the budget
+//! reports expiry at exactly the N-th poll regardless of wall clock or
+//! thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resource bounds for one run, with graceful degradation on exhaustion.
+///
+/// The default budget is unlimited. Cloning shares the cooperative check
+/// counter, so a config cloned mid-run keeps counting from the same state.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Stop at the next cooperative check past this instant.
+    pub wall_deadline: Option<Instant>,
+    /// Cap on optimizer main-loop iterations (fuzz: cases started). Unlike
+    /// `IsolationConfig::max_iterations` (a safety bound that is part of
+    /// the algorithm), stopping here labels the outcome truncated.
+    pub max_iterations: Option<usize>,
+    /// Overrides the BDD node budget of equivalence checks run under this
+    /// budget; exceeding it degrades to differential sampling.
+    pub bdd_node_ceiling: Option<usize>,
+    /// Hard cap on skipped (panicked) items before the run fails fast
+    /// with the list of skipped items. `None` tolerates any number.
+    pub max_skipped: Option<usize>,
+    /// Fault injection: report exhaustion at the N-th cooperative check
+    /// (0 = the first). Deterministic, unlike a wall deadline.
+    pub expire_after_checks: Option<usize>,
+    checks: Arc<AtomicUsize>,
+}
+
+impl RunBudget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Sets the wall deadline to `duration` from now.
+    pub fn with_deadline_in(mut self, duration: Duration) -> Self {
+        self.wall_deadline = Some(Instant::now() + duration);
+        self
+    }
+
+    /// Sets an absolute wall deadline.
+    pub fn with_wall_deadline(mut self, deadline: Instant) -> Self {
+        self.wall_deadline = Some(deadline);
+        self
+    }
+
+    /// Caps main-loop iterations.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Caps BDD nodes per equivalence check.
+    pub fn with_bdd_node_ceiling(mut self, nodes: usize) -> Self {
+        self.bdd_node_ceiling = Some(nodes);
+        self
+    }
+
+    /// Caps tolerated skipped items.
+    pub fn with_max_skipped(mut self, n: usize) -> Self {
+        self.max_skipped = Some(n);
+        self
+    }
+
+    /// Fault injection: expire at the N-th cooperative check.
+    pub fn with_expiry_after_checks(mut self, checks: usize) -> Self {
+        self.expire_after_checks = Some(checks);
+        self
+    }
+
+    /// One cooperative check: true when the run should stop and return its
+    /// partial result as truncated. Counts the poll (for
+    /// [`RunBudget::expire_after_checks`]); wall-clock expiry is also
+    /// honored here.
+    pub fn expired(&self) -> bool {
+        let polled = self.checks.fetch_add(1, Ordering::Relaxed);
+        if let Some(n) = self.expire_after_checks {
+            if polled >= n {
+                return true;
+            }
+        }
+        self.wall_deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Non-counting probe of the wall deadline only — for call sites that
+    /// poll very frequently (per BDD cell) and must not advance the
+    /// deterministic check counter.
+    pub fn wall_expired(&self) -> bool {
+        self.wall_deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True when `iteration` (1-based) exceeds [`RunBudget::max_iterations`].
+    pub fn iteration_exhausted(&self, iteration: usize) -> bool {
+        self.max_iterations.is_some_and(|max| iteration > max)
+    }
+
+    /// True when `skipped` items exceed the tolerance.
+    pub fn skipped_exhausted(&self, skipped: usize) -> bool {
+        self.max_skipped.is_some_and(|max| skipped > max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_expires() {
+        let b = RunBudget::unlimited();
+        for _ in 0..100 {
+            assert!(!b.expired());
+        }
+        assert!(!b.wall_expired());
+        assert!(!b.iteration_exhausted(1_000_000));
+        assert!(!b.skipped_exhausted(1_000_000));
+    }
+
+    #[test]
+    fn past_deadline_expires_immediately() {
+        let b = RunBudget::unlimited().with_wall_deadline(Instant::now() - Duration::from_secs(1));
+        assert!(b.expired());
+        assert!(b.wall_expired());
+    }
+
+    #[test]
+    fn expire_after_checks_is_deterministic() {
+        let b = RunBudget::unlimited().with_expiry_after_checks(2);
+        assert!(!b.expired(), "check 0");
+        assert!(!b.expired(), "check 1");
+        assert!(b.expired(), "check 2 trips");
+        assert!(b.expired(), "and stays tripped");
+    }
+
+    #[test]
+    fn clones_share_the_check_counter() {
+        let a = RunBudget::unlimited().with_expiry_after_checks(1);
+        let b = a.clone();
+        assert!(!a.expired());
+        assert!(b.expired(), "the clone sees the first poll");
+    }
+
+    #[test]
+    fn iteration_and_skip_caps() {
+        let b = RunBudget::unlimited().with_max_iterations(3).with_max_skipped(0);
+        assert!(!b.iteration_exhausted(3));
+        assert!(b.iteration_exhausted(4));
+        assert!(!b.skipped_exhausted(0));
+        assert!(b.skipped_exhausted(1));
+    }
+
+}

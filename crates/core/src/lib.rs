@@ -64,7 +64,9 @@
 pub mod activation;
 pub mod algorithm;
 pub mod baseline;
+pub mod budget;
 pub mod candidates;
+pub mod checkpoint;
 pub mod cost;
 pub mod fsm;
 pub mod muxfunc;
@@ -74,12 +76,19 @@ pub mod savings;
 pub mod transform;
 
 pub use activation::{derive_activation_functions, ActivationConfig};
-pub use algorithm::{optimize, optimize_with_memo, IsolationConfig, IsolationError};
+pub use algorithm::{
+    optimize, optimize_with_memo, IsolationConfig, IsolationError, FAULT_SITE_SCORE,
+};
 pub use baseline::{correale_local_isolation, kapadia_enable_gating, BaselineOutcome};
+pub use budget::RunBudget;
 pub use candidates::{identify_candidates, Candidate};
+pub use checkpoint::{
+    config_fingerprint, escape_json, parse_flat, AcceptedStep, Checkpoint, CheckpointError,
+    CheckpointHeader, CheckpointWriter, JsonScalar,
+};
 pub use cost::{CostModel, CostWeights, IsolationCost};
 pub use fsm::{find_closed_fsms, refine_with_fsm_dont_cares, ClosedFsm};
 pub use muxfunc::multiplexing_functions;
-pub use report::{IsolationOutcome, IterationLog};
+pub use report::{IsolationOutcome, IterationLog, SkippedCandidate};
 pub use savings::{EstimatorKind, SavingsEstimate, SavingsEstimator};
 pub use transform::{isolate, isolate_each, isolate_with_cache, IsolationRecord, IsolationStyle};

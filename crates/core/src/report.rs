@@ -20,6 +20,30 @@ pub struct IterationLog {
     pub rejected: usize,
 }
 
+/// One candidate dropped from an [`optimize`](crate::optimize) run after
+/// its evaluation panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCandidate {
+    /// The candidate cell (id in the *working* netlist at skip time).
+    pub cell: CellId,
+    /// The candidate's instance name.
+    pub name: String,
+    /// Main-loop iteration (1-based) in which it was skipped.
+    pub iteration: usize,
+    /// The captured panic payload.
+    pub reason: String,
+}
+
+impl fmt::Display for SkippedCandidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "iteration {}: skipped candidate {}: {}",
+            self.iteration, self.name, self.reason
+        )
+    }
+}
+
 /// The result of running [`optimize`](crate::optimize).
 #[derive(Debug, Clone)]
 pub struct IsolationOutcome {
@@ -43,6 +67,13 @@ pub struct IsolationOutcome {
     pub slack_before: Time,
     /// Worst slack after.
     pub slack_after: Time,
+    /// True when a [`RunBudget`](crate::RunBudget) bound stopped the run
+    /// before Algorithm 1 converged: the outcome is the valid
+    /// best-so-far result, not the fixpoint.
+    pub truncated: bool,
+    /// Candidates whose evaluation panicked and were skipped
+    /// (fault-isolation path; empty on healthy runs).
+    pub skipped: Vec<SkippedCandidate>,
 }
 
 impl IsolationOutcome {
@@ -87,6 +118,12 @@ impl fmt::Display for IsolationOutcome {
             self.isolated.len(),
             self.iterations.len()
         )?;
+        if self.truncated {
+            writeln!(f, "  truncated: true (budget exhausted; best-so-far result)")?;
+        }
+        for skip in &self.skipped {
+            writeln!(f, "  {skip}")?;
+        }
         writeln!(
             f,
             "  power {} -> {} ({:+.2}% reduction)",
@@ -131,6 +168,8 @@ mod tests {
             area_after: Area::from_um2(aa),
             slack_before: Time::from_ns(sb),
             slack_after: Time::from_ns(sa),
+            truncated: false,
+            skipped: Vec::new(),
         }
     }
 
@@ -156,6 +195,21 @@ mod tests {
         assert_eq!(o.power_reduction_percent(), 0.0);
         assert_eq!(o.area_increase_percent(), 0.0);
         assert_eq!(o.slack_reduction_percent(), 0.0);
+    }
+
+    #[test]
+    fn display_flags_truncation_and_skips() {
+        let mut o = outcome(10.0, 8.0, 100.0, 110.0, 3.0, 2.9);
+        o.truncated = true;
+        o.skipped.push(SkippedCandidate {
+            cell: CellId::from_index(0),
+            name: "mul1".into(),
+            iteration: 2,
+            reason: "injected fault".into(),
+        });
+        let text = o.to_string();
+        assert!(text.contains("truncated: true"));
+        assert!(text.contains("skipped candidate mul1: injected fault"));
     }
 
     #[test]

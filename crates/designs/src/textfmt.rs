@@ -184,10 +184,11 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                     return Err(syntax(line_no, format!("duplicate net `{name}`")));
                 }
                 let id = if directive == "input" {
-                    b.input(name.to_string(), width)
+                    b.try_input(name.to_string(), width)
                 } else {
-                    b.wire(name.to_string(), width)
-                };
+                    b.try_wire(name.to_string(), width)
+                }
+                .map_err(|e| syntax(line_no, e.to_string()))?;
                 nets.insert(name.to_string(), id);
             }
             "cell" => {
@@ -239,18 +240,27 @@ pub fn parse(text: &str) -> Result<Design, ParseError> {
                             .ok_or_else(|| syntax(line_no, "const needs a value"))?,
                         line_no,
                     )?),
-                    Some("markov") => StimulusSpec::MarkovBits {
-                        p_one: parse_f64(
+                    Some("markov") => {
+                        let p_one = parse_f64(
                             rest.get(2)
                                 .ok_or_else(|| syntax(line_no, "markov needs <p1> <tr>"))?,
                             line_no,
-                        )?,
-                        toggle_rate: parse_f64(
+                        )?;
+                        let toggle_rate = parse_f64(
                             rest.get(3)
                                 .ok_or_else(|| syntax(line_no, "markov needs <p1> <tr>"))?,
                             line_no,
-                        )?,
-                    },
+                        )?;
+                        for (label, v) in [("p1", p_one), ("toggle-rate", toggle_rate)] {
+                            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                                return Err(syntax(
+                                    line_no,
+                                    format!("markov {label} must be a probability in [0, 1], got {v}"),
+                                ));
+                            }
+                        }
+                        StimulusSpec::MarkovBits { p_one, toggle_rate }
+                    }
                     Some("counter") => StimulusSpec::Counter {
                         step: parse_u64(
                             rest.get(2)
@@ -448,6 +458,32 @@ seed   42
 
         let err = parse("design d\ninput a 8\noutput nope\n").unwrap_err();
         assert!(err.to_string().contains("unknown net `nope`"), "{err}");
+    }
+
+    #[test]
+    fn bad_widths_are_line_numbered_errors_not_panics() {
+        for (text, needle) in [
+            ("design d\ninput a 0\n", "invalid width 0"),
+            ("design d\nwire w 80\n", "invalid width 80"),
+        ] {
+            let err = parse(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.starts_with("line 2"), "{msg}");
+            assert!(msg.contains(needle), "{msg}");
+        }
+    }
+
+    #[test]
+    fn markov_probabilities_are_range_checked_at_parse_time() {
+        for bad in ["drive g markov 1.5 0.2", "drive g markov 0.2 -0.1", "drive g markov nan 0.2"] {
+            let text = format!("design d\ninput g 1\noutput g\n{bad}\n");
+            let err = parse(&text).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.starts_with("line 4"), "{bad}: {msg}");
+            assert!(msg.contains("probability in [0, 1]") || msg.contains("bad number"), "{bad}: {msg}");
+        }
+        // The boundary values stay legal.
+        parse("design d\ninput g 1\noutput g\ndrive g markov 0 1\n").unwrap();
     }
 
     #[test]

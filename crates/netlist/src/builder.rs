@@ -139,6 +139,26 @@ impl NetlistBuilder {
             .expect("invalid wire declaration")
     }
 
+    /// Fallible [`NetlistBuilder::input`], for declarations that come from
+    /// *user* input (parsed design files) rather than source code — a bad
+    /// width there must surface as an error, not a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names or widths outside `1..=64`.
+    pub fn try_input(&mut self, name: impl Into<String>, width: u8) -> Result<NetId, BuildError> {
+        self.netlist.add_input(name, width)
+    }
+
+    /// Fallible [`NetlistBuilder::wire`]; see [`NetlistBuilder::try_input`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names or widths outside `1..=64`.
+    pub fn try_wire(&mut self, name: impl Into<String>, width: u8) -> Result<NetId, BuildError> {
+        self.netlist.add_wire(name, width)
+    }
+
     /// Declares a wire driven by a constant, in one step.
     ///
     /// # Errors

@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -84,6 +86,79 @@ where
     tagged.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(tagged.len(), items.len());
     tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The result of one isolated work item: either the closure's value or a
+/// captured panic.
+///
+/// Produced by [`parallel_map_isolated`], which converts worker panics into
+/// data instead of tearing down the whole pool. Callers choose the
+/// semantics: fail fast on the first [`TaskOutcome::Panicked`], or skip the
+/// poisoned item, record the diagnostic, and keep going.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutcome<R> {
+    /// The closure returned normally.
+    Ok(R),
+    /// The closure panicked; the item was skipped.
+    Panicked {
+        /// Index of the poisoned item.
+        item_index: usize,
+        /// The panic payload, rendered as text (`&str` / `String` payloads
+        /// verbatim, anything else a placeholder).
+        payload: String,
+    },
+}
+
+impl<R> TaskOutcome<R> {
+    /// The success value, if any.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            TaskOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// True when the item panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, TaskOutcome::Panicked { .. })
+    }
+}
+
+/// Renders a panic payload as text.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic-isolating [`parallel_map`]: every item runs inside
+/// `catch_unwind`, and a panicking item yields [`TaskOutcome::Panicked`]
+/// in its slot instead of poisoning the pool.
+///
+/// The result vector is index-ordered and has exactly one entry per item,
+/// so for a deterministic `f` — including deterministically *panicking*
+/// items — the output is bit-identical at every thread count. The process
+/// default panic hook still runs (a backtrace may appear on stderr); only
+/// propagation is suppressed.
+pub fn parallel_map_isolated<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<TaskOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map(threads, items, |i, item| {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item))) {
+            Ok(r) => TaskOutcome::Ok(r),
+            Err(payload) => TaskOutcome::Panicked {
+                item_index: i,
+                payload: payload_text(payload.as_ref()),
+            },
+        }
+    })
 }
 
 /// Fallible [`parallel_map`]: returns the index-ordered results, or the
@@ -185,6 +260,59 @@ mod tests {
                 .unwrap();
         let expected: Vec<u32> = items.iter().map(|&x| x * 2).collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn isolated_map_captures_panics_in_slot_order() {
+        let items: Vec<u32> = (0..64).collect();
+        for threads in [1, 3, 8] {
+            let got = parallel_map_isolated(threads, &items, |_, &x| {
+                if x % 13 == 4 {
+                    panic!("boom {x}");
+                }
+                x * 2
+            });
+            assert_eq!(got.len(), items.len(), "threads={threads}");
+            for (i, outcome) in got.iter().enumerate() {
+                if i % 13 == 4 {
+                    assert_eq!(
+                        *outcome,
+                        TaskOutcome::Panicked {
+                            item_index: i,
+                            payload: format!("boom {i}"),
+                        },
+                        "threads={threads}"
+                    );
+                } else {
+                    assert_eq!(*outcome, TaskOutcome::Ok(i as u32 * 2), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_is_identical_across_thread_counts() {
+        let items: Vec<u32> = (0..97).collect();
+        let f = |_: usize, &x: &u32| {
+            if x == 41 {
+                panic!("poisoned");
+            }
+            x + 1
+        };
+        let serial = parallel_map_isolated(1, &items, f);
+        let parallel = parallel_map_isolated(6, &items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn non_string_payloads_are_described() {
+        let got = parallel_map_isolated(1, &[0u8], |_, _| -> u8 {
+            std::panic::panic_any(17u64)
+        });
+        let TaskOutcome::Panicked { payload, .. } = &got[0] else {
+            panic!("expected a captured panic");
+        };
+        assert_eq!(payload, "non-string panic payload");
     }
 
     #[test]

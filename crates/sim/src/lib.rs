@@ -54,7 +54,7 @@ pub mod vcd;
 
 pub use analytic::{propagate as propagate_activity, ActivityEstimate, BitStats};
 pub use engine::Simulator;
-pub use memo::SimMemo;
+pub use memo::{MemoStats, SimMemo};
 pub use replay::{replay_vector, VectorAssignment, VectorOutcome};
 pub use stats::SimReport;
 pub use stimulus::{Stimulus, StimulusError, StimulusPlan, StimulusSpec};

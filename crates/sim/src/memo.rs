@@ -30,7 +30,7 @@ use crate::stats::SimReport;
 use crate::stimulus::StimulusPlan;
 use crate::testbench::{SimError, Testbench};
 use oiso_netlist::Netlist;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -45,33 +45,116 @@ type MemoKey = (u64, u64, u64);
 /// `optimize()` run, and the benchmark tables share one across isolation
 /// styles so the common baseline is simulated once.
 ///
+/// The default memo is unbounded. Long sweeps over many distinct netlists
+/// (every isolation candidate of every iteration produces a fresh
+/// fingerprint) can instead cap the cache with [`SimMemo::with_capacity`]:
+/// past the cap, the oldest entry is evicted first-in-first-out. FIFO
+/// matches the optimizer's access pattern — a candidate's report is reused
+/// within its iteration and rarely after, so the oldest entries are the
+/// least likely to hit again.
+///
 /// Cloning is cheap and shares the underlying cache.
 #[derive(Clone, Default)]
 pub struct SimMemo {
     inner: Arc<MemoInner>,
 }
 
+/// FIFO insertion order rides along with the map under one lock.
+#[derive(Default)]
+struct MemoState {
+    map: HashMap<MemoKey, Arc<SimReport>>,
+    order: VecDeque<MemoKey>,
+}
+
 #[derive(Default)]
 struct MemoInner {
-    cache: Mutex<HashMap<MemoKey, Arc<SimReport>>>,
+    state: Mutex<MemoState>,
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time snapshot of a [`SimMemo`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Reports currently cached.
+    pub entries: usize,
+    /// The eviction cap, if the memo is bounded.
+    pub capacity: Option<usize>,
+    /// [`SimMemo::run`] calls served from cache.
+    pub hits: u64,
+    /// [`SimMemo::run`] calls that had to simulate.
+    pub misses: u64,
+    /// Entries evicted to stay under the cap.
+    pub evictions: u64,
+}
+
+impl std::fmt::Display for MemoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cached report(s){}, {} hit(s) / {} miss(es), {} evicted",
+            self.entries,
+            match self.capacity {
+                Some(cap) => format!(" (cap {cap})"),
+                None => String::new(),
+            },
+            self.hits,
+            self.misses,
+            self.evictions
+        )
+    }
 }
 
 impl std::fmt::Debug for SimMemo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
         f.debug_struct("SimMemo")
-            .field("entries", &self.inner.cache.lock().unwrap().len())
-            .field("hits", &self.hits())
-            .field("misses", &self.misses())
+            .field("entries", &stats.entries)
+            .field("capacity", &stats.capacity)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
             .finish()
     }
 }
 
 impl SimMemo {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         SimMemo::default()
+    }
+
+    /// Creates an empty cache that evicts FIFO past `max_entries` cached
+    /// reports. A capacity of 0 disables caching entirely (every run
+    /// simulates; the counters still track the traffic).
+    pub fn with_capacity(max_entries: usize) -> Self {
+        SimMemo {
+            inner: Arc::new(MemoInner {
+                capacity: Some(max_entries),
+                ..MemoInner::default()
+            }),
+        }
+    }
+
+    /// Inserts under the first-wins policy, evicting FIFO past the cap.
+    fn insert(&self, key: MemoKey, report: &Arc<SimReport>) {
+        let mut state = self.inner.state.lock().unwrap();
+        if state.map.contains_key(&key) {
+            return;
+        }
+        state.map.insert(key, Arc::clone(report));
+        state.order.push_back(key);
+        if let Some(cap) = self.inner.capacity {
+            while state.map.len() > cap {
+                let Some(oldest) = state.order.pop_front() else {
+                    break;
+                };
+                state.map.remove(&oldest);
+                self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Runs (or replays) an unmonitored simulation of `netlist` under
@@ -93,18 +176,13 @@ impl SimMemo {
         cycles: u64,
     ) -> Result<Arc<SimReport>, SimError> {
         let key = (netlist.fingerprint(), plan.fingerprint(), cycles);
-        if let Some(report) = self.inner.cache.lock().unwrap().get(&key) {
+        if let Some(report) = self.inner.state.lock().unwrap().map.get(&key) {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(report));
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
         let report = Arc::new(Testbench::from_plan(netlist, plan)?.run(cycles)?);
-        self.inner
-            .cache
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&report));
+        self.insert(key, &report);
         Ok(report)
     }
 
@@ -120,12 +198,7 @@ impl SimMemo {
         report: &Arc<SimReport>,
     ) {
         let key = (netlist.fingerprint(), plan.fingerprint(), cycles);
-        self.inner
-            .cache
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| Arc::clone(report));
+        self.insert(key, report);
     }
 
     /// Number of [`SimMemo::run`] calls served from cache.
@@ -136,6 +209,22 @@ impl SimMemo {
     /// Number of [`SimMemo::run`] calls that had to simulate.
     pub fn misses(&self) -> u64 {
         self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries evicted to stay under the capacity.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the cache size and traffic counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            entries: self.inner.state.lock().unwrap().map.len(),
+            capacity: self.inner.capacity,
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+        }
     }
 }
 
@@ -216,6 +305,60 @@ mod tests {
         alias.run(&n, &p, 400).unwrap();
         assert_eq!(memo.hits(), 1);
         assert_eq!(memo.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::with_capacity(2);
+        memo.run(&n, &p, 100).unwrap(); // key A
+        memo.run(&n, &p, 200).unwrap(); // key B
+        memo.run(&n, &p, 300).unwrap(); // key C evicts A
+        assert_eq!(memo.evictions(), 1);
+        assert_eq!(memo.stats().entries, 2);
+        // B and C still hit; A re-simulates (and evicts B, the new oldest).
+        memo.run(&n, &p, 200).unwrap();
+        memo.run(&n, &p, 300).unwrap();
+        assert_eq!(memo.hits(), 2);
+        memo.run(&n, &p, 100).unwrap();
+        assert_eq!(memo.misses(), 4);
+        assert_eq!(memo.evictions(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::with_capacity(0);
+        memo.run(&n, &p, 100).unwrap();
+        memo.run(&n, &p, 100).unwrap();
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.stats().entries, 0);
+    }
+
+    #[test]
+    fn stats_snapshot_renders() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::with_capacity(8);
+        memo.run(&n, &p, 100).unwrap();
+        memo.run(&n, &p, 100).unwrap();
+        let stats = memo.stats();
+        assert_eq!(
+            stats,
+            MemoStats {
+                entries: 1,
+                capacity: Some(8),
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        let text = stats.to_string();
+        assert!(text.contains("1 cached report(s) (cap 8)"), "{text}");
+        assert!(text.contains("1 hit(s) / 1 miss(es)"), "{text}");
     }
 
     #[test]

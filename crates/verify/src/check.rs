@@ -26,9 +26,10 @@
 //! that corrupt outputs while the activation is low.
 
 use crate::cex::{extract, Counterexample};
-use crate::symb::{build_symbolic, SymbolicNetlist, VarTable};
+use crate::symb::{build_symbolic_bounded, SymbolicNetlist, VarTable};
 use oiso_boolex::{Bdd, BddRef, BoolExpr};
 use oiso_netlist::{Cell, CellKind, Netlist};
+use std::time::Instant;
 
 /// Tunables for one equivalence check.
 #[derive(Debug, Clone)]
@@ -42,6 +43,11 @@ pub struct CheckConfig {
     /// miters are conjoined with it, so disagreements outside the assumed
     /// region are ignored.
     pub assumption: Option<BoolExpr>,
+    /// Optional wall deadline: past it, the check aborts at the next
+    /// cooperative point with [`Verdict::BudgetExceeded`] — the same
+    /// degradation path as node exhaustion, so a run budget never turns a
+    /// slow symbolic proof into a hang.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for CheckConfig {
@@ -49,6 +55,7 @@ impl Default for CheckConfig {
         CheckConfig {
             node_budget: 200_000,
             assumption: None,
+            deadline: None,
         }
     }
 }
@@ -155,11 +162,11 @@ fn next_state_bits(
 pub fn check_equivalence(original: &Netlist, transformed: &Netlist, config: &CheckConfig) -> Verdict {
     let table = VarTable::for_pair(original, transformed);
     let mut bdd = Bdd::with_order(table.order());
-    let sym_o = match build_symbolic(&mut bdd, &table, original, config.node_budget) {
+    let sym_o = match build_symbolic_bounded(&mut bdd, &table, original, config.node_budget, config.deadline) {
         Ok(s) => s,
         Err(e) => return Verdict::BudgetExceeded { nodes: e.nodes },
     };
-    let sym_t = match build_symbolic(&mut bdd, &table, transformed, config.node_budget) {
+    let sym_t = match build_symbolic_bounded(&mut bdd, &table, transformed, config.node_budget, config.deadline) {
         Ok(s) => s,
         Err(e) => return Verdict::BudgetExceeded { nodes: e.nodes },
     };
@@ -180,7 +187,8 @@ pub fn check_equivalence(original: &Netlist, transformed: &Netlist, config: &Che
                     return Some(Verdict::NotEquivalent(cex));
                 }
                 observables += 1;
-                if bdd.num_nodes() > config.node_budget {
+                let late = config.deadline.is_some_and(|d| Instant::now() >= d);
+                if bdd.num_nodes() > config.node_budget || late {
                     return Some(Verdict::BudgetExceeded {
                         nodes: bdd.num_nodes(),
                     });
@@ -331,6 +339,20 @@ mod tests {
         let n = b.build().unwrap();
         let config = CheckConfig {
             node_budget: 2_000,
+            ..CheckConfig::default()
+        };
+        assert!(matches!(
+            check_equivalence(&n, &n, &config),
+            Verdict::BudgetExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_reports_budget_exceeded() {
+        // Tiny design, huge node budget — only the deadline can trip.
+        let (n, _) = gated_adder();
+        let config = CheckConfig {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
             ..CheckConfig::default()
         };
         assert!(matches!(

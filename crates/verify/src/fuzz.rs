@@ -17,10 +17,28 @@ use crate::check::CheckConfig;
 use crate::mutate::mutate_netlist;
 use crate::{verify_isolation_plan, Proof, VerifyConfig, VerifyOutcome};
 use oiso_boolex::BoolExpr;
-use oiso_core::{derive_activation_functions, ActivationConfig, IsolationStyle};
+use oiso_core::{
+    derive_activation_functions, parse_flat, ActivationConfig, CheckpointError, IsolationStyle,
+    JsonScalar, RunBudget,
+};
 use oiso_designs::random::{build_netlist, RandomParams};
-use oiso_par::parallel_map;
+use oiso_par::{parallel_map_isolated, TaskOutcome};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Fault-injection site: the body of one fuzz case, keyed by case index.
+/// Arm it with `oiso_par::faults::inject` to make specific cases panic —
+/// the run skips them, records a [`PanickedCase`], and stays bit-identical
+/// at every thread count.
+pub const FAULT_SITE_CASE: &str = "fuzz.case";
+
+/// Version tag of the fuzz journal format.
+const FUZZ_JOURNAL_VERSION: u64 = 1;
 
 /// How (and whether) to corrupt activations before isolating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,6 +70,17 @@ pub struct FuzzConfig {
     pub sample_vectors: usize,
     /// Activation corruption mode.
     pub sabotage: Sabotage,
+    /// Resource bounds. The wall deadline stops starting new cases (those
+    /// become [`FuzzReport::not_run`]) and degrades in-flight BDD checks to
+    /// sampling; `max_iterations` caps cases by index; `max_skipped` bounds
+    /// tolerated case panics; `bdd_node_ceiling` overrides `node_budget`.
+    pub budget: RunBudget,
+    /// Journal completed clean cases to this JSONL file as they finish.
+    pub checkpoint: Option<PathBuf>,
+    /// Replay clean cases recorded in this journal instead of re-running
+    /// them. The journal must have been produced by an equivalent config
+    /// (see [`fuzz_config_fingerprint`]); a mismatch is refused.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for FuzzConfig {
@@ -63,6 +92,9 @@ impl Default for FuzzConfig {
             node_budget: 200_000,
             sample_vectors: 64,
             sabotage: Sabotage::None,
+            budget: RunBudget::unlimited(),
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -101,6 +133,81 @@ pub struct CaseOutcome {
     /// A structural transform failure, if one occurred (harness bug — the
     /// cycle filter and validators should make this unreachable).
     pub transform_error: Option<String>,
+    /// True when this outcome was replayed from a resume journal rather
+    /// than re-executed.
+    pub replayed: bool,
+}
+
+impl CaseOutcome {
+    /// True when the case found no violation and no transform error —
+    /// exactly the cases the checkpoint journal records for replay.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.transform_error.is_none()
+    }
+}
+
+/// One fuzz case whose body panicked (a poisoned generator/checker input,
+/// or an injected fault). The case is skipped, not retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanickedCase {
+    /// Index of the poisoned case.
+    pub case_index: usize,
+    /// The panic payload, rendered as text.
+    pub reason: String,
+}
+
+impl fmt::Display for PanickedCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "case {}: {}", self.case_index, self.reason)
+    }
+}
+
+/// A fuzz run failure (as opposed to a violation *finding*, which is data).
+#[derive(Debug)]
+pub enum FuzzError {
+    /// More cases panicked than [`RunBudget::max_skipped`] tolerates.
+    TooManyPanicked {
+        /// Every panicked case, in case order.
+        panicked: Vec<PanickedCase>,
+        /// The tolerance that was exceeded.
+        max: usize,
+    },
+    /// The checkpoint journal could not be written, read, or validated.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for FuzzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzError::TooManyPanicked { panicked, max } => {
+                writeln!(
+                    f,
+                    "aborting: {} fuzz case(s) panicked, budget tolerates {max}:",
+                    panicked.len()
+                )?;
+                for p in panicked {
+                    writeln!(f, "  {p}")?;
+                }
+                Ok(())
+            }
+            FuzzError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FuzzError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FuzzError::Checkpoint(e) => Some(e),
+            FuzzError::TooManyPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for FuzzError {
+    fn from(e: CheckpointError) -> Self {
+        FuzzError::Checkpoint(e)
+    }
 }
 
 /// Derives the per-case seed from the master seed — a SplitMix64-style
@@ -154,8 +261,11 @@ pub fn run_case(config: &FuzzConfig, index: usize) -> CaseOutcome {
 
     let vconfig = VerifyConfig {
         check: CheckConfig {
-            node_budget: config.node_budget,
+            node_budget: effective_node_budget(config),
             assumption: None,
+            // Past the run deadline, in-flight symbolic checks degrade to
+            // differential sampling instead of delaying shutdown.
+            deadline: config.budget.wall_deadline,
         },
         sample_vectors: config.sample_vectors,
         sample_seed: case_seed(config.seed, index) ^ 0xD1FF_5A3E,
@@ -188,11 +298,199 @@ pub fn run_case(config: &FuzzConfig, index: usize) -> CaseOutcome {
     outcome
 }
 
+/// Fingerprint (FNV-1a) of the config knobs that determine per-case
+/// outcomes: the seed, the *effective* BDD node budget, the sampling
+/// width, and the sabotage mode. Thread count, deadlines, case count, and
+/// journal paths are excluded — they bound or route the run without
+/// changing any individual case's result, so a journal stays resumable at
+/// a different thread count or under a different deadline.
+pub fn fuzz_config_fingerprint(config: &FuzzConfig) -> u64 {
+    let words = [
+        FUZZ_JOURNAL_VERSION,
+        config.seed,
+        effective_node_budget(config) as u64,
+        config.sample_vectors as u64,
+        match config.sabotage {
+            Sabotage::None => 0,
+            Sabotage::ForceFalse => 1,
+            Sabotage::Negate => 2,
+        },
+    ];
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// The node budget actually applied to symbolic checks:
+/// [`RunBudget::bdd_node_ceiling`] wins over [`FuzzConfig::node_budget`].
+fn effective_node_budget(config: &FuzzConfig) -> usize {
+    config.budget.bdd_node_ceiling.unwrap_or(config.node_budget)
+}
+
+fn jfield<'a>(
+    fields: &'a [(String, JsonScalar)],
+    key: &str,
+    line: usize,
+) -> Result<&'a JsonScalar, CheckpointError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| CheckpointError::Format {
+            line,
+            message: format!("missing field {key:?}"),
+        })
+}
+
+fn jint(fields: &[(String, JsonScalar)], key: &str, line: usize) -> Result<u64, CheckpointError> {
+    jfield(fields, key, line)?
+        .as_int()
+        .ok_or_else(|| CheckpointError::Format {
+            line,
+            message: format!("field {key:?} must be an integer"),
+        })
+}
+
+fn parse_case_line(raw: &str, line: usize) -> Result<CaseOutcome, CheckpointError> {
+    let fields = parse_flat(raw).map_err(|message| CheckpointError::Format { line, message })?;
+    if jfield(&fields, "kind", line)?.as_str() != Some("case") {
+        return Err(CheckpointError::Format {
+            line,
+            message: "expected a \"case\" record".into(),
+        });
+    }
+    Ok(CaseOutcome {
+        case_index: jint(&fields, "index", line)? as usize,
+        candidates: jint(&fields, "candidates", line)? as usize,
+        skipped: jint(&fields, "skipped", line)? as usize,
+        bdd_proved: jint(&fields, "bdd_proved", line)? as usize,
+        sampled: jint(&fields, "sampled", line)? as usize,
+        violations: Vec::new(),
+        transform_error: None,
+        replayed: true,
+    })
+}
+
+/// Loads a fuzz journal, validating its header against `expected_fp`.
+/// A torn final line (no trailing newline — a crash mid-append) is
+/// dropped; any other malformation is a hard error.
+fn load_fuzz_journal(path: &Path, expected_fp: u64) -> Result<Vec<CaseOutcome>, CheckpointError> {
+    let text = std::fs::read_to_string(path).map_err(|source| CheckpointError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let complete = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return Err(CheckpointError::MissingHeader);
+    }
+    let header = parse_flat(lines[0]).map_err(|_| CheckpointError::MissingHeader)?;
+    if jfield(&header, "kind", 1)
+        .ok()
+        .and_then(JsonScalar::as_str)
+        != Some("fuzz-header")
+    {
+        return Err(CheckpointError::MissingHeader);
+    }
+    let version = jint(&header, "version", 1).map_err(|_| CheckpointError::MissingHeader)?;
+    if version != FUZZ_JOURNAL_VERSION {
+        return Err(CheckpointError::FingerprintMismatch {
+            field: "version",
+            expected: FUZZ_JOURNAL_VERSION,
+            found: version,
+        });
+    }
+    let fp_text = jfield(&header, "config", 1)?
+        .as_str()
+        .ok_or(CheckpointError::MissingHeader)?;
+    let found = (fp_text.len() == 16)
+        .then(|| u64::from_str_radix(fp_text, 16).ok())
+        .flatten()
+        .ok_or(CheckpointError::MissingHeader)?;
+    if found != expected_fp {
+        return Err(CheckpointError::FingerprintMismatch {
+            field: "config",
+            expected: expected_fp,
+            found,
+        });
+    }
+    let mut cases = Vec::new();
+    for (i, raw) in lines.iter().enumerate().skip(1) {
+        match parse_case_line(raw, i + 1) {
+            Ok(c) => cases.push(c),
+            Err(e) => {
+                if i == lines.len() - 1 && !complete {
+                    break; // torn tail: the append was interrupted
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(cases)
+}
+
+/// Append-only, per-line-flushed fuzz journal. Shared by the parallel
+/// workers behind a mutex; record order in the file is completion order,
+/// which is fine — replay is keyed by case index, not position.
+struct FuzzJournal {
+    path: PathBuf,
+    file: Mutex<BufWriter<File>>,
+}
+
+impl FuzzJournal {
+    fn create(path: &Path, fp: u64) -> Result<FuzzJournal, CheckpointError> {
+        let io = |source| CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let mut file = BufWriter::new(File::create(path).map_err(io)?);
+        writeln!(
+            file,
+            "{{\"kind\":\"fuzz-header\",\"version\":{FUZZ_JOURNAL_VERSION},\"config\":\"{fp:016x}\"}}"
+        )
+        .map_err(io)?;
+        file.flush().map_err(io)?;
+        Ok(FuzzJournal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    fn append(&self, c: &CaseOutcome) -> Result<(), CheckpointError> {
+        let io = |source| CheckpointError::Io {
+            path: self.path.clone(),
+            source,
+        };
+        let mut file = self.file.lock().expect("fuzz journal lock");
+        writeln!(
+            file,
+            "{{\"kind\":\"case\",\"index\":{},\"candidates\":{},\"skipped\":{},\"bdd_proved\":{},\"sampled\":{}}}",
+            c.case_index, c.candidates, c.skipped, c.bdd_proved, c.sampled
+        )
+        .map_err(io)?;
+        file.flush().map_err(io)
+    }
+}
+
 /// Everything a fuzz run observed.
 #[derive(Debug, Clone, Default)]
 pub struct FuzzReport {
-    /// Per-case outcomes, in case order.
+    /// Per-case outcomes (run or replayed), in case order.
     pub cases: Vec<CaseOutcome>,
+    /// True when the budget stopped the run before every case was started;
+    /// `cases` is then a best-so-far prefix of the full run.
+    pub truncated: bool,
+    /// Case indices never started because the budget expired first.
+    pub not_run: Vec<usize>,
+    /// Cases whose body panicked (skipped, with diagnostics), in case order.
+    pub panicked: Vec<PanickedCase>,
+    /// How many outcomes were replayed from the resume journal.
+    pub replayed: usize,
 }
 
 impl FuzzReport {
@@ -228,18 +526,99 @@ impl FuzzReport {
             .filter_map(|c| c.transform_error.as_deref().map(|e| (c.case_index, e)))
     }
 
-    /// True when no violation and no transform error occurred.
+    /// True when no violation, no transform error, and no panicked case
+    /// occurred.
     pub fn is_clean(&self) -> bool {
-        self.violations().next().is_none() && self.transform_errors().next().is_none()
+        self.violations().next().is_none()
+            && self.transform_errors().next().is_none()
+            && self.panicked.is_empty()
     }
 }
 
 /// Runs `config.cases` independent fuzz cases across `config.threads`
-/// workers. Deterministic in the seed regardless of thread count.
-pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
-    let indices: Vec<usize> = (0..config.cases).collect();
-    let cases = parallel_map(config.threads, &indices, |_, &i| run_case(config, i));
-    FuzzReport { cases }
+/// workers. Deterministic in the seed regardless of thread count: case
+/// panics are isolated per case, the budget's deadline/iteration bounds
+/// mark un-started cases as [`FuzzReport::not_run`], and clean cases are
+/// journaled to (and replayed from) the checkpoint paths.
+///
+/// # Errors
+///
+/// [`FuzzError::TooManyPanicked`] when more cases panic than
+/// [`RunBudget::max_skipped`] tolerates; [`FuzzError::Checkpoint`] when a
+/// journal cannot be written, read, or validated (including a resume
+/// journal produced by a different seed/budget/sabotage config).
+pub fn run_fuzz(config: &FuzzConfig) -> Result<FuzzReport, FuzzError> {
+    let fp = fuzz_config_fingerprint(config);
+    let mut cases: Vec<CaseOutcome> = match &config.resume {
+        Some(path) => {
+            let mut seen = HashSet::new();
+            load_fuzz_journal(path, fp)?
+                .into_iter()
+                .filter(|c| c.case_index < config.cases && seen.insert(c.case_index))
+                .collect()
+        }
+        None => Vec::new(),
+    };
+    // The writer opens after the resume journal is read, so resuming from
+    // and checkpointing to the same path works.
+    let journal = match &config.checkpoint {
+        Some(path) => Some(FuzzJournal::create(path, fp)?),
+        None => None,
+    };
+    if let Some(j) = &journal {
+        for c in &cases {
+            j.append(c)?;
+        }
+    }
+    let done: HashSet<usize> = cases.iter().map(|c| c.case_index).collect();
+    let to_run: Vec<usize> = (0..config.cases).filter(|i| !done.contains(i)).collect();
+    let write_err: Mutex<Option<CheckpointError>> = Mutex::new(None);
+    let outcomes = parallel_map_isolated(config.threads, &to_run, |_, &i| {
+        // Index-based iteration cap and a non-counting wall probe: both
+        // deterministic per case, regardless of worker interleaving.
+        if config.budget.wall_expired() || config.budget.iteration_exhausted(i + 1) {
+            return None;
+        }
+        oiso_par::faults::trip(FAULT_SITE_CASE, i);
+        let outcome = run_case(config, i);
+        if let Some(j) = &journal {
+            if outcome.is_clean() {
+                if let Err(e) = j.append(&outcome) {
+                    write_err.lock().expect("write_err lock").get_or_insert(e);
+                }
+            }
+        }
+        Some(outcome)
+    });
+    if let Some(e) = write_err.into_inner().expect("write_err lock") {
+        return Err(e.into());
+    }
+    let mut not_run = Vec::new();
+    let mut panicked = Vec::new();
+    for (slot, &i) in outcomes.into_iter().zip(&to_run) {
+        match slot {
+            TaskOutcome::Ok(Some(c)) => cases.push(c),
+            TaskOutcome::Ok(None) => not_run.push(i),
+            TaskOutcome::Panicked { payload, .. } => panicked.push(PanickedCase {
+                case_index: i,
+                reason: payload,
+            }),
+        }
+    }
+    if config.budget.skipped_exhausted(panicked.len()) {
+        return Err(FuzzError::TooManyPanicked {
+            panicked,
+            max: config.budget.max_skipped.unwrap_or(0),
+        });
+    }
+    cases.sort_by_key(|c| c.case_index);
+    Ok(FuzzReport {
+        truncated: !not_run.is_empty(),
+        not_run,
+        panicked,
+        replayed: done.len(),
+        cases,
+    })
 }
 
 #[cfg(test)]
@@ -253,13 +632,15 @@ mod tests {
             seed: 1,
             ..FuzzConfig::default()
         };
-        let report = run_fuzz(&config);
+        let report = run_fuzz(&config).expect("unlimited run cannot fail");
         assert!(
             report.is_clean(),
             "violations: {:?}, errors: {:?}",
             report.violations().collect::<Vec<_>>(),
             report.transform_errors().collect::<Vec<_>>()
         );
+        assert!(!report.truncated);
+        assert!(report.not_run.is_empty());
         // The run must actually exercise the checker, not skip everything.
         assert!(report.total_bdd_proved() > 10, "{report:?}");
     }
@@ -271,11 +652,12 @@ mod tests {
             seed: 7,
             ..FuzzConfig::default()
         };
-        let serial = run_fuzz(&base);
+        let serial = run_fuzz(&base).expect("serial run");
         let parallel = run_fuzz(&FuzzConfig {
             threads: 4,
             ..base.clone()
-        });
+        })
+        .expect("parallel run");
         assert_eq!(serial.cases.len(), parallel.cases.len());
         for (s, p) in serial.cases.iter().zip(&parallel.cases) {
             assert_eq!(s.case_index, p.case_index);
@@ -295,7 +677,7 @@ mod tests {
             sabotage: Sabotage::ForceFalse,
             ..FuzzConfig::default()
         };
-        let report = run_fuzz(&config);
+        let report = run_fuzz(&config).expect("sabotage run");
         let violations: Vec<_> = report.violations().collect();
         assert!(
             !violations.is_empty(),
@@ -305,6 +687,150 @@ mod tests {
             violations.iter().all(|v| v.replay_confirmed),
             "every symbolic witness must reproduce concretely: {violations:?}"
         );
+    }
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "oiso-fuzz-{tag}-{}-{}.jsonl",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn expired_deadline_marks_cases_not_run() {
+        let config = FuzzConfig {
+            cases: 6,
+            seed: 3,
+            budget: RunBudget::unlimited()
+                .with_wall_deadline(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config).expect("deadline is graceful, not an error");
+        assert!(report.truncated);
+        assert_eq!(report.not_run, vec![0, 1, 2, 3, 4, 5]);
+        assert!(report.cases.is_empty());
+    }
+
+    #[test]
+    fn iteration_cap_truncates_by_case_index() {
+        let base = FuzzConfig {
+            cases: 8,
+            seed: 5,
+            budget: RunBudget::unlimited().with_max_iterations(3),
+            ..FuzzConfig::default()
+        };
+        for threads in [1, 4] {
+            let report = run_fuzz(&FuzzConfig {
+                threads,
+                ..base.clone()
+            })
+            .expect("capped run");
+            assert!(report.truncated, "threads={threads}");
+            let run: Vec<usize> = report.cases.iter().map(|c| c.case_index).collect();
+            assert_eq!(run, vec![0, 1, 2], "threads={threads}");
+            assert_eq!(report.not_run, vec![3, 4, 5, 6, 7], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_then_resume_replays_clean_cases() {
+        let path = temp_journal("resume");
+        let config = FuzzConfig {
+            cases: 10,
+            seed: 11,
+            checkpoint: Some(path.clone()),
+            ..FuzzConfig::default()
+        };
+        let first = run_fuzz(&config).expect("checkpointed run");
+        assert!(first.is_clean(), "{first:?}");
+        let resumed = run_fuzz(&FuzzConfig {
+            checkpoint: None,
+            resume: Some(path.clone()),
+            ..config.clone()
+        })
+        .expect("resumed run");
+        assert_eq!(resumed.replayed, 10, "every clean case replays");
+        assert_eq!(resumed.cases.len(), first.cases.len());
+        for (a, b) in first.cases.iter().zip(&resumed.cases) {
+            assert_eq!(a.case_index, b.case_index);
+            assert_eq!(a.candidates, b.candidates);
+            assert_eq!(a.skipped, b.skipped);
+            assert_eq!(a.bdd_proved, b.bdd_proved);
+            assert_eq!(a.sampled, b.sampled);
+            assert!(b.replayed);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_a_different_config() {
+        let path = temp_journal("mismatch");
+        let config = FuzzConfig {
+            cases: 3,
+            seed: 21,
+            checkpoint: Some(path.clone()),
+            ..FuzzConfig::default()
+        };
+        run_fuzz(&config).expect("checkpointed run");
+        let err = run_fuzz(&FuzzConfig {
+            seed: 22,
+            checkpoint: None,
+            resume: Some(path.clone()),
+            ..config.clone()
+        })
+        .expect_err("a different seed must be refused");
+        assert!(
+            matches!(
+                err,
+                FuzzError::Checkpoint(CheckpointError::FingerprintMismatch {
+                    field: "config",
+                    ..
+                })
+            ),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_corruption_is_fatal() {
+        let path = temp_journal("torn");
+        let config = FuzzConfig {
+            cases: 4,
+            seed: 31,
+            checkpoint: Some(path.clone()),
+            ..FuzzConfig::default()
+        };
+        run_fuzz(&config).expect("checkpointed run");
+        // A crash mid-append leaves an unterminated fragment: tolerated,
+        // the torn case just re-runs.
+        let mut text = std::fs::read_to_string(&path).expect("journal readable");
+        text.push_str("{\"kind\":\"case\",\"ind");
+        std::fs::write(&path, &text).expect("journal writable");
+        let resumed = run_fuzz(&FuzzConfig {
+            checkpoint: None,
+            resume: Some(path.clone()),
+            ..config.clone()
+        })
+        .expect("torn tail is tolerated");
+        assert_eq!(resumed.replayed, 4);
+        // The same fragment *with* a newline is interior corruption: fatal.
+        text.push('\n');
+        std::fs::write(&path, &text).expect("journal writable");
+        let err = run_fuzz(&FuzzConfig {
+            checkpoint: None,
+            resume: Some(path.clone()),
+            ..config.clone()
+        })
+        .expect_err("terminated corruption must be refused");
+        assert!(
+            matches!(err, FuzzError::Checkpoint(CheckpointError::Format { .. })),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

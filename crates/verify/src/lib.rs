@@ -34,10 +34,14 @@ pub use cex::Counterexample;
 pub use check::{check_equivalence, CheckConfig, Verdict};
 pub use differential::{differential_sample, replay_counterexample, ReplayVerdict};
 pub use fuzz::{
-    case_seed, run_case, run_fuzz, CaseOutcome, FuzzConfig, FuzzReport, Sabotage, Violation,
+    case_seed, fuzz_config_fingerprint, run_case, run_fuzz, CaseOutcome, FuzzConfig, FuzzError,
+    FuzzReport, PanickedCase, Sabotage, Violation, FAULT_SITE_CASE,
 };
 pub use mutate::mutate_netlist;
-pub use symb::{build_symbolic, BudgetExceeded, SymbolicNetlist, VarEntry, VarKind, VarTable};
+pub use symb::{
+    build_symbolic, build_symbolic_bounded, BudgetExceeded, SymbolicNetlist, VarEntry, VarKind,
+    VarTable,
+};
 
 use oiso_boolex::BoolExpr;
 use oiso_core::{isolate_with_cache, IsolationStyle};
@@ -387,7 +391,7 @@ mod tests {
         let config = VerifyConfig {
             check: CheckConfig {
                 node_budget: 10_000,
-                assumption: None,
+                ..CheckConfig::default()
             },
             ..VerifyConfig::default()
         };

@@ -20,6 +20,7 @@
 use oiso_boolex::{Bdd, BddRef, Signal};
 use oiso_netlist::{comb_topo_order, CellKind, NetId, Netlist};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// What a BDD variable stands for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,15 +122,24 @@ impl VarTable {
     }
 }
 
-/// BDD node budget blown while building or comparing functions.
+/// BDD node budget (or wall deadline) blown while building or comparing
+/// functions.
 ///
 /// Word-level multipliers have exponentially-sized BDDs in every variable
 /// order; the checker aborts symbolically and falls back to differential
-/// sampling instead of hanging.
+/// sampling instead of hanging. A wall deadline trips the same abort path
+/// — both exhaustions degrade identically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BudgetExceeded {
     /// Node count at the moment the budget check fired.
     pub nodes: usize,
+}
+
+/// True when either symbolic bound is blown: too many live BDD nodes, or
+/// the wall deadline has passed. Checked cooperatively — per combinational
+/// cell and per multiplier partial-product row.
+fn bound_hit(bdd: &Bdd, node_budget: usize, deadline: Option<Instant>) -> bool {
+    bdd.num_nodes() > node_budget || deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// Per-net-bit BDDs of one netlist's settled (post-`settle()`) values.
@@ -161,6 +171,26 @@ pub fn build_symbolic(
     table: &VarTable,
     netlist: &Netlist,
     node_budget: usize,
+) -> Result<SymbolicNetlist, BudgetExceeded> {
+    build_symbolic_bounded(bdd, table, netlist, node_budget, None)
+}
+
+/// [`build_symbolic`] with an additional cooperative wall deadline: once
+/// `deadline` passes, the build aborts at the next per-cell (or
+/// per-multiplier-row) check with [`BudgetExceeded`], so a run budget
+/// turns a pathological BDD build into the same clean fall-back-to-
+/// sampling signal as node exhaustion.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] when the manager holds more than
+/// `node_budget` nodes or `deadline` has passed.
+pub fn build_symbolic_bounded(
+    bdd: &mut Bdd,
+    table: &VarTable,
+    netlist: &Netlist,
+    node_budget: usize,
+    deadline: Option<Instant>,
 ) -> Result<SymbolicNetlist, BudgetExceeded> {
     let mut bits: Vec<Vec<BddRef>> = vec![Vec::new(); netlist.num_nets()];
     let source_bits = |bdd: &mut Bdd, name: &str, width: u8| -> Vec<BddRef> {
@@ -200,10 +230,10 @@ pub fn build_symbolic(
                 .map(|i| bdd.ite(en, ins[0][i], state[i]))
                 .collect()
         } else {
-            eval_symbolic(bdd, cell.kind(), &ins, out_net.width(), node_budget)?
+            eval_symbolic(bdd, cell.kind(), &ins, out_net.width(), node_budget, deadline)?
         };
         bits[cell.output().index()] = out;
-        if bdd.num_nodes() > node_budget {
+        if bound_hit(bdd, node_budget, deadline) {
             return Err(BudgetExceeded {
                 nodes: bdd.num_nodes(),
             });
@@ -250,6 +280,7 @@ fn eval_symbolic(
     ins: &[Vec<BddRef>],
     out_width: u8,
     node_budget: usize,
+    deadline: Option<Instant>,
 ) -> Result<Vec<BddRef>, BudgetExceeded> {
     let w = out_width as usize;
     Ok(match kind {
@@ -272,7 +303,7 @@ fn eval_symbolic(
                     partial[i + j] = bdd.and(ins[0][j], bi);
                 }
                 acc = ripple_add(bdd, &acc, &partial, BddRef::FALSE);
-                if bdd.num_nodes() > node_budget {
+                if bound_hit(bdd, node_budget, deadline) {
                     return Err(BudgetExceeded {
                         nodes: bdd.num_nodes(),
                     });
@@ -510,6 +541,28 @@ mod tests {
         let mut bdd = Bdd::with_order(table.order());
         let err = build_symbolic(&mut bdd, &table, &n, 500).unwrap_err();
         assert!(err.nodes > 500);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_like_node_exhaustion() {
+        // A generous node budget but a deadline already in the past: the
+        // first cooperative check trips and the caller gets the same
+        // BudgetExceeded degradation signal.
+        let mut b = NetlistBuilder::new("d");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.wire("s", 8);
+        b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.mark_output(s);
+        let n = b.build().unwrap();
+        let table = VarTable::for_pair(&n, &n);
+        let mut bdd = Bdd::with_order(table.order());
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let err = build_symbolic_bounded(&mut bdd, &table, &n, 1 << 24, Some(past)).unwrap_err();
+        assert!(err.nodes <= 1 << 24);
+        // And with no deadline the same build succeeds.
+        let mut bdd = Bdd::with_order(table.order());
+        assert!(build_symbolic(&mut bdd, &table, &n, 1 << 24).is_ok());
     }
 
     #[test]

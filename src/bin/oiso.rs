@@ -6,35 +6,51 @@
 //! oiso simulate   <design.oiso> [--cycles N]         # power/timing report
 //! oiso isolate    <design.oiso> [--style and|or|latch]
 //!                 [--cycles N] [--threads N] [--lookahead]
+//!                 [--deadline SECS] [--max-skipped N]
+//!                 [--checkpoint FILE] [--resume FILE]
 //!                 [--out isolated.oiso] [--verilog out.v] [--dot out.dot]
 //! oiso optimize   <design.oiso> [--out cleaned.oiso]   # const-fold + sweep
 //! oiso verify     <design.oiso> [--style and|or|latch] [--lookahead]
-//!                 [--budget N]                       # prove isolate() safe
+//!                 [--budget N] [--deadline SECS]     # prove isolate() safe
 //! oiso fuzz       [--cases N] [--seed S] [--threads N] [--budget N]
+//!                 [--deadline SECS] [--max-skipped N]
+//!                 [--checkpoint FILE] [--resume FILE]
 //!                 [--sabotage force-false|negate]    # random transform fuzzing
 //! ```
 //!
 //! Design files use the text format documented in
 //! [`operand_isolation::designs::textfmt`]; see `examples/cmac.oiso`.
 //! `verify` and `fuzz` exit nonzero when an equivalence violation is found.
+//!
+//! Fault tolerance: `--deadline` stops a long `isolate`/`fuzz` run at the
+//! next cooperative check and returns the best-so-far result labeled
+//! `truncated: true`; `--checkpoint` journals accepted steps (or clean
+//! fuzz cases) as they land, and `--resume` replays that journal without
+//! re-simulating, refusing journals from different inputs. The
+//! fault-injection flags `--inject-panic N` (panic the scoring of cell
+//! index N / fuzz case N) and `--inject-budget` (expire the budget at the
+//! first check) exist to exercise those degradation paths end-to-end.
 
 use operand_isolation::boolex::Signal;
 use operand_isolation::core::{
-    derive_activation_functions, optimize, ActivationConfig, IsolationConfig,
-    IsolationStyle,
+    derive_activation_functions, optimize_with_memo, ActivationConfig, IsolationConfig,
+    IsolationStyle, RunBudget, FAULT_SITE_SCORE,
 };
 use operand_isolation::designs::textfmt;
 use operand_isolation::designs::Design;
 use operand_isolation::netlist::{dot, verilog, NetlistStats};
+use operand_isolation::par::faults;
 use operand_isolation::power::{total_area, PowerEstimator};
-use operand_isolation::sim::Testbench;
+use operand_isolation::sim::{SimMemo, Testbench};
 use operand_isolation::techlib::{OperatingConditions, TechLibrary};
 use operand_isolation::timing::analyze;
 use operand_isolation::verify::{
     run_fuzz, verify_isolation_plan, CheckConfig, FuzzConfig, Proof, ReplayVerdict, Sabotage,
-    VerifyConfig, VerifyOutcome,
+    VerifyConfig, VerifyOutcome, FAULT_SITE_CASE,
 };
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     match run() {
@@ -61,15 +77,28 @@ struct Options {
     seed: u64,
     budget: usize,
     sabotage: Sabotage,
+    deadline: Option<Duration>,
+    max_skipped: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    inject_panic: Vec<usize>,
+    inject_budget: bool,
 }
 
 const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize|verify> <design.oiso> \
                      [--style and|or|latch] [--cycles N] [--threads N] [--lookahead] \
-                     [--fsm-dc] [--budget N] [--out FILE] [--verilog FILE] [--dot FILE]\n\
+                     [--fsm-dc] [--budget N] [--deadline SECS] [--max-skipped N] \
+                     [--checkpoint FILE] [--resume FILE] \
+                     [--out FILE] [--verilog FILE] [--dot FILE]\n\
                      \u{20}      oiso fuzz [--cases N] [--seed S] [--threads N] [--budget N] \
+                     [--deadline SECS] [--max-skipped N] [--checkpoint FILE] [--resume FILE] \
                      [--sabotage force-false|negate]\n\
                      --threads N evaluates isolation candidates (or fuzz cases) on N worker \
-                     threads (0 = all cores); the result is identical at every setting";
+                     threads (0 = all cores); the result is identical at every setting\n\
+                     --deadline stops the run gracefully (best-so-far, labeled truncated); \
+                     --checkpoint/--resume journal and replay accepted work\n\
+                     fault injection (testing the harness itself): --inject-panic N panics \
+                     candidate/case N, --inject-budget expires the budget immediately";
 
 fn parse_options() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
@@ -98,6 +127,12 @@ fn parse_options() -> Result<Options, String> {
         seed: 1,
         budget: 200_000,
         sabotage: Sabotage::None,
+        deadline: None,
+        max_skipped: None,
+        checkpoint: None,
+        resume: None,
+        inject_panic: Vec::new(),
+        inject_budget: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -161,6 +196,43 @@ fn parse_options() -> Result<Options, String> {
                     }
                 };
             }
+            "--deadline" => {
+                let secs: f64 = args
+                    .next()
+                    .ok_or("--deadline needs seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!(
+                        "--deadline needs a non-negative number of seconds, got {secs}"
+                    ));
+                }
+                opts.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-skipped" => {
+                opts.max_skipped = Some(
+                    args.next()
+                        .ok_or("--max-skipped needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-skipped: {e}"))?,
+                );
+            }
+            "--checkpoint" => {
+                opts.checkpoint =
+                    Some(PathBuf::from(args.next().ok_or("--checkpoint needs a path")?));
+            }
+            "--resume" => {
+                opts.resume = Some(PathBuf::from(args.next().ok_or("--resume needs a path")?));
+            }
+            "--inject-panic" => {
+                opts.inject_panic.push(
+                    args.next()
+                        .ok_or("--inject-panic needs a candidate/case index")?
+                        .parse()
+                        .map_err(|e| format!("bad --inject-panic: {e}"))?,
+                );
+            }
+            "--inject-budget" => opts.inject_budget = true,
             "--out" => opts.out = Some(args.next().ok_or("--out needs a path")?),
             "--verilog" => {
                 opts.verilog = Some(args.next().ok_or("--verilog needs a path")?)
@@ -227,7 +299,10 @@ fn run() -> Result<(), String> {
             };
             let mut rows: Vec<_> = netlist
                 .arithmetic_cells()
-                .map(|cid| (netlist.cell(cid).name().to_string(), &acts[&cid]))
+                .filter_map(|cid| {
+                    acts.get(&cid)
+                        .map(|act| (netlist.cell(cid).name().to_string(), act))
+                })
                 .collect();
             rows.sort_by(|a, b| a.0.cmp(&b.0));
             for (name, act) in rows {
@@ -268,15 +343,36 @@ fn run() -> Result<(), String> {
             }
         }
         "isolate" => {
+            let mut budget = RunBudget::unlimited();
+            if let Some(d) = opts.deadline {
+                budget = budget.with_deadline_in(d);
+            }
+            if let Some(n) = opts.max_skipped {
+                budget = budget.with_max_skipped(n);
+            }
+            if opts.inject_budget {
+                budget = budget.with_expiry_after_checks(0);
+            }
             let mut config = IsolationConfig::default()
                 .with_style(opts.style)
                 .with_sim_cycles(opts.cycles)
                 .with_threads(opts.threads)
-                .with_fsm_dont_cares(opts.fsm_dc);
+                .with_fsm_dont_cares(opts.fsm_dc)
+                .with_budget(budget);
+            if let Some(path) = &opts.checkpoint {
+                config = config.with_checkpoint(path.clone());
+            }
+            if let Some(path) = &opts.resume {
+                config = config.with_resume(path.clone());
+            }
             config.activation = activation_config(opts.lookahead);
-            let outcome =
-                optimize(netlist, &design.stimuli, &config).map_err(|e| e.to_string())?;
+            let _fault = (!opts.inject_panic.is_empty())
+                .then(|| faults::inject(FAULT_SITE_SCORE, &opts.inject_panic));
+            let memo = SimMemo::new();
+            let outcome = optimize_with_memo(netlist, &design.stimuli, &config, &memo)
+                .map_err(|e| e.to_string())?;
             print!("{outcome}");
+            println!("  sim memo: {}", memo.stats());
             for record in &outcome.isolated {
                 println!(
                     "  isolated `{}` ({} bits, {} style)",
@@ -344,6 +440,7 @@ fn run() -> Result<(), String> {
                 check: CheckConfig {
                     node_budget: opts.budget,
                     assumption: None,
+                    deadline: opts.deadline.map(|d| Instant::now() + d),
                 },
                 ..VerifyConfig::default()
             };
@@ -388,19 +485,39 @@ fn run() -> Result<(), String> {
 }
 
 fn fuzz_command(opts: &Options) -> Result<(), String> {
+    let mut budget = RunBudget::unlimited();
+    if let Some(d) = opts.deadline {
+        budget = budget.with_deadline_in(d);
+    }
+    if let Some(n) = opts.max_skipped {
+        budget = budget.with_max_skipped(n);
+    }
+    if opts.inject_budget {
+        // The fuzzer's deterministic budget bound is its per-index case
+        // cap; zero means "budget exhausted before any case starts".
+        budget = budget.with_max_iterations(0);
+    }
     let config = FuzzConfig {
         cases: opts.cases,
         seed: opts.seed,
         threads: opts.threads,
         node_budget: opts.budget,
         sabotage: opts.sabotage,
+        budget,
+        checkpoint: opts.checkpoint.clone(),
+        resume: opts.resume.clone(),
         ..FuzzConfig::default()
     };
     println!(
         "fuzzing the isolation transform: {} case(s), seed {}",
         config.cases, config.seed
     );
-    let report = run_fuzz(&config);
+    let _fault = (!opts.inject_panic.is_empty())
+        .then(|| faults::inject(FAULT_SITE_CASE, &opts.inject_panic));
+    let report = run_fuzz(&config).map_err(|e| e.to_string())?;
+    if report.replayed > 0 {
+        println!("  {} case(s) replayed from checkpoint", report.replayed);
+    }
     println!(
         "  {} candidate(s): {} proved, {} sampled, {} skipped",
         report.total_candidates(),
@@ -408,6 +525,15 @@ fn fuzz_command(opts: &Options) -> Result<(), String> {
         report.total_sampled(),
         report.total_skipped()
     );
+    if report.truncated {
+        println!(
+            "  truncated: true (budget exhausted; {} case(s) not run)",
+            report.not_run.len()
+        );
+    }
+    for p in &report.panicked {
+        println!("  skipped case {}: {}", p.case_index, p.reason);
+    }
     for (case, error) in report.transform_errors() {
         println!("  case {case}: transform error: {error}");
     }
@@ -428,9 +554,10 @@ fn fuzz_command(opts: &Options) -> Result<(), String> {
     }
     if !report.is_clean() {
         return Err(format!(
-            "{} equivalence violation(s), {} transform error(s)",
+            "{} equivalence violation(s), {} transform error(s), {} panicked case(s)",
             violations.len(),
-            report.transform_errors().count()
+            report.transform_errors().count(),
+            report.panicked.len()
         ));
     }
     println!("no violations");

@@ -1,0 +1,186 @@
+//! Checkpoint/resume under faults: the PR's acceptance scenario.
+//!
+//! A run that is *both* losing candidates to injected panics *and* cut
+//! short by an expiring budget must still produce a valid journal, and
+//! `--resume` from that journal must reproduce the identical
+//! accepted-candidate sequence bit-for-bit at every thread count.
+//!
+//! These tests arm the process-global fault registry, so they serialize
+//! through a file-local lock.
+
+use operand_isolation::core::{
+    optimize, CheckpointError, IsolationConfig, IsolationError, IsolationOutcome,
+    RunBudget, FAULT_SITE_SCORE,
+};
+use operand_isolation::designs::{design1, Design};
+use operand_isolation::par::faults;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_journal(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "oiso-it-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn small_design() -> Design {
+    design1::build(&design1::Design1Params::default())
+}
+
+fn quick_config() -> IsolationConfig {
+    IsolationConfig::default().with_sim_cycles(300)
+}
+
+/// The accepted-candidate sequence, rendered bit-exactly (f64s by bit
+/// pattern) for cross-run comparison.
+fn accepted_fingerprint(outcome: &IsolationOutcome) -> Vec<String> {
+    outcome
+        .isolated
+        .iter()
+        .map(|r| {
+            format!(
+                "{}:{}:{}:{}",
+                r.candidate.index(),
+                r.activation,
+                r.isolated_bits,
+                r.bank_cells.len()
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn panic_plus_expiring_budget_checkpoints_and_resumes_bit_for_bit() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let design = small_design();
+    let journal = temp_journal("acceptance");
+
+    // Learn a victim candidate from a healthy run, then poison it.
+    let healthy = optimize(&design.netlist, &design.stimuli, &quick_config())
+        .expect("healthy run");
+    assert!(healthy.num_isolated() >= 2, "need at least two winners");
+    let victim = healthy.isolated[0].candidate;
+
+    // Faulted, budgeted, checkpointed run: one iteration, then truncation.
+    let truncated = {
+        let _fault = faults::inject(FAULT_SITE_SCORE, &[victim.index()]);
+        let config = quick_config()
+            .with_budget(RunBudget::unlimited().with_expiry_after_checks(1))
+            .with_checkpoint(&journal);
+        optimize(&design.netlist, &design.stimuli, &config)
+            .expect("faulted run completes gracefully")
+    };
+    assert!(truncated.truncated, "budget must truncate the run");
+    assert!(
+        truncated.skipped.iter().any(|s| s.cell == victim),
+        "the poisoned candidate must be reported skipped"
+    );
+    assert!(truncated.to_string().contains("truncated: true"));
+    let journaled = accepted_fingerprint(&truncated);
+    assert!(!journaled.is_empty(), "iteration 1 must accept something");
+
+    // Resume (faults disarmed, budget lifted) at both thread counts: the
+    // journaled prefix is replayed verbatim and the rest of the run is
+    // identical everywhere.
+    let mut resumed_runs: Vec<IsolationOutcome> = Vec::new();
+    for threads in [1, 4] {
+        let config = quick_config()
+            .with_threads(threads)
+            .with_resume(&journal);
+        let resumed = optimize(&design.netlist, &design.stimuli, &config)
+            .expect("resume completes");
+        assert!(!resumed.truncated, "threads={threads}");
+        let fp = accepted_fingerprint(&resumed);
+        assert_eq!(
+            fp[..journaled.len()],
+            journaled[..],
+            "threads={threads}: resume must replay the journaled prefix verbatim"
+        );
+        resumed_runs.push(resumed);
+    }
+    let (a, b) = (&resumed_runs[0], &resumed_runs[1]);
+    assert_eq!(accepted_fingerprint(a), accepted_fingerprint(b));
+    assert_eq!(
+        a.power_after.as_mw().to_bits(),
+        b.power_after.as_mw().to_bits(),
+        "resumed power must be bit-identical across thread counts"
+    );
+    assert_eq!(
+        a.area_after.as_um2().to_bits(),
+        b.area_after.as_um2().to_bits()
+    );
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn resume_refuses_a_journal_from_a_different_config() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let design = small_design();
+    let journal = temp_journal("mismatch");
+
+    let write_cfg = quick_config().with_checkpoint(&journal);
+    optimize(&design.netlist, &design.stimuli, &write_cfg).expect("checkpointed run");
+
+    // Same netlist, different simulation length: the config fingerprint
+    // differs, so replaying the journal would be unsound.
+    let read_cfg = IsolationConfig::default()
+        .with_sim_cycles(301)
+        .with_resume(&journal);
+    let err = optimize(&design.netlist, &design.stimuli, &read_cfg)
+        .expect_err("mismatched journal must be refused");
+    match err {
+        IsolationError::Checkpoint(CheckpointError::FingerprintMismatch {
+            field, ..
+        }) => {
+            assert_eq!(field, "config");
+        }
+        other => panic!("expected FingerprintMismatch, got {other}"),
+    }
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn corrupted_journal_interior_is_rejected_but_a_torn_tail_is_not() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let design = small_design();
+    let journal = temp_journal("torn");
+
+    let write_cfg = quick_config().with_checkpoint(&journal);
+    let full = optimize(&design.netlist, &design.stimuli, &write_cfg)
+        .expect("checkpointed run");
+    assert!(full.num_isolated() >= 1);
+
+    // A torn final line (crash mid-write) is dropped silently.
+    let text = std::fs::read_to_string(&journal).expect("journal readable");
+    std::fs::write(&journal, format!("{text}{{\"kind\":\"acc")).expect("append tear");
+    let resumed = optimize(
+        &design.netlist,
+        &design.stimuli,
+        &quick_config().with_resume(&journal),
+    )
+    .expect("torn tail is tolerated");
+    assert_eq!(accepted_fingerprint(&resumed), accepted_fingerprint(&full));
+
+    // The same fragment *with* a newline is interior corruption: refuse.
+    std::fs::write(&journal, format!("{text}{{\"kind\":\"acc\n")).expect("append junk");
+    let err = optimize(
+        &design.netlist,
+        &design.stimuli,
+        &quick_config().with_resume(&journal),
+    )
+    .expect_err("interior corruption must be fatal");
+    match err {
+        IsolationError::Checkpoint(CheckpointError::Format { .. }) => {}
+        other => panic!("expected Format error, got {other}"),
+    }
+
+    let _ = std::fs::remove_file(&journal);
+}

@@ -1,0 +1,187 @@
+//! Fault-injection harness: every degradation path of the optimizer and
+//! the fuzzer, proven deterministic at every thread count.
+//!
+//! These tests arm the process-global fault registry
+//! (`oiso_par::faults`), so they serialize through a file-local lock —
+//! two tests arming sites concurrently would see each other's faults.
+
+use operand_isolation::core::{
+    optimize, IsolationConfig, IsolationError, RunBudget, FAULT_SITE_SCORE,
+};
+use operand_isolation::designs::{design1, Design};
+use operand_isolation::par::faults;
+use operand_isolation::verify::{run_fuzz, FuzzConfig, FuzzError, FAULT_SITE_CASE};
+use std::sync::Mutex;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn small_design() -> Design {
+    design1::build(&design1::Design1Params::default())
+}
+
+fn quick_config() -> IsolationConfig {
+    IsolationConfig::default().with_sim_cycles(300)
+}
+
+#[test]
+fn poisoning_every_candidate_degrades_identically_at_every_thread_count() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let design = small_design();
+    let _fault = faults::inject_all(FAULT_SITE_SCORE);
+
+    let mut reference: Option<(usize, Vec<String>, u64)> = None;
+    for threads in [1, 2, 4] {
+        let config = quick_config().with_threads(threads);
+        let outcome = optimize(&design.netlist, &design.stimuli, &config)
+            .expect("all-poisoned run still completes");
+        // Nothing scored means nothing isolated, but the run survives and
+        // names every skipped candidate.
+        assert_eq!(outcome.num_isolated(), 0, "threads={threads}");
+        assert!(!outcome.skipped.is_empty(), "threads={threads}");
+        assert!(!outcome.truncated, "skips are not truncation");
+        let skipped: Vec<String> = outcome
+            .skipped
+            .iter()
+            .map(|s| format!("{}@{}", s.name, s.iteration))
+            .collect();
+        let power_bits = outcome.power_after.as_mw().to_bits();
+        match &reference {
+            None => reference = Some((outcome.skipped.len(), skipped, power_bits)),
+            Some((n, names, bits)) => {
+                assert_eq!(*n, outcome.skipped.len(), "threads={threads}");
+                assert_eq!(*names, skipped, "threads={threads}");
+                assert_eq!(*bits, power_bits, "threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn a_single_poisoned_candidate_is_skipped_and_the_rest_still_isolate() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let design = small_design();
+    // Learn which candidate a healthy run isolates first, then poison
+    // exactly that one.
+    let healthy = optimize(&design.netlist, &design.stimuli, &quick_config())
+        .expect("healthy run");
+    assert!(healthy.num_isolated() >= 2, "design1 must have >= 2 winners");
+    let victim = healthy.isolated[0].candidate;
+
+    let _fault = faults::inject(FAULT_SITE_SCORE, &[victim.index()]);
+    let mut reference: Option<Vec<usize>> = None;
+    for threads in [1, 2, 4] {
+        let config = quick_config().with_threads(threads);
+        let outcome = optimize(&design.netlist, &design.stimuli, &config)
+            .expect("one-poisoned run still completes");
+        assert!(
+            outcome.skipped.iter().any(|s| s.cell == victim),
+            "threads={threads}: the victim must appear in the skip list"
+        );
+        assert!(
+            outcome.isolated.iter().all(|r| r.candidate != victim),
+            "threads={threads}: a skipped candidate must never be isolated"
+        );
+        assert!(outcome.num_isolated() >= 1, "threads={threads}");
+        let cells: Vec<usize> =
+            outcome.isolated.iter().map(|r| r.candidate.index()).collect();
+        match &reference {
+            None => reference = Some(cells),
+            Some(expected) => assert_eq!(*expected, cells, "threads={threads}"),
+        }
+    }
+}
+
+#[test]
+fn zero_skip_tolerance_fails_fast_with_the_skip_list() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let design = small_design();
+    let _fault = faults::inject_all(FAULT_SITE_SCORE);
+    let config = quick_config().with_budget(RunBudget::unlimited().with_max_skipped(0));
+    let err = optimize(&design.netlist, &design.stimuli, &config)
+        .expect_err("max_skipped=0 must abort");
+    match err {
+        IsolationError::TooManySkipped { skipped, max } => {
+            assert_eq!(max, 0);
+            assert!(!skipped.is_empty());
+            assert!(err_text_lists_candidates(&IsolationError::TooManySkipped {
+                skipped,
+                max,
+            }));
+        }
+        other => panic!("expected TooManySkipped, got {other}"),
+    }
+}
+
+fn err_text_lists_candidates(err: &IsolationError) -> bool {
+    let text = err.to_string();
+    text.contains("panicked") && text.contains("skipped candidate")
+}
+
+#[test]
+fn expiring_budget_returns_best_so_far_truncated() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let design = small_design();
+    // One iteration runs (check 0), then the budget trips at check 1.
+    let config = quick_config()
+        .with_budget(RunBudget::unlimited().with_expiry_after_checks(1));
+    let outcome =
+        optimize(&design.netlist, &design.stimuli, &config).expect("truncated run");
+    assert!(outcome.truncated, "budget exhaustion must label the outcome");
+    assert_eq!(outcome.iterations.len(), 1, "exactly one iteration ran");
+    assert!(outcome.to_string().contains("truncated: true"));
+}
+
+#[test]
+fn fuzz_case_panics_are_reported_not_fatal_at_every_thread_count() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let _fault = faults::inject(FAULT_SITE_CASE, &[2, 5]);
+    let mut reference: Option<Vec<(usize, String)>> = None;
+    for threads in [1, 4] {
+        let config = FuzzConfig {
+            cases: 8,
+            threads,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config).expect("fuzz survives poisoned cases");
+        assert!(!report.is_clean(), "panicked cases make the report dirty");
+        let panicked: Vec<(usize, String)> = report
+            .panicked
+            .iter()
+            .map(|p| (p.case_index, p.reason.clone()))
+            .collect();
+        assert_eq!(
+            panicked.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![2, 5],
+            "threads={threads}"
+        );
+        assert!(
+            report.cases.iter().all(|c| c.case_index != 2 && c.case_index != 5),
+            "threads={threads}: poisoned cases must not produce outcomes"
+        );
+        match &reference {
+            None => reference = Some(panicked),
+            Some(expected) => assert_eq!(*expected, panicked, "threads={threads}"),
+        }
+    }
+}
+
+#[test]
+fn fuzz_skip_tolerance_zero_aborts_with_the_case_list() {
+    let _lock = FAULT_LOCK.lock().unwrap();
+    let _fault = faults::inject(FAULT_SITE_CASE, &[1]);
+    let config = FuzzConfig {
+        cases: 4,
+        budget: RunBudget::unlimited().with_max_skipped(0),
+        ..FuzzConfig::default()
+    };
+    let err = run_fuzz(&config).expect_err("max_skipped=0 must abort the fuzzer");
+    match &err {
+        FuzzError::TooManyPanicked { panicked, max } => {
+            assert_eq!(*max, 0);
+            assert_eq!(panicked.len(), 1);
+            assert_eq!(panicked[0].case_index, 1);
+        }
+        other => panic!("expected TooManyPanicked, got {other}"),
+    }
+    assert!(err.to_string().contains("case 1:"));
+}
