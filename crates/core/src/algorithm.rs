@@ -132,6 +132,13 @@ pub struct IsolationConfig {
     /// "analyzing the corresponding FSM" extension of Section 3). Off by
     /// default, matching the published algorithm.
     pub fsm_dont_cares: bool,
+    /// Drop provably-useless or unsound candidates *before* simulation
+    /// using the static checks of [`crate::precheck`] (BDD-constant
+    /// activation, combinational feedback). Dropped candidates are
+    /// recorded in [`IsolationOutcome::pre_skipped`]. The check is a pure
+    /// serial function of the candidate list, so the accepted-candidate
+    /// sequence stays bit-identical at every thread count. On by default.
+    pub static_precheck: bool,
     /// Simulation length per iteration.
     pub sim_cycles: u64,
     /// Worker threads for per-candidate savings evaluation inside one
@@ -174,6 +181,7 @@ impl Default for IsolationConfig {
             secondary_savings: true,
             optimize_activation_logic: true,
             fsm_dont_cares: false,
+            static_precheck: true,
             sim_cycles: 2000,
             threads: 1,
             library: TechLibrary::generic_250nm(),
@@ -239,6 +247,12 @@ impl IsolationConfig {
     /// Enables or disables FSM-reachability don't-care refinement.
     pub fn with_fsm_dont_cares(mut self, on: bool) -> Self {
         self.fsm_dont_cares = on;
+        self
+    }
+
+    /// Enables or disables the static candidate precheck.
+    pub fn with_static_precheck(mut self, on: bool) -> Self {
+        self.static_precheck = on;
         self
     }
 
@@ -355,6 +369,12 @@ pub fn optimize_with_memo(
     // from every later iteration (a deterministic fault would otherwise
     // re-panic forever and inflate the skip count).
     let mut poisoned: HashSet<CellId> = HashSet::new();
+    // Candidates the static precheck rejected: recorded once in
+    // `pre_skipped`, then excluded like poisoned ones (the verdict is a
+    // pure function of the netlist, so it would recur every iteration).
+    let mut pre_skipped: Vec<SkippedCandidate> = Vec::new();
+    let mut pre_excluded: HashSet<CellId> = HashSet::new();
+    let mut evaluated: usize = 0;
     let mut truncated = false;
 
     // Replay journaled accepted steps without re-simulating: the journal
@@ -410,7 +430,11 @@ pub fn optimize_with_memo(
         let mut candidates: Vec<Candidate> =
             identify_candidates(&work, lib, &timing, &config.activation, &filter)
                 .into_iter()
-                .filter(|c| !isolated_acts.contains_key(&c.cell) && !poisoned.contains(&c.cell))
+                .filter(|c| {
+                    !isolated_acts.contains_key(&c.cell)
+                        && !poisoned.contains(&c.cell)
+                        && !pre_excluded.contains(&c.cell)
+                })
                 .collect();
         if config.fsm_dont_cares {
             let fsms = crate::fsm::find_closed_fsms(&work);
@@ -423,6 +447,36 @@ pub fn optimize_with_memo(
             for cand in &mut candidates {
                 cand.activation = oiso_boolex::minimize(&cand.activation);
             }
+        }
+        // Static precheck (after minimization, so the checked expression
+        // is the one that would be synthesized): drop provably-useless or
+        // unsound candidates without paying for their simulation scoring.
+        // Serial, in candidate order — deterministic at any thread count.
+        if config.static_precheck {
+            let node_budget = config
+                .budget
+                .bdd_node_ceiling
+                .unwrap_or(crate::precheck::DEFAULT_PRECHECK_NODE_BUDGET);
+            candidates.retain(|cand| {
+                match crate::precheck::precheck_candidate(
+                    &work,
+                    cand.cell,
+                    &cand.activation,
+                    node_budget,
+                ) {
+                    Some(verdict) => {
+                        pre_excluded.insert(cand.cell);
+                        pre_skipped.push(SkippedCandidate {
+                            cell: cand.cell,
+                            name: work.cell(cand.cell).name().to_string(),
+                            iteration: iter_no,
+                            reason: verdict.reason(),
+                        });
+                        false
+                    }
+                    None => true,
+                }
+            });
         }
         if candidates.is_empty() {
             break;
@@ -455,6 +509,7 @@ pub fn optimize_with_memo(
         // the FAULT_SITE_SCORE injection) poisons only its own slot; the
         // candidate is recorded as skipped and excluded from later
         // iterations instead of tearing down the run.
+        evaluated += candidates.len();
         let scores: Vec<TaskOutcome<(f64, SavingsEstimate)>> =
             oiso_par::parallel_map_isolated(config.threads, &candidates, |_, cand| {
                 oiso_par::faults::trip(FAULT_SITE_SCORE, cand.cell.index());
@@ -579,6 +634,8 @@ pub fn optimize_with_memo(
         slack_after,
         truncated,
         skipped,
+        pre_skipped,
+        evaluated,
     })
 }
 

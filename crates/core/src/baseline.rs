@@ -72,6 +72,8 @@ fn measure(
             slack_after,
             truncated: false,
             skipped: Vec::new(),
+            pre_skipped: Vec::new(),
+            evaluated: 0,
         },
         uncovered,
     })

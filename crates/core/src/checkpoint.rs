@@ -335,6 +335,7 @@ pub fn config_fingerprint(config: &crate::algorithm::IsolationConfig) -> u64 {
     h.u64(config.secondary_savings as u64);
     h.u64(config.optimize_activation_logic as u64);
     h.u64(config.fsm_dont_cares as u64);
+    h.u64(config.static_precheck as u64);
     h.u64(config.sim_cycles);
     h.u64(config.max_iterations as u64);
     h.str(config.library.name());

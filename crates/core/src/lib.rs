@@ -22,6 +22,9 @@
 //! * [`algorithm`] — Section 5.3, Algorithm 1: the iterative optimizer that
 //!   isolates at most one candidate per combinational block per iteration
 //!   until no improvement remains.
+//! * [`precheck`] — static candidate screening: BDD-provable constant
+//!   activations and combinational-feedback hazards are dropped before
+//!   any simulation is paid for (shared with `oiso-lint`'s rules).
 //! * [`baseline`] — Section 2's comparators: Correale-style local mux
 //!   isolation and Kapadia-style register-enable gating.
 //! * [`fsm`] — the "analyzing the corresponding FSM" option Section 3
@@ -71,6 +74,7 @@ pub mod cost;
 pub mod fsm;
 pub mod muxfunc;
 pub mod observability;
+pub mod precheck;
 pub mod report;
 pub mod savings;
 pub mod transform;
@@ -89,6 +93,7 @@ pub use checkpoint::{
 pub use cost::{CostModel, CostWeights, IsolationCost};
 pub use fsm::{find_closed_fsms, refine_with_fsm_dont_cares, ClosedFsm};
 pub use muxfunc::multiplexing_functions;
+pub use precheck::{precheck_candidate, PrecheckVerdict, DEFAULT_PRECHECK_NODE_BUDGET};
 pub use report::{IsolationOutcome, IterationLog, SkippedCandidate};
 pub use savings::{EstimatorKind, SavingsEstimate, SavingsEstimator};
 pub use transform::{isolate, isolate_each, isolate_with_cache, IsolationRecord, IsolationStyle};

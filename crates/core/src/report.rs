@@ -74,6 +74,14 @@ pub struct IsolationOutcome {
     /// Candidates whose evaluation panicked and were skipped
     /// (fault-isolation path; empty on healthy runs).
     pub skipped: Vec<SkippedCandidate>,
+    /// Candidates dropped by the static precheck *before* simulation
+    /// (provably constant activation or feedback — see
+    /// [`crate::precheck`]). Kept separate from `skipped`, which feeds
+    /// the fault budget; precheck drops are expected, not faults.
+    pub pre_skipped: Vec<SkippedCandidate>,
+    /// Total candidate scorings performed across all iterations — the
+    /// work the static precheck exists to reduce.
+    pub evaluated: usize,
 }
 
 impl IsolationOutcome {
@@ -124,6 +132,13 @@ impl fmt::Display for IsolationOutcome {
         for skip in &self.skipped {
             writeln!(f, "  {skip}")?;
         }
+        if !self.pre_skipped.is_empty() {
+            writeln!(
+                f,
+                "  static precheck dropped {} candidate(s) before simulation",
+                self.pre_skipped.len()
+            )?;
+        }
         writeln!(
             f,
             "  power {} -> {} ({:+.2}% reduction)",
@@ -170,6 +185,8 @@ mod tests {
             slack_after: Time::from_ns(sa),
             truncated: false,
             skipped: Vec::new(),
+            pre_skipped: Vec::new(),
+            evaluated: 0,
         }
     }
 
@@ -210,6 +227,21 @@ mod tests {
         let text = o.to_string();
         assert!(text.contains("truncated: true"));
         assert!(text.contains("skipped candidate mul1: injected fault"));
+    }
+
+    #[test]
+    fn display_summarizes_precheck_drops() {
+        let mut o = outcome(10.0, 8.0, 100.0, 110.0, 3.0, 2.9);
+        let text = o.to_string();
+        assert!(!text.contains("static precheck"), "silent when empty");
+        o.pre_skipped.push(SkippedCandidate {
+            cell: CellId::from_index(0),
+            name: "add1".into(),
+            iteration: 1,
+            reason: "static precheck: activation is constant 1".into(),
+        });
+        let text = o.to_string();
+        assert!(text.contains("static precheck dropped 1 candidate(s)"));
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Structured diagnostics: stable codes, severities, spans, fixes.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// Ordered so `Error > Warn > Info`, which lets deny-filters use plain
+/// comparisons (`severity >= Severity::Warn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: worth knowing, never wrong by itself.
+    Info,
+    /// Probably a mistake or a missed optimization; the design still works.
+    Warn,
+    /// The netlist is structurally broken or a transform would be unsound.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by the text and JSON renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// SARIF 2.1 `level` value.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Info => "note",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Where in the netlist a finding points.
+///
+/// Netlists have no source text, so a span is a logical path:
+/// `design/cell/<name>` or `design/net/<name>`, mirroring SARIF's
+/// `logicalLocations`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Span {
+    /// The whole design.
+    Design,
+    /// A named cell.
+    Cell(String),
+    /// A named net.
+    Net(String),
+}
+
+impl Span {
+    /// Renders the span as a `design/<kind>/<name>` path rooted at
+    /// `design` (the netlist name).
+    pub fn path(&self, design: &str) -> String {
+        match self {
+            Span::Design => design.to_string(),
+            Span::Cell(name) => format!("{design}/cell/{name}"),
+            Span::Net(name) => format!("{design}/net/{name}"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule code (`OL001`…); never reused for a different meaning.
+    pub code: &'static str,
+    /// Short kebab-case rule name (`combinational-cycle`).
+    pub name: &'static str,
+    /// Severity of this particular finding (a rule may emit several).
+    pub severity: Severity,
+    /// Human-readable description of the specific finding.
+    pub message: String,
+    /// Where it points.
+    pub span: Span,
+    /// A concrete suggestion for making the finding go away, when one
+    /// exists.
+    pub fix: Option<String>,
+}
+
+/// The result of linting one netlist.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Name of the linted design.
+    pub design: String,
+    /// Every finding, in rule-then-discovery order (deterministic).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// True when no finding reaches `at_least`.
+    pub fn clean(&self, at_least: Severity) -> bool {
+        self.diagnostics.iter().all(|d| d.severity < at_least)
+    }
+
+    /// Findings matching a deny-spec: a rule code (`OL004`), or the
+    /// severity thresholds `error` (errors only) / `warn` (warn and
+    /// above) / `info` (everything).
+    pub fn denied<'a>(&'a self, spec: &str) -> Vec<&'a Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| match spec {
+                "error" => d.severity >= Severity::Error,
+                "warn" => d.severity >= Severity::Warn,
+                "info" => true,
+                code => d.code.eq_ignore_ascii_case(code),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LintReport {
+        LintReport {
+            design: "d".into(),
+            diagnostics: vec![
+                Diagnostic {
+                    code: "OL003",
+                    name: "constant-true-activation",
+                    severity: Severity::Warn,
+                    message: "m".into(),
+                    span: Span::Cell("add".into()),
+                    fix: None,
+                },
+                Diagnostic {
+                    code: "OL001",
+                    name: "combinational-cycle",
+                    severity: Severity::Error,
+                    message: "m".into(),
+                    span: Span::Design,
+                    fix: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn severity_orders_for_thresholds() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+    }
+
+    #[test]
+    fn span_paths() {
+        assert_eq!(Span::Design.path("top"), "top");
+        assert_eq!(Span::Cell("mul".into()).path("top"), "top/cell/mul");
+        assert_eq!(Span::Net("s".into()).path("top"), "top/net/s");
+    }
+
+    #[test]
+    fn deny_specs_select_findings() {
+        let r = report();
+        assert_eq!(r.denied("error").len(), 1);
+        assert_eq!(r.denied("warn").len(), 2);
+        assert_eq!(r.denied("info").len(), 2);
+        assert_eq!(r.denied("OL003").len(), 1);
+        assert_eq!(r.denied("ol001").len(), 1, "codes are case-insensitive");
+        assert_eq!(r.denied("OL999").len(), 0);
+    }
+
+    #[test]
+    fn clean_and_count() {
+        let r = report();
+        assert_eq!(r.count(Severity::Warn), 1);
+        assert!(!r.clean(Severity::Error));
+        let empty = LintReport { design: "e".into(), diagnostics: Vec::new() };
+        assert!(empty.clean(Severity::Info));
+    }
+}

@@ -1,0 +1,53 @@
+//! Netlist static analysis and lint for operand isolation.
+//!
+//! A reusable dataflow engine over the netlist IR plus a registry of
+//! paper-grounded soundness rules, emitting structured diagnostics with
+//! stable codes, severities, logical spans, and fix suggestions:
+//!
+//! * [`dataflow`] — forward three-value constant/X propagation
+//!   (generalizing the optimizer's folding) and backward static
+//!   observability (the optimizer's liveness sweep), computed once and
+//!   shared by the rules.
+//! * [`rules`] — the `OL001`–`OL010` rule catalog: structural health
+//!   (combinational cycles, connectivity), activation-function soundness
+//!   (`f_c ≡ 1` pure overhead, `f_c ≡ 0` dead module, latch-fed glitch
+//!   hazards, feedback through the gated module's own cone), structure
+//!   smells (double isolation, arithmetic width truncation), and
+//!   observability hygiene (X at a primary output, unobservable cones).
+//!   See `DESIGN.md` §10 for the catalog with paper references.
+//! * [`render`] — pretty text, JSON, and SARIF 2.1 renderers so findings
+//!   flow into terminals, scripts, and CI annotations unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use oiso_lint::{lint_netlist, LintOptions, Severity};
+//! use oiso_netlist::{CellKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), oiso_netlist::BuildError> {
+//! let mut b = NetlistBuilder::new("tiny");
+//! let a = b.input("a", 8);
+//! let bb = b.input("b", 8);
+//! let sum = b.wire("sum", 8);
+//! b.cell("add", CellKind::Add, &[a, bb], sum)?;
+//! b.mark_output(sum);
+//! let netlist = b.build()?;
+//!
+//! let report = lint_netlist(&netlist, &LintOptions::default());
+//! assert!(report.clean(Severity::Error));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod diag;
+pub mod render;
+pub mod rules;
+
+pub use dataflow::{analyze, Dataflow, NetValue};
+pub use diag::{Diagnostic, LintReport, Severity, Span};
+pub use render::{render_json, render_sarif, render_text};
+pub use rules::{lint_netlist, LintContext, LintOptions, Rule, REGISTRY};

@@ -1,0 +1,196 @@
+//! Report renderers: pretty text, line-oriented JSON, and SARIF 2.1.
+//!
+//! All three are hand-rolled (the workspace is offline, no serde); the
+//! JSON string escaper is shared with the checkpoint writer.
+
+use crate::diag::{LintReport, Severity};
+use crate::rules::REGISTRY;
+use oiso_core::escape_json;
+use std::fmt::Write as _;
+
+/// Human-readable report, one block per finding plus a summary line.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "lint: {}", report.design);
+    for d in &report.diagnostics {
+        let _ = writeln!(
+            out,
+            "{}[{}] {} ({})",
+            d.severity.label(),
+            d.code,
+            d.message,
+            d.span.path(&report.design)
+        );
+        if let Some(fix) = &d.fix {
+            let _ = writeln!(out, "    fix: {fix}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} error(s), {} warning(s), {} info",
+        report.count(Severity::Error),
+        report.count(Severity::Warn),
+        report.count(Severity::Info)
+    );
+    out
+}
+
+/// Machine-readable JSON: `{"design": ..., "diagnostics": [...]}`.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"design\":\"{}\",\"diagnostics\":[",
+        escape_json(&report.design)
+    );
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"span\":\"{}\"",
+            d.code,
+            d.name,
+            d.severity.label(),
+            escape_json(&d.message),
+            escape_json(&d.span.path(&report.design)),
+        );
+        if let Some(fix) = &d.fix {
+            let _ = write!(out, ",\"fix\":\"{}\"", escape_json(fix));
+        }
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        "],\"counts\":{{\"error\":{},\"warn\":{},\"info\":{}}}}}",
+        report.count(Severity::Error),
+        report.count(Severity::Warn),
+        report.count(Severity::Info)
+    );
+    out.push('\n');
+    out
+}
+
+/// SARIF 2.1.0 log with one run covering all `reports`.
+///
+/// Rule metadata comes from the registry; each result carries a logical
+/// location (`design/cell/<name>`) and, when `artifact` names the linted
+/// file, a physical location so CI annotators have something to anchor.
+pub fn render_sarif(reports: &[(Option<String>, &LintReport)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "{\"version\":\"2.1.0\",\
+         \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"runs\":[{\"tool\":{\"driver\":{\"name\":\"oiso-lint\",\"rules\":[",
+    );
+    for (i, rule) in REGISTRY.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"name\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+             \"defaultConfiguration\":{{\"level\":\"{}\"}}}}",
+            rule.code,
+            rule.name,
+            escape_json(rule.summary),
+            rule.default_severity.sarif_level()
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for (artifact, report) in reports {
+        for d in &report.diagnostics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"logicalLocations\":[{{\"fullyQualifiedName\":\"{}\"}}]",
+                d.code,
+                d.severity.sarif_level(),
+                escape_json(&d.message),
+                escape_json(&d.span.path(&report.design)),
+            );
+            if let Some(uri) = artifact {
+                let _ = write!(
+                    out,
+                    ",\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                     \"region\":{{\"startLine\":1}}}}",
+                    escape_json(uri)
+                );
+            }
+            out.push_str("}]}");
+        }
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, Span};
+
+    fn report() -> LintReport {
+        LintReport {
+            design: "demo".into(),
+            diagnostics: vec![
+                Diagnostic {
+                    code: "OL003",
+                    name: "constant-true-activation",
+                    severity: Severity::Warn,
+                    message: "activation of `add` is constant 1".into(),
+                    span: Span::Cell("add".into()),
+                    fix: Some("exclude it".into()),
+                },
+                Diagnostic {
+                    code: "OL008",
+                    name: "x-propagation",
+                    severity: Severity::Warn,
+                    message: "output \"q\" may be X".into(),
+                    span: Span::Net("q".into()),
+                    fix: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_lists_findings_and_summary() {
+        let t = render_text(&report());
+        assert!(t.contains("warn[OL003]"));
+        assert!(t.contains("demo/cell/add"));
+        assert!(t.contains("fix: exclude it"));
+        assert!(t.contains("0 error(s), 2 warning(s), 0 info"));
+    }
+
+    #[test]
+    fn json_escapes_embedded_quotes() {
+        let j = render_json(&report());
+        assert!(j.contains("\\\"q\\\""), "quotes inside messages must be escaped: {j}");
+        assert!(j.contains("\"counts\":{\"error\":0,\"warn\":2,\"info\":0}"));
+    }
+
+    #[test]
+    fn sarif_has_rules_and_results() {
+        let r = report();
+        let s = render_sarif(&[(Some("examples/demo.oiso".to_string()), &r)]);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"id\":\"OL001\""), "all registry rules are listed");
+        assert!(s.contains("\"ruleId\":\"OL003\""));
+        assert!(s.contains("\"level\":\"warning\""));
+        assert!(s.contains("\"fullyQualifiedName\":\"demo/cell/add\""));
+        assert!(s.contains("\"uri\":\"examples/demo.oiso\""));
+    }
+
+    #[test]
+    fn sarif_without_artifact_omits_physical_location() {
+        let r = report();
+        let s = render_sarif(&[(None, &r)]);
+        assert!(!s.contains("physicalLocation"));
+    }
+}

@@ -1,0 +1,849 @@
+//! The rule registry and the paper-grounded rules themselves.
+//!
+//! Every rule has a stable `OLxxx` code (codes are never reused for a
+//! different meaning), a default severity, and a one-line summary used by
+//! the SARIF renderer's rule metadata. See DESIGN.md §10 for the catalog
+//! with the paper equation each rule guards.
+
+use crate::dataflow::{self, Dataflow, NetValue};
+use crate::diag::{Diagnostic, LintReport, Severity, Span};
+use oiso_boolex::BoolExpr;
+use oiso_core::activation::{derive_activation_functions, ActivationConfig};
+use oiso_core::precheck::{precheck_candidate, PrecheckVerdict, DEFAULT_PRECHECK_NODE_BUDGET};
+use oiso_netlist::{CellId, CellKind, NetId, Netlist, ValidateError};
+use std::collections::{HashMap, HashSet};
+
+/// Knobs for one lint run.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Activation-function derivation knobs (shared with the optimizer so
+    /// lint judges the same `f_c` the algorithm would use).
+    pub activation: ActivationConfig,
+    /// BDD node budget for the constant-activation rules; cones larger
+    /// than this are left undecided rather than exploding.
+    pub bdd_node_budget: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            activation: ActivationConfig::default(),
+            bdd_node_budget: DEFAULT_PRECHECK_NODE_BUDGET,
+        }
+    }
+}
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable code (`OL001`…).
+    pub code: &'static str,
+    /// Kebab-case rule name.
+    pub name: &'static str,
+    /// Severity of a typical finding (individual findings may downgrade).
+    pub default_severity: Severity,
+    /// One-line description for rule metadata (SARIF `shortDescription`).
+    pub summary: &'static str,
+    check: fn(&LintContext) -> Vec<Diagnostic>,
+}
+
+/// Everything the rules share, computed once per lint run.
+pub struct LintContext<'a> {
+    netlist: &'a Netlist,
+    options: &'a LintOptions,
+    /// All structural violations (never bails on the first).
+    structural: Vec<ValidateError>,
+    /// `None` when structural errors make the semantic analyses unsafe
+    /// (e.g. a combinational cycle would wedge the topological order).
+    dataflow: Option<Dataflow>,
+    /// Derived activation functions, keyed by cell. `None` like above.
+    activations: Option<HashMap<CellId, BoolExpr>>,
+}
+
+impl<'a> LintContext<'a> {
+    fn new(netlist: &'a Netlist, options: &'a LintOptions) -> Self {
+        let structural = netlist.validate_all();
+        let sound = structural.is_empty();
+        LintContext {
+            netlist,
+            options,
+            structural,
+            dataflow: sound.then(|| dataflow::analyze(netlist)),
+            activations: sound.then(|| derive_activation_functions(netlist, &options.activation)),
+        }
+    }
+
+    fn signal_name(&self, sig: oiso_boolex::Signal) -> String {
+        let net = self.netlist.net(sig.net);
+        if net.width() == 1 {
+            net.name().to_string()
+        } else {
+            format!("{}[{}]", net.name(), sig.bit)
+        }
+    }
+
+    /// Arithmetic cells with their activation functions — the paper's
+    /// isolation candidates, in cell order.
+    fn candidates(&self) -> Vec<(CellId, &BoolExpr)> {
+        let Some(acts) = &self.activations else {
+            return Vec::new();
+        };
+        self.netlist
+            .cells()
+            .filter(|(_, c)| c.kind().is_arithmetic())
+            .filter_map(|(cid, _)| acts.get(&cid).map(|a| (cid, a)))
+            .collect()
+    }
+}
+
+/// The registry, in execution (and report) order.
+pub const REGISTRY: &[Rule] = &[
+    Rule {
+        code: "OL001",
+        name: "combinational-cycle",
+        default_severity: Severity::Error,
+        summary: "A combinational cycle makes simulation and timing analysis meaningless",
+        check: rule_comb_cycle,
+    },
+    Rule {
+        code: "OL002",
+        name: "structural-violation",
+        default_severity: Severity::Error,
+        summary: "Undriven nets, inconsistent connectivity tables, or violated port conventions",
+        check: rule_structural,
+    },
+    Rule {
+        code: "OL003",
+        name: "constant-true-activation",
+        default_severity: Severity::Warn,
+        summary: "f_c = 1: the module is always observable, isolation would be pure overhead",
+        check: rule_constant_true,
+    },
+    Rule {
+        code: "OL004",
+        name: "constant-false-activation",
+        default_severity: Severity::Warn,
+        summary: "f_c = 0: the module's result is never observed, it is dead logic",
+        check: rule_constant_false,
+    },
+    Rule {
+        code: "OL005",
+        name: "glitch-prone-activation",
+        default_severity: Severity::Warn,
+        summary: "The activation cone passes through a latch output (transparent-window hazard)",
+        check: rule_glitch_prone,
+    },
+    Rule {
+        code: "OL006",
+        name: "isolation-feedback",
+        default_severity: Severity::Error,
+        summary: "The activation cone depends on the gated module's own output",
+        check: rule_feedback,
+    },
+    Rule {
+        code: "OL007",
+        name: "double-isolation",
+        default_severity: Severity::Warn,
+        summary: "Stacked isolation banks with the same control gate the same operand twice",
+        check: rule_double_isolation,
+    },
+    Rule {
+        code: "OL008",
+        name: "x-propagation",
+        default_severity: Severity::Warn,
+        summary: "A never-initialized state element drives a primary output with undefined values",
+        check: rule_x_propagation,
+    },
+    Rule {
+        code: "OL009",
+        name: "width-truncation",
+        default_severity: Severity::Info,
+        summary: "A slice discards high bits of an arithmetic result",
+        check: rule_width_truncation,
+    },
+    Rule {
+        code: "OL010",
+        name: "unobservable-cone",
+        default_severity: Severity::Warn,
+        summary: "Logic no primary output or state element observes; pruning should remove it",
+        check: rule_unobservable,
+    },
+];
+
+/// Lints one netlist with the full registry.
+pub fn lint_netlist(netlist: &Netlist, options: &LintOptions) -> LintReport {
+    let ctx = LintContext::new(netlist, options);
+    let mut diagnostics = Vec::new();
+    for rule in REGISTRY {
+        diagnostics.extend((rule.check)(&ctx));
+    }
+    LintReport {
+        design: netlist.name().to_string(),
+        diagnostics,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural rules (promoted `validate` findings)
+
+fn rule_comb_cycle(ctx: &LintContext) -> Vec<Diagnostic> {
+    ctx.structural
+        .iter()
+        .filter_map(|e| match e {
+            ValidateError::CombinationalCycle(cell) => Some(Diagnostic {
+                code: "OL001",
+                name: "combinational-cycle",
+                severity: Severity::Error,
+                message: format!("combinational cycle passes through cell `{cell}`"),
+                span: Span::Cell(cell.clone()),
+                fix: Some("break the loop with a register or latch".to_string()),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn rule_structural(ctx: &LintContext) -> Vec<Diagnostic> {
+    ctx.structural
+        .iter()
+        .filter_map(|e| {
+            let (message, span) = match e {
+                ValidateError::CombinationalCycle(_) | ValidateError::DanglingNet(_) => {
+                    return None; // covered by OL001 / OL010
+                }
+                ValidateError::UndrivenNet(net) => {
+                    (format!("net `{net}` has no driver"), Span::Net(net.clone()))
+                }
+                ValidateError::InconsistentConnectivity(d) => {
+                    (format!("inconsistent connectivity: {d}"), Span::Design)
+                }
+                ValidateError::PortViolation { cell, detail } => (
+                    format!("cell `{cell}` violates its port convention: {detail}"),
+                    Span::Cell(cell.clone()),
+                ),
+            };
+            Some(Diagnostic {
+                code: "OL002",
+                name: "structural-violation",
+                severity: Severity::Error,
+                message,
+                span,
+                fix: None,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Activation rules (Section 3 of the paper)
+
+fn rule_constant_true(ctx: &LintContext) -> Vec<Diagnostic> {
+    constant_activation(ctx, PrecheckVerdict::ConstantTrue)
+}
+
+fn rule_constant_false(ctx: &LintContext) -> Vec<Diagnostic> {
+    constant_activation(ctx, PrecheckVerdict::ConstantFalse)
+}
+
+fn constant_activation(ctx: &LintContext, want: PrecheckVerdict) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (cid, act) in ctx.candidates() {
+        let minimized = oiso_boolex::minimize(act);
+        let verdict = precheck_candidate(ctx.netlist, cid, &minimized, ctx.options.bdd_node_budget);
+        if verdict.as_ref() != Some(&want) {
+            continue;
+        }
+        let cell = ctx.netlist.cell(cid).name().to_string();
+        let rendered = act.render(&|s| ctx.signal_name(s));
+        out.push(match want {
+            PrecheckVerdict::ConstantTrue => Diagnostic {
+                code: "OL003",
+                name: "constant-true-activation",
+                severity: Severity::Warn,
+                message: format!(
+                    "activation of `{cell}` is constant 1 (f_c = {rendered}): the module is \
+                     always observable, so isolating it would be pure overhead"
+                ),
+                span: Span::Cell(cell),
+                fix: Some(
+                    "exclude this module from isolation, or revisit the control logic that \
+                     keeps it always-on"
+                        .to_string(),
+                ),
+            },
+            PrecheckVerdict::ConstantFalse => Diagnostic {
+                code: "OL004",
+                name: "constant-false-activation",
+                severity: Severity::Warn,
+                message: format!(
+                    "activation of `{cell}` is constant 0 (f_c = {rendered}): its result is \
+                     never observed, the module is dead logic"
+                ),
+                span: Span::Cell(cell),
+                fix: Some("remove the module (run the optimizer) instead of isolating it".to_string()),
+            },
+            PrecheckVerdict::Feedback { .. } => unreachable!("filtered above"),
+        });
+    }
+    out
+}
+
+fn rule_glitch_prone(ctx: &LintContext) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (cid, act) in ctx.candidates() {
+        // Walk each support net's combinational fanin; a latch there means
+        // the synthesized AS signal can glitch while the latch is
+        // transparent, defeating the isolation bank.
+        let mut latch_via: Option<(String, String)> = None;
+        'support: for sig in act.support() {
+            let mut stack = vec![sig.net];
+            let mut seen: HashSet<NetId> = HashSet::new();
+            while let Some(net) = stack.pop() {
+                if !seen.insert(net) {
+                    continue;
+                }
+                let Some(driver) = ctx.netlist.net(net).driver() else {
+                    continue;
+                };
+                let kind = ctx.netlist.cell(driver).kind();
+                if kind == CellKind::Latch {
+                    latch_via = Some((
+                        ctx.signal_name(sig),
+                        ctx.netlist.cell(driver).name().to_string(),
+                    ));
+                    break 'support;
+                }
+                if kind.is_register() {
+                    continue; // registered boundary: glitch-free
+                }
+                stack.extend(ctx.netlist.cell(driver).inputs().iter().copied());
+            }
+        }
+        if let Some((signal, latch)) = latch_via {
+            let cell = ctx.netlist.cell(cid).name().to_string();
+            out.push(Diagnostic {
+                code: "OL005",
+                name: "glitch-prone-activation",
+                severity: Severity::Warn,
+                message: format!(
+                    "activation of `{cell}` depends on `{signal}`, which is driven through \
+                     latch `{latch}`: the activation signal can glitch while the latch is \
+                     transparent"
+                ),
+                span: Span::Cell(cell),
+                fix: Some(
+                    "register the latch output before it enters the activation cone, or use \
+                     LATCH-style isolation which is level-sensitive by construction"
+                        .to_string(),
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn rule_feedback(ctx: &LintContext) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (cid, act) in ctx.candidates() {
+        let verdict = precheck_candidate(ctx.netlist, cid, act, ctx.options.bdd_node_budget);
+        if let Some(PrecheckVerdict::Feedback { via }) = verdict {
+            let cell = ctx.netlist.cell(cid).name().to_string();
+            out.push(Diagnostic {
+                code: "OL006",
+                name: "isolation-feedback",
+                severity: Severity::Error,
+                message: format!(
+                    "activation of `{cell}` depends on net `{via}`, which `{cell}`'s own \
+                     combinational fanout drives: isolating would create a combinational cycle"
+                ),
+                span: Span::Cell(cell),
+                fix: Some(format!(
+                    "register `{via}` (one cycle of delay breaks the loop) or exclude this \
+                     module from isolation"
+                )),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Structure rules
+
+/// An isolation-bank-shaped cell: `(control net, gated data input net)`.
+///
+/// AND/OR banks gate a multi-bit operand with a replicated 1-bit control
+/// (a `Concat` of the same bit); latch banks are recognized by their
+/// enable directly.
+fn bank_shape(netlist: &Netlist, cid: CellId) -> Option<(NetId, NetId)> {
+    let cell = netlist.cell(cid);
+    match cell.kind() {
+        CellKind::Latch => Some((cell.inputs()[1], cell.inputs()[0])),
+        CellKind::And | CellKind::Or => {
+            let ins = cell.inputs();
+            if ins.len() != 2 || netlist.net(cell.output()).width() < 2 {
+                return None;
+            }
+            for (ctl_idx, data_idx) in [(0usize, 1usize), (1, 0)] {
+                if let Some(ctl) = replicated_control(netlist, ins[ctl_idx]) {
+                    return Some((ctl, ins[data_idx]));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// The 1-bit net a `Concat`-replicated bundle fans out, if `net` is one.
+fn replicated_control(netlist: &Netlist, net: NetId) -> Option<NetId> {
+    let driver = netlist.net(net).driver()?;
+    let cell = netlist.cell(driver);
+    if cell.kind() != CellKind::Concat {
+        return None;
+    }
+    let first = *cell.inputs().first()?;
+    if netlist.net(first).width() != 1 {
+        return None;
+    }
+    cell.inputs().iter().all(|&n| n == first).then_some(first)
+}
+
+fn rule_double_isolation(ctx: &LintContext) -> Vec<Diagnostic> {
+    if ctx.structural.iter().any(|e| {
+        !matches!(e, ValidateError::DanglingNet(_))
+    }) {
+        return Vec::new(); // structure is unreliable
+    }
+    let mut out = Vec::new();
+    for (cid, _) in ctx.netlist.cells() {
+        let Some((ctl_outer, data)) = bank_shape(ctx.netlist, cid) else {
+            continue;
+        };
+        let Some(inner) = ctx.netlist.net(data).driver() else {
+            continue;
+        };
+        let Some((ctl_inner, _)) = bank_shape(ctx.netlist, inner) else {
+            continue;
+        };
+        // Identical controls gate the operand twice: the outer bank is
+        // pure overhead. Different controls may be intentional nesting
+        // (or a master-slave latch pair), so only same-control stacks are
+        // flagged.
+        if ctl_outer == ctl_inner {
+            let outer_name = ctx.netlist.cell(cid).name().to_string();
+            let inner_name = ctx.netlist.cell(inner).name().to_string();
+            out.push(Diagnostic {
+                code: "OL007",
+                name: "double-isolation",
+                severity: Severity::Warn,
+                message: format!(
+                    "isolation banks `{inner_name}` and `{outer_name}` gate the same operand \
+                     with the same control `{}`: the outer bank is redundant overhead",
+                    ctx.netlist.net(ctl_outer).name()
+                ),
+                span: Span::Cell(outer_name),
+                fix: Some(format!("remove `{inner_name}` or the outer bank")),
+            });
+        }
+    }
+    out
+}
+
+fn rule_x_propagation(ctx: &LintContext) -> Vec<Diagnostic> {
+    let Some(df) = &ctx.dataflow else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for &po in ctx.netlist.primary_outputs() {
+        if df.value(po) == NetValue::X {
+            let name = ctx.netlist.net(po).name().to_string();
+            out.push(Diagnostic {
+                code: "OL008",
+                name: "x-propagation",
+                severity: Severity::Warn,
+                message: format!(
+                    "primary output `{name}` can carry a permanently undefined value: a state \
+                     element in its cone provably never loads defined data"
+                ),
+                span: Span::Net(name),
+                fix: Some(
+                    "fix the enable of the never-loading register/latch in the cone (the \
+                     dataflow report marks it X)"
+                        .to_string(),
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn rule_width_truncation(ctx: &LintContext) -> Vec<Diagnostic> {
+    if !ctx.structural.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (_, cell) in ctx.netlist.cells() {
+        let CellKind::Slice { hi, .. } = cell.kind() else {
+            continue;
+        };
+        let src = cell.inputs()[0];
+        let src_width = ctx.netlist.net(src).width();
+        if hi + 1 >= src_width {
+            continue; // keeps the MSBs: no truncation
+        }
+        let Some(driver) = ctx.netlist.net(src).driver() else {
+            continue;
+        };
+        if !ctx.netlist.cell(driver).kind().is_arithmetic() {
+            continue;
+        }
+        let cell_name = cell.name().to_string();
+        let driver_name = ctx.netlist.cell(driver).name().to_string();
+        out.push(Diagnostic {
+            code: "OL009",
+            name: "width-truncation",
+            severity: Severity::Info,
+            message: format!(
+                "slice `{cell_name}` drops the top {} bit(s) of arithmetic result `{}` from \
+                 `{driver_name}`: overflow is silently discarded",
+                src_width - hi - 1,
+                ctx.netlist.net(src).name()
+            ),
+            span: Span::Cell(cell_name),
+            fix: Some("widen the slice or document the intended modular arithmetic".to_string()),
+        });
+    }
+    out
+}
+
+fn rule_unobservable(ctx: &LintContext) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Some(df) = &ctx.dataflow {
+        for (cid, cell) in ctx.netlist.cells() {
+            if df.is_dead(cid) {
+                let name = cell.name().to_string();
+                out.push(Diagnostic {
+                    code: "OL010",
+                    name: "unobservable-cone",
+                    severity: Severity::Warn,
+                    message: format!(
+                        "no primary output or state element observes cell `{name}`: it burns \
+                         power for nothing"
+                    ),
+                    span: Span::Cell(name),
+                    fix: Some("run the optimizer (`oiso_netlist::optimize_netlist`) to prune it".to_string()),
+                });
+            }
+        }
+    }
+    // Dangling nets (the `validate_strict` findings, promoted): an unread
+    // primary input is an interface choice (info); an unread internal net
+    // is leftover logic (warn).
+    for (_, net) in ctx.netlist.nets() {
+        if net.loads().is_empty() && !net.is_primary_output() {
+            let name = net.name().to_string();
+            let (severity, message) = if net.is_primary_input() {
+                (
+                    Severity::Info,
+                    format!("primary input `{name}` is never read"),
+                )
+            } else {
+                (
+                    Severity::Warn,
+                    format!("net `{name}` is dangling: no loads and not a primary output"),
+                )
+            };
+            out.push(Diagnostic {
+                code: "OL010",
+                name: "unobservable-cone",
+                severity,
+                message,
+                span: Span::Net(name),
+                fix: Some("remove the net or export it as a primary output".to_string()),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oiso_netlist::{CellKind, NetlistBuilder};
+
+    fn lint(netlist: &Netlist) -> LintReport {
+        lint_netlist(netlist, &LintOptions::default())
+    }
+
+    fn codes(report: &LintReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn constant_true_activation_through_mux_is_flagged() {
+        // The adder feeds BOTH data inputs of the output mux, so its
+        // activation is `!s + s` — a tautology over one variable that only
+        // the BDD (not the syntactic filter) can prove constant.
+        let mut b = NetlistBuilder::new("ct");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s = b.input("s", 1);
+        let sum = b.wire("sum", 8);
+        let m = b.wire("m", 8);
+        b.cell("add", CellKind::Add, &[a, c], sum).unwrap();
+        b.cell("mx", CellKind::Mux, &[s, sum, sum], m).unwrap();
+        b.mark_output(m);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        assert!(codes(&r).contains(&"OL003"), "{r:?}");
+        let d = r.diagnostics.iter().find(|d| d.code == "OL003").unwrap();
+        assert_eq!(d.severity, Severity::Warn);
+        assert_eq!(d.span, crate::diag::Span::Cell("add".into()));
+        assert!(d.fix.is_some());
+    }
+
+    #[test]
+    fn dead_adder_is_constant_false_and_unobservable() {
+        let mut b = NetlistBuilder::new("cf");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s = b.wire("s", 8);
+        let o = b.wire("o", 8);
+        b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+        b.cell("buf", CellKind::Buf, &[a], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let cs = codes(&r);
+        assert!(cs.contains(&"OL004"), "dead module activation: {r:?}");
+        assert!(cs.contains(&"OL010"), "dead cell + dangling net: {r:?}");
+    }
+
+    #[test]
+    fn latch_fed_activation_cone_is_glitch_prone() {
+        let mut b = NetlistBuilder::new("gl");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let d = b.input("d", 1);
+        let len = b.input("len", 1);
+        let lq = b.wire("lq", 1);
+        let p = b.wire("p", 8);
+        let q = b.wire("q", 8);
+        b.cell("lat", CellKind::Latch, &[d, len], lq).unwrap();
+        b.cell("mul", CellKind::Mul, &[a, c], p).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[p, lq], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL005")
+            .unwrap_or_else(|| panic!("expected OL005 in {r:?}"));
+        assert!(d.message.contains("lat"), "{}", d.message);
+        assert_eq!(d.span, crate::diag::Span::Cell("mul".into()));
+    }
+
+    #[test]
+    fn activation_feedback_is_an_error() {
+        // Self-gating: the register loads the sum only when the sum is
+        // nonzero (and `g`), so the enable `w` is computed from the adder's
+        // own output. AS_add = w + g, and `w` lives inside the adder's
+        // combinational fanout — isolating would tie a loop.
+        let mut b = NetlistBuilder::new("fb");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let g = b.input("g", 1);
+        let s = b.wire("s", 8);
+        let nz = b.wire("nz", 1);
+        let w = b.wire("w", 1);
+        let q = b.wire("q", 8);
+        b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+        b.cell("red", CellKind::RedOr, &[s], nz).unwrap();
+        b.cell("gate", CellKind::And, &[nz, g], w).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[s, w], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL006")
+            .unwrap_or_else(|| panic!("expected OL006 in {r:?}"));
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("`w`"), "{}", d.message);
+        assert!(!r.clean(Severity::Error));
+    }
+
+    #[test]
+    fn stacked_banks_with_same_control_are_double_isolation() {
+        let mut b = NetlistBuilder::new("di");
+        let data = b.input("data", 8);
+        let ctl = b.input("ctl", 1);
+        let rep = b.wire("rep", 8);
+        let g1 = b.wire("g1", 8);
+        let g2 = b.wire("g2", 8);
+        b.cell("rep8", CellKind::Concat, &[ctl; 8], rep).unwrap();
+        b.cell("bank_in", CellKind::And, &[rep, data], g1).unwrap();
+        b.cell("bank_out", CellKind::And, &[rep, g1], g2).unwrap();
+        b.mark_output(g2);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL007")
+            .unwrap_or_else(|| panic!("expected OL007 in {r:?}"));
+        assert!(d.message.contains("bank_in") && d.message.contains("bank_out"));
+    }
+
+    #[test]
+    fn different_controls_are_not_double_isolation() {
+        let mut b = NetlistBuilder::new("nd");
+        let data = b.input("data", 8);
+        let c0 = b.input("c0", 1);
+        let c1 = b.input("c1", 1);
+        let r0 = b.wire("r0", 8);
+        let r1 = b.wire("r1", 8);
+        let g1 = b.wire("g1", 8);
+        let g2 = b.wire("g2", 8);
+        b.cell("rep0", CellKind::Concat, &[c0; 8], r0).unwrap();
+        b.cell("rep1", CellKind::Concat, &[c1; 8], r1).unwrap();
+        b.cell("bank_in", CellKind::And, &[r0, data], g1).unwrap();
+        b.cell("bank_out", CellKind::And, &[r1, g1], g2).unwrap();
+        b.mark_output(g2);
+        let n = b.build().unwrap();
+        assert!(!codes(&lint(&n)).contains(&"OL007"));
+    }
+
+    #[test]
+    fn never_enabled_register_propagates_x_to_output() {
+        let mut b = NetlistBuilder::new("xp");
+        let d = b.input("d", 8);
+        let zero = b.constant("zero", 1, 0).unwrap();
+        let q = b.wire("q", 8);
+        b.cell("r", CellKind::Reg { has_enable: true }, &[d, zero], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL008")
+            .unwrap_or_else(|| panic!("expected OL008 in {r:?}"));
+        assert_eq!(d.span, crate::diag::Span::Net("q".into()));
+    }
+
+    #[test]
+    fn sliced_arithmetic_result_is_width_truncation() {
+        let mut b = NetlistBuilder::new("wt");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s = b.wire("s", 8);
+        let lo = b.wire("lo", 4);
+        b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+        b.cell("sl", CellKind::Slice { lo: 0, hi: 3 }, &[s], lo)
+            .unwrap();
+        b.mark_output(lo);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL009")
+            .unwrap_or_else(|| panic!("expected OL009 in {r:?}"));
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("4 bit(s)"), "{}", d.message);
+    }
+
+    #[test]
+    fn msb_slice_is_not_truncation() {
+        let mut b = NetlistBuilder::new("ms");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s = b.wire("s", 8);
+        let hi = b.wire("hi", 4);
+        b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+        b.cell("sl", CellKind::Slice { lo: 4, hi: 7 }, &[s], hi)
+            .unwrap();
+        b.mark_output(s);
+        b.mark_output(hi);
+        let n = b.build().unwrap();
+        assert!(!codes(&lint(&n)).contains(&"OL009"));
+    }
+
+    #[test]
+    fn unread_primary_input_is_info_only() {
+        let mut b = NetlistBuilder::new("pi");
+        let a = b.input("a", 8);
+        let _unused = b.input("unused", 4);
+        let o = b.wire("o", 8);
+        b.cell("buf", CellKind::Buf, &[a], o).unwrap();
+        b.mark_output(o);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL010")
+            .unwrap_or_else(|| panic!("expected OL010 in {r:?}"));
+        assert_eq!(d.severity, Severity::Info);
+        assert!(r.clean(Severity::Warn));
+    }
+
+    #[test]
+    fn combinational_cycle_suppresses_semantic_rules() {
+        // Corrupt a valid netlist into a self-loop, the way a buggy
+        // transform would.
+        let mut b = NetlistBuilder::new("cy");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let x = b.wire("x", 8);
+        let y = b.wire("y", 8);
+        b.cell("g", CellKind::And, &[a, c], x).unwrap();
+        b.cell("h", CellKind::Buf, &[x], y).unwrap();
+        b.mark_output(y);
+        let mut n = b.build().unwrap();
+        let g = n.find_cell("g").unwrap();
+        let xn = n.find_net("x").unwrap();
+        n.rewire_input(g, 1, xn).unwrap();
+        let r = lint(&n);
+        let cs = codes(&r);
+        assert!(cs.contains(&"OL001"), "{r:?}");
+        assert!(
+            !cs.iter().any(|c| matches!(*c, "OL003" | "OL004" | "OL005" | "OL006" | "OL008")),
+            "semantic rules must not run on a cyclic netlist: {r:?}"
+        );
+        assert!(!r.clean(Severity::Error));
+    }
+
+    #[test]
+    fn clean_design_yields_no_errors() {
+        let mut b = NetlistBuilder::new("ok");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let g = b.input("g", 1);
+        let s = b.wire("s", 8);
+        let q = b.wire("q", 8);
+        b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[s, g], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        assert!(r.clean(Severity::Info), "expected a fully clean report: {r:?}");
+    }
+
+    #[test]
+    fn registry_codes_are_unique_and_ordered() {
+        let mut codes: Vec<&str> = REGISTRY.iter().map(|r| r.code).collect();
+        let orig = codes.clone();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), REGISTRY.len(), "duplicate rule codes");
+        assert_eq!(orig, codes, "registry should be sorted by code");
+    }
+}

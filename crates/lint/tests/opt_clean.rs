@@ -1,0 +1,59 @@
+//! The optimizer's fixpoint pruning and the lint rule OL010
+//! (unobservable-cone) agree: whatever `optimize` outputs is free of
+//! warn-level OL010 findings on every bundled deterministic design.
+//!
+//! Unread primary inputs survive optimization by design (the interface is
+//! not the optimizer's to change) and lint reports them as `info`, so the
+//! assertion is on `Warn` and above.
+
+use oiso_designs::{alu_ctrl, busnet, design1, design2, figure1, fir, pipeline, soc};
+use oiso_lint::{lint_netlist, LintOptions, Severity};
+use oiso_netlist::{optimize_netlist, Netlist};
+
+fn bundled() -> Vec<Netlist> {
+    vec![
+        figure1::build().netlist,
+        design1::build(&design1::Design1Params::default()).netlist,
+        design2::build(&design2::Design2Params::default()).netlist,
+        alu_ctrl::build(&alu_ctrl::AluParams::default()).netlist,
+        fir::build(&fir::FirParams::default()).netlist,
+        busnet::build(&busnet::BusParams::default()).netlist,
+        pipeline::build(&pipeline::PipelineParams::default()).netlist,
+        soc::build(&soc::SocParams::default()).netlist,
+    ]
+}
+
+#[test]
+fn optimizer_output_has_no_unobservable_cone_warnings() {
+    let options = LintOptions::default();
+    for netlist in bundled() {
+        let (optimized, _) = optimize_netlist(&netlist).expect("bundled designs optimize cleanly");
+        let report = lint_netlist(&optimized, &options);
+        let leftovers: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "OL010" && d.severity >= Severity::Warn)
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "{}: optimizer left unobservable logic the lint still sees: {leftovers:?}",
+            report.design
+        );
+    }
+}
+
+#[test]
+fn bundled_designs_are_error_free() {
+    // The CI lint gate runs `--deny error` over these; keep the property
+    // where a failure names the design rather than a CI log.
+    let options = LintOptions::default();
+    for netlist in bundled() {
+        let report = lint_netlist(&netlist, &options);
+        assert!(
+            report.clean(Severity::Error),
+            "{}: {:?}",
+            report.design,
+            report.diagnostics
+        );
+    }
+}

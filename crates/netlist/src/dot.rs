@@ -3,6 +3,26 @@
 use crate::netlist::Netlist;
 use std::fmt::Write as _;
 
+/// Escapes a name for use inside a double-quoted DOT string.
+///
+/// Graphviz quoted IDs treat `"` as the terminator and `\` as an escape
+/// introducer; names are otherwise emitted verbatim, so a fuzzer-mutated
+/// name like `a"]; evil` would break out of the attribute list. Newlines
+/// are escaped too so one name cannot span (and corrupt) several lines.
+fn esc(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders the netlist as a Graphviz `digraph`.
 ///
 /// Cells become boxes (arithmetic cells shaded, registers double-bordered),
@@ -30,7 +50,7 @@ use std::fmt::Write as _;
 /// ```
 pub fn to_dot(netlist: &Netlist) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "digraph \"{}\" {{", esc(netlist.name()));
     let _ = writeln!(out, "  rankdir=LR;");
     let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
 
@@ -39,8 +59,8 @@ pub fn to_dot(netlist: &Netlist) -> String {
         let _ = writeln!(
             out,
             "  \"pi_{}\" [shape=ellipse,label=\"{} [{}]\"];",
-            net.name(),
-            net.name(),
+            esc(net.name()),
+            esc(net.name()),
             net.width()
         );
     }
@@ -49,8 +69,8 @@ pub fn to_dot(netlist: &Netlist) -> String {
         let _ = writeln!(
             out,
             "  \"po_{}\" [shape=ellipse,style=dashed,label=\"{} [{}]\"];",
-            net.name(),
-            net.name(),
+            esc(net.name()),
+            esc(net.name()),
             net.width()
         );
     }
@@ -65,31 +85,31 @@ pub fn to_dot(netlist: &Netlist) -> String {
         let _ = writeln!(
             out,
             "  \"{}\" [shape={}{},label=\"{}\\n{}\"];",
-            cell.name(),
+            esc(cell.name()),
             shape,
             style,
-            cell.name(),
+            esc(cell.name()),
             cell.kind()
         );
     }
     // Edges: driver -> each load, labelled with the net name.
     for (_, net) in netlist.nets() {
         let src = match net.driver() {
-            Some(d) => format!("\"{}\"", netlist.cell(d).name()),
-            None => format!("\"pi_{}\"", net.name()),
+            Some(d) => format!("\"{}\"", esc(netlist.cell(d).name())),
+            None => format!("\"pi_{}\"", esc(net.name())),
         };
         for &(load, port) in net.loads() {
             let _ = writeln!(
                 out,
                 "  {} -> \"{}\" [label=\"{}:{}\"];",
                 src,
-                netlist.cell(load).name(),
-                net.name(),
+                esc(netlist.cell(load).name()),
+                esc(net.name()),
                 port
             );
         }
         if net.is_primary_output() {
-            let _ = writeln!(out, "  {} -> \"po_{}\";", src, net.name());
+            let _ = writeln!(out, "  {} -> \"po_{}\";", src, esc(net.name()));
         }
     }
     let _ = writeln!(out, "}}");
@@ -120,5 +140,33 @@ mod tests {
         assert!(dot.contains("pi_a"));
         assert!(dot.contains("po_q"));
         assert!(dot.contains("s:0")); // edge label net:port
+    }
+
+    #[test]
+    fn adversarial_names_are_escaped() {
+        // Names with quotes and backslashes (fuzzer mutations can produce
+        // these) must not break out of DOT quoted strings.
+        let mut b = NetlistBuilder::new("d\"q");
+        let a = b.input("a\"]; evil", 4);
+        let s = b.wire("w\\back", 4);
+        b.cell("c\"ell", CellKind::Buf, &[a], s).unwrap();
+        b.mark_output(s);
+        let n = b.build().unwrap();
+        let dot = super::to_dot(&n);
+        assert!(dot.contains("digraph \"d\\\"q\""));
+        assert!(dot.contains("a\\\"]; evil"));
+        assert!(dot.contains("w\\\\back"));
+        assert!(dot.contains("c\\\"ell"));
+        // The unescaped payload must never appear: an interior quote would
+        // terminate the DOT string early and leak `]; evil` as syntax.
+        assert!(!dot.contains("\"a\"]; evil"));
+        assert!(!dot.contains("pi_a\"]; evil"));
+    }
+
+    #[test]
+    fn esc_handles_newlines() {
+        assert_eq!(super::esc("a\nb"), "a\\nb");
+        assert_eq!(super::esc("a\r\nb"), "a\\r\\nb");
+        assert_eq!(super::esc("plain_name"), "plain_name");
     }
 }

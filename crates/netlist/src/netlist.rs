@@ -273,6 +273,22 @@ impl Netlist {
         validate::validate_strict(self)
     }
 
+    /// Like [`Netlist::validate`], but collects *every* violation instead
+    /// of bailing on the first. Returns an empty vector when the netlist
+    /// is structurally sound; findings appear in the same deterministic
+    /// order `validate` checks them, so the first element is exactly what
+    /// `validate` would have returned as its error.
+    pub fn validate_all(&self) -> Vec<crate::ValidateError> {
+        validate::validate_all(self)
+    }
+
+    /// Like [`Netlist::validate_strict`], but collects every violation
+    /// (including one [`crate::ValidateError::DanglingNet`] per
+    /// unobservable net) instead of bailing on the first.
+    pub fn validate_strict_all(&self) -> Vec<crate::ValidateError> {
+        validate::validate_strict_all(self)
+    }
+
     /// The constant value driven onto `net`, if its driver is a `Const` cell.
     pub fn constant_value(&self, net: NetId) -> Option<u64> {
         let driver = self.net(net).driver()?;

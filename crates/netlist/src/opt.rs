@@ -43,6 +43,27 @@ impl OptStats {
 /// Returns an error only if the input netlist was corrupt (it is re-built
 /// through the validating builder).
 pub fn optimize(netlist: &Netlist) -> Result<(Netlist, OptStats), BuildError> {
+    // One pass is not always enough: collapsing a constant-select mux to a
+    // buffer strands the unselected data path, which only the *next*
+    // liveness pass can remove. Iterate until a pass eliminates nothing;
+    // each productive pass strictly reduces the non-constant cell count,
+    // so termination is structural, but cap the loop defensively anyway.
+    let mut current = netlist.clone();
+    let mut total = OptStats::default();
+    for _ in 0..=netlist.num_cells() {
+        let (next, round) = optimize_once(&current)?;
+        total.dead_cells += round.dead_cells;
+        total.folded_cells += round.folded_cells;
+        total.collapsed_muxes += round.collapsed_muxes;
+        current = next;
+        if round.total() == 0 {
+            break;
+        }
+    }
+    Ok((current, total))
+}
+
+fn optimize_once(netlist: &Netlist) -> Result<(Netlist, OptStats), BuildError> {
     let mut stats = OptStats::default();
 
     // --- Pass 1: forward constant propagation over combinational cells. --
@@ -321,6 +342,34 @@ mod tests {
         assert_eq!(opt.primary_outputs().len(), 2);
         assert_eq!(opt.net(opt.primary_inputs()[0]).name(), "a");
         assert_eq!(opt.net(opt.primary_inputs()[1]).name(), "c");
+    }
+
+    #[test]
+    fn fixpoint_removes_logic_stranded_by_mux_collapse() {
+        // sel = 1 selects input c, so the adder feeding the unselected
+        // path dies only *after* the mux collapses; a single pass leaves
+        // it (and its now-dangling output net) behind.
+        let mut b = NetlistBuilder::new("fp");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let sel = b.constant("sel", 1, 1).unwrap();
+        let sum = b.wire("sum", 8);
+        let m = b.wire("m", 8);
+        b.cell("add", CellKind::Add, &[a, c], sum).unwrap();
+        b.cell("mx", CellKind::Mux, &[sel, sum, c], m).unwrap();
+        b.mark_output(m);
+        let n = b.build().unwrap();
+        let (opt, stats) = optimize(&n).unwrap();
+        assert_eq!(stats.collapsed_muxes, 1);
+        assert!(opt.find_cell("add").is_none(), "stranded adder removed");
+        assert!(opt.find_net("sum").is_none(), "dangling net removed");
+        // Only unread primary inputs may dangle in the result.
+        for e in opt.validate_strict_all() {
+            assert!(
+                matches!(&e, crate::ValidateError::DanglingNet(name) if name == "a"),
+                "unexpected violation: {e}"
+            );
+        }
     }
 
     #[test]

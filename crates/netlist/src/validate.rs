@@ -257,14 +257,43 @@ pub(crate) fn bits_for(n: usize) -> u8 {
 }
 
 /// Global structural validation (see [`Netlist::validate`]).
+///
+/// Kept as a thin wrapper over [`validate_all`]: the first collected
+/// violation (in the historical check order) becomes the error, so the
+/// bail-on-first behavior and its error choice are unchanged.
 pub(crate) fn validate(netlist: &Netlist) -> Result<(), ValidateError> {
+    match validate_all(netlist).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Strict structural validation (see [`Netlist::validate_strict`]):
+/// everything [`validate`] checks, plus every net must be observable —
+/// read by at least one cell or exported as a primary output.
+pub(crate) fn validate_strict(netlist: &Netlist) -> Result<(), ValidateError> {
+    match validate_strict_all(netlist).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Collects *every* structural violation instead of bailing on the first.
+///
+/// Findings are reported in the same deterministic order the historical
+/// single-error [`validate`] checked them: undriven/driven-input nets,
+/// connectivity-table mismatches, per-cell port conventions, then
+/// combinational cycles. Lint front-ends promote each entry to a
+/// diagnostic; `validate` keeps returning only the first.
+pub(crate) fn validate_all(netlist: &Netlist) -> Vec<ValidateError> {
+    let mut errors = Vec::new();
     // Every non-input net must be driven.
     for (_, net) in netlist.nets() {
         if !net.is_primary_input() && net.driver().is_none() {
-            return Err(ValidateError::UndrivenNet(net.name().to_string()));
+            errors.push(ValidateError::UndrivenNet(net.name().to_string()));
         }
         if net.is_primary_input() && net.driver().is_some() {
-            return Err(ValidateError::InconsistentConnectivity(format!(
+            errors.push(ValidateError::InconsistentConnectivity(format!(
                 "primary input `{}` has a driver",
                 net.name()
             )));
@@ -279,7 +308,7 @@ pub(crate) fn validate(netlist: &Netlist) -> Result<(), ValidateError> {
                 .iter()
                 .any(|&(c, p)| c == cid && p == port);
             if !ok {
-                return Err(ValidateError::InconsistentConnectivity(format!(
+                errors.push(ValidateError::InconsistentConnectivity(format!(
                     "cell `{}` port {port} not registered as load of `{}`",
                     cell.name(),
                     netlist.net(net).name()
@@ -287,7 +316,7 @@ pub(crate) fn validate(netlist: &Netlist) -> Result<(), ValidateError> {
             }
         }
         if netlist.net(cell.output()).driver() != Some(cid) {
-            return Err(ValidateError::InconsistentConnectivity(format!(
+            errors.push(ValidateError::InconsistentConnectivity(format!(
                 "cell `{}` not registered as driver of `{}`",
                 cell.name(),
                 netlist.net(cell.output()).name()
@@ -301,7 +330,7 @@ pub(crate) fn validate(netlist: &Netlist) -> Result<(), ValidateError> {
         if let Err(e) =
             check_cell_ports(netlist, cell.name(), cell.kind(), cell.inputs(), cell.output())
         {
-            return Err(ValidateError::PortViolation {
+            errors.push(ValidateError::PortViolation {
                 cell: cell.name().to_string(),
                 detail: e.to_string(),
             });
@@ -309,24 +338,26 @@ pub(crate) fn validate(netlist: &Netlist) -> Result<(), ValidateError> {
     }
     // No combinational cycles: DFS over comb cells (latches included —
     // a transparent latch forms a real combinational path).
-    detect_comb_cycle(netlist)?;
-    Ok(())
+    errors.extend(detect_comb_cycles(netlist));
+    errors
 }
 
-/// Strict structural validation (see [`Netlist::validate_strict`]):
-/// everything [`validate`] checks, plus every net must be observable —
-/// read by at least one cell or exported as a primary output.
-pub(crate) fn validate_strict(netlist: &Netlist) -> Result<(), ValidateError> {
-    validate(netlist)?;
+/// Collects every violation [`validate_all`] finds plus a
+/// [`ValidateError::DanglingNet`] for each unobservable net.
+pub(crate) fn validate_strict_all(netlist: &Netlist) -> Vec<ValidateError> {
+    let mut errors = validate_all(netlist);
     for (_, net) in netlist.nets() {
         if net.loads().is_empty() && !net.is_primary_output() {
-            return Err(ValidateError::DanglingNet(net.name().to_string()));
+            errors.push(ValidateError::DanglingNet(net.name().to_string()));
         }
     }
-    Ok(())
+    errors
 }
 
-fn detect_comb_cycle(netlist: &Netlist) -> Result<(), ValidateError> {
+/// Finds every distinct cell at which the DFS closes a combinational
+/// cycle. The first entry matches what the old single-error detector
+/// returned; subsequent entries are additional independent back edges.
+fn detect_comb_cycles(netlist: &Netlist) -> Vec<ValidateError> {
     #[derive(Clone, Copy, PartialEq)]
     enum Mark {
         White,
@@ -335,6 +366,7 @@ fn detect_comb_cycle(netlist: &Netlist) -> Result<(), ValidateError> {
     }
     let n = netlist.num_cells();
     let mut marks = vec![Mark::White; n];
+    let mut hits: Vec<CellId> = Vec::new();
     // Iterative DFS with an explicit stack to survive deep datapaths.
     for start in 0..n {
         if marks[start] != Mark::White
@@ -364,15 +396,19 @@ fn detect_comb_cycle(netlist: &Netlist) -> Result<(), ValidateError> {
                     stack.push((next_cell.index(), 0));
                 }
                 Mark::Grey => {
-                    return Err(ValidateError::CombinationalCycle(
-                        netlist.cell(next_cell).name().to_string(),
-                    ));
+                    // Back edge: record the cycle and keep searching for
+                    // further independent cycles instead of bailing.
+                    if !hits.contains(&next_cell) {
+                        hits.push(next_cell);
+                    }
                 }
                 Mark::Black => {}
             }
         }
     }
-    Ok(())
+    hits.into_iter()
+        .map(|c| ValidateError::CombinationalCycle(netlist.cell(c).name().to_string()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -575,6 +611,44 @@ mod tests {
         };
         assert!(port.to_string().contains("mx"));
         assert!(port.to_string().contains("port convention"));
+    }
+
+    #[test]
+    fn validate_all_reports_every_finding() {
+        // Two independent corruptions: a width mismatch on the adder and a
+        // dangling scratch net. The single-error API reports only the
+        // first; the collecting API reports both.
+        let mut b = NetlistBuilder::new("multi");
+        let a = b.input("a", 8);
+        let c = b.input("b", 8);
+        let s = b.wire("s", 8);
+        let unused = b.wire("scratch", 8);
+        b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+        b.cell("dead", CellKind::Buf, &[a], unused).unwrap();
+        b.mark_output(s);
+        let mut n = b.build().unwrap();
+        let a_id = n.find_net("a").unwrap();
+        n.nets[a_id.index()].width = 4;
+        let all = n.validate_strict_all();
+        assert!(all.len() >= 3, "expected >=3 findings, got {all:?}");
+        assert!(all
+            .iter()
+            .any(|e| matches!(e, ValidateError::PortViolation { cell, .. } if cell == "add")));
+        assert!(all
+            .iter()
+            .any(|e| matches!(e, ValidateError::PortViolation { cell, .. } if cell == "dead")));
+        assert!(all
+            .iter()
+            .any(|e| matches!(e, ValidateError::DanglingNet(net) if net == "scratch")));
+        // First collected finding matches the single-error API.
+        assert_eq!(n.validate().unwrap_err(), all[0]);
+    }
+
+    #[test]
+    fn validate_all_empty_on_clean_netlist() {
+        let n = clean_adder();
+        assert!(n.validate_all().is_empty());
+        assert!(n.validate_strict_all().is_empty());
     }
 
     #[test]

@@ -8,7 +8,28 @@
 use crate::cell::CellKind;
 use crate::id::NetId;
 use crate::netlist::Netlist;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
+
+/// Verilog-2001 reserved words (IEEE 1364-2001 Annex B). A net or cell
+/// named `module` or `output` sanitizes to itself, so the raw mapping
+/// would emit an illegal identifier; these get a trailing underscore.
+const VERILOG_KEYWORDS: &[&str] = &[
+    "always", "and", "assign", "automatic", "begin", "buf", "bufif0", "bufif1", "case", "casex",
+    "casez", "cell", "cmos", "config", "deassign", "default", "defparam", "design", "disable",
+    "edge", "else", "end", "endcase", "endconfig", "endfunction", "endgenerate", "endmodule",
+    "endprimitive", "endspecify", "endtable", "endtask", "event", "for", "force", "forever",
+    "fork", "function", "generate", "genvar", "highz0", "highz1", "if", "ifnone", "incdir",
+    "include", "initial", "inout", "input", "instance", "integer", "join", "large", "liblist",
+    "library", "localparam", "macromodule", "medium", "module", "nand", "negedge", "nmos", "nor",
+    "noshowcancelled", "not", "notif0", "notif1", "or", "output", "parameter", "pmos", "posedge",
+    "primitive", "pull0", "pull1", "pulldown", "pullup", "pulsestyle_ondetect",
+    "pulsestyle_onevent", "rcmos", "real", "realtime", "reg", "release", "repeat", "rnmos",
+    "rpmos", "rtran", "rtranif0", "rtranif1", "scalared", "showcancelled", "signed", "small",
+    "specify", "specparam", "strong0", "strong1", "supply0", "supply1", "table", "task", "time",
+    "tran", "tranif0", "tranif1", "tri", "tri0", "tri1", "triand", "trior", "trireg", "unsigned",
+    "use", "vectored", "wait", "wand", "weak0", "weak1", "while", "wire", "wor", "xnor", "xor",
+];
 
 fn sanitize(name: &str) -> String {
     let mut s: String = name
@@ -18,7 +39,31 @@ fn sanitize(name: &str) -> String {
     if s.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
         s.insert(0, '_');
     }
+    if VERILOG_KEYWORDS.contains(&s.as_str()) {
+        s.push('_');
+    }
     s
+}
+
+/// Maps every net to a unique legal Verilog identifier.
+///
+/// [`sanitize`] is not injective (`a-b` and `a.b` both map to `a_b`), so
+/// two distinct nets could otherwise collapse into one declaration.
+/// Collisions — and the reserved `clk` port the exporter adds — get
+/// trailing underscores until unique. Nets are visited in id order, so
+/// the renaming is deterministic.
+fn unique_net_names(netlist: &Netlist) -> HashMap<NetId, String> {
+    let mut taken: HashSet<String> = HashSet::new();
+    taken.insert("clk".to_string());
+    let mut names = HashMap::new();
+    for (id, net) in netlist.nets() {
+        let mut name = sanitize(net.name());
+        while !taken.insert(name.clone()) {
+            name.push('_');
+        }
+        names.insert(id, name);
+    }
+    names
 }
 
 fn range(width: u8) -> String {
@@ -52,7 +97,8 @@ fn range(width: u8) -> String {
 /// ```
 pub fn to_verilog(netlist: &Netlist) -> String {
     let mut out = String::new();
-    let name_of = |id: NetId| sanitize(netlist.net(id).name());
+    let net_names = unique_net_names(netlist);
+    let name_of = |id: NetId| net_names[&id].clone();
 
     let mut ports: Vec<String> = vec!["clk".to_string()];
     ports.extend(netlist.primary_inputs().iter().map(|&n| name_of(n)));
@@ -250,5 +296,56 @@ mod tests {
         assert_eq!(super::sanitize("a-b.c"), "a_b_c");
         assert_eq!(super::sanitize("1x"), "_1x");
         assert_eq!(super::sanitize(""), "_");
+    }
+
+    #[test]
+    fn verilog_keywords_are_renamed() {
+        assert_eq!(super::sanitize("module"), "module_");
+        assert_eq!(super::sanitize("output"), "output_");
+        assert_eq!(super::sanitize("posedge"), "posedge_");
+        // A name that only becomes a keyword after character mapping is
+        // still caught (`w-ire` -> `w_ire` is fine, `re.g` -> `re_g` fine,
+        // but `reg` itself must be renamed).
+        assert_eq!(super::sanitize("reg"), "reg_");
+        assert_eq!(super::sanitize("not_a_keyword"), "not_a_keyword");
+    }
+
+    #[test]
+    fn keyword_named_nets_produce_legal_verilog() {
+        let mut b = NetlistBuilder::new("module");
+        let a = b.input("input", 4);
+        let c = b.input("wire", 4);
+        let s = b.wire("output", 4);
+        b.cell("assign", CellKind::Add, &[a, c], s).unwrap();
+        b.mark_output(s);
+        let n = b.build().unwrap();
+        let v = super::to_verilog(&n);
+        assert!(v.contains("module module_ ("));
+        assert!(v.contains("input [3:0] input_;"));
+        assert!(v.contains("output [3:0] output_;"));
+        assert!(v.contains("assign output_ = input_ + wire_;"));
+    }
+
+    #[test]
+    fn colliding_sanitized_names_are_uniquified() {
+        // `a-b` and `a.b` both sanitize to `a_b`; the exporter must keep
+        // them distinct, and a net literally named `clk` must not collide
+        // with the clock port the exporter adds.
+        let mut b = NetlistBuilder::new("c");
+        let x = b.input("a-b", 4);
+        let y = b.input("a.b", 4);
+        let clk = b.input("clk", 1);
+        let s = b.wire("s", 4);
+        let q = b.wire("q", 4);
+        b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[s, clk], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let v = super::to_verilog(&n);
+        assert!(v.contains("input [3:0] a_b;"));
+        assert!(v.contains("input [3:0] a_b_;"));
+        assert!(v.contains("a_b + a_b_"));
+        assert!(v.contains("input clk_;"), "{v}");
     }
 }

@@ -16,11 +16,17 @@
 //!                 [--deadline SECS] [--max-skipped N]
 //!                 [--checkpoint FILE] [--resume FILE]
 //!                 [--sabotage force-false|negate]    # random transform fuzzing
+//! oiso lint       [<design.oiso>...] [--bundled] [--deny CODE|error|warn|info]
+//!                 [--format text|json|sarif] [--lookahead] [--budget N]
 //! ```
 //!
 //! Design files use the text format documented in
 //! [`operand_isolation::designs::textfmt`]; see `examples/cmac.oiso`.
-//! `verify` and `fuzz` exit nonzero when an equivalence violation is found.
+//! `verify` and `fuzz` exit nonzero when an equivalence violation is found;
+//! `lint` exits nonzero when any finding matches a `--deny` spec (a rule
+//! code such as `OL003`, or a severity threshold: `error`, `warn`, `info`).
+//! `lint --bundled` additionally checks every bundled benchmark design —
+//! the CI lint gate runs `oiso lint --bundled --deny error --format sarif`.
 //!
 //! Fault tolerance: `--deadline` stops a long `isolate`/`fuzz` run at the
 //! next cooperative check and returns the best-so-far result labeled
@@ -83,6 +89,10 @@ struct Options {
     resume: Option<PathBuf>,
     inject_panic: Vec<usize>,
     inject_budget: bool,
+    lint_files: Vec<String>,
+    bundled: bool,
+    deny: Vec<String>,
+    format: String,
 }
 
 const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize|verify> <design.oiso> \
@@ -98,7 +108,11 @@ const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize|veri
                      --deadline stops the run gracefully (best-so-far, labeled truncated); \
                      --checkpoint/--resume journal and replay accepted work\n\
                      fault injection (testing the harness itself): --inject-panic N panics \
-                     candidate/case N, --inject-budget expires the budget immediately";
+                     candidate/case N, --inject-budget expires the budget immediately\n\
+                     \u{20}      oiso lint [<design.oiso>...] [--bundled] \
+                     [--deny CODE|error|warn|info] [--format text|json|sarif] \
+                     [--lookahead] [--budget N]\n\
+                     --deny is repeatable; any matching finding makes lint exit nonzero";
 
 fn parse_options() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
@@ -106,12 +120,14 @@ fn parse_options() -> Result<Options, String> {
     if command == "--help" || command == "-h" {
         return Err(USAGE.to_string());
     }
-    // `fuzz` generates its own designs; every other command reads one.
-    let file = if command == "fuzz" {
+    // `fuzz` generates its own designs and `lint` takes any number of
+    // files (parsed below); every other command reads exactly one.
+    let file = if command == "fuzz" || command == "lint" {
         String::new()
     } else {
         args.next().ok_or(USAGE)?
     };
+    let is_lint = command == "lint";
     let mut opts = Options {
         command,
         file,
@@ -133,6 +149,10 @@ fn parse_options() -> Result<Options, String> {
         resume: None,
         inject_panic: Vec::new(),
         inject_budget: false,
+        lint_files: Vec::new(),
+        bundled: false,
+        deny: Vec::new(),
+        format: "text".to_string(),
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -238,6 +258,20 @@ fn parse_options() -> Result<Options, String> {
                 opts.verilog = Some(args.next().ok_or("--verilog needs a path")?)
             }
             "--dot" => opts.dot = Some(args.next().ok_or("--dot needs a path")?),
+            "--bundled" => opts.bundled = true,
+            "--deny" => opts
+                .deny
+                .push(args.next().ok_or("--deny needs a rule code or severity")?),
+            "--format" => {
+                let fmt = args.next().ok_or("--format needs text|json|sarif")?;
+                if !matches!(fmt.as_str(), "text" | "json" | "sarif") {
+                    return Err(format!("--format needs text|json|sarif, got `{fmt}`"));
+                }
+                opts.format = fmt;
+            }
+            other if is_lint && !other.starts_with('-') => {
+                opts.lint_files.push(other.to_string())
+            }
             other => return Err(format!("unknown flag `{other}` ({USAGE})")),
         }
     }
@@ -262,6 +296,9 @@ fn run() -> Result<(), String> {
     let opts = parse_options()?;
     if opts.command == "fuzz" {
         return fuzz_command(&opts);
+    }
+    if opts.command == "lint" {
+        return lint_command(&opts);
     }
     let design = load(&opts.file)?;
     let netlist = &design.netlist;
@@ -480,6 +517,87 @@ fn run() -> Result<(), String> {
             println!("all candidates verified");
         }
         other => return Err(format!("unknown command `{other}` ({USAGE})")),
+    }
+    Ok(())
+}
+
+fn lint_command(opts: &Options) -> Result<(), String> {
+    use operand_isolation::designs::{
+        alu_ctrl, busnet, design1, design2, figure1, fir, pipeline, soc,
+    };
+    use operand_isolation::lint::{lint_netlist, render_json, render_sarif, render_text, LintOptions};
+
+    // Work list: (artifact uri for SARIF, netlist). Files first, in the
+    // order given; then the bundled benchmark designs.
+    let mut inputs: Vec<(Option<String>, operand_isolation::netlist::Netlist)> = Vec::new();
+    for path in &opts.lint_files {
+        inputs.push((Some(path.clone()), load(path)?.netlist));
+    }
+    if opts.bundled {
+        for netlist in [
+            figure1::build().netlist,
+            design1::build(&design1::Design1Params::default()).netlist,
+            design2::build(&design2::Design2Params::default()).netlist,
+            alu_ctrl::build(&alu_ctrl::AluParams::default()).netlist,
+            fir::build(&fir::FirParams::default()).netlist,
+            busnet::build(&busnet::BusParams::default()).netlist,
+            pipeline::build(&pipeline::PipelineParams::default()).netlist,
+            soc::build(&soc::SocParams::default()).netlist,
+        ] {
+            inputs.push((None, netlist));
+        }
+    }
+    if inputs.is_empty() {
+        return Err(format!("lint needs design files or --bundled ({USAGE})"));
+    }
+
+    let lint_options = LintOptions {
+        activation: activation_config(opts.lookahead),
+        bdd_node_budget: opts.budget,
+    };
+    let reports: Vec<_> = inputs
+        .iter()
+        .map(|(artifact, netlist)| (artifact.clone(), lint_netlist(netlist, &lint_options)))
+        .collect();
+
+    match opts.format.as_str() {
+        "text" => {
+            for (_, report) in &reports {
+                print!("{}", render_text(report));
+            }
+        }
+        "json" => {
+            for (_, report) in &reports {
+                print!("{}", render_json(report));
+            }
+        }
+        "sarif" => {
+            let refs: Vec<_> = reports
+                .iter()
+                .map(|(artifact, report)| (artifact.clone(), report))
+                .collect();
+            print!("{}", render_sarif(&refs));
+        }
+        other => unreachable!("--format validated at parse time: {other}"),
+    }
+
+    let mut denied = 0usize;
+    for (_, report) in &reports {
+        for spec in &opts.deny {
+            for d in report.denied(spec) {
+                denied += 1;
+                eprintln!(
+                    "denied [{} {}] {}: {}",
+                    d.severity,
+                    d.code,
+                    d.span.path(&report.design),
+                    d.message
+                );
+            }
+        }
+    }
+    if denied > 0 {
+        return Err(format!("{denied} denied finding(s)"));
     }
     Ok(())
 }

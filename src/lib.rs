@@ -57,3 +57,6 @@ pub use oiso_designs as designs;
 
 /// Formal equivalence checking and fuzzing for the isolation transform.
 pub use oiso_verify as verify;
+
+/// Netlist static analysis and lint (isolation-soundness rules).
+pub use oiso_lint as lint;

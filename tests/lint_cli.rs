@@ -1,0 +1,134 @@
+//! Golden and exit-code tests for `oiso lint`.
+//!
+//! The demo design seeds two paper-grounded hazards — a constant-true
+//! activation only provable semantically (the adder feeds both mux data
+//! inputs) and a latch-fed activation cone — and the pinned output keeps
+//! the diagnostic text, ordering, and severities stable.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test lint_cli`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn oiso() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oiso"))
+}
+
+fn demo() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/lint_demo.oiso")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name}: {e}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected, actual,
+        "golden {name} diverged; run with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn lint_text_output_matches_golden() {
+    let out = oiso().arg("lint").arg(demo()).output().expect("run");
+    assert!(out.status.success(), "{out:?}");
+    check_golden("lint_cli.txt", &String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn lint_flags_both_seeded_hazards() {
+    let out = oiso().arg("lint").arg(demo()).output().expect("run");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("OL003"), "constant-true activation: {text}");
+    assert!(text.contains("OL005"), "latch-fed activation cone: {text}");
+    assert!(text.contains("`add`"), "{text}");
+    assert!(text.contains("latch `lat`"), "{text}");
+}
+
+#[test]
+fn deny_matching_findings_exits_nonzero() {
+    // The demo has warnings but no errors: `--deny error` passes (the CI
+    // gate configuration), `--deny warn` and `--deny OL003` fail.
+    let pass = oiso()
+        .arg("lint")
+        .arg(demo())
+        .args(["--deny", "error"])
+        .output()
+        .expect("run");
+    assert!(pass.status.success(), "{pass:?}");
+
+    for spec in ["warn", "OL003", "ol005"] {
+        let fail = oiso()
+            .arg("lint")
+            .arg(demo())
+            .args(["--deny", spec])
+            .output()
+            .expect("run");
+        assert!(
+            !fail.status.success(),
+            "--deny {spec} must exit nonzero: {fail:?}"
+        );
+        let err = String::from_utf8_lossy(&fail.stderr);
+        assert!(err.contains("denied"), "--deny {spec}: {err}");
+    }
+}
+
+#[test]
+fn json_format_is_machine_readable() {
+    let out = oiso()
+        .arg("lint")
+        .arg(demo())
+        .args(["--format", "json"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("{\"design\":\"lint_demo\""), "{text}");
+    assert!(text.contains("\"code\":\"OL003\""), "{text}");
+    assert!(text.contains("\"counts\":{\"error\":0,\"warn\":2,\"info\":0}"), "{text}");
+}
+
+#[test]
+fn sarif_format_carries_rule_metadata_and_locations() {
+    let out = oiso()
+        .arg("lint")
+        .arg(demo())
+        .args(["--format", "sarif"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"version\":\"2.1.0\""), "{text}");
+    assert!(text.contains("\"name\":\"oiso-lint\""), "{text}");
+    assert!(text.contains("\"ruleId\":\"OL005\""), "{text}");
+    assert!(
+        text.contains("\"fullyQualifiedName\":\"lint_demo/cell/mul\""),
+        "{text}"
+    );
+    // The file-based input gets a physical location CI annotators anchor to.
+    assert!(text.contains("lint_demo.oiso"), "{text}");
+}
+
+#[test]
+fn lint_without_inputs_is_an_error() {
+    let out = oiso().arg("lint").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--bundled"), "{err}");
+}
+
+#[test]
+fn bundled_designs_pass_the_error_gate() {
+    let out = oiso()
+        .arg("lint")
+        .args(["--bundled", "--deny", "error", "--format", "sarif"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "CI gate configuration must pass: {out:?}");
+}

@@ -1,0 +1,128 @@
+//! The static candidate precheck must be *invisible* in the result and
+//! *visible* in the work: `optimize()` with the precheck enabled produces
+//! the identical accepted-candidate sequence at every thread count, while
+//! simulating strictly fewer candidates than with the precheck disabled.
+//!
+//! The test design seeds one genuine isolation win (an idle-gated
+//! multiplier) and one trap: an adder whose activation is the four-minterm
+//! tautology `Σ minterms(s[1:0])` — it feeds all four data inputs of a
+//! mux — which the syntactic candidate filter cannot fold but the
+//! precheck's BDD proves constant 1.
+
+use operand_isolation::core::{optimize, IsolationConfig};
+use operand_isolation::netlist::{CellKind, Netlist, NetlistBuilder};
+use operand_isolation::sim::{StimulusPlan, StimulusSpec};
+
+fn trap_design() -> (Netlist, StimulusPlan) {
+    let mut b = NetlistBuilder::new("precheck_trap");
+    let a = b.input("a", 8);
+    let c = b.input("c", 8);
+    let s = b.input("s", 2);
+    let g = b.input("g", 1);
+    let prod = b.wire("prod", 8);
+    let q = b.wire("q", 8);
+    let sum = b.wire("sum", 8);
+    let m = b.wire("m", 8);
+    // Real candidate: the multiplier idles whenever `g = 0`.
+    b.cell("mul", CellKind::Mul, &[a, c], prod).unwrap();
+    b.cell("acc", CellKind::Reg { has_enable: true }, &[prod, g], q)
+        .unwrap();
+    b.mark_output(q);
+    // Trap candidate: AS_add covers every select minterm, i.e. is 1.
+    b.cell("add", CellKind::Add, &[a, c], sum).unwrap();
+    b.cell("route", CellKind::Mux, &[s, sum, sum, sum, sum], m)
+        .unwrap();
+    b.mark_output(m);
+    let netlist = b.build().unwrap();
+    let stimuli = StimulusPlan::new(0xBEEF)
+        .drive("a", StimulusSpec::UniformRandom)
+        .drive("c", StimulusSpec::UniformRandom)
+        .drive("s", StimulusSpec::UniformRandom)
+        .drive(
+            "g",
+            StimulusSpec::MarkovBits {
+                p_one: 0.2,
+                toggle_rate: 0.2,
+            },
+        );
+    (netlist, stimuli)
+}
+
+/// The accepted-candidate sequence, as stable names.
+fn accepted(outcome: &operand_isolation::core::IsolationOutcome) -> Vec<(String, String, usize)> {
+    outcome
+        .isolated
+        .iter()
+        .map(|r| {
+            (
+                outcome.netlist.cell(r.candidate).name().to_string(),
+                r.style.to_string(),
+                r.isolated_bits,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn precheck_is_thread_invariant_and_saves_simulations() {
+    let (netlist, stimuli) = trap_design();
+    let base = IsolationConfig::default().with_sim_cycles(600);
+
+    // With the precheck (the default): identical outcome at 1, 2, 4 threads.
+    let outcomes: Vec<_> = [1usize, 2, 4]
+        .into_iter()
+        .map(|t| optimize(&netlist, &stimuli, &base.clone().with_threads(t)).unwrap())
+        .collect();
+    let reference = accepted(&outcomes[0]);
+    for (outcome, threads) in outcomes.iter().zip([1, 2, 4]) {
+        assert_eq!(
+            accepted(outcome),
+            reference,
+            "accepted sequence diverged at {threads} thread(s)"
+        );
+        assert_eq!(
+            outcome.evaluated, outcomes[0].evaluated,
+            "evaluation count diverged at {threads} thread(s)"
+        );
+        let pre: Vec<_> = outcome.pre_skipped.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(pre, vec!["add".to_string()], "at {threads} thread(s)");
+        assert!(
+            outcome.pre_skipped[0].reason.contains("constant 1"),
+            "{}",
+            outcome.pre_skipped[0].reason
+        );
+    }
+
+    // Without the precheck: same accepted result (the trap candidate never
+    // pays off dynamically either), but strictly more simulations.
+    let off = optimize(
+        &netlist,
+        &stimuli,
+        &base.clone().with_static_precheck(false),
+    )
+    .unwrap();
+    assert_eq!(accepted(&off), reference, "precheck changed the outcome");
+    assert!(off.pre_skipped.is_empty());
+    assert!(
+        outcomes[0].evaluated < off.evaluated,
+        "precheck on simulated {} candidate(s), off simulated {}: expected strictly fewer",
+        outcomes[0].evaluated,
+        off.evaluated
+    );
+}
+
+#[test]
+fn precheck_drops_are_reported_in_the_outcome_display() {
+    let (netlist, stimuli) = trap_design();
+    let outcome = optimize(
+        &netlist,
+        &stimuli,
+        &IsolationConfig::default().with_sim_cycles(400),
+    )
+    .unwrap();
+    let text = outcome.to_string();
+    assert!(
+        text.contains("static precheck dropped 1 candidate(s) before simulation"),
+        "{text}"
+    );
+}
