@@ -509,38 +509,52 @@ pub fn escape_json(s: &str) -> String {
     out
 }
 
-/// One scalar value in a flat JSONL record: the journal formats only ever
-/// write strings and unsigned integers.
+/// One scalar value in a flat JSON record: the journal formats write
+/// strings and unsigned integers; the serve API additionally accepts
+/// boolean literals in request bodies.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonScalar {
     /// A JSON string (already unescaped).
     Str(String),
     /// An unsigned integer.
     Int(u64),
+    /// A `true` / `false` literal.
+    Bool(bool),
 }
 
 impl JsonScalar {
-    /// The string value, or `None` for an integer.
+    /// The string value, or `None` otherwise.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             JsonScalar::Str(s) => Some(s),
-            JsonScalar::Int(_) => None,
+            _ => None,
         }
     }
 
-    /// The integer value, or `None` for a string.
+    /// The integer value, or `None` otherwise.
     pub fn as_int(&self) -> Option<u64> {
         match self {
             JsonScalar::Int(n) => Some(*n),
-            JsonScalar::Str(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The boolean value — a literal `true`/`false`, or an integer `0`/`1`
+    /// (the pre-Bool encoding some writers still emit). `None` otherwise.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonScalar::Bool(b) => Some(*b),
+            JsonScalar::Int(0) => Some(false),
+            JsonScalar::Int(1) => Some(true),
+            _ => None,
         }
     }
 }
 
-/// Parses one flat JSON object line (string keys; string or unsigned
-/// integer values — the only shapes the journal writers emit). Public for
-/// sibling journal formats (the fuzz journal) that share this line
-/// discipline.
+/// Parses one flat JSON object line (string keys; string, unsigned
+/// integer, or boolean values — the shapes the journal writers and the
+/// serve API accept). Public for sibling formats (the fuzz journal, serve
+/// request bodies) that share this line discipline.
 pub fn parse_flat(line: &str) -> Result<Vec<(String, JsonScalar)>, String> {
     let mut chars = line.trim().chars().peekable();
     let mut fields = Vec::new();
@@ -569,6 +583,17 @@ pub fn parse_flat(line: &str) -> Result<Vec<(String, JsonScalar)>, String> {
                     digits.push(chars.next().expect("peeked"));
                 }
                 JsonScalar::Int(digits.parse().map_err(|e| format!("bad number: {e}"))?)
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                let mut word = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    word.push(chars.next().expect("peeked"));
+                }
+                match word.as_str() {
+                    "true" => JsonScalar::Bool(true),
+                    "false" => JsonScalar::Bool(false),
+                    other => return Err(format!("unknown literal {other:?}")),
+                }
             }
             other => return Err(format!("expected value for key {key:?}, found {other:?}")),
         };
@@ -770,6 +795,23 @@ mod tests {
         for bad in ["", "X", "v7", "v7.", "!", "&2 T", "&1 T", "T F", "&999999999 T"] {
             assert!(decode_expr(bad).is_none(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_flat_accepts_boolean_literals() {
+        let fields =
+            parse_flat("{\"a\":true,\"b\":false,\"n\":1,\"s\":\"x\"}").unwrap();
+        assert_eq!(fields[0].1.as_bool(), Some(true));
+        assert_eq!(fields[1].1.as_bool(), Some(false));
+        assert_eq!(fields[2].1.as_bool(), Some(true), "int 1 coerces");
+        assert_eq!(fields[3].1.as_bool(), None);
+        assert_eq!(fields[0].1.as_str(), None);
+        assert_eq!(fields[0].1.as_int(), None);
+        assert!(
+            parse_flat("{\"a\":truthy}").is_err(),
+            "unknown literals are rejected"
+        );
+        assert!(parse_flat("{\"a\":null}").is_err(), "null is not a scalar we accept");
     }
 
     #[test]

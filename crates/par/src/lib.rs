@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod queue;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -124,8 +125,11 @@ impl<R> TaskOutcome<R> {
     }
 }
 
-/// Renders a panic payload as text.
-fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+/// Renders a panic payload as text: `&str` / `String` payloads verbatim,
+/// anything else a placeholder. Shared by [`parallel_map_isolated`] and
+/// any caller doing its own `catch_unwind` (the serve daemon's
+/// per-request isolation).
+pub fn panic_payload_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -155,7 +159,7 @@ where
             Ok(r) => TaskOutcome::Ok(r),
             Err(payload) => TaskOutcome::Panicked {
                 item_index: i,
-                payload: payload_text(payload.as_ref()),
+                payload: panic_payload_text(payload.as_ref()),
             },
         }
     })

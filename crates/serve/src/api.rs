@@ -1,0 +1,614 @@
+//! The JSON API: routing, the request schema, and the four pipeline
+//! handlers.
+//!
+//! A request body is either a flat JSON object or raw `.oiso` text
+//! (anything whose first non-whitespace byte is not `{`). The JSON
+//! schema is shared by all four POST endpoints — fields an endpoint
+//! does not use are accepted but still part of its cache key:
+//!
+//! | Field | Type | Default | Meaning |
+//! |---|---|---|---|
+//! | `design` | string | — | bundled design name ([`oiso_designs::BUNDLED_NAMES`]) |
+//! | `source` | string | — | inline `.oiso` text (exactly one of `design`/`source`) |
+//! | `style` | string | `"and"` | isolation style `and` / `or` / `latch` |
+//! | `cycles` | int | `3000` | simulated cycles (same default as the CLI) |
+//! | `lookahead` | bool | `false` | one-cycle activation look-ahead (§5) |
+//! | `budget` | int | `200000` | BDD node budget (verify / lint) |
+//! | `seed` | int | — | stimulus reseed ([`Design::with_seed`]) |
+//!
+//! Unknown fields are rejected with `400 unknown_field` — a typo'd knob
+//! must fail loudly, not silently run with defaults.
+//!
+//! Handlers run with `threads = 1` per request: parallelism comes from
+//! the worker pool (many requests at once), and a single-threaded
+//! pipeline keeps each response deterministic, which the result cache
+//! relies on. An `X-Oiso-Deadline-Ms` header becomes a
+//! [`RunBudget`] wall deadline (isolate) or a symbolic-check deadline
+//! (verify); deadline-bearing requests bypass the cache because their
+//! truncation point is wall-clock dependent.
+
+use crate::error::ApiError;
+use crate::http::{Request, Response};
+use crate::json::{json_array, parse_object, JsonObj};
+use oiso_core::{
+    derive_activation_functions, optimize_with_memo, ActivationConfig, IsolationConfig,
+    IsolationOutcome, IsolationStyle, RunBudget,
+};
+use oiso_designs::{bundled, textfmt, Design};
+use oiso_lint::{lint_netlist, render_json as render_lint_json, LintOptions, Severity};
+use oiso_power::{total_area, PowerEstimator};
+use oiso_sim::{SimMemo, Testbench};
+use oiso_techlib::{OperatingConditions, TechLibrary};
+use oiso_timing::analyze;
+use oiso_verify::{
+    verify_isolation_plan, CheckConfig, Proof, ReplayVerdict, VerifyConfig, VerifyOutcome,
+};
+use std::time::{Duration, Instant};
+
+/// Deadline header name (milliseconds of wall time for the request).
+pub const DEADLINE_HEADER: &str = "x-oiso-deadline-ms";
+
+/// The routable endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/isolate` — Algorithm 1.
+    Isolate,
+    /// `POST /v1/lint` — the OL001–OL010 rule set.
+    Lint,
+    /// `POST /v1/verify` — per-candidate equivalence checking.
+    Verify,
+    /// `POST /v1/simulate` — power/area/timing measurement.
+    Simulate,
+    /// `GET /healthz` — liveness.
+    Healthz,
+    /// `GET /metrics` — text metrics.
+    Metrics,
+}
+
+impl Endpoint {
+    /// Stable lowercase label (metrics series, access logs, cache keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Isolate => "isolate",
+            Endpoint::Lint => "lint",
+            Endpoint::Verify => "verify",
+            Endpoint::Simulate => "simulate",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+        }
+    }
+
+    /// Maps `(method, path)` to an endpoint, or to the structured `404`
+    /// / `405` the API contract specifies.
+    pub fn route(method: &str, path: &str) -> Result<Endpoint, ApiError> {
+        let (endpoint, allow) = match path {
+            "/v1/isolate" => (Endpoint::Isolate, "POST"),
+            "/v1/lint" => (Endpoint::Lint, "POST"),
+            "/v1/verify" => (Endpoint::Verify, "POST"),
+            "/v1/simulate" => (Endpoint::Simulate, "POST"),
+            "/healthz" => (Endpoint::Healthz, "GET"),
+            "/metrics" => (Endpoint::Metrics, "GET"),
+            _ => return Err(ApiError::not_found(path)),
+        };
+        if method != allow {
+            return Err(ApiError::method_not_allowed(method, path, allow));
+        }
+        Ok(endpoint)
+    }
+}
+
+/// A fully validated pipeline request, ready to execute.
+#[derive(Debug)]
+pub struct ApiRequest {
+    /// Which handler runs.
+    pub endpoint: Endpoint,
+    /// The design to operate on (stimulus reseed already applied).
+    pub design: Design,
+    /// `design` name, or `"inline"` for `source` / raw bodies.
+    pub design_label: String,
+    /// Isolation style for isolate/verify.
+    pub style: IsolationStyle,
+    /// Simulated cycles for isolate/simulate.
+    pub cycles: u64,
+    /// Activation look-ahead for isolate/verify/lint.
+    pub lookahead: bool,
+    /// BDD node budget for verify/lint.
+    pub budget: usize,
+    /// Explicit stimulus seed, if any (part of the cache key).
+    pub seed: Option<u64>,
+    /// Wall deadline from `X-Oiso-Deadline-Ms`.
+    pub deadline: Option<Duration>,
+}
+
+impl ApiRequest {
+    /// Parses and validates one POST request against the schema.
+    pub fn parse(endpoint: Endpoint, req: &Request) -> Result<ApiRequest, ApiError> {
+        let deadline = match req.header(DEADLINE_HEADER) {
+            None => None,
+            Some(raw) => Some(Duration::from_millis(raw.parse::<u64>().map_err(
+                |e| ApiError::bad_deadline(format!("bad {DEADLINE_HEADER} {raw:?}: {e}")),
+            )?)),
+        };
+        let body = std::str::from_utf8(&req.body)
+            .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+
+        let mut design_name: Option<String> = None;
+        let mut source: Option<String> = None;
+        let mut style = IsolationStyle::And;
+        let mut cycles: u64 = 3000;
+        let mut lookahead = false;
+        let mut budget: usize = 200_000;
+        let mut seed: Option<u64> = None;
+
+        if body.trim_start().starts_with('{') {
+            let fields = parse_object(body).map_err(ApiError::bad_json)?;
+            for (key, value) in fields {
+                match key.as_str() {
+                    "design" => design_name = Some(str_field(&key, &value)?),
+                    "source" => source = Some(str_field(&key, &value)?),
+                    "style" => style = parse_style(&str_field(&key, &value)?)?,
+                    "cycles" => cycles = int_field(&key, &value)?,
+                    "lookahead" => lookahead = bool_field(&key, &value)?,
+                    "budget" => budget = int_field(&key, &value)? as usize,
+                    "seed" => seed = Some(int_field(&key, &value)?),
+                    other => return Err(ApiError::unknown_field(other)),
+                }
+            }
+        } else if body.trim().is_empty() {
+            return Err(ApiError::bad_json(
+                "empty body; send a JSON object or raw .oiso text",
+            ));
+        } else {
+            // Raw `.oiso` text with default config.
+            source = Some(body.to_string());
+        }
+
+        let (mut design, design_label) = match (design_name, source) {
+            (Some(name), None) => (
+                bundled(&name).ok_or_else(|| ApiError::unknown_design(&name))?,
+                name,
+            ),
+            (None, Some(text)) => (
+                textfmt::parse(&text).map_err(|e| ApiError::bad_design(e.to_string()))?,
+                "inline".to_string(),
+            ),
+            (Some(_), Some(_)) => {
+                return Err(ApiError::bad_field(
+                    "specify exactly one of \"design\" and \"source\", not both",
+                ))
+            }
+            (None, None) => {
+                return Err(ApiError::bad_field(
+                    "specify a bundled \"design\" name or inline \"source\" text",
+                ))
+            }
+        };
+        if cycles == 0 || cycles > 1_000_000 {
+            return Err(ApiError::bad_field(format!(
+                "\"cycles\" must be in 1..=1000000, got {cycles}"
+            )));
+        }
+        if let Some(s) = seed {
+            design = design.with_seed(s);
+        }
+        Ok(ApiRequest {
+            endpoint,
+            design,
+            design_label,
+            style,
+            cycles,
+            lookahead,
+            budget,
+            seed,
+            deadline,
+        })
+    }
+
+    /// The result-cache key, or `None` when the response may depend on
+    /// wall time (a deadline is set) and must not be cached.
+    pub fn cache_key(&self) -> Option<u64> {
+        if self.deadline.is_some() {
+            return None;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for b in self.endpoint.label().bytes() {
+            eat(u64::from(b));
+        }
+        eat(self.design.netlist.fingerprint());
+        eat(self.design.stimuli.fingerprint());
+        for b in style_name(self.style).bytes() {
+            eat(u64::from(b));
+        }
+        eat(self.cycles);
+        eat(u64::from(self.lookahead));
+        eat(self.budget as u64);
+        eat(self.seed.map_or(u64::MAX, |s| s));
+        Some(h)
+    }
+
+    /// Runs the handler. Engine failures become structured `422`
+    /// responses; this never panics for malformed *input* (panics from
+    /// pipeline bugs are caught by the worker's `catch_unwind`).
+    pub fn execute(&self, memo: &SimMemo) -> Response {
+        match self.endpoint {
+            Endpoint::Isolate => self.isolate(memo),
+            Endpoint::Lint => self.lint(),
+            Endpoint::Verify => self.verify(),
+            Endpoint::Simulate => self.simulate(memo),
+            // GET endpoints are answered by the server, not here.
+            Endpoint::Healthz | Endpoint::Metrics => {
+                ApiError::not_found(self.endpoint.label()).to_response()
+            }
+        }
+    }
+
+    fn activation(&self) -> ActivationConfig {
+        if self.lookahead {
+            ActivationConfig::default().with_lookahead()
+        } else {
+            ActivationConfig::default()
+        }
+    }
+
+    fn isolate(&self, memo: &SimMemo) -> Response {
+        let mut run_budget = RunBudget::unlimited();
+        if let Some(d) = self.deadline {
+            run_budget = run_budget.with_deadline_in(d);
+        }
+        let mut config = IsolationConfig::default()
+            .with_style(self.style)
+            .with_sim_cycles(self.cycles)
+            .with_threads(1)
+            .with_budget(run_budget);
+        config.activation = self.activation();
+        let outcome =
+            match optimize_with_memo(&self.design.netlist, &self.design.stimuli, &config, memo)
+            {
+                Ok(outcome) => outcome,
+                Err(e) => return ApiError::engine(e.to_string()).to_response(),
+            };
+        ok_json(self.render_isolate(&outcome))
+    }
+
+    fn render_isolate(&self, outcome: &IsolationOutcome) -> String {
+        let isolated = json_array(outcome.isolated.iter().map(|record| {
+            let mut item = JsonObj::new();
+            item.str("cell", outcome.netlist.cell(record.candidate).name())
+                .int("bits", record.isolated_bits as u64)
+                .str("style", style_name(record.style));
+            item.finish()
+        }));
+        let mut obj = self.request_echo();
+        obj.bool("truncated", outcome.truncated)
+            .int("iterations", outcome.iterations.len() as u64)
+            .int("evaluated", outcome.evaluated as u64)
+            .int("pre_skipped", outcome.pre_skipped.len() as u64)
+            .int("skipped", outcome.skipped.len() as u64)
+            .int("num_isolated", outcome.num_isolated() as u64)
+            .raw("isolated", &isolated)
+            .float("power_before_mw", outcome.power_before.as_mw())
+            .float("power_after_mw", outcome.power_after.as_mw())
+            .float("power_reduction_percent", outcome.power_reduction_percent())
+            .float("area_before_um2", outcome.area_before.as_um2())
+            .float("area_after_um2", outcome.area_after.as_um2())
+            .float("area_increase_percent", outcome.area_increase_percent())
+            .float("slack_before_ns", outcome.slack_before.as_ns())
+            .float("slack_after_ns", outcome.slack_after.as_ns())
+            .float("slack_reduction_percent", outcome.slack_reduction_percent());
+        obj.finish()
+    }
+
+    fn lint(&self) -> Response {
+        let options = LintOptions {
+            activation: self.activation(),
+            bdd_node_budget: self.budget,
+        };
+        let report = lint_netlist(&self.design.netlist, &options);
+        let count = |sev: Severity| {
+            report.diagnostics.iter().filter(|d| d.severity == sev).count() as u64
+        };
+        let mut obj = self.request_echo();
+        obj.int("findings", report.diagnostics.len() as u64)
+            .int("errors", count(Severity::Error))
+            .int("warnings", count(Severity::Warn))
+            .int("infos", count(Severity::Info))
+            .raw("report", render_lint_json(&report).trim_end());
+        ok_json(obj.finish())
+    }
+
+    fn verify(&self) -> Response {
+        let acts = derive_activation_functions(&self.design.netlist, &self.activation());
+        let plan: Vec<_> = self
+            .design
+            .netlist
+            .arithmetic_cells()
+            .filter_map(|cid| acts.get(&cid).map(|a| (cid, a.clone(), self.style)))
+            .collect();
+        let config = VerifyConfig {
+            check: CheckConfig {
+                node_budget: self.budget,
+                assumption: None,
+                deadline: self.deadline.map(|d| Instant::now() + d),
+            },
+            ..VerifyConfig::default()
+        };
+        let (_, checks) = match verify_isolation_plan(&self.design.netlist, &plan, &config) {
+            Ok(result) => result,
+            Err(e) => return ApiError::engine(e.to_string()).to_response(),
+        };
+        let (mut proved, mut sampled, mut skipped, mut violations) = (0u64, 0u64, 0u64, 0u64);
+        let rendered = json_array(checks.iter().map(|check| {
+            let mut item = JsonObj::new();
+            item.str("candidate", &check.candidate)
+                .str("style", style_name(check.style));
+            match &check.outcome {
+                VerifyOutcome::Verified(Proof::Bdd { observables }) => {
+                    proved += 1;
+                    item.str("outcome", "proved").int("observables", *observables as u64);
+                }
+                VerifyOutcome::Verified(Proof::Sampled { vectors }) => {
+                    sampled += 1;
+                    item.str("outcome", "sampled").int("vectors", *vectors as u64);
+                }
+                VerifyOutcome::Skipped { reason } => {
+                    skipped += 1;
+                    item.str("outcome", "skipped").str("reason", reason);
+                }
+                VerifyOutcome::Violation { replay, .. } => {
+                    violations += 1;
+                    item.str("outcome", "violation").str(
+                        "replay",
+                        match replay {
+                            ReplayVerdict::Confirmed { .. } => "confirmed",
+                            ReplayVerdict::Refuted => "refuted",
+                        },
+                    );
+                }
+            }
+            item.finish()
+        }));
+        let mut obj = self.request_echo();
+        obj.int("candidates", checks.len() as u64)
+            .int("proved", proved)
+            .int("sampled", sampled)
+            .int("skipped", skipped)
+            .int("violations", violations)
+            .bool("clean", violations == 0)
+            .raw("checks", &rendered);
+        ok_json(obj.finish())
+    }
+
+    fn simulate(&self, memo: &SimMemo) -> Response {
+        let lib = TechLibrary::generic_250nm();
+        let cond = OperatingConditions::default();
+        let report = match memo.get_or_insert_with(
+            &self.design.netlist,
+            &self.design.stimuli,
+            self.cycles,
+            || Testbench::from_plan(&self.design.netlist, &self.design.stimuli)?.run(self.cycles),
+        ) {
+            Ok(report) => report,
+            Err(e) => return ApiError::engine(e.to_string()).to_response(),
+        };
+        let breakdown = PowerEstimator::new(&lib, cond).estimate(&self.design.netlist, &report);
+        let timing = analyze(&lib, &self.design.netlist, cond.clock_period());
+        let mut obj = self.request_echo();
+        obj.float("power_mw", breakdown.total.as_mw())
+            .float("leakage_mw", breakdown.leakage.as_mw())
+            .float("clock_mw", breakdown.clock.as_mw())
+            .float("area_um2", total_area(&lib, &self.design.netlist).as_um2())
+            .float("worst_slack_ns", timing.worst_slack.as_ns());
+        ok_json(obj.finish())
+    }
+
+    /// The common response prefix echoing what was run on what — so a
+    /// response is self-describing even when it came out of the cache.
+    fn request_echo(&self) -> JsonObj {
+        let mut obj = JsonObj::new();
+        obj.str("endpoint", self.endpoint.label())
+            .str("design", &self.design_label)
+            .str("style", style_name(self.style))
+            .int("cycles", self.cycles)
+            .bool("lookahead", self.lookahead);
+        obj
+    }
+}
+
+/// Lowercase style name, matching the CLI's `--style` values.
+pub fn style_name(style: IsolationStyle) -> &'static str {
+    match style {
+        IsolationStyle::And => "and",
+        IsolationStyle::Or => "or",
+        IsolationStyle::Latch => "latch",
+    }
+}
+
+fn parse_style(raw: &str) -> Result<IsolationStyle, ApiError> {
+    match raw {
+        "and" => Ok(IsolationStyle::And),
+        "or" => Ok(IsolationStyle::Or),
+        "latch" => Ok(IsolationStyle::Latch),
+        other => Err(ApiError::bad_field(format!(
+            "\"style\" must be and|or|latch, got {other:?}"
+        ))),
+    }
+}
+
+fn str_field(key: &str, value: &oiso_core::JsonScalar) -> Result<String, ApiError> {
+    value
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ApiError::bad_field(format!("field {key:?} must be a string")))
+}
+
+fn int_field(key: &str, value: &oiso_core::JsonScalar) -> Result<u64, ApiError> {
+    value
+        .as_int()
+        .ok_or_else(|| ApiError::bad_field(format!("field {key:?} must be an unsigned integer")))
+}
+
+fn bool_field(key: &str, value: &oiso_core::JsonScalar) -> Result<bool, ApiError> {
+    value
+        .as_bool()
+        .ok_or_else(|| ApiError::bad_field(format!("field {key:?} must be a boolean")))
+}
+
+fn ok_json(mut body: String) -> Response {
+    body.push('\n');
+    Response::json(200, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn routing_covers_every_endpoint_and_both_error_kinds() {
+        assert_eq!(Endpoint::route("POST", "/v1/isolate").unwrap(), Endpoint::Isolate);
+        assert_eq!(Endpoint::route("POST", "/v1/lint").unwrap(), Endpoint::Lint);
+        assert_eq!(Endpoint::route("POST", "/v1/verify").unwrap(), Endpoint::Verify);
+        assert_eq!(Endpoint::route("POST", "/v1/simulate").unwrap(), Endpoint::Simulate);
+        assert_eq!(Endpoint::route("GET", "/healthz").unwrap(), Endpoint::Healthz);
+        assert_eq!(Endpoint::route("GET", "/metrics").unwrap(), Endpoint::Metrics);
+        assert_eq!(Endpoint::route("GET", "/nope").unwrap_err().code, "not_found");
+        assert_eq!(
+            Endpoint::route("GET", "/v1/isolate").unwrap_err().code,
+            "method_not_allowed"
+        );
+        assert_eq!(
+            Endpoint::route("POST", "/metrics").unwrap_err().code,
+            "method_not_allowed"
+        );
+    }
+
+    #[test]
+    fn schema_rejections_have_stable_codes() {
+        let cases: &[(&str, &str)] = &[
+            ("{\"design\":\"figure1\",\"bogus\":1}", "unknown_field"),
+            ("{\"design\":\"not_a_design\"}", "unknown_design"),
+            ("{\"design\":\"figure1\",\"source\":\"x\"}", "bad_field"),
+            ("{}", "bad_field"),
+            ("{\"design\":\"figure1\",\"style\":\"nand\"}", "bad_field"),
+            ("{\"design\":\"figure1\",\"cycles\":0}", "bad_field"),
+            ("{\"design\":\"figure1\",\"cycles\":\"many\"}", "bad_field"),
+            ("{\"design\":\"figure1\",\"lookahead\":\"yes\"}", "bad_field"),
+            ("{\"design\":1}", "bad_field"),
+            ("{\"design\"", "bad_json"),
+            ("", "bad_json"),
+            ("not an oiso design", "bad_design"),
+        ];
+        for (body, code) in cases {
+            let err = ApiRequest::parse(Endpoint::Isolate, &post("/v1/isolate", body))
+                .unwrap_err();
+            assert_eq!(err.code, *code, "{body:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn bad_deadline_header_is_rejected() {
+        let mut req = post("/v1/isolate", "{\"design\":\"figure1\"}");
+        req.headers
+            .push((DEADLINE_HEADER.to_string(), "soon".to_string()));
+        let err = ApiRequest::parse(Endpoint::Isolate, &req).unwrap_err();
+        assert_eq!(err.code, "bad_deadline");
+    }
+
+    #[test]
+    fn deadline_disables_the_cache_key() {
+        let req = ApiRequest::parse(
+            Endpoint::Isolate,
+            &post("/v1/isolate", "{\"design\":\"figure1\"}"),
+        )
+        .unwrap();
+        assert!(req.cache_key().is_some());
+        let mut with_deadline = post("/v1/isolate", "{\"design\":\"figure1\"}");
+        with_deadline
+            .headers
+            .push((DEADLINE_HEADER.to_string(), "1000".to_string()));
+        let req = ApiRequest::parse(Endpoint::Isolate, &with_deadline).unwrap();
+        assert!(req.cache_key().is_none());
+    }
+
+    #[test]
+    fn cache_keys_separate_config_and_endpoint() {
+        let key = |endpoint, body: &str| {
+            ApiRequest::parse(endpoint, &post("/x", body))
+                .unwrap()
+                .cache_key()
+                .unwrap()
+        };
+        let base = key(Endpoint::Isolate, "{\"design\":\"figure1\"}");
+        assert_eq!(base, key(Endpoint::Isolate, "{ \"design\" : \"figure1\" }"));
+        assert_ne!(base, key(Endpoint::Lint, "{\"design\":\"figure1\"}"));
+        assert_ne!(base, key(Endpoint::Isolate, "{\"design\":\"figure1\",\"style\":\"or\"}"));
+        assert_ne!(base, key(Endpoint::Isolate, "{\"design\":\"figure1\",\"cycles\":100}"));
+        assert_ne!(base, key(Endpoint::Isolate, "{\"design\":\"figure1\",\"seed\":9}"));
+        assert_ne!(base, key(Endpoint::Isolate, "{\"design\":\"design1\"}"));
+    }
+
+    #[test]
+    fn raw_oiso_bodies_parse_with_default_config() {
+        let source = textfmt::emit(&oiso_designs::figure1::build());
+        let req = ApiRequest::parse(Endpoint::Simulate, &post("/v1/simulate", &source)).unwrap();
+        assert_eq!(req.design_label, "inline");
+        assert_eq!(req.design.netlist.name(), "figure1");
+        assert_eq!(req.cycles, 3000);
+    }
+
+    #[test]
+    fn simulate_executes_end_to_end() {
+        let req = ApiRequest::parse(
+            Endpoint::Simulate,
+            &post("/v1/simulate", "{\"design\":\"figure1\",\"cycles\":200}"),
+        )
+        .unwrap();
+        let memo = SimMemo::new();
+        let resp = req.execute(&memo);
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"endpoint\":\"simulate\""), "{body}");
+        assert!(body.contains("\"power_mw\":"), "{body}");
+        assert!(body.ends_with('\n'));
+        // Identical request, same memo: the sim report is reused.
+        assert_eq!(memo.stats().misses, 1);
+        let resp2 = req.execute(&memo);
+        assert_eq!(resp2.status, 200);
+        assert_eq!(memo.stats().hits, 1);
+    }
+
+    #[test]
+    fn isolate_responses_are_deterministic_bytes() {
+        let parse = || {
+            ApiRequest::parse(
+                Endpoint::Isolate,
+                &post(
+                    "/v1/isolate",
+                    "{\"design\":\"figure1\",\"cycles\":300,\"style\":\"and\"}",
+                ),
+            )
+            .unwrap()
+        };
+        let a = parse().execute(&SimMemo::new());
+        let b = parse().execute(&SimMemo::new());
+        assert_eq!(a.status, 200);
+        assert_eq!(a.body, b.body, "fresh memos, identical bytes");
+        let body = String::from_utf8(a.body).unwrap();
+        assert!(body.contains("\"truncated\":false"), "{body}");
+        assert!(body.contains("\"num_isolated\":"), "{body}");
+    }
+}

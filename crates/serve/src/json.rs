@@ -1,0 +1,324 @@
+//! Hand-rolled JSON: a deterministic object writer and a
+//! whitespace-tolerant flat-object reader.
+//!
+//! The workspace is offline (no serde). Responses are assembled with
+//! [`JsonObj`] — insertion-ordered keys, fixed float formatting — so a
+//! given pipeline result always renders to the *same bytes*, which is
+//! what makes the result cache's byte-identical guarantee and the golden
+//! response tests possible. Request bodies are read with
+//! [`parse_object`], a lenient cousin of the checkpoint journal's
+//! `parse_flat`: same flat shape (string keys; string / unsigned-integer
+//! / boolean values), but whitespace and newlines between tokens are
+//! allowed, because humans write curl bodies.
+
+use oiso_core::{escape_json, JsonScalar};
+use std::fmt::Write as _;
+
+/// An insertion-ordered JSON object under construction.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape_json(key));
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape_json(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a float field rendered with [`fmt_f64`] (fixed 6-decimal
+    /// formatting — deterministic for a deterministic value).
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&fmt_f64(value));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (array, nested object) verbatim.
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns it.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Renders a float deterministically: fixed 6-decimal notation, with the
+/// non-finite values JSON cannot express mapped to quoted strings.
+pub fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else if value.is_nan() {
+        "\"NaN\"".to_string()
+    } else if value > 0.0 {
+        "\"+Inf\"".to_string()
+    } else {
+        "\"-Inf\"".to_string()
+    }
+}
+
+/// Joins pre-rendered JSON values into an array.
+pub fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// Parses one flat JSON object — string keys, scalar values
+/// ([`JsonScalar`]: string, unsigned integer, or boolean) — tolerating
+/// arbitrary whitespace between tokens. Duplicate keys are rejected.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformation; the caller
+/// wraps it into a structured `bad_json` API error.
+pub fn parse_object(text: &str) -> Result<Vec<(String, JsonScalar)>, String> {
+    let mut chars = text.chars().peekable();
+    let mut fields: Vec<(String, JsonScalar)> = Vec::new();
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("body must be a JSON object (or raw .oiso text)".into());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            if chars.peek() != Some(&'"') {
+                return Err(format!(
+                    "expected a quoted key, found {}",
+                    describe(chars.peek())
+                ));
+            }
+            let key = parse_string(&mut chars)?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("expected ':' after key {key:?}"));
+            }
+            skip_ws(&mut chars);
+            let value = parse_scalar(&mut chars, &key)?;
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => {
+                    return Err(format!("expected ',' or '}}', found {}", describe(other)))
+                }
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after the object".into());
+    }
+    Ok(fields)
+}
+
+fn describe(c: Option<impl std::borrow::Borrow<char>>) -> String {
+    match c {
+        Some(c) => format!("{:?}", c.borrow()),
+        None => "end of body".into(),
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_scalar(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    key: &str,
+) -> Result<JsonScalar, String> {
+    match chars.peek() {
+        Some('"') => Ok(JsonScalar::Str(parse_string(chars)?)),
+        Some(c) if c.is_ascii_digit() => {
+            let mut digits = String::new();
+            while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                digits.push(chars.next().expect("peeked"));
+            }
+            // A fractional or exponent tail means a float, which no field
+            // of the request schema accepts — say so precisely.
+            if chars.peek().is_some_and(|&c| c == '.' || c == 'e' || c == 'E') {
+                return Err(format!("field {key:?} must be an unsigned integer"));
+            }
+            digits
+                .parse()
+                .map(JsonScalar::Int)
+                .map_err(|e| format!("bad number for {key:?}: {e}"))
+        }
+        Some(c) if c.is_ascii_alphabetic() => {
+            let mut word = String::new();
+            while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                word.push(chars.next().expect("peeked"));
+            }
+            match word.as_str() {
+                "true" => Ok(JsonScalar::Bool(true)),
+                "false" => Ok(JsonScalar::Bool(false)),
+                other => Err(format!("unknown literal {other:?} for {key:?}")),
+            }
+        }
+        Some('-') => Err(format!("field {key:?} must be an unsigned integer")),
+        other => Err(format!(
+            "expected a value for {key:?}, found {}",
+            describe(other.copied())
+        )),
+    }
+}
+
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("bad escape {}", describe(other))),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_renders_every_scalar_kind() {
+        let mut obj = JsonObj::new();
+        obj.str("s", "a\"b")
+            .int("n", 42)
+            .bool("t", true)
+            .float("f", 1.5)
+            .raw("a", "[1,2]");
+        assert_eq!(
+            obj.finish(),
+            "{\"s\":\"a\\\"b\",\"n\":42,\"t\":true,\"f\":1.500000,\"a\":[1,2]}"
+        );
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn floats_are_fixed_precision_and_total() {
+        assert_eq!(fmt_f64(16.2601626), "16.260163");
+        assert_eq!(fmt_f64(-0.0), "-0.000000");
+        assert_eq!(fmt_f64(f64::NAN), "\"NaN\"");
+        assert_eq!(fmt_f64(f64::INFINITY), "\"+Inf\"");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "\"-Inf\"");
+    }
+
+    #[test]
+    fn reader_tolerates_whitespace_and_newlines() {
+        let fields = parse_object(
+            "{\n  \"design\" : \"figure1\",\n  \"cycles\": 800,\n  \"lookahead\": true\n}\n",
+        )
+        .unwrap();
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0].1.as_str(), Some("figure1"));
+        assert_eq!(fields[1].1.as_int(), Some(800));
+        assert_eq!(fields[2].1.as_bool(), Some(true));
+    }
+
+    #[test]
+    fn reader_accepts_the_empty_object() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        assert!(parse_object("  { }  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn reader_rejects_malformations_with_reasons() {
+        for (body, needle) in [
+            ("", "JSON object"),
+            ("[1]", "JSON object"),
+            ("{\"a\":1", "expected ','"),
+            ("{\"a\" 1}", "expected ':'"),
+            ("{a:1}", "quoted key"),
+            ("{\"a\":1}{", "trailing"),
+            ("{\"a\":1,\"a\":2}", "duplicate key"),
+            ("{\"a\":nul}", "unknown literal"),
+            ("{\"a\":-1}", "unsigned integer"),
+            ("{\"a\":1.5}", "unsigned integer"),
+            ("{\"a\":\"x}", "unterminated"),
+        ] {
+            let err = parse_object(body).unwrap_err();
+            assert!(err.contains(needle), "{body:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn array_helper_joins() {
+        assert_eq!(json_array(Vec::new()), "[]");
+        assert_eq!(
+            json_array(vec!["1".to_string(), "\"x\"".to_string()]),
+            "[1,\"x\"]"
+        );
+    }
+}

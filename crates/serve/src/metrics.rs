@@ -1,0 +1,228 @@
+//! Deterministic text metrics for `GET /metrics`.
+//!
+//! Prometheus-style exposition, rendered from `BTreeMap`s and a fixed
+//! bucket ladder so two snapshots of the same counter state produce the
+//! same bytes — the smoke test greps this page. Counters are updated
+//! with short lock holds (request recording) or plain atomics (sheds,
+//! panics); the expensive pipeline work never runs under these locks.
+
+use crate::api::Endpoint;
+use crate::cache::CacheStats;
+use oiso_sim::MemoStats;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Upper bounds (milliseconds) of the latency histogram buckets; the
+/// final implicit bucket is `+Inf`.
+pub const LATENCY_BUCKETS_MS: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+];
+
+#[derive(Default)]
+struct Histogram {
+    /// One count per entry of [`LATENCY_BUCKETS_MS`] plus `+Inf`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ms: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, ms: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; LATENCY_BUCKETS_MS.len() + 1];
+        }
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&le| ms <= le)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ms += ms;
+    }
+}
+
+/// Request counters, latency histograms, and overload/panic tallies.
+#[derive(Default)]
+pub struct Metrics {
+    /// `(endpoint label, status)` → request count.
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// endpoint label → latency histogram.
+    latency: Mutex<BTreeMap<&'static str, Histogram>>,
+    shed: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("shed", &self.shed.load(Ordering::Relaxed))
+            .field("panics", &self.panics.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one completed request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, elapsed_ms: u64) {
+        self.record_for_label(endpoint.label(), status, elapsed_ms);
+    }
+
+    /// [`Metrics::record`] for requests that never resolved to an
+    /// endpoint — the server labels unreadable requests `"invalid"` and
+    /// unroutable ones `"other"`.
+    pub fn record_for_label(&self, label: &'static str, status: u16, elapsed_ms: u64) {
+        *self
+            .requests
+            .lock()
+            .expect("metrics lock")
+            .entry((label, status))
+            .or_insert(0) += 1;
+        self.latency
+            .lock()
+            .expect("metrics lock")
+            .entry(label)
+            .or_default()
+            .observe(elapsed_ms);
+    }
+
+    /// Records a connection shed because the queue was full.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request handler panic (caught; worker survived).
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests shed so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Renders the full `/metrics` page. `queue_depth` is sampled by the
+    /// caller (the server owns the queue), as are the cache and sim-memo
+    /// snapshots.
+    pub fn render(
+        &self,
+        cache: &CacheStats,
+        memo: &MemoStats,
+        queue_depth: usize,
+    ) -> String {
+        let mut out = String::new();
+        out.push_str("# oiso-serve metrics (deterministic text exposition)\n");
+        for (&(endpoint, status), &count) in
+            self.requests.lock().expect("metrics lock").iter()
+        {
+            let _ = writeln!(
+                out,
+                "oiso_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}"
+            );
+        }
+        for (&endpoint, hist) in self.latency.lock().expect("metrics lock").iter() {
+            let mut cumulative = 0;
+            for (i, &bucket) in hist.buckets.iter().enumerate() {
+                cumulative += bucket;
+                let le = LATENCY_BUCKETS_MS
+                    .get(i)
+                    .map(|ms| ms.to_string())
+                    .unwrap_or_else(|| "+Inf".to_string());
+                let _ = writeln!(
+                    out,
+                    "oiso_request_latency_ms_bucket{{endpoint=\"{endpoint}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "oiso_request_latency_ms_count{{endpoint=\"{endpoint}\"}} {}",
+                hist.count
+            );
+            let _ = writeln!(
+                out,
+                "oiso_request_latency_ms_sum{{endpoint=\"{endpoint}\"}} {}",
+                hist.sum_ms
+            );
+        }
+        let _ = writeln!(out, "oiso_cache_hits_total {}", cache.hits);
+        let _ = writeln!(out, "oiso_cache_misses_total {}", cache.misses);
+        let _ = writeln!(out, "oiso_cache_evictions_total {}", cache.evictions);
+        let _ = writeln!(out, "oiso_cache_entries {}", cache.entries);
+        let _ = writeln!(out, "oiso_memo_hits_total {}", memo.hits);
+        let _ = writeln!(out, "oiso_memo_misses_total {}", memo.misses);
+        let _ = writeln!(out, "oiso_memo_evictions_total {}", memo.evictions);
+        let _ = writeln!(out, "oiso_memo_entries {}", memo.entries);
+        let _ = writeln!(out, "oiso_queue_depth {queue_depth}");
+        let _ = writeln!(out, "oiso_shed_total {}", self.shed.load(Ordering::Relaxed));
+        let _ = writeln!(
+            out,
+            "oiso_panics_total {}",
+            self.panics.load(Ordering::Relaxed)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memo_stats() -> MemoStats {
+        MemoStats {
+            entries: 2,
+            capacity: Some(8),
+            hits: 3,
+            misses: 2,
+            evictions: 0,
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let metrics = Metrics::new();
+        metrics.record(Endpoint::Isolate, 200, 12);
+        metrics.record(Endpoint::Isolate, 200, 3);
+        metrics.record(Endpoint::Lint, 400, 0);
+        metrics.record_shed();
+        let cache = CacheStats {
+            hits: 7,
+            misses: 1,
+            evictions: 0,
+            entries: 1,
+        };
+        let a = metrics.render(&cache, &memo_stats(), 4);
+        let b = metrics.render(&cache, &memo_stats(), 4);
+        assert_eq!(a, b, "two renders of the same state are byte-identical");
+        assert!(a.contains("oiso_requests_total{endpoint=\"isolate\",status=\"200\"} 2"));
+        assert!(a.contains("oiso_requests_total{endpoint=\"lint\",status=\"400\"} 1"));
+        assert!(a.contains("oiso_request_latency_ms_bucket{endpoint=\"isolate\",le=\"5\"} 1"));
+        assert!(a.contains("oiso_request_latency_ms_bucket{endpoint=\"isolate\",le=\"+Inf\"} 2"));
+        assert!(a.contains("oiso_request_latency_ms_count{endpoint=\"isolate\"} 2"));
+        assert!(a.contains("oiso_request_latency_ms_sum{endpoint=\"isolate\"} 15"));
+        assert!(a.contains("oiso_cache_hits_total 7"));
+        assert!(a.contains("oiso_memo_misses_total 2"));
+        assert!(a.contains("oiso_queue_depth 4"));
+        assert!(a.contains("oiso_shed_total 1"));
+        assert!(a.contains("oiso_panics_total 0"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let metrics = Metrics::new();
+        for ms in [0, 1, 2, 30, 20_000] {
+            metrics.record(Endpoint::Simulate, 200, ms);
+        }
+        let page = metrics.render(&CacheStats::default(), &memo_stats(), 0);
+        assert!(page.contains("{endpoint=\"simulate\",le=\"1\"} 2"));
+        assert!(page.contains("{endpoint=\"simulate\",le=\"2\"} 3"));
+        assert!(page.contains("{endpoint=\"simulate\",le=\"50\"} 4"));
+        assert!(page.contains("{endpoint=\"simulate\",le=\"10000\"} 4"));
+        assert!(page.contains("{endpoint=\"simulate\",le=\"+Inf\"} 5"));
+    }
+}

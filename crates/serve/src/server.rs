@@ -1,0 +1,314 @@
+//! The daemon: acceptor → bounded queue → worker pool.
+//!
+//! One acceptor thread owns the (non-blocking) listener and feeds
+//! accepted connections into an [`oiso_par::queue`] bounded channel; a
+//! full queue is answered immediately with `503` + `Retry-After`
+//! (load shedding) rather than buffering without bound. `--threads`
+//! workers drain the queue; each request runs under `catch_unwind`, so
+//! a panicking handler produces a structured `500` and the worker
+//! lives on — the same fault-isolation discipline as
+//! [`oiso_par::parallel_map_isolated`], applied to connections.
+//!
+//! Shutdown is cooperative: latching the shutdown flag (SIGTERM /
+//! ctrl-c via [`crate::signal`], or [`ServerHandle::shutdown`]) makes
+//! the acceptor stop accepting and drop its queue sender; the closed
+//! queue lets the workers finish every already-accepted connection and
+//! exit, and [`ServerHandle::shutdown`] joins them all before
+//! returning the final metrics page.
+
+use crate::api::{ApiRequest, Endpoint};
+use crate::cache::{CacheRole, ResultCache};
+use crate::error::ApiError;
+use crate::http::{Request, Response};
+use crate::json::JsonObj;
+use crate::metrics::Metrics;
+use crate::{signal, ServeConfig};
+use oiso_par::queue::{bounded, Receiver, TrySendError};
+use oiso_par::{panic_payload_text, resolve_threads};
+use oiso_sim::SimMemo;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// How long a worker waits for a slow client before giving up on the
+/// read with `408`.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Everything the acceptor, workers, and handle share.
+struct Shared {
+    config: ServeConfig,
+    cache: ResultCache,
+    metrics: Metrics,
+    memo: SimMemo,
+    /// Local latch ORed with the process-wide [`signal`] latch, so both
+    /// programmatic shutdown and SIGTERM drive the same drain path.
+    stop: AtomicBool,
+    /// A receiver kept only for depth sampling on `/metrics`.
+    depth: Receiver<TcpStream>,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    fn metrics_page(&self) -> String {
+        self.metrics
+            .render(&self.cache.stats(), &self.memo.stats(), self.depth.len())
+    }
+}
+
+/// Constructor namespace for the daemon (see [`Server::spawn`]).
+pub struct Server;
+
+impl Server {
+    /// Binds `127.0.0.1:port` (`port = 0` for an ephemeral port) and
+    /// starts the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Only for bind failures; everything after the bind is reported
+    /// per-request, not here.
+    pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = resolve_threads(config.threads);
+        let (sender, receiver) = bounded::<TcpStream>(config.queue_cap);
+        let shared = Arc::new(Shared {
+            cache: ResultCache::new(config.cache_cap),
+            metrics: Metrics::new(),
+            memo: SimMemo::with_capacity(config.memo_cap),
+            stop: AtomicBool::new(false),
+            depth: receiver.clone(),
+            config,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("oiso-serve-acceptor".into())
+                .spawn(move || {
+                    // `sender` moves in here; dropping it on exit closes
+                    // the queue and releases the workers.
+                    let sender = sender;
+                    while !shared.stopping() {
+                        match listener.accept() {
+                            Ok((stream, _)) => match sender.try_send(stream) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(stream)) => {
+                                    shared.metrics.record_shed();
+                                    reject(stream, ApiError::overloaded());
+                                }
+                                Err(TrySendError::Closed(stream)) => {
+                                    reject(stream, ApiError::shutting_down());
+                                }
+                            },
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            // Transient accept errors (ECONNABORTED etc.)
+                            // affect one connection, not the daemon.
+                            Err(_) => {}
+                        }
+                    }
+                })?
+        };
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let receiver = receiver.clone();
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("oiso-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = receiver.recv() {
+                            handle_connection(stream, &shared);
+                        }
+                    })?,
+            );
+        }
+        drop(receiver);
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor,
+            workers: worker_handles,
+        })
+    }
+}
+
+/// A running daemon: its address and the means to drain it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (ephemeral ports resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current metrics page (what `GET /metrics` serves).
+    pub fn metrics_page(&self) -> String {
+        self.shared.metrics_page()
+    }
+
+    /// Stops accepting, drains every queued and in-flight request to
+    /// completion, joins all threads, and returns the final metrics
+    /// page.
+    pub fn shutdown(self) -> String {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Acceptor exits its poll loop and drops the only sender; the
+        // closed queue releases the workers once it is drained.
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        self.shared.metrics_page()
+    }
+}
+
+/// Best-effort error reply from the acceptor thread (shedding path):
+/// the client gets the structured 503 without occupying queue space.
+fn reject(mut stream: TcpStream, error: ApiError) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = error.to_response().write_to(&mut stream);
+    // Drain the unread request until the client hangs up (bounded by
+    // the read timeout): closing a socket with unread inbound data
+    // RSTs the connection, which would destroy the 503 in flight.
+    let mut discard = [0u8; 4096];
+    for _ in 0..64 {
+        match std::io::Read::read(&mut stream, &mut discard) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// One connection, end to end: read, route, execute (under
+/// `catch_unwind`), respond, record.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let start = Instant::now();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "-".to_string());
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+
+    let (label, method, path, response, role) =
+        match Request::read(&mut stream, shared.config.max_body) {
+            Err(e) => ("invalid", "-".to_string(), "-".to_string(), e.to_response(), None),
+            Ok(req) => {
+                let (label, response, role) = dispatch(&req, shared);
+                (label, req.method, req.path, response, role)
+            }
+        };
+
+    let mut response = response;
+    if let Some(role) = role {
+        response
+            .extra_headers
+            .push(("X-Oiso-Cache".to_string(), role.label().to_string()));
+    }
+    let write_ok = response.write_to(&mut stream).is_ok();
+    let elapsed_ms = start.elapsed().as_millis() as u64;
+    shared.metrics.record_for_label(label, response.status, elapsed_ms);
+    if shared.config.log {
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut line = JsonObj::new();
+        line.int("ts_ms", ts)
+            .str("peer", &peer)
+            .str("method", &method)
+            .str("path", &path)
+            .str("endpoint", label)
+            .int("status", u64::from(response.status))
+            .int("ms", elapsed_ms)
+            .str("cache", role.map_or("-", CacheRole::label))
+            .bool("write_ok", write_ok);
+        println!("{}", line.finish());
+    }
+}
+
+/// Routes and executes one parsed request. Returns the metrics label,
+/// the response, and how the result cache was involved (POST only).
+fn dispatch(req: &Request, shared: &Shared) -> (&'static str, Response, Option<CacheRole>) {
+    let endpoint = match Endpoint::route(&req.method, &req.path) {
+        Ok(endpoint) => endpoint,
+        Err(e) => return ("other", e.to_response(), None),
+    };
+    match endpoint {
+        Endpoint::Healthz => (endpoint.label(), Response::text(200, "ok\n"), None),
+        Endpoint::Metrics => (
+            endpoint.label(),
+            Response::text(200, shared.metrics_page()),
+            None,
+        ),
+        _ => {
+            let parsed = match ApiRequest::parse(endpoint, req) {
+                Ok(parsed) => parsed,
+                Err(e) => return (endpoint.label(), e.to_response(), None),
+            };
+            // The pipeline (and the single-flight cache around it) is
+            // the only part that can panic; everything it touches is
+            // either owned or poison-tolerant, so AssertUnwindSafe is
+            // sound — a poisoned request is reported and dropped.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match parsed.cache_key() {
+                    Some(key) => shared
+                        .cache
+                        .get_or_compute(key, || parsed.execute(&shared.memo)),
+                    None => (parsed.execute(&shared.memo), CacheRole::Bypass),
+                }
+            }));
+            match outcome {
+                Ok((response, role)) => (endpoint.label(), response, Some(role)),
+                Err(payload) => {
+                    shared.metrics.record_panic();
+                    (
+                        endpoint.label(),
+                        ApiError::internal_panic(panic_payload_text(&payload)).to_response(),
+                        None,
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Runs the daemon in the foreground: install signal handlers, serve
+/// until SIGTERM / ctrl-c, drain, and flush the final metrics page to
+/// stdout. This is `oiso serve`.
+///
+/// # Errors
+///
+/// A human-readable message if the listener cannot bind.
+pub fn run_daemon(config: ServeConfig) -> Result<(), String> {
+    signal::install();
+    let threads = resolve_threads(config.threads);
+    let handle = Server::spawn(config)
+        .map_err(|e| format!("cannot bind the listener: {e}"))?;
+    println!(
+        "oiso-serve listening on http://{} ({} worker thread(s))",
+        handle.addr(),
+        threads
+    );
+    while !signal::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("oiso-serve: shutdown requested; draining in-flight requests");
+    let final_metrics = handle.shutdown();
+    println!("oiso-serve: final metrics\n{final_metrics}");
+    Ok(())
+}

@@ -31,7 +31,7 @@ use crate::stimulus::StimulusPlan;
 use crate::testbench::{SimError, Testbench};
 use oiso_netlist::Netlist;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cache key: everything that determines a simulation's per-net statistics.
@@ -73,6 +73,11 @@ struct MemoInner {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Mirror of `state.map.len()`, maintained under the state lock but
+    /// readable without it, so [`SimMemo::stats`] is a cheap atomic
+    /// snapshot (a metrics endpoint polling it never contends with a
+    /// simulation inserting a report).
+    entries: AtomicUsize,
 }
 
 /// A point-in-time snapshot of a [`SimMemo`]'s counters.
@@ -155,6 +160,7 @@ impl SimMemo {
                 self.inner.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
+        self.inner.entries.store(state.map.len(), Ordering::Relaxed);
     }
 
     /// Runs (or replays) an unmonitored simulation of `netlist` under
@@ -175,13 +181,42 @@ impl SimMemo {
         plan: &StimulusPlan,
         cycles: u64,
     ) -> Result<Arc<SimReport>, SimError> {
+        self.get_or_insert_with(netlist, plan, cycles, || {
+            Testbench::from_plan(netlist, plan)?.run(cycles)
+        })
+    }
+
+    /// Entry API: returns the cached report for `(netlist, plan, cycles)`,
+    /// or runs `compute` on a miss and caches its report.
+    ///
+    /// This is [`SimMemo::run`] with the simulation factored out — use it
+    /// when the caller builds the report itself (a custom testbench, a
+    /// replay, a mock in tests). The counters account the call exactly
+    /// like `run`: cache hit or one miss. Errors from `compute` propagate
+    /// and are never cached. Two threads missing the same key concurrently
+    /// both compute (producing bit-identical reports for a deterministic
+    /// `compute`); one insert wins.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns.
+    pub fn get_or_insert_with<F>(
+        &self,
+        netlist: &Netlist,
+        plan: &StimulusPlan,
+        cycles: u64,
+        compute: F,
+    ) -> Result<Arc<SimReport>, SimError>
+    where
+        F: FnOnce() -> Result<SimReport, SimError>,
+    {
         let key = (netlist.fingerprint(), plan.fingerprint(), cycles);
         if let Some(report) = self.inner.state.lock().unwrap().map.get(&key) {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(report));
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
-        let report = Arc::new(Testbench::from_plan(netlist, plan)?.run(cycles)?);
+        let report = Arc::new(compute()?);
         self.insert(key, &report);
         Ok(report)
     }
@@ -217,9 +252,15 @@ impl SimMemo {
     }
 
     /// Snapshot of the cache size and traffic counters.
+    ///
+    /// Reads only atomics — it never takes the cache lock, so a metrics
+    /// endpoint can poll it at any rate without stalling simulations. The
+    /// fields are individually coherent but not a single consistent cut
+    /// (a concurrent insert may be half-reflected), which is fine for
+    /// monitoring.
     pub fn stats(&self) -> MemoStats {
         MemoStats {
-            entries: self.inner.state.lock().unwrap().map.len(),
+            entries: self.inner.entries.load(Ordering::Relaxed),
             capacity: self.inner.capacity,
             hits: self.hits(),
             misses: self.misses(),
@@ -359,6 +400,61 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("1 cached report(s) (cap 8)"), "{text}");
         assert!(text.contains("1 hit(s) / 1 miss(es)"), "{text}");
+    }
+
+    #[test]
+    fn get_or_insert_with_runs_compute_only_on_miss() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::new();
+        let mut computed = 0u32;
+        let direct = Testbench::from_plan(&n, &p).unwrap().run(500).unwrap();
+        for _ in 0..3 {
+            let report = memo
+                .get_or_insert_with(&n, &p, 500, || {
+                    computed += 1;
+                    Testbench::from_plan(&n, &p)?.run(500)
+                })
+                .unwrap();
+            let s = n.find_net("s").unwrap();
+            assert_eq!(report.toggle_count(s), direct.toggle_count(s));
+        }
+        assert_eq!(computed, 1, "only the first call simulates");
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.hits(), 2);
+    }
+
+    #[test]
+    fn get_or_insert_with_propagates_and_never_caches_errors() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::new();
+        for _ in 0..2 {
+            let err = memo.get_or_insert_with(&n, &p, 500, || {
+                // A failing compute: reuse a real SimError from a bad plan.
+                let missing = StimulusPlan::new(0).drive("x", StimulusSpec::UniformRandom);
+                Testbench::from_plan(&n, &missing)?.run(500)
+            });
+            assert!(err.is_err());
+        }
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.stats().entries, 0);
+    }
+
+    #[test]
+    fn stats_entries_tracks_inserts_and_evictions() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::with_capacity(2);
+        assert_eq!(memo.stats().entries, 0);
+        memo.run(&n, &p, 100).unwrap();
+        assert_eq!(memo.stats().entries, 1);
+        memo.run(&n, &p, 200).unwrap();
+        memo.run(&n, &p, 300).unwrap();
+        let stats = memo.stats();
+        assert_eq!(stats.entries, 2, "capped at 2 after eviction");
+        assert_eq!(stats.evictions, 1);
     }
 
     #[test]

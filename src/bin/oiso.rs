@@ -18,6 +18,8 @@
 //!                 [--sabotage force-false|negate]    # random transform fuzzing
 //! oiso lint       [<design.oiso>...] [--bundled] [--deny CODE|error|warn|info]
 //!                 [--format text|json|sarif] [--lookahead] [--budget N]
+//! oiso serve      [--port P] [--threads T] [--cache-cap N] [--queue-cap N]
+//!                 [--memo-cap N] [--max-body BYTES] [--quiet]
 //! ```
 //!
 //! Design files use the text format documented in
@@ -27,6 +29,12 @@
 //! code such as `OL003`, or a severity threshold: `error`, `warn`, `info`).
 //! `lint --bundled` additionally checks every bundled benchmark design —
 //! the CI lint gate runs `oiso lint --bundled --deny error --format sarif`.
+//!
+//! `serve` runs the whole pipeline as a resident HTTP/1.1 daemon on
+//! `127.0.0.1` — `POST /v1/{isolate,lint,verify,simulate}` with a JSON
+//! body (or raw `.oiso` text), `GET /healthz` and `GET /metrics` — with a
+//! fingerprint-keyed result cache, bounded-queue load shedding, and
+//! graceful SIGTERM/ctrl-c drain; see [`operand_isolation::serve`].
 //!
 //! Fault tolerance: `--deadline` stops a long `isolate`/`fuzz` run at the
 //! next cooperative check and returns the best-so-far result labeled
@@ -93,6 +101,12 @@ struct Options {
     bundled: bool,
     deny: Vec<String>,
     format: String,
+    port: u16,
+    cache_cap: usize,
+    queue_cap: usize,
+    memo_cap: usize,
+    max_body: usize,
+    quiet: bool,
 }
 
 const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize|verify> <design.oiso> \
@@ -112,7 +126,11 @@ const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize|veri
                      \u{20}      oiso lint [<design.oiso>...] [--bundled] \
                      [--deny CODE|error|warn|info] [--format text|json|sarif] \
                      [--lookahead] [--budget N]\n\
-                     --deny is repeatable; any matching finding makes lint exit nonzero";
+                     --deny is repeatable; any matching finding makes lint exit nonzero\n\
+                     \u{20}      oiso serve [--port P] [--threads T] [--cache-cap N] \
+                     [--queue-cap N] [--memo-cap N] [--max-body BYTES] [--quiet]\n\
+                     serve exposes the pipeline as an HTTP daemon on 127.0.0.1 (port 0 = \
+                     ephemeral); --quiet suppresses the JSON access log";
 
 fn parse_options() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
@@ -120,9 +138,10 @@ fn parse_options() -> Result<Options, String> {
     if command == "--help" || command == "-h" {
         return Err(USAGE.to_string());
     }
-    // `fuzz` generates its own designs and `lint` takes any number of
-    // files (parsed below); every other command reads exactly one.
-    let file = if command == "fuzz" || command == "lint" {
+    // `fuzz` generates its own designs, `serve` reads designs per
+    // request, and `lint` takes any number of files (parsed below);
+    // every other command reads exactly one.
+    let file = if command == "fuzz" || command == "lint" || command == "serve" {
         String::new()
     } else {
         args.next().ok_or(USAGE)?
@@ -153,6 +172,12 @@ fn parse_options() -> Result<Options, String> {
         bundled: false,
         deny: Vec::new(),
         format: "text".to_string(),
+        port: 0,
+        cache_cap: 128,
+        queue_cap: 64,
+        memo_cap: 1024,
+        max_body: 1 << 20,
+        quiet: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -259,6 +284,42 @@ fn parse_options() -> Result<Options, String> {
             }
             "--dot" => opts.dot = Some(args.next().ok_or("--dot needs a path")?),
             "--bundled" => opts.bundled = true,
+            "--port" => {
+                opts.port = args
+                    .next()
+                    .ok_or("--port needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --port: {e}"))?;
+            }
+            "--cache-cap" => {
+                opts.cache_cap = args
+                    .next()
+                    .ok_or("--cache-cap needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-cap: {e}"))?;
+            }
+            "--queue-cap" => {
+                opts.queue_cap = args
+                    .next()
+                    .ok_or("--queue-cap needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-cap: {e}"))?;
+            }
+            "--memo-cap" => {
+                opts.memo_cap = args
+                    .next()
+                    .ok_or("--memo-cap needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --memo-cap: {e}"))?;
+            }
+            "--max-body" => {
+                opts.max_body = args
+                    .next()
+                    .ok_or("--max-body needs a byte count")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-body: {e}"))?;
+            }
+            "--quiet" => opts.quiet = true,
             "--deny" => opts
                 .deny
                 .push(args.next().ok_or("--deny needs a rule code or severity")?),
@@ -299,6 +360,17 @@ fn run() -> Result<(), String> {
     }
     if opts.command == "lint" {
         return lint_command(&opts);
+    }
+    if opts.command == "serve" {
+        return operand_isolation::serve::run_daemon(operand_isolation::serve::ServeConfig {
+            port: opts.port,
+            threads: opts.threads,
+            cache_cap: opts.cache_cap,
+            queue_cap: opts.queue_cap,
+            memo_cap: opts.memo_cap,
+            max_body: opts.max_body,
+            log: !opts.quiet,
+        });
     }
     let design = load(&opts.file)?;
     let netlist = &design.netlist;
@@ -522,29 +594,20 @@ fn run() -> Result<(), String> {
 }
 
 fn lint_command(opts: &Options) -> Result<(), String> {
-    use operand_isolation::designs::{
-        alu_ctrl, busnet, design1, design2, figure1, fir, pipeline, soc,
-    };
+    use operand_isolation::designs::{bundled, BUNDLED_NAMES};
     use operand_isolation::lint::{lint_netlist, render_json, render_sarif, render_text, LintOptions};
 
     // Work list: (artifact uri for SARIF, netlist). Files first, in the
-    // order given; then the bundled benchmark designs.
+    // order given; then the bundled benchmark designs from the shared
+    // registry (the same one behind the serve API's `{"design": name}`).
     let mut inputs: Vec<(Option<String>, operand_isolation::netlist::Netlist)> = Vec::new();
     for path in &opts.lint_files {
         inputs.push((Some(path.clone()), load(path)?.netlist));
     }
     if opts.bundled {
-        for netlist in [
-            figure1::build().netlist,
-            design1::build(&design1::Design1Params::default()).netlist,
-            design2::build(&design2::Design2Params::default()).netlist,
-            alu_ctrl::build(&alu_ctrl::AluParams::default()).netlist,
-            fir::build(&fir::FirParams::default()).netlist,
-            busnet::build(&busnet::BusParams::default()).netlist,
-            pipeline::build(&pipeline::PipelineParams::default()).netlist,
-            soc::build(&soc::SocParams::default()).netlist,
-        ] {
-            inputs.push((None, netlist));
+        for name in BUNDLED_NAMES {
+            let design = bundled(name).expect("registry names build their designs");
+            inputs.push((None, design.netlist));
         }
     }
     if inputs.is_empty() {

@@ -60,3 +60,6 @@ pub use oiso_verify as verify;
 
 /// Netlist static analysis and lint (isolation-soundness rules).
 pub use oiso_lint as lint;
+
+/// Isolation-as-a-service: the `oiso serve` HTTP daemon.
+pub use oiso_serve as serve;

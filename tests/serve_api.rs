@@ -1,0 +1,235 @@
+//! API-contract tests for the serve daemon: golden-pinned success
+//! bodies for every endpoint, and the structured error taxonomy
+//! (malformed HTTP, malformed JSON, oversize payloads, unknown
+//! endpoints/designs/fields, deadline truncation).
+//!
+//! Every test drives a real daemon over real TCP on an ephemeral port
+//! via `serve::testing::Client` — no fixed ports, no fixtures.
+//!
+//! Regenerate goldens with `UPDATE_GOLDEN=1 cargo test --test serve_api`.
+
+use operand_isolation::serve::testing::Client;
+use operand_isolation::serve::{ServeConfig, Server, ServerHandle};
+use std::path::PathBuf;
+
+fn spawn(config: ServeConfig) -> (ServerHandle, Client) {
+    let handle = Server::spawn(config).expect("bind an ephemeral port");
+    let client = Client::new(handle.addr());
+    (handle, client)
+}
+
+fn quiet_config() -> ServeConfig {
+    ServeConfig {
+        log: false,
+        ..ServeConfig::default()
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name}: {e}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected, actual,
+        "golden {name} diverged; run with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn every_endpoint_body_is_pinned() {
+    let (handle, client) = spawn(quiet_config());
+    let cases = [
+        (
+            "serve_isolate.json",
+            "/v1/isolate",
+            "{\"design\":\"figure1\",\"style\":\"and\",\"cycles\":300}",
+        ),
+        (
+            "serve_lint.json",
+            "/v1/lint",
+            "{\"design\":\"figure1\"}",
+        ),
+        (
+            "serve_verify.json",
+            "/v1/verify",
+            "{\"design\":\"figure1\",\"style\":\"and\"}",
+        ),
+        (
+            "serve_simulate.json",
+            "/v1/simulate",
+            "{\"design\":\"figure1\",\"cycles\":200}",
+        ),
+    ];
+    for (golden, path, body) in cases {
+        let resp = client.post(path, body);
+        assert_eq!(resp.status, 200, "{path}: {}", resp.text());
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert!(resp.text().ends_with('\n'), "{path}: newline-terminated");
+        check_golden(golden, resp.text());
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let (handle, client) = spawn(quiet_config());
+    let health = client.get("/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), "ok\n");
+
+    client.post("/v1/simulate", "{\"design\":\"figure1\",\"cycles\":200}");
+    let metrics = client.get("/metrics");
+    assert_eq!(metrics.status, 200);
+    let page = metrics.text();
+    assert!(
+        page.contains("oiso_requests_total{endpoint=\"simulate\",status=\"200\"} 1"),
+        "{page}"
+    );
+    assert!(
+        page.contains("oiso_requests_total{endpoint=\"healthz\",status=\"200\"} 1"),
+        "{page}"
+    );
+    assert!(page.contains("oiso_cache_misses_total 1"), "{page}");
+    assert!(page.contains("oiso_queue_depth "), "{page}");
+    assert!(
+        page.contains("oiso_request_latency_ms_bucket{endpoint=\"simulate\",le=\"+Inf\"} 1"),
+        "{page}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn error_taxonomy_is_structured_and_stable() {
+    let (handle, client) = spawn(quiet_config());
+    // (status, code, path, body)
+    let cases: &[(u16, &str, &str, &str)] = &[
+        (400, "bad_json", "/v1/isolate", "{\"design\""),
+        (400, "bad_json", "/v1/isolate", ""),
+        (400, "bad_field", "/v1/isolate", "{}"),
+        (
+            400,
+            "bad_field",
+            "/v1/isolate",
+            "{\"design\":\"figure1\",\"style\":\"nand\"}",
+        ),
+        (
+            400,
+            "unknown_field",
+            "/v1/isolate",
+            "{\"design\":\"figure1\",\"bogus\":1}",
+        ),
+        (400, "unknown_design", "/v1/isolate", "{\"design\":\"nope\"}"),
+        (400, "bad_design", "/v1/isolate", "not an oiso design"),
+        (404, "not_found", "/v1/nope", "{}"),
+        (404, "not_found", "/", ""),
+    ];
+    for &(status, code, path, body) in cases {
+        let resp = client.post(path, body);
+        assert_eq!(resp.status, status, "{path} {body:?}: {}", resp.text());
+        assert!(
+            resp.text()
+                .starts_with(&format!("{{\"error\":{{\"code\":\"{code}\"")),
+            "{path} {body:?}: {}",
+            resp.text()
+        );
+    }
+
+    // Wrong method on a known path.
+    let resp = client.get("/v1/isolate");
+    assert_eq!(resp.status, 405);
+    assert!(resp.text().contains("\"method_not_allowed\""), "{}", resp.text());
+    let resp = client.post("/metrics", "{}");
+    assert_eq!(resp.status, 405);
+
+    // A bad deadline header.
+    let resp = client.request(
+        "POST",
+        "/v1/isolate",
+        &[("X-Oiso-Deadline-Ms", "soon")],
+        b"{\"design\":\"figure1\"}",
+    );
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("\"bad_deadline\""), "{}", resp.text());
+
+    // Raw garbage that is not even HTTP.
+    let resp = client.send_raw(b"NONSENSE\r\n\r\n");
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("\"bad_request\""), "{}", resp.text());
+    handle.shutdown();
+}
+
+#[test]
+fn oversize_payloads_get_413_without_being_read() {
+    let config = ServeConfig {
+        max_body: 256,
+        ..quiet_config()
+    };
+    let (handle, client) = spawn(config);
+    let big = format!(
+        "{{\"design\":\"figure1\",\"source\":\"{}\"}}",
+        "x".repeat(1024)
+    );
+    let resp = client.post("/v1/isolate", &big);
+    assert_eq!(resp.status, 413, "{}", resp.text());
+    assert!(resp.text().contains("\"payload_too_large\""), "{}", resp.text());
+    // A request under the cap still works on the same daemon.
+    let resp = client.post("/v1/simulate", "{\"design\":\"figure1\",\"cycles\":200}");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    handle.shutdown();
+}
+
+#[test]
+fn raw_oiso_bodies_run_with_default_config() {
+    use operand_isolation::designs::{figure1, textfmt};
+    let (handle, client) = spawn(quiet_config());
+    let source = textfmt::emit(&figure1::build());
+    let resp = client.post("/v1/simulate", &source);
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(resp.text().contains("\"design\":\"inline\""), "{}", resp.text());
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_isolate_degrades_to_truncated_not_a_hang() {
+    let (handle, client) = spawn(quiet_config());
+    // A 1 ms deadline cannot finish Algorithm 1; the response must still
+    // be a well-formed 200 labeled truncated, served outside the cache.
+    let resp = client.post_with_deadline(
+        "/v1/isolate",
+        "{\"design\":\"design1\",\"cycles\":2000}",
+        1,
+    );
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(resp.text().contains("\"truncated\":true"), "{}", resp.text());
+    assert_eq!(resp.header("x-oiso-cache"), Some("bypass"));
+
+    // The same request without a deadline is cached normally.
+    let resp = client.post("/v1/isolate", "{\"design\":\"figure1\",\"cycles\":300}");
+    assert_eq!(resp.header("x-oiso-cache"), Some("miss"));
+    let resp = client.post("/v1/isolate", "{\"design\":\"figure1\",\"cycles\":300}");
+    assert_eq!(resp.header("x-oiso-cache"), Some("hit"));
+    handle.shutdown();
+}
+
+#[test]
+fn cached_responses_are_byte_identical_to_fresh_ones() {
+    let (handle, client) = spawn(quiet_config());
+    let body = "{\"design\":\"figure1\",\"style\":\"latch\",\"cycles\":300}";
+    let fresh = client.post("/v1/isolate", body);
+    let cached = client.post("/v1/isolate", body);
+    assert_eq!(fresh.status, 200);
+    assert_eq!(fresh.body, cached.body, "hit serves the miss's exact bytes");
+    assert_eq!(fresh.header("x-oiso-cache"), Some("miss"));
+    assert_eq!(cached.header("x-oiso-cache"), Some("hit"));
+    handle.shutdown();
+}
