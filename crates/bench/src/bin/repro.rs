@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--table1] [--table2] [--figure1] [--sweep] [--styles]
 //!       [--baselines] [--ablation] [--all] [--cycles N] [--quick]
-//!       [--threads N]
+//!       [--threads N] [--engine scalar|packed|compiled]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--quick` shrinks the
@@ -11,10 +11,12 @@
 //! runs of each experiment (sweep grid points, table styles, ablation
 //! arms) across `N` workers — `0` means all cores — with **bit-identical
 //! output at every setting**; the default of 1 is the plain serial path.
+//! `--engine` selects the simulation engine; every engine produces
+//! bit-identical results, so this only changes wall-clock time.
 
 use oiso_bench::json::{self, Json};
 use oiso_bench::{ablation, baselines, styles, sweep, tables, DEFAULT_CYCLES};
-use oiso_core::{derive_activation_functions, ActivationConfig, IsolationConfig};
+use oiso_core::{derive_activation_functions, ActivationConfig, EngineKind, IsolationConfig};
 use oiso_designs::{alu_ctrl, busnet, design1, design2, figure1, fir, soc};
 use std::process::ExitCode;
 
@@ -29,6 +31,7 @@ struct Args {
     extras: bool,
     cycles: u64,
     threads: usize,
+    engine: EngineKind,
     json: Option<String>,
 }
 
@@ -44,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         extras: false,
         cycles: DEFAULT_CYCLES,
         threads: 1,
+        engine: EngineKind::default(),
         json: None,
     };
     let mut any = false;
@@ -77,19 +81,26 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse().map_err(|e| format!("bad --threads: {e}"))?;
             }
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs a value")?;
+                args.engine = v.parse().map_err(|e| format!("bad --engine: {e}"))?;
+            }
             "--json" => {
                 args.json = Some(it.next().ok_or("--json needs a path")?);
             }
             "--help" | "-h" => {
                 return Err("usage: repro [--table1|--table2|--figure1|--sweep|--styles|\
                             --baselines|--ablation|--extras|--all] [--cycles N] [--quick] \
-                            [--threads N]  (N=0 means all cores; results are identical \
-                            at every thread count)"
+                            [--threads N] [--engine scalar|packed|compiled]  (N=0 means all \
+                            cores; results are identical at every thread count and engine)"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
-        if !matches!(arg.as_str(), "--cycles" | "--quick" | "--json" | "--threads") {
+        if !matches!(
+            arg.as_str(),
+            "--cycles" | "--quick" | "--json" | "--threads" | "--engine"
+        ) {
             any = true;
         }
     }
@@ -116,7 +127,8 @@ fn main() -> ExitCode {
     };
     let config = IsolationConfig::default()
         .with_sim_cycles(args.cycles)
-        .with_threads(args.threads);
+        .with_threads(args.threads)
+        .with_engine(args.engine);
     let mut json_out: Vec<(String, Json)> = Vec::new();
 
     if args.figure1 {

@@ -22,7 +22,7 @@ use oiso_boolex::BoolExpr;
 use oiso_netlist::{BuildError, CellId, Netlist};
 use oiso_par::TaskOutcome;
 use oiso_power::{total_area, PowerEstimator};
-use oiso_sim::{SimError, SimMemo, StimulusPlan, Testbench};
+use oiso_sim::{EngineKind, SimError, SimMemo, StimulusPlan, Testbench};
 use oiso_techlib::{OperatingConditions, Power, TechLibrary, Time};
 use oiso_timing::analyze;
 use std::collections::{HashMap, HashSet};
@@ -141,6 +141,13 @@ pub struct IsolationConfig {
     pub static_precheck: bool,
     /// Simulation length per iteration.
     pub sim_cycles: u64,
+    /// Simulation engine executing every run of the optimizer (baseline,
+    /// per-iteration monitored runs, final measurement). All engines are
+    /// bit-identical (the differential suite proves it), so the choice
+    /// affects wall-clock only — it is deliberately excluded from the
+    /// checkpoint fingerprint, and `SimMemo` entries are shared across
+    /// engines. Defaults to the fastest engine.
+    pub engine: EngineKind,
     /// Worker threads for per-candidate savings evaluation inside one
     /// iteration: `1` is the plain serial loop, `0` means all available
     /// cores. Candidate evaluation is a pure function of the iteration's
@@ -183,6 +190,7 @@ impl Default for IsolationConfig {
             fsm_dont_cares: false,
             static_precheck: true,
             sim_cycles: 2000,
+            engine: EngineKind::default(),
             threads: 1,
             library: TechLibrary::generic_250nm(),
             conditions: OperatingConditions::default(),
@@ -222,6 +230,13 @@ impl IsolationConfig {
     /// Sets the per-iteration simulation length.
     pub fn with_sim_cycles(mut self, cycles: u64) -> Self {
         self.sim_cycles = cycles;
+        self
+    }
+
+    /// Selects the simulation engine (results are identical on every
+    /// engine; only wall-clock differs).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -346,7 +361,7 @@ pub fn optimize_with_memo(
     };
 
     // Baseline measurement.
-    let report0 = memo.run(&work, plan, config.sim_cycles)?;
+    let report0 = memo.run_with_engine(&work, plan, config.sim_cycles, config.engine)?;
     let power_before = pe.estimate(&work, &report0).total;
     let area_before = total_area(lib, &work);
     let slack_before = analyze(lib, &work, clock_period).worst_slack;
@@ -493,7 +508,8 @@ pub fn optimize_with_memo(
         // iteration), but deposit their statistics: if the loop terminates
         // without transforming further, the final measurement below replays
         // this report instead of re-simulating.
-        let report = std::sync::Arc::new(tb.run(config.sim_cycles)?);
+        let report =
+            std::sync::Arc::new(tb.run_with_engine(config.sim_cycles, config.engine)?);
         memo.deposit(&work, plan, config.sim_cycles, &report);
         let breakdown = pe.estimate(&work, &report);
         let area_now = total_area(lib, &work);
@@ -616,7 +632,8 @@ pub fn optimize_with_memo(
     // iteration simulated this exact netlist (it terminated without
     // isolating), the memo serves its deposited report back and no
     // simulation runs here.
-    let report_final = memo.run(&work, plan, config.sim_cycles)?;
+    let report_final =
+        memo.run_with_engine(&work, plan, config.sim_cycles, config.engine)?;
     let power_after = pe.estimate(&work, &report_final).total;
     let area_after = total_area(lib, &work);
     let slack_after = analyze(lib, &work, clock_period).worst_slack;

@@ -304,8 +304,10 @@ impl CheckpointWriter {
 ///
 /// Deliberately **excluded**: `threads` (the optimizer is bit-identical at
 /// every thread count, so a checkpoint written at `threads=4` must resume
-/// at `threads=1`) and the run budget / checkpoint paths (resource bounds
-/// only truncate the sequence, never change it).
+/// at `threads=1`), `engine` (every simulation engine produces
+/// bit-identical statistics, so a journal written under one engine must
+/// resume under any other), and the run budget / checkpoint paths
+/// (resource bounds only truncate the sequence, never change it).
 pub fn config_fingerprint(config: &crate::algorithm::IsolationConfig) -> u64 {
     let mut h = Fnv::new();
     h.u64(CHECKPOINT_VERSION);

@@ -85,6 +85,7 @@ pub use algorithm::{
 };
 pub use baseline::{correale_local_isolation, kapadia_enable_gating, BaselineOutcome};
 pub use budget::RunBudget;
+pub use oiso_sim::EngineKind;
 pub use candidates::{identify_candidates, Candidate};
 pub use checkpoint::{
     config_fingerprint, escape_json, parse_flat, AcceptedStep, Checkpoint, CheckpointError,

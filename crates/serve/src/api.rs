@@ -15,6 +15,7 @@
 //! | `lookahead` | bool | `false` | one-cycle activation look-ahead (§5) |
 //! | `budget` | int | `200000` | BDD node budget (verify / lint) |
 //! | `seed` | int | — | stimulus reseed ([`Design::with_seed`]) |
+//! | `engine` | string | `"compiled"` | simulation engine `scalar` / `packed` / `compiled` |
 //!
 //! Unknown fields are rejected with `400 unknown_field` — a typo'd knob
 //! must fail loudly, not silently run with defaults.
@@ -37,7 +38,7 @@ use oiso_core::{
 use oiso_designs::{bundled, textfmt, Design};
 use oiso_lint::{lint_netlist, render_json as render_lint_json, LintOptions, Severity};
 use oiso_power::{total_area, PowerEstimator};
-use oiso_sim::{SimMemo, Testbench};
+use oiso_sim::{EngineKind, SimMemo};
 use oiso_techlib::{OperatingConditions, TechLibrary};
 use oiso_timing::analyze;
 use oiso_verify::{
@@ -116,6 +117,9 @@ pub struct ApiRequest {
     pub budget: usize,
     /// Explicit stimulus seed, if any (part of the cache key).
     pub seed: Option<u64>,
+    /// Simulation engine for isolate/simulate (never part of the cache
+    /// key: engines are bit-identical, so results are interchangeable).
+    pub engine: EngineKind,
     /// Wall deadline from `X-Oiso-Deadline-Ms`.
     pub deadline: Option<Duration>,
 }
@@ -139,6 +143,7 @@ impl ApiRequest {
         let mut lookahead = false;
         let mut budget: usize = 200_000;
         let mut seed: Option<u64> = None;
+        let mut engine = EngineKind::default();
 
         if body.trim_start().starts_with('{') {
             let fields = parse_object(body).map_err(ApiError::bad_json)?;
@@ -151,6 +156,7 @@ impl ApiRequest {
                     "lookahead" => lookahead = bool_field(&key, &value)?,
                     "budget" => budget = int_field(&key, &value)? as usize,
                     "seed" => seed = Some(int_field(&key, &value)?),
+                    "engine" => engine = parse_engine(&str_field(&key, &value)?)?,
                     other => return Err(ApiError::unknown_field(other)),
                 }
             }
@@ -200,6 +206,7 @@ impl ApiRequest {
             lookahead,
             budget,
             seed,
+            engine,
             deadline,
         })
     }
@@ -229,6 +236,8 @@ impl ApiRequest {
         eat(u64::from(self.lookahead));
         eat(self.budget as u64);
         eat(self.seed.map_or(u64::MAX, |s| s));
+        // `engine` is deliberately absent: every engine produces the same
+        // bytes, so a cached scalar result may answer a packed request.
         Some(h)
     }
 
@@ -265,6 +274,7 @@ impl ApiRequest {
             .with_style(self.style)
             .with_sim_cycles(self.cycles)
             .with_threads(1)
+            .with_engine(self.engine)
             .with_budget(run_budget);
         config.activation = self.activation();
         let outcome =
@@ -387,11 +397,11 @@ impl ApiRequest {
     fn simulate(&self, memo: &SimMemo) -> Response {
         let lib = TechLibrary::generic_250nm();
         let cond = OperatingConditions::default();
-        let report = match memo.get_or_insert_with(
+        let report = match memo.run_with_engine(
             &self.design.netlist,
             &self.design.stimuli,
             self.cycles,
-            || Testbench::from_plan(&self.design.netlist, &self.design.stimuli)?.run(self.cycles),
+            self.engine,
         ) {
             Ok(report) => report,
             Err(e) => return ApiError::engine(e.to_string()).to_response(),
@@ -427,6 +437,11 @@ pub fn style_name(style: IsolationStyle) -> &'static str {
         IsolationStyle::Or => "or",
         IsolationStyle::Latch => "latch",
     }
+}
+
+fn parse_engine(raw: &str) -> Result<EngineKind, ApiError> {
+    raw.parse::<EngineKind>()
+        .map_err(|e| ApiError::bad_field(format!("\"engine\": {e}")))
 }
 
 fn parse_style(raw: &str) -> Result<IsolationStyle, ApiError> {
@@ -507,6 +522,8 @@ mod tests {
             ("{\"design\":\"figure1\",\"cycles\":0}", "bad_field"),
             ("{\"design\":\"figure1\",\"cycles\":\"many\"}", "bad_field"),
             ("{\"design\":\"figure1\",\"lookahead\":\"yes\"}", "bad_field"),
+            ("{\"design\":\"figure1\",\"engine\":\"verilog\"}", "bad_field"),
+            ("{\"design\":\"figure1\",\"engine\":7}", "bad_field"),
             ("{\"design\":1}", "bad_field"),
             ("{\"design\"", "bad_json"),
             ("", "bad_json"),
@@ -559,6 +576,35 @@ mod tests {
         assert_ne!(base, key(Endpoint::Isolate, "{\"design\":\"figure1\",\"cycles\":100}"));
         assert_ne!(base, key(Endpoint::Isolate, "{\"design\":\"figure1\",\"seed\":9}"));
         assert_ne!(base, key(Endpoint::Isolate, "{\"design\":\"design1\"}"));
+        // Engines are bit-identical, so the engine choice shares the key.
+        assert_eq!(base, key(Endpoint::Isolate, "{\"design\":\"figure1\",\"engine\":\"scalar\"}"));
+        assert_eq!(base, key(Endpoint::Isolate, "{\"design\":\"figure1\",\"engine\":\"packed\"}"));
+    }
+
+    #[test]
+    fn engine_choice_shares_the_memo_and_the_bytes() {
+        let parse = |engine: &str| {
+            ApiRequest::parse(
+                Endpoint::Simulate,
+                &post(
+                    "/v1/simulate",
+                    &format!("{{\"design\":\"figure1\",\"cycles\":200,\"engine\":\"{engine}\"}}"),
+                ),
+            )
+            .unwrap()
+        };
+        let memo = SimMemo::new();
+        let scalar = parse("scalar").execute(&memo);
+        assert_eq!(scalar.status, 200);
+        assert_eq!(memo.stats().misses, 1);
+        // A packed request is served from the scalar-engine memo entry
+        // and produces byte-identical output.
+        let packed = parse("packed").execute(&memo);
+        assert_eq!(packed.status, 200);
+        assert_eq!(memo.stats().hits, 1);
+        assert_eq!(scalar.body, packed.body);
+        let compiled = parse("compiled").execute(&SimMemo::new());
+        assert_eq!(scalar.body, compiled.body);
     }
 
     #[test]

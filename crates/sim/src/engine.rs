@@ -16,6 +16,112 @@
 use crate::eval::eval_comb_cell;
 use oiso_netlist::{comb_topo_order, CellId, CellKind, NetId, Netlist};
 
+/// Which simulation engine executes a run.
+///
+/// All three engines are proven bit-identical by the differential test
+/// battery (`tests/sim_engine_equivalence.rs`): same netlist + same
+/// stimulus plan produce the same per-net toggle counts, per-bit static
+/// probabilities, waveforms, and monitor statistics on every engine.
+/// Because results are engine-invariant, the engine is deliberately *not*
+/// part of any fingerprint — [`SimMemo`](crate::SimMemo) entries and
+/// checkpoint journals are shared freely across engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// The reference interpreter: walks the netlist graph cell by cell.
+    /// Kept as the oracle the other engines are differentially tested
+    /// against.
+    Scalar,
+    /// Bit-parallel engine: packs up to 64 independent stimulus lanes into
+    /// each `u64` word and evaluates logic cells bitwise across all lanes
+    /// at once (see [`crate::packed`]). Fastest for batch workloads
+    /// ([`simulate_batch`](crate::simulate_batch)); a single-plan run uses
+    /// one lane and is slower than the other engines.
+    Packed,
+    /// Compiled mode: levelizes the netlist once into a flat straight-line
+    /// op tape (pre-resolved indices into the dense value arena) and
+    /// replays the tape each cycle instead of re-walking the graph (see
+    /// [`crate::tape`]). Fastest single-plan engine, hence the default.
+    #[default]
+    Compiled,
+}
+
+impl EngineKind {
+    /// All engines, in oracle-first order (test matrices iterate this).
+    pub const ALL: [EngineKind; 3] =
+        [EngineKind::Scalar, EngineKind::Packed, EngineKind::Compiled];
+
+    /// Stable lowercase name (CLI flags, JSON fields, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::Packed => "packed",
+            EngineKind::Compiled => "compiled",
+        }
+    }
+
+    /// Parses a CLI/JSON engine name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the accepted values on unknown input.
+    pub fn parse(raw: &str) -> Result<EngineKind, String> {
+        match raw {
+            "scalar" => Ok(EngineKind::Scalar),
+            "packed" => Ok(EngineKind::Packed),
+            "compiled" => Ok(EngineKind::Compiled),
+            other => Err(format!(
+                "engine must be scalar|packed|compiled, got {other:?}"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EngineKind::parse(s)
+    }
+}
+
+/// The uniform surface the testbench drives: every engine exposes
+/// per-cycle input application, combinational settling, the clock edge,
+/// and the settled value arena.
+pub(crate) trait SimBackend {
+    /// Sets a primary input for the current cycle (masked to net width).
+    fn set_input(&mut self, net: NetId, value: u64);
+    /// Evaluates all combinational logic for the current cycle.
+    fn settle(&mut self);
+    /// Advances the clock (registers sample D).
+    fn clock_edge(&mut self);
+    /// Settled per-net values, indexed by `NetId::index()`.
+    fn values(&mut self) -> &[u64];
+}
+
+impl SimBackend for Simulator<'_> {
+    fn set_input(&mut self, net: NetId, value: u64) {
+        Simulator::set_input(self, net, value);
+    }
+
+    fn settle(&mut self) {
+        Simulator::settle(self);
+    }
+
+    fn clock_edge(&mut self) {
+        Simulator::clock_edge(self);
+    }
+
+    fn values(&mut self) -> &[u64] {
+        &self.values
+    }
+}
+
 /// A running simulation of one netlist.
 ///
 /// The [`Testbench`](crate::Testbench) wraps this with stimulus and

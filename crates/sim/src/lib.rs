@@ -46,16 +46,20 @@ pub mod analytic;
 pub mod engine;
 pub mod eval;
 pub mod memo;
+pub mod packed;
 pub mod replay;
 pub mod stats;
 pub mod stimulus;
+pub mod tape;
 pub mod testbench;
 pub mod vcd;
 
 pub use analytic::{propagate as propagate_activity, ActivityEstimate, BitStats};
-pub use engine::Simulator;
+pub use engine::{EngineKind, Simulator};
 pub use memo::{MemoStats, SimMemo};
+pub use packed::{simulate_batch, PackedSimulator};
 pub use replay::{replay_vector, VectorAssignment, VectorOutcome};
 pub use stats::SimReport;
 pub use stimulus::{Stimulus, StimulusError, StimulusPlan, StimulusSpec};
+pub use tape::CompiledSim;
 pub use testbench::{SimError, Testbench};

@@ -26,6 +26,7 @@
 //!
 //! [`Simulator`]: crate::Simulator
 
+use crate::engine::EngineKind;
 use crate::stats::SimReport;
 use crate::stimulus::StimulusPlan;
 use crate::testbench::{SimError, Testbench};
@@ -181,8 +182,27 @@ impl SimMemo {
         plan: &StimulusPlan,
         cycles: u64,
     ) -> Result<Arc<SimReport>, SimError> {
+        self.run_with_engine(netlist, plan, cycles, EngineKind::default())
+    }
+
+    /// [`SimMemo::run`] on a specific engine. The cache key is deliberately
+    /// engine-invariant — all engines produce bit-identical per-net
+    /// statistics, so an entry deposited by one engine is served to every
+    /// other (the cross-engine test in `tests/sim_engine_equivalence.rs`
+    /// proves byte-identity of such a replay).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from testbench assembly or the run.
+    pub fn run_with_engine(
+        &self,
+        netlist: &Netlist,
+        plan: &StimulusPlan,
+        cycles: u64,
+        engine: EngineKind,
+    ) -> Result<Arc<SimReport>, SimError> {
         self.get_or_insert_with(netlist, plan, cycles, || {
-            Testbench::from_plan(netlist, plan)?.run(cycles)
+            Testbench::from_plan(netlist, plan)?.run_with_engine(cycles, engine)
         })
     }
 
@@ -305,6 +325,40 @@ mod tests {
         // And the cached report matches an independent direct run.
         let direct = Testbench::from_plan(&n, &p).unwrap().run(500).unwrap();
         assert_eq!(direct.toggle_count(s), r1.toggle_count(s));
+    }
+
+    #[test]
+    fn packed_request_is_served_from_a_scalar_entry_byte_identically() {
+        let n = adder();
+        let p = plan();
+        let memo = SimMemo::new();
+        let scalar = memo
+            .run_with_engine(&n, &p, 500, EngineKind::Scalar)
+            .unwrap();
+        let packed = memo
+            .run_with_engine(&n, &p, 500, EngineKind::Packed)
+            .unwrap();
+        let compiled = memo
+            .run_with_engine(&n, &p, 500, EngineKind::Compiled)
+            .unwrap();
+        assert_eq!(memo.misses(), 1, "only the scalar run simulates");
+        assert_eq!(memo.hits(), 2, "other engines hit the same entry");
+        assert!(Arc::ptr_eq(&scalar, &packed), "same cached report object");
+        assert!(Arc::ptr_eq(&scalar, &compiled));
+        // The replay is sound because a fresh packed run produces the same
+        // bytes the scalar entry holds.
+        let direct = Testbench::from_plan(&n, &p)
+            .unwrap()
+            .run_with_engine(500, EngineKind::Packed)
+            .unwrap();
+        let s = n.find_net("s").unwrap();
+        assert_eq!(direct.toggle_count(s), scalar.toggle_count(s));
+        for bit in 0..8 {
+            assert_eq!(
+                direct.static_prob(s, bit).to_bits(),
+                scalar.static_prob(s, bit).to_bits()
+            );
+        }
     }
 
     #[test]

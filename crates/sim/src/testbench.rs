@@ -1,8 +1,10 @@
 //! Testbench: stimulus + simulation + statistics in one call.
 
-use crate::engine::Simulator;
-use crate::stats::SimReport;
+use crate::engine::{EngineKind, SimBackend, Simulator};
+use crate::packed::PackedLane;
+use crate::stats::{vc_add, vc_flush, SimReport, VC_DEPTH};
 use crate::stimulus::{Stimulus, StimulusError, StimulusPlan, StimulusSpec};
+use crate::tape::CompiledSim;
 use crate::vcd::VcdWriter;
 use oiso_boolex::{BoolExpr, Signal};
 use oiso_netlist::{NetId, Netlist};
@@ -133,16 +135,7 @@ impl<'a> Testbench<'a> {
     pub fn from_plan(netlist: &'a Netlist, plan: &StimulusPlan) -> Result<Self, SimError> {
         let mut tb = Testbench::new(netlist);
         tb.default_seed = plan.seed;
-        for (name, spec) in &plan.drivers {
-            let net = netlist
-                .find_net(name)
-                .ok_or_else(|| SimError::UnknownInput(name.clone()))?;
-            if !netlist.net(net).is_primary_input() {
-                return Err(SimError::NotAnInput(name.clone()));
-            }
-            let stim = spec.instantiate(netlist.net(net).width(), plan.seed_for(name))?;
-            tb.drivers.push((net, stim));
-        }
+        tb.drivers = instantiate_drivers(netlist, plan)?;
         Ok(tb)
     }
 
@@ -201,13 +194,43 @@ impl<'a> Testbench<'a> {
         self.cond_toggles.push((name.into(), net, condition));
     }
 
-    /// Runs the simulation for `cycles` cycles.
+    /// Runs the simulation for `cycles` cycles on the default engine
+    /// ([`EngineKind::default`]).
     ///
     /// # Errors
     ///
     /// Returns an error if any primary input is undriven or `cycles` is 0.
     pub fn run(&mut self, cycles: u64) -> Result<SimReport, SimError> {
-        self.run_inner(cycles, None::<&mut VcdWriter<std::io::Sink>>)
+        self.run_with_engine(cycles, EngineKind::default())
+    }
+
+    /// Runs the simulation on a specific engine. All engines produce
+    /// bit-identical reports (the differential suite enforces this); the
+    /// choice only affects wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// As [`Testbench::run`].
+    pub fn run_with_engine(
+        &mut self,
+        cycles: u64,
+        engine: EngineKind,
+    ) -> Result<SimReport, SimError> {
+        let no_vcd = None::<&mut VcdWriter<std::io::Sink>>;
+        match engine {
+            EngineKind::Scalar => {
+                let mut sim = Simulator::new(self.netlist);
+                self.run_loop(&mut sim, cycles, no_vcd)
+            }
+            EngineKind::Packed => {
+                let mut sim = PackedLane::new(self.netlist);
+                self.run_loop(&mut sim, cycles, no_vcd)
+            }
+            EngineKind::Compiled => {
+                let mut sim = CompiledSim::new(self.netlist);
+                self.run_loop(&mut sim, cycles, no_vcd)
+            }
+        }
     }
 
     /// Runs the simulation, additionally dumping a VCD waveform.
@@ -220,11 +243,13 @@ impl<'a> Testbench<'a> {
         cycles: u64,
         vcd: &mut VcdWriter<W>,
     ) -> Result<SimReport, SimError> {
-        self.run_inner(cycles, Some(vcd))
+        let mut sim = CompiledSim::new(self.netlist);
+        self.run_loop(&mut sim, cycles, Some(vcd))
     }
 
-    fn run_inner<W: Write>(
+    fn run_loop<B: SimBackend, W: Write>(
         &mut self,
+        sim: &mut B,
         cycles: u64,
         mut vcd: Option<&mut VcdWriter<W>>,
     ) -> Result<SimReport, SimError> {
@@ -245,42 +270,104 @@ impl<'a> Testbench<'a> {
             self.cond_toggles.iter().map(|(n, _, _)| n.clone()).collect();
         let mut report =
             SimReport::with_cond_toggles(self.netlist, &monitor_names, &cond_names);
-        let mut sim = Simulator::new(self.netlist);
         if let Some(w) = vcd.as_deref_mut() {
             w.write_header(self.netlist)?;
         }
-        let mut prev: Option<Vec<u64>> = None;
+        // Persistent double buffer for the previous cycle's settled values
+        // (avoids a per-cycle allocation).
+        let num_nets = self.netlist.num_nets();
+        let mut prev = vec![0u64; num_nets];
+        let mut have_prev = false;
+        // Toggle counts accumulate directly (one popcount per net); ones
+        // counts go through per-net vertical counters — the counter at bit
+        // position b tallies how often bit b was 1, so one ripple-add
+        // replaces a per-bit scan of every net every cycle. One add per
+        // cycle bounds a counter by the flush interval, well under the
+        // 2^VC_DEPTH − 1 overflow limit.
+        const ONES_FLUSH_INTERVAL: u64 = 60_000;
+        let mut toggles = vec![0u64; num_nets];
+        let mut ones_vc = vec![0u64; num_nets * VC_DEPTH];
+        let mut ones: Vec<Vec<u64>> = self
+            .netlist
+            .nets()
+            .map(|(_, n)| vec![0; n.width() as usize])
+            .collect();
         for cycle in 0..cycles {
             for (net, stim) in &mut self.drivers {
                 let v = stim.next_value(cycle);
                 sim.set_input(*net, v);
             }
             sim.settle();
-            report.record_cycle(prev.as_deref(), sim.all_values());
+            let vals = sim.values();
+            let prev_vals = if have_prev { Some(prev.as_slice()) } else { None };
+            for (net, &value) in vals.iter().enumerate() {
+                if let Some(prev_vals) = prev_vals {
+                    toggles[net] += (value ^ prev_vals[net]).count_ones() as u64;
+                }
+                if value != 0 {
+                    vc_add(&mut ones_vc[net * VC_DEPTH..(net + 1) * VC_DEPTH], value);
+                }
+            }
+            if (cycle + 1) % ONES_FLUSH_INTERVAL == 0 {
+                for (net, vc) in ones_vc.chunks_exact_mut(VC_DEPTH).enumerate() {
+                    vc_flush(vc, &mut ones[net]);
+                }
+            }
             for (i, (_, expr)) in self.monitors.iter().enumerate() {
-                let fired = expr.eval(&|s: Signal| sim.bit(s.net, s.bit));
+                let fired =
+                    expr.eval(&|s: Signal| (vals[s.net.index()] >> s.bit) & 1 == 1);
                 report.record_monitor(i, fired);
             }
             for &net in &self.captures {
-                report.record_trace(net, sim.value(net));
+                report.record_trace(net, vals[net.index()]);
             }
-            if let Some(prev_vals) = prev.as_deref() {
+            if let Some(prev_vals) = prev_vals {
                 for (i, (_, net, condition)) in self.cond_toggles.iter().enumerate() {
-                    if condition.eval(&|s: Signal| sim.bit(s.net, s.bit)) {
+                    if condition.eval(&|s: Signal| (vals[s.net.index()] >> s.bit) & 1 == 1)
+                    {
                         let toggles =
-                            (sim.value(*net) ^ prev_vals[net.index()]).count_ones();
+                            (vals[net.index()] ^ prev_vals[net.index()]).count_ones();
                         report.record_cond_toggles(i, toggles as u64);
                     }
                 }
             }
             if let Some(w) = vcd.as_deref_mut() {
-                w.write_cycle(self.netlist, cycle, sim.all_values(), prev.as_deref())?;
+                w.write_cycle(self.netlist, cycle, vals, prev_vals)?;
             }
-            prev = Some(sim.all_values().to_vec());
+            prev.copy_from_slice(vals);
+            have_prev = true;
             sim.clock_edge();
         }
+        for (net, vc) in ones_vc.chunks_exact_mut(VC_DEPTH).enumerate() {
+            vc_flush(vc, &mut ones[net]);
+        }
+        report.set_net_counts(cycles, toggles, ones);
         Ok(report)
     }
+}
+
+/// A plan's instantiated drivers: each driven net with its stimulus.
+pub(crate) type Drivers = Vec<(NetId, Box<dyn Stimulus>)>;
+
+/// Instantiates a plan's drivers against a netlist, with the same checks
+/// [`Testbench::from_plan`] performs (unknown input, non-input target,
+/// invalid spec). Shared with the packed batch path.
+pub(crate) fn instantiate_drivers(
+    netlist: &Netlist,
+    plan: &StimulusPlan,
+) -> Result<Drivers, SimError> {
+    let mut drivers = Vec::with_capacity(plan.drivers.len());
+    for (name, spec) in &plan.drivers {
+        let net = netlist
+            .find_net(name)
+            .ok_or_else(|| SimError::UnknownInput(name.clone()))?;
+        if !netlist.net(net).is_primary_input() {
+            return Err(SimError::NotAnInput(name.clone()));
+        }
+        let stim = spec.instantiate(netlist.net(net).width(), plan.seed_for(name))?;
+        drivers.push((net, stim));
+    }
+    Ok(drivers)
 }
 
 #[cfg(test)]

@@ -1,0 +1,167 @@
+//! Property tests for the bit-parallel and compiled engines.
+//!
+//! Two invariants over arbitrary generated netlists:
+//!
+//! * the packed engine's popcount-derived toggle totals equal the sum of
+//!   per-lane scalar toggle counts at every lane count 1..=64 (per lane
+//!   they are in fact identical, which is the stronger check asserted);
+//! * the compiled engine's op-tape schedule is a valid topological order
+//!   of the combinational DAG for every generated design.
+
+use oiso_netlist::{CellKind, NetId, Netlist, NetlistBuilder};
+use oiso_sim::{simulate_batch, CompiledSim, EngineKind, StimulusPlan, StimulusSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Seed-driven small random design: same-width logic and arithmetic ops
+/// over a growing value pool, muxes, latches, and enabled registers —
+/// covering both the packed engine's bitwise cells and its per-lane
+/// arithmetic fallback (`Mul`), plus sequential state.
+fn random_netlist(seed: u64, ops: usize, width: u8) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(format!("prop_{seed}"));
+    let mut pool: Vec<NetId> = (0..3).map(|i| b.input(format!("in{i}"), width)).collect();
+    let ctrl: Vec<NetId> = (0..3).map(|i| b.input(format!("ctl{i}"), 1)).collect();
+    for op in 0..ops {
+        let pick = |rng: &mut StdRng, pool: &[NetId]| pool[rng.gen_range(0..pool.len())];
+        let a = pick(&mut rng, &pool);
+        let c = pick(&mut rng, &pool);
+        let out = b.wire(format!("op{op}"), width);
+        match rng.gen_range(0..9) {
+            0 => b.cell(format!("u{op}"), CellKind::Add, &[a, c], out),
+            1 => b.cell(format!("u{op}"), CellKind::Sub, &[a, c], out),
+            2 => b.cell(format!("u{op}"), CellKind::Mul, &[a, c], out),
+            3 => b.cell(format!("u{op}"), CellKind::And, &[a, c], out),
+            4 => b.cell(format!("u{op}"), CellKind::Or, &[a, c], out),
+            5 => b.cell(format!("u{op}"), CellKind::Xor, &[a, c], out),
+            6 => b.cell(format!("u{op}"), CellKind::Not, &[a], out),
+            7 => {
+                let sel = ctrl[rng.gen_range(0..ctrl.len())];
+                b.cell(format!("u{op}"), CellKind::Mux, &[sel, a, c], out)
+            }
+            _ => {
+                let en = ctrl[rng.gen_range(0..ctrl.len())];
+                b.cell(format!("u{op}"), CellKind::Latch, &[a, en], out)
+            }
+        }
+        .expect("generated op is well-formed");
+        pool.push(out);
+        if rng.gen_bool(0.3) {
+            let en = ctrl[rng.gen_range(0..ctrl.len())];
+            let q = b.wire(format!("q{op}"), width);
+            b.cell(format!("r{op}"), CellKind::Reg { has_enable: true }, &[out, en], q)
+                .expect("generated register is well-formed");
+            b.mark_output(q);
+            pool.push(q);
+        }
+    }
+    let last = *pool.last().expect("non-empty pool");
+    b.mark_output(last);
+    b.build().expect("generated netlist is well-formed")
+}
+
+fn random_plan(netlist: &Netlist, seed: u64) -> StimulusPlan {
+    let mut plan = StimulusPlan::new(seed);
+    for (_, net) in netlist.nets() {
+        if !net.is_primary_input() {
+            continue;
+        }
+        let spec = if net.width() == 1 {
+            StimulusSpec::MarkovBits { p_one: 0.4, toggle_rate: 0.3 }
+        } else {
+            StimulusSpec::UniformRandom
+        };
+        plan = plan.drive(net.name(), spec);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Packed popcount toggle totals equal the sum of per-lane scalar
+    /// toggle counts — and per lane the counts are identical.
+    #[test]
+    fn packed_toggle_totals_equal_scalar_lane_sums(
+        seed in 0u64..10_000,
+        lanes in 1usize..65,
+        ops in 1usize..8,
+        width in 4u8..10,
+    ) {
+        let netlist = random_netlist(seed, ops, width);
+        let plans: Vec<StimulusPlan> = (0..lanes)
+            .map(|lane| random_plan(&netlist, seed ^ (lane as u64) << 32))
+            .collect();
+        let scalar = simulate_batch(&netlist, &plans, 150, EngineKind::Scalar).unwrap();
+        let packed = simulate_batch(&netlist, &plans, 150, EngineKind::Packed).unwrap();
+        prop_assert_eq!(scalar.len(), lanes);
+        prop_assert_eq!(packed.len(), lanes);
+        for (id, net) in netlist.nets() {
+            let scalar_sum: u64 = scalar.iter().map(|r| r.toggle_count(id)).sum();
+            let packed_sum: u64 = packed.iter().map(|r| r.toggle_count(id)).sum();
+            prop_assert_eq!(scalar_sum, packed_sum, "net {} total", net.name());
+            for lane in 0..lanes {
+                prop_assert_eq!(
+                    scalar[lane].toggle_count(id),
+                    packed[lane].toggle_count(id),
+                    "net {} lane {}", net.name(), lane
+                );
+                for bit in 0..net.width() {
+                    prop_assert_eq!(
+                        scalar[lane].static_prob(id, bit).to_bits(),
+                        packed[lane].static_prob(id, bit).to_bits(),
+                        "net {} lane {} bit {}", net.name(), lane, bit
+                    );
+                }
+            }
+        }
+    }
+
+    /// The compiled tape's schedule is a valid topological order: every
+    /// combinational cell appears exactly once, after the producers of
+    /// all its non-register inputs.
+    #[test]
+    fn tape_schedule_is_a_topological_order(
+        seed in 0u64..10_000,
+        ops in 1usize..10,
+        width in 4u8..10,
+    ) {
+        let netlist = random_netlist(seed, ops, width);
+        let sim = CompiledSim::new(&netlist);
+        let schedule = sim.schedule();
+
+        let comb: HashSet<_> = netlist
+            .cells()
+            .filter(|(_, cell)| !matches!(cell.kind(), CellKind::Reg { .. }))
+            .map(|(id, _)| id)
+            .collect();
+        let scheduled: HashSet<_> = schedule.iter().copied().collect();
+        prop_assert_eq!(schedule.len(), scheduled.len(), "no cell is scheduled twice");
+        prop_assert_eq!(&scheduled, &comb, "every combinational cell is scheduled once");
+
+        // A net is available if it is a primary input, a register output,
+        // or the output of an already-replayed tape op.
+        let mut available: HashSet<NetId> = netlist
+            .nets()
+            .filter(|(_, net)| net.is_primary_input())
+            .map(|(id, _)| id)
+            .collect();
+        for (_, cell) in netlist.cells() {
+            if matches!(cell.kind(), CellKind::Reg { .. }) {
+                available.insert(cell.output());
+            }
+        }
+        for &cid in schedule {
+            for &input in netlist.cell(cid).inputs() {
+                prop_assert!(
+                    available.contains(&input),
+                    "cell {} reads net {:?} before it is produced",
+                    netlist.cell(cid).name(), input
+                );
+            }
+            available.insert(netlist.cell(cid).output());
+        }
+    }
+}

@@ -3,9 +3,10 @@
 //! ```text
 //! oiso show       <design.oiso>                      # structure + stats
 //! oiso activation <design.oiso> [--lookahead]        # activation functions
-//! oiso simulate   <design.oiso> [--cycles N]         # power/timing report
+//! oiso simulate   <design.oiso> [--cycles N] [--engine E] # power/timing report
 //! oiso isolate    <design.oiso> [--style and|or|latch]
-//!                 [--cycles N] [--threads N] [--lookahead]
+//!                 [--cycles N] [--engine scalar|packed|compiled]
+//!                 [--threads N] [--lookahead]
 //!                 [--deadline SECS] [--max-skipped N]
 //!                 [--checkpoint FILE] [--resume FILE]
 //!                 [--out isolated.oiso] [--verilog out.v] [--dot out.dot]
@@ -55,7 +56,7 @@ use operand_isolation::designs::Design;
 use operand_isolation::netlist::{dot, verilog, NetlistStats};
 use operand_isolation::par::faults;
 use operand_isolation::power::{total_area, PowerEstimator};
-use operand_isolation::sim::{SimMemo, Testbench};
+use operand_isolation::sim::{EngineKind, SimMemo, Testbench};
 use operand_isolation::techlib::{OperatingConditions, TechLibrary};
 use operand_isolation::timing::analyze;
 use operand_isolation::verify::{
@@ -81,6 +82,7 @@ struct Options {
     file: String,
     style: IsolationStyle,
     cycles: u64,
+    engine: EngineKind,
     threads: usize,
     lookahead: bool,
     fsm_dc: bool,
@@ -110,7 +112,8 @@ struct Options {
 }
 
 const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize|verify> <design.oiso> \
-                     [--style and|or|latch] [--cycles N] [--threads N] [--lookahead] \
+                     [--style and|or|latch] [--cycles N] \
+                     [--engine scalar|packed|compiled] [--threads N] [--lookahead] \
                      [--fsm-dc] [--budget N] [--deadline SECS] [--max-skipped N] \
                      [--checkpoint FILE] [--resume FILE] \
                      [--out FILE] [--verilog FILE] [--dot FILE]\n\
@@ -119,6 +122,8 @@ const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize|veri
                      [--sabotage force-false|negate]\n\
                      --threads N evaluates isolation candidates (or fuzz cases) on N worker \
                      threads (0 = all cores); the result is identical at every setting\n\
+                     --engine picks the simulation engine (default compiled); every engine \
+                     is bit-identical, only wall-clock differs\n\
                      --deadline stops the run gracefully (best-so-far, labeled truncated); \
                      --checkpoint/--resume journal and replay accepted work\n\
                      fault injection (testing the harness itself): --inject-panic N panics \
@@ -152,6 +157,7 @@ fn parse_options() -> Result<Options, String> {
         file,
         style: IsolationStyle::And,
         cycles: 3000,
+        engine: EngineKind::default(),
         threads: 1,
         lookahead: false,
         fsm_dc: false,
@@ -206,6 +212,13 @@ fn parse_options() -> Result<Options, String> {
                     .ok_or("--threads needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--engine" => {
+                opts.engine = args
+                    .next()
+                    .ok_or("--engine needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --engine: {e}"))?;
             }
             "--lookahead" => opts.lookahead = true,
             "--fsm-dc" => opts.fsm_dc = true,
@@ -429,7 +442,7 @@ fn run() -> Result<(), String> {
             let cond = OperatingConditions::default();
             let report = Testbench::from_plan(netlist, &design.stimuli)
                 .map_err(|e| e.to_string())?
-                .run(opts.cycles)
+                .run_with_engine(opts.cycles, opts.engine)
                 .map_err(|e| e.to_string())?;
             let breakdown = PowerEstimator::new(&lib, cond).estimate(netlist, &report);
             let timing = analyze(&lib, netlist, cond.clock_period());
@@ -465,6 +478,7 @@ fn run() -> Result<(), String> {
             let mut config = IsolationConfig::default()
                 .with_style(opts.style)
                 .with_sim_cycles(opts.cycles)
+                .with_engine(opts.engine)
                 .with_threads(opts.threads)
                 .with_fsm_dont_cares(opts.fsm_dc)
                 .with_budget(budget);
