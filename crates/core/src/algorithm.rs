@@ -12,7 +12,7 @@ use crate::budget::RunBudget;
 use crate::candidates::{identify_candidates, Candidate, CandidateFilter};
 use crate::checkpoint::{
     config_fingerprint, AcceptedStep, Checkpoint, CheckpointError, CheckpointHeader,
-    CheckpointWriter,
+    CheckpointWriter, StepTap,
 };
 use crate::cost::{CostModel, CostWeights};
 use crate::report::{IsolationOutcome, IterationLog, SkippedCandidate};
@@ -173,6 +173,11 @@ pub struct IsolationConfig {
     /// against this run's inputs, replay the accepted steps without
     /// re-simulating, and continue from the first un-journaled iteration.
     pub resume: Option<PathBuf>,
+    /// In-process observer of the accepted-candidate stream (the same
+    /// events the checkpoint journal records, including replayed steps).
+    /// Like the journal writer it observes the run without influencing
+    /// it, so it is excluded from [`crate::checkpoint::config_fingerprint`].
+    pub progress: Option<StepTap>,
 }
 
 impl Default for IsolationConfig {
@@ -198,6 +203,7 @@ impl Default for IsolationConfig {
             budget: RunBudget::unlimited(),
             checkpoint: None,
             resume: None,
+            progress: None,
         }
     }
 }
@@ -292,6 +298,12 @@ impl IsolationConfig {
     /// Resumes from the journal at `path`.
     pub fn with_resume(mut self, path: impl Into<PathBuf>) -> Self {
         self.resume = Some(path.into());
+        self
+    }
+
+    /// Observes every accepted candidate as it is decided.
+    pub fn with_progress(mut self, tap: StepTap) -> Self {
+        self.progress = Some(tap);
         self
     }
 }
@@ -421,6 +433,9 @@ pub fn optimize_with_memo(
             .push((cell, step.h, step.saved));
         if let Some(w) = &mut writer {
             w.append(step)?;
+        }
+        if let Some(tap) = &config.progress {
+            tap.notify(step);
         }
     }
     // An uninterrupted run would enter the iteration after the last
@@ -612,15 +627,19 @@ pub fn optimize_with_memo(
             isolated_records.push(record);
             // Journal the acceptance as soon as it happens (flushed per
             // line), so a killed run loses at most a torn final record.
+            let step = AcceptedStep {
+                iteration: iter_no,
+                cell: work.cell(cell).name().to_string(),
+                activation: activation.clone(),
+                h,
+                saved,
+                power: breakdown.total.as_mw(),
+            };
             if let Some(w) = &mut writer {
-                w.append(&AcceptedStep {
-                    iteration: iter_no,
-                    cell: work.cell(cell).name().to_string(),
-                    activation: activation.clone(),
-                    h,
-                    saved,
-                    power: breakdown.total.as_mw(),
-                })?;
+                w.append(&step)?;
+            }
+            if let Some(tap) = &config.progress {
+                tap.notify(&step);
             }
             isolated_acts.insert(cell, activation);
             log.isolated.push((cell, h, saved));

@@ -144,6 +144,35 @@ pub struct AcceptedStep {
     pub power: f64,
 }
 
+/// An observer invoked with every [`AcceptedStep`] at the moment it is
+/// decided — the same per-candidate event stream the checkpoint journal
+/// records, surfaced in-process. The optimizer calls it for freshly
+/// accepted candidates *and* for steps replayed from a resumed journal,
+/// so a consumer always sees the full accepted sequence in order.
+///
+/// The tap is deliberately not part of [`config_fingerprint`]: like the
+/// journal writer it observes the run without influencing it.
+#[derive(Clone)]
+pub struct StepTap(std::sync::Arc<dyn Fn(&AcceptedStep) + Send + Sync>);
+
+impl StepTap {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&AcceptedStep) + Send + Sync + 'static) -> Self {
+        StepTap(std::sync::Arc::new(f))
+    }
+
+    /// Delivers one accepted step to the observer.
+    pub fn notify(&self, step: &AcceptedStep) {
+        (self.0)(step)
+    }
+}
+
+impl fmt::Debug for StepTap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StepTap(..)")
+    }
+}
+
 /// A loaded journal.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {

@@ -89,7 +89,7 @@ pub use oiso_sim::EngineKind;
 pub use candidates::{identify_candidates, Candidate};
 pub use checkpoint::{
     config_fingerprint, escape_json, parse_flat, AcceptedStep, Checkpoint, CheckpointError,
-    CheckpointHeader, CheckpointWriter, JsonScalar,
+    CheckpointHeader, CheckpointWriter, JsonScalar, StepTap,
 };
 pub use cost::{CostModel, CostWeights, IsolationCost};
 pub use fsm::{find_closed_fsms, refine_with_fsm_dont_cares, ClosedFsm};

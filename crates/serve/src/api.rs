@@ -27,13 +27,31 @@
 //! [`RunBudget`] wall deadline (isolate) or a symbolic-check deadline
 //! (verify); deadline-bearing requests bypass the cache because their
 //! truncation point is wall-clock dependent.
+//!
+//! Serve v2 adds two shapes on top of the single-request schema:
+//!
+//! * **`POST /v1/batch`** — `{"items":[{...}, ...]}` where each item is
+//!   the single-request schema plus an optional `"endpoint"` selector
+//!   (default `isolate`). Items fan out through
+//!   [`oiso_par::parallel_map`] under one shared wall budget (the
+//!   request's `X-Oiso-Deadline-Ms`); items the budget cannot reach are
+//!   *shed* with a per-item `"status": "shed"` entry, and results come
+//!   back in item order regardless of completion order.
+//! * **`"stream": true`** — on `/v1/isolate` and `/v1/batch`, switches
+//!   the response to chunked ndjson progress events
+//!   ([`crate::http::ChunkedWriter`]): one `accept` event per accepted
+//!   isolation candidate (tapped from the checkpoint journal via
+//!   [`StepTap`]), terminated by a `done` event carrying the full
+//!   report. Streaming responses bypass the cache.
 
+use crate::cache::{CacheRole, ResultCache};
 use crate::error::ApiError;
-use crate::http::{Request, Response};
-use crate::json::{json_array, parse_object, JsonObj};
+use crate::http::{ChunkedWriter, Request, Response};
+use crate::json::{json_array, parse_object, parse_value, JsonObj, JsonValue};
+use crate::store::ResultStore;
 use oiso_core::{
     derive_activation_functions, optimize_with_memo, ActivationConfig, IsolationConfig,
-    IsolationOutcome, IsolationStyle, RunBudget,
+    IsolationOutcome, IsolationStyle, RunBudget, StepTap,
 };
 use oiso_designs::{bundled, textfmt, Design};
 use oiso_lint::{lint_netlist, render_json as render_lint_json, LintOptions, Severity};
@@ -44,10 +62,14 @@ use oiso_timing::analyze;
 use oiso_verify::{
     verify_isolation_plan, CheckConfig, Proof, ReplayVerdict, VerifyConfig, VerifyOutcome,
 };
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Deadline header name (milliseconds of wall time for the request).
 pub const DEADLINE_HEADER: &str = "x-oiso-deadline-ms";
+
+/// Upper bound on `/v1/batch` fan-out width per request.
+pub const MAX_BATCH_ITEMS: usize = 64;
 
 /// The routable endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +82,8 @@ pub enum Endpoint {
     Verify,
     /// `POST /v1/simulate` — power/area/timing measurement.
     Simulate,
+    /// `POST /v1/batch` — many of the above under one shared budget.
+    Batch,
     /// `GET /healthz` — liveness.
     Healthz,
     /// `GET /metrics` — text metrics.
@@ -74,6 +98,7 @@ impl Endpoint {
             Endpoint::Lint => "lint",
             Endpoint::Verify => "verify",
             Endpoint::Simulate => "simulate",
+            Endpoint::Batch => "batch",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
         }
@@ -87,6 +112,7 @@ impl Endpoint {
             "/v1/lint" => (Endpoint::Lint, "POST"),
             "/v1/verify" => (Endpoint::Verify, "POST"),
             "/v1/simulate" => (Endpoint::Simulate, "POST"),
+            "/v1/batch" => (Endpoint::Batch, "POST"),
             "/healthz" => (Endpoint::Healthz, "GET"),
             "/metrics" => (Endpoint::Metrics, "GET"),
             _ => return Err(ApiError::not_found(path)),
@@ -122,54 +148,59 @@ pub struct ApiRequest {
     pub engine: EngineKind,
     /// Wall deadline from `X-Oiso-Deadline-Ms`.
     pub deadline: Option<Duration>,
+    /// `"stream": true` — respond with chunked ndjson progress events
+    /// instead of one JSON body (isolate only; bypasses the cache).
+    pub stream: bool,
 }
 
-impl ApiRequest {
-    /// Parses and validates one POST request against the schema.
-    pub fn parse(endpoint: Endpoint, req: &Request) -> Result<ApiRequest, ApiError> {
-        let deadline = match req.header(DEADLINE_HEADER) {
-            None => None,
-            Some(raw) => Some(Duration::from_millis(raw.parse::<u64>().map_err(
-                |e| ApiError::bad_deadline(format!("bad {DEADLINE_HEADER} {raw:?}: {e}")),
-            )?)),
-        };
-        let body = std::str::from_utf8(&req.body)
-            .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+/// Accumulates schema fields with their defaults; [`Draft::build`] does
+/// the cross-field validation shared by single requests, raw `.oiso`
+/// bodies, and batch items.
+struct Draft {
+    design_name: Option<String>,
+    source: Option<String>,
+    style: IsolationStyle,
+    cycles: u64,
+    lookahead: bool,
+    budget: usize,
+    seed: Option<u64>,
+    engine: EngineKind,
+    stream: bool,
+}
 
-        let mut design_name: Option<String> = None;
-        let mut source: Option<String> = None;
-        let mut style = IsolationStyle::And;
-        let mut cycles: u64 = 3000;
-        let mut lookahead = false;
-        let mut budget: usize = 200_000;
-        let mut seed: Option<u64> = None;
-        let mut engine = EngineKind::default();
-
-        if body.trim_start().starts_with('{') {
-            let fields = parse_object(body).map_err(ApiError::bad_json)?;
-            for (key, value) in fields {
-                match key.as_str() {
-                    "design" => design_name = Some(str_field(&key, &value)?),
-                    "source" => source = Some(str_field(&key, &value)?),
-                    "style" => style = parse_style(&str_field(&key, &value)?)?,
-                    "cycles" => cycles = int_field(&key, &value)?,
-                    "lookahead" => lookahead = bool_field(&key, &value)?,
-                    "budget" => budget = int_field(&key, &value)? as usize,
-                    "seed" => seed = Some(int_field(&key, &value)?),
-                    "engine" => engine = parse_engine(&str_field(&key, &value)?)?,
-                    other => return Err(ApiError::unknown_field(other)),
-                }
-            }
-        } else if body.trim().is_empty() {
-            return Err(ApiError::bad_json(
-                "empty body; send a JSON object or raw .oiso text",
-            ));
-        } else {
-            // Raw `.oiso` text with default config.
-            source = Some(body.to_string());
+impl Draft {
+    fn new() -> Draft {
+        Draft {
+            design_name: None,
+            source: None,
+            style: IsolationStyle::And,
+            cycles: 3000,
+            lookahead: false,
+            budget: 200_000,
+            seed: None,
+            engine: EngineKind::default(),
+            stream: false,
         }
+    }
 
-        let (mut design, design_label) = match (design_name, source) {
+    fn apply(&mut self, key: &str, value: &oiso_core::JsonScalar) -> Result<(), ApiError> {
+        match key {
+            "design" => self.design_name = Some(str_field(key, value)?),
+            "source" => self.source = Some(str_field(key, value)?),
+            "style" => self.style = parse_style(&str_field(key, value)?)?,
+            "cycles" => self.cycles = int_field(key, value)?,
+            "lookahead" => self.lookahead = bool_field(key, value)?,
+            "budget" => self.budget = int_field(key, value)? as usize,
+            "seed" => self.seed = Some(int_field(key, value)?),
+            "engine" => self.engine = parse_engine(&str_field(key, value)?)?,
+            "stream" => self.stream = bool_field(key, value)?,
+            other => return Err(ApiError::unknown_field(other)),
+        }
+        Ok(())
+    }
+
+    fn build(self, endpoint: Endpoint, deadline: Option<Duration>) -> Result<ApiRequest, ApiError> {
+        let (mut design, design_label) = match (self.design_name, self.source) {
             (Some(name), None) => (
                 bundled(&name).ok_or_else(|| ApiError::unknown_design(&name))?,
                 name,
@@ -189,69 +220,141 @@ impl ApiRequest {
                 ))
             }
         };
-        if cycles == 0 || cycles > 1_000_000 {
+        if self.cycles == 0 || self.cycles > 1_000_000 {
             return Err(ApiError::bad_field(format!(
-                "\"cycles\" must be in 1..=1000000, got {cycles}"
+                "\"cycles\" must be in 1..=1000000, got {}",
+                self.cycles
             )));
         }
-        if let Some(s) = seed {
+        if self.stream && endpoint != Endpoint::Isolate {
+            return Err(ApiError::bad_field(
+                "\"stream\" is only supported on /v1/isolate and /v1/batch",
+            ));
+        }
+        if let Some(s) = self.seed {
             design = design.with_seed(s);
         }
         Ok(ApiRequest {
             endpoint,
             design,
             design_label,
-            style,
-            cycles,
-            lookahead,
-            budget,
-            seed,
-            engine,
+            style: self.style,
+            cycles: self.cycles,
+            lookahead: self.lookahead,
+            budget: self.budget,
+            seed: self.seed,
+            engine: self.engine,
             deadline,
+            stream: self.stream,
         })
+    }
+}
+
+/// Parses the `X-Oiso-Deadline-Ms` header, if present.
+pub fn parse_deadline(req: &Request) -> Result<Option<Duration>, ApiError> {
+    match req.header(DEADLINE_HEADER) {
+        None => Ok(None),
+        Some(raw) => Ok(Some(Duration::from_millis(raw.parse::<u64>().map_err(
+            |e| ApiError::bad_deadline(format!("bad {DEADLINE_HEADER} {raw:?}: {e}")),
+        )?))),
+    }
+}
+
+/// Incremental FNV-1a over the request semantics (fingerprints, keys).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.eat(u64::from(b));
+        }
+    }
+}
+
+impl ApiRequest {
+    /// Parses and validates one POST request against the schema.
+    pub fn parse(endpoint: Endpoint, req: &Request) -> Result<ApiRequest, ApiError> {
+        let deadline = parse_deadline(req)?;
+        let body = std::str::from_utf8(&req.body)
+            .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+        let mut draft = Draft::new();
+        if body.trim_start().starts_with('{') {
+            let fields = parse_object(body).map_err(ApiError::bad_json)?;
+            for (key, value) in fields {
+                draft.apply(&key, &value)?;
+            }
+        } else if body.trim().is_empty() {
+            return Err(ApiError::bad_json(
+                "empty body; send a JSON object or raw .oiso text",
+            ));
+        } else {
+            // Raw `.oiso` text with default config.
+            draft.source = Some(body.to_string());
+        }
+        draft.build(endpoint, deadline)
+    }
+
+    /// The request's semantic fingerprint: a pure function of *what* is
+    /// computed (endpoint, design, stimuli, config) — never of *how*
+    /// (engine choice) or *when* (deadline, streaming). The shard
+    /// router keys on this, so every client routes a given piece of
+    /// work to the same daemon.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.eat_str(self.endpoint.label());
+        h.eat(self.design.netlist.fingerprint());
+        h.eat(self.design.stimuli.fingerprint());
+        h.eat_str(style_name(self.style));
+        h.eat(self.cycles);
+        h.eat(u64::from(self.lookahead));
+        h.eat(self.budget as u64);
+        h.eat(self.seed.map_or(u64::MAX, |s| s));
+        // `engine` is deliberately absent: every engine produces the same
+        // bytes, so a cached scalar result may answer a packed request.
+        h.0
     }
 
     /// The result-cache key, or `None` when the response may depend on
-    /// wall time (a deadline is set) and must not be cached.
+    /// wall time (a deadline is set) or is a progress stream, and must
+    /// not be cached.
     pub fn cache_key(&self) -> Option<u64> {
-        if self.deadline.is_some() {
+        if self.deadline.is_some() || self.stream {
             return None;
         }
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        let mut eat = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        };
-        for b in self.endpoint.label().bytes() {
-            eat(u64::from(b));
-        }
-        eat(self.design.netlist.fingerprint());
-        eat(self.design.stimuli.fingerprint());
-        for b in style_name(self.style).bytes() {
-            eat(u64::from(b));
-        }
-        eat(self.cycles);
-        eat(u64::from(self.lookahead));
-        eat(self.budget as u64);
-        eat(self.seed.map_or(u64::MAX, |s| s));
-        // `engine` is deliberately absent: every engine produces the same
-        // bytes, so a cached scalar result may answer a packed request.
-        Some(h)
+        Some(self.fingerprint())
     }
 
     /// Runs the handler. Engine failures become structured `422`
     /// responses; this never panics for malformed *input* (panics from
     /// pipeline bugs are caught by the worker's `catch_unwind`).
     pub fn execute(&self, memo: &SimMemo) -> Response {
+        self.execute_at(memo, self.deadline.map(|d| Instant::now() + d))
+    }
+
+    /// [`Self::execute`] against an *absolute* wall deadline — the
+    /// batch handler anchors one `Instant` and shares it across every
+    /// item, so the whole fan-out runs under a single budget instead of
+    /// each item restarting the clock.
+    pub fn execute_at(&self, memo: &SimMemo, deadline_at: Option<Instant>) -> Response {
         match self.endpoint {
-            Endpoint::Isolate => self.isolate(memo),
+            Endpoint::Isolate => self.isolate(memo, deadline_at),
             Endpoint::Lint => self.lint(),
-            Endpoint::Verify => self.verify(),
+            Endpoint::Verify => self.verify(deadline_at),
             Endpoint::Simulate => self.simulate(memo),
-            // GET endpoints are answered by the server, not here.
-            Endpoint::Healthz | Endpoint::Metrics => {
+            // GET endpoints are answered by the server, not here; a
+            // batch inside a batch is rejected at parse time.
+            Endpoint::Batch | Endpoint::Healthz | Endpoint::Metrics => {
                 ApiError::not_found(self.endpoint.label()).to_response()
             }
         }
@@ -265,10 +368,11 @@ impl ApiRequest {
         }
     }
 
-    fn isolate(&self, memo: &SimMemo) -> Response {
+    /// The isolation config shared by the blocking and streaming paths.
+    fn isolation_config(&self, deadline_at: Option<Instant>) -> IsolationConfig {
         let mut run_budget = RunBudget::unlimited();
-        if let Some(d) = self.deadline {
-            run_budget = run_budget.with_deadline_in(d);
+        if let Some(at) = deadline_at {
+            run_budget = run_budget.with_wall_deadline(at);
         }
         let mut config = IsolationConfig::default()
             .with_style(self.style)
@@ -277,6 +381,11 @@ impl ApiRequest {
             .with_engine(self.engine)
             .with_budget(run_budget);
         config.activation = self.activation();
+        config
+    }
+
+    fn isolate(&self, memo: &SimMemo, deadline_at: Option<Instant>) -> Response {
+        let config = self.isolation_config(deadline_at);
         let outcome =
             match optimize_with_memo(&self.design.netlist, &self.design.stimuli, &config, memo)
             {
@@ -332,7 +441,7 @@ impl ApiRequest {
         ok_json(obj.finish())
     }
 
-    fn verify(&self) -> Response {
+    fn verify(&self, deadline_at: Option<Instant>) -> Response {
         let acts = derive_activation_functions(&self.design.netlist, &self.activation());
         let plan: Vec<_> = self
             .design
@@ -344,7 +453,7 @@ impl ApiRequest {
             check: CheckConfig {
                 node_budget: self.budget,
                 assumption: None,
-                deadline: self.deadline.map(|d| Instant::now() + d),
+                deadline: deadline_at,
             },
             ..VerifyConfig::default()
         };
@@ -427,6 +536,388 @@ impl ApiRequest {
             .int("cycles", self.cycles)
             .bool("lookahead", self.lookahead);
         obj
+    }
+}
+
+/// A parsed `/v1/batch` request: items fan out under one shared budget.
+///
+/// Item-level *schema* failures (unknown design, bad field value) are
+/// captured per item and reported in that item's result slot — one bad
+/// item must not void sixty-three good ones. Envelope-level failures
+/// (not an object, unknown top-level key, too many items) reject the
+/// whole request with a structured `400`.
+#[derive(Debug)]
+pub struct BatchRequest {
+    /// Items in request order; `Err` slots echo their parse failure.
+    pub items: Vec<Result<ApiRequest, ApiError>>,
+    /// Shared wall budget from `X-Oiso-Deadline-Ms`.
+    pub deadline: Option<Duration>,
+    /// `"stream": true` — emit per-item ndjson events as items finish
+    /// (in item order) instead of one JSON body.
+    pub stream: bool,
+}
+
+impl BatchRequest {
+    /// Parses `{"items":[{...}, ...], "stream": bool}`.
+    pub fn parse(req: &Request) -> Result<BatchRequest, ApiError> {
+        let deadline = parse_deadline(req)?;
+        let body = std::str::from_utf8(&req.body)
+            .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+        if !body.trim_start().starts_with('{') {
+            return Err(ApiError::bad_json("batch body must be a JSON object"));
+        }
+        let value = parse_value(body).map_err(ApiError::bad_json)?;
+        let fields = value
+            .as_object()
+            .ok_or_else(|| ApiError::bad_json("batch body must be a JSON object"))?;
+        let mut items_value: Option<&[JsonValue]> = None;
+        let mut stream = false;
+        for (key, value) in fields {
+            match key.as_str() {
+                "items" => {
+                    items_value = Some(value.as_array().ok_or_else(|| {
+                        ApiError::bad_field("field \"items\" must be an array of objects")
+                    })?)
+                }
+                "stream" => {
+                    stream = value
+                        .as_scalar()
+                        .and_then(|s| s.as_bool())
+                        .ok_or_else(|| ApiError::bad_field("field \"stream\" must be a boolean"))?
+                }
+                other => return Err(ApiError::unknown_field(other)),
+            }
+        }
+        let items_value = items_value
+            .ok_or_else(|| ApiError::bad_field("batch requires an \"items\" array"))?;
+        if items_value.is_empty() {
+            return Err(ApiError::bad_field("\"items\" must not be empty"));
+        }
+        if items_value.len() > MAX_BATCH_ITEMS {
+            return Err(ApiError::bad_field(format!(
+                "\"items\" holds {} entries; the cap is {MAX_BATCH_ITEMS}",
+                items_value.len()
+            )));
+        }
+        let items = items_value.iter().map(Self::parse_item).collect();
+        Ok(BatchRequest {
+            items,
+            deadline,
+            stream,
+        })
+    }
+
+    fn parse_item(item: &JsonValue) -> Result<ApiRequest, ApiError> {
+        let fields = item
+            .as_object()
+            .ok_or_else(|| ApiError::bad_field("batch item must be a JSON object"))?;
+        let mut endpoint = Endpoint::Isolate;
+        let mut draft = Draft::new();
+        for (key, value) in fields {
+            let scalar = value.as_scalar().ok_or_else(|| {
+                ApiError::bad_field(format!("field {key:?} must be a scalar"))
+            })?;
+            match key.as_str() {
+                "endpoint" => endpoint = parse_item_endpoint(&str_field(key, scalar)?)?,
+                "stream" => {
+                    return Err(ApiError::bad_field(
+                        "items may not set \"stream\"; stream the whole batch instead",
+                    ))
+                }
+                _ => draft.apply(key, scalar)?,
+            }
+        }
+        // Items carry no own deadline: the batch's budget is shared.
+        draft.build(endpoint, None)
+    }
+
+    /// The batch's routing fingerprint: FNV over the per-item
+    /// fingerprints in order (unparsable items hash as zero), so a
+    /// router sends a given batch to a stable shard.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.eat_str("batch");
+        for item in &self.items {
+            h.eat(item.as_ref().map(|r| r.fingerprint()).unwrap_or(0));
+        }
+        h.0
+    }
+}
+
+fn parse_item_endpoint(raw: &str) -> Result<Endpoint, ApiError> {
+    match raw {
+        "isolate" => Ok(Endpoint::Isolate),
+        "lint" => Ok(Endpoint::Lint),
+        "verify" => Ok(Endpoint::Verify),
+        "simulate" => Ok(Endpoint::Simulate),
+        other => Err(ApiError::bad_field(format!(
+            "\"endpoint\" must be isolate|lint|verify|simulate, got {other:?}"
+        ))),
+    }
+}
+
+/// What [`run_batch`] produced, with the per-status counts the server
+/// records as metrics.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The rendered `200` envelope (always `200`; failures are
+    /// per-item).
+    pub response: Response,
+    /// Items that returned `200`.
+    pub ok: usize,
+    /// Items that returned a structured error.
+    pub error: usize,
+    /// Items shed by the shared budget before they ran.
+    pub shed: usize,
+}
+
+/// One executed batch item, rendered for embedding.
+struct ItemResult {
+    /// Inner response JSON, trailing newline trimmed.
+    body: String,
+    status: &'static str,
+    cache: &'static str,
+}
+
+fn run_item(
+    item: &Result<ApiRequest, ApiError>,
+    memo: &SimMemo,
+    cache: &ResultCache,
+    store: Option<&ResultStore>,
+    deadline_at: Option<Instant>,
+    use_cache: bool,
+) -> ItemResult {
+    let render = |resp: &Response| String::from_utf8_lossy(&resp.body).trim_end().to_string();
+    let req = match item {
+        Ok(req) => req,
+        Err(e) => {
+            return ItemResult {
+                body: render(&e.to_response()),
+                status: "error",
+                cache: CacheRole::Bypass.label(),
+            }
+        }
+    };
+    if deadline_at.is_some_and(|at| Instant::now() >= at) {
+        return ItemResult {
+            body: render(&ApiError::batch_shed().to_response()),
+            status: "shed",
+            cache: CacheRole::Bypass.label(),
+        };
+    }
+    // A panicking handler must produce a well-formed slot, not tear the
+    // batch envelope: catch it here, exactly like the worker does for
+    // single requests.
+    let compute = || {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            req.execute_at(memo, deadline_at)
+        })) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                ApiError::internal_panic(oiso_par::panic_payload_text(&payload)).to_response()
+            }
+        }
+    };
+    let (response, role) = match req.cache_key().filter(|_| use_cache) {
+        Some(key) => {
+            cache.get_or_compute_with_store(key, store, req.endpoint.label(), compute)
+        }
+        None => (compute(), CacheRole::Bypass),
+    };
+    ItemResult {
+        status: if response.status == 200 { "ok" } else { "error" },
+        body: render(&response),
+        cache: role.label(),
+    }
+}
+
+/// Executes a non-streaming batch: dedups identical items, fans the
+/// unique work out through [`oiso_par::parallel_map`] (`threads` wide),
+/// and renders the envelope with results in item order — completion
+/// order never leaks into the bytes.
+pub fn run_batch(
+    batch: &BatchRequest,
+    memo: &SimMemo,
+    cache: &ResultCache,
+    store: Option<&ResultStore>,
+    threads: usize,
+) -> BatchOutcome {
+    let deadline_at = batch.deadline.map(|d| Instant::now() + d);
+    // A deadline-bearing batch bypasses the result cache: where the
+    // budget lands is wall-clock dependent, so nothing it produces is a
+    // function of the request alone.
+    let use_cache = batch.deadline.is_none();
+
+    // Dedup identical items up front so a batch of sixty-four copies
+    // computes once, and so cache roles are deterministic: the first
+    // occurrence computes (miss), duplicates report as hits.
+    let mut first_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut unique: Vec<usize> = Vec::new();
+    let mut slot: Vec<usize> = Vec::with_capacity(batch.items.len());
+    for (i, item) in batch.items.iter().enumerate() {
+        let fp = item.as_ref().ok().map(|r| r.fingerprint());
+        match fp.and_then(|fp| first_of.get(&fp).copied()) {
+            Some(existing) => slot.push(existing),
+            None => {
+                if let Some(fp) = fp {
+                    first_of.insert(fp, unique.len());
+                }
+                slot.push(unique.len());
+                unique.push(i);
+            }
+        }
+    }
+    let computed = oiso_par::parallel_map(threads, &unique, |_, &i| {
+        run_item(&batch.items[i], memo, cache, store, deadline_at, use_cache)
+    });
+
+    let (mut ok, mut error, mut shed) = (0usize, 0usize, 0usize);
+    let results = json_array((0..batch.items.len()).map(|i| {
+        let r = &computed[slot[i]];
+        let cache_label = if unique[slot[i]] == i { r.cache } else { "hit" };
+        match r.status {
+            "ok" => ok += 1,
+            "shed" => shed += 1,
+            _ => error += 1,
+        }
+        let mut obj = JsonObj::new();
+        obj.int("index", i as u64)
+            .str("status", r.status)
+            .str("cache", cache_label)
+            .raw("response", &r.body);
+        obj.finish()
+    }));
+    let mut obj = JsonObj::new();
+    obj.str("endpoint", "batch")
+        .int("items", batch.items.len() as u64)
+        .int("ok", ok as u64)
+        .int("error", error as u64)
+        .int("shed", shed as u64)
+        .raw("results", &results);
+    BatchOutcome {
+        response: ok_json(obj.finish()),
+        ok,
+        error,
+        shed,
+    }
+}
+
+/// What a streaming handler did, for the server's metrics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StreamSummary {
+    /// ndjson events written (including the terminal one).
+    pub events: u64,
+    /// Batch items that returned `200` (batch streams only).
+    pub batch_ok: usize,
+    /// Batch items that errored (batch streams only).
+    pub batch_error: usize,
+    /// Batch items shed by the shared budget (batch streams only).
+    pub batch_shed: usize,
+}
+
+/// Streams one isolate run as ndjson progress events: an `accept` event
+/// per accepted candidate — a [`StepTap`] observer on the same journal
+/// append the checkpoint writer uses — then a `done` event carrying the
+/// full report (or an `error` event). Write failures (client hung up)
+/// are swallowed: the optimizer finishes on its own terms.
+pub fn stream_isolate<W: std::io::Write + Send + 'static>(
+    req: &ApiRequest,
+    memo: &SimMemo,
+    out: &Arc<Mutex<ChunkedWriter<W>>>,
+) -> StreamSummary {
+    let deadline_at = req.deadline.map(|d| Instant::now() + d);
+    let accepts = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let tap_out = Arc::clone(out);
+    let tap_accepts = Arc::clone(&accepts);
+    let config = req
+        .isolation_config(deadline_at)
+        .with_progress(StepTap::new(move |step| {
+            tap_accepts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut obj = JsonObj::new();
+            obj.str("event", "accept")
+                .int("iteration", step.iteration as u64)
+                .str("cell", &step.cell)
+                .float("h", step.h)
+                .float("saved_mw", step.saved)
+                .float("power_mw", step.power);
+            emit_event(&tap_out, obj.finish());
+        }));
+    let last = match optimize_with_memo(&req.design.netlist, &req.design.stimuli, &config, memo) {
+        Ok(outcome) => {
+            let mut obj = JsonObj::new();
+            obj.str("event", "done")
+                .raw("report", &req.render_isolate(&outcome));
+            obj.finish()
+        }
+        Err(e) => {
+            let mut obj = JsonObj::new();
+            obj.str("event", "error")
+                .str("code", "engine_error")
+                .str("message", &e.to_string());
+            obj.finish()
+        }
+    };
+    emit_event(out, last);
+    if let Ok(mut w) = out.lock() {
+        let _ = w.finish();
+    }
+    StreamSummary {
+        events: accepts.load(std::sync::atomic::Ordering::Relaxed) + 1,
+        ..StreamSummary::default()
+    }
+}
+
+/// Streams a batch as ndjson: one `item` event per item **in item
+/// order** (items run sequentially — a progress stream that reordered
+/// or interleaved items would be useless to tail), then a `done`
+/// summary.
+pub fn stream_batch<W: std::io::Write + Send + 'static>(
+    batch: &BatchRequest,
+    memo: &SimMemo,
+    cache: &ResultCache,
+    store: Option<&ResultStore>,
+    out: &Arc<Mutex<ChunkedWriter<W>>>,
+) -> StreamSummary {
+    let deadline_at = batch.deadline.map(|d| Instant::now() + d);
+    let use_cache = batch.deadline.is_none();
+    let (mut ok, mut error, mut shed) = (0usize, 0usize, 0usize);
+    for (i, item) in batch.items.iter().enumerate() {
+        let r = run_item(item, memo, cache, store, deadline_at, use_cache);
+        match r.status {
+            "ok" => ok += 1,
+            "shed" => shed += 1,
+            _ => error += 1,
+        }
+        let mut obj = JsonObj::new();
+        obj.str("event", "item")
+            .int("index", i as u64)
+            .str("status", r.status)
+            .str("cache", r.cache)
+            .raw("response", &r.body);
+        emit_event(out, obj.finish());
+    }
+    let mut obj = JsonObj::new();
+    obj.str("event", "done")
+        .int("items", batch.items.len() as u64)
+        .int("ok", ok as u64)
+        .int("error", error as u64)
+        .int("shed", shed as u64);
+    emit_event(out, obj.finish());
+    if let Ok(mut w) = out.lock() {
+        let _ = w.finish();
+    }
+    StreamSummary {
+        events: batch.items.len() as u64 + 1,
+        batch_ok: ok,
+        batch_error: error,
+        batch_shed: shed,
+    }
+}
+
+fn emit_event<W: std::io::Write>(out: &Arc<Mutex<ChunkedWriter<W>>>, mut line: String) {
+    line.push('\n');
+    if let Ok(mut w) = out.lock() {
+        let _ = w.chunk(line.as_bytes());
     }
 }
 

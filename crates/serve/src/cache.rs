@@ -15,6 +15,7 @@
 //! the in-flight marker and wakes waiters, one of which takes over.
 
 use crate::http::Response;
+use crate::store::ResultStore;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -108,8 +109,35 @@ impl ResultCache {
         key: u64,
         compute: impl FnOnce() -> Response,
     ) -> (Response, CacheRole) {
+        self.get_or_compute_with_store(key, None, "", compute)
+    }
+
+    /// [`Self::get_or_compute`] with a durable tier underneath: on an
+    /// in-memory miss the [`ResultStore`] is consulted before computing
+    /// (a store hit is promoted into the LRU and reported as a
+    /// [`CacheRole::Hit`] — restart survival looks like any other hit),
+    /// and freshly computed `200`s are appended to the store. With the
+    /// LRU disabled (`cap == 0`) the store alone answers, single-flight
+    /// still applying to computes.
+    pub fn get_or_compute_with_store(
+        &self,
+        key: u64,
+        store: Option<&ResultStore>,
+        endpoint: &str,
+        compute: impl FnOnce() -> Response,
+    ) -> (Response, CacheRole) {
         if self.cap == 0 {
-            return (compute(), CacheRole::Bypass);
+            let Some(store) = store else {
+                return (compute(), CacheRole::Bypass);
+            };
+            if let Some(resp) = store.get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (resp, CacheRole::Hit);
+            }
+            let response = compute();
+            store.put(key, endpoint, &response);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (response, CacheRole::Miss);
         }
         {
             let mut state = self.state.lock().expect("cache lock");
@@ -128,12 +156,22 @@ impl ResultCache {
                 }
             }
         }
-        // Compute outside the lock. The guard keeps a panicking compute
-        // from wedging every waiter: its Drop clears the in-flight
-        // marker and wakes them so one can take over.
+        // Consult the durable tier (outside the lock) before paying for
+        // a compute; a store hit is promoted into the LRU. The guard
+        // keeps a panicking compute from wedging every waiter: its Drop
+        // clears the in-flight marker and wakes them so one can take
+        // over.
         let guard = InflightGuard { cache: self, key };
-        let response = compute();
+        let (response, from_store) = match store.and_then(|s| s.get(key)) {
+            Some(resp) => (resp, true),
+            None => (compute(), false),
+        };
         std::mem::forget(guard);
+        if !from_store && response.status == 200 {
+            if let Some(store) = store {
+                store.put(key, endpoint, &response);
+            }
+        }
         let mut state = self.state.lock().expect("cache lock");
         state.inflight.retain(|&k| k != key);
         if response.status == 200 {
@@ -148,10 +186,16 @@ impl ResultCache {
             touch(&mut state.order, key);
         }
         self.entries.store(state.map.len(), Ordering::Relaxed);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        let role = if from_store {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            CacheRole::Hit
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            CacheRole::Miss
+        };
         drop(state);
         self.ready.notify_all();
-        (response, CacheRole::Miss)
+        (response, role)
     }
 
     /// Counter snapshot (cheap atomic reads; not a single consistent
@@ -266,6 +310,50 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits, 7);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn store_hit_is_promoted_and_counts_as_hit() {
+        let dir = std::env::temp_dir().join(format!("oiso-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir, 0).unwrap();
+        store.put(7, "isolate", &ok("{\"persisted\":1}\n"));
+
+        let cache = ResultCache::new(4);
+        let (resp, role) =
+            cache.get_or_compute_with_store(7, Some(&store), "isolate", || panic!("store has it"));
+        assert_eq!(role, CacheRole::Hit, "restart survival reads as a hit");
+        assert_eq!(resp.body, b"{\"persisted\":1}\n");
+        // Promoted into the LRU: a second lookup never touches the store.
+        let before = store.stats().hits;
+        let (_, role) = cache.get_or_compute_with_store(7, Some(&store), "isolate", || {
+            panic!("resident now")
+        });
+        assert_eq!(role, CacheRole::Hit);
+        assert_eq!(store.stats().hits, before);
+
+        // A fresh compute lands in the store.
+        let (_, role) =
+            cache.get_or_compute_with_store(8, Some(&store), "isolate", || ok("computed"));
+        assert_eq!(role, CacheRole::Miss);
+        assert!(store.get(8).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_lru_still_answers_from_the_store() {
+        let dir = std::env::temp_dir().join(format!("oiso-cache-cap0-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir, 0).unwrap();
+        let cache = ResultCache::new(0);
+        let (_, role) =
+            cache.get_or_compute_with_store(1, Some(&store), "isolate", || ok("fresh"));
+        assert_eq!(role, CacheRole::Miss);
+        let (resp, role) =
+            cache.get_or_compute_with_store(1, Some(&store), "isolate", || panic!("stored"));
+        assert_eq!(role, CacheRole::Hit);
+        assert_eq!(resp.body, b"fresh");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl ApiError {
             404,
             "not_found",
             format!(
-                "no endpoint {path:?}; try POST /v1/{{isolate,lint,verify,simulate}}, \
+                "no endpoint {path:?}; try POST /v1/{{isolate,lint,verify,simulate,batch}}, \
                  GET /healthz, GET /metrics"
             ),
         )
@@ -144,11 +144,44 @@ impl ApiError {
     }
 
     /// `503 overloaded`: the job queue is full; retry later.
-    pub fn overloaded() -> Self {
+    ///
+    /// `Retry-After` is computed from the backlog at shed time, not a
+    /// constant: with `queue_depth` connections queued ahead and
+    /// `workers` draining them, the queue cannot have a free slot for
+    /// roughly `ceil(depth / workers)` request-seconds — clamped to
+    /// `1..=30` so the hint stays sane under pathological depths.
+    pub fn overloaded(queue_depth: usize, workers: usize) -> Self {
         let mut e = Self::new(
             503,
             "overloaded",
-            "job queue is full; retry after the indicated delay",
+            format!(
+                "job queue is full ({queue_depth} queued, {workers} worker(s)); \
+                 retry after the indicated delay"
+            ),
+        );
+        e.retry_after = Some(queue_depth.div_ceil(workers.max(1)).clamp(1, 30) as u32);
+        e
+    }
+
+    /// `503 batch_shed`: the batch's shared wall budget expired before
+    /// this item could start; the item's slot reports `"status":"shed"`
+    /// with this body — never torn JSON.
+    pub fn batch_shed() -> Self {
+        Self::new(
+            503,
+            "batch_shed",
+            "the batch deadline expired before this item ran",
+        )
+    }
+
+    /// `503 shard_unavailable`: the shard owning this fingerprint is
+    /// unreachable. Synthesized by the fingerprint-hash router when a
+    /// downed daemon would otherwise turn into a hung connection.
+    pub fn shard_unavailable(shard: usize, count: usize, detail: impl Into<String>) -> Self {
+        let mut e = Self::new(
+            503,
+            "shard_unavailable",
+            format!("shard {}/{count} is unreachable: {}", shard + 1, detail.into()),
         );
         e.retry_after = Some(1);
         e
@@ -195,12 +228,31 @@ mod tests {
     }
 
     #[test]
-    fn overload_carries_retry_after() {
-        let r = ApiError::overloaded().to_response();
+    fn overload_retry_after_is_computed_from_the_backlog() {
+        let retry = |depth, workers| {
+            ApiError::overloaded(depth, workers)
+                .to_response()
+                .extra_headers
+                .iter()
+                .find(|(k, _)| k == "Retry-After")
+                .map(|(_, v)| v.clone())
+                .expect("Retry-After present")
+        };
+        assert_eq!(retry(1, 1), "1");
+        assert_eq!(retry(4, 1), "4");
+        assert_eq!(retry(4, 4), "1");
+        assert_eq!(retry(9, 4), "3");
+        assert_eq!(retry(10_000, 1), "30", "clamped");
+        assert_eq!(retry(0, 0), "1", "degenerate inputs stay sane");
+        assert_eq!(ApiError::overloaded(4, 1).status, 503);
+    }
+
+    #[test]
+    fn shard_unavailable_is_structured() {
+        let r = ApiError::shard_unavailable(1, 3, "connection refused").to_response();
         assert_eq!(r.status, 503);
-        assert!(r
-            .extra_headers
-            .iter()
-            .any(|(k, v)| k == "Retry-After" && v == "1"));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"code\":\"shard_unavailable\""), "{body}");
+        assert!(body.contains("shard 2/3"), "{body}");
     }
 }

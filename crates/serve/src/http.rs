@@ -218,6 +218,111 @@ impl Response {
     }
 }
 
+/// A chunked-transfer response in progress (`Transfer-Encoding:
+/// chunked`) — the transport for streaming progress events, where the
+/// body length is unknown when the head is written.
+///
+/// The writer owns the stream: [`ChunkedWriter::start`] emits the head,
+/// every [`ChunkedWriter::chunk`] one length-prefixed chunk (flushed
+/// immediately so events arrive as they happen), and
+/// [`ChunkedWriter::finish`] the zero-length terminator. Dropping the
+/// writer without `finish` leaves the client able to detect truncation —
+/// exactly what a torn stream should look like.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
+    finished: bool,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream write failures (client hung up).
+    pub fn start(
+        mut inner: W,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(String, String)],
+    ) -> std::io::Result<ChunkedWriter<W>> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+            status,
+            reason(status),
+            content_type,
+        );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        inner.write_all(head.as_bytes())?;
+        inner.flush()?;
+        Ok(ChunkedWriter {
+            inner,
+            finished: false,
+        })
+    }
+
+    /// Writes one chunk and flushes it. Empty data is skipped (a
+    /// zero-length chunk would terminate the stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream write failures.
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() || self.finished {
+            return Ok(());
+        }
+        write!(self.inner, "{:x}\r\n", data.len())?;
+        self.inner.write_all(data)?;
+        self.inner.write_all(b"\r\n")?;
+        self.inner.flush()
+    }
+
+    /// Writes the zero-length terminating chunk (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream write failures.
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()
+    }
+}
+
+/// Decodes a chunked-transfer body into the concatenated payload.
+/// Returns `None` on a malformed framing (a torn stream). Used by the
+/// test client and the shard router, which both consume daemon output.
+pub fn decode_chunked(raw: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    loop {
+        let line_end = rest.windows(2).position(|w| w == b"\r\n")?;
+        let size_text = std::str::from_utf8(&rest[..line_end]).ok()?;
+        let size = usize::from_str_radix(size_text.trim(), 16).ok()?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Some(out);
+        }
+        if rest.len() < size + 2 {
+            return None;
+        }
+        out.extend_from_slice(&rest[..size]);
+        if &rest[size..size + 2] != b"\r\n" {
+            return None;
+        }
+        rest = &rest[size + 2..];
+    }
+}
+
 /// Reason phrase for the handful of statuses the API emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -295,6 +400,42 @@ mod tests {
         raw.extend(std::iter::repeat_n(b'a', MAX_HEAD + 10));
         let err = read_bytes(&raw).unwrap_err();
         assert_eq!(err.code, "head_too_large");
+    }
+
+    #[test]
+    fn chunked_writer_round_trips_through_the_decoder() {
+        let mut out = Vec::new();
+        {
+            let mut w = ChunkedWriter::start(
+                &mut out,
+                200,
+                "application/x-ndjson",
+                &[("X-Oiso-Cache".to_string(), "bypass".to_string())],
+            )
+            .unwrap();
+            w.chunk(b"{\"event\":\"accept\"}\n").unwrap();
+            w.chunk(b"").unwrap(); // skipped, not a terminator
+            w.chunk(b"{\"event\":\"done\"}\n").unwrap();
+            w.finish().unwrap();
+            w.finish().unwrap(); // idempotent
+        }
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(text.contains("X-Oiso-Cache: bypass\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+        let split = out.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+        let body = decode_chunked(&out[split + 4..]).unwrap();
+        assert_eq!(body, b"{\"event\":\"accept\"}\n{\"event\":\"done\"}\n");
+    }
+
+    #[test]
+    fn torn_chunked_bodies_decode_to_none() {
+        assert_eq!(decode_chunked(b""), None, "no terminator");
+        assert_eq!(decode_chunked(b"5\r\nab"), None, "short chunk");
+        assert_eq!(decode_chunked(b"xyz\r\n"), None, "bad size");
+        assert_eq!(decode_chunked(b"2\r\nab\r\n"), None, "missing terminator");
+        assert_eq!(decode_chunked(b"2\r\nab\r\n0\r\n\r\n").as_deref(), Some(&b"ab"[..]));
     }
 
     #[test]

@@ -163,6 +163,142 @@ pub fn parse_object(text: &str) -> Result<Vec<(String, JsonScalar)>, String> {
     Ok(fields)
 }
 
+/// A parsed JSON value for the endpoints whose bodies are *not* flat —
+/// `/v1/batch` nests one request object per item. Scalars reuse the
+/// checkpoint journal's [`JsonScalar`] (string / unsigned integer /
+/// boolean), so the per-item field validation is exactly the single-
+/// request validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A scalar leaf.
+    Scalar(JsonScalar),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An insertion-ordered object (duplicate keys rejected at parse).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The scalar, if this is a leaf.
+    pub fn as_scalar(&self) -> Option<&JsonScalar> {
+        match self {
+            JsonValue::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Nesting cap for [`parse_value`] — far above any legitimate request
+/// body, low enough that hostile deeply-nested input cannot overflow the
+/// worker's stack.
+const MAX_DEPTH: usize = 16;
+
+/// Parses one complete JSON value (object, array, or scalar) with
+/// arbitrary nesting up to [`MAX_DEPTH`], tolerating whitespace between
+/// tokens. Duplicate object keys are rejected, exactly like
+/// [`parse_object`].
+///
+/// # Errors
+///
+/// A human-readable description of the first malformation.
+pub fn parse_value(text: &str) -> Result<JsonValue, String> {
+    let mut chars = text.chars().peekable();
+    skip_ws(&mut chars);
+    let value = parse_value_at(&mut chars, "body", 0)?;
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after the value".into());
+    }
+    Ok(value)
+}
+
+fn parse_value_at(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    key: &str,
+    depth: usize,
+) -> Result<JsonValue, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+    }
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut fields: Vec<(String, JsonValue)> = Vec::new();
+            skip_ws(chars);
+            if chars.peek() == Some(&'}') {
+                chars.next();
+                return Ok(JsonValue::Object(fields));
+            }
+            loop {
+                skip_ws(chars);
+                if chars.peek() != Some(&'"') {
+                    return Err(format!(
+                        "expected a quoted key, found {}",
+                        describe(chars.peek())
+                    ));
+                }
+                let field_key = parse_string(chars)?;
+                if fields.iter().any(|(k, _)| *k == field_key) {
+                    return Err(format!("duplicate key {field_key:?}"));
+                }
+                skip_ws(chars);
+                if chars.next() != Some(':') {
+                    return Err(format!("expected ':' after key {field_key:?}"));
+                }
+                skip_ws(chars);
+                let value = parse_value_at(chars, &field_key, depth + 1)?;
+                fields.push((field_key, value));
+                skip_ws(chars);
+                match chars.next() {
+                    Some(',') => continue,
+                    Some('}') => return Ok(JsonValue::Object(fields)),
+                    other => {
+                        return Err(format!("expected ',' or '}}', found {}", describe(other)))
+                    }
+                }
+            }
+        }
+        Some('[') => {
+            chars.next();
+            let mut items = Vec::new();
+            skip_ws(chars);
+            if chars.peek() == Some(&']') {
+                chars.next();
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                skip_ws(chars);
+                items.push(parse_value_at(chars, key, depth + 1)?);
+                skip_ws(chars);
+                match chars.next() {
+                    Some(',') => continue,
+                    Some(']') => return Ok(JsonValue::Array(items)),
+                    other => {
+                        return Err(format!("expected ',' or ']', found {}", describe(other)))
+                    }
+                }
+            }
+        }
+        _ => Ok(JsonValue::Scalar(parse_scalar(chars, key)?)),
+    }
+}
+
 fn describe(c: Option<impl std::borrow::Borrow<char>>) -> String {
     match c {
         Some(c) => format!("{:?}", c.borrow()),
@@ -309,6 +445,39 @@ mod tests {
             ("{\"a\":\"x}", "unterminated"),
         ] {
             let err = parse_object(body).unwrap_err();
+            assert!(err.contains(needle), "{body:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn nested_reader_parses_batch_shaped_bodies() {
+        let v = parse_value(
+            "{\"items\":[{\"design\":\"figure1\",\"cycles\":300},{\"design\":\"soc\"}],\
+             \"stream\":false}",
+        )
+        .unwrap();
+        let fields = v.as_object().unwrap();
+        assert_eq!(fields[0].0, "items");
+        let items = fields[0].1.as_array().unwrap();
+        assert_eq!(items.len(), 2);
+        let first = items[0].as_object().unwrap();
+        assert_eq!(first[0].1.as_scalar().unwrap().as_str(), Some("figure1"));
+        assert_eq!(first[1].1.as_scalar().unwrap().as_int(), Some(300));
+        assert_eq!(fields[1].1.as_scalar().unwrap().as_bool(), Some(false));
+        assert_eq!(parse_value("[]").unwrap(), JsonValue::Array(Vec::new()));
+        assert_eq!(parse_value(" { } ").unwrap(), JsonValue::Object(Vec::new()));
+    }
+
+    #[test]
+    fn nested_reader_rejects_malformations_with_reasons() {
+        for (body, needle) in [
+            ("{\"a\":[1,}", "expected"),
+            ("{\"a\":[1", "expected ','"),
+            ("{\"a\":1}x", "trailing"),
+            ("{\"a\":{\"b\":1,\"b\":2}}", "duplicate key"),
+            (&format!("{}1{}", "[".repeat(40), "]".repeat(40)), "nesting"),
+        ] {
+            let err = parse_value(body).unwrap_err();
             assert!(err.contains(needle), "{body:?} -> {err:?}");
         }
     }

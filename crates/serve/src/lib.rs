@@ -13,8 +13,17 @@
 //! | `/v1/lint` | POST | the OL001–OL010 rule set |
 //! | `/v1/verify` | POST | per-candidate equivalence checking |
 //! | `/v1/simulate` | POST | power/area/timing measurement |
+//! | `/v1/batch` | POST | many of the above fanned out in one request |
 //! | `/healthz` | GET | liveness probe |
 //! | `/metrics` | GET | deterministic text metrics |
+//!
+//! Serve v2 adds: `/v1/batch` fan-out under one shared budget,
+//! `"stream": true` chunked ndjson progress on `/v1/isolate` and
+//! `/v1/batch` ([`http::ChunkedWriter`] tapping the checkpoint journal
+//! via [`oiso_core::StepTap`]), a disk-backed result store
+//! ([`store::ResultStore`], `--store DIR`) under the in-memory LRU so
+//! cached `200`s survive restarts, and deterministic fingerprint-hash
+//! sharding ([`shard::ShardSpec`], `--shard K/N`).
 //!
 //! Request bodies are either a flat JSON object (`{"design": "figure1",
 //! "style": "latch", "cycles": 800}` — bundled-design name or inline
@@ -66,7 +75,9 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod server;
+pub mod shard;
 pub mod signal;
+pub mod store;
 pub mod testing;
 
 pub use api::Endpoint;
@@ -74,6 +85,8 @@ pub use cache::{CacheStats, ResultCache};
 pub use error::ApiError;
 pub use metrics::Metrics;
 pub use server::{run_daemon, Server, ServerHandle};
+pub use shard::{shard_of, ShardSpec};
+pub use store::{ResultStore, StoreStats};
 
 /// Daemon configuration (`oiso serve --port P --threads T ...`).
 #[derive(Debug, Clone)]
@@ -93,6 +106,12 @@ pub struct ServeConfig {
     pub max_body: usize,
     /// Emit single-line JSON access logs to stdout.
     pub log: bool,
+    /// Directory for the disk-backed result store (`--store DIR`);
+    /// `None` leaves the daemon memory-only.
+    pub store: Option<std::path::PathBuf>,
+    /// This daemon's slice of a sharded fleet (`--shard K/N`); `None`
+    /// serves the whole keyspace.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +124,8 @@ impl Default for ServeConfig {
             memo_cap: 1024,
             max_body: 1 << 20,
             log: false,
+            store: None,
+            shard: None,
         }
     }
 }

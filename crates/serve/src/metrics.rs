@@ -8,6 +8,8 @@
 
 use crate::api::Endpoint;
 use crate::cache::CacheStats;
+use crate::shard::ShardSpec;
+use crate::store::StoreStats;
 use oiso_sim::MemoStats;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -50,6 +52,9 @@ pub struct Metrics {
     requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
     /// endpoint label → latency histogram.
     latency: Mutex<BTreeMap<&'static str, Histogram>>,
+    /// batch item status (`ok` / `error` / `shed`) → item count.
+    batch_items: Mutex<BTreeMap<&'static str, u64>>,
+    stream_events: AtomicU64,
     shed: AtomicU64,
     panics: AtomicU64,
 }
@@ -92,6 +97,24 @@ impl Metrics {
             .observe(elapsed_ms);
     }
 
+    /// Records `n` batch items resolving with `status` (`"ok"`,
+    /// `"error"`, or `"shed"`).
+    pub fn record_batch_items(&self, status: &'static str, n: usize) {
+        if n > 0 {
+            *self
+                .batch_items
+                .lock()
+                .expect("metrics lock")
+                .entry(status)
+                .or_insert(0) += n as u64;
+        }
+    }
+
+    /// Records `n` streamed progress events written to clients.
+    pub fn record_stream_events(&self, n: u64) {
+        self.stream_events.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records a connection shed because the queue was full.
     pub fn record_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
@@ -108,13 +131,16 @@ impl Metrics {
     }
 
     /// Renders the full `/metrics` page. `queue_depth` is sampled by the
-    /// caller (the server owns the queue), as are the cache and sim-memo
-    /// snapshots.
+    /// caller (the server owns the queue), as are the cache, sim-memo,
+    /// and (when configured) result-store snapshots; `shard` names this
+    /// daemon's slice of a sharded fleet.
     pub fn render(
         &self,
         cache: &CacheStats,
         memo: &MemoStats,
         queue_depth: usize,
+        store: Option<&StoreStats>,
+        shard: Option<ShardSpec>,
     ) -> String {
         let mut out = String::new();
         out.push_str("# oiso-serve metrics (deterministic text exposition)\n");
@@ -158,6 +184,29 @@ impl Metrics {
         let _ = writeln!(out, "oiso_memo_misses_total {}", memo.misses);
         let _ = writeln!(out, "oiso_memo_evictions_total {}", memo.evictions);
         let _ = writeln!(out, "oiso_memo_entries {}", memo.entries);
+        if let Some(store) = store {
+            let _ = writeln!(out, "oiso_store_hits_total {}", store.hits);
+            let _ = writeln!(out, "oiso_store_misses_total {}", store.misses);
+            let _ = writeln!(out, "oiso_store_appends_total {}", store.appends);
+            let _ = writeln!(
+                out,
+                "oiso_store_load_warnings_total {}",
+                store.load_warnings
+            );
+            let _ = writeln!(out, "oiso_store_entries {}", store.entries);
+        }
+        for (&status, &count) in self.batch_items.lock().expect("metrics lock").iter() {
+            let _ = writeln!(out, "oiso_batch_items_total{{status=\"{status}\"}} {count}");
+        }
+        let _ = writeln!(
+            out,
+            "oiso_stream_events_total {}",
+            self.stream_events.load(Ordering::Relaxed)
+        );
+        if let Some(shard) = shard {
+            let _ = writeln!(out, "oiso_shard_index {}", shard.index);
+            let _ = writeln!(out, "oiso_shard_count {}", shard.count);
+        }
         let _ = writeln!(out, "oiso_queue_depth {queue_depth}");
         let _ = writeln!(out, "oiso_shed_total {}", self.shed.load(Ordering::Relaxed));
         let _ = writeln!(
@@ -196,9 +245,30 @@ mod tests {
             evictions: 0,
             entries: 1,
         };
-        let a = metrics.render(&cache, &memo_stats(), 4);
-        let b = metrics.render(&cache, &memo_stats(), 4);
+        metrics.record_batch_items("ok", 3);
+        metrics.record_batch_items("shed", 1);
+        metrics.record_batch_items("error", 0); // no-op, no series
+        metrics.record_stream_events(5);
+        let store = StoreStats {
+            entries: 2,
+            hits: 4,
+            misses: 1,
+            appends: 2,
+            load_warnings: 1,
+        };
+        let shard = ShardSpec { index: 1, count: 3 };
+        let a = metrics.render(&cache, &memo_stats(), 4, Some(&store), Some(shard));
+        let b = metrics.render(&cache, &memo_stats(), 4, Some(&store), Some(shard));
         assert_eq!(a, b, "two renders of the same state are byte-identical");
+        assert!(a.contains("oiso_store_hits_total 4"));
+        assert!(a.contains("oiso_store_load_warnings_total 1"));
+        assert!(a.contains("oiso_store_entries 2"));
+        assert!(a.contains("oiso_batch_items_total{status=\"ok\"} 3"));
+        assert!(a.contains("oiso_batch_items_total{status=\"shed\"} 1"));
+        assert!(!a.contains("status=\"error\""), "zero-count series omitted");
+        assert!(a.contains("oiso_stream_events_total 5"));
+        assert!(a.contains("oiso_shard_index 1"));
+        assert!(a.contains("oiso_shard_count 3"));
         assert!(a.contains("oiso_requests_total{endpoint=\"isolate\",status=\"200\"} 2"));
         assert!(a.contains("oiso_requests_total{endpoint=\"lint\",status=\"400\"} 1"));
         assert!(a.contains("oiso_request_latency_ms_bucket{endpoint=\"isolate\",le=\"5\"} 1"));
@@ -218,7 +288,11 @@ mod tests {
         for ms in [0, 1, 2, 30, 20_000] {
             metrics.record(Endpoint::Simulate, 200, ms);
         }
-        let page = metrics.render(&CacheStats::default(), &memo_stats(), 0);
+        let page = metrics.render(&CacheStats::default(), &memo_stats(), 0, None, None);
+        assert!(
+            !page.contains("oiso_store_") && !page.contains("oiso_shard_"),
+            "store/shard series appear only when configured"
+        );
         assert!(page.contains("{endpoint=\"simulate\",le=\"1\"} 2"));
         assert!(page.contains("{endpoint=\"simulate\",le=\"2\"} 3"));
         assert!(page.contains("{endpoint=\"simulate\",le=\"50\"} 4"));

@@ -16,19 +16,20 @@
 //! exit, and [`ServerHandle::shutdown`] joins them all before
 //! returning the final metrics page.
 
-use crate::api::{ApiRequest, Endpoint};
+use crate::api::{self, ApiRequest, BatchRequest, Endpoint};
 use crate::cache::{CacheRole, ResultCache};
 use crate::error::ApiError;
-use crate::http::{Request, Response};
+use crate::http::{ChunkedWriter, Request, Response};
 use crate::json::JsonObj;
 use crate::metrics::Metrics;
+use crate::store::ResultStore;
 use crate::{signal, ServeConfig};
 use oiso_par::queue::{bounded, Receiver, TrySendError};
 use oiso_par::{panic_payload_text, resolve_threads};
 use oiso_sim::SimMemo;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// How long a worker waits for a slow client before giving up on the
@@ -41,6 +42,11 @@ struct Shared {
     cache: ResultCache,
     metrics: Metrics,
     memo: SimMemo,
+    /// The durable result tier under the LRU (`--store DIR`).
+    store: Option<ResultStore>,
+    /// Resolved worker count — the acceptor computes `Retry-After`
+    /// hints from it when shedding.
+    workers: usize,
     /// Local latch ORed with the process-wide [`signal`] latch, so both
     /// programmatic shutdown and SIGTERM drive the same drain path.
     stop: AtomicBool,
@@ -54,8 +60,14 @@ impl Shared {
     }
 
     fn metrics_page(&self) -> String {
-        self.metrics
-            .render(&self.cache.stats(), &self.memo.stats(), self.depth.len())
+        let store_stats = self.store.as_ref().map(|s| s.stats());
+        self.metrics.render(
+            &self.cache.stats(),
+            &self.memo.stats(),
+            self.depth.len(),
+            store_stats.as_ref(),
+            self.config.shard,
+        )
     }
 }
 
@@ -76,10 +88,19 @@ impl Server {
         let addr = listener.local_addr()?;
         let workers = resolve_threads(config.threads);
         let (sender, receiver) = bounded::<TcpStream>(config.queue_cap);
+        let store = match &config.store {
+            Some(dir) => Some(ResultStore::open(
+                dir,
+                config.shard.map_or(0, |s| s.index),
+            )?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cache: ResultCache::new(config.cache_cap),
             metrics: Metrics::new(),
             memo: SimMemo::with_capacity(config.memo_cap),
+            store,
+            workers,
             stop: AtomicBool::new(false),
             depth: receiver.clone(),
             config,
@@ -99,7 +120,13 @@ impl Server {
                                 Ok(()) => {}
                                 Err(TrySendError::Full(stream)) => {
                                     shared.metrics.record_shed();
-                                    reject(stream, ApiError::overloaded());
+                                    reject(
+                                        stream,
+                                        ApiError::overloaded(
+                                            shared.depth.len(),
+                                            shared.workers,
+                                        ),
+                                    );
                                 }
                                 Err(TrySendError::Closed(stream)) => {
                                     reject(stream, ApiError::shutting_down());
@@ -193,6 +220,30 @@ fn reject(mut stream: TcpStream, error: ApiError) {
     }
 }
 
+/// What [`dispatch`] decided to do with a routed request.
+enum Dispatched {
+    /// An ordinary buffered response.
+    Full(&'static str, Response, Option<CacheRole>),
+    /// A `"stream": true` request — the worker takes over the socket
+    /// and writes chunked ndjson events.
+    Stream(StreamJob),
+}
+
+/// The two streamable request shapes.
+enum StreamJob {
+    Isolate(Box<ApiRequest>),
+    Batch(BatchRequest),
+}
+
+impl StreamJob {
+    fn label(&self) -> &'static str {
+        match self {
+            StreamJob::Isolate(_) => Endpoint::Isolate.label(),
+            StreamJob::Batch(_) => Endpoint::Batch.label(),
+        }
+    }
+}
+
 /// One connection, end to end: read, route, execute (under
 /// `catch_unwind`), respond, record.
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
@@ -204,24 +255,38 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
 
-    let (label, method, path, response, role) =
-        match Request::read(&mut stream, shared.config.max_body) {
-            Err(e) => ("invalid", "-".to_string(), "-".to_string(), e.to_response(), None),
-            Ok(req) => {
-                let (label, response, role) = dispatch(&req, shared);
-                (label, req.method, req.path, response, role)
-            }
-        };
+    let (method, path, dispatched) = match Request::read(&mut stream, shared.config.max_body) {
+        Err(e) => (
+            "-".to_string(),
+            "-".to_string(),
+            Dispatched::Full("invalid", e.to_response(), None),
+        ),
+        Ok(req) => {
+            let dispatched = dispatch(&req, shared);
+            (req.method, req.path, dispatched)
+        }
+    };
 
-    let mut response = response;
-    if let Some(role) = role {
-        response
-            .extra_headers
-            .push(("X-Oiso-Cache".to_string(), role.label().to_string()));
-    }
-    let write_ok = response.write_to(&mut stream).is_ok();
+    let (label, status, role, write_ok) = match dispatched {
+        Dispatched::Full(label, mut response, role) => {
+            if let Some(role) = role {
+                response
+                    .extra_headers
+                    .push(("X-Oiso-Cache".to_string(), role.label().to_string()));
+            }
+            let write_ok = response.write_to(&mut stream).is_ok();
+            (label, response.status, role, write_ok)
+        }
+        Dispatched::Stream(job) => {
+            let label = job.label();
+            let write_ok = stream_connection(stream, shared, job);
+            // The head (a 200) is written before any event; failures
+            // after that point are per-event, not a status.
+            (label, 200, Some(CacheRole::Bypass), write_ok)
+        }
+    };
     let elapsed_ms = start.elapsed().as_millis() as u64;
-    shared.metrics.record_for_label(label, response.status, elapsed_ms);
+    shared.metrics.record_for_label(label, status, elapsed_ms);
     if shared.config.log {
         let ts = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -233,7 +298,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             .str("method", &method)
             .str("path", &path)
             .str("endpoint", label)
-            .int("status", u64::from(response.status))
+            .int("status", u64::from(status))
             .int("ms", elapsed_ms)
             .str("cache", role.map_or("-", CacheRole::label))
             .bool("write_ok", write_ok);
@@ -241,42 +306,141 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// Serves one streaming request: writes the chunked head, hands the
+/// socket to the api-layer streamer under `catch_unwind`, and always
+/// terminates the chunk stream. Returns whether the head write
+/// succeeded.
+fn stream_connection(stream: TcpStream, shared: &Shared, job: StreamJob) -> bool {
+    let headers = [("X-Oiso-Cache".to_string(), "bypass".to_string())];
+    let writer = match ChunkedWriter::start(stream, 200, "application/x-ndjson", &headers) {
+        Ok(writer) => Arc::new(Mutex::new(writer)),
+        Err(_) => return false,
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job {
+        StreamJob::Isolate(req) => api::stream_isolate(req, &shared.memo, &writer),
+        StreamJob::Batch(batch) => {
+            let summary = api::stream_batch(
+                batch,
+                &shared.memo,
+                &shared.cache,
+                shared.store.as_ref(),
+                &writer,
+            );
+            shared.metrics.record_batch_items("ok", summary.batch_ok);
+            shared
+                .metrics
+                .record_batch_items("error", summary.batch_error);
+            shared.metrics.record_batch_items("shed", summary.batch_shed);
+            summary
+        }
+    }));
+    let events = match outcome {
+        Ok(summary) => summary.events,
+        Err(payload) => {
+            shared.metrics.record_panic();
+            // The stream is already a 200; the only honest way to fail
+            // now is a structured terminal event.
+            let error = ApiError::internal_panic(panic_payload_text(&payload));
+            let mut obj = JsonObj::new();
+            obj.str("event", "error")
+                .str("code", error.code)
+                .str("message", &error.message);
+            let mut line = obj.finish();
+            line.push('\n');
+            if let Ok(mut w) = writer.lock() {
+                let _ = w.chunk(line.as_bytes());
+                let _ = w.finish();
+            }
+            1
+        }
+    };
+    shared.metrics.record_stream_events(events);
+    true
+}
+
 /// Routes and executes one parsed request. Returns the metrics label,
-/// the response, and how the result cache was involved (POST only).
-fn dispatch(req: &Request, shared: &Shared) -> (&'static str, Response, Option<CacheRole>) {
+/// the response, and how the result cache was involved (POST only) —
+/// or the streaming job the worker should take over.
+fn dispatch(req: &Request, shared: &Shared) -> Dispatched {
     let endpoint = match Endpoint::route(&req.method, &req.path) {
         Ok(endpoint) => endpoint,
-        Err(e) => return ("other", e.to_response(), None),
+        Err(e) => return Dispatched::Full("other", e.to_response(), None),
     };
     match endpoint {
-        Endpoint::Healthz => (endpoint.label(), Response::text(200, "ok\n"), None),
-        Endpoint::Metrics => (
+        Endpoint::Healthz => {
+            Dispatched::Full(endpoint.label(), Response::text(200, "ok\n"), None)
+        }
+        Endpoint::Metrics => Dispatched::Full(
             endpoint.label(),
             Response::text(200, shared.metrics_page()),
             None,
         ),
+        Endpoint::Batch => {
+            let batch = match BatchRequest::parse(req) {
+                Ok(batch) => batch,
+                Err(e) => return Dispatched::Full(endpoint.label(), e.to_response(), None),
+            };
+            if batch.stream {
+                return Dispatched::Stream(StreamJob::Batch(batch));
+            }
+            // run_batch catches per-item panics itself; this outer
+            // guard covers envelope assembly.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                api::run_batch(
+                    &batch,
+                    &shared.memo,
+                    &shared.cache,
+                    shared.store.as_ref(),
+                    shared.workers,
+                )
+            }));
+            match outcome {
+                Ok(outcome) => {
+                    shared.metrics.record_batch_items("ok", outcome.ok);
+                    shared.metrics.record_batch_items("error", outcome.error);
+                    shared.metrics.record_batch_items("shed", outcome.shed);
+                    Dispatched::Full(endpoint.label(), outcome.response, None)
+                }
+                Err(payload) => {
+                    shared.metrics.record_panic();
+                    Dispatched::Full(
+                        endpoint.label(),
+                        ApiError::internal_panic(panic_payload_text(&payload)).to_response(),
+                        None,
+                    )
+                }
+            }
+        }
         _ => {
             let parsed = match ApiRequest::parse(endpoint, req) {
                 Ok(parsed) => parsed,
-                Err(e) => return (endpoint.label(), e.to_response(), None),
+                Err(e) => return Dispatched::Full(endpoint.label(), e.to_response(), None),
             };
+            if parsed.stream {
+                return Dispatched::Stream(StreamJob::Isolate(Box::new(parsed)));
+            }
             // The pipeline (and the single-flight cache around it) is
             // the only part that can panic; everything it touches is
             // either owned or poison-tolerant, so AssertUnwindSafe is
             // sound — a poisoned request is reported and dropped.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 match parsed.cache_key() {
-                    Some(key) => shared
-                        .cache
-                        .get_or_compute(key, || parsed.execute(&shared.memo)),
+                    Some(key) => shared.cache.get_or_compute_with_store(
+                        key,
+                        shared.store.as_ref(),
+                        parsed.endpoint.label(),
+                        || parsed.execute(&shared.memo),
+                    ),
                     None => (parsed.execute(&shared.memo), CacheRole::Bypass),
                 }
             }));
             match outcome {
-                Ok((response, role)) => (endpoint.label(), response, Some(role)),
+                Ok((response, role)) => {
+                    Dispatched::Full(endpoint.label(), response, Some(role))
+                }
                 Err(payload) => {
                     shared.metrics.record_panic();
-                    (
+                    Dispatched::Full(
                         endpoint.label(),
                         ApiError::internal_panic(panic_payload_text(&payload)).to_response(),
                         None,

@@ -1,0 +1,112 @@
+//! Deterministic fingerprint-hash sharding (`oiso serve --shard K/N`).
+//!
+//! A shard daemon is an ordinary daemon that *knows its place*: it
+//! serves any request it receives, names its slice of the fleet in
+//! `/metrics`, and writes its own record file into a shared `--store`
+//! directory. Routing is the client's job — a thin fronting process (or
+//! the [`crate::testing::RouterClient`] used by the tests) computes the
+//! request fingerprint with [`crate::api::ApiRequest::fingerprint`] and
+//! sends it to shard [`shard_of`]`(fp, N)`. Because the fingerprint is
+//! a pure function of the request semantics (engine, deadline, and
+//! streaming excluded), every client routes every request to the same
+//! shard, so each shard's cache and store see a disjoint, stable slice
+//! of the keyspace.
+
+/// One daemon's position in a fleet: 0-based `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This daemon's 0-based shard index (`K-1` for `--shard K/N`).
+    pub index: usize,
+    /// Total shards in the fleet (`N`).
+    pub count: usize,
+}
+
+/// Which shard owns fingerprint `fp` in a fleet of `count`.
+pub fn shard_of(fp: u64, count: usize) -> usize {
+    (fp % count.max(1) as u64) as usize
+}
+
+impl ShardSpec {
+    /// Parses the CLI form `K/N` with 1-based `K` (so `--shard 1/3` is
+    /// the first of three).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for malformed syntax, `K < 1`, `N < 1`,
+    /// or `K > N`.
+    pub fn parse(text: &str) -> Result<ShardSpec, String> {
+        let (k, n) = text
+            .split_once('/')
+            .ok_or_else(|| format!("expected K/N (e.g. 1/3), got {text:?}"))?;
+        let k: usize = k
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index {k:?} is not a number"))?;
+        let n: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count {n:?} is not a number"))?;
+        if n == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if k == 0 || k > n {
+            return Err(format!("shard index must be in 1..={n}, got {k}"));
+        }
+        Ok(ShardSpec {
+            index: k - 1,
+            count: n,
+        })
+    }
+
+    /// True when this shard owns fingerprint `fp`.
+    pub fn owns(&self, fp: u64) -> bool {
+        shard_of(fp, self.count) == self.index
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index + 1, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_one_based_positions() {
+        assert_eq!(
+            ShardSpec::parse("1/3"),
+            Ok(ShardSpec { index: 0, count: 3 })
+        );
+        assert_eq!(
+            ShardSpec::parse("3/3"),
+            Ok(ShardSpec { index: 2, count: 3 })
+        );
+        assert_eq!(ShardSpec::parse("1/1").unwrap().to_string(), "1/1");
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_and_garbage() {
+        assert!(ShardSpec::parse("0/3").is_err());
+        assert!(ShardSpec::parse("4/3").is_err());
+        assert!(ShardSpec::parse("1/0").is_err());
+        assert!(ShardSpec::parse("x/3").is_err());
+        assert!(ShardSpec::parse("13").is_err());
+    }
+
+    #[test]
+    fn every_fingerprint_has_exactly_one_owner() {
+        for count in [1usize, 2, 3, 5] {
+            let shards: Vec<ShardSpec> = (0..count)
+                .map(|index| ShardSpec { index, count })
+                .collect();
+            for fp in [0u64, 1, 2, 17, u64::MAX, 0xcbf2_9ce4_8422_2325] {
+                let owners = shards.iter().filter(|s| s.owns(fp)).count();
+                assert_eq!(owners, 1, "fp {fp:#x} at width {count}");
+                assert!(shard_of(fp, count) < count);
+            }
+        }
+    }
+}

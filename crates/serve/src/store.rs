@@ -1,0 +1,401 @@
+//! Disk-backed, fingerprint-keyed result store (`oiso serve --store DIR`).
+//!
+//! The in-memory single-flight LRU ([`crate::cache::ResultCache`]) dies
+//! with the process; this store layers a durable tier underneath it so
+//! cached `200` responses survive restarts and can be shared by the
+//! shards of a fleet. The format borrows the discipline of
+//! [`oiso_core::checkpoint`]: append-only JSONL record files, one line
+//! per entry, flushed as written, with a header line binding the file to
+//! the store format version.
+//!
+//! Unlike the checkpoint journal — which is ground truth for resume and
+//! therefore treats interior corruption as a hard error — the store is a
+//! *cache*: any unparsable line (torn tail or interior damage) is
+//! skipped with a warning counter, never a refusal to start. A corrupted
+//! store costs recomputation, not availability.
+//!
+//! Layout: `DIR/store-<shard>.jsonl`, one file per writing shard
+//! (`store-0.jsonl` unsharded). Every daemon loads *all* record files at
+//! startup but appends only to its own, so N shards can share one
+//! directory without write interleaving. Keys are the result-cache
+//! fingerprints ([`crate::api::ApiRequest::cache_key`]) — engine choice
+//! is already excluded there, so a response computed under the scalar
+//! engine answers packed and compiled requests byte-identically.
+
+use crate::http::Response;
+use oiso_core::{escape_json, parse_flat, JsonScalar};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Store format version written by this build; files with a different
+/// version are skipped (with a warning), not misread.
+pub const STORE_VERSION: u64 = 1;
+
+/// Counter snapshot for `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Entries resident in the index.
+    pub entries: usize,
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Records appended by this process.
+    pub appends: u64,
+    /// Unparsable lines (torn tails, interior corruption, unknown
+    /// versions) skipped while loading.
+    pub load_warnings: u64,
+}
+
+/// The disk-backed result store: an in-memory index over append-only
+/// JSONL record files.
+pub struct ResultStore {
+    path: PathBuf,
+    index: Mutex<HashMap<u64, String>>,
+    writer: Mutex<BufWriter<File>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    appends: AtomicU64,
+    load_warnings: u64,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("path", &self.path)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store under `dir`, loading every
+    /// `store-*.jsonl` record file present and appending to the one
+    /// owned by `shard_index`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures creating the directory or opening this
+    /// shard's record file for append. Unparsable *content* is never an
+    /// error — see the module docs.
+    pub fn open(dir: &Path, shard_index: usize) -> std::io::Result<ResultStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut index = HashMap::new();
+        let mut load_warnings = 0u64;
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("store-") && n.ends_with(".jsonl"))
+            })
+            .collect();
+        files.sort();
+        for file in &files {
+            let text = match std::fs::read_to_string(file) {
+                Ok(text) => text,
+                Err(_) => {
+                    load_warnings += 1;
+                    continue;
+                }
+            };
+            load_warnings += load_records(&text, &mut index);
+        }
+
+        let path = dir.join(format!("store-{shard_index}.jsonl"));
+        let existing = std::fs::read(&path).unwrap_or_default();
+        let fresh = existing.is_empty();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut writer = BufWriter::new(file);
+        if fresh {
+            writeln!(writer, "{{\"kind\":\"header\",\"version\":{STORE_VERSION}}}")?;
+            writer.flush()?;
+        } else if !existing.ends_with(b"\n") {
+            // Seal a tail torn by a crash mid-append so the next record
+            // starts on its own line instead of gluing to the damage.
+            writeln!(writer)?;
+            writer.flush()?;
+        }
+        Ok(ResultStore {
+            path,
+            index: Mutex::new(index),
+            writer: Mutex::new(writer),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            load_warnings,
+        })
+    }
+
+    /// Looks up a stored `200` response by cache key.
+    pub fn get(&self, key: u64) -> Option<Response> {
+        let body = self.index.lock().expect("store lock").get(&key).cloned();
+        match body {
+            Some(body) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Response::json(200, body))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Appends a `200` response under `key` (anything else is ignored —
+    /// errors are cheap to recompute and must not fill the disk).
+    /// Append failures are swallowed: losing durability must not fail
+    /// the request that computed the result.
+    pub fn put(&self, key: u64, endpoint: &str, response: &Response) {
+        if response.status != 200 {
+            return;
+        }
+        let Ok(body) = std::str::from_utf8(&response.body) else {
+            return;
+        };
+        {
+            let mut index = self.index.lock().expect("store lock");
+            if index.contains_key(&key) {
+                return;
+            }
+            index.insert(key, body.to_string());
+        }
+        let line = format!(
+            "{{\"kind\":\"entry\",\"key\":\"{key:016x}\",\"endpoint\":\"{}\",\"body\":\"{}\"}}",
+            escape_json(endpoint),
+            escape_json(body)
+        );
+        let mut writer = self.writer.lock().expect("store lock");
+        if writeln!(writer, "{line}").is_ok() {
+            let _ = writer.flush();
+            self.appends.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot (cheap atomic reads).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            entries: self.index.lock().expect("store lock").len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            load_warnings: self.load_warnings,
+        }
+    }
+
+    /// This daemon's own record file (test visibility).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Loads the records of one file into `index`, returning the number of
+/// skipped (warned-about) lines. The first line must be a header with a
+/// known version or the whole file is skipped as one warning.
+fn load_records(text: &str, index: &mut HashMap<u64, String>) -> u64 {
+    let mut warnings = 0u64;
+    let mut lines = text.split_inclusive('\n');
+    match lines.next().map(parse_header) {
+        Some(Some(version)) if version == STORE_VERSION => {}
+        // Unknown version, malformed header, or an empty file: skip the
+        // file's records entirely — they may not mean what we think.
+        _ => return 1,
+    }
+    for line in lines {
+        let (payload, complete) = match line.strip_suffix('\n') {
+            Some(p) => (p, true),
+            None => (line, false),
+        };
+        if payload.trim().is_empty() {
+            continue;
+        }
+        match parse_entry(payload) {
+            Some((key, body)) => {
+                index.insert(key, body);
+            }
+            None => {
+                // A torn tail (no trailing newline) and interior
+                // corruption are both tolerated; each costs one warning.
+                warnings += 1;
+                let _ = complete;
+            }
+        }
+    }
+    warnings
+}
+
+fn parse_header(line: &str) -> Option<u64> {
+    let fields = parse_flat(line.trim_end()).ok()?;
+    let mut kind = None;
+    let mut version = None;
+    for (k, v) in &fields {
+        match k.as_str() {
+            "kind" => kind = v.as_str(),
+            "version" => version = v.as_int(),
+            _ => {}
+        }
+    }
+    (kind == Some("header")).then_some(version?)
+}
+
+fn parse_entry(line: &str) -> Option<(u64, String)> {
+    let fields = parse_flat(line).ok()?;
+    let mut kind = None;
+    let mut key = None;
+    let mut body = None;
+    for (k, v) in fields {
+        match k.as_str() {
+            "kind" => kind = v.as_str().map(str::to_string),
+            "key" => {
+                key = match v {
+                    JsonScalar::Str(s) => u64::from_str_radix(&s, 16).ok(),
+                    _ => None,
+                }
+            }
+            "body" => {
+                body = match v {
+                    JsonScalar::Str(s) => Some(s),
+                    _ => None,
+                }
+            }
+            _ => {}
+        }
+    }
+    (kind.as_deref() == Some("entry")).then_some(())?;
+    Some((key?, body?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oiso-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ok(body: &str) -> Response {
+        Response::json(200, body)
+    }
+
+    #[test]
+    fn entries_survive_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            store.put(0xabc, "isolate", &ok("{\"x\":1}\n"));
+            store.put(0xdef, "simulate", &ok("{\"y\":2}\n"));
+            assert_eq!(store.stats().appends, 2);
+        }
+        let store = ResultStore::open(&dir, 0).unwrap();
+        assert_eq!(store.stats().entries, 2);
+        assert_eq!(store.stats().load_warnings, 0);
+        let resp = store.get(0xabc).expect("persisted");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"x\":1}\n");
+        assert!(store.get(0x999).is_none());
+        assert_eq!((store.stats().hits, store.stats().misses), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shards_share_a_directory_without_sharing_files() {
+        let dir = tmpdir("shards");
+        {
+            let s0 = ResultStore::open(&dir, 0).unwrap();
+            let s1 = ResultStore::open(&dir, 1).unwrap();
+            s0.put(1, "isolate", &ok("zero"));
+            s1.put(2, "isolate", &ok("one"));
+            assert_ne!(s0.path(), s1.path());
+        }
+        // Either shard index loads both files' records.
+        let store = ResultStore::open(&dir, 1).unwrap();
+        assert_eq!(store.stats().entries, 2);
+        assert_eq!(store.get(1).unwrap().body, b"zero");
+        assert_eq!(store.get(2).unwrap().body, b"one");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_and_interior_corruption_warn_but_load() {
+        let dir = tmpdir("torn");
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            store.put(1, "isolate", &ok("first"));
+            store.put(2, "isolate", &ok("second"));
+        }
+        let path = dir.join("store-0.jsonl");
+        // Corrupt the middle record and tear the tail.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"kind\":\"entry\",\"key\":garbage";
+        let mut mangled = lines.join("\n");
+        mangled.push_str("\n{\"kind\":\"entry\",\"key\":\"00");
+        std::fs::write(&path, &mangled).unwrap();
+
+        let store = ResultStore::open(&dir, 0).unwrap();
+        assert_eq!(store.stats().load_warnings, 2, "one interior, one torn");
+        assert_eq!(store.stats().entries, 1, "the intact record loaded");
+        assert_eq!(store.get(2).unwrap().body, b"second");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn appends_after_a_torn_tail_start_on_their_own_line() {
+        let dir = tmpdir("seal");
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            store.put(1, "isolate", &ok("first"));
+        }
+        let path = dir.join("store-0.jsonl");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"kind\":\"entry\",\"key\":\"00"); // crash mid-append
+        std::fs::write(&path, &text).unwrap();
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            assert_eq!(store.stats().load_warnings, 1);
+            store.put(2, "isolate", &ok("second"));
+        }
+        let store = ResultStore::open(&dir, 0).unwrap();
+        assert_eq!(store.stats().load_warnings, 1, "still just the torn line");
+        assert_eq!(store.stats().entries, 2, "the sealed append loaded");
+        assert_eq!(store.get(2).unwrap().body, b"second");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_version_skips_the_file_with_one_warning() {
+        let dir = tmpdir("version");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("store-9.jsonl"),
+            "{\"kind\":\"header\",\"version\":999}\n\
+             {\"kind\":\"entry\",\"key\":\"0000000000000001\",\"endpoint\":\"isolate\",\"body\":\"x\"}\n",
+        )
+        .unwrap();
+        let store = ResultStore::open(&dir, 0).unwrap();
+        assert_eq!(store.stats().load_warnings, 1);
+        assert_eq!(store.stats().entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_200_and_duplicate_puts_are_ignored() {
+        let dir = tmpdir("filter");
+        let store = ResultStore::open(&dir, 0).unwrap();
+        store.put(1, "isolate", &Response::json(422, "{}"));
+        assert_eq!(store.stats().appends, 0);
+        store.put(2, "isolate", &ok("body"));
+        store.put(2, "isolate", &ok("body"));
+        assert_eq!(store.stats().appends, 1, "duplicate key not re-appended");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -6,7 +6,10 @@
 //! support, so failures panic with context instead of returning
 //! `Result`: a connection error in a test *is* the failure.
 
-use crate::api::DEADLINE_HEADER;
+use crate::api::{ApiRequest, BatchRequest, Endpoint, DEADLINE_HEADER};
+use crate::error::ApiError;
+use crate::http::{decode_chunked, Request};
+use crate::shard::shard_of;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -78,33 +81,33 @@ impl Client {
         headers: &[(&str, &str)],
         body: &[u8],
     ) -> ClientResponse {
-        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: oiso\r\n");
-        for (name, value) in headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
-        }
-        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
-        let mut raw = head.into_bytes();
-        raw.extend_from_slice(body);
-        self.send_raw(&raw)
+        self.send_raw(&raw_request(method, path, headers, body))
     }
 
     /// Writes arbitrary bytes and parses whatever comes back — how the
     /// malformed-request tests reach the server's error paths.
     pub fn send_raw(&self, raw: &[u8]) -> ClientResponse {
-        let mut stream = TcpStream::connect(self.addr).expect("connect to the daemon");
+        self.try_send_raw(raw).expect("talk to the daemon")
+    }
+
+    /// [`Client::send_raw`] that reports connection failures instead of
+    /// panicking — what the shard router uses to turn a downed daemon
+    /// into a structured `503` rather than a test abort.
+    pub fn try_send_raw(&self, raw: &[u8]) -> Result<ClientResponse, String> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(2))
+            .map_err(|e| format!("connect {}: {e}", self.addr))?;
         stream
             .set_read_timeout(Some(Duration::from_secs(60)))
-            .expect("set read timeout");
-        stream.write_all(raw).expect("write the request");
+            .map_err(|e| format!("set read timeout: {e}"))?;
+        stream
+            .write_all(raw)
+            .map_err(|e| format!("write the request: {e}"))?;
         // The server replies and closes (Connection: close) — read to EOF.
         let mut response = Vec::new();
         stream
             .read_to_end(&mut response)
-            .expect("read the response");
-        parse_response(&response)
+            .map_err(|e| format!("read the response: {e}"))?;
+        Ok(parse_response(&response))
     }
 }
 
@@ -114,7 +117,7 @@ fn parse_response(raw: &[u8]) -> ClientResponse {
         .position(|w| w == b"\r\n\r\n")
         .expect("response has a head/body separator");
     let head = std::str::from_utf8(&raw[..split]).expect("response head is UTF-8");
-    let body = raw[split + 4..].to_vec();
+    let mut body = raw[split + 4..].to_vec();
     let mut lines = head.lines();
     let status_line = lines.next().expect("response has a status line");
     let status: u16 = status_line
@@ -122,13 +125,118 @@ fn parse_response(raw: &[u8]) -> ClientResponse {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("unparsable status line {status_line:?}"));
-    let headers = lines
+    let headers: Vec<(String, String)> = lines
         .filter_map(|line| line.split_once(':'))
         .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
         .collect();
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    if chunked {
+        body = decode_chunked(&body).expect("well-framed chunked body");
+    }
     ClientResponse {
         status,
         headers,
         body,
     }
+}
+
+/// A thin fingerprint-hash router over a fleet of shard daemons — the
+/// fronting process the shard design assumes, reduced to its essence
+/// for tests and the load generator.
+///
+/// Routing recomputes the request's semantic fingerprint
+/// ([`ApiRequest::fingerprint`] / [`BatchRequest::fingerprint`]) from
+/// the bytes on the wire, exactly as any other client would, and sends
+/// to shard `fp % N`. Requests that don't fingerprint (GETs, bodies the
+/// schema rejects) go to shard 0 — every shard can answer them. A
+/// shard that cannot be reached yields the structured
+/// `503 shard_unavailable` instead of a hang.
+#[derive(Debug, Clone)]
+pub struct RouterClient {
+    shards: Vec<Client>,
+}
+
+impl RouterClient {
+    /// Builds a router over the shard daemons, index order = shard
+    /// order (`addrs[k]` must be the `--shard (k+1)/N` daemon).
+    pub fn new(addrs: &[SocketAddr]) -> RouterClient {
+        assert!(!addrs.is_empty(), "a router needs at least one shard");
+        RouterClient {
+            shards: addrs.iter().copied().map(Client::new).collect(),
+        }
+    }
+
+    /// Which shard index a POST to `path` with `body` routes to.
+    pub fn route(&self, path: &str, body: &str) -> usize {
+        let fp = fingerprint_of(path, body);
+        fp.map_or(0, |fp| shard_of(fp, self.shards.len()))
+    }
+
+    /// `GET path` — served by shard 0 (no fingerprint to route on).
+    pub fn get(&self, path: &str) -> ClientResponse {
+        self.send(0, |c| c.try_send_raw(&raw_request("GET", path, &[], b"")))
+    }
+
+    /// `POST path`, routed by the body's fingerprint.
+    pub fn post(&self, path: &str, body: &str) -> ClientResponse {
+        let shard = self.route(path, body);
+        self.send(shard, |c| {
+            c.try_send_raw(&raw_request("POST", path, &[], body.as_bytes()))
+        })
+    }
+
+    fn send(
+        &self,
+        shard: usize,
+        f: impl Fn(&Client) -> Result<ClientResponse, String>,
+    ) -> ClientResponse {
+        match f(&self.shards[shard]) {
+            Ok(response) => response,
+            Err(detail) => {
+                let error = ApiError::shard_unavailable(shard, self.shards.len(), detail);
+                let resp = error.to_response();
+                ClientResponse {
+                    status: resp.status,
+                    headers: resp
+                        .extra_headers
+                        .iter()
+                        .map(|(k, v)| (k.to_ascii_lowercase(), v.clone()))
+                        .collect(),
+                    body: resp.body,
+                }
+            }
+        }
+    }
+}
+
+/// Recomputes the routing fingerprint for a POST body, or `None` when
+/// the body doesn't parse (shard 0 owns the resulting 4xx).
+fn fingerprint_of(path: &str, body: &str) -> Option<u64> {
+    let endpoint = Endpoint::route("POST", path).ok()?;
+    let req = Request {
+        method: "POST".to_string(),
+        path: path.to_string(),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    };
+    match endpoint {
+        Endpoint::Batch => BatchRequest::parse(&req).ok().map(|b| b.fingerprint()),
+        _ => ApiRequest::parse(endpoint, &req).ok().map(|r| r.fingerprint()),
+    }
+}
+
+fn raw_request(method: &str, path: &str, headers: &[(&str, &str)], body: &[u8]) -> Vec<u8> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: oiso\r\n");
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    let mut raw = head.into_bytes();
+    raw.extend_from_slice(body);
+    raw
 }

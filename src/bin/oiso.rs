@@ -108,6 +108,8 @@ struct Options {
     queue_cap: usize,
     memo_cap: usize,
     max_body: usize,
+    store: Option<PathBuf>,
+    shard: Option<operand_isolation::serve::ShardSpec>,
     quiet: bool,
 }
 
@@ -133,9 +135,13 @@ const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize|veri
                      [--lookahead] [--budget N]\n\
                      --deny is repeatable; any matching finding makes lint exit nonzero\n\
                      \u{20}      oiso serve [--port P] [--threads T] [--cache-cap N] \
-                     [--queue-cap N] [--memo-cap N] [--max-body BYTES] [--quiet]\n\
+                     [--queue-cap N] [--memo-cap N] [--max-body BYTES] [--store DIR] \
+                     [--shard K/N] [--quiet]\n\
                      serve exposes the pipeline as an HTTP daemon on 127.0.0.1 (port 0 = \
-                     ephemeral); --quiet suppresses the JSON access log";
+                     ephemeral); --quiet suppresses the JSON access log\n\
+                     --store DIR persists cached 200s on disk (shared by shards, survives \
+                     restarts); --shard K/N names this daemon's slice for a \
+                     fingerprint-hash router";
 
 fn parse_options() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
@@ -183,6 +189,8 @@ fn parse_options() -> Result<Options, String> {
         queue_cap: 64,
         memo_cap: 1024,
         max_body: 1 << 20,
+        store: None,
+        shard: None,
         quiet: false,
     };
     while let Some(flag) = args.next() {
@@ -332,6 +340,19 @@ fn parse_options() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --max-body: {e}"))?;
             }
+            "--store" => {
+                opts.store = Some(PathBuf::from(
+                    args.next().ok_or("--store needs a directory")?,
+                ));
+            }
+            "--shard" => {
+                opts.shard = Some(
+                    operand_isolation::serve::ShardSpec::parse(
+                        &args.next().ok_or("--shard needs K/N (e.g. 1/3)")?,
+                    )
+                    .map_err(|e| format!("bad --shard: {e}"))?,
+                );
+            }
             "--quiet" => opts.quiet = true,
             "--deny" => opts
                 .deny
@@ -383,6 +404,8 @@ fn run() -> Result<(), String> {
             memo_cap: opts.memo_cap,
             max_body: opts.max_body,
             log: !opts.quiet,
+            store: opts.store,
+            shard: opts.shard,
         });
     }
     let design = load(&opts.file)?;

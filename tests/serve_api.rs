@@ -233,3 +233,214 @@ fn cached_responses_are_byte_identical_to_fresh_ones() {
     assert_eq!(cached.header("x-oiso-cache"), Some("hit"));
     handle.shutdown();
 }
+
+#[test]
+fn batch_envelope_is_pinned() {
+    let (handle, client) = spawn(quiet_config());
+    // Four kinds of slot in one batch: a compute (miss), a second
+    // endpoint, an exact duplicate of the first item (dedup → hit), and
+    // a schema failure that must stay confined to its own slot.
+    let body = concat!(
+        "{\"items\":[",
+        "{\"endpoint\":\"isolate\",\"design\":\"figure1\",\"style\":\"and\",\"cycles\":300},",
+        "{\"endpoint\":\"lint\",\"design\":\"figure1\"},",
+        "{\"endpoint\":\"isolate\",\"design\":\"figure1\",\"style\":\"and\",\"cycles\":300},",
+        "{\"endpoint\":\"simulate\",\"design\":\"nope\",\"cycles\":100}",
+        "]}"
+    );
+    let resp = client.post("/v1/batch", body);
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    let text = resp.text();
+    assert!(text.contains("\"items\":4"), "{text}");
+    assert!(text.contains("\"ok\":3"), "{text}");
+    assert!(text.contains("\"error\":1"), "{text}");
+    check_golden("serve_batch.json", text);
+
+    // Re-running the identical batch flips the compute slots to cache
+    // hits but leaves the payloads byte-identical inside the envelope.
+    let again = client.post("/v1/batch", body);
+    assert_eq!(again.status, 200);
+    assert!(!again.text().contains("\"cache\":\"miss\""), "{}", again.text());
+    handle.shutdown();
+}
+
+#[test]
+fn batch_envelope_errors_reject_the_whole_request() {
+    let (handle, client) = spawn(quiet_config());
+    let item = "{\"endpoint\":\"lint\",\"design\":\"figure1\"}";
+    let too_many: String = format!(
+        "{{\"items\":[{}]}}",
+        vec![item; 65].join(",")
+    );
+    // (code, body): envelope failures are 400s, never partial results.
+    let cases: &[(&str, &str)] = &[
+        ("bad_json", "[1,2,3]"),
+        ("bad_field", "{}"),
+        ("bad_field", "{\"items\":[]}"),
+        ("bad_field", "{\"items\":7}"),
+        ("unknown_field", "{\"items\":[{\"design\":\"figure1\"}],\"bogus\":1}"),
+        ("bad_field", &too_many),
+    ];
+    for (code, body) in cases {
+        let resp = client.post("/v1/batch", body);
+        assert_eq!(resp.status, 400, "{body}: {}", resp.text());
+        assert!(
+            resp.text()
+                .starts_with(&format!("{{\"error\":{{\"code\":\"{code}\"")),
+            "{body}: {}",
+            resp.text()
+        );
+    }
+    // An item trying to set "stream" is an *item* failure: the envelope
+    // still answers 200 with the rejection confined to that slot.
+    let resp = client.post("/v1/batch", "{\"items\":[{\"design\":\"figure1\",\"stream\":true}]}");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(
+        resp.text()
+            .contains("\"status\":\"error\",\"cache\":\"bypass\",\"response\":{\"error\":{\"code\":\"bad_field\""),
+        "{}",
+        resp.text()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn batch_with_an_expired_deadline_sheds_every_item_without_tearing() {
+    let (handle, client) = spawn(quiet_config());
+    let body = concat!(
+        "{\"items\":[",
+        "{\"endpoint\":\"isolate\",\"design\":\"design1\",\"cycles\":2000},",
+        "{\"endpoint\":\"simulate\",\"design\":\"figure1\",\"cycles\":200}",
+        "]}"
+    );
+    let resp = client.request(
+        "POST",
+        "/v1/batch",
+        &[("X-Oiso-Deadline-Ms", "0")],
+        body.as_bytes(),
+    );
+    // The envelope itself still succeeds — shedding is per item.
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let text = resp.text();
+    assert!(text.contains("\"shed\":2"), "{text}");
+    assert!(text.contains("\"ok\":0"), "{text}");
+    assert_eq!(text.matches("\"status\":\"shed\"").count(), 2, "{text}");
+    assert_eq!(text.matches("\"batch_shed\"").count(), 2, "{text}");
+    // Both slots are well-formed JSON error objects, not torn bytes.
+    assert_eq!(
+        text.matches("\"response\":{\"error\":{\"code\":\"batch_shed\"").count(),
+        2,
+        "{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn isolate_stream_emits_accepts_then_the_final_report() {
+    let (handle, client) = spawn(quiet_config());
+    let resp = client.post(
+        "/v1/isolate",
+        "{\"design\":\"figure1\",\"style\":\"and\",\"cycles\":300,\"stream\":true}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+    assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+    assert_eq!(resp.header("x-oiso-cache"), Some("bypass"));
+    let text = resp.text();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 2, "accepts + done: {text}");
+    for line in &lines[..lines.len() - 1] {
+        assert!(line.starts_with("{\"event\":\"accept\""), "{line}");
+    }
+    let last = lines.last().expect("terminal event");
+    assert!(last.starts_with("{\"event\":\"done\",\"report\":{"), "{last}");
+    // The streamed report matches the non-streaming endpoint's body.
+    let plain = client.post(
+        "/v1/isolate",
+        "{\"design\":\"figure1\",\"style\":\"and\",\"cycles\":300}",
+    );
+    let report = last
+        .strip_prefix("{\"event\":\"done\",\"report\":")
+        .and_then(|s| s.strip_suffix('}'))
+        .expect("report is embedded verbatim");
+    assert_eq!(plain.text().trim_end(), report);
+    check_golden("serve_stream.jsonl", text);
+    handle.shutdown();
+}
+
+#[test]
+fn batch_stream_emits_items_in_order_then_a_summary() {
+    let (handle, client) = spawn(quiet_config());
+    let resp = client.post(
+        "/v1/batch",
+        concat!(
+            "{\"stream\":true,\"items\":[",
+            "{\"endpoint\":\"simulate\",\"design\":\"figure1\",\"cycles\":200},",
+            "{\"endpoint\":\"lint\",\"design\":\"figure1\"},",
+            "{\"endpoint\":\"simulate\",\"design\":\"nope\",\"cycles\":100}",
+            "]}"
+        ),
+    );
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+    let lines: Vec<&str> = resp.text().lines().collect();
+    assert_eq!(lines.len(), 4, "{}", resp.text());
+    for (i, line) in lines[..3].iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"event\":\"item\",\"index\":{i},")),
+            "item events arrive in item order: {line}"
+        );
+    }
+    assert!(
+        lines[3].starts_with("{\"event\":\"done\",\"items\":3,\"ok\":2,\"error\":1,\"shed\":0"),
+        "{}",
+        lines[3]
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn stream_is_rejected_off_isolate_and_batch() {
+    let (handle, client) = spawn(quiet_config());
+    for path in ["/v1/lint", "/v1/verify", "/v1/simulate"] {
+        let resp = client.post(path, "{\"design\":\"figure1\",\"stream\":true}");
+        assert_eq!(resp.status, 400, "{path}: {}", resp.text());
+        assert!(resp.text().contains("\"bad_field\""), "{path}: {}", resp.text());
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn batch_and_stream_show_up_in_metrics() {
+    let (handle, client) = spawn(quiet_config());
+    client.post(
+        "/v1/batch",
+        "{\"items\":[{\"endpoint\":\"lint\",\"design\":\"figure1\"},{\"design\":\"nope\"}]}",
+    );
+    client.post(
+        "/v1/isolate",
+        "{\"design\":\"figure1\",\"cycles\":300,\"stream\":true}",
+    );
+    let page = client.get("/metrics");
+    let page = page.text();
+    assert!(
+        page.contains("oiso_batch_items_total{status=\"ok\"} 1"),
+        "{page}"
+    );
+    assert!(
+        page.contains("oiso_batch_items_total{status=\"error\"} 1"),
+        "{page}"
+    );
+    assert!(
+        !page.contains("oiso_batch_items_total{status=\"shed\"}"),
+        "zero-count statuses are omitted: {page}"
+    );
+    let events: u64 = page
+        .lines()
+        .find_map(|l| l.strip_prefix("oiso_stream_events_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("stream counter present");
+    assert!(events >= 2, "accepts + done: {page}");
+    handle.shutdown();
+}

@@ -126,6 +126,49 @@ fn full_queue_sheds_with_retry_after() {
 }
 
 #[test]
+fn retry_after_scales_with_queue_depth() {
+    // A deeper backlog earns a longer Retry-After: with one worker and a
+    // four-slot queue full, the hint is ceil(4/1) = 4 seconds — not the
+    // old unconditional "1" that told a client to hammer a daemon four
+    // requests deep.
+    let handle = Server::spawn(ServeConfig {
+        threads: 1,
+        queue_cap: 4,
+        log: false,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+    let client = Client::new(addr);
+    let stall = std::net::TcpStream::connect(addr).expect("connect the stall");
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    use std::io::Write as _;
+    let mut parked = Vec::new();
+    for _ in 0..4 {
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        conn.write_all(b"GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            .expect("park a queued request");
+        parked.push(conn);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let shed = client.get("/healthz");
+    assert_eq!(shed.status, 503, "{}", shed.text());
+    assert_eq!(shed.header("retry-after"), Some("4"), "{}", shed.text());
+    assert!(shed.text().contains("4 queued, 1 worker(s)"), "{}", shed.text());
+
+    drop(stall);
+    for mut conn in parked {
+        let mut rest = Vec::new();
+        std::io::Read::read_to_end(&mut conn, &mut rest).expect("parked response");
+        assert!(
+            String::from_utf8_lossy(&rest).starts_with("HTTP/1.1 200 OK"),
+            "queued requests drain after the stall clears"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_drains_in_flight_and_queued_requests() {
     let handle = Server::spawn(config(1)).expect("bind");
     let addr = handle.addr();

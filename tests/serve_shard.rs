@@ -1,0 +1,174 @@
+//! Sharding tests: a fleet of `--shard K/N` daemons behind the
+//! fingerprint-hash router must partition the keyspace (every request
+//! routes to exactly one shard), answer byte-identically to one
+//! unsharded daemon, and degrade a downed shard into a structured `503`
+//! instead of a hang.
+//!
+//! Every test drives real daemons over real TCP on ephemeral ports.
+
+use operand_isolation::serve::testing::{Client, RouterClient};
+use operand_isolation::serve::{shard_of, ServeConfig, Server, ServerHandle, ShardSpec};
+use std::net::SocketAddr;
+
+fn spawn_fleet(count: usize) -> Vec<ServerHandle> {
+    (0..count)
+        .map(|index| {
+            Server::spawn(ServeConfig {
+                shard: Some(ShardSpec { index, count }),
+                log: false,
+                ..ServeConfig::default()
+            })
+            .expect("bind an ephemeral port")
+        })
+        .collect()
+}
+
+fn addrs(fleet: &[ServerHandle]) -> Vec<SocketAddr> {
+    fleet.iter().map(|h| h.addr()).collect()
+}
+
+/// A deterministic mixed corpus covering every POST endpoint, batch
+/// included.
+fn corpus() -> Vec<(&'static str, String)> {
+    let mut reqs: Vec<(&'static str, String)> = Vec::new();
+    for seed in 0..6 {
+        reqs.push((
+            "/v1/simulate",
+            format!("{{\"design\":\"figure1\",\"cycles\":200,\"seed\":{seed}}}"),
+        ));
+    }
+    reqs.push(("/v1/lint", "{\"design\":\"figure1\"}".to_string()));
+    reqs.push((
+        "/v1/isolate",
+        "{\"design\":\"figure1\",\"style\":\"and\",\"cycles\":300}".to_string(),
+    ));
+    reqs.push((
+        "/v1/batch",
+        concat!(
+            "{\"items\":[",
+            "{\"endpoint\":\"lint\",\"design\":\"figure1\"},",
+            "{\"endpoint\":\"simulate\",\"design\":\"figure1\",\"cycles\":200}",
+            "]}"
+        )
+        .to_string(),
+    ));
+    reqs
+}
+
+#[test]
+fn every_fingerprint_routes_to_exactly_one_shard() {
+    for width in [2usize, 3] {
+        let fleet = spawn_fleet(width);
+        let router = RouterClient::new(&addrs(&fleet));
+        for (path, body) in corpus() {
+            let shard = router.route(path, &body);
+            assert!(shard < width, "{path}: shard {shard} out of range");
+            // Routing is a pure function of the bytes: re-asking agrees.
+            assert_eq!(shard, router.route(path, &body), "{path}: unstable route");
+        }
+        // The partition property itself: each ShardSpec owns a
+        // fingerprint iff it is the routed shard.
+        for fp in [0u64, 1, 7, 0xdead_beef, u64::MAX] {
+            let owners: Vec<usize> = (0..width)
+                .filter(|&index| ShardSpec { index, count: width }.owns(fp))
+                .collect();
+            assert_eq!(owners, vec![shard_of(fp, width)], "fp {fp:#x}");
+        }
+        for handle in fleet {
+            handle.shutdown();
+        }
+    }
+}
+
+#[test]
+fn sharded_fleet_answers_byte_identically_to_one_daemon() {
+    let fleet = spawn_fleet(2);
+    let router = RouterClient::new(&addrs(&fleet));
+    let solo = Server::spawn(ServeConfig {
+        log: false,
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let solo_client = Client::new(solo.addr());
+
+    let mut used = [0usize; 2];
+    for (path, body) in corpus() {
+        used[router.route(path, &body)] += 1;
+        let sharded = router.post(path, &body);
+        let unsharded = solo_client.post(path, &body);
+        assert_eq!(sharded.status, unsharded.status, "{path} {body}");
+        assert_eq!(
+            sharded.body, unsharded.body,
+            "{path} {body}: sharded bytes diverge"
+        );
+    }
+    assert!(
+        used.iter().all(|&n| n > 0),
+        "the corpus must exercise both shards, split {used:?}"
+    );
+
+    // Each shard daemon reports its slice on /metrics.
+    for (index, handle) in fleet.iter().enumerate() {
+        let page = handle.metrics_page();
+        assert!(
+            page.contains(&format!("oiso_shard_index {index}")),
+            "{page}"
+        );
+        assert!(page.contains("oiso_shard_count 2"), "{page}");
+    }
+    let solo_page = solo.metrics_page();
+    assert!(
+        !solo_page.contains("oiso_shard_"),
+        "unsharded daemons carry no shard gauges: {solo_page}"
+    );
+
+    for handle in fleet {
+        handle.shutdown();
+    }
+    solo.shutdown();
+}
+
+#[test]
+fn a_downed_shard_degrades_to_a_structured_503_not_a_hang() {
+    let fleet = spawn_fleet(2);
+    let fleet_addrs = addrs(&fleet);
+    let router = RouterClient::new(&fleet_addrs);
+
+    // Find one corpus request per shard so we can prove the live shard
+    // keeps answering while the dead one fails fast.
+    let reqs = corpus();
+    let on = |shard: usize| {
+        reqs.iter()
+            .find(|(p, b)| router.route(p, b) == shard)
+            .cloned()
+            .expect("corpus covers both shards")
+    };
+    let (dead_path, dead_body) = on(1);
+    let (live_path, live_body) = on(0);
+
+    // Down shard 1; its listener closes with it.
+    let fleet: Vec<ServerHandle> = fleet.into_iter().collect();
+    let mut iter = fleet.into_iter();
+    let keep = iter.next().expect("shard 0");
+    iter.next().expect("shard 1").shutdown();
+
+    let started = std::time::Instant::now();
+    let resp = router.post(dead_path, &dead_body);
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(10),
+        "a downed shard must fail fast"
+    );
+    assert_eq!(resp.status, 503, "{}", resp.text());
+    assert!(
+        resp.text()
+            .starts_with("{\"error\":{\"code\":\"shard_unavailable\""),
+        "{}",
+        resp.text()
+    );
+    assert!(resp.text().contains("shard 2/2"), "{}", resp.text());
+
+    // The surviving shard still serves its slice.
+    let resp = router.post(live_path, &live_body);
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    keep.shutdown();
+}
