@@ -92,6 +92,16 @@ pub fn trip(site: &str, key: usize) {
     }
 }
 
+/// The distinct sites currently armed, sorted and deduplicated — lets a
+/// harness (the chaos proxy, a test's failure message) report *what* is
+/// injected without guessing site names.
+pub fn armed_sites() -> Vec<&'static str> {
+    let mut sites: Vec<&'static str> = plans().iter().map(|p| p.site).collect();
+    sites.sort_unstable();
+    sites.dedup();
+    sites
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +149,19 @@ mod tests {
             .cloned()
             .unwrap_or_default();
         assert_eq!(text, "injected fault at faults.test.trip[7]");
+    }
+
+    #[test]
+    fn armed_sites_reports_sorted_distinct_sites() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(armed_sites().is_empty());
+        let _a = inject_all("faults.test.site-b");
+        let _b = inject("faults.test.site-a", &[1]);
+        let _c = inject("faults.test.site-a", &[2]);
+        assert_eq!(
+            armed_sites(),
+            vec!["faults.test.site-a", "faults.test.site-b"]
+        );
     }
 
     #[test]

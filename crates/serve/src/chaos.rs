@@ -1,0 +1,342 @@
+//! A deterministic TCP fault proxy for chaos-testing the fleet.
+//!
+//! Sits between a [`crate::fleet::FleetClient`] and one shard daemon
+//! and injects transport faults *on the wire* — the real byte-level
+//! failures a production fleet sees, not mocks. Which connections are
+//! damaged is driven by the existing [`oiso_par::faults`] registry:
+//! each accepted connection gets a monotonically increasing index, and
+//! a fault fires on connection `k` exactly when `armed(site, k)` — so a
+//! sequential client makes every chaos run bit-reproducible, the same
+//! property the rest of the fault harness has.
+//!
+//! | Site | Injection | What the client sees |
+//! |---|---|---|
+//! | [`SITE_RESET`] | connection dropped unread | `ConnectionReset` (or EOF → empty-response parse error) |
+//! | [`SITE_STALL`] | pause mid-response | a slow byte-stream; `TimedOut` if it outlives the read timeout |
+//! | [`SITE_TRUNCATE`] | response cut after N bytes | `Content-Length` mismatch → truncated-body parse error |
+//! | [`SITE_GARBAGE`] | junk bytes before the response | unparsable status line → parse error |
+//!
+//! Every one of these surfaces as a retryable
+//! [`crate::fleet::TransportError`], which is the point: the proxy
+//! exists to prove the [`crate::fleet::FleetClient`] retry/breaker
+//! machinery absorbs each fault class and still returns byte-identical
+//! bodies (`tests/serve_fleet.rs`).
+//!
+//! The registry is process-global, so the proxy and the fault guards
+//! must live in the *same* process as the test — the shard daemon on
+//! the far side needs no instrumentation at all.
+
+use std::io::{Read as _, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fault site: drop the connection without reading the request.
+pub const SITE_RESET: &str = "chaos.reset";
+/// Fault site: pause mid-response for [`ChaosConfig::stall`].
+pub const SITE_STALL: &str = "chaos.stall";
+/// Fault site: cut the response after
+/// [`ChaosConfig::truncate_after`] bytes.
+pub const SITE_TRUNCATE: &str = "chaos.truncate";
+/// Fault site: prefix the response with [`ChaosConfig::garbage`].
+pub const SITE_GARBAGE: &str = "chaos.garbage";
+
+/// Shaping knobs for the injected faults.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Mid-response pause for [`SITE_STALL`] connections.
+    pub stall: Duration,
+    /// Response bytes forwarded before [`SITE_TRUNCATE`] cuts the wire.
+    pub truncate_after: usize,
+    /// Junk bytes written before the response on [`SITE_GARBAGE`]
+    /// connections.
+    pub garbage: Vec<u8>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            stall: Duration::from_millis(750),
+            truncate_after: 40,
+            garbage: b"\x00\xffNOT-HTTP GARBAGE\r\n".to_vec(),
+        }
+    }
+}
+
+/// Injection counters (exact under a sequential client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections dropped unread ([`SITE_RESET`]).
+    pub resets: u64,
+    /// Responses paused mid-stream ([`SITE_STALL`]).
+    pub stalls: u64,
+    /// Responses cut short ([`SITE_TRUNCATE`]).
+    pub truncations: u64,
+    /// Responses prefixed with junk ([`SITE_GARBAGE`]).
+    pub garbage: u64,
+}
+
+#[derive(Debug, Default)]
+struct SharedStats {
+    connections: AtomicU64,
+    resets: AtomicU64,
+    stalls: AtomicU64,
+    truncations: AtomicU64,
+    garbage: AtomicU64,
+}
+
+/// A running chaos proxy; dropping (or [`ChaosProxy::shutdown`]) stops
+/// the accept loop and joins every in-flight relay.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<SharedStats>,
+}
+
+impl ChaosProxy {
+    /// Spawns a proxy on an ephemeral localhost port relaying to
+    /// `upstream`. Point the [`crate::fleet::FleetClient`] at
+    /// [`ChaosProxy::addr`] instead of the shard's own address.
+    ///
+    /// # Errors
+    ///
+    /// Failure to bind the listening socket.
+    pub fn spawn(upstream: SocketAddr, config: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(SharedStats::default());
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("oiso-chaos-accept".to_string())
+                .spawn(move || accept_loop(&listener, upstream, &config, &stop, &stats))?
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            stats,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            resets: self.stats.resets.load(Ordering::Relaxed),
+            stalls: self.stats.stalls.load(Ordering::Relaxed),
+            truncations: self.stats.truncations.load(Ordering::Relaxed),
+            garbage: self.stats.garbage.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, joins the relays, and returns final counters.
+    pub fn shutdown(mut self) -> ChaosStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Faults sampled once at accept time, so a plan disarmed mid-relay
+/// cannot half-apply.
+#[derive(Debug, Clone, Copy)]
+struct Decisions {
+    reset: bool,
+    stall: bool,
+    truncate: bool,
+    garbage: bool,
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    config: &ChaosConfig,
+    stop: &AtomicBool,
+    stats: &Arc<SharedStats>,
+) {
+    let mut relays: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut next_key: usize = 0;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let key = next_key;
+                next_key += 1;
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let decisions = Decisions {
+                    reset: oiso_par::faults::armed(SITE_RESET, key),
+                    stall: oiso_par::faults::armed(SITE_STALL, key),
+                    truncate: oiso_par::faults::armed(SITE_TRUNCATE, key),
+                    garbage: oiso_par::faults::armed(SITE_GARBAGE, key),
+                };
+                let _ = client.set_nonblocking(false);
+                let config = config.clone();
+                let stats = Arc::clone(stats);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name(format!("oiso-chaos-relay-{key}"))
+                    .spawn(move || relay(client, upstream, &config, decisions, &stats))
+                {
+                    relays.push(handle);
+                }
+                relays.retain(|h| !h.is_finished());
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for handle in relays {
+        let _ = handle.join();
+    }
+}
+
+fn relay(
+    client: TcpStream,
+    upstream_addr: SocketAddr,
+    config: &ChaosConfig,
+    decisions: Decisions,
+    stats: &SharedStats,
+) {
+    if decisions.reset {
+        // Let the request bytes arrive, then close with them unread.
+        // No `shutdown` first — that would send an orderly FIN and the
+        // peer would see a clean EOF; closing a socket with unread data
+        // in its receive buffer makes the kernel answer with RST, the
+        // on-the-wire signature of a crashing shard (`ConnectionReset`
+        // at the client).
+        std::thread::sleep(Duration::from_millis(10));
+        stats.resets.fetch_add(1, Ordering::Relaxed);
+        drop(client);
+        return;
+    }
+    let Ok(upstream) =
+        TcpStream::connect_timeout(&upstream_addr, Duration::from_secs(5))
+    else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    // Bound every blocking read so a wedged peer cannot pin the relay.
+    let _ = client.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = upstream.set_read_timeout(Some(Duration::from_secs(30)));
+
+    // Request direction: a plain byte copy on its own thread.
+    let copier = {
+        let (Ok(mut from), Ok(mut to)) = (client.try_clone(), upstream.try_clone()) else {
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        };
+        std::thread::spawn(move || {
+            let _ = std::io::copy(&mut from, &mut to);
+            let _ = to.shutdown(Shutdown::Write);
+        })
+    };
+
+    // Response direction: the shaped copy where faults land.
+    shaped_copy(&upstream, &client, config, decisions, stats);
+
+    // Unblock the request copier (the client may still hold its write
+    // half open) and reap it.
+    let _ = upstream.shutdown(Shutdown::Both);
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = copier.join();
+}
+
+fn shaped_copy(
+    upstream: &TcpStream,
+    client: &TcpStream,
+    config: &ChaosConfig,
+    decisions: Decisions,
+    stats: &SharedStats,
+) {
+    let mut upstream = upstream;
+    let mut client = client;
+    if decisions.garbage {
+        stats.garbage.fetch_add(1, Ordering::Relaxed);
+        if client.write_all(&config.garbage).is_err() {
+            return;
+        }
+    }
+    let mut written: usize = 0;
+    let mut stalled = !decisions.stall;
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match upstream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        let mut chunk = &buf[..n];
+        if !stalled {
+            // Guarantee a *mid-response* pause whatever the response
+            // size: forward a sliver, stall, then resume.
+            stalled = true;
+            stats.stalls.fetch_add(1, Ordering::Relaxed);
+            let split = chunk.len().min(16);
+            if client.write_all(&chunk[..split]).is_err() {
+                return;
+            }
+            written += split;
+            chunk = &chunk[split..];
+            std::thread::sleep(config.stall);
+        }
+        if decisions.truncate {
+            let room = config.truncate_after.saturating_sub(written);
+            if chunk.len() >= room {
+                let _ = client.write_all(&chunk[..room]);
+                stats.truncations.fetch_add(1, Ordering::Relaxed);
+                return; // cut the wire mid-body
+            }
+        }
+        if client.write_all(chunk).is_err() {
+            return;
+        }
+        written += chunk.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ChaosConfig::default();
+        assert!(c.stall > Duration::ZERO);
+        assert!(c.truncate_after > 0);
+        assert!(!c.garbage.is_empty());
+        // The garbage must not accidentally be a valid HTTP prefix.
+        assert!(!c.garbage.starts_with(b"HTTP/1.1"));
+    }
+
+    #[test]
+    fn site_names_live_in_the_chaos_namespace() {
+        for site in [SITE_RESET, SITE_STALL, SITE_TRUNCATE, SITE_GARBAGE] {
+            assert!(site.starts_with("chaos."), "{site}");
+        }
+    }
+}

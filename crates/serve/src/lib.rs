@@ -70,7 +70,9 @@
 
 pub mod api;
 pub mod cache;
+pub mod chaos;
 pub mod error;
+pub mod fleet;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -78,15 +80,18 @@ pub mod server;
 pub mod shard;
 pub mod signal;
 pub mod store;
+pub mod supervisor;
 pub mod testing;
 
 pub use api::Endpoint;
 pub use cache::{CacheStats, ResultCache};
 pub use error::ApiError;
+pub use fleet::{FleetClient, FleetPolicy};
 pub use metrics::Metrics;
 pub use server::{run_daemon, Server, ServerHandle};
 pub use shard::{shard_of, ShardSpec};
 pub use store::{ResultStore, StoreStats};
+pub use supervisor::{Supervisor, SupervisorConfig};
 
 /// Daemon configuration (`oiso serve --port P --threads T ...`).
 #[derive(Debug, Clone)]

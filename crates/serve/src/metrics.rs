@@ -193,6 +193,11 @@ impl Metrics {
                 "oiso_store_load_warnings_total {}",
                 store.load_warnings
             );
+            let _ = writeln!(
+                out,
+                "oiso_store_checksum_skips_total {}",
+                store.checksum_skips
+            );
             let _ = writeln!(out, "oiso_store_entries {}", store.entries);
         }
         for (&status, &count) in self.batch_items.lock().expect("metrics lock").iter() {
@@ -255,6 +260,7 @@ mod tests {
             misses: 1,
             appends: 2,
             load_warnings: 1,
+            checksum_skips: 3,
         };
         let shard = ShardSpec { index: 1, count: 3 };
         let a = metrics.render(&cache, &memo_stats(), 4, Some(&store), Some(shard));
@@ -262,6 +268,7 @@ mod tests {
         assert_eq!(a, b, "two renders of the same state are byte-identical");
         assert!(a.contains("oiso_store_hits_total 4"));
         assert!(a.contains("oiso_store_load_warnings_total 1"));
+        assert!(a.contains("oiso_store_checksum_skips_total 3"));
         assert!(a.contains("oiso_store_entries 2"));
         assert!(a.contains("oiso_batch_items_total{status=\"ok\"} 3"));
         assert!(a.contains("oiso_batch_items_total{status=\"shed\"} 1"));

@@ -14,6 +14,19 @@
 //! skipped with a warning counter, never a refusal to start. A corrupted
 //! store costs recomputation, not availability.
 //!
+//! Format version 2 adds an FNV-1a content checksum (`"sum"`) over the
+//! key and body to every entry, so an *interior bit-flip* — damage that
+//! still parses as JSON — is **detected** and skipped (counted in
+//! [`StoreStats::checksum_skips`]) rather than trusted and served. A
+//! flipped byte can only ever cost a recompute, never a wrong body.
+//!
+//! Files grow append-only across restarts, so duplicate keys (a shard
+//! recomputing after its LRU lost an entry another file holds) and
+//! warned lines accumulate; [`compact_file`] / [`ResultStore::compact`]
+//! rewrite a record file keeping exactly one checksum-valid record per
+//! key — the supervisor runs this at fleet start under
+//! `oiso fleet --compact-on-start`.
+//!
 //! Layout: `DIR/store-<shard>.jsonl`, one file per writing shard
 //! (`store-0.jsonl` unsharded). Every daemon loads *all* record files at
 //! startup but appends only to its own, so N shards can share one
@@ -32,8 +45,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Store format version written by this build; files with a different
-/// version are skipped (with a warning), not misread.
-pub const STORE_VERSION: u64 = 1;
+/// version are skipped (with a warning), not misread. Version 2 added
+/// the mandatory per-entry content checksum.
+pub const STORE_VERSION: u64 = 2;
 
 /// Counter snapshot for `/metrics`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +63,44 @@ pub struct StoreStats {
     /// Unparsable lines (torn tails, interior corruption, unknown
     /// versions) skipped while loading.
     pub load_warnings: u64,
+    /// Well-formed entries whose content checksum did not match the
+    /// body — bit-flips detected (and skipped) while loading.
+    pub checksum_skips: u64,
+}
+
+/// What a [`compact_file`] rewrite kept and dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactStats {
+    /// Checksum-valid records surviving the rewrite.
+    pub kept: usize,
+    /// Lines dropped: unparsable, checksum-mismatched, or torn.
+    pub dropped_corrupt: u64,
+    /// Later records for a key already kept.
+    pub dropped_duplicate: u64,
+    /// File size before the rewrite.
+    pub bytes_before: u64,
+    /// File size after the rewrite.
+    pub bytes_after: u64,
+    /// True when the file's header names a different format version —
+    /// the file is left untouched (it may not mean what we think).
+    pub skipped_unknown_version: bool,
+}
+
+/// The content checksum over an entry: FNV-1a of the key bytes then the
+/// body bytes. Stable across platforms and appended with every record.
+pub fn entry_checksum(key: u64, body: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for b in key.to_le_bytes() {
+        eat(b);
+    }
+    for b in body.bytes() {
+        eat(b);
+    }
+    h
 }
 
 /// The disk-backed result store: an in-memory index over append-only
@@ -61,6 +113,7 @@ pub struct ResultStore {
     misses: AtomicU64,
     appends: AtomicU64,
     load_warnings: u64,
+    checksum_skips: u64,
 }
 
 impl std::fmt::Debug for ResultStore {
@@ -86,6 +139,7 @@ impl ResultStore {
         std::fs::create_dir_all(dir)?;
         let mut index = HashMap::new();
         let mut load_warnings = 0u64;
+        let mut checksum_skips = 0u64;
         let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
             .filter_map(|entry| entry.ok().map(|e| e.path()))
             .filter(|p| {
@@ -103,7 +157,9 @@ impl ResultStore {
                     continue;
                 }
             };
-            load_warnings += load_records(&text, &mut index);
+            let (warned, sum_skipped) = load_records(&text, &mut index);
+            load_warnings += warned;
+            checksum_skips += sum_skipped;
         }
 
         let path = dir.join(format!("store-{shard_index}.jsonl"));
@@ -128,6 +184,7 @@ impl ResultStore {
             misses: AtomicU64::new(0),
             appends: AtomicU64::new(0),
             load_warnings,
+            checksum_skips,
         })
     }
 
@@ -164,16 +221,34 @@ impl ResultStore {
             }
             index.insert(key, body.to_string());
         }
-        let line = format!(
-            "{{\"kind\":\"entry\",\"key\":\"{key:016x}\",\"endpoint\":\"{}\",\"body\":\"{}\"}}",
-            escape_json(endpoint),
-            escape_json(body)
-        );
+        let line = render_entry(key, endpoint, body);
         let mut writer = self.writer.lock().expect("store lock");
         if writeln!(writer, "{line}").is_ok() {
             let _ = writer.flush();
             self.appends.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Rewrites this shard's own record file keeping exactly one
+    /// checksum-valid record per key — duplicate keys and warned lines
+    /// are dropped so [`StoreStats::load_warnings`] stops growing across
+    /// restarts. The in-memory index is untouched (it is already a
+    /// superset of the surviving records).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures rewriting or reopening the record file. The
+    /// rewrite goes through a temp file + rename, so a crash mid-compact
+    /// leaves either the old or the new file, never a half-written one.
+    pub fn compact(&self) -> std::io::Result<CompactStats> {
+        let mut writer = self.writer.lock().expect("store lock");
+        writer.flush()?;
+        let stats = compact_file(&self.path)?;
+        // The old handle appends to the unlinked pre-compaction file;
+        // swap in a handle on the freshly renamed one.
+        let file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        *writer = BufWriter::new(file);
+        Ok(stats)
     }
 
     /// Counter snapshot (cheap atomic reads).
@@ -184,6 +259,7 @@ impl ResultStore {
             misses: self.misses.load(Ordering::Relaxed),
             appends: self.appends.load(Ordering::Relaxed),
             load_warnings: self.load_warnings,
+            checksum_skips: self.checksum_skips,
         }
     }
 
@@ -193,39 +269,135 @@ impl ResultStore {
     }
 }
 
-/// Loads the records of one file into `index`, returning the number of
-/// skipped (warned-about) lines. The first line must be a header with a
-/// known version or the whole file is skipped as one warning.
-fn load_records(text: &str, index: &mut HashMap<u64, String>) -> u64 {
+fn render_entry(key: u64, endpoint: &str, body: &str) -> String {
+    format!(
+        "{{\"kind\":\"entry\",\"key\":\"{key:016x}\",\"endpoint\":\"{}\",\"sum\":\"{:016x}\",\"body\":\"{}\"}}",
+        escape_json(endpoint),
+        entry_checksum(key, body),
+        escape_json(body)
+    )
+}
+
+/// Rewrites one record file in place (temp file + atomic rename),
+/// keeping the first checksum-valid record per key and dropping
+/// everything else. Files with an unknown or missing header version are
+/// left untouched ([`CompactStats::skipped_unknown_version`]).
+///
+/// # Errors
+///
+/// Filesystem failures reading or rewriting the file.
+pub fn compact_file(path: &Path) -> std::io::Result<CompactStats> {
+    let text = std::fs::read_to_string(path)?;
+    let mut stats = CompactStats {
+        bytes_before: text.len() as u64,
+        ..CompactStats::default()
+    };
+    let mut lines = text.split_inclusive('\n');
+    match lines.next().map(parse_header) {
+        Some(Some(version)) if version == STORE_VERSION => {}
+        _ => {
+            stats.skipped_unknown_version = true;
+            stats.bytes_after = stats.bytes_before;
+            return Ok(stats);
+        }
+    }
+    let mut kept: Vec<(u64, String, String)> = Vec::new();
+    let mut seen: HashMap<u64, ()> = HashMap::new();
+    for line in lines {
+        let payload = line.strip_suffix('\n').unwrap_or(line);
+        if payload.trim().is_empty() {
+            continue;
+        }
+        match parse_entry(payload) {
+            Some(entry) if entry.sum == Some(entry_checksum(entry.key, &entry.body)) => {
+                if seen.insert(entry.key, ()).is_none() {
+                    kept.push((entry.key, entry.endpoint, entry.body));
+                } else {
+                    stats.dropped_duplicate += 1;
+                }
+            }
+            _ => stats.dropped_corrupt += 1,
+        }
+    }
+    let tmp = path.with_extension("jsonl.compact-tmp");
+    {
+        let mut out = BufWriter::new(File::create(&tmp)?);
+        writeln!(out, "{{\"kind\":\"header\",\"version\":{STORE_VERSION}}}")?;
+        for (key, endpoint, body) in &kept {
+            writeln!(out, "{}", render_entry(*key, endpoint, body))?;
+        }
+        out.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    stats.kept = kept.len();
+    stats.bytes_after = std::fs::metadata(path)?.len();
+    Ok(stats)
+}
+
+/// Compacts every `store-*.jsonl` file under `dir`, returning per-file
+/// stats in path order. Missing directory is a no-op (empty vec).
+///
+/// # Errors
+///
+/// Filesystem failures listing the directory or rewriting a file.
+pub fn compact_dir(dir: &Path) -> std::io::Result<Vec<(PathBuf, CompactStats)>> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("store-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for file in files {
+        let stats = compact_file(&file)?;
+        out.push((file, stats));
+    }
+    Ok(out)
+}
+
+/// Loads the records of one file into `index`, returning
+/// `(warned_lines, checksum_skips)`. The first line must be a header
+/// with a known version or the whole file is skipped as one warning.
+fn load_records(text: &str, index: &mut HashMap<u64, String>) -> (u64, u64) {
     let mut warnings = 0u64;
+    let mut checksum_skips = 0u64;
     let mut lines = text.split_inclusive('\n');
     match lines.next().map(parse_header) {
         Some(Some(version)) if version == STORE_VERSION => {}
         // Unknown version, malformed header, or an empty file: skip the
         // file's records entirely — they may not mean what we think.
-        _ => return 1,
+        _ => return (1, 0),
     }
     for line in lines {
-        let (payload, complete) = match line.strip_suffix('\n') {
-            Some(p) => (p, true),
-            None => (line, false),
-        };
+        let payload = line.strip_suffix('\n').unwrap_or(line);
         if payload.trim().is_empty() {
             continue;
         }
         match parse_entry(payload) {
-            Some((key, body)) => {
-                index.insert(key, body);
+            Some(entry) => {
+                // A parseable record is only trusted when its checksum
+                // matches: a bit-flip inside the body (or a missing sum)
+                // is detected here, not served to a client.
+                if entry.sum == Some(entry_checksum(entry.key, &entry.body)) {
+                    index.insert(entry.key, entry.body);
+                } else {
+                    checksum_skips += 1;
+                }
             }
             None => {
                 // A torn tail (no trailing newline) and interior
                 // corruption are both tolerated; each costs one warning.
                 warnings += 1;
-                let _ = complete;
             }
         }
     }
-    warnings
+    (warnings, checksum_skips)
 }
 
 fn parse_header(line: &str) -> Option<u64> {
@@ -242,16 +414,36 @@ fn parse_header(line: &str) -> Option<u64> {
     (kind == Some("header")).then_some(version?)
 }
 
-fn parse_entry(line: &str) -> Option<(u64, String)> {
+struct RawEntry {
+    key: u64,
+    endpoint: String,
+    sum: Option<u64>,
+    body: String,
+}
+
+fn parse_entry(line: &str) -> Option<RawEntry> {
     let fields = parse_flat(line).ok()?;
     let mut kind = None;
     let mut key = None;
+    let mut endpoint = String::new();
+    let mut sum = None;
     let mut body = None;
     for (k, v) in fields {
         match k.as_str() {
             "kind" => kind = v.as_str().map(str::to_string),
             "key" => {
                 key = match v {
+                    JsonScalar::Str(s) => u64::from_str_radix(&s, 16).ok(),
+                    _ => None,
+                }
+            }
+            "endpoint" => {
+                if let JsonScalar::Str(s) = v {
+                    endpoint = s;
+                }
+            }
+            "sum" => {
+                sum = match v {
                     JsonScalar::Str(s) => u64::from_str_radix(&s, 16).ok(),
                     _ => None,
                 }
@@ -266,7 +458,12 @@ fn parse_entry(line: &str) -> Option<(u64, String)> {
         }
     }
     (kind.as_deref() == Some("entry")).then_some(())?;
-    Some((key?, body?))
+    Some(RawEntry {
+        key: key?,
+        endpoint,
+        sum,
+        body: body?,
+    })
 }
 
 #[cfg(test)]
@@ -298,6 +495,7 @@ mod tests {
         let store = ResultStore::open(&dir, 0).unwrap();
         assert_eq!(store.stats().entries, 2);
         assert_eq!(store.stats().load_warnings, 0);
+        assert_eq!(store.stats().checksum_skips, 0);
         let resp = store.get(0xabc).expect("persisted");
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"{\"x\":1}\n");
@@ -349,6 +547,70 @@ mod tests {
     }
 
     #[test]
+    fn a_bit_flip_inside_the_body_is_detected_not_served() {
+        let dir = tmpdir("bitflip");
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            store.put(1, "isolate", &ok("{\"power\":100}\n"));
+            store.put(2, "isolate", &ok("{\"power\":200}\n"));
+        }
+        let path = dir.join("store-0.jsonl");
+        // Flip one character inside the first entry's *body* — the line
+        // still parses as JSON, so only the checksum can catch it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let damaged = text.replacen("power\\\":100", "power\\\":900", 1);
+        assert_ne!(text, damaged, "the flip must land");
+        std::fs::write(&path, &damaged).unwrap();
+
+        let store = ResultStore::open(&dir, 0).unwrap();
+        assert_eq!(store.stats().checksum_skips, 1, "the flip was detected");
+        assert_eq!(store.stats().load_warnings, 0, "it parsed fine");
+        assert!(
+            store.get(1).is_none(),
+            "a damaged body is never served: {:?}",
+            store.get(1).map(|r| String::from_utf8_lossy(&r.body).into_owned())
+        );
+        assert_eq!(store.get(2).unwrap().body, b"{\"power\":200}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_never_panics_or_serves_damage() {
+        let dir = tmpdir("sweep");
+        let bodies = [
+            (0x11u64, "{\"result\":\"alpha\",\"n\":1}\n"),
+            (0x22u64, "{\"result\":\"beta\",\"n\":2}\n"),
+            (0x33u64, "{\"result\":\"gamma\",\"n\":3}\n"),
+        ];
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            for (key, body) in bodies {
+                store.put(key, "isolate", &ok(body));
+            }
+        }
+        let path = dir.join("store-0.jsonl");
+        let full = std::fs::read(&path).unwrap();
+        // Crash-inject at every prefix length: reopening must never
+        // panic and every body it *does* serve must be byte-exact.
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let store = ResultStore::open(&dir, 0).unwrap();
+            for (key, body) in bodies {
+                if let Some(resp) = store.get(key) {
+                    assert_eq!(
+                        resp.body,
+                        body.as_bytes(),
+                        "cut at {cut}: key {key:#x} served a damaged body"
+                    );
+                }
+            }
+            // Reopening sealed/rewrote the tail; restore the next prefix
+            // from the pristine image so every offset is tested.
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn appends_after_a_torn_tail_start_on_their_own_line() {
         let dir = tmpdir("seal");
         {
@@ -396,6 +658,98 @@ mod tests {
         store.put(2, "isolate", &ok("body"));
         store.put(2, "isolate", &ok("body"));
         assert_eq!(store.stats().appends, 1, "duplicate key not re-appended");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_duplicates_and_corruption_keeping_first_records() {
+        let dir = tmpdir("compact");
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            store.put(1, "isolate", &ok("one"));
+            store.put(2, "isolate", &ok("two"));
+        }
+        let path = dir.join("store-0.jsonl");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // A duplicate for key 1 (different body — must NOT win), an
+        // interior corrupt line, a checksum-mismatched line, and a torn
+        // tail.
+        text.push_str(&render_entry(1, "isolate", "one-duplicate"));
+        text.push('\n');
+        text.push_str("{\"kind\":\"entry\",\"key\":garbage\n");
+        text.push_str(
+            "{\"kind\":\"entry\",\"key\":\"0000000000000003\",\"endpoint\":\"isolate\",\
+             \"sum\":\"0000000000000000\",\"body\":\"flipped\"}\n",
+        );
+        text.push_str("{\"kind\":\"entry\",\"key\":\"00");
+        std::fs::write(&path, &text).unwrap();
+
+        let stats = compact_file(&path).unwrap();
+        assert_eq!(stats.kept, 2);
+        assert_eq!(stats.dropped_duplicate, 1);
+        assert_eq!(stats.dropped_corrupt, 3, "garbage + bad sum + torn tail");
+        assert!(stats.bytes_after < stats.bytes_before);
+        assert!(!stats.skipped_unknown_version);
+
+        // The compacted file loads clean: no warnings, first records won.
+        let store = ResultStore::open(&dir, 0).unwrap();
+        let stats = store.stats();
+        assert_eq!((stats.load_warnings, stats.checksum_skips), (0, 0));
+        assert_eq!(stats.entries, 2);
+        assert_eq!(store.get(1).unwrap().body, b"one");
+        assert_eq!(store.get(2).unwrap().body, b"two");
+        assert!(store.get(3).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_store_compacts_and_keeps_appending() {
+        let dir = tmpdir("compact-live");
+        {
+            let store = ResultStore::open(&dir, 0).unwrap();
+            store.put(1, "isolate", &ok("one"));
+        }
+        // Grow a duplicate the next open would skip on append anyway.
+        let path = dir.join("store-0.jsonl");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(&render_entry(1, "isolate", "one"));
+        text.push('\n');
+        std::fs::write(&path, &text).unwrap();
+
+        let store = ResultStore::open(&dir, 0).unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!((stats.kept, stats.dropped_duplicate), (1, 1));
+        // Appends after the in-place compaction land in the new file.
+        store.put(2, "isolate", &ok("two"));
+        let reopened = ResultStore::open(&dir, 0).unwrap();
+        assert_eq!(reopened.stats().entries, 2);
+        assert_eq!(reopened.get(2).unwrap().body, b"two");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_dir_touches_every_record_file_and_spares_unknown_versions() {
+        let dir = tmpdir("compact-dir");
+        {
+            let s0 = ResultStore::open(&dir, 0).unwrap();
+            s0.put(1, "isolate", &ok("zero"));
+            let s1 = ResultStore::open(&dir, 1).unwrap();
+            s1.put(2, "isolate", &ok("one"));
+        }
+        let alien = "{\"kind\":\"header\",\"version\":999}\nnot ours\n";
+        std::fs::write(dir.join("store-9.jsonl"), alien).unwrap();
+        let results = compact_dir(&dir).unwrap();
+        assert_eq!(results.len(), 3);
+        let nines: Vec<_> = results
+            .iter()
+            .filter(|(p, _)| p.ends_with("store-9.jsonl"))
+            .collect();
+        assert!(nines[0].1.skipped_unknown_version);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("store-9.jsonl")).unwrap(),
+            alien,
+            "unknown-version files are left untouched"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,219 +1,59 @@
-//! An in-process HTTP client for exercising the daemon over real TCP.
+//! In-process HTTP clients for exercising the daemon over real TCP.
 //!
 //! Tests spawn a [`crate::Server`] on an ephemeral port
-//! (`ServeConfig { port: 0, .. }`) and drive it with this client — the
-//! genuine socket path, no fixed ports, no fixtures. This is test
-//! support, so failures panic with context instead of returning
-//! `Result`: a connection error in a test *is* the failure.
+//! (`ServeConfig { port: 0, .. }`) and drive it with these clients —
+//! the genuine socket path, no fixed ports, no fixtures. The transport
+//! itself ([`Client`], [`ClientResponse`], [`raw_request`]) lives in
+//! [`crate::fleet`] since PR 8 promoted it to production; this module
+//! re-exports it and keeps the deliberately *simple* [`RouterClient`]:
+//! a [`FleetClient`] pinned to [`FleetPolicy::no_retry`], so tests that
+//! assert single-shot semantics (a downed shard 503s on the first try)
+//! keep meaning what they say.
 
-use crate::api::{ApiRequest, BatchRequest, Endpoint, DEADLINE_HEADER};
-use crate::error::ApiError;
-use crate::http::{decode_chunked, Request};
-use crate::shard::shard_of;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use crate::api::{ApiRequest, BatchRequest, Endpoint};
+use crate::fleet::{FleetClient, FleetPolicy};
+use crate::http::Request;
+use std::net::SocketAddr;
 
-/// A parsed response.
-#[derive(Debug, Clone)]
-pub struct ClientResponse {
-    /// HTTP status code.
-    pub status: u16,
-    /// Headers, names lowercased.
-    pub headers: Vec<(String, String)>,
-    /// Body bytes.
-    pub body: Vec<u8>,
-}
+pub use crate::fleet::{raw_request, Client, ClientResponse};
 
-impl ClientResponse {
-    /// Header value by (case-insensitive) name.
-    pub fn header(&self, name: &str) -> Option<&str> {
-        let name = name.to_ascii_lowercase();
-        self.headers
-            .iter()
-            .find(|(k, _)| *k == name)
-            .map(|(_, v)| v.as_str())
-    }
-
-    /// The body as UTF-8 (panics on binary garbage — test context).
-    pub fn text(&self) -> &str {
-        std::str::from_utf8(&self.body).expect("response body is UTF-8")
-    }
-}
-
-/// Client for one daemon address.
-#[derive(Debug, Clone, Copy)]
-pub struct Client {
-    addr: SocketAddr,
-}
-
-impl Client {
-    /// Points the client at a daemon (usually `handle.addr()`).
-    pub fn new(addr: SocketAddr) -> Client {
-        Client { addr }
-    }
-
-    /// `GET path`.
-    pub fn get(&self, path: &str) -> ClientResponse {
-        self.request("GET", path, &[], b"")
-    }
-
-    /// `POST path` with a body.
-    pub fn post(&self, path: &str, body: &str) -> ClientResponse {
-        self.request("POST", path, &[], body.as_bytes())
-    }
-
-    /// `POST path` with an `X-Oiso-Deadline-Ms` header.
-    pub fn post_with_deadline(&self, path: &str, body: &str, deadline_ms: u64) -> ClientResponse {
-        self.request(
-            "POST",
-            path,
-            &[(DEADLINE_HEADER, &deadline_ms.to_string())],
-            body.as_bytes(),
-        )
-    }
-
-    /// A full request with explicit headers.
-    pub fn request(
-        &self,
-        method: &str,
-        path: &str,
-        headers: &[(&str, &str)],
-        body: &[u8],
-    ) -> ClientResponse {
-        self.send_raw(&raw_request(method, path, headers, body))
-    }
-
-    /// Writes arbitrary bytes and parses whatever comes back — how the
-    /// malformed-request tests reach the server's error paths.
-    pub fn send_raw(&self, raw: &[u8]) -> ClientResponse {
-        self.try_send_raw(raw).expect("talk to the daemon")
-    }
-
-    /// [`Client::send_raw`] that reports connection failures instead of
-    /// panicking — what the shard router uses to turn a downed daemon
-    /// into a structured `503` rather than a test abort.
-    pub fn try_send_raw(&self, raw: &[u8]) -> Result<ClientResponse, String> {
-        let mut stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(2))
-            .map_err(|e| format!("connect {}: {e}", self.addr))?;
-        stream
-            .set_read_timeout(Some(Duration::from_secs(60)))
-            .map_err(|e| format!("set read timeout: {e}"))?;
-        stream
-            .write_all(raw)
-            .map_err(|e| format!("write the request: {e}"))?;
-        // The server replies and closes (Connection: close) — read to EOF.
-        let mut response = Vec::new();
-        stream
-            .read_to_end(&mut response)
-            .map_err(|e| format!("read the response: {e}"))?;
-        Ok(parse_response(&response))
-    }
-}
-
-fn parse_response(raw: &[u8]) -> ClientResponse {
-    let split = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .expect("response has a head/body separator");
-    let head = std::str::from_utf8(&raw[..split]).expect("response head is UTF-8");
-    let mut body = raw[split + 4..].to_vec();
-    let mut lines = head.lines();
-    let status_line = lines.next().expect("response has a status line");
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("unparsable status line {status_line:?}"));
-    let headers: Vec<(String, String)> = lines
-        .filter_map(|line| line.split_once(':'))
-        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
-        .collect();
-    let chunked = headers
-        .iter()
-        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
-    if chunked {
-        body = decode_chunked(&body).expect("well-framed chunked body");
-    }
-    ClientResponse {
-        status,
-        headers,
-        body,
-    }
-}
-
-/// A thin fingerprint-hash router over a fleet of shard daemons — the
-/// fronting process the shard design assumes, reduced to its essence
-/// for tests and the load generator.
-///
-/// Routing recomputes the request's semantic fingerprint
-/// ([`ApiRequest::fingerprint`] / [`BatchRequest::fingerprint`]) from
-/// the bytes on the wire, exactly as any other client would, and sends
-/// to shard `fp % N`. Requests that don't fingerprint (GETs, bodies the
-/// schema rejects) go to shard 0 — every shard can answer them. A
-/// shard that cannot be reached yields the structured
-/// `503 shard_unavailable` instead of a hang.
-#[derive(Debug, Clone)]
+/// A thin fingerprint-hash router over a fleet of shard daemons with
+/// PR 7 semantics: one attempt per request, no breaker, no hedging.
+/// Production callers want [`FleetClient`] instead.
+#[derive(Debug)]
 pub struct RouterClient {
-    shards: Vec<Client>,
+    fleet: FleetClient,
 }
 
 impl RouterClient {
     /// Builds a router over the shard daemons, index order = shard
     /// order (`addrs[k]` must be the `--shard (k+1)/N` daemon).
     pub fn new(addrs: &[SocketAddr]) -> RouterClient {
-        assert!(!addrs.is_empty(), "a router needs at least one shard");
         RouterClient {
-            shards: addrs.iter().copied().map(Client::new).collect(),
+            fleet: FleetClient::with_policy(addrs, FleetPolicy::no_retry()),
         }
     }
 
     /// Which shard index a POST to `path` with `body` routes to.
     pub fn route(&self, path: &str, body: &str) -> usize {
-        let fp = fingerprint_of(path, body);
-        fp.map_or(0, |fp| shard_of(fp, self.shards.len()))
+        self.fleet.route(path, body)
     }
 
-    /// `GET path` — served by shard 0 (no fingerprint to route on).
+    /// `GET path` — served by shard 0 (any shard could; pinning keeps
+    /// the tests' expectations exact).
     pub fn get(&self, path: &str) -> ClientResponse {
-        self.send(0, |c| c.try_send_raw(&raw_request("GET", path, &[], b"")))
+        self.fleet.get_from(0, path)
     }
 
     /// `POST path`, routed by the body's fingerprint.
     pub fn post(&self, path: &str, body: &str) -> ClientResponse {
-        let shard = self.route(path, body);
-        self.send(shard, |c| {
-            c.try_send_raw(&raw_request("POST", path, &[], body.as_bytes()))
-        })
-    }
-
-    fn send(
-        &self,
-        shard: usize,
-        f: impl Fn(&Client) -> Result<ClientResponse, String>,
-    ) -> ClientResponse {
-        match f(&self.shards[shard]) {
-            Ok(response) => response,
-            Err(detail) => {
-                let error = ApiError::shard_unavailable(shard, self.shards.len(), detail);
-                let resp = error.to_response();
-                ClientResponse {
-                    status: resp.status,
-                    headers: resp
-                        .extra_headers
-                        .iter()
-                        .map(|(k, v)| (k.to_ascii_lowercase(), v.clone()))
-                        .collect(),
-                    body: resp.body,
-                }
-            }
-        }
+        self.fleet.post(path, body)
     }
 }
 
 /// Recomputes the routing fingerprint for a POST body, or `None` when
 /// the body doesn't parse (shard 0 owns the resulting 4xx).
-fn fingerprint_of(path: &str, body: &str) -> Option<u64> {
+pub(crate) fn fingerprint_of(path: &str, body: &str) -> Option<u64> {
     let endpoint = Endpoint::route("POST", path).ok()?;
     let req = Request {
         method: "POST".to_string(),
@@ -225,18 +65,4 @@ fn fingerprint_of(path: &str, body: &str) -> Option<u64> {
         Endpoint::Batch => BatchRequest::parse(&req).ok().map(|b| b.fingerprint()),
         _ => ApiRequest::parse(endpoint, &req).ok().map(|r| r.fingerprint()),
     }
-}
-
-fn raw_request(method: &str, path: &str, headers: &[(&str, &str)], body: &[u8]) -> Vec<u8> {
-    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: oiso\r\n");
-    for (name, value) in headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
-    let mut raw = head.into_bytes();
-    raw.extend_from_slice(body);
-    raw
 }

@@ -1,0 +1,729 @@
+//! Fleet-resilience tests: supervisor restarts, chaos absorption,
+//! circuit breakers, metrics aggregation, and the full chaos acceptance
+//! scenario at threads 1/2/4.
+//!
+//! These tests drive real daemons (in-process [`Server`]s and real
+//! `oiso` child processes via `CARGO_BIN_EXE_oiso`) over real TCP, with
+//! real byte-level faults injected by [`chaos::ChaosProxy`]. Fault
+//! arming is process-global, so every test that arms a plan serializes
+//! on [`FAULT_LOCK`].
+//!
+//! The `--nocapture` output of the acceptance test is grepped by the CI
+//! `chaos-smoke` job — the `chaos-acceptance[...]` lines are contract.
+
+use operand_isolation::par::faults;
+use operand_isolation::serve::chaos::{
+    ChaosConfig, ChaosProxy, SITE_GARBAGE, SITE_RESET, SITE_STALL, SITE_TRUNCATE,
+};
+use operand_isolation::serve::supervisor::{Supervisor, SupervisorConfig};
+use operand_isolation::serve::testing::Client;
+use operand_isolation::serve::{
+    FleetClient, FleetPolicy, ServeConfig, Server, ServerHandle, ShardSpec,
+};
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Chaos fault plans are process-global; tests that arm them (or count
+/// proxy connections) serialize here.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oiso-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+/// Launches the real `oiso serve` binary as a shard daemon.
+fn oiso_launcher(
+    store: PathBuf,
+    shards: usize,
+    threads: usize,
+) -> impl Fn(usize, u16) -> Command + Send + Sync + 'static {
+    move |index, port| {
+        let mut c = Command::new(env!("CARGO_BIN_EXE_oiso"));
+        c.arg("serve")
+            .arg("--port")
+            .arg(port.to_string())
+            .arg("--threads")
+            .arg(threads.to_string())
+            .arg("--shard")
+            .arg(format!("{}/{shards}", index + 1))
+            .arg("--store")
+            .arg(&store)
+            .arg("--quiet")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        c
+    }
+}
+
+/// Fast supervision knobs for tests: quick polls, quick backoff.
+fn test_supervisor_config(shards: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        shards,
+        poll_interval: Duration::from_millis(50),
+        health_timeout: Duration::from_secs(1),
+        wedged_after: 20,
+        backoff_base: Duration::from_millis(50),
+        backoff_cap: Duration::from_millis(200),
+        park_threshold: 3,
+        park_window: Duration::from_secs(30),
+        ..SupervisorConfig::default()
+    }
+}
+
+/// A cheap deterministic corpus that exercises every POST endpoint and
+/// (with enough seeds) spreads over any small shard count.
+fn corpus() -> Vec<(&'static str, String)> {
+    let mut reqs: Vec<(&'static str, String)> = Vec::new();
+    for seed in 0..10 {
+        reqs.push((
+            "/v1/simulate",
+            format!("{{\"design\":\"figure1\",\"cycles\":200,\"seed\":{seed}}}"),
+        ));
+    }
+    reqs.push(("/v1/lint", "{\"design\":\"figure1\"}".to_string()));
+    reqs.push((
+        "/v1/isolate",
+        "{\"design\":\"figure1\",\"style\":\"and\",\"cycles\":300}".to_string(),
+    ));
+    reqs.push((
+        "/v1/batch",
+        concat!(
+            "{\"items\":[",
+            "{\"endpoint\":\"lint\",\"design\":\"figure1\"},",
+            "{\"endpoint\":\"simulate\",\"design\":\"figure1\",\"cycles\":200}",
+            "]}"
+        )
+        .to_string(),
+    ));
+    reqs
+}
+
+fn read_gauge(page: &str, name: &str) -> Option<u64> {
+    page.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+/// Flips one digit inside the body of the first *simulate* entry of a
+/// store record file — damage that still parses as JSON, so only the
+/// checksum can catch it. Simulate entries specifically: their
+/// re-execution is deterministic, so skipping the corrupt record and
+/// recomputing must reproduce the baseline bytes. (A batch entry would
+/// not: a re-executed batch embeds per-item `"cache"` dispositions that
+/// depend on cache state.)
+fn flip_store_digit(path: &Path) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(_) => return false,
+    };
+    let mut out = String::with_capacity(text.len());
+    let mut flipped = false;
+    for line in text.split_inclusive('\n') {
+        if !flipped
+            && line.contains("\"kind\":\"entry\"")
+            && line.contains("\"endpoint\":\"simulate\"")
+        {
+            if let Some(pos) = line.find("\"body\":\"") {
+                let body_start = pos + "\"body\":\"".len();
+                if let Some(rel) = line[body_start..].find(|c: char| c.is_ascii_digit()) {
+                    let at = body_start + rel;
+                    let old = line.as_bytes()[at] as char;
+                    let new = if old == '7' { '3' } else { '7' };
+                    out.push_str(&line[..at]);
+                    out.push(new);
+                    out.push_str(&line[at + 1..]);
+                    flipped = true;
+                    continue;
+                }
+            }
+        }
+        out.push_str(line);
+    }
+    if flipped {
+        std::fs::write(path, out).expect("rewrite store file");
+    }
+    flipped
+}
+
+#[test]
+fn supervisor_restarts_a_sigkilled_shard_and_the_store_replay_hits() {
+    let store = tmpdir("sigkill");
+    let supervisor = Supervisor::spawn(
+        test_supervisor_config(1),
+        oiso_launcher(store.clone(), 1, 2),
+    )
+    .expect("spawn the fleet");
+    assert!(
+        supervisor.wait_until_up(Duration::from_secs(30)),
+        "the shard never came up: {:?}",
+        supervisor.status()
+    );
+
+    let fleet = FleetClient::with_policy(
+        &supervisor.addrs(),
+        FleetPolicy {
+            retry_backoff: Duration::from_millis(25),
+            ..FleetPolicy::default()
+        },
+    );
+    let body = "{\"design\":\"figure1\",\"cycles\":200,\"seed\":3}";
+    let first = fleet.post("/v1/simulate", body);
+    assert_eq!(first.status, 200, "{}", first.text());
+
+    // Hard-kill the shard (SIGKILL — no drain, no flush beyond the
+    // store's per-append flush) and let the supervisor resurrect it.
+    supervisor.kill_shard(0);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = supervisor.status();
+        if status[0].restarts >= 1 && status[0].up {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "never restarted: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The replayed request is answered from the disk store: identical
+    // bytes, reported as a cache hit.
+    let replay = fleet.post("/v1/simulate", body);
+    assert_eq!(replay.status, 200, "{}", replay.text());
+    assert_eq!(replay.body, first.body, "restart changed the bytes");
+    assert_eq!(
+        replay.header("x-oiso-cache"),
+        Some("hit"),
+        "the restarted shard must serve the stored result as a hit"
+    );
+
+    let page = supervisor.metrics_page();
+    assert!(page.contains("oiso_restarts_total{shard=\"0\"} "), "{page}");
+    assert!(
+        read_gauge(&page, "oiso_restarts_total{shard=\"0\"}").unwrap_or(0) >= 1,
+        "{page}"
+    );
+    supervisor.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn chaos_faults_are_absorbed_with_byte_identical_bodies() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let server = Server::spawn(ServeConfig::default()).expect("spawn");
+    let direct = Client::new(server.addr());
+    let body = "{\"design\":\"figure1\",\"cycles\":200,\"seed\":1}";
+    let baseline = direct.post("/v1/simulate", body);
+    assert_eq!(baseline.status, 200);
+
+    let proxy = ChaosProxy::spawn(
+        server.addr(),
+        ChaosConfig {
+            stall: Duration::from_millis(200),
+            ..ChaosConfig::default()
+        },
+    )
+    .expect("spawn the proxy");
+    let fleet = FleetClient::with_policy(
+        &[proxy.addr()],
+        FleetPolicy {
+            attempts: 4,
+            retry_backoff: Duration::from_millis(10),
+            breaker_threshold: 10,
+            ..FleetPolicy::default()
+        },
+    );
+
+    // Connection 0 resets, the retry on connection 1 is truncated, the
+    // retry on connection 2 goes through: one request absorbs two
+    // distinct fault classes.
+    let _reset = faults::inject(SITE_RESET, &[0]);
+    let _trunc = faults::inject(SITE_TRUNCATE, &[1]);
+    let resp = fleet.post("/v1/simulate", body);
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.body, baseline.body, "faulted bytes diverge");
+    assert_eq!(fleet.retries_total(), 2, "reset + truncation both retried");
+
+    // Garbage prefix on connection 3; clean retry on 4.
+    let _garbage = faults::inject(SITE_GARBAGE, &[3]);
+    let resp = fleet.post("/v1/simulate", body);
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, baseline.body);
+
+    // A mid-response stall on connection 5 is absorbed by waiting —
+    // same bytes, no retry needed.
+    let retries_before = fleet.retries_total();
+    let _stall = faults::inject(SITE_STALL, &[5]);
+    let resp = fleet.post("/v1/simulate", body);
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, baseline.body);
+    assert_eq!(fleet.retries_total(), retries_before, "a stall is not a retry");
+
+    let stats = proxy.shutdown();
+    assert_eq!(
+        (stats.resets, stats.truncations, stats.garbage, stats.stalls),
+        (1, 1, 1, 1),
+        "{stats:?}"
+    );
+    assert_eq!(faults::armed_sites().len(), 4, "all four sites still armed");
+    server.shutdown();
+}
+
+#[test]
+fn transport_errors_distinguish_reset_from_timeout_in_the_503_detail() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let server = Server::spawn(ServeConfig::default()).expect("spawn");
+    let proxy = ChaosProxy::spawn(
+        server.addr(),
+        ChaosConfig {
+            stall: Duration::from_secs(5),
+            ..ChaosConfig::default()
+        },
+    )
+    .expect("spawn the proxy");
+    let body = "{\"design\":\"figure1\",\"cycles\":200,\"seed\":2}";
+
+    // Every connection reset: the synthesized 503 must say so.
+    {
+        let _reset = faults::inject_all(SITE_RESET);
+        let fleet = FleetClient::with_policy(&[proxy.addr()], FleetPolicy::no_retry());
+        let resp = fleet.post("/v1/simulate", body);
+        assert_eq!(resp.status, 503);
+        assert!(
+            resp.text().contains("ConnectionReset"),
+            "reset must surface its io kind: {}",
+            resp.text()
+        );
+    }
+    // Every connection stalled past the read timeout: a *different*
+    // io kind in the same place.
+    {
+        let _stall = faults::inject_all(SITE_STALL);
+        let fleet = FleetClient::with_policy(
+            &[proxy.addr()],
+            FleetPolicy {
+                read_timeout: Duration::from_millis(150),
+                ..FleetPolicy::no_retry()
+            },
+        );
+        let resp = fleet.post("/v1/simulate", body);
+        assert_eq!(resp.status, 503);
+        let text = resp.text();
+        assert!(
+            text.contains("WouldBlock") || text.contains("TimedOut"),
+            "timeout must surface its io kind: {text}"
+        );
+        assert!(!text.contains("ConnectionReset"), "{text}");
+    }
+    drop(proxy);
+    server.shutdown();
+}
+
+#[test]
+fn the_breaker_opens_fails_fast_and_recovers_through_half_open() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let server = Server::spawn(ServeConfig::default()).expect("spawn");
+    let proxy = ChaosProxy::spawn(server.addr(), ChaosConfig::default()).expect("proxy");
+    let fleet = FleetClient::with_policy(
+        &[proxy.addr()],
+        FleetPolicy {
+            attempts: 2,
+            retry_backoff: Duration::from_millis(10),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(300),
+            ..FleetPolicy::default()
+        },
+    );
+    let body = "{\"design\":\"figure1\",\"cycles\":200,\"seed\":4}";
+
+    let guard = faults::inject_all(SITE_RESET);
+    let resp = fleet.post("/v1/simulate", body);
+    assert_eq!(resp.status, 503, "two resets exhaust two attempts");
+    assert_eq!(
+        format!("{:?}", fleet.breaker_state(0)),
+        "Open",
+        "two consecutive transport failures trip the threshold-2 breaker"
+    );
+
+    // While open: fail fast, no socket work, structured detail.
+    let started = Instant::now();
+    let resp = fleet.post("/v1/simulate", body);
+    assert!(
+        started.elapsed() < Duration::from_millis(100),
+        "an open breaker must not touch the network"
+    );
+    assert_eq!(resp.status, 503);
+    assert!(resp.text().contains("circuit breaker open"), "{}", resp.text());
+
+    // Fault gone + cooldown elapsed: the half-open probe re-closes it.
+    drop(guard);
+    std::thread::sleep(Duration::from_millis(350));
+    let resp = fleet.post("/v1/simulate", body);
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(format!("{:?}", fleet.breaker_state(0)), "Closed");
+
+    let page = fleet.breaker_page();
+    assert!(
+        page.contains("oiso_breaker_transitions_total{shard=\"0\"} 3"),
+        "closed→open→half-open→closed: {page}"
+    );
+    assert!(page.contains("oiso_breaker_state{shard=\"0\"} 0"), "{page}");
+    drop(proxy);
+    server.shutdown();
+}
+
+#[test]
+fn hedged_reads_win_against_a_stalled_connection() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let server = Server::spawn(ServeConfig::default()).expect("spawn");
+    let direct = Client::new(server.addr());
+    let body = "{\"design\":\"figure1\",\"cycles\":200,\"seed\":5}";
+    let baseline = direct.post("/v1/simulate", body);
+
+    let proxy = ChaosProxy::spawn(
+        server.addr(),
+        ChaosConfig {
+            stall: Duration::from_secs(2),
+            ..ChaosConfig::default()
+        },
+    )
+    .expect("proxy");
+    let fleet = FleetClient::with_policy(
+        &[proxy.addr()],
+        FleetPolicy {
+            hedge_after: Some(Duration::from_millis(100)),
+            ..FleetPolicy::default()
+        },
+    );
+    // Connection 0 stalls 2 s mid-response; the hedge fires at 100 ms on
+    // connection 1 and wins with identical bytes.
+    let _stall = faults::inject(SITE_STALL, &[0]);
+    let started = Instant::now();
+    let resp = fleet.post("/v1/simulate", body);
+    let elapsed = started.elapsed();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.body, baseline.body, "the hedge changed the bytes");
+    assert!(
+        elapsed < Duration::from_millis(1800),
+        "the hedge should beat the 2 s stall, took {elapsed:?}"
+    );
+    assert_eq!(fleet.hedges_total(), 1);
+    drop(proxy);
+    server.shutdown();
+}
+
+#[test]
+fn non_keyed_gets_fail_over_and_metrics_aggregate_across_shards() {
+    let spawn_shard = |index: usize| {
+        Server::spawn(ServeConfig {
+            shard: Some(ShardSpec { index, count: 2 }),
+            ..ServeConfig::default()
+        })
+        .expect("spawn")
+    };
+    let fleet_handles: Vec<ServerHandle> = (0..2).map(spawn_shard).collect();
+    let addrs: Vec<SocketAddr> = fleet_handles.iter().map(|h| h.addr()).collect();
+    let fleet = FleetClient::with_policy(&addrs, FleetPolicy::no_retry());
+
+    let mut used = [0usize; 2];
+    for (path, body) in corpus() {
+        used[fleet.route(path, &body)] += 1;
+        assert_eq!(fleet.post(path, &body).status, 200, "{path}");
+    }
+    assert!(used.iter().all(|&n| n > 0), "corpus split {used:?}");
+
+    // Aggregated metrics: request counts sum across shards, and the
+    // fleet coverage gauges report both shards.
+    let merged = fleet.metrics();
+    let per_shard: u64 = addrs
+        .iter()
+        .map(|&a| {
+            let page = Client::new(a).get("/metrics");
+            read_gauge(
+                page.text(),
+                "oiso_requests_total{endpoint=\"simulate\",status=\"200\"}",
+            )
+            .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(
+        read_gauge(
+            &merged,
+            "oiso_requests_total{endpoint=\"simulate\",status=\"200\"}"
+        ),
+        Some(per_shard),
+        "{merged}"
+    );
+    assert!(merged.contains("oiso_fleet_shards_reporting 2"), "{merged}");
+    assert!(merged.contains("oiso_fleet_shards_total 2"), "{merged}");
+
+    // Down shard 0: /healthz fails over to shard 1 instead of 503ing,
+    // and the broadcast reports exactly one unreachable shard.
+    let mut handles = fleet_handles.into_iter();
+    handles.next().expect("shard 0").shutdown();
+    let resp = fleet.get("/healthz");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.text(), "ok\n");
+    let broadcast = fleet.broadcast_get("/healthz");
+    assert!(broadcast[0].is_none(), "shard 0 is down");
+    assert!(broadcast[1].is_some(), "shard 1 answers");
+    let merged = fleet.metrics();
+    assert!(merged.contains("oiso_fleet_shards_reporting 1"), "{merged}");
+    handles.next().expect("shard 1").shutdown();
+}
+
+/// The ISSUE 8 acceptance scenario, at every tier-1 thread count: one
+/// shard crash-looping (parked), one chaos-proxied (reset +
+/// truncation), one loading a bit-flipped store file — every successful
+/// response byte-identical to the fault-free run, deadline budgets
+/// honored, parked keys failing fast and structured.
+#[test]
+fn chaos_acceptance_scenario_at_threads_1_2_4() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    for threads in [1usize, 2, 4] {
+        run_acceptance(threads);
+    }
+}
+
+fn run_acceptance(threads: usize) {
+    const SHARDS: usize = 3;
+    let reqs = corpus();
+
+    // ---- Fault-free baseline: in-process shards over a shared store.
+    // Two generations: the first warms the store, the second restarts
+    // on it and is what we record. The faulted fleet below also starts
+    // from a warm copy of this store, so both sides serve replayed
+    // requests from the same durable tier — the only honest way to
+    // demand byte-identical responses for batches, whose envelopes
+    // embed per-item cache dispositions.
+    let base_store = tmpdir(&format!("accept-base-t{threads}"));
+    let mut baseline: Vec<(usize, u16, Vec<u8>)> = Vec::new();
+    for generation in 0..2 {
+        let handles: Vec<ServerHandle> = (0..SHARDS)
+            .map(|index| {
+                Server::spawn(ServeConfig {
+                    threads,
+                    shard: Some(ShardSpec {
+                        index,
+                        count: SHARDS,
+                    }),
+                    store: Some(base_store.clone()),
+                    ..ServeConfig::default()
+                })
+                .expect("spawn baseline shard")
+            })
+            .collect();
+        let addrs: Vec<SocketAddr> = handles.iter().map(|h| h.addr()).collect();
+        let fleet = FleetClient::with_policy(&addrs, FleetPolicy::no_retry());
+        let mut used = [0usize; SHARDS];
+        baseline = reqs
+            .iter()
+            .map(|(path, body)| {
+                let shard = fleet.route(path, body);
+                used[shard] += 1;
+                let resp = fleet.post(path, body);
+                assert_eq!(
+                    resp.status, 200,
+                    "baseline gen {generation} {path}: {}",
+                    resp.text()
+                );
+                (shard, resp.status, resp.body)
+            })
+            .collect();
+        assert!(
+            used.iter().all(|&n| n > 0),
+            "the corpus must cover all {SHARDS} shards, split {used:?}"
+        );
+        for handle in handles {
+            handle.shutdown();
+        }
+    }
+
+    // ---- Faulted fleet: copy the store, flip one body digit. ----
+    let faulted_store = tmpdir(&format!("accept-fault-t{threads}"));
+    for entry in std::fs::read_dir(&base_store).expect("list baseline store") {
+        let path = entry.expect("entry").path();
+        std::fs::copy(&path, faulted_store.join(path.file_name().expect("name")))
+            .expect("copy store file");
+    }
+    let mut flipped = false;
+    for entry in std::fs::read_dir(&faulted_store).expect("list faulted store") {
+        if flip_store_digit(&entry.expect("entry").path()) {
+            flipped = true;
+            break;
+        }
+    }
+    assert!(flipped, "no store entry had a digit to flip");
+
+    // Reserve three ports; squat on shard 0's so its daemon can never
+    // bind — the supervisor must park it as crash-looping.
+    let listeners: Vec<TcpListener> = (0..SHARDS)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)).expect("reserve"))
+        .collect();
+    let ports: Vec<u16> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").port())
+        .collect();
+    let squatter = listeners.into_iter().next().expect("shard 0 squatter");
+
+    let supervisor = Supervisor::spawn(
+        SupervisorConfig {
+            ports: ports.clone(),
+            ..test_supervisor_config(SHARDS)
+        },
+        oiso_launcher(faulted_store.clone(), SHARDS, threads),
+    )
+    .expect("spawn the fleet");
+
+    // Wait until shard 0 parks and shards 1/2 converge healthy.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = supervisor.status();
+        if status[0].parked && status[1].up && status[2].up {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never converged: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Free the squatted port so parked-key requests get fast refusals
+    // instead of connecting to a listener nobody accepts on.
+    drop(squatter);
+
+    // Shard 1 is reached only through the chaos proxy: connection 0
+    // resets, connection 2 is truncated mid-response.
+    let proxy = ChaosProxy::spawn(
+        SocketAddr::from(([127, 0, 0, 1], ports[1])),
+        ChaosConfig::default(),
+    )
+    .expect("spawn the proxy");
+    let _reset = faults::inject(SITE_RESET, &[0]);
+    let _trunc = faults::inject(SITE_TRUNCATE, &[2]);
+
+    let fleet = FleetClient::with_policy(
+        &[
+            SocketAddr::from(([127, 0, 0, 1], ports[0])),
+            proxy.addr(),
+            SocketAddr::from(([127, 0, 0, 1], ports[2])),
+        ],
+        FleetPolicy {
+            attempts: 3,
+            retry_backoff: Duration::from_millis(10),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(300),
+            ..FleetPolicy::default()
+        },
+    );
+
+    // ---- Drive the corpus through the faults. ----
+    let mut identical = 0usize;
+    let mut successes = 0usize;
+    let mut parked_hits = 0usize;
+    for ((path, body), (shard, base_status, base_body)) in reqs.iter().zip(&baseline) {
+        assert_eq!(fleet.route(path, body), *shard, "routing must not drift");
+        let started = Instant::now();
+        let resp = fleet.post(path, body);
+        let elapsed = started.elapsed();
+        if *shard == 0 {
+            // The parked shard's keys: fast, structured, no hang.
+            parked_hits += 1;
+            assert_eq!(resp.status, 503, "{path}: {}", resp.text());
+            assert!(
+                resp.text()
+                    .starts_with("{\"error\":{\"code\":\"shard_unavailable\""),
+                "{}",
+                resp.text()
+            );
+            assert!(
+                elapsed < Duration::from_secs(5),
+                "parked shard must fail fast, took {elapsed:?}"
+            );
+        } else {
+            successes += 1;
+            assert_eq!(resp.status, *base_status, "{path}: {}", resp.text());
+            assert_eq!(
+                resp.body, *base_body,
+                "{path} {body}: faulted bytes diverge from the fault-free run"
+            );
+            identical += 1;
+        }
+    }
+    assert!(parked_hits > 0 && successes > 0);
+
+    // ---- Deadline budget: bounded even with chaos armed. ----
+    let (dl_path, dl_body) = reqs
+        .iter()
+        .find(|(p, b)| fleet.route(p, b) == 2)
+        .expect("corpus covers shard 2");
+    let budget_ms = 2_000u64;
+    let started = Instant::now();
+    let resp = fleet.post_with_deadline(dl_path, dl_body, budget_ms);
+    let elapsed = started.elapsed();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(
+        elapsed <= Duration::from_millis(budget_ms) + Duration::from_secs(1),
+        "deadline-bearing request outlived its budget: {elapsed:?}"
+    );
+
+    // ---- The bit-flip was detected, never served. ----
+    let metrics2 = fleet.get_from(2, "/metrics");
+    assert_eq!(metrics2.status, 200);
+    let checksum_skips =
+        read_gauge(metrics2.text(), "oiso_store_checksum_skips_total").unwrap_or(0);
+    assert!(
+        checksum_skips >= 1,
+        "shard 2 must have detected the flipped record: {}",
+        metrics2.text()
+    );
+
+    // ---- Supervision + breaker evidence (grepped by chaos-smoke). ----
+    let restarts: u64 = supervisor.status().iter().map(|s| s.restarts).sum();
+    assert!(restarts >= 1, "{:?}", supervisor.status());
+    let sup_page = supervisor.metrics_page();
+    assert!(sup_page.contains("oiso_shard_parked{shard=\"0\"} 1"), "{sup_page}");
+    let breaker_page = fleet.breaker_page();
+    let transitions: u64 = (0..SHARDS)
+        .map(|k| {
+            read_gauge(
+                &breaker_page,
+                &format!("oiso_breaker_transitions_total{{shard=\"{k}\"}}"),
+            )
+            .unwrap_or(0)
+        })
+        .sum();
+    assert!(
+        transitions >= 1,
+        "the parked shard's refusals must trip its breaker: {breaker_page}"
+    );
+    let chaos_stats = proxy.stats();
+    assert_eq!(chaos_stats.resets, 1, "{chaos_stats:?}");
+    assert_eq!(chaos_stats.truncations, 1, "{chaos_stats:?}");
+
+    println!("chaos-acceptance[t{threads}]: oiso_restarts_total {restarts}");
+    println!("chaos-acceptance[t{threads}]: breaker_transitions {transitions}");
+    println!(
+        "chaos-acceptance[t{threads}]: identical_bodies {identical}/{successes}"
+    );
+    println!("chaos-acceptance[t{threads}]: checksum_skips {checksum_skips}");
+    println!(
+        "chaos-acceptance[t{threads}]: parked_fail_fast_requests {parked_hits}"
+    );
+    println!(
+        "chaos-acceptance[t{threads}]: chaos_resets {} chaos_truncations {}",
+        chaos_stats.resets, chaos_stats.truncations
+    );
+
+    drop(proxy);
+    supervisor.shutdown();
+    let _ = std::fs::remove_dir_all(&base_store);
+    let _ = std::fs::remove_dir_all(&faulted_store);
+}
