@@ -1,0 +1,77 @@
+//! Crate-level calibration: static densities vs the cycle simulator on the
+//! bundled designs. The repo-root `activity_calibration` battery extends
+//! this with the mutant corpus and the zero-simulation guarantee; this file
+//! pins the per-design accuracy contract close to the engine.
+
+use oiso_activity::{analyze_activity_with_plan, ActivityOptions};
+use oiso_designs::{bundled, BUNDLED_NAMES};
+use oiso_sim::Testbench;
+
+const CYCLES: u64 = 20_000;
+
+/// Design-wide tolerance on total transition density (sum over all nets):
+/// the headline calibration number tracked in `BENCH_activity.json`.
+const TOTAL_TOL: f64 = 0.10;
+
+/// Per-net relative tolerance, with an absolute floor of 0.05 toggles per
+/// cycle mirroring `analytic_vs_sim.rs`. Looser than the design-wide bound
+/// because individual low-activity nets carry more sampling noise and the
+/// multiplier/shift fallback is correlation-blind.
+const NET_TOL: f64 = 0.35;
+
+#[test]
+fn bundled_designs_calibrate_against_the_simulator() {
+    for &name in BUNDLED_NAMES {
+        let design = bundled(name).expect("bundled design");
+        let report = analyze_activity_with_plan(
+            &design.netlist,
+            &design.stimuli,
+            &ActivityOptions::default(),
+        );
+        assert!(
+            !report.budget_blown,
+            "{name}: default budget should cover every bundled design"
+        );
+        let sim = Testbench::from_plan(&design.netlist, &design.stimuli)
+            .expect("plan drives every input")
+            .run(CYCLES)
+            .expect("simulation");
+
+        let mut static_total = 0.0;
+        let mut measured_total = 0.0;
+        let mut worst: (String, f64, f64, f64) = (String::new(), 0.0, 0.0, 0.0);
+        for (id, net) in design.netlist.nets() {
+            let d_static = report.density(id);
+            let d_meas = sim.toggle_rate(id);
+            static_total += d_static;
+            measured_total += d_meas;
+            let rel = (d_static - d_meas).abs() / d_meas.max(0.05);
+            if rel > worst.3 {
+                worst = (net.name().to_string(), d_static, d_meas, rel);
+            }
+            assert!(
+                rel <= NET_TOL,
+                "{name}/{net_name}: static {d_static:.4} vs measured {d_meas:.4} \
+                 (rel {rel:.3} > {NET_TOL})",
+                net_name = net.name()
+            );
+        }
+        let total_rel = (static_total - measured_total).abs() / measured_total.max(0.05);
+        println!(
+            "{name}: total static {static_total:.2} vs measured {measured_total:.2} \
+             (rel {total_rel:.4}); worst net {} static {:.4} measured {:.4} rel {:.3}; \
+             exact {}/{} nets, {} bdd nodes",
+            worst.0,
+            worst.1,
+            worst.2,
+            worst.3,
+            report.exact_nets,
+            design.netlist.num_nets(),
+            report.bdd_nodes
+        );
+        assert!(
+            total_rel <= TOTAL_TOL,
+            "{name}: design-wide density off by {total_rel:.3} (> {TOTAL_TOL})"
+        );
+    }
+}

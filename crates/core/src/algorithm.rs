@@ -139,6 +139,20 @@ pub struct IsolationConfig {
     /// serial function of the candidate list, so the accepted-candidate
     /// sequence stays bit-identical at every thread count. On by default.
     pub static_precheck: bool,
+    /// Rank surviving candidates by the static activity estimate
+    /// `ĥ(c) = density(operands) × P(unobservable)` (see
+    /// [`crate::precheck::activity_rank`]) before scoring, so a binding
+    /// [`IsolationConfig::candidate_cap`] evaluates the statically most
+    /// promising candidates first. Ranking only *reorders* the list;
+    /// per-block winner selection breaks ties on cell identity, so with a
+    /// non-binding cap the accepted sequence is bit-identical to an
+    /// unranked run at every thread count. Off by default.
+    pub activity_ranking: bool,
+    /// Upper bound on candidates scored per iteration, applied after the
+    /// precheck (and after activity ranking when enabled). `None` scores
+    /// everything. Unlike [`RunBudget`] bounds this can *change* the
+    /// accepted sequence, so it participates in the config fingerprint.
+    pub candidate_cap: Option<usize>,
     /// Simulation length per iteration.
     pub sim_cycles: u64,
     /// Simulation engine executing every run of the optimizer (baseline,
@@ -194,6 +208,8 @@ impl Default for IsolationConfig {
             optimize_activation_logic: true,
             fsm_dont_cares: false,
             static_precheck: true,
+            activity_ranking: false,
+            candidate_cap: None,
             sim_cycles: 2000,
             engine: EngineKind::default(),
             threads: 1,
@@ -274,6 +290,18 @@ impl IsolationConfig {
     /// Enables or disables the static candidate precheck.
     pub fn with_static_precheck(mut self, on: bool) -> Self {
         self.static_precheck = on;
+        self
+    }
+
+    /// Enables or disables activity-based candidate pre-ranking.
+    pub fn with_activity_ranking(mut self, on: bool) -> Self {
+        self.activity_ranking = on;
+        self
+    }
+
+    /// Caps (or uncaps, with `None`) the candidates scored per iteration.
+    pub fn with_candidate_cap(mut self, cap: Option<usize>) -> Self {
+        self.candidate_cap = cap;
         self
     }
 
@@ -508,6 +536,43 @@ pub fn optimize_with_memo(
                 }
             });
         }
+        // Activity pre-ranking: order candidates by the static savings
+        // estimate so a binding cap below keeps the most promising ones.
+        // The ranking is a pure serial function of the work netlist and
+        // the stimulus plan — thread-count invariant by construction.
+        if config.activity_ranking && !candidates.is_empty() {
+            let activity = oiso_activity::analyze_activity_with_plan(
+                &work,
+                plan,
+                &oiso_activity::ActivityOptions::default(),
+            );
+            let node_budget = config
+                .budget
+                .bdd_node_ceiling
+                .unwrap_or(crate::precheck::DEFAULT_PRECHECK_NODE_BUDGET);
+            let mut ranked: Vec<(f64, Candidate)> = candidates
+                .drain(..)
+                .map(|cand| {
+                    let rank = crate::precheck::activity_rank(
+                        &activity,
+                        &work,
+                        cand.cell,
+                        &cand.activation,
+                        node_budget,
+                    );
+                    (rank, cand)
+                })
+                .collect();
+            ranked.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.cell.index().cmp(&b.1.cell.index()))
+            });
+            candidates.extend(ranked.into_iter().map(|(_, cand)| cand));
+        }
+        if let Some(cap) = config.candidate_cap {
+            candidates.truncate(cap);
+        }
         if candidates.is_empty() {
             break;
         }
@@ -603,7 +668,13 @@ pub fn optimize_with_memo(
         let mut blocks: Vec<_> = by_block.into_iter().collect();
         blocks.sort_by_key(|(block, _)| *block);
         for (_, mut scored) in blocks {
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            // Ties break on cell identity so the winner is independent of
+            // the candidate-list order (activity ranking reorders it).
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cell.index().cmp(&b.0.cell.index()))
+            });
             let (best, h, savings) = &scored[0];
             if *h >= config.h_min {
                 winners.push((

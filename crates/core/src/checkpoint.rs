@@ -372,6 +372,17 @@ pub fn config_fingerprint(config: &crate::algorithm::IsolationConfig) -> u64 {
     h.str(config.library.name());
     h.f64(config.conditions.vdd.as_volts());
     h.f64(config.conditions.clock.as_mhz());
+    // Activity ranking can only matter through a binding candidate cap,
+    // but both knobs shape which candidates get scored, so both are part
+    // of the sequence-defining configuration.
+    h.u64(config.activity_ranking as u64);
+    match config.candidate_cap {
+        Some(cap) => {
+            h.u64(1);
+            h.u64(cap as u64);
+        }
+        None => h.u64(0),
+    }
     h.finish()
 }
 

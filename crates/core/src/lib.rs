@@ -94,7 +94,10 @@ pub use checkpoint::{
 pub use cost::{CostModel, CostWeights, IsolationCost};
 pub use fsm::{find_closed_fsms, refine_with_fsm_dont_cares, ClosedFsm};
 pub use muxfunc::multiplexing_functions;
-pub use precheck::{precheck_candidate, PrecheckVerdict, DEFAULT_PRECHECK_NODE_BUDGET};
+pub use precheck::{
+    activity_rank, constant_check, precheck_candidate, ConstCheck, PrecheckVerdict,
+    DEFAULT_PRECHECK_NODE_BUDGET,
+};
 pub use report::{IsolationOutcome, IterationLog, SkippedCandidate};
 pub use savings::{EstimatorKind, SavingsEstimate, SavingsEstimator};
 pub use transform::{isolate, isolate_each, isolate_with_cache, IsolationRecord, IsolationStyle};

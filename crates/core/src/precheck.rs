@@ -20,6 +20,7 @@
 //! activation expression, so enabling it never perturbs thread-count
 //! determinism. `oiso-lint` reuses the same verdicts for its diagnostics.
 
+use oiso_activity::ActivityReport;
 use oiso_boolex::{Bdd, BddRef, BoolExpr};
 use oiso_netlist::{transitive_fanout, CellId, Netlist};
 use std::collections::HashSet;
@@ -100,26 +101,77 @@ pub fn precheck_candidate(
         }
     }
 
+    match constant_check(activation, node_budget) {
+        ConstCheck::Proved(Some(true)) => Some(PrecheckVerdict::ConstantTrue),
+        ConstCheck::Proved(Some(false)) => Some(PrecheckVerdict::ConstantFalse),
+        // Not constant, or too big to decide statically: simulate instead.
+        ConstCheck::Proved(None) | ConstCheck::Undecided => None,
+    }
+}
+
+/// Outcome of the constant-activation decision, exposing whether the BDD
+/// fit the node budget — [`precheck_candidate`] collapses `Undecided` into
+/// "simulate anyway", but diagnostics (lint's OL003/OL004) want to know
+/// when they are falling back to sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstCheck {
+    /// The BDD fit the budget: `Some(value)` for a semantic constant,
+    /// `None` for a provably non-constant activation.
+    Proved(Option<bool>),
+    /// The BDD blew the budget; the query is undecided.
+    Undecided,
+}
+
+/// Decides whether `activation` is semantically constant, under a BDD
+/// node budget.
+pub fn constant_check(activation: &BoolExpr, node_budget: usize) -> ConstCheck {
     // Syntactic constants are free; the BDD catches semantic ones
     // (`g | !g`) that `identify_candidates`' syntactic filter misses.
     if activation.is_const(true) {
-        return Some(PrecheckVerdict::ConstantTrue);
+        return ConstCheck::Proved(Some(true));
     }
     if activation.is_const(false) {
-        return Some(PrecheckVerdict::ConstantFalse);
+        return ConstCheck::Proved(Some(false));
     }
     let mut bdd = Bdd::new();
     let f = bdd.from_expr(activation);
     if bdd.num_nodes() > node_budget {
-        return None; // too big to decide statically: simulate instead
+        return ConstCheck::Undecided;
     }
-    if f == BddRef::TRUE {
-        return Some(PrecheckVerdict::ConstantTrue);
-    }
-    if f == BddRef::FALSE {
-        return Some(PrecheckVerdict::ConstantFalse);
-    }
-    None
+    ConstCheck::Proved(if f == BddRef::TRUE {
+        Some(true)
+    } else if f == BddRef::FALSE {
+        Some(false)
+    } else {
+        None
+    })
+}
+
+/// Statically-estimated savings rank of one candidate:
+///
+/// `ĥ(c) = density(operands) × P(unobservable)`
+///
+/// where the operand density is the summed static transition density of
+/// the candidate's data inputs and `P(unobservable) = 1 − Pr(f_c)` is the
+/// probability the activation function is false. This is the shape of the
+/// paper's Eq. 1 savings term with every dynamic quantity replaced by its
+/// static estimate — good enough to *order* candidates so a binding
+/// candidate cap evaluates the most promising ones first, never to accept
+/// or reject them outright.
+pub fn activity_rank(
+    report: &ActivityReport,
+    netlist: &Netlist,
+    cell: CellId,
+    activation: &BoolExpr,
+    node_budget: usize,
+) -> f64 {
+    let operand_density: f64 = netlist
+        .cell(cell)
+        .data_inputs()
+        .map(|n| report.density(n))
+        .sum();
+    let p_active = report.expr_activity(activation, node_budget).p;
+    operand_density * (1.0 - p_active).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]

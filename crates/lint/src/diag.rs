@@ -94,6 +94,13 @@ pub struct LintReport {
     pub design: String,
     /// Every finding, in rule-then-discovery order (deterministic).
     pub diagnostics: Vec<Diagnostic>,
+    /// Constant-activation queries (OL003/OL004) the BDD decided outright
+    /// within its node budget.
+    pub proved: usize,
+    /// Constant-activation queries where the BDD blew the node budget and
+    /// the verdict fell back to deterministic input sampling — still
+    /// reported, but at lower confidence than a proof.
+    pub sampled: usize,
 }
 
 impl LintReport {
@@ -151,6 +158,8 @@ mod tests {
                     fix: None,
                 },
             ],
+            proved: 0,
+            sampled: 0,
         }
     }
 
@@ -183,7 +192,12 @@ mod tests {
         let r = report();
         assert_eq!(r.count(Severity::Warn), 1);
         assert!(!r.clean(Severity::Error));
-        let empty = LintReport { design: "e".into(), diagnostics: Vec::new() };
+        let empty = LintReport {
+            design: "e".into(),
+            diagnostics: Vec::new(),
+            proved: 0,
+            sampled: 0,
+        };
         assert!(empty.clean(Severity::Info));
     }
 }

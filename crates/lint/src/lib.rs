@@ -8,13 +8,17 @@
 //!   (generalizing the optimizer's folding) and backward static
 //!   observability (the optimizer's liveness sweep), computed once and
 //!   shared by the rules.
-//! * [`rules`] — the `OL001`–`OL010` rule catalog: structural health
+//! * [`rules`] — the `OL001`–`OL014` rule catalog: structural health
 //!   (combinational cycles, connectivity), activation-function soundness
 //!   (`f_c ≡ 1` pure overhead, `f_c ≡ 0` dead module, latch-fed glitch
 //!   hazards, feedback through the gated module's own cone), structure
-//!   smells (double isolation, arithmetic width truncation), and
-//!   observability hygiene (X at a primary output, unobservable cones).
-//!   See `DESIGN.md` §10 for the catalog with paper references.
+//!   smells (double isolation, arithmetic width truncation),
+//!   observability hygiene (X at a primary output, unobservable cones),
+//!   and probabilistic activity findings backed by `oiso-activity`
+//!   (activations that out-toggle their operands, late-arriving
+//!   activations, statistically never-idle cones, clock-gating
+//!   candidates). See `DESIGN.md` §10 for the catalog with paper
+//!   references.
 //! * [`render`] — pretty text, JSON, and SARIF 2.1 renderers so findings
 //!   flow into terminals, scripts, and CI annotations unchanged.
 //!

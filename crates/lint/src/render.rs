@@ -25,6 +25,19 @@ pub fn render_text(report: &LintReport) -> String {
             let _ = writeln!(out, "    fix: {fix}");
         }
     }
+    if report.proved + report.sampled > 0 {
+        let _ = writeln!(
+            out,
+            "constant-activation queries: {} proved, {} sampled{}",
+            report.proved,
+            report.sampled,
+            if report.sampled > 0 {
+                " (BDD node budget exceeded; sampled verdicts are not proofs)"
+            } else {
+                ""
+            }
+        );
+    }
     let _ = writeln!(
         out,
         "{} error(s), {} warning(s), {} info",
@@ -63,10 +76,13 @@ pub fn render_json(report: &LintReport) -> String {
     }
     let _ = write!(
         out,
-        "],\"counts\":{{\"error\":{},\"warn\":{},\"info\":{}}}}}",
+        "],\"counts\":{{\"error\":{},\"warn\":{},\"info\":{}}},\
+         \"constancy\":{{\"proved\":{},\"sampled\":{}}}}}",
         report.count(Severity::Error),
         report.count(Severity::Warn),
-        report.count(Severity::Info)
+        report.count(Severity::Info),
+        report.proved,
+        report.sampled
     );
     out.push('\n');
     out
@@ -126,7 +142,12 @@ pub fn render_sarif(reports: &[(Option<String>, &LintReport)]) -> String {
             out.push_str("}]}");
         }
     }
-    out.push_str("]}]}\n");
+    let proved: usize = reports.iter().map(|(_, r)| r.proved).sum();
+    let sampled: usize = reports.iter().map(|(_, r)| r.sampled).sum();
+    let _ = writeln!(
+        out,
+        "],\"properties\":{{\"constancy\":{{\"proved\":{proved},\"sampled\":{sampled}}}}}}}]}}"
+    );
     out
 }
 
@@ -156,6 +177,8 @@ mod tests {
                     fix: None,
                 },
             ],
+            proved: 2,
+            sampled: 1,
         }
     }
 
@@ -166,6 +189,16 @@ mod tests {
         assert!(t.contains("demo/cell/add"));
         assert!(t.contains("fix: exclude it"));
         assert!(t.contains("0 error(s), 2 warning(s), 0 info"));
+        assert!(t.contains("constant-activation queries: 2 proved, 1 sampled"));
+        assert!(t.contains("budget exceeded"));
+    }
+
+    #[test]
+    fn text_omits_constancy_line_when_no_queries_ran() {
+        let mut r = report();
+        r.proved = 0;
+        r.sampled = 0;
+        assert!(!render_text(&r).contains("constant-activation queries"));
     }
 
     #[test]
@@ -173,6 +206,7 @@ mod tests {
         let j = render_json(&report());
         assert!(j.contains("\\\"q\\\""), "quotes inside messages must be escaped: {j}");
         assert!(j.contains("\"counts\":{\"error\":0,\"warn\":2,\"info\":0}"));
+        assert!(j.contains("\"constancy\":{\"proved\":2,\"sampled\":1}"));
     }
 
     #[test]
@@ -185,6 +219,7 @@ mod tests {
         assert!(s.contains("\"level\":\"warning\""));
         assert!(s.contains("\"fullyQualifiedName\":\"demo/cell/add\""));
         assert!(s.contains("\"uri\":\"examples/demo.oiso\""));
+        assert!(s.contains("\"properties\":{\"constancy\":{\"proved\":2,\"sampled\":1}}"));
     }
 
     #[test]

@@ -7,10 +7,14 @@
 
 use crate::dataflow::{self, Dataflow, NetValue};
 use crate::diag::{Diagnostic, LintReport, Severity, Span};
+use oiso_activity::{ActivityOptions, ActivityReport};
 use oiso_boolex::BoolExpr;
 use oiso_core::activation::{derive_activation_functions, ActivationConfig};
-use oiso_core::precheck::{precheck_candidate, PrecheckVerdict, DEFAULT_PRECHECK_NODE_BUDGET};
+use oiso_core::precheck::{
+    constant_check, precheck_candidate, ConstCheck, PrecheckVerdict, DEFAULT_PRECHECK_NODE_BUDGET,
+};
 use oiso_netlist::{CellId, CellKind, NetId, Netlist, ValidateError};
+use std::cell::OnceCell;
 use std::collections::{HashMap, HashSet};
 
 /// Knobs for one lint run.
@@ -57,6 +61,64 @@ pub struct LintContext<'a> {
     dataflow: Option<Dataflow>,
     /// Derived activation functions, keyed by cell. `None` like above.
     activations: Option<HashMap<CellId, BoolExpr>>,
+    /// Constant-activation decisions, computed lazily on first use and
+    /// shared by OL003/OL004 (so each candidate is decided — and counted —
+    /// exactly once).
+    constancy: OnceCell<Constancy>,
+    /// Static switching-activity report, computed lazily on first use and
+    /// shared by the activity rules OL011–OL014. Only built on
+    /// structurally-sound netlists (the engine needs a topological order).
+    activity: OnceCell<ActivityReport>,
+}
+
+/// How a candidate's constant-activation query was decided.
+enum ConstDecision {
+    /// The BDD fit the budget: the value is definitive.
+    Proved(Option<bool>),
+    /// Budget blown; the value comes from deterministic input sampling.
+    Sampled(Option<bool>),
+}
+
+/// The shared OL003/OL004 work product plus the confidence counters that
+/// end up on [`LintReport`].
+struct Constancy {
+    decisions: HashMap<CellId, ConstDecision>,
+    proved: usize,
+    sampled: usize,
+}
+
+/// Number of deterministic input vectors tried when the BDD budget blows.
+const SAMPLE_VECTORS: u64 = 256;
+
+/// Deterministic sampling fallback: evaluates `expr` on pseudo-random
+/// input vectors (FNV-mixed from the vector index and signal identity, so
+/// runs are reproducible) and reports `Some(value)` only if every vector
+/// agreed.
+fn sampled_constant(expr: &BoolExpr) -> Option<bool> {
+    let mut all_true = true;
+    let mut all_false = true;
+    for v in 0..SAMPLE_VECTORS {
+        let value = expr.eval(&|sig| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for word in [v, sig.net.index() as u64, sig.bit as u64] {
+                for b in word.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            h.count_ones() % 2 == 1
+        });
+        all_true &= value;
+        all_false &= !value;
+        if !all_true && !all_false {
+            return None;
+        }
+    }
+    if all_true {
+        Some(true)
+    } else {
+        Some(false)
+    }
 }
 
 impl<'a> LintContext<'a> {
@@ -69,7 +131,52 @@ impl<'a> LintContext<'a> {
             structural,
             dataflow: sound.then(|| dataflow::analyze(netlist)),
             activations: sound.then(|| derive_activation_functions(netlist, &options.activation)),
+            constancy: OnceCell::new(),
+            activity: OnceCell::new(),
         }
+    }
+
+    /// Constant-activation decisions for every candidate (feedback-wired
+    /// candidates excluded — their constancy is masked by the loop, and
+    /// OL006 owns them).
+    fn constancy(&self) -> &Constancy {
+        self.constancy.get_or_init(|| {
+            let mut c = Constancy {
+                decisions: HashMap::new(),
+                proved: 0,
+                sampled: 0,
+            };
+            for (cid, act) in self.candidates() {
+                // No pre-minimization here: `minimize` is an unbudgeted BDD
+                // pass, and it must not decide a query the node budget says
+                // we cannot afford to prove.
+                if matches!(
+                    precheck_candidate(self.netlist, cid, act, self.options.bdd_node_budget),
+                    Some(PrecheckVerdict::Feedback { .. })
+                ) {
+                    continue;
+                }
+                let decision = match constant_check(act, self.options.bdd_node_budget) {
+                    ConstCheck::Proved(v) => {
+                        c.proved += 1;
+                        ConstDecision::Proved(v)
+                    }
+                    ConstCheck::Undecided => {
+                        c.sampled += 1;
+                        ConstDecision::Sampled(sampled_constant(act))
+                    }
+                };
+                c.decisions.insert(cid, decision);
+            }
+            c
+        })
+    }
+
+    /// The shared static activity report. Callers must have checked that
+    /// `structural` is empty (the engine needs an acyclic netlist).
+    fn activity(&self) -> &ActivityReport {
+        self.activity
+            .get_or_init(|| oiso_activity::analyze_activity(self.netlist, &ActivityOptions::default()))
     }
 
     fn signal_name(&self, sig: oiso_boolex::Signal) -> String {
@@ -167,6 +274,34 @@ pub const REGISTRY: &[Rule] = &[
         summary: "Logic no primary output or state element observes; pruning should remove it",
         check: rule_unobservable,
     },
+    Rule {
+        code: "OL011",
+        name: "activation-outtoggles-operands",
+        default_severity: Severity::Warn,
+        summary: "The activation cone toggles more than the operand activity isolation would save",
+        check: rule_activation_outtoggles,
+    },
+    Rule {
+        code: "OL012",
+        name: "late-arriving-activation",
+        default_severity: Severity::Warn,
+        summary: "The activation signal arrives later than the operands it must gate (glitch-prone overlap)",
+        check: rule_late_activation,
+    },
+    Rule {
+        code: "OL013",
+        name: "never-idle-cone",
+        default_severity: Severity::Info,
+        summary: "The cone's static idle probability is ~0, making isolation pure overhead",
+        check: rule_never_idle,
+    },
+    Rule {
+        code: "OL014",
+        name: "clock-gating-candidate",
+        default_severity: Severity::Info,
+        summary: "A register feeds only always-observed arithmetic; clock gating would save what isolation cannot",
+        check: rule_clock_gating_candidate,
+    },
 ];
 
 /// Lints one netlist with the full registry.
@@ -176,9 +311,17 @@ pub fn lint_netlist(netlist: &Netlist, options: &LintOptions) -> LintReport {
     for rule in REGISTRY {
         diagnostics.extend((rule.check)(&ctx));
     }
+    // The counters reflect what actually ran: on a structurally-broken
+    // netlist OL003/OL004 never query, and both stay zero.
+    let (proved, sampled) = ctx
+        .constancy
+        .get()
+        .map_or((0, 0), |c| (c.proved, c.sampled));
     LintReport {
         design: netlist.name().to_string(),
         diagnostics,
+        proved,
+        sampled,
     }
 }
 
@@ -245,13 +388,25 @@ fn rule_constant_false(ctx: &LintContext) -> Vec<Diagnostic> {
 }
 
 fn constant_activation(ctx: &LintContext, want: PrecheckVerdict) -> Vec<Diagnostic> {
+    let want_value = matches!(want, PrecheckVerdict::ConstantTrue);
     let mut out = Vec::new();
     for (cid, act) in ctx.candidates() {
-        let minimized = oiso_boolex::minimize(act);
-        let verdict = precheck_candidate(ctx.netlist, cid, &minimized, ctx.options.bdd_node_budget);
-        if verdict.as_ref() != Some(&want) {
+        let Some(decision) = ctx.constancy().decisions.get(&cid) else {
+            continue; // feedback-wired: OL006 owns it
+        };
+        let (value, sampled) = match decision {
+            ConstDecision::Proved(v) => (*v, false),
+            ConstDecision::Sampled(v) => (*v, true),
+        };
+        if value != Some(want_value) {
             continue;
         }
+        // A sampled verdict is strong evidence, not a proof: say so.
+        let confidence = if sampled {
+            format!(" [sampled on {SAMPLE_VECTORS} vectors; BDD node budget exceeded]")
+        } else {
+            String::new()
+        };
         let cell = ctx.netlist.cell(cid).name().to_string();
         let rendered = act.render(&|s| ctx.signal_name(s));
         out.push(match want {
@@ -261,7 +416,7 @@ fn constant_activation(ctx: &LintContext, want: PrecheckVerdict) -> Vec<Diagnost
                 severity: Severity::Warn,
                 message: format!(
                     "activation of `{cell}` is constant 1 (f_c = {rendered}): the module is \
-                     always observable, so isolating it would be pure overhead"
+                     always observable, so isolating it would be pure overhead{confidence}"
                 ),
                 span: Span::Cell(cell),
                 fix: Some(
@@ -276,7 +431,7 @@ fn constant_activation(ctx: &LintContext, want: PrecheckVerdict) -> Vec<Diagnost
                 severity: Severity::Warn,
                 message: format!(
                     "activation of `{cell}` is constant 0 (f_c = {rendered}): its result is \
-                     never observed, the module is dead logic"
+                     never observed, the module is dead logic{confidence}"
                 ),
                 span: Span::Cell(cell),
                 fix: Some("remove the module (run the optimizer) instead of isolating it".to_string()),
@@ -566,6 +721,193 @@ fn rule_unobservable(ctx: &LintContext) -> Vec<Diagnostic> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Activity rules (static switching-activity & arrival-window analysis)
+
+/// Idle-probability threshold above which a cone counts as "never idle".
+const NEVER_IDLE_P: f64 = 0.99;
+
+/// Activation toggle rates below this never fire OL011 (the control power
+/// of a near-silent activation signal is noise either way).
+const OUTTOGGLE_FLOOR: f64 = 0.01;
+
+/// Fraction of the clock period the activation may lag the operands
+/// before OL012 calls the overlap glitch-prone.
+const LATE_ARRIVAL_SLACK: f64 = 0.05;
+
+fn rule_activation_outtoggles(ctx: &LintContext) -> Vec<Diagnostic> {
+    if !ctx.structural.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (cid, act) in ctx.candidates() {
+        let activity = ctx.activity();
+        let ea = activity.expr_activity(act, ctx.options.bdd_node_budget);
+        let operand_density: f64 = ctx
+            .netlist
+            .cell(cid)
+            .data_inputs()
+            .map(|n| activity.density(n))
+            .sum();
+        // Expected savings scale with operand activity *while idle*; the
+        // isolation bank's control input burns `d_act` regardless.
+        let expected_savings = (1.0 - ea.p).clamp(0.0, 1.0) * operand_density;
+        if ea.d > OUTTOGGLE_FLOOR && ea.d > expected_savings {
+            let cell = ctx.netlist.cell(cid).name().to_string();
+            out.push(Diagnostic {
+                code: "OL011",
+                name: "activation-outtoggles-operands",
+                severity: Severity::Warn,
+                message: format!(
+                    "activation of `{cell}` toggles {:.3}/cycle but would save only \
+                     {:.3}/cycle of idle operand activity: the isolation control costs \
+                     more switching than it suppresses",
+                    ea.d, expected_savings
+                ),
+                span: Span::Cell(cell),
+                fix: Some(
+                    "derive a calmer activation (register it, or AND it with a coarser \
+                     enable) or exclude this module from isolation"
+                        .to_string(),
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn rule_late_activation(ctx: &LintContext) -> Vec<Diagnostic> {
+    if !ctx.structural.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (cid, act) in ctx.candidates() {
+        let activity = ctx.activity();
+        let act_arrival = act
+            .support()
+            .iter()
+            .map(|s| activity.arrival_ns(s.net))
+            .fold(0.0f64, f64::max);
+        let operand_arrival = ctx
+            .netlist
+            .cell(cid)
+            .data_inputs()
+            .map(|n| activity.arrival_ns(n))
+            .fold(0.0f64, f64::max);
+        let slack = LATE_ARRIVAL_SLACK * activity.clock_period_ns();
+        if act_arrival > operand_arrival + slack {
+            let cell = ctx.netlist.cell(cid).name().to_string();
+            out.push(Diagnostic {
+                code: "OL012",
+                name: "late-arriving-activation",
+                severity: Severity::Warn,
+                message: format!(
+                    "activation of `{cell}` settles at {act_arrival:.2} ns, after its \
+                     operands ({operand_arrival:.2} ns): the isolation bank re-evaluates \
+                     on every activation glitch in the overlap window"
+                ),
+                span: Span::Cell(cell),
+                fix: Some(
+                    "retime the activation cone (compute it a cycle early and register \
+                     it) so the gate is stable before the operands arrive"
+                        .to_string(),
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn rule_never_idle(ctx: &LintContext) -> Vec<Diagnostic> {
+    if !ctx.structural.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (cid, act) in ctx.candidates() {
+        // Proved constants are OL003's finding; this rule is about cones
+        // that are *statistically* always-on without being constant.
+        if matches!(
+            ctx.constancy().decisions.get(&cid),
+            Some(ConstDecision::Proved(Some(_))) | None
+        ) {
+            continue;
+        }
+        let ea = ctx.activity().expr_activity(act, ctx.options.bdd_node_budget);
+        if ea.p >= NEVER_IDLE_P {
+            let cell = ctx.netlist.cell(cid).name().to_string();
+            out.push(Diagnostic {
+                code: "OL013",
+                name: "never-idle-cone",
+                severity: Severity::Info,
+                message: format!(
+                    "`{cell}` is observable {:.1}% of cycles under the static activity \
+                     model: isolation hardware would almost never engage",
+                    ea.p * 100.0
+                ),
+                span: Span::Cell(cell),
+                fix: Some(
+                    "deprioritize this candidate; its savings term is statistically \
+                     negligible (paper Eq. 1)"
+                        .to_string(),
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn rule_clock_gating_candidate(ctx: &LintContext) -> Vec<Diagnostic> {
+    if !ctx.structural.is_empty() {
+        return Vec::new();
+    }
+    let Some(acts) = &ctx.activations else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (_, cell) in ctx.netlist.cells() {
+        if !cell.kind().is_register() {
+            continue;
+        }
+        let q = cell.output();
+        let loads = ctx.netlist.net(q).loads();
+        if loads.is_empty() {
+            continue;
+        }
+        // Every consumer must be an always-observed arithmetic candidate:
+        // operand isolation can save nothing downstream, but gating this
+        // register's clock would stop the whole cone from re-evaluating.
+        let all_always_observed = loads.iter().all(|&(load, _)| {
+            ctx.netlist.cell(load).kind().is_arithmetic()
+                && acts.get(&load).is_some_and(|act| {
+                    ctx.activity()
+                        .expr_activity(act, ctx.options.bdd_node_budget)
+                        .p
+                        >= NEVER_IDLE_P
+                })
+        });
+        if all_always_observed {
+            let name = cell.name().to_string();
+            out.push(Diagnostic {
+                code: "OL014",
+                name: "clock-gating-candidate",
+                severity: Severity::Info,
+                message: format!(
+                    "register `{name}` feeds only always-observed arithmetic: operand \
+                     isolation cannot help downstream, but clock-gating this register \
+                     would idle the whole cone"
+                ),
+                span: Span::Cell(name),
+                fix: Some(
+                    "consider a clock-gating transform for this register (future work; \
+                     the activity report already provides the enable statistics)"
+                        .to_string(),
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -814,7 +1156,11 @@ mod tests {
         let cs = codes(&r);
         assert!(cs.contains(&"OL001"), "{r:?}");
         assert!(
-            !cs.iter().any(|c| matches!(*c, "OL003" | "OL004" | "OL005" | "OL006" | "OL008")),
+            !cs.iter().any(|c| matches!(
+                *c,
+                "OL003" | "OL004" | "OL005" | "OL006" | "OL008" | "OL011" | "OL012" | "OL013"
+                    | "OL014"
+            )),
             "semantic rules must not run on a cyclic netlist: {r:?}"
         );
         assert!(!r.clean(Severity::Error));
@@ -835,6 +1181,161 @@ mod tests {
         let n = b.build().unwrap();
         let r = lint(&n);
         assert!(r.clean(Severity::Info), "expected a fully clean report: {r:?}");
+    }
+
+    #[test]
+    fn blown_budget_falls_back_to_sampling() {
+        // The adder feeds all four legs of a 4-way mux, so its activation is
+        // the sum of all four select minterms — a two-variable tautology the
+        // expression smart constructors cannot collapse. With a 1-node BDD
+        // budget the prover cannot decide it either, so the verdict must
+        // come from the deterministic sampler — still flagged, but counted
+        // as sampled and labeled in the message.
+        let mut b = NetlistBuilder::new("bb");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let s = b.input("s", 2);
+        let sum = b.wire("sum", 8);
+        let m = b.wire("m", 8);
+        b.cell("add", CellKind::Add, &[a, c], sum).unwrap();
+        b.cell("mx", CellKind::Mux, &[s, sum, sum, sum, sum], m)
+            .unwrap();
+        b.mark_output(m);
+        let n = b.build().unwrap();
+        let opts = LintOptions {
+            bdd_node_budget: 1,
+            ..LintOptions::default()
+        };
+        let r = lint_netlist(&n, &opts);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL003")
+            .unwrap_or_else(|| panic!("expected OL003 via sampling in {r:?}"));
+        assert!(
+            d.message.contains("sampled on 256 vectors"),
+            "sampled verdicts must be labeled: {}",
+            d.message
+        );
+        assert_eq!(r.proved, 0, "nothing fits in a 1-node budget: {r:?}");
+        assert!(r.sampled > 0, "{r:?}");
+
+        // The same design under the default budget is proved, not sampled.
+        let r = lint(&n);
+        assert!(r.proved > 0, "{r:?}");
+        assert_eq!(r.sampled, 0, "{r:?}");
+        let d = r.diagnostics.iter().find(|d| d.code == "OL003").unwrap();
+        assert!(!d.message.contains("sampled"), "{}", d.message);
+    }
+
+    #[test]
+    fn noisy_activation_of_quiet_operands_outtoggles() {
+        // The adder's operands are literal constants (zero switching), so
+        // any activity on the activation net costs more than isolation saves.
+        let mut b = NetlistBuilder::new("ot");
+        let g = b.input("g", 1);
+        let k1 = b.constant("k1", 8, 5).unwrap();
+        let k2 = b.constant("k2", 8, 3).unwrap();
+        let s = b.wire("s", 8);
+        let q = b.wire("q", 8);
+        b.cell("add", CellKind::Add, &[k1, k2], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[s, g], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL011")
+            .unwrap_or_else(|| panic!("expected OL011 in {r:?}"));
+        assert_eq!(d.severity, Severity::Warn);
+        assert_eq!(d.span, crate::diag::Span::Cell("add".into()));
+    }
+
+    #[test]
+    fn activation_through_multiplier_arrives_late() {
+        // The adder's enable is a zero-detect on a multiplier product:
+        // ~3.3 ns of settling versus operands that arrive at t=0, far past
+        // the 5%-of-period (0.5 ns at 100 MHz) slack OL012 allows.
+        let mut b = NetlistBuilder::new("la");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let d_in = b.input("d", 8);
+        let p = b.wire("p", 8);
+        let nz = b.wire("nz", 1);
+        let s = b.wire("s", 8);
+        let q = b.wire("q", 8);
+        b.cell("mul", CellKind::Mul, &[a, c], p).unwrap();
+        b.cell("red", CellKind::RedOr, &[p], nz).unwrap();
+        b.cell("add", CellKind::Add, &[a, d_in], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[s, nz], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL012" && d.span == crate::diag::Span::Cell("add".into()))
+            .unwrap_or_else(|| panic!("expected OL012 on `add` in {r:?}"));
+        assert_eq!(d.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn statistically_always_on_cone_is_never_idle() {
+        // en = OR over 7 equiprobable bits: observable 127/128 ≈ 99.2% of
+        // cycles — not provably constant (OL003 stays silent), but idle so
+        // rarely that isolation hardware is statistically dead weight.
+        let mut b = NetlistBuilder::new("ni");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let g7 = b.input("g7", 7);
+        let en = b.wire("en", 1);
+        let s = b.wire("s", 8);
+        let q = b.wire("q", 8);
+        b.cell("red", CellKind::RedOr, &[g7], en).unwrap();
+        b.cell("add", CellKind::Add, &[a, c], s).unwrap();
+        b.cell("r", CellKind::Reg { has_enable: true }, &[s, en], q)
+            .unwrap();
+        b.mark_output(q);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let cs = codes(&r);
+        assert!(!cs.contains(&"OL003"), "en is not constant: {r:?}");
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL013")
+            .unwrap_or_else(|| panic!("expected OL013 in {r:?}"));
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(d.span, crate::diag::Span::Cell("add".into()));
+    }
+
+    #[test]
+    fn register_feeding_always_observed_adder_suggests_clock_gating() {
+        // `r`'s only consumer is an adder that drives a primary output
+        // directly (activation ≡ 1): operand isolation has nothing to gate
+        // downstream, but stopping `r`'s clock would idle the whole cone.
+        let mut b = NetlistBuilder::new("cg");
+        let a = b.input("a", 8);
+        let d_in = b.input("d", 8);
+        let g = b.input("g", 1);
+        let q = b.wire("q", 8);
+        let s = b.wire("s", 8);
+        b.cell("r", CellKind::Reg { has_enable: true }, &[d_in, g], q)
+            .unwrap();
+        b.cell("add", CellKind::Add, &[a, q], s).unwrap();
+        b.mark_output(s);
+        let n = b.build().unwrap();
+        let r = lint(&n);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "OL014")
+            .unwrap_or_else(|| panic!("expected OL014 in {r:?}"));
+        assert_eq!(d.severity, Severity::Info);
+        assert_eq!(d.span, crate::diag::Span::Cell("r".into()));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! | `style` | string | `"and"` | isolation style `and` / `or` / `latch` |
 //! | `cycles` | int | `3000` | simulated cycles (same default as the CLI) |
 //! | `lookahead` | bool | `false` | one-cycle activation look-ahead (§5) |
-//! | `budget` | int | `200000` | BDD node budget (verify / lint) |
+//! | `budget` | int | `200000`* | BDD node budget (verify / lint / analyze; `*` analyze defaults to [`oiso_activity::DEFAULT_ACTIVITY_NODE_BUDGET`]) |
 //! | `seed` | int | — | stimulus reseed ([`Design::with_seed`]) |
 //! | `engine` | string | `"compiled"` | simulation engine `scalar` / `packed` / `compiled` |
 //!
@@ -76,12 +76,14 @@ pub const MAX_BATCH_ITEMS: usize = 64;
 pub enum Endpoint {
     /// `POST /v1/isolate` — Algorithm 1.
     Isolate,
-    /// `POST /v1/lint` — the OL001–OL010 rule set.
+    /// `POST /v1/lint` — the OL001–OL014 rule set.
     Lint,
     /// `POST /v1/verify` — per-candidate equivalence checking.
     Verify,
     /// `POST /v1/simulate` — power/area/timing measurement.
     Simulate,
+    /// `POST /v1/analyze` — static switching-activity & glitch report.
+    Analyze,
     /// `POST /v1/batch` — many of the above under one shared budget.
     Batch,
     /// `GET /healthz` — liveness.
@@ -98,6 +100,7 @@ impl Endpoint {
             Endpoint::Lint => "lint",
             Endpoint::Verify => "verify",
             Endpoint::Simulate => "simulate",
+            Endpoint::Analyze => "analyze",
             Endpoint::Batch => "batch",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
@@ -112,6 +115,7 @@ impl Endpoint {
             "/v1/lint" => (Endpoint::Lint, "POST"),
             "/v1/verify" => (Endpoint::Verify, "POST"),
             "/v1/simulate" => (Endpoint::Simulate, "POST"),
+            "/v1/analyze" => (Endpoint::Analyze, "POST"),
             "/v1/batch" => (Endpoint::Batch, "POST"),
             "/healthz" => (Endpoint::Healthz, "GET"),
             "/metrics" => (Endpoint::Metrics, "GET"),
@@ -162,7 +166,7 @@ struct Draft {
     style: IsolationStyle,
     cycles: u64,
     lookahead: bool,
-    budget: usize,
+    budget: Option<usize>,
     seed: Option<u64>,
     engine: EngineKind,
     stream: bool,
@@ -176,7 +180,7 @@ impl Draft {
             style: IsolationStyle::And,
             cycles: 3000,
             lookahead: false,
-            budget: 200_000,
+            budget: None,
             seed: None,
             engine: EngineKind::default(),
             stream: false,
@@ -190,7 +194,7 @@ impl Draft {
             "style" => self.style = parse_style(&str_field(key, value)?)?,
             "cycles" => self.cycles = int_field(key, value)?,
             "lookahead" => self.lookahead = bool_field(key, value)?,
-            "budget" => self.budget = int_field(key, value)? as usize,
+            "budget" => self.budget = Some(int_field(key, value)? as usize),
             "seed" => self.seed = Some(int_field(key, value)?),
             "engine" => self.engine = parse_engine(&str_field(key, value)?)?,
             "stream" => self.stream = bool_field(key, value)?,
@@ -234,6 +238,13 @@ impl Draft {
         if let Some(s) = self.seed {
             design = design.with_seed(s);
         }
+        // Per-endpoint budget default: verify/lint BDDs are per-cone and
+        // get the CLI's 200k; the activity pass covers whole netlists and
+        // needs its much larger default to stay exact on the big designs.
+        let budget = self.budget.unwrap_or(match endpoint {
+            Endpoint::Analyze => oiso_activity::DEFAULT_ACTIVITY_NODE_BUDGET,
+            _ => 200_000,
+        });
         Ok(ApiRequest {
             endpoint,
             design,
@@ -241,7 +252,7 @@ impl Draft {
             style: self.style,
             cycles: self.cycles,
             lookahead: self.lookahead,
-            budget: self.budget,
+            budget,
             seed: self.seed,
             engine: self.engine,
             deadline,
@@ -352,6 +363,7 @@ impl ApiRequest {
             Endpoint::Lint => self.lint(),
             Endpoint::Verify => self.verify(deadline_at),
             Endpoint::Simulate => self.simulate(memo),
+            Endpoint::Analyze => self.analyze_activity(deadline_at),
             // GET endpoints are answered by the server, not here; a
             // batch inside a batch is rejected at parse time.
             Endpoint::Batch | Endpoint::Healthz | Endpoint::Metrics => {
@@ -526,6 +538,46 @@ impl ApiRequest {
         ok_json(obj.finish())
     }
 
+    fn analyze_activity(&self, deadline_at: Option<Instant>) -> Response {
+        // The activity pass has no cooperative checkpoints, so deadline
+        // awareness is a gate, not a truncation: an already-expired
+        // budget sheds the work instead of starting an unbounded BDD
+        // build it cannot stop.
+        if let Some(at) = deadline_at {
+            if Instant::now() >= at {
+                return ApiError::engine("deadline expired before analysis started")
+                    .to_response();
+            }
+        }
+        let opts = oiso_activity::ActivityOptions {
+            node_budget: self.budget,
+            clock_period: None,
+        };
+        let report = oiso_activity::analyze_activity_with_plan(
+            &self.design.netlist,
+            &self.design.stimuli,
+            &opts,
+        );
+        let cones = json_array(report.cones().iter().map(|cone| {
+            let mut item = JsonObj::new();
+            item.str("cell", self.design.netlist.cell(cone.cell).name())
+                .float("operand_density", cone.operand_density)
+                .float("output_density", cone.output_density)
+                .float("glitch", cone.glitch);
+            item.finish()
+        }));
+        let mut obj = self.request_echo();
+        obj.float("clock_period_ns", report.clock_period_ns())
+            .float("total_density", report.total_density())
+            .float("total_glitch", report.total_glitch())
+            .int("exact_nets", report.exact_nets as u64)
+            .int("nets", self.design.netlist.num_nets() as u64)
+            .int("bdd_nodes", report.bdd_nodes as u64)
+            .bool("budget_blown", report.budget_blown)
+            .raw("cones", &cones);
+        ok_json(obj.finish())
+    }
+
     /// The common response prefix echoing what was run on what — so a
     /// response is self-describing even when it came out of the cache.
     fn request_echo(&self) -> JsonObj {
@@ -650,8 +702,9 @@ fn parse_item_endpoint(raw: &str) -> Result<Endpoint, ApiError> {
         "lint" => Ok(Endpoint::Lint),
         "verify" => Ok(Endpoint::Verify),
         "simulate" => Ok(Endpoint::Simulate),
+        "analyze" => Ok(Endpoint::Analyze),
         other => Err(ApiError::bad_field(format!(
-            "\"endpoint\" must be isolate|lint|verify|simulate, got {other:?}"
+            "\"endpoint\" must be isolate|lint|verify|simulate|analyze, got {other:?}"
         ))),
     }
 }
@@ -989,6 +1042,8 @@ mod tests {
         assert_eq!(Endpoint::route("POST", "/v1/lint").unwrap(), Endpoint::Lint);
         assert_eq!(Endpoint::route("POST", "/v1/verify").unwrap(), Endpoint::Verify);
         assert_eq!(Endpoint::route("POST", "/v1/simulate").unwrap(), Endpoint::Simulate);
+        assert_eq!(Endpoint::route("POST", "/v1/analyze").unwrap(), Endpoint::Analyze);
+        assert_eq!(Endpoint::route("POST", "/v1/batch").unwrap(), Endpoint::Batch);
         assert_eq!(Endpoint::route("GET", "/healthz").unwrap(), Endpoint::Healthz);
         assert_eq!(Endpoint::route("GET", "/metrics").unwrap(), Endpoint::Metrics);
         assert_eq!(Endpoint::route("GET", "/nope").unwrap_err().code, "not_found");
@@ -1070,6 +1125,51 @@ mod tests {
         // Engines are bit-identical, so the engine choice shares the key.
         assert_eq!(base, key(Endpoint::Isolate, "{\"design\":\"figure1\",\"engine\":\"scalar\"}"));
         assert_eq!(base, key(Endpoint::Isolate, "{\"design\":\"figure1\",\"engine\":\"packed\"}"));
+    }
+
+    #[test]
+    fn analyze_reports_activity_and_defaults_its_own_budget() {
+        let req = ApiRequest::parse(
+            Endpoint::Analyze,
+            &post("/v1/analyze", "{\"design\":\"figure1\"}"),
+        )
+        .unwrap();
+        assert_eq!(req.budget, oiso_activity::DEFAULT_ACTIVITY_NODE_BUDGET);
+        assert!(req.cache_key().is_some(), "analyze responses are cacheable");
+        let resp = req.execute(&SimMemo::new());
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body.clone()).unwrap();
+        assert!(body.contains("\"endpoint\":\"analyze\""), "{body}");
+        assert!(body.contains("\"total_density\""), "{body}");
+        assert!(body.contains("\"budget_blown\":false"), "{body}");
+        assert!(body.contains("\"cones\""), "{body}");
+
+        // An explicit budget overrides the analyze default.
+        let req = ApiRequest::parse(
+            Endpoint::Analyze,
+            &post("/v1/analyze", "{\"design\":\"figure1\",\"budget\":5}"),
+        )
+        .unwrap();
+        assert_eq!(req.budget, 5);
+
+        // Other endpoints keep their historical 200k default.
+        let req = ApiRequest::parse(
+            Endpoint::Lint,
+            &post("/v1/lint", "{\"design\":\"figure1\"}"),
+        )
+        .unwrap();
+        assert_eq!(req.budget, 200_000);
+    }
+
+    #[test]
+    fn analyze_sheds_on_an_expired_deadline() {
+        let req = ApiRequest::parse(
+            Endpoint::Analyze,
+            &post("/v1/analyze", "{\"design\":\"figure1\"}"),
+        )
+        .unwrap();
+        let resp = req.execute_at(&SimMemo::new(), Some(Instant::now() - Duration::from_secs(1)));
+        assert_eq!(resp.status, 422, "expired deadline sheds the request");
     }
 
     #[test]

@@ -387,14 +387,20 @@ fn propagate_cell(netlist: &Netlist, est: &ActivityEstimate, cid: oiso_netlist::
             out
         }
         CellKind::Mul => {
-            // Random-product approximation: with toggling operands the
-            // product bits are near-random; scale activity by how active
-            // the operands are relative to fully random.
-            let act_a: f64 =
-                input(0).iter().map(|s| s.tr).sum::<f64>() / input(0).len() as f64;
-            let act_b: f64 =
-                input(1).iter().map(|s| s.tr).sum::<f64>() / input(1).len() as f64;
-            let drive = 1.0 - (1.0 - act_a.min(1.0)) * (1.0 - act_b.min(1.0));
+            // Random-product approximation: any single operand-bit change
+            // re-randomizes most product bits, so the driving event is "the
+            // operand *words* changed", not the mean per-bit activity.
+            let any_a: f64 = 1.0
+                - input(0)
+                    .iter()
+                    .map(|s| 1.0 - s.tr.min(1.0))
+                    .product::<f64>();
+            let any_b: f64 = 1.0
+                - input(1)
+                    .iter()
+                    .map(|s| 1.0 - s.tr.min(1.0))
+                    .product::<f64>();
+            let drive = 1.0 - (1.0 - any_a) * (1.0 - any_b);
             vec![
                 BitStats {
                     p: 0.5,

@@ -11,6 +11,9 @@
 //!                 [--checkpoint FILE] [--resume FILE]
 //!                 [--out isolated.oiso] [--verilog out.v] [--dot out.dot]
 //! oiso optimize   <design.oiso> [--out cleaned.oiso]   # const-fold + sweep
+//! oiso analyze    <design.oiso> [--budget N] [--format text|json]
+//!                                                    # static activity report
+//! oiso timing     <design.oiso> [--clock-period NS] [--format text|json]
 //! oiso verify     <design.oiso> [--style and|or|latch] [--lookahead]
 //!                 [--budget N] [--deadline SECS]     # prove isolate() safe
 //! oiso fuzz       [--cases N] [--seed S] [--threads N] [--budget N]
@@ -19,6 +22,7 @@
 //!                 [--sabotage force-false|negate]    # random transform fuzzing
 //! oiso lint       [<design.oiso>...] [--bundled] [--deny CODE|error|warn|info]
 //!                 [--format text|json|sarif] [--lookahead] [--budget N]
+//!                 [--explain CODE]                   # describe one lint rule
 //! oiso serve      [--port P] [--threads T] [--cache-cap N] [--queue-cap N]
 //!                 [--memo-cap N] [--max-body BYTES] [--quiet]
 //! oiso fleet      [--shards N] [--store DIR] [--threads T] [--port-base P]
@@ -66,7 +70,7 @@ use operand_isolation::netlist::{dot, verilog, NetlistStats};
 use operand_isolation::par::faults;
 use operand_isolation::power::{total_area, PowerEstimator};
 use operand_isolation::sim::{EngineKind, SimMemo, Testbench};
-use operand_isolation::techlib::{OperatingConditions, TechLibrary};
+use operand_isolation::techlib::{OperatingConditions, TechLibrary, Time};
 use operand_isolation::timing::analyze;
 use operand_isolation::verify::{
     run_fuzz, verify_isolation_plan, CheckConfig, FuzzConfig, Proof, ReplayVerdict, Sabotage,
@@ -110,7 +114,10 @@ struct Options {
     inject_budget: bool,
     lint_files: Vec<String>,
     bundled: bool,
+    explain: Option<String>,
     deny: Vec<String>,
+    clock_period: Option<f64>,
+    budget_set: bool,
     format: String,
     port: u16,
     cache_cap: usize,
@@ -142,10 +149,19 @@ const USAGE: &str = "usage: oiso <show|activation|simulate|isolate|optimize|veri
                      --checkpoint/--resume journal and replay accepted work\n\
                      fault injection (testing the harness itself): --inject-panic N panics \
                      candidate/case N, --inject-budget expires the budget immediately\n\
+                     \u{20}      oiso analyze <design.oiso> [--budget N] [--format text|json]\n\
+                     analyze prints the static switching-activity report (per-net \
+                     probability/density, per-cone glitch estimates) without simulating; \
+                     --budget caps the exact BDD pass's node count\n\
+                     \u{20}      oiso timing <design.oiso> [--clock-period NS] \
+                     [--format text|json]\n\
+                     timing prints arrival/slack and the critical path from static timing \
+                     analysis (default clock period 10 ns)\n\
                      \u{20}      oiso lint [<design.oiso>...] [--bundled] \
                      [--deny CODE|error|warn|info] [--format text|json|sarif] \
-                     [--lookahead] [--budget N]\n\
-                     --deny is repeatable; any matching finding makes lint exit nonzero\n\
+                     [--lookahead] [--budget N] [--explain CODE]\n\
+                     --deny is repeatable; any matching finding makes lint exit nonzero; \
+                     --explain CODE describes one rule from the registry and exits\n\
                      \u{20}      oiso serve [--port P] [--threads T] [--cache-cap N] \
                      [--queue-cap N] [--memo-cap N] [--max-body BYTES] [--store DIR] \
                      [--shard K/N] [--quiet]\n\
@@ -200,7 +216,10 @@ fn parse_options() -> Result<Options, String> {
         inject_budget: false,
         lint_files: Vec::new(),
         bundled: false,
+        explain: None,
         deny: Vec::new(),
+        clock_period: None,
+        budget_set: false,
         format: "text".to_string(),
         port: 0,
         cache_cap: 128,
@@ -271,6 +290,23 @@ fn parse_options() -> Result<Options, String> {
                     .ok_or("--budget needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --budget: {e}"))?;
+                opts.budget_set = true;
+            }
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain needs a rule code")?);
+            }
+            "--clock-period" => {
+                let ns: f64 = args
+                    .next()
+                    .ok_or("--clock-period needs nanoseconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --clock-period: {e}"))?;
+                if !ns.is_finite() || ns <= 0.0 {
+                    return Err(format!(
+                        "--clock-period needs a positive number of nanoseconds, got {ns}"
+                    ));
+                }
+                opts.clock_period = Some(ns);
             }
             "--sabotage" => {
                 opts.sabotage = match args.next().as_deref() {
@@ -621,6 +657,46 @@ fn run() -> Result<(), String> {
                 println!("wrote {path}");
             }
         }
+        "analyze" => {
+            use operand_isolation::activity::{
+                analyze_activity_with_plan, ActivityOptions, DEFAULT_ACTIVITY_NODE_BUDGET,
+            };
+            // The shared `--budget` default (200k) is sized for per-cone
+            // verification BDDs; the activity pass covers whole netlists
+            // and gets its own, much larger default.
+            let node_budget = if opts.budget_set {
+                opts.budget
+            } else {
+                DEFAULT_ACTIVITY_NODE_BUDGET
+            };
+            let act_opts = ActivityOptions {
+                node_budget,
+                clock_period: opts.clock_period.map(Time::from_ns),
+            };
+            let report = analyze_activity_with_plan(netlist, &design.stimuli, &act_opts);
+            match opts.format.as_str() {
+                "text" => print_activity_text(netlist, &report),
+                "json" => print_activity_json(netlist, &report),
+                other => {
+                    return Err(format!("analyze supports --format text|json, got `{other}`"))
+                }
+            }
+        }
+        "timing" => {
+            let lib = TechLibrary::generic_250nm();
+            let period = opts
+                .clock_period
+                .map(Time::from_ns)
+                .unwrap_or_else(|| OperatingConditions::default().clock_period());
+            let report = analyze(&lib, netlist, period);
+            match opts.format.as_str() {
+                "text" => print_timing_text(netlist, &report),
+                "json" => print_timing_json(netlist, &report),
+                other => {
+                    return Err(format!("timing supports --format text|json, got `{other}`"))
+                }
+            }
+        }
         "verify" => {
             let acts =
                 derive_activation_functions(netlist, &activation_config(opts.lookahead));
@@ -682,9 +758,211 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+fn print_activity_text(
+    netlist: &operand_isolation::netlist::Netlist,
+    report: &operand_isolation::activity::ActivityReport,
+) {
+    println!(
+        "activity `{}`: total density {:.3} toggles/cycle, total glitch {:.3}/cycle, \
+         clock period {:.3} ns",
+        netlist.name(),
+        report.total_density(),
+        report.total_glitch(),
+        report.clock_period_ns()
+    );
+    println!(
+        "exact pass: {}/{} net(s) exact, {} BDD node(s){}",
+        report.exact_nets,
+        netlist.num_nets(),
+        report.bdd_nodes,
+        if report.budget_blown {
+            ", budget blown (remaining nets used the algebraic fallback)"
+        } else {
+            ""
+        }
+    );
+    let mut nets: Vec<_> = netlist
+        .nets()
+        .map(|(id, net)| (report.density(id), id, net.name().to_string()))
+        .collect();
+    nets.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    println!("top nets by transition density:");
+    for (d, id, name) in nets.into_iter().take(12) {
+        println!(
+            "  {name:<20} p={:.3} d={d:.3} arrival {:.2} ns{}",
+            report.prob(id),
+            report.arrival_ns(id),
+            if report.net(id).exact { "" } else { " (approx)" }
+        );
+    }
+    if !report.cones().is_empty() {
+        println!("isolation-candidate cones:");
+        for cone in report.cones() {
+            println!(
+                "  {:<20} operands {:.3} output {:.3} glitch {:.3}",
+                netlist.cell(cone.cell).name(),
+                cone.operand_density,
+                cone.output_density,
+                cone.glitch
+            );
+        }
+    }
+}
+
+fn print_activity_json(
+    netlist: &operand_isolation::netlist::Netlist,
+    report: &operand_isolation::activity::ActivityReport,
+) {
+    use operand_isolation::core::escape_json;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"design\":\"{}\",\"clock_period_ns\":{},\"total_density\":{},\
+         \"total_glitch\":{},\"exact_nets\":{},\"bdd_nodes\":{},\"budget_blown\":{},\
+         \"nets\":[",
+        escape_json(netlist.name()),
+        report.clock_period_ns(),
+        report.total_density(),
+        report.total_glitch(),
+        report.exact_nets,
+        report.bdd_nodes,
+        report.budget_blown
+    );
+    for (i, (id, net)) in netlist.nets().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"p\":{},\"density\":{},\"arrival_ns\":{},\"exact\":{}}}",
+            escape_json(net.name()),
+            report.prob(id),
+            report.density(id),
+            report.arrival_ns(id),
+            report.net(id).exact
+        );
+    }
+    out.push_str("],\"cones\":[");
+    for (i, cone) in report.cones().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"cell\":\"{}\",\"operand_density\":{},\"output_density\":{},\"glitch\":{}}}",
+            escape_json(netlist.cell(cone.cell).name()),
+            cone.operand_density,
+            cone.output_density,
+            cone.glitch
+        );
+    }
+    out.push_str("]}");
+    println!("{out}");
+}
+
+fn print_timing_text(
+    netlist: &operand_isolation::netlist::Netlist,
+    report: &operand_isolation::timing::TimingReport,
+) {
+    println!(
+        "timing `{}`: clock period {:.3} ns, worst slack {:.3} ns",
+        netlist.name(),
+        report.clock_period.as_ns(),
+        report.worst_slack.as_ns()
+    );
+    let path = report.critical_path(netlist);
+    if !path.is_empty() {
+        println!("critical path:");
+        for cid in &path {
+            let cell = netlist.cell(*cid);
+            println!(
+                "  {:<20} arrival {:.3} ns",
+                cell.name(),
+                report.arrival[cell.output().index()].as_ns()
+            );
+        }
+    }
+    let mut nets: Vec<_> = netlist
+        .nets()
+        .map(|(id, net)| (report.slack_of_net(id).as_ns(), id, net.name().to_string()))
+        .filter(|(slack, _, _)| slack.is_finite())
+        .collect();
+    nets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    println!("tightest nets:");
+    for (slack, id, name) in nets.into_iter().take(10) {
+        println!(
+            "  {name:<20} arrival {:.3} ns, slack {slack:.3} ns",
+            report.arrival[id.index()].as_ns()
+        );
+    }
+}
+
+fn print_timing_json(
+    netlist: &operand_isolation::netlist::Netlist,
+    report: &operand_isolation::timing::TimingReport,
+) {
+    use operand_isolation::core::escape_json;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"design\":\"{}\",\"clock_period_ns\":{},\"worst_slack_ns\":{},\
+         \"critical_path\":[",
+        escape_json(netlist.name()),
+        report.clock_period.as_ns(),
+        report.worst_slack.as_ns()
+    );
+    for (i, cid) in report.critical_path(netlist).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", escape_json(netlist.cell(*cid).name()));
+    }
+    out.push_str("],\"nets\":[");
+    for (i, (id, net)) in netlist.nets().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Nets with no timed endpoint downstream have infinite required
+        // time; JSON has no Infinity, so those fields render as null.
+        let required = report.required[id.index()].as_ns();
+        let slack = report.slack_of_net(id).as_ns();
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"arrival_ns\":{}",
+            escape_json(net.name()),
+            report.arrival[id.index()].as_ns()
+        );
+        if required.is_finite() {
+            let _ = write!(out, ",\"required_ns\":{required},\"slack_ns\":{slack}");
+        } else {
+            out.push_str(",\"required_ns\":null,\"slack_ns\":null");
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    println!("{out}");
+}
+
 fn lint_command(opts: &Options) -> Result<(), String> {
     use operand_isolation::designs::{bundled, BUNDLED_NAMES};
-    use operand_isolation::lint::{lint_netlist, render_json, render_sarif, render_text, LintOptions};
+    use operand_isolation::lint::{
+        lint_netlist, render_json, render_sarif, render_text, LintOptions, REGISTRY,
+    };
+
+    if let Some(code) = &opts.explain {
+        let Some(rule) = REGISTRY.iter().find(|r| r.code.eq_ignore_ascii_case(code)) else {
+            let valid: Vec<&str> = REGISTRY.iter().map(|r| r.code).collect();
+            return Err(format!(
+                "unknown rule code `{code}`; valid codes: {}",
+                valid.join(", ")
+            ));
+        };
+        println!("{} {} ({})", rule.code, rule.name, rule.default_severity);
+        println!("  {}", rule.summary);
+        return Ok(());
+    }
 
     // Work list: (artifact uri for SARIF, netlist). Files first, in the
     // order given; then the bundled benchmark designs from the shared

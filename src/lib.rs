@@ -46,6 +46,9 @@ pub use oiso_power as power;
 /// Static timing analysis.
 pub use oiso_timing as timing;
 
+/// Probabilistic switching-activity and glitch static analysis.
+pub use oiso_activity as activity;
+
 /// Deterministic scoped-thread worker pool (index-ordered parallel map).
 pub use oiso_par as par;
 

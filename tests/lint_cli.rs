@@ -1,9 +1,10 @@
 //! Golden and exit-code tests for `oiso lint`.
 //!
-//! The demo design seeds two paper-grounded hazards — a constant-true
+//! The demo design seeds three paper-grounded hazards — a constant-true
 //! activation only provable semantically (the adder feeds both mux data
-//! inputs) and a latch-fed activation cone — and the pinned output keeps
-//! the diagnostic text, ordering, and severities stable.
+//! inputs), a latch-fed activation cone, and a late-arriving activation
+//! computed through a multiplier — and the pinned output keeps the
+//! diagnostic text, ordering, and severities stable.
 //!
 //! Regenerate with `UPDATE_GOLDEN=1 cargo test --test lint_cli`.
 
@@ -42,13 +43,19 @@ fn lint_text_output_matches_golden() {
 }
 
 #[test]
-fn lint_flags_both_seeded_hazards() {
+fn lint_flags_the_seeded_hazards() {
     let out = oiso().arg("lint").arg(demo()).output().expect("run");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("OL003"), "constant-true activation: {text}");
     assert!(text.contains("OL005"), "latch-fed activation cone: {text}");
+    assert!(text.contains("OL012"), "late-arriving activation: {text}");
     assert!(text.contains("`add`"), "{text}");
     assert!(text.contains("latch `lat`"), "{text}");
+    assert!(text.contains("`add2`"), "{text}");
+    assert!(
+        text.contains("constant-activation queries:"),
+        "proved/sampled counters: {text}"
+    );
 }
 
 #[test]
@@ -91,7 +98,8 @@ fn json_format_is_machine_readable() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.starts_with("{\"design\":\"lint_demo\""), "{text}");
     assert!(text.contains("\"code\":\"OL003\""), "{text}");
-    assert!(text.contains("\"counts\":{\"error\":0,\"warn\":2,\"info\":0}"), "{text}");
+    assert!(text.contains("\"counts\":{\"error\":0,\"warn\":4,\"info\":1}"), "{text}");
+    assert!(text.contains("\"constancy\":{\"proved\":4,\"sampled\":0}"), "{text}");
 }
 
 #[test]
@@ -121,6 +129,36 @@ fn lint_without_inputs_is_an_error() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--bundled"), "{err}");
+}
+
+#[test]
+fn explain_prints_registry_metadata() {
+    // One golden pins the format; a case-insensitivity probe and the
+    // unknown-code error path ride along.
+    let out = oiso()
+        .arg("lint")
+        .args(["--explain", "OL012"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{out:?}");
+    check_golden("lint_explain.txt", &String::from_utf8_lossy(&out.stdout));
+
+    let lower = oiso()
+        .arg("lint")
+        .args(["--explain", "ol012"])
+        .output()
+        .expect("run");
+    assert_eq!(out.stdout, lower.stdout, "--explain is case-insensitive");
+
+    let bad = oiso()
+        .arg("lint")
+        .args(["--explain", "OL099"])
+        .output()
+        .expect("run");
+    assert!(!bad.status.success(), "{bad:?}");
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(err.contains("unknown rule code `OL099`"), "{err}");
+    assert!(err.contains("OL001") && err.contains("OL014"), "{err}");
 }
 
 #[test]

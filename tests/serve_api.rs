@@ -69,6 +69,11 @@ fn every_endpoint_body_is_pinned() {
             "/v1/simulate",
             "{\"design\":\"figure1\",\"cycles\":200}",
         ),
+        (
+            "serve_analyze.json",
+            "/v1/analyze",
+            "{\"design\":\"figure1\"}",
+        ),
     ];
     for (golden, path, body) in cases {
         let resp = client.post(path, body);
@@ -237,14 +242,16 @@ fn cached_responses_are_byte_identical_to_fresh_ones() {
 #[test]
 fn batch_envelope_is_pinned() {
     let (handle, client) = spawn(quiet_config());
-    // Four kinds of slot in one batch: a compute (miss), a second
-    // endpoint, an exact duplicate of the first item (dedup → hit), and
-    // a schema failure that must stay confined to its own slot.
+    // Five kinds of slot in one batch: a compute (miss), a second
+    // endpoint, an exact duplicate of the first item (dedup → hit), a
+    // static analysis that never touches the simulator, and a schema
+    // failure that must stay confined to its own slot.
     let body = concat!(
         "{\"items\":[",
         "{\"endpoint\":\"isolate\",\"design\":\"figure1\",\"style\":\"and\",\"cycles\":300},",
         "{\"endpoint\":\"lint\",\"design\":\"figure1\"},",
         "{\"endpoint\":\"isolate\",\"design\":\"figure1\",\"style\":\"and\",\"cycles\":300},",
+        "{\"endpoint\":\"analyze\",\"design\":\"figure1\"},",
         "{\"endpoint\":\"simulate\",\"design\":\"nope\",\"cycles\":100}",
         "]}"
     );
@@ -252,8 +259,8 @@ fn batch_envelope_is_pinned() {
     assert_eq!(resp.status, 200, "{}", resp.text());
     assert_eq!(resp.header("content-type"), Some("application/json"));
     let text = resp.text();
-    assert!(text.contains("\"items\":4"), "{text}");
-    assert!(text.contains("\"ok\":3"), "{text}");
+    assert!(text.contains("\"items\":5"), "{text}");
+    assert!(text.contains("\"ok\":4"), "{text}");
     assert!(text.contains("\"error\":1"), "{text}");
     check_golden("serve_batch.json", text);
 
@@ -403,7 +410,7 @@ fn batch_stream_emits_items_in_order_then_a_summary() {
 #[test]
 fn stream_is_rejected_off_isolate_and_batch() {
     let (handle, client) = spawn(quiet_config());
-    for path in ["/v1/lint", "/v1/verify", "/v1/simulate"] {
+    for path in ["/v1/lint", "/v1/verify", "/v1/simulate", "/v1/analyze"] {
         let resp = client.post(path, "{\"design\":\"figure1\",\"stream\":true}");
         assert_eq!(resp.status, 400, "{path}: {}", resp.text());
         assert!(resp.text().contains("\"bad_field\""), "{path}: {}", resp.text());
