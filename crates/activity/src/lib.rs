@@ -5,7 +5,7 @@
 //! buys with simulation. This crate derives it statically:
 //!
 //! * **Signal probabilities** `Pr(bit = 1)` per net bit, exact under a
-//!   per-source independence model, computed on BDDs (`boolex::bdd`) with
+//!   per-source independence model, computed on BDDs (`oiso-bdd`) with
 //!   reconvergent fanout handled exactly. Sources are primary inputs,
 //!   register outputs, and latch outputs; their statistics come from the
 //!   stimulus plan (via `oiso_sim::analytic::spec_stats`) and the algebraic
@@ -37,6 +37,7 @@ mod pair;
 
 pub use pair::ExprActivity;
 
+use oiso_bdd::NodeBudget;
 use oiso_boolex::{BoolExpr, Signal};
 use oiso_netlist::{CellId, CellKind, NetId, Netlist};
 use oiso_sim::analytic::{propagate, spec_stats, BitStats};
@@ -176,6 +177,13 @@ impl ActivityReport {
     /// Activity of a Boolean expression (e.g. an activation function) over
     /// this report's nets, exact under the pair model up to `node_budget`.
     pub fn expr_activity(&self, expr: &BoolExpr, node_budget: usize) -> ExprActivity {
+        self.expr_activity_budgeted(expr, &NodeBudget::new(node_budget))
+    }
+
+    /// [`ActivityReport::expr_activity`] debiting a **shared**
+    /// [`NodeBudget`] handle, so many expression queries (e.g. ranking a
+    /// whole candidate list) spend one run-level allowance once.
+    pub fn expr_activity_budgeted(&self, expr: &BoolExpr, budget: &NodeBudget) -> ExprActivity {
         pair::expr_activity_with(
             expr,
             |sig: Signal| {
@@ -183,7 +191,7 @@ impl ActivityReport {
                 bits.get(sig.bit as usize)
                     .map_or((0.0, 0.0), |b| (b.p, b.d))
             },
-            node_budget,
+            budget,
         )
     }
 }
@@ -236,7 +244,12 @@ pub fn analyze_activity_with_plan(
             );
         }
     }
-    let mut pass = ExactPass::build(netlist, &source_stats, &source_nets, opts.node_budget);
+    let mut pass = ExactPass::build(
+        netlist,
+        &source_stats,
+        &source_nets,
+        &NodeBudget::new(opts.node_budget),
+    );
 
     // 2b. Outer refinement of the register-probability seeds. For every
     //     structurally-modeled register, `Pr(q') = Pr(ite(en, D, q))` is a

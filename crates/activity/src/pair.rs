@@ -18,7 +18,8 @@
 //! correlation (lag-one) are both handled exactly; only correlation
 //! *between* distinct source bits is assumed away.
 
-use oiso_boolex::{Bdd, BddRef, BoolExpr, Signal};
+use oiso_bdd::{Bdd, BddRef, NodeBudget};
+use oiso_boolex::{BoolExpr, Signal};
 use oiso_netlist::{Cell, CellKind, Netlist};
 use std::collections::HashMap;
 
@@ -197,7 +198,7 @@ impl ExactPass {
         netlist: &Netlist,
         source_stats: &HashMap<Signal, SourceBit>,
         source_nets: &[oiso_netlist::NetId],
-        node_budget: usize,
+        budget: &NodeBudget,
     ) -> ExactPass {
         let mut pass = ExactPass {
             bdd: Bdd::new(),
@@ -208,6 +209,10 @@ impl ExactPass {
             pseudo_words: Vec::new(),
             blown: false,
         };
+        // The pass depends on its variable order (value/toggle pairs stay
+        // adjacent), so it never auto-reorders; the shared budget handle
+        // is the only ceiling.
+        pass.bdd.set_budget(budget.clone());
         // Register variables bit-sliced round-robin across the sources
         // (x[0], y[0], …, x[1], y[1], …) — the classic datapath ordering
         // that keeps ripple-carry chains polynomial — with each value bit
@@ -313,7 +318,7 @@ impl ExactPass {
                 }
                 None => continue,
             }
-            if pass.bdd.num_nodes() > node_budget {
+            if pass.bdd.budget_exceeded() {
                 // Budget is checked post-hoc, like the optimizer precheck:
                 // the cell that blew it keeps nothing, and everything
                 // downstream falls back to the algebraic estimate.
@@ -457,7 +462,7 @@ impl ExactPass {
                 .as_mut()
                 .expect("planned in phase A")
                 .nxt = nxt;
-            if pass.bdd.num_nodes() > node_budget {
+            if pass.bdd.budget_exceeded() {
                 pass.fns[cell.output().index()] = None;
                 pass.blown = true;
             }
@@ -746,7 +751,7 @@ pub struct ExprActivity {
 pub(crate) fn expr_activity_with(
     expr: &BoolExpr,
     stats_of: impl Fn(Signal) -> (f64, f64),
-    node_budget: usize,
+    budget: &NodeBudget,
 ) -> ExprActivity {
     let support: Vec<Signal> = expr.support().into_iter().collect();
     let mut stats = HashMap::new();
@@ -754,14 +759,19 @@ pub(crate) fn expr_activity_with(
         let (p, d) = stats_of(sig);
         stats.insert(sig, SourceBit::clamped(p, d));
     }
+    if budget.exceeded() {
+        // A shared handle may arrive already spent by earlier work.
+        return algebraic_expr_activity(expr, &stats);
+    }
     let mut bdd = Bdd::new();
+    bdd.set_budget(budget.clone());
     for &sig in &support {
         bdd.literal(sig);
         bdd.literal(toggle_sig(sig));
     }
     let cur = build_expr(&mut bdd, expr, false);
     let nxt = build_expr(&mut bdd, expr, true);
-    if bdd.num_nodes() > node_budget {
+    if bdd.budget_exceeded() {
         return algebraic_expr_activity(expr, &stats);
     }
     let p = bdd.probability(cur, &|s| stats.get(&s).map_or(0.0, |b| b.p));

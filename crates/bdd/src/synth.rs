@@ -1,0 +1,148 @@
+//! BDD-derived synthesis of activation logic.
+//!
+//! Following Popel's observation that the BDD of a minimized activation
+//! function is itself a low-switching implementation, this module emits
+//! the canonical ROBDD of an activation expression as a multiplexer
+//! tree: one 1-bit `Mux` cell per BDD node (select = the node's
+//! variable, data = the lo/hi child functions) and one `Not` cell per
+//! distinct complemented edge. Because the ROBDD is canonical, the
+//! emitted circuit is the minimized form of the function regardless of
+//! how the factored expression was written, and shared BDD subgraphs
+//! become shared gates for free.
+
+use crate::manager::{Bdd, BddRef};
+use oiso_boolex::{BoolExpr, Signal};
+use oiso_netlist::{BuildError, CellKind, NetId, Netlist};
+use std::collections::HashMap;
+
+/// Synthesizes the ROBDD of `expr` into `netlist` as a mux tree,
+/// returning the net carrying the expression's value. New nets and
+/// cells are named with `prefix`; `cache` shares results across calls
+/// exactly like `oiso_boolex::synthesize_into_cached` (one cache per
+/// transform run ⇒ candidates with equal activation functions share one
+/// implementation).
+///
+/// # Errors
+///
+/// Returns an error if net/cell insertion fails, which only happens if
+/// the netlist already contains colliding names created outside
+/// `Netlist::fresh_net_name`.
+pub fn synthesize_bdd_into(
+    netlist: &mut Netlist,
+    expr: &BoolExpr,
+    prefix: &str,
+    cache: &mut HashMap<BoolExpr, NetId>,
+) -> Result<NetId, BuildError> {
+    if let Some(&net) = cache.get(expr) {
+        return Ok(net);
+    }
+    let mut bdd = Bdd::new();
+    let f = bdd.from_expr(expr);
+    let mut ctx = BddSynth {
+        netlist,
+        prefix,
+        node_nets: HashMap::new(),
+        not_nets: HashMap::new(),
+        var_nets: HashMap::new(),
+        const_nets: [None, None],
+    };
+    let net = ctx.emit(&bdd, f)?;
+    cache.insert(expr.clone(), net);
+    Ok(net)
+}
+
+struct BddSynth<'a> {
+    netlist: &'a mut Netlist,
+    prefix: &'a str,
+    /// Regular node edge (raw ref) → net carrying that node's function.
+    node_nets: HashMap<u32, NetId>,
+    /// Complemented edge (raw ref) → net carrying the inverted function.
+    not_nets: HashMap<u32, NetId>,
+    var_nets: HashMap<Signal, NetId>,
+    const_nets: [Option<NetId>; 2],
+}
+
+impl BddSynth<'_> {
+    fn fresh_wire(&mut self) -> Result<NetId, BuildError> {
+        let name = self.netlist.fresh_net_name(self.prefix);
+        self.netlist.add_wire(name, 1)
+    }
+
+    fn fresh_cell(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        out: NetId,
+    ) -> Result<(), BuildError> {
+        let name = self.netlist.fresh_cell_name(self.prefix);
+        self.netlist.add_cell(name, kind, inputs, out)?;
+        Ok(())
+    }
+
+    fn const_net(&mut self, value: bool) -> Result<NetId, BuildError> {
+        if let Some(net) = self.const_nets[value as usize] {
+            return Ok(net);
+        }
+        let w = self.fresh_wire()?;
+        self.fresh_cell(CellKind::Const { value: value as u64 }, &[], w)?;
+        self.const_nets[value as usize] = Some(w);
+        Ok(w)
+    }
+
+    fn var_net(&mut self, sig: Signal) -> Result<NetId, BuildError> {
+        if let Some(&net) = self.var_nets.get(&sig) {
+            return Ok(net);
+        }
+        let width = self.netlist.net(sig.net).width();
+        let net = if width == 1 {
+            debug_assert_eq!(sig.bit, 0, "bit index on 1-bit net");
+            sig.net
+        } else {
+            let w = self.fresh_wire()?;
+            self.fresh_cell(
+                CellKind::Slice {
+                    lo: sig.bit,
+                    hi: sig.bit,
+                },
+                &[sig.net],
+                w,
+            )?;
+            w
+        };
+        self.var_nets.insert(sig, net);
+        Ok(net)
+    }
+
+    /// Net carrying the function of edge `r` (inserting a `Not` for a
+    /// complemented edge, shared per distinct edge).
+    fn emit(&mut self, bdd: &Bdd, r: BddRef) -> Result<NetId, BuildError> {
+        if r == BddRef::TRUE {
+            return self.const_net(true);
+        }
+        if r == BddRef::FALSE {
+            return self.const_net(false);
+        }
+        if r.is_complemented() {
+            if let Some(&net) = self.not_nets.get(&r.raw()) {
+                return Ok(net);
+            }
+            let pos = self.emit(bdd, r.regular())?;
+            let w = self.fresh_wire()?;
+            self.fresh_cell(CellKind::Not, &[pos], w)?;
+            self.not_nets.insert(r.raw(), w);
+            return Ok(w);
+        }
+        if let Some(&net) = self.node_nets.get(&r.raw()) {
+            return Ok(net);
+        }
+        let sig = bdd.top_var(r).expect("non-terminal node has a variable");
+        let (lo, hi) = bdd.children(r);
+        let lo_net = self.emit(bdd, lo)?;
+        let hi_net = self.emit(bdd, hi)?;
+        let sel = self.var_net(sig)?;
+        let w = self.fresh_wire()?;
+        self.fresh_cell(CellKind::Mux, &[sel, lo_net, hi_net], w)?;
+        self.node_nets.insert(r.raw(), w);
+        Ok(w)
+    }
+}

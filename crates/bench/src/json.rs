@@ -183,6 +183,7 @@ pub fn styles_to_json(points: &[crate::styles::StylePoint]) -> Json {
                     ("and_pct", Json::num(p.reduction_pct[0])),
                     ("or_pct", Json::num(p.reduction_pct[1])),
                     ("latch_pct", Json::num(p.reduction_pct[2])),
+                    ("bdd_pct", Json::num(p.reduction_pct[3])),
                 ])
             })
             .collect(),

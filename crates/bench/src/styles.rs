@@ -21,8 +21,9 @@ use std::fmt::Write as _;
 pub struct StylePoint {
     /// Mean idle-run length in cycles.
     pub mean_idle_run: f64,
-    /// Power reduction per style, in [`IsolationStyle::ALL`] order.
-    pub reduction_pct: [f64; 3],
+    /// Power reduction per style, in [`IsolationStyle::ALL_WITH_BDD`]
+    /// order.
+    pub reduction_pct: [f64; 4],
 }
 
 /// Sweeps mean idle-run length at 50 % duty cycle.
@@ -38,7 +39,7 @@ pub fn idle_length_study(
     run_lengths: &[f64],
     config: &IsolationConfig,
 ) -> Result<Vec<StylePoint>, IsolationError> {
-    // Fan across run-length points; within one point the three styles run
+    // Fan across run-length points; within one point the styles run
     // serially and share a memo, so the point's baseline circuit is
     // simulated once instead of once per style.
     let point_config = config.clone().with_threads(1);
@@ -52,8 +53,8 @@ pub fn idle_length_study(
             toggle_rate,
         });
         let memo = SimMemo::new();
-        let mut reduction = [0.0f64; 3];
-        for (i, style) in IsolationStyle::ALL.iter().enumerate() {
+        let mut reduction = [0.0f64; 4];
+        for (i, style) in IsolationStyle::ALL_WITH_BDD.iter().enumerate() {
             let c = point_config.clone().with_style(*style);
             let outcome = optimize_with_memo(&design.netlist, &plan, &c, &memo)?;
             reduction[i] = outcome.power_reduction_percent();
@@ -71,14 +72,18 @@ pub fn render(points: &[StylePoint]) -> String {
     let _ = writeln!(
         out,
         "isolation-style comparison vs. idle-run length (50% duty)\n\
-         {:>10} {:>10} {:>10} {:>10}",
-        "idle run", "AND %red", "OR %red", "LAT %red"
+         {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "idle run", "AND %red", "OR %red", "LAT %red", "BDD %red"
     );
     for p in points {
         let _ = writeln!(
             out,
-            "{:>10.1} {:>9.2}% {:>9.2}% {:>9.2}%",
-            p.mean_idle_run, p.reduction_pct[0], p.reduction_pct[1], p.reduction_pct[2]
+            "{:>10.1} {:>9.2}% {:>9.2}% {:>9.2}% {:>9.2}%",
+            p.mean_idle_run,
+            p.reduction_pct[0],
+            p.reduction_pct[1],
+            p.reduction_pct[2],
+            p.reduction_pct[3]
         );
     }
     out

@@ -72,7 +72,7 @@ pub fn paper_table(
     let style_rows =
         oiso_par::try_parallel_map(
             base_config.threads,
-            &IsolationStyle::ALL,
+            &IsolationStyle::ALL_WITH_BDD,
             |_, style| -> Result<TableRow, IsolationError> {
             let config = style_config.clone().with_style(*style);
             let outcome =
@@ -139,19 +139,20 @@ mod tests {
     use oiso_designs::design1::{build, Design1Params};
 
     #[test]
-    fn table_has_four_rows_and_renders() {
+    fn table_has_five_rows_and_renders() {
         let design = build(&Design1Params {
             lanes: 2,
             ..Default::default()
         });
         let config = IsolationConfig::default().with_sim_cycles(400);
         let rows = paper_table(&design, &config).unwrap();
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].label, "non-isolated");
         assert!(rows.iter().skip(1).all(|r| r.area_increase_pct >= 0.0));
         let text = render("Table test", &rows);
         assert!(text.contains("non-isolated"));
         assert!(text.contains("AND-isolated"));
+        assert!(text.contains("BDD-isolated"));
         assert!(text.contains("n/a"));
     }
 }

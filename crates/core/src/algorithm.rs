@@ -511,16 +511,20 @@ pub fn optimize_with_memo(
         // unsound candidates without paying for their simulation scoring.
         // Serial, in candidate order — deterministic at any thread count.
         if config.static_precheck {
-            let node_budget = config
-                .budget
-                .bdd_node_ceiling
-                .unwrap_or(crate::precheck::DEFAULT_PRECHECK_NODE_BUDGET);
+            // An explicit run ceiling is one shared allowance debited
+            // across every precheck of the run; the bundled default stays
+            // per-candidate so one pathological cone cannot starve the
+            // rest.
+            let shared = config.budget.bdd_node_ceiling.map(oiso_bdd::NodeBudget::new);
             candidates.retain(|cand| {
-                match crate::precheck::precheck_candidate(
+                let budget = shared.clone().unwrap_or_else(|| {
+                    oiso_bdd::NodeBudget::new(crate::precheck::DEFAULT_PRECHECK_NODE_BUDGET)
+                });
+                match crate::precheck::precheck_candidate_with_budget(
                     &work,
                     cand.cell,
                     &cand.activation,
-                    node_budget,
+                    &budget,
                 ) {
                     Some(verdict) => {
                         pre_excluded.insert(cand.cell);
@@ -546,19 +550,21 @@ pub fn optimize_with_memo(
                 plan,
                 &oiso_activity::ActivityOptions::default(),
             );
-            let node_budget = config
-                .budget
-                .bdd_node_ceiling
-                .unwrap_or(crate::precheck::DEFAULT_PRECHECK_NODE_BUDGET);
+            // Same budget policy as the precheck above: an explicit run
+            // ceiling is shared across the whole ranked list.
+            let shared = config.budget.bdd_node_ceiling.map(oiso_bdd::NodeBudget::new);
             let mut ranked: Vec<(f64, Candidate)> = candidates
                 .drain(..)
                 .map(|cand| {
-                    let rank = crate::precheck::activity_rank(
+                    let budget = shared.clone().unwrap_or_else(|| {
+                        oiso_bdd::NodeBudget::new(crate::precheck::DEFAULT_PRECHECK_NODE_BUDGET)
+                    });
+                    let rank = crate::precheck::activity_rank_with_budget(
                         &activity,
                         &work,
                         cand.cell,
                         &cand.activation,
-                        node_budget,
+                        &budget,
                     );
                     (rank, cand)
                 })

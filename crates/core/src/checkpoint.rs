@@ -344,6 +344,7 @@ pub fn config_fingerprint(config: &crate::algorithm::IsolationConfig) -> u64 {
         IsolationStyle::And => 0,
         IsolationStyle::Or => 1,
         IsolationStyle::Latch => 2,
+        IsolationStyle::BddSynth => 3,
     });
     h.u64(match config.estimator {
         crate::savings::EstimatorKind::Simple => 0,

@@ -121,7 +121,7 @@ impl<'a> CostModel<'a> {
     ) -> IsolationCost {
         let cell = netlist.cell(candidate);
         let bank_class = match style {
-            IsolationStyle::And => CellClass::And2,
+            IsolationStyle::And | IsolationStyle::BddSynth => CellClass::And2,
             IsolationStyle::Or => CellClass::Or2,
             IsolationStyle::Latch => CellClass::LatchBit,
         };

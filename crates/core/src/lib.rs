@@ -94,9 +94,10 @@ pub use checkpoint::{
 pub use cost::{CostModel, CostWeights, IsolationCost};
 pub use fsm::{find_closed_fsms, refine_with_fsm_dont_cares, ClosedFsm};
 pub use muxfunc::multiplexing_functions;
+pub use oiso_bdd::NodeBudget;
 pub use precheck::{
-    activity_rank, constant_check, precheck_candidate, ConstCheck, PrecheckVerdict,
-    DEFAULT_PRECHECK_NODE_BUDGET,
+    activity_rank, constant_check, constant_check_with_budget, precheck_candidate,
+    precheck_candidate_with_budget, ConstCheck, PrecheckVerdict, DEFAULT_PRECHECK_NODE_BUDGET,
 };
 pub use report::{IsolationOutcome, IterationLog, SkippedCandidate};
 pub use savings::{EstimatorKind, SavingsEstimate, SavingsEstimator};

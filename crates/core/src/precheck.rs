@@ -21,7 +21,8 @@
 //! determinism. `oiso-lint` reuses the same verdicts for its diagnostics.
 
 use oiso_activity::ActivityReport;
-use oiso_boolex::{Bdd, BddRef, BoolExpr};
+use oiso_bdd::{Bdd, BddRef, NodeBudget};
+use oiso_boolex::BoolExpr;
 use oiso_netlist::{transitive_fanout, CellId, Netlist};
 use std::collections::HashSet;
 
@@ -80,6 +81,19 @@ pub fn precheck_candidate(
     activation: &BoolExpr,
     node_budget: usize,
 ) -> Option<PrecheckVerdict> {
+    precheck_candidate_with_budget(netlist, cell, activation, &NodeBudget::new(node_budget))
+}
+
+/// [`precheck_candidate`] against a **shared** [`NodeBudget`] handle:
+/// allocations made deciding this candidate are debited against the
+/// caller's run-level budget instead of a fresh per-candidate ceiling,
+/// so a whole plan's prechecks spend one allowance once.
+pub fn precheck_candidate_with_budget(
+    netlist: &Netlist,
+    cell: CellId,
+    activation: &BoolExpr,
+    budget: &NodeBudget,
+) -> Option<PrecheckVerdict> {
     // Feedback first: it is cheap, and a looping activation must never
     // reach the BDD path (the expression is fine, the wiring is not).
     let out = netlist.cell(cell).output();
@@ -101,7 +115,7 @@ pub fn precheck_candidate(
         }
     }
 
-    match constant_check(activation, node_budget) {
+    match constant_check_with_budget(activation, budget) {
         ConstCheck::Proved(Some(true)) => Some(PrecheckVerdict::ConstantTrue),
         ConstCheck::Proved(Some(false)) => Some(PrecheckVerdict::ConstantFalse),
         // Not constant, or too big to decide statically: simulate instead.
@@ -125,6 +139,11 @@ pub enum ConstCheck {
 /// Decides whether `activation` is semantically constant, under a BDD
 /// node budget.
 pub fn constant_check(activation: &BoolExpr, node_budget: usize) -> ConstCheck {
+    constant_check_with_budget(activation, &NodeBudget::new(node_budget))
+}
+
+/// [`constant_check`] debiting a **shared** [`NodeBudget`] handle.
+pub fn constant_check_with_budget(activation: &BoolExpr, budget: &NodeBudget) -> ConstCheck {
     // Syntactic constants are free; the BDD catches semantic ones
     // (`g | !g`) that `identify_candidates`' syntactic filter misses.
     if activation.is_const(true) {
@@ -133,9 +152,14 @@ pub fn constant_check(activation: &BoolExpr, node_budget: usize) -> ConstCheck {
     if activation.is_const(false) {
         return ConstCheck::Proved(Some(false));
     }
+    if budget.exceeded() {
+        // A shared handle may arrive already spent by earlier work.
+        return ConstCheck::Undecided;
+    }
     let mut bdd = Bdd::new();
+    bdd.set_budget(budget.clone());
     let f = bdd.from_expr(activation);
-    if bdd.num_nodes() > node_budget {
+    if budget.exceeded() {
         return ConstCheck::Undecided;
     }
     ConstCheck::Proved(if f == BddRef::TRUE {
@@ -165,12 +189,24 @@ pub fn activity_rank(
     activation: &BoolExpr,
     node_budget: usize,
 ) -> f64 {
+    activity_rank_with_budget(report, netlist, cell, activation, &NodeBudget::new(node_budget))
+}
+
+/// [`activity_rank`] debiting a **shared** [`NodeBudget`] handle across a
+/// whole candidate list.
+pub fn activity_rank_with_budget(
+    report: &ActivityReport,
+    netlist: &Netlist,
+    cell: CellId,
+    activation: &BoolExpr,
+    budget: &NodeBudget,
+) -> f64 {
     let operand_density: f64 = netlist
         .cell(cell)
         .data_inputs()
         .map(|n| report.density(n))
         .sum();
-    let p_active = report.expr_activity(activation, node_budget).p;
+    let p_active = report.expr_activity_budgeted(activation, budget).p;
     operand_density * (1.0 - p_active).clamp(0.0, 1.0)
 }
 

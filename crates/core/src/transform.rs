@@ -11,9 +11,16 @@
 //!   multi-cycle idleness.
 //! * **OR-based**: OR gates forcing operands to 1 while `AS = 0` (the gate
 //!   receives `!AS`).
+//! * **BDD-synthesized** ([`IsolationStyle::BddSynth`]): AND-gate banks,
+//!   but the activation signal is emitted as the canonical ROBDD of `f_c`
+//!   rendered as a mux tree ([`oiso_bdd::synthesize_bdd_into`], after
+//!   Popel) — the minimized implementation regardless of how the factored
+//!   expression was written, with shared BDD subgraphs becoming shared
+//!   gates.
 //!
 //! The activation signal is produced by *activation logic* synthesized from
-//! the activation function via [`oiso_boolex::synthesize_into`].
+//! the activation function via [`oiso_boolex::synthesize_into`] (or the
+//! BDD emitter for [`IsolationStyle::BddSynth`]).
 
 use oiso_boolex::{synthesize_into_cached, BoolExpr};
 use oiso_netlist::{BuildError, CellId, CellKind, NetId, Netlist, PortRole};
@@ -31,17 +38,32 @@ pub enum IsolationStyle {
     Or,
     /// Transparent-latch banks (hold last operand while idle).
     Latch,
+    /// AND-gate banks with the activation signal synthesized as the
+    /// minimized ROBDD mux circuit of `f_c` instead of the factored
+    /// expression tree.
+    BddSynth,
 }
 
 impl IsolationStyle {
-    /// All styles, in the paper's table order.
+    /// The paper's three styles, in its table order. Deliberately
+    /// excludes [`IsolationStyle::BddSynth`] so existing style-sampling
+    /// streams (e.g. the verify fuzzer's) stay stable; use
+    /// [`IsolationStyle::ALL_WITH_BDD`] to cover every style.
     pub const ALL: [IsolationStyle; 3] =
         [IsolationStyle::And, IsolationStyle::Or, IsolationStyle::Latch];
+
+    /// Every style, including the BDD-synthesized activation variant.
+    pub const ALL_WITH_BDD: [IsolationStyle; 4] = [
+        IsolationStyle::And,
+        IsolationStyle::Or,
+        IsolationStyle::Latch,
+        IsolationStyle::BddSynth,
+    ];
 
     /// The corresponding timing-bank kind.
     pub fn bank_kind(self) -> BankKind {
         match self {
-            IsolationStyle::And => BankKind::And,
+            IsolationStyle::And | IsolationStyle::BddSynth => BankKind::And,
             IsolationStyle::Or => BankKind::Or,
             IsolationStyle::Latch => BankKind::Latch,
         }
@@ -53,6 +75,7 @@ impl IsolationStyle {
             IsolationStyle::And => "AND-isolated",
             IsolationStyle::Or => "OR-isolated",
             IsolationStyle::Latch => "LAT-isolated",
+            IsolationStyle::BddSynth => "BDD-isolated",
         }
     }
 }
@@ -63,6 +86,7 @@ impl fmt::Display for IsolationStyle {
             IsolationStyle::And => "AND",
             IsolationStyle::Or => "OR",
             IsolationStyle::Latch => "LATCH",
+            IsolationStyle::BddSynth => "BDD",
         })
     }
 }
@@ -128,8 +152,16 @@ pub fn isolate_with_cache(
     let cname = netlist.cell(candidate).name().to_string();
     let prefix = format!("iso_{cname}");
 
-    // 1. Activation logic -> AS net.
-    let as_net = synthesize_into_cached(netlist, activation, &format!("{prefix}_act"), cache)?;
+    // 1. Activation logic -> AS net. Both emitters share one cache, so a
+    // candidate whose activation was already synthesized (by either
+    // emitter) reuses that net — the implementations are functionally
+    // identical, and sharing is the point of the cache.
+    let as_net = match style {
+        IsolationStyle::BddSynth => {
+            oiso_bdd::synthesize_bdd_into(netlist, activation, &format!("{prefix}_act"), cache)?
+        }
+        _ => synthesize_into_cached(netlist, activation, &format!("{prefix}_act"), cache)?,
+    };
 
     // For OR banks the control input is !AS (force 1 when idle).
     let control_net = match style {
@@ -161,13 +193,13 @@ pub fn isolate_with_cache(
             width,
         )?;
         let bank = match style {
-            IsolationStyle::And | IsolationStyle::Or => {
+            IsolationStyle::And | IsolationStyle::Or | IsolationStyle::BddSynth => {
                 // Replicate the 1-bit control to operand width.
                 let wide = replicate(netlist, control_net, width, &prefix)?;
-                let kind = if style == IsolationStyle::And {
-                    CellKind::And
-                } else {
+                let kind = if style == IsolationStyle::Or {
                     CellKind::Or
+                } else {
+                    CellKind::And
                 };
                 netlist.add_cell(
                     netlist.fresh_cell_name(&format!("{prefix}_bank{port}")),
@@ -306,7 +338,7 @@ mod tests {
         let ref_report = Testbench::from_plan(&orig, &plan).unwrap().run(3000).unwrap();
         let q = orig.find_net("q").unwrap();
 
-        for style in IsolationStyle::ALL {
+        for style in IsolationStyle::ALL_WITH_BDD {
             let (mut iso, add, g) = gated_adder();
             let act = BoolExpr::var(Signal::bit0(g));
             isolate(&mut iso, add, &act, style).unwrap();
@@ -338,7 +370,7 @@ mod tests {
         let (in_toggles_before, out_toggles_before) =
             run_toggles(&orig, mostly_idle.clone());
 
-        for style in IsolationStyle::ALL {
+        for style in IsolationStyle::ALL_WITH_BDD {
             let (mut iso, add, g) = gated_adder();
             let act = BoolExpr::var(Signal::bit0(g));
             isolate(&mut iso, add, &act, style).unwrap();
@@ -509,6 +541,65 @@ mod tests {
         assert_eq!(IsolationStyle::And.label(), "AND-isolated");
         assert_eq!(IsolationStyle::Or.label(), "OR-isolated");
         assert_eq!(IsolationStyle::Latch.label(), "LAT-isolated");
+        assert_eq!(IsolationStyle::BddSynth.label(), "BDD-isolated");
         assert_eq!(IsolationStyle::Latch.to_string(), "LATCH");
+        assert_eq!(IsolationStyle::BddSynth.to_string(), "BDD");
+        assert_eq!(IsolationStyle::ALL.len(), 3, "fuzz streams depend on this");
+        assert_eq!(IsolationStyle::ALL_WITH_BDD.len(), 4);
+    }
+
+    #[test]
+    fn bdd_synth_emits_mux_tree_activation() {
+        // A two-level factored activation: the BDD emitter must produce a
+        // mux-based AS net that simulates identically to the tree form.
+        let build = || {
+            let mut b = NetlistBuilder::new("bs");
+            let x = b.input("x", 8);
+            let y = b.input("y", 8);
+            let g = b.input("g", 1);
+            let h = b.input("h", 1);
+            let s = b.wire("s", 8);
+            let q = b.wire("q", 8);
+            let en = b.wire("en", 1);
+            b.cell("en_or", CellKind::Or, &[g, h], en).unwrap();
+            let add = b.cell("add", CellKind::Add, &[x, y], s).unwrap();
+            b.cell("r", CellKind::Reg { has_enable: true }, &[s, en], q)
+                .unwrap();
+            b.mark_output(q);
+            (b.build().unwrap(), add, g, h)
+        };
+        let (orig, ..) = build();
+        let (mut iso, add, g, h) = build();
+        let act = BoolExpr::or2(
+            BoolExpr::var(Signal::bit0(g)),
+            BoolExpr::var(Signal::bit0(h)),
+        );
+        let rec = isolate(&mut iso, add, &act, IsolationStyle::BddSynth).unwrap();
+        iso.validate().unwrap();
+        assert_eq!(rec.style, IsolationStyle::BddSynth);
+        // The activation logic is mux cells, not the boolex gate tree.
+        assert!(
+            iso.cells().any(|(_, c)| c.kind() == CellKind::Mux
+                && c.name().starts_with("iso_add_act")),
+            "expected mux-tree activation logic"
+        );
+        // Banks are plain AND gates.
+        for &bc in &rec.bank_cells {
+            assert_eq!(iso.cell(bc).kind(), CellKind::And);
+        }
+        // And the architected output is untouched by the transform.
+        let plan = StimulusPlan::new(11)
+            .drive("x", StimulusSpec::UniformRandom)
+            .drive("y", StimulusSpec::UniformRandom)
+            .drive("g", StimulusSpec::MarkovBits { p_one: 0.3, toggle_rate: 0.4 })
+            .drive("h", StimulusSpec::MarkovBits { p_one: 0.2, toggle_rate: 0.3 });
+        let r0 = Testbench::from_plan(&orig, &plan).unwrap().run(2000).unwrap();
+        let r1 = Testbench::from_plan(&iso, &plan).unwrap().run(2000).unwrap();
+        let q0 = orig.find_net("q").unwrap();
+        let q1 = iso.find_net("q").unwrap();
+        assert_eq!(r0.toggle_count(q0), r1.toggle_count(q1));
+        for bit in 0..8 {
+            assert_eq!(r0.static_prob(q0, bit), r1.static_prob(q1, bit));
+        }
     }
 }

@@ -466,6 +466,7 @@ impl ApiRequest {
                 node_budget: self.budget,
                 assumption: None,
                 deadline: deadline_at,
+                ..CheckConfig::default()
             },
             ..VerifyConfig::default()
         };
@@ -980,6 +981,7 @@ pub fn style_name(style: IsolationStyle) -> &'static str {
         IsolationStyle::And => "and",
         IsolationStyle::Or => "or",
         IsolationStyle::Latch => "latch",
+        IsolationStyle::BddSynth => "bdd",
     }
 }
 
@@ -993,8 +995,9 @@ fn parse_style(raw: &str) -> Result<IsolationStyle, ApiError> {
         "and" => Ok(IsolationStyle::And),
         "or" => Ok(IsolationStyle::Or),
         "latch" => Ok(IsolationStyle::Latch),
+        "bdd" => Ok(IsolationStyle::BddSynth),
         other => Err(ApiError::bad_field(format!(
-            "\"style\" must be and|or|latch, got {other:?}"
+            "\"style\" must be and|or|latch|bdd, got {other:?}"
         ))),
     }
 }

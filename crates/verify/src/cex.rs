@@ -7,7 +7,7 @@
 //! [`VectorAssignment`] for concrete replay on either netlist.
 
 use crate::symb::{VarKind, VarTable};
-use oiso_boolex::{Bdd, BddRef};
+use oiso_bdd::{Bdd, BddRef};
 use oiso_sim::replay::VectorAssignment;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -88,6 +88,10 @@ pub(crate) fn extract(
         let word = match entry.kind {
             VarKind::Input => inputs.entry(entry.name.clone()).or_default(),
             VarKind::State => states.entry(entry.name.clone()).or_default(),
+            // Cut variables never reach extraction: abstract-check
+            // disagreements are re-proved concretely before a witness is
+            // reported. Skip defensively rather than fabricate an input.
+            VarKind::Cut => continue,
         };
         if value {
             *word |= 1 << entry.bit;

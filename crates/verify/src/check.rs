@@ -24,10 +24,20 @@
 //! signals. This is the `f_c → (out ≡ out')` obligation of the paper
 //! verbatim: with `assumption = f_c` the checker tolerates transforms
 //! that corrupt outputs while the activation is low.
+//!
+//! The check runs in two phases. First an *arithmetic cut-point* phase
+//! ([`CheckConfig::arithmetic_cuts`]) abstracts every arithmetic cell the
+//! two netlists share by name into free output variables guarded by an
+//! operand-equality condition — the exact shape an isolation step
+//! produces, provable without ever constructing a multiplier's
+//! exponential function. Only when that phase is inconclusive does the
+//! checker fall back to the monolithic miter over the real functions
+//! (which alone can produce counterexamples or exhaust the budget).
 
 use crate::cex::{extract, Counterexample};
-use crate::symb::{build_symbolic_bounded, SymbolicNetlist, VarTable};
-use oiso_boolex::{Bdd, BddRef, BoolExpr};
+use crate::symb::{build_symbolic_bounded, build_symbolic_with_cuts, SymbolicNetlist, VarTable};
+use oiso_bdd::{Bdd, BddOp, BddRef, NodeBudget, ReorderPolicy};
+use oiso_boolex::BoolExpr;
 use oiso_netlist::{Cell, CellKind, Netlist};
 use std::time::Instant;
 
@@ -48,6 +58,33 @@ pub struct CheckConfig {
     /// degradation path as node exhaustion, so a run budget never turns a
     /// slow symbolic proof into a hang.
     pub deadline: Option<Instant>,
+    /// Optional **shared** allocation budget for a whole run: when set,
+    /// this check's allocations (including parallel-apply workers) are
+    /// debited against it instead of a fresh per-check counter, so a
+    /// plan- or fleet-level ceiling is spent once rather than per call.
+    /// `node_budget` still bounds this single check's manager.
+    pub shared_budget: Option<NodeBudget>,
+    /// Worker threads for the batched miter apply; results are
+    /// bit-identical for any value (1 = same path, serially).
+    pub threads: usize,
+    /// Auto-sifting threshold in allocated nodes (`None` disables):
+    /// above it the manager reorders itself, then again at each table
+    /// doubling. Reorders preserve every outstanding function handle.
+    /// Off by default: the cones that blow the budget here are
+    /// multiplier miters, which are exponential in *every* order, so
+    /// sifting them is measured pure overhead (`verifybench` runs with
+    /// it on to keep the path exercised and its counters tracked).
+    pub reorder_threshold: Option<usize>,
+    /// Tries an *arithmetic cut-point* proof before the monolithic miter
+    /// (default true). The pre/post netlists of an isolation step share
+    /// every arithmetic cell by instance name, so each matched pair is
+    /// modeled as one free output vector guarded by an operand-equality
+    /// condition (see [`build_symbolic_with_cuts`]) — the checker proves
+    /// the shallow logic *around* a multiplier without ever building its
+    /// exponential function. Sound for `Equivalent`; any non-FALSE
+    /// abstract miter silently falls back to the concrete check, which
+    /// alone may report counterexamples or exhaust the budget.
+    pub arithmetic_cuts: bool,
 }
 
 impl Default for CheckConfig {
@@ -56,8 +93,24 @@ impl Default for CheckConfig {
             node_budget: 200_000,
             assumption: None,
             deadline: None,
+            shared_budget: None,
+            threads: 1,
+            reorder_threshold: None,
+            arithmetic_cuts: true,
         }
     }
+}
+
+/// Engine counters from one equivalence check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Sifting passes the manager ran (auto-triggered).
+    pub reordered: usize,
+    /// High-water mark of allocated nodes over the whole check.
+    pub peak_nodes: usize,
+    /// Nodes still reachable from the checker's protected roots at the
+    /// end (the "peak live" size sifting minimizes).
+    pub live_nodes: usize,
 }
 
 /// Outcome of [`check_equivalence`].
@@ -160,36 +213,107 @@ fn next_state_bits(
 /// beyond a wrong activation function, not a property this checker reports
 /// with a vector.
 pub fn check_equivalence(original: &Netlist, transformed: &Netlist, config: &CheckConfig) -> Verdict {
-    let table = VarTable::for_pair(original, transformed);
-    let mut bdd = Bdd::with_order(table.order());
-    let sym_o = match build_symbolic_bounded(&mut bdd, &table, original, config.node_budget, config.deadline) {
-        Ok(s) => s,
-        Err(e) => return Verdict::BudgetExceeded { nodes: e.nodes },
-    };
-    let sym_t = match build_symbolic_bounded(&mut bdd, &table, transformed, config.node_budget, config.deadline) {
-        Ok(s) => s,
-        Err(e) => return Verdict::BudgetExceeded { nodes: e.nodes },
-    };
-    let assume = match &config.assumption {
-        Some(expr) => expr_to_bdd(&mut bdd, &sym_o, expr),
-        None => BddRef::TRUE,
-    };
+    check_equivalence_with_stats(original, transformed, config).0
+}
 
+/// [`check_equivalence`] plus the engine counters ([`CheckStats`]) the
+/// run produced — reorder count and peak allocated/live node sizes.
+pub fn check_equivalence_with_stats(
+    original: &Netlist,
+    transformed: &Netlist,
+    config: &CheckConfig,
+) -> (Verdict, CheckStats) {
+    let mut stats = CheckStats::default();
+    let has_arithmetic = original
+        .cells()
+        .any(|(_, cell)| cell.kind().is_arithmetic());
+    if config.arithmetic_cuts && has_arithmetic {
+        let mut table = VarTable::for_pair_with_cuts(original, transformed);
+        let mut bdd = new_manager(&table, config);
+        let verdict = run_abstract_check(&mut bdd, &mut table, original, transformed, config);
+        stats.reordered += bdd.reorder_count();
+        stats.peak_nodes = stats.peak_nodes.max(bdd.peak_nodes());
+        stats.live_nodes = bdd.live_nodes();
+        if let Some(v) = verdict {
+            return (v, stats);
+        }
+    }
+    let table = VarTable::for_pair(original, transformed);
+    let mut bdd = new_manager(&table, config);
+    let verdict = run_check(&mut bdd, &table, original, transformed, config);
+    stats.reordered += bdd.reorder_count();
+    stats.peak_nodes = stats.peak_nodes.max(bdd.peak_nodes());
+    stats.live_nodes = bdd.live_nodes();
+    (verdict, stats)
+}
+
+/// A manager over `table`'s order with the config's budget and reorder
+/// policy applied. A `shared_budget` handle is passed through (so every
+/// phase of every check of a run debits one allowance); otherwise each
+/// manager gets a fresh per-check budget.
+fn new_manager(table: &VarTable, config: &CheckConfig) -> Bdd {
+    let mut bdd = Bdd::with_order(table.order());
+    let budget = config
+        .shared_budget
+        .clone()
+        .unwrap_or_else(|| NodeBudget::new(config.node_budget));
+    bdd.set_budget(budget);
+    if let Some(threshold) = config.reorder_threshold {
+        bdd.set_reorder_policy(ReorderPolicy::Auto(threshold));
+    }
+    bdd
+}
+
+/// Outcome of comparing every observable bit of a pair of symbolic builds.
+enum Compared {
+    /// All miters FALSE.
+    Equivalent { observables: usize },
+    /// Node budget or deadline exhausted mid-comparison.
+    Budget { nodes: usize },
+    /// First non-FALSE miter, with its observable's label. Whether this is
+    /// a real disagreement or an abstraction artifact is the caller's
+    /// business.
+    Diff { miter: BddRef, label: String },
+}
+
+/// Compares every primary-output bit and every next-state bit of the pair,
+/// in deterministic order. `assume` is conjoined into each miter.
+#[allow(clippy::too_many_arguments)] // both netlists and both symbolic builds
+fn compare_observables(
+    bdd: &mut Bdd,
+    table: &VarTable,
+    original: &Netlist,
+    transformed: &Netlist,
+    sym_o: &SymbolicNetlist,
+    sym_t: &SymbolicNetlist,
+    assume: BddRef,
+    config: &CheckConfig,
+) -> Compared {
     let mut observables = 0usize;
     let mut check_bits =
-        |bdd: &mut Bdd, o: &[BddRef], t: &[BddRef], label: &str| -> Option<Verdict> {
-            for (b, (&ob, &tb)) in o.iter().zip(t).enumerate() {
-                let diff = bdd.xor(ob, tb);
+        |bdd: &mut Bdd, o: &[BddRef], t: &[BddRef], label: &str| -> Option<Compared> {
+            // The per-bit difference functions are independent: fan them
+            // out as one deterministic parallel-apply batch, then conjoin
+            // with the assumption and test serially in bit order (so the
+            // first failing bit — and its witness — is thread-invariant).
+            let jobs: Vec<(BddOp, BddRef, BddRef)> = o
+                .iter()
+                .zip(t)
+                .map(|(&ob, &tb)| (BddOp::Xor, ob, tb))
+                .collect();
+            let diffs = bdd.apply_batch(config.threads, &jobs);
+            for (b, &diff) in diffs.iter().enumerate() {
                 let miter = bdd.and(assume, diff);
                 if miter != BddRef::FALSE {
-                    let cex = extract(bdd, &table, miter, &format!("{label}[{b}]"))
-                        .expect("non-FALSE miter must have a satisfying path");
-                    return Some(Verdict::NotEquivalent(cex));
+                    return Some(Compared::Diff {
+                        miter,
+                        label: format!("{label}[{b}]"),
+                    });
                 }
                 observables += 1;
                 let late = config.deadline.is_some_and(|d| Instant::now() >= d);
-                if bdd.num_nodes() > config.node_budget || late {
-                    return Some(Verdict::BudgetExceeded {
+                if bdd.num_nodes() > config.node_budget || bdd.budget_exceeded() || late {
+                    return Some(Compared::Budget {
                         nodes: bdd.num_nodes(),
                     });
                 }
@@ -204,7 +328,7 @@ pub fn check_equivalence(original: &Netlist, transformed: &Netlist, config: &Che
             .unwrap_or_else(|| panic!("primary output `{name}` missing from transformed netlist"));
         let o_bits = sym_o.net_bits(po).to_vec();
         let t_bits = sym_t.net_bits(other).to_vec();
-        if let Some(v) = check_bits(&mut bdd, &o_bits, &t_bits, name) {
+        if let Some(v) = check_bits(bdd, &o_bits, &t_bits, name) {
             return v;
         }
     }
@@ -222,13 +346,107 @@ pub fn check_equivalence(original: &Netlist, transformed: &Netlist, config: &Che
             .map(|cid| transformed.cell(cid))
             .filter(|c| c.kind().is_stateful())
             .unwrap_or_else(|| panic!("net `{name}` lost its stateful driver in the transform"));
-        let o_bits = next_state_bits(&mut bdd, &table, &sym_o, original, cell);
-        let t_bits = next_state_bits(&mut bdd, &table, &sym_t, transformed, other_cell);
-        if let Some(v) = check_bits(&mut bdd, &o_bits, &t_bits, &format!("{name}'")) {
+        let o_bits = next_state_bits(bdd, table, sym_o, original, cell);
+        let t_bits = next_state_bits(bdd, table, sym_t, transformed, other_cell);
+        if let Some(v) = check_bits(bdd, &o_bits, &t_bits, &format!("{name}'")) {
             return v;
         }
     }
-    Verdict::Equivalent { observables }
+    Compared::Equivalent { observables }
+}
+
+/// The cut-point phase: proves equivalence over the arithmetic-cut
+/// abstraction, or returns `None` to fall back to the concrete check.
+/// `None` covers every inconclusive outcome — a non-FALSE abstract miter
+/// (possibly an artifact, never reported as a counterexample), budget or
+/// deadline exhaustion, and the degenerate no-cuts build.
+fn run_abstract_check(
+    bdd: &mut Bdd,
+    table: &mut VarTable,
+    original: &Netlist,
+    transformed: &Netlist,
+    config: &CheckConfig,
+) -> Option<Verdict> {
+    let (sym_o, cuts) = build_symbolic_with_cuts(
+        bdd,
+        table,
+        original,
+        config.node_budget,
+        config.deadline,
+        None,
+    )
+    .ok()?;
+    if cuts.is_empty() {
+        return None;
+    }
+    let (sym_t, _) = build_symbolic_with_cuts(
+        bdd,
+        table,
+        transformed,
+        config.node_budget,
+        config.deadline,
+        Some(&cuts),
+    )
+    .ok()?;
+    let assume = match &config.assumption {
+        Some(expr) => expr_to_bdd(bdd, &sym_o, expr),
+        None => BddRef::TRUE,
+    };
+    bdd.protect(assume);
+    match compare_observables(
+        bdd,
+        table,
+        original,
+        transformed,
+        &sym_o,
+        &sym_t,
+        assume,
+        config,
+    ) {
+        Compared::Equivalent { observables } => Some(Verdict::Equivalent { observables }),
+        Compared::Budget { .. } | Compared::Diff { .. } => None,
+    }
+}
+
+/// The concrete phase: the monolithic miter over the real cell functions.
+fn run_check(
+    bdd: &mut Bdd,
+    table: &VarTable,
+    original: &Netlist,
+    transformed: &Netlist,
+    config: &CheckConfig,
+) -> Verdict {
+    let sym_o = match build_symbolic_bounded(bdd, table, original, config.node_budget, config.deadline) {
+        Ok(s) => s,
+        Err(e) => return Verdict::BudgetExceeded { nodes: e.nodes },
+    };
+    let sym_t = match build_symbolic_bounded(bdd, table, transformed, config.node_budget, config.deadline) {
+        Ok(s) => s,
+        Err(e) => return Verdict::BudgetExceeded { nodes: e.nodes },
+    };
+    let assume = match &config.assumption {
+        Some(expr) => expr_to_bdd(bdd, &sym_o, expr),
+        None => BddRef::TRUE,
+    };
+    bdd.protect(assume);
+    match compare_observables(
+        bdd,
+        table,
+        original,
+        transformed,
+        &sym_o,
+        &sym_t,
+        assume,
+        config,
+    ) {
+        Compared::Equivalent { observables } => Verdict::Equivalent { observables },
+        Compared::Budget { nodes } => Verdict::BudgetExceeded { nodes },
+        Compared::Diff { miter, label } => {
+            let cex = extract(bdd, table, miter, &label)
+                .expect("non-FALSE miter must have a satisfying path");
+            Verdict::NotEquivalent(cex)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -339,12 +557,73 @@ mod tests {
         let n = b.build().unwrap();
         let config = CheckConfig {
             node_budget: 2_000,
+            arithmetic_cuts: false,
             ..CheckConfig::default()
         };
         assert!(matches!(
             check_equivalence(&n, &n, &config),
             Verdict::BudgetExceeded { .. }
         ));
+    }
+
+    #[test]
+    fn arithmetic_cuts_prove_wide_multipliers_within_budget() {
+        // Same pair and node budget as `budget_exhaustion_is_reported`:
+        // with the cut phase on (the default), the matched multiplier is
+        // never built and the proof fits in a tiny table.
+        let mut b = NetlistBuilder::new("wide");
+        let x = b.input("x", 14);
+        let y = b.input("y", 14);
+        let p = b.wire("p", 14);
+        b.cell("mul", CellKind::Mul, &[x, y], p).unwrap();
+        b.mark_output(p);
+        let n = b.build().unwrap();
+        let config = CheckConfig {
+            node_budget: 2_000,
+            ..CheckConfig::default()
+        };
+        let v = check_equivalence(&n, &n, &config);
+        assert!(matches!(v, Verdict::Equivalent { observables: 14 }), "got {v:?}");
+    }
+
+    #[test]
+    fn cut_proof_covers_masked_multiplier_isolation() {
+        // A 16-bit multiplier behind an act-enabled register: monolithic
+        // miters are exponential here, but the cut abstraction proves the
+        // isolation from `act → operands equal` alone.
+        let build = |masked: bool| {
+            let mut b = NetlistBuilder::new("mi");
+            let x = b.input("x", 16);
+            let y = b.input("y", 16);
+            let g = b.input("g", 1);
+            let p = b.wire("p", 16);
+            let q = b.wire("q", 16);
+            let (mx, my) = if masked {
+                let gm = b.wire("gm", 16);
+                let xm = b.wire("xm", 16);
+                let ym = b.wire("ym", 16);
+                let rep: Vec<NetId> = (0..16).map(|_| g).collect();
+                b.cell("rep", CellKind::Concat, &rep, gm).unwrap();
+                b.cell("mx", CellKind::And, &[x, gm], xm).unwrap();
+                b.cell("my", CellKind::And, &[y, gm], ym).unwrap();
+                (xm, ym)
+            } else {
+                (x, y)
+            };
+            b.cell("mul", CellKind::Mul, &[mx, my], p).unwrap();
+            b.cell("r", CellKind::Reg { has_enable: true }, &[p, g], q)
+                .unwrap();
+            b.mark_output(q);
+            b.build().unwrap()
+        };
+        let orig = build(false);
+        let iso = build(true);
+        let config = CheckConfig {
+            node_budget: 10_000,
+            ..CheckConfig::default()
+        };
+        let v = check_equivalence(&orig, &iso, &config);
+        assert!(v.is_equivalent(), "got {v:?}");
     }
 
     #[test]

@@ -37,8 +37,9 @@ use std::sync::Mutex;
 /// at every thread count.
 pub const FAULT_SITE_CASE: &str = "fuzz.case";
 
-/// Version tag of the fuzz journal format.
-const FUZZ_JOURNAL_VERSION: u64 = 1;
+/// Version tag of the fuzz journal format. v2 added the per-case
+/// `reordered` counter (BDD sifting passes).
+const FUZZ_JOURNAL_VERSION: u64 = 2;
 
 /// How (and whether) to corrupt activations before isolating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -128,6 +129,8 @@ pub struct CaseOutcome {
     pub bdd_proved: usize,
     /// Candidates validated by sampling only (BDD budget exceeded).
     pub sampled: usize,
+    /// BDD sifting passes triggered across the case's symbolic checks.
+    pub reordered: usize,
     /// Equivalence violations found.
     pub violations: Vec<Violation>,
     /// A structural transform failure, if one occurred (harness bug — the
@@ -266,6 +269,7 @@ pub fn run_case(config: &FuzzConfig, index: usize) -> CaseOutcome {
             // Past the run deadline, in-flight symbolic checks degrade to
             // differential sampling instead of delaying shutdown.
             deadline: config.budget.wall_deadline,
+            ..CheckConfig::default()
         },
         sample_vectors: config.sample_vectors,
         sample_seed: case_seed(config.seed, index) ^ 0xD1FF_5A3E,
@@ -274,6 +278,7 @@ pub fn run_case(config: &FuzzConfig, index: usize) -> CaseOutcome {
         Err(e) => outcome.transform_error = Some(e.to_string()),
         Ok((_, checks)) => {
             for check in checks {
+                outcome.reordered += check.stats.reordered;
                 match check.outcome {
                     VerifyOutcome::Verified(Proof::Bdd { .. }) => outcome.bdd_proved += 1,
                     VerifyOutcome::Verified(Proof::Sampled { .. }) => outcome.sampled += 1,
@@ -370,6 +375,7 @@ fn parse_case_line(raw: &str, line: usize) -> Result<CaseOutcome, CheckpointErro
         skipped: jint(&fields, "skipped", line)? as usize,
         bdd_proved: jint(&fields, "bdd_proved", line)? as usize,
         sampled: jint(&fields, "sampled", line)? as usize,
+        reordered: jint(&fields, "reordered", line)? as usize,
         violations: Vec::new(),
         transform_error: None,
         replayed: true,
@@ -469,8 +475,8 @@ impl FuzzJournal {
         let mut file = self.file.lock().expect("fuzz journal lock");
         writeln!(
             file,
-            "{{\"kind\":\"case\",\"index\":{},\"candidates\":{},\"skipped\":{},\"bdd_proved\":{},\"sampled\":{}}}",
-            c.case_index, c.candidates, c.skipped, c.bdd_proved, c.sampled
+            "{{\"kind\":\"case\",\"index\":{},\"candidates\":{},\"skipped\":{},\"bdd_proved\":{},\"sampled\":{},\"reordered\":{}}}",
+            c.case_index, c.candidates, c.skipped, c.bdd_proved, c.sampled, c.reordered
         )
         .map_err(io)?;
         file.flush().map_err(io)
@@ -512,6 +518,11 @@ impl FuzzReport {
     /// Candidates validated by sampling only.
     pub fn total_sampled(&self) -> usize {
         self.cases.iter().map(|c| c.sampled).sum()
+    }
+
+    /// BDD sifting passes triggered across all cases.
+    pub fn total_reordered(&self) -> usize {
+        self.cases.iter().map(|c| c.reordered).sum()
     }
 
     /// All violations, in case order.

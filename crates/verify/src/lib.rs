@@ -31,7 +31,7 @@ pub mod mutate;
 pub mod symb;
 
 pub use cex::Counterexample;
-pub use check::{check_equivalence, CheckConfig, Verdict};
+pub use check::{check_equivalence, check_equivalence_with_stats, CheckConfig, CheckStats, Verdict};
 pub use differential::{differential_sample, replay_counterexample, ReplayVerdict};
 pub use fuzz::{
     case_seed, fuzz_config_fingerprint, run_case, run_fuzz, CaseOutcome, FuzzConfig, FuzzError,
@@ -39,8 +39,8 @@ pub use fuzz::{
 };
 pub use mutate::mutate_netlist;
 pub use symb::{
-    build_symbolic, build_symbolic_bounded, BudgetExceeded, SymbolicNetlist, VarEntry, VarKind,
-    VarTable,
+    build_symbolic, build_symbolic_bounded, build_symbolic_with_cuts, BudgetExceeded, CutBuild,
+    SymbolicNetlist, VarEntry, VarKind, VarTable,
 };
 
 use oiso_boolex::BoolExpr;
@@ -122,7 +122,19 @@ impl VerifyOutcome {
 /// BDD check first, differential sampling as the budget fallback, concrete
 /// replay of any counterexample.
 pub fn verify(original: &Netlist, transformed: &Netlist, config: &VerifyConfig) -> VerifyOutcome {
-    match check_equivalence(original, transformed, &config.check) {
+    verify_with_stats(original, transformed, config).0
+}
+
+/// [`verify`] plus the symbolic engine's [`CheckStats`] — reorder count
+/// and peak allocated/live node sizes of the BDD phase (zeroed when the
+/// outcome never reached the symbolic checker).
+pub fn verify_with_stats(
+    original: &Netlist,
+    transformed: &Netlist,
+    config: &VerifyConfig,
+) -> (VerifyOutcome, CheckStats) {
+    let (verdict, stats) = check_equivalence_with_stats(original, transformed, &config.check);
+    let outcome = match verdict {
         Verdict::Equivalent { observables } => VerifyOutcome::Verified(Proof::Bdd { observables }),
         Verdict::NotEquivalent(counterexample) => {
             let replay = replay_counterexample(original, transformed, &counterexample);
@@ -150,7 +162,8 @@ pub fn verify(original: &Netlist, transformed: &Netlist, config: &VerifyConfig) 
                 }),
             }
         }
-    }
+    };
+    (outcome, stats)
 }
 
 /// True when isolating `candidate` under `activation` would close a
@@ -185,6 +198,9 @@ pub struct CandidateCheck {
     pub style: IsolationStyle,
     /// What the checker concluded for this step.
     pub outcome: VerifyOutcome,
+    /// Engine counters of this step's symbolic check (zeroed for skipped
+    /// steps, which never reach the checker).
+    pub stats: CheckStats,
 }
 
 /// Applies an isolation plan step by step, verifying each pre/post netlist
@@ -220,6 +236,7 @@ pub fn verify_isolation_plan(
                 outcome: VerifyOutcome::Skipped {
                     reason: "activation is constant TRUE (isolation is vacuous)".into(),
                 },
+                stats: CheckStats::default(),
             });
             continue;
         }
@@ -230,17 +247,19 @@ pub fn verify_isolation_plan(
                 outcome: VerifyOutcome::Skipped {
                     reason: "activation reads the candidate's own fanout cone".into(),
                 },
+                stats: CheckStats::default(),
             });
             continue;
         }
         let before = work.clone();
         let record = isolate_with_cache(&mut work, *cid, activation, *style, &mut cache)?;
         debug_assert_eq!(&record.activation, activation);
-        let outcome = verify(&before, &work, config);
+        let (outcome, stats) = verify_with_stats(&before, &work, config);
         checks.push(CandidateCheck {
             candidate,
             style: *style,
             outcome,
+            stats,
         });
     }
     Ok((work, checks))
@@ -375,7 +394,10 @@ mod tests {
     #[test]
     fn budget_fallback_samples_instead_of_hanging() {
         // 16-bit multiplier into an enabled register: far past any sane
-        // node budget, so verification degrades to seeded sampling.
+        // node budget, so verification degrades to seeded sampling. The
+        // cut-point phase proves this exact shape outright (see
+        // `check::tests::cut_proof_covers_masked_multiplier_isolation`),
+        // so it is pinned off here to keep the fallback path covered.
         let mut b = NetlistBuilder::new("wide");
         let x = b.input("x", 16);
         let y = b.input("y", 16);
@@ -391,6 +413,7 @@ mod tests {
         let config = VerifyConfig {
             check: CheckConfig {
                 node_budget: 10_000,
+                arithmetic_cuts: false,
                 ..CheckConfig::default()
             },
             ..VerifyConfig::default()

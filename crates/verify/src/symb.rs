@@ -17,7 +17,8 @@
 //! between the symbolic and the concrete interpreter would make the
 //! differential replay backend disagree with the BDD verdict.
 
-use oiso_boolex::{Bdd, BddRef, Signal};
+use oiso_bdd::{Bdd, BddRef};
+use oiso_boolex::Signal;
 use oiso_netlist::{comb_topo_order, CellKind, NetId, Netlist};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -31,6 +32,11 @@ pub enum VarKind {
     /// netlists reset to 0 and the checker proves next states equal, so an
     /// arbitrary shared current state is the induction hypothesis).
     State,
+    /// One output bit of an abstracted arithmetic cell (a *cut point*,
+    /// see [`build_symbolic_with_cuts`]): a free variable standing for
+    /// whatever the cell computes. Never part of a counterexample — the
+    /// checker re-runs concretely before extracting witnesses.
+    Cut,
 }
 
 /// One interned BDD variable.
@@ -56,6 +62,21 @@ impl VarTable {
     /// source bit of both netlists in the interleaved order (see module
     /// docs). Sources present in both (by name) share one variable.
     pub fn for_pair(a: &Netlist, b: &Netlist) -> VarTable {
+        Self::build(a, b, false)
+    }
+
+    /// [`VarTable::for_pair`] plus pre-interned cut variables for every
+    /// arithmetic cell of either side, placed *inside* the interleaved
+    /// order rather than appended below it. A cut output bit then sits
+    /// next to the input/state bits of the same significance — the
+    /// operand-equality and `ite(eq, v, v')` structures the abstraction
+    /// builds (see [`build_symbolic_with_cuts`]) stay linear instead of
+    /// fanning every path through variables stranded at the bottom.
+    pub fn for_pair_with_cuts(a: &Netlist, b: &Netlist) -> VarTable {
+        Self::build(a, b, true)
+    }
+
+    fn build(a: &Netlist, b: &Netlist, cuts: bool) -> VarTable {
         let mut sources: Vec<(VarKind, String, u8)> = Vec::new();
         let mut seen: HashMap<String, ()> = HashMap::new();
         for nl in [a, b] {
@@ -72,6 +93,20 @@ impl VarTable {
                 let net = nl.net(cell.output());
                 if seen.insert(net.name().to_string(), ()).is_none() {
                     sources.push((VarKind::State, net.name().to_string(), net.width()));
+                }
+            }
+        }
+        if cuts {
+            for (nl, side) in [(a, ""), (b, "'")] {
+                for (_, cell) in nl.cells() {
+                    if !cell.kind().is_arithmetic() {
+                        continue;
+                    }
+                    let name = format!("#cut:{}{side}", cell.name());
+                    if seen.insert(name.clone(), ()).is_none() {
+                        let w = nl.net(cell.output()).width();
+                        sources.push((VarKind::Cut, name, w));
+                    }
                 }
             }
         }
@@ -99,6 +134,14 @@ impl VarTable {
         });
         self.index.insert((name.to_string(), bit), i);
         Signal::bit0(NetId::from_index(i))
+    }
+
+    /// Interns a fresh cut variable for bit `bit` of the abstracted cell
+    /// `cell` (the `side` suffix distinguishes the transformed netlist's
+    /// fresh copies). The `#cut:` prefix cannot collide with net names,
+    /// which the text format restricts to identifier characters.
+    pub fn intern_cut(&mut self, cell: &str, side: &str, bit: u8) -> Signal {
+        self.intern(VarKind::Cut, &format!("#cut:{cell}{side}"), bit)
     }
 
     /// The synthetic signal of `(name, bit)`, if interned.
@@ -139,7 +182,9 @@ pub struct BudgetExceeded {
 /// the wall deadline has passed. Checked cooperatively — per combinational
 /// cell and per multiplier partial-product row.
 fn bound_hit(bdd: &Bdd, node_budget: usize, deadline: Option<Instant>) -> bool {
-    bdd.num_nodes() > node_budget || deadline.is_some_and(|d| Instant::now() >= d)
+    bdd.num_nodes() > node_budget
+        || bdd.budget_exceeded()
+        || deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// Per-net-bit BDDs of one netlist's settled (post-`settle()`) values.
@@ -233,6 +278,12 @@ pub fn build_symbolic_bounded(
             eval_symbolic(bdd, cell.kind(), &ins, out_net.width(), node_budget, deadline)?
         };
         bits[cell.output().index()] = out;
+        // Register settled outputs as live roots: sifting's size metric
+        // (and `live_nodes` reporting) must count every function the
+        // checker still holds a handle to.
+        for &bit in &bits[cell.output().index()] {
+            bdd.protect(bit);
+        }
         if bound_hit(bdd, node_budget, deadline) {
             return Err(BudgetExceeded {
                 nodes: bdd.num_nodes(),
@@ -240,6 +291,199 @@ pub fn build_symbolic_bounded(
         }
     }
     Ok(SymbolicNetlist { bits })
+}
+
+/// One abstracted arithmetic cell: its kind, the settled functions of its
+/// operand inputs (per port, per bit), and the free variables standing
+/// for its output bits.
+#[derive(Debug, Clone)]
+struct CutCell {
+    kind: CellKind,
+    operands: Vec<Vec<BddRef>>,
+    outputs: Vec<BddRef>,
+}
+
+/// The cut points minted while symbolically interpreting one netlist with
+/// [`build_symbolic_with_cuts`], keyed by cell instance name.
+///
+/// Passed back in as the `baseline` when building the *other* netlist of
+/// an equivalence pair: a cell matched by name, kind, and port shape is
+/// then modeled as `ite(operands-equal, baseline-vars, fresh-vars)`
+/// instead of its concrete function — functional consistency without ever
+/// constructing the (for multipliers, exponential) function itself.
+#[derive(Debug, Default)]
+pub struct CutBuild {
+    cells: HashMap<String, CutCell>,
+}
+
+impl CutBuild {
+    /// Number of cut cells minted.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cell was abstracted (the build degenerated to
+    /// [`build_symbolic_bounded`]).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// [`build_symbolic_bounded`] with *arithmetic cut points*: every
+/// arithmetic cell ([`CellKind::is_arithmetic`]) is abstracted instead of
+/// evaluated.
+///
+/// With `baseline = None` (the original netlist of a pair), each
+/// arithmetic cell's output bits become fresh free variables, and the
+/// settled functions of its operands are recorded in the returned
+/// [`CutBuild`]. With `baseline = Some` (the transformed netlist), a cell
+/// whose name, kind, and port shape match a recorded cut is modeled as
+/// `ite(eq, v, v')` per bit — `eq` conjoining bitwise equality of the two
+/// sides' operand functions, `v` the baseline's variables, `v'` fresh
+/// ones. Unmatched arithmetic cells are evaluated concretely.
+///
+/// The abstraction is *sound for equivalence*: any pair of concrete
+/// functions is an instance of it (equal operands force equal outputs;
+/// nothing else is assumed), so a FALSE miter over the abstraction is
+/// FALSE for the real netlists. It is incomplete — a non-FALSE miter may
+/// be an abstraction artifact, so callers must fall back to the concrete
+/// check rather than report a counterexample.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] on node or deadline exhaustion, exactly
+/// like [`build_symbolic_bounded`].
+pub fn build_symbolic_with_cuts(
+    bdd: &mut Bdd,
+    table: &mut VarTable,
+    netlist: &Netlist,
+    node_budget: usize,
+    deadline: Option<Instant>,
+    baseline: Option<&CutBuild>,
+) -> Result<(SymbolicNetlist, CutBuild), BudgetExceeded> {
+    let mut bits: Vec<Vec<BddRef>> = vec![Vec::new(); netlist.num_nets()];
+    let mut cuts = CutBuild::default();
+    let side = if baseline.is_some() { "'" } else { "" };
+    for (nid, net) in netlist.nets() {
+        if net.is_primary_input() {
+            bits[nid.index()] = (0..net.width())
+                .map(|b| {
+                    let sig = table
+                        .signal(net.name(), b)
+                        .expect("source bit missing from var table");
+                    bdd.literal(sig)
+                })
+                .collect();
+        }
+    }
+    for (_, cell) in netlist.cells() {
+        if cell.kind().is_register() {
+            let net = netlist.net(cell.output());
+            bits[cell.output().index()] = (0..net.width())
+                .map(|b| {
+                    let sig = table
+                        .signal(net.name(), b)
+                        .expect("state bit missing from var table");
+                    bdd.literal(sig)
+                })
+                .collect();
+        }
+    }
+    for cid in comb_topo_order(netlist) {
+        let cell = netlist.cell(cid);
+        let out_net = netlist.net(cell.output());
+        let w = out_net.width();
+        let ins: Vec<Vec<BddRef>> = cell
+            .inputs()
+            .iter()
+            .map(|&n| bits[n.index()].clone())
+            .collect();
+        let out = if cell.kind() == CellKind::Latch {
+            let state: Vec<BddRef> = (0..w)
+                .map(|b| {
+                    let sig = table
+                        .signal(out_net.name(), b)
+                        .expect("state bit missing from var table");
+                    bdd.literal(sig)
+                })
+                .collect();
+            let en = ins[1][0];
+            (0..w as usize)
+                .map(|i| bdd.ite(en, ins[0][i], state[i]))
+                .collect()
+        } else if cell.kind().is_arithmetic() {
+            match baseline.and_then(|b| b.cells.get(cell.name())) {
+                // Matched cut: functional consistency with the baseline.
+                Some(base)
+                    if base.kind == cell.kind()
+                        && base.outputs.len() == w as usize
+                        && base.operands.len() == ins.len()
+                        && base
+                            .operands
+                            .iter()
+                            .zip(&ins)
+                            .all(|(a, b)| a.len() == b.len()) =>
+                {
+                    let mut eq = BddRef::TRUE;
+                    for (base_in, this_in) in base.operands.iter().zip(&ins) {
+                        for (&a, &b) in base_in.iter().zip(this_in) {
+                            let x = bdd.xor(a, b);
+                            let same = bdd.not(x);
+                            eq = bdd.and(eq, same);
+                        }
+                    }
+                    if eq == BddRef::TRUE {
+                        base.outputs.clone()
+                    } else {
+                        (0..w)
+                            .map(|b| {
+                                let sig = table.intern_cut(cell.name(), side, b);
+                                let fresh = bdd.literal(sig);
+                                bdd.ite(eq, base.outputs[b as usize], fresh)
+                            })
+                            .collect()
+                    }
+                }
+                // Unmatched on the baseline side (or shape mismatch):
+                // evaluate concretely — abstracting without a counterpart
+                // to stay consistent with would gain nothing.
+                Some(_) => eval_symbolic(bdd, cell.kind(), &ins, w, node_budget, deadline)?,
+                None if baseline.is_some() => {
+                    eval_symbolic(bdd, cell.kind(), &ins, w, node_budget, deadline)?
+                }
+                // Baseline side: mint the cut.
+                None => {
+                    let vars: Vec<BddRef> = (0..w)
+                        .map(|b| {
+                            let sig = table.intern_cut(cell.name(), side, b);
+                            bdd.literal(sig)
+                        })
+                        .collect();
+                    cuts.cells.insert(
+                        cell.name().to_string(),
+                        CutCell {
+                            kind: cell.kind(),
+                            operands: ins.clone(),
+                            outputs: vars.clone(),
+                        },
+                    );
+                    vars
+                }
+            }
+        } else {
+            eval_symbolic(bdd, cell.kind(), &ins, w, node_budget, deadline)?
+        };
+        bits[cell.output().index()] = out;
+        for &bit in &bits[cell.output().index()] {
+            bdd.protect(bit);
+        }
+        if bound_hit(bdd, node_budget, deadline) {
+            return Err(BudgetExceeded {
+                nodes: bdd.num_nodes(),
+            });
+        }
+    }
+    Ok((SymbolicNetlist { bits }, cuts))
 }
 
 /// `a + b + carry_in`, ripple-carry, truncated to `a.len()` bits.

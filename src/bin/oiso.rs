@@ -240,9 +240,10 @@ fn parse_options() -> Result<Options, String> {
                     Some("and") => IsolationStyle::And,
                     Some("or") => IsolationStyle::Or,
                     Some("latch") => IsolationStyle::Latch,
+                    Some("bdd") => IsolationStyle::BddSynth,
                     other => {
                         return Err(format!(
-                            "--style needs and|or|latch, got {other:?}"
+                            "--style needs and|or|latch|bdd, got {other:?}"
                         ))
                     }
                 };
@@ -715,22 +716,33 @@ fn run() -> Result<(), String> {
                     node_budget: opts.budget,
                     assumption: None,
                     deadline: opts.deadline.map(|d| Instant::now() + d),
+                    ..CheckConfig::default()
                 },
                 ..VerifyConfig::default()
             };
             let (_, checks) =
                 verify_isolation_plan(netlist, &plan, &config).map_err(|e| e.to_string())?;
             let mut violations = 0usize;
+            let mut proved = 0usize;
+            let mut sampled = 0usize;
+            let mut reordered = 0usize;
             for check in &checks {
+                reordered += check.stats.reordered;
                 match &check.outcome {
-                    VerifyOutcome::Verified(Proof::Bdd { observables }) => println!(
-                        "  {}: proved equivalent ({observables} observable bits)",
-                        check.candidate
-                    ),
-                    VerifyOutcome::Verified(Proof::Sampled { vectors }) => println!(
-                        "  {}: BDD budget exceeded; {vectors} random vectors agree",
-                        check.candidate
-                    ),
+                    VerifyOutcome::Verified(Proof::Bdd { observables }) => {
+                        proved += 1;
+                        println!(
+                            "  {}: proved equivalent ({observables} observable bits)",
+                            check.candidate
+                        );
+                    }
+                    VerifyOutcome::Verified(Proof::Sampled { vectors }) => {
+                        sampled += 1;
+                        println!(
+                            "  {}: BDD budget exceeded; {vectors} random vectors agree",
+                            check.candidate
+                        );
+                    }
                     VerifyOutcome::Skipped { reason } => {
                         println!("  {}: skipped ({reason})", check.candidate)
                     }
@@ -751,6 +763,7 @@ fn run() -> Result<(), String> {
             if violations > 0 {
                 return Err(format!("{violations} equivalence violation(s) found"));
             }
+            println!("  {proved} proved, {sampled} sampled, {reordered} reorder(s)");
             println!("all candidates verified");
         }
         other => return Err(format!("unknown command `{other}` ({USAGE})")),
@@ -1067,11 +1080,12 @@ fn fuzz_command(opts: &Options) -> Result<(), String> {
         println!("  {} case(s) replayed from checkpoint", report.replayed);
     }
     println!(
-        "  {} candidate(s): {} proved, {} sampled, {} skipped",
+        "  {} candidate(s): {} proved, {} sampled, {} skipped, {} reorder(s)",
         report.total_candidates(),
         report.total_bdd_proved(),
         report.total_sampled(),
-        report.total_skipped()
+        report.total_skipped(),
+        report.total_reordered()
     );
     if report.truncated {
         println!(

@@ -134,9 +134,27 @@ fn verify_proves_the_gated_alu() {
 }
 
 #[test]
-fn verify_falls_back_to_sampling_over_budget() {
-    // cmac's 16-bit multiplier blows the default BDD budget.
+fn verify_proves_cmac_outright_via_arithmetic_cuts() {
+    // cmac's 16-bit multiplier used to blow the default BDD budget and
+    // fall back to sampling; the arithmetic cut-point abstraction now
+    // proves both candidates outright.
     let out = oiso().arg("verify").arg(example()).output().expect("run");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("proved equivalent"), "{text}");
+    assert!(text.contains("2 proved, 0 sampled"), "{text}");
+}
+
+#[test]
+fn verify_falls_back_to_sampling_over_budget() {
+    // A budget too small for even the cut abstraction degrades to the
+    // seeded differential-sampling fallback instead of hanging.
+    let out = oiso()
+        .arg("verify")
+        .arg(example())
+        .args(["--budget", "300"])
+        .output()
+        .expect("run");
     assert!(out.status.success(), "{out:?}");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("BDD budget exceeded"), "{text}");

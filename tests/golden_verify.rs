@@ -80,9 +80,10 @@ fn verify_cli_output_is_stable() {
 }
 
 #[test]
-fn verify_cli_sampled_fallback_output_is_stable() {
-    // The 16-bit multiplier in cmac exceeds the BDD budget; the report
-    // must show the sampling fallback (seeded, hence deterministic).
+fn verify_cli_cut_proof_output_is_stable() {
+    // The 16-bit multiplier in cmac used to exceed the BDD budget and
+    // fall back to sampling; the arithmetic cut-point abstraction now
+    // proves it outright, and the report must say so.
     let example = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/cmac.oiso");
     let out = Command::new(env!("CARGO_BIN_EXE_oiso"))
         .arg("verify")
@@ -104,7 +105,9 @@ fn goldens_contain_the_expected_shape() {
     assert!(cli.contains("proved equivalent"), "{cli}");
     assert!(cli.trim_end().ends_with("all candidates verified"), "{cli}");
     let cmac = std::fs::read_to_string(golden_path("verify_cli_cmac.txt")).expect("golden cmac");
-    assert!(cmac.contains("BDD budget exceeded"), "{cmac}");
+    // The cut abstraction eliminated the sampling fallback on cmac.
+    assert!(!cmac.contains("BDD budget exceeded"), "{cmac}");
+    assert!(cmac.contains("2 proved, 0 sampled"), "{cmac}");
 }
 
 #[test]
